@@ -1,0 +1,71 @@
+//! Criterion bench for the random-number substrate: raw generators and
+//! the distributions the simulations draw millions of times.
+
+use combar_rng::{
+    Distribution, Exponential, Gamma, Normal, Pcg32, Rng, SeedableRng, SplitMix64, Xoshiro256pp,
+    ZigguratNormal,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng_generators");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("xoshiro256pp", |b| {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        b.iter(|| std::hint::black_box(rng.next_u64()));
+    });
+    group.bench_function("pcg32", |b| {
+        let mut rng = Pcg32::seed_from_u64(1);
+        b.iter(|| std::hint::black_box(rng.next_u64()));
+    });
+    group.bench_function("splitmix64", |b| {
+        let mut rng = SplitMix64::seed_from_u64(1);
+        b.iter(|| std::hint::black_box(rng.next_u64()));
+    });
+    group.finish();
+}
+
+fn distributions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng_distributions");
+    group.throughput(Throughput::Elements(1));
+    let mut rng = Xoshiro256pp::seed_from_u64(2);
+    group.bench_function("normal_polar", |b| {
+        let d = Normal::standard();
+        b.iter(|| std::hint::black_box(d.sample(&mut rng)));
+    });
+    group.bench_function("normal_ziggurat", |b| {
+        let z = ZigguratNormal::new();
+        b.iter(|| std::hint::black_box(z.sample(&mut rng)));
+    });
+    group.bench_function("exponential", |b| {
+        let e = Exponential::with_mean(1.0).unwrap();
+        b.iter(|| std::hint::black_box(e.sample(&mut rng)));
+    });
+    group.bench_function("gamma_shape3", |b| {
+        let g = Gamma::new(3.0, 1.0).unwrap();
+        b.iter(|| std::hint::black_box(g.sample(&mut rng)));
+    });
+    group.finish();
+}
+
+fn model_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng_special");
+    group.bench_function("normal_quantile", |b| {
+        let mut p = 0.001f64;
+        b.iter(|| {
+            p = if p > 0.998 { 0.001 } else { p + 0.001 };
+            std::hint::black_box(combar_rng::special::normal_quantile(p))
+        });
+    });
+    group.bench_function("erfc", |b| {
+        let mut x = -5.0f64;
+        b.iter(|| {
+            x = if x > 5.0 { -5.0 } else { x + 0.01 };
+            std::hint::black_box(combar_rng::special::erfc(x))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, generators, distributions, model_functions);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion bench for the threaded barrier runtime: episodes per
+//! second for each barrier kind at small thread counts (beyond-paper
+//! validation on the host machine).
+
+use combar_rt::{CentralBarrier, DisseminationBarrier, DynamicBarrier, TreeBarrier};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const EPISODES: u32 = 200;
+
+fn run_threads<F, G>(p: u32, make_waiter: F)
+where
+    F: Fn(u32) -> G + Sync,
+    G: FnMut() + Send,
+{
+    std::thread::scope(|s| {
+        for tid in 0..p {
+            let mut step = make_waiter(tid);
+            s.spawn(move || {
+                for _ in 0..EPISODES {
+                    step();
+                }
+            });
+        }
+    });
+}
+
+fn rt_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rt_barriers");
+    group.sample_size(10);
+    for p in [2u32, 4] {
+        group.bench_with_input(BenchmarkId::new("central", p), &p, |b, &p| {
+            b.iter(|| {
+                let barrier = CentralBarrier::new(p);
+                run_threads(p, |_| {
+                    let mut w = barrier.waiter();
+                    move || w.wait()
+                });
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("tree_d2", p), &p, |b, &p| {
+            b.iter(|| {
+                let barrier = TreeBarrier::combining(p, 2);
+                run_threads(p, |tid| {
+                    let mut w = barrier.waiter(tid);
+                    move || w.wait()
+                });
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("dissemination", p), &p, |b, &p| {
+            b.iter(|| {
+                let barrier = DisseminationBarrier::new(p);
+                run_threads(p, |tid| {
+                    let mut w = barrier.waiter(tid);
+                    move || w.wait()
+                });
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("dynamic_d2", p), &p, |b, &p| {
+            b.iter(|| {
+                let barrier = DynamicBarrier::mcs(p, 2);
+                run_threads(p, |tid| {
+                    let mut w = barrier.waiter(tid);
+                    move || w.wait()
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, rt_bench);
+criterion_main!(benches);

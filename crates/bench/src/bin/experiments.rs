@@ -1,0 +1,238 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p combar-bench --release --bin experiments -- all
+//! cargo run -p combar-bench --release --bin experiments -- fig2 fig8
+//! ```
+//!
+//! Available ids: fig2, fig3, fig4, fig5, sec4-mcs, fig8, fig9, fig10,
+//! fig11, fig12, fig13, ablate, adaptive, fuzzy-idle, release,
+//! baselines, verify, all. A `--quick` flag shrinks replication counts
+//! for smoke runs. `verify` grades the reproduction against the paper's
+//! reference values and exits non-zero on failure.
+
+use combar::presets::{Fig12, Fig13, Fig2, Fig3Grid, Fig5, Fig8, ScalingSweep};
+use combar_bench::experiments::{ablate, adaptive, baselines, fig2, fig34, fig5, fig8, fuzzy_idle, ksr, mcs, release, scaling};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| *a != "--quick").collect();
+    let ids: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
+        vec![
+            "fig2", "fig3", "fig4", "fig5", "sec4-mcs", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "fig13", "ablate", "adaptive", "fuzzy-idle", "release", "baselines", "verify",
+        ]
+    } else {
+        ids
+    };
+
+    // Figures 3/4 share one grid computation.
+    let mut grid_cache: Option<fig34::GridResult> = None;
+    let mut scaling_cache: Option<scaling::ScalingResult> = None;
+
+    for id in ids {
+        let t0 = Instant::now();
+        match id {
+            "fig2" => {
+                let preset = if quick { Fig2 { reps: 5, ..Fig2::default() } } else { Fig2::default() };
+                println!("{}", fig2::run(&preset).render());
+            }
+            "fig3" | "fig4" => {
+                if grid_cache.is_none() {
+                    let preset = if quick {
+                        Fig3Grid { reps: 6, procs: vec![64, 256], ..Fig3Grid::default() }
+                    } else {
+                        Fig3Grid::default()
+                    };
+                    grid_cache = Some(fig34::run(&preset));
+                }
+                let grid = grid_cache.as_ref().unwrap();
+                if id == "fig3" {
+                    println!("{}", grid.render_fig3());
+                } else {
+                    println!("{}", grid.render_fig4());
+                }
+            }
+            "fig5" => {
+                let preset = if quick {
+                    Fig5 { p: 256, iterations: 60, ..Fig5::default() }
+                } else {
+                    Fig5::default()
+                };
+                println!("{}", fig5::run(&preset).render());
+            }
+            "sec4-mcs" => {
+                let (p, reps) = if quick { (256, 10) } else { (4096, 20) };
+                let res = mcs::run(p, 250.0, &[2, 4, 8, 16, 64], reps);
+                println!("{}", res.render());
+            }
+            "fig8" => {
+                let preset = if quick {
+                    Fig8 { p: 256, iterations: 60, warmup: 10, ..Fig8::default() }
+                } else {
+                    Fig8::default()
+                };
+                println!("{}", fig8::run(&preset).render());
+            }
+            "fig9" | "fig10" | "fig11" => {
+                if scaling_cache.is_none() {
+                    let preset = if quick {
+                        ScalingSweep {
+                            procs: vec![16, 64, 256],
+                            iterations: 30,
+                            reps: 6,
+                            ..ScalingSweep::default()
+                        }
+                    } else {
+                        ScalingSweep::default()
+                    };
+                    scaling_cache = Some(scaling::run(&preset));
+                }
+                let res = scaling_cache.as_ref().unwrap();
+                if id == "fig9" {
+                    println!("{}", res.render_fig9());
+                } else if id == "fig10" {
+                    print!("{}", res.render_fig10_11());
+                }
+                // fig11 is included in render_fig10_11; avoid printing
+                // it twice when both were requested
+            }
+            "fig12" => {
+                let preset = if quick {
+                    Fig12 { iterations: 60, warmup: 5, ..Fig12::default() }
+                } else {
+                    Fig12::default()
+                };
+                println!("{}", ksr::run_fig12(&preset).render());
+            }
+            "fig13" => {
+                let preset = if quick {
+                    Fig13 { iterations: 60, warmup: 5, ..Fig13::default() }
+                } else {
+                    Fig13::default()
+                };
+                println!("{}", ksr::run_fig13(&preset).render());
+            }
+            "ablate" => {
+                let reps = if quick { 8 } else { 20 };
+                let shapes = ablate::run_shapes(256, &[6.2, 25.0], reps);
+                println!("{}", ablate::render_shapes(&shapes, 256));
+                let err = ablate::run_model_error(256, &[0.0, 6.2, 25.0, 100.0], reps);
+                println!("{}", ablate::render_model_error(&err));
+                let prof = ablate::run_level_profile(4096, 12.5, &[4, 16, 64], reps);
+                println!("{}", ablate::render_level_profile(&prof, 4096, 12.5));
+                let iters = if quick { 80 } else { 200 };
+                let corr = ksr::run_fig13_correlation(&[0.0, 0.3, 0.6, 0.9], 2_000.0, iters);
+                println!("{}", ksr::render_fig13_correlation(&corr, 2_000.0));
+            }
+            "adaptive" => {
+                let p = if quick { 1024 } else { 4096 };
+                let phases = [
+                    adaptive::Phase { sigma_tc: 0.0, iterations: 50 },
+                    adaptive::Phase { sigma_tc: 50.0, iterations: 50 },
+                    adaptive::Phase { sigma_tc: 12.5, iterations: 50 },
+                    adaptive::Phase { sigma_tc: 100.0, iterations: 50 },
+                ];
+                println!("{}", adaptive::run(p, &phases, 10).render());
+            }
+            "dot" => {
+                // Figure 6's mechanism, rendered: a small owner tree
+                // before and after a slow processor migrates.
+                use combar_sim::{run_iterations, IterateConfig, PlacementMode, Placement,
+                                 Topology, WorkSource, Workload};
+                use combar::combar_rng::{SeedableRng, Xoshiro256pp};
+                use combar::combar_des::Duration;
+                let topo = Topology::mcs(16, 2);
+                println!("// initial placement\n{}", topo.to_dot(None));
+                // run a few iterations with one systemically slow proc
+                let cfg = IterateConfig {
+                    tc: Duration::from_us(20.0),
+                    slack: Duration::from_us(4_000.0),
+                    iterations: 30,
+                    warmup: 0,
+                    mode: PlacementMode::Dynamic,
+                    record_arrivals: false,
+                    release_model: combar_sim::ReleaseModel::CentralFlag,
+                };
+                let mut rng = Xoshiro256pp::seed_from_u64(1);
+                let mut seed_rng = Xoshiro256pp::seed_from_u64(2);
+                let mut w = Workload::systemic(16, 9_500.0, 300.0, 20.0, &mut seed_rng);
+                let _ = run_iterations(&topo, &cfg, &mut w, &mut rng);
+                // reconstruct the converged placement by replaying the
+                // same run through a placement we keep
+                let mut placement = Placement::initial(&topo);
+                let mut rng = Xoshiro256pp::seed_from_u64(1);
+                let mut seed_rng = Xoshiro256pp::seed_from_u64(2);
+                let mut w = Workload::systemic(16, 9_500.0, 300.0, 20.0, &mut seed_rng);
+                let mut begin = vec![0.0f64; 16];
+                let mut works = vec![0.0f64; 16];
+                for _ in 0..30 {
+                    use combar_sim::run_episode;
+                    w.sample_into(&mut rng, &mut works);
+                    let arrivals: Vec<f64> =
+                        begin.iter().zip(&works).map(|(b, w)| b + w).collect();
+                    let homes = placement.homes().to_vec();
+                    let r = run_episode(&topo, &homes, &arrivals, Duration::from_us(20.0));
+                    let mut wins: Vec<Vec<u32>> = vec![Vec::new(); 16];
+                    for (c, win) in r.winners.iter().enumerate() {
+                        if let Some(pr) = *win {
+                            wins[pr as usize].push(c as u32);
+                        }
+                    }
+                    for (proc, wl) in wins.iter_mut().enumerate() {
+                        wl.sort_by_key(|&c| topo.path_len(c));
+                        for &c in wl.iter() {
+                            if c == placement.home(proc as u32) {
+                                break;
+                            }
+                            if placement.try_swap(&topo, proc as u32, c).is_some() {
+                                break;
+                            }
+                        }
+                    }
+                    for i in 0..16 {
+                        begin[i] = (r.signal_done_us[i] + 4_000.0).max(r.release_us);
+                    }
+                }
+                println!("// after 30 iterations with a systemic slow set\n{}",
+                         topo.to_dot(Some(&placement)));
+            }
+            "verify" => {
+                let verdicts = combar_bench::verify::run(quick);
+                let (table, all_ok) = combar_bench::verify::render(&verdicts);
+                println!("{table}");
+                if !all_ok {
+                    eprintln!("verification FAILED");
+                    std::process::exit(1);
+                }
+                println!("all claims verified against the paper ✓");
+            }
+            "baselines" => {
+                let (p, reps) = if quick { (256, 8) } else { (1024, 20) };
+                let rows = baselines::run(p, &[0.0, 1.6, 6.2, 12.5, 25.0, 50.0, 100.0], reps);
+                println!("{}", baselines::render(&rows, p));
+            }
+            "release" => {
+                let reps = if quick { 3 } else { 10 };
+                let rows = release::run(&[64, 256, 1024, 4096], &[2, 4, 16], 2.0, reps);
+                println!("{}", release::render(&rows, 2.0));
+            }
+            "fuzzy-idle" => {
+                let (p, iters) = if quick { (256, 60) } else { (1024, 120) };
+                let slacks = [0.0, 250.0, 500.0, 1_000.0, 2_000.0, 4_000.0, 16_000.0];
+                println!("{}", fuzzy_idle::run(p, 250.0, &slacks, iters).render());
+            }
+            other => {
+                eprintln!("unknown experiment id: {other}");
+                eprintln!(
+                    "known: fig2 fig3 fig4 fig5 sec4-mcs fig8 fig9 fig10 fig11 fig12 fig13 \
+                     ablate adaptive fuzzy-idle all"
+                );
+                std::process::exit(2);
+            }
+        }
+        eprintln!("[{id}] done in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,20 @@
+//! One module per reproduced paper artifact. Every entry point takes
+//! its preset (from `combar::presets`) so benches can shrink the
+//! workload without diverging from the real experiment.
+
+pub mod ablate;
+pub mod baselines;
+pub mod adaptive;
+pub mod fig2;
+pub mod fig34;
+pub mod fig5;
+pub mod fig8;
+pub mod fuzzy_idle;
+pub mod ksr;
+pub mod release;
+pub mod mcs;
+pub mod scaling;
+
+/// Common RNG seed for every experiment (results are fully
+/// reproducible; change it to check robustness).
+pub const SEED: u64 = 0x1995_1ccc;

@@ -1,0 +1,12 @@
+//! Experiment harness for the `combar` reproduction: one module per
+//! paper artifact, each returning structured results plus a rendered
+//! table, shared by the `experiments` binary and the Criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+pub mod verify;
+
+pub use table::Table;

@@ -1,0 +1,465 @@
+//! The paper's analytic model of synchronization delay under load
+//! imbalance (Section 3, Equations 1–8, Algorithm 1).
+//!
+//! # The model
+//!
+//! A full combining tree of degree `d` with `L` levels (`p = d^L`)
+//! synchronizes simultaneously arriving processors in
+//!
+//! ```text
+//! c(L) = L · d · t_c                                   (Eq. 1)
+//! ```
+//!
+//! which is minimized by `d ≈ e ≈ 2.71` — the classical "degree four"
+//! result. Under load imbalance the model partitions the processors
+//! along the last processor's root path into subsets
+//! `S_0, …, S_{L−1}`, where `S_l` holds the `d−1` sibling subtrees of
+//! depth `l` (`|S_l| = (d−1)·d^l`), and assumes each subset arrives
+//! simultaneously, later the closer it sits to the last processor:
+//!
+//! ```text
+//! P_before(S_l) = 1 − d^{l+1} / p                       (Eq. 2)
+//! T_arr(S_l)    = σ · Φ⁻¹(P_before(S_l))                (Eq. 4)
+//! T_arr(last)   = σ · E[max of p]      (asymptotic)     (Eq. 5)
+//! T_rel(S_l)    = T_arr(S_l) + (l+1)·d·t_c + (L−l−1)·t_c  (Eq. 6)
+//! T_rel(last)   = T_arr(last) + L·t_c                   (Eq. 7)
+//! T_sync        = max(T_rel(last), max_l T_rel(S_l)) − T_arr(last)  (Eq. 8)
+//! ```
+//!
+//! Two transcription notes against the (OCR-noisy) source: Equation 2
+//! needs the `/p` for `P_before(S_{L−1}) = 0` to hold as the paper
+//! states, and the middle term of Equation 6 is taken as
+//! `c(l) + d·t_c = (l+1)·d·t_c` — subset `S_l`'s subtrees complete
+//! internally in `c(l)`, their `d−1` roots plus the incoming chain
+//! serialize at the join counter (up to `d` updates of `t_c`), and the
+//! remaining `L−l−1` counters to the root are uncontended. This reading
+//! reproduces Equation 1 exactly at σ = 0 (the `c(l) + (L−l)·t_c`
+//! reading would undershoot by `(d−1)·t_c`).
+//!
+//! The paper's special case `P_before(S_{L−1}) := P_before(S_{L−2})/2`
+//! is applied through the natural extension `P_before(S_{l}) =
+//! (1 − d^l/p)/2` at `l = L−1`, which also covers the flat tree
+//! (`L = 1`).
+
+use combar_rng::order_stats;
+use combar_rng::special::normal_quantile;
+use combar_topo::full_tree_degrees;
+
+/// How the model estimates the last processor's arrival time
+/// (the `E[max of p i.i.d. normals]` term of Equation 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LastArrival {
+    /// The paper's extreme-value asymptotic (Equation 5).
+    #[default]
+    PaperAsymptotic,
+    /// Exact quadrature of `E[max]` — slower, accurate for all `p`.
+    ExactQuadrature,
+    /// Blom's order-statistic approximation.
+    Blom,
+}
+
+impl LastArrival {
+    /// Expected maximum of `p` i.i.d. standard normals under this
+    /// estimator.
+    pub fn expected_max(self, p: u32) -> f64 {
+        match self {
+            LastArrival::PaperAsymptotic => order_stats::expected_max_asymptotic(p as usize),
+            LastArrival::ExactQuadrature => order_stats::expected_max_exact(p as usize),
+            LastArrival::Blom => order_stats::expected_order_stat_blom(p as usize, p as usize),
+        }
+    }
+}
+
+/// Errors from the analytic model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The degree does not produce a full tree over `p` processors
+    /// (`d^L ≠ p` for every `L`) — the model is derived for full trees.
+    NotFullTree {
+        /// Processor count requested.
+        p: u32,
+        /// Offending degree.
+        degree: u32,
+    },
+    /// Invalid parameters (zero processors, degree < 2, negative σ or
+    /// non-positive `t_c`).
+    BadParams(&'static str),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::NotFullTree { p, degree } => {
+                write!(f, "degree {degree} does not tile {p} processors into full levels")
+            }
+            ModelError::BadParams(s) => write!(f, "bad model parameters: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// One subset term of the model (diagnostic output of Algorithm 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubsetTerm {
+    /// Subset index `l` (depth of its subtrees).
+    pub level: u32,
+    /// Number of processors in the subset, `(d−1)·d^l`.
+    pub size: u64,
+    /// Fraction of processors arriving before this subset (Eq. 2, with
+    /// the paper's `l = L−1` special case applied).
+    pub p_before: f64,
+    /// Expected arrival time of the subset relative to the mean (µs).
+    pub t_arr_us: f64,
+    /// Release time of the subset's propagation at the root (µs).
+    pub t_rel_us: f64,
+}
+
+/// Full output of Algorithm 1 for one `(p, d, σ, t_c)` point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelEstimate {
+    /// Tree degree.
+    pub degree: u32,
+    /// Number of levels `L = log_d p`.
+    pub levels: u32,
+    /// Expected arrival time of the last processor (µs, mean-relative).
+    pub t_arr_last_us: f64,
+    /// Release time through the last processor's own chain (Eq. 7, µs).
+    pub t_rel_last_us: f64,
+    /// Per-subset terms.
+    pub subsets: Vec<SubsetTerm>,
+    /// The synchronization delay estimate (Eq. 8, µs).
+    pub sync_delay_us: f64,
+}
+
+/// Analytic barrier model for `p` processors with arrival spread σ and
+/// counter update cost `t_c`.
+///
+/// # Examples
+///
+/// ```
+/// use combar::model::BarrierModel;
+///
+/// // σ = 0: the classical result — degree 4, delay L·d·t_c (Eq. 1)
+/// let quiet = BarrierModel::new(4096, 0.0, 20.0).unwrap();
+/// assert_eq!(quiet.estimate_optimal_degree().degree, 4);
+///
+/// // σ = 50·t_c: wide trees win
+/// let busy = BarrierModel::new(4096, 1000.0, 20.0).unwrap();
+/// assert!(busy.estimate_optimal_degree().degree >= 64);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarrierModel {
+    /// Number of processors.
+    pub p: u32,
+    /// Standard deviation of arrival times (µs).
+    pub sigma_us: f64,
+    /// Counter update cost (µs). The paper measured 20 µs on the KSR1.
+    pub tc_us: f64,
+    /// Estimator for the last arrival (Equation 5).
+    pub last_arrival: LastArrival,
+}
+
+impl BarrierModel {
+    /// Creates a model; `σ = 0` is the classical simultaneous-arrival
+    /// case.
+    pub fn new(p: u32, sigma_us: f64, tc_us: f64) -> Result<Self, ModelError> {
+        if p == 0 {
+            return Err(ModelError::BadParams("p must be positive"));
+        }
+        if sigma_us.is_nan() || sigma_us < 0.0 {
+            return Err(ModelError::BadParams("sigma must be non-negative"));
+        }
+        if tc_us.is_nan() || tc_us <= 0.0 {
+            return Err(ModelError::BadParams("t_c must be positive"));
+        }
+        Ok(Self { p, sigma_us, tc_us, last_arrival: LastArrival::default() })
+    }
+
+    /// Selects the last-arrival estimator.
+    pub fn with_last_arrival(mut self, la: LastArrival) -> Self {
+        self.last_arrival = la;
+        self
+    }
+
+    /// Equation 1: synchronization delay of a full `L`-level degree-`d`
+    /// tree under simultaneous arrival, `L·d·t_c`.
+    pub fn eq1_simultaneous_delay(&self, degree: u32) -> Result<f64, ModelError> {
+        let levels = self.levels_for(degree)?;
+        Ok(levels as f64 * degree as f64 * self.tc_us)
+    }
+
+    /// Number of full levels for `degree`, or an error when `degree`
+    /// does not tile `p`.
+    pub fn levels_for(&self, degree: u32) -> Result<u32, ModelError> {
+        if degree < 2 && self.p > 1 {
+            return Err(ModelError::BadParams("degree must be >= 2"));
+        }
+        let mut acc: u64 = 1;
+        let mut levels: u32 = 0;
+        while acc < self.p as u64 {
+            acc *= degree as u64;
+            levels += 1;
+        }
+        if acc == self.p as u64 && levels >= 1 {
+            Ok(levels)
+        } else if self.p == 1 {
+            Ok(1)
+        } else {
+            Err(ModelError::NotFullTree { p: self.p, degree })
+        }
+    }
+
+    /// Algorithm 1: the synchronization delay estimate for a full tree
+    /// of the given degree.
+    pub fn sync_delay(&self, degree: u32) -> Result<ModelEstimate, ModelError> {
+        let levels = self.levels_for(degree)?;
+        let p = self.p as f64;
+        let d = degree as f64;
+        let tc = self.tc_us;
+        let sigma = self.sigma_us;
+
+        // Step 2 (Eqs. 5, 7): the last processor.
+        let t_arr_last = sigma * self.last_arrival.expected_max(self.p);
+        let t_rel_last = t_arr_last + levels as f64 * tc;
+
+        // Step 1 (Eqs. 2, 4, 6): each subset.
+        let mut subsets = Vec::with_capacity(levels as usize);
+        let mut max_rel = t_rel_last;
+        for l in 0..levels {
+            let nominal = 1.0 - d.powi(l as i32 + 1) / p;
+            let p_before = if l + 1 == levels {
+                // Paper's special case: Φ⁻¹(0) = −∞, so halve the
+                // next-lower subset's probability. The natural
+                // extension (1 − d^l/p)/2 also covers L = 1.
+                (1.0 - d.powi(l as i32) / p) / 2.0
+            } else {
+                nominal
+            };
+            let t_arr = sigma * normal_quantile(p_before);
+            // (l+1)·d·t_c: subtree completion c(l) plus serialization at
+            // the join counter; then L−l−1 uncontended updates.
+            let t_rel =
+                t_arr + (l as f64 + 1.0) * d * tc + (levels as f64 - l as f64 - 1.0) * tc;
+            max_rel = max_rel.max(t_rel);
+            subsets.push(SubsetTerm {
+                level: l,
+                size: ((d - 1.0) * d.powi(l as i32)) as u64,
+                p_before,
+                t_arr_us: t_arr,
+                t_rel_us: t_rel,
+            });
+        }
+
+        Ok(ModelEstimate {
+            degree,
+            levels,
+            t_arr_last_us: t_arr_last,
+            t_rel_last_us: t_rel_last,
+            subsets,
+            sync_delay_us: max_rel - t_arr_last,
+        })
+    }
+
+    /// The estimated optimal degree: evaluates [`BarrierModel::sync_delay`]
+    /// on every full-tree degree of `p` and returns the minimizer (the
+    /// paper's Figure 4 "est" rows).
+    /// Ties (e.g. degrees 2 and 4 under Equation 1: `2/ln 2 = 4/ln 4`)
+    /// break toward the **wider** tree, which has fewer counters and
+    /// matches the paper's simulated optimum of four at σ = 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 2` (no full-tree degree exists).
+    pub fn estimate_optimal_degree(&self) -> ModelEstimate {
+        let degrees = full_tree_degrees(self.p);
+        assert!(!degrees.is_empty(), "estimate_optimal_degree requires p >= 2");
+        let mut best: Option<ModelEstimate> = None;
+        for d in degrees {
+            let est = self.sync_delay(d).expect("full-tree degree");
+            best = match best {
+                None => Some(est),
+                Some(cur) => {
+                    // strict improvement, or a wider tree at (numerically)
+                    // equal delay
+                    let eps = 1e-9 * cur.sync_delay_us.abs().max(1.0);
+                    if est.sync_delay_us < cur.sync_delay_us - eps
+                        || (est.sync_delay_us <= cur.sync_delay_us + eps
+                            && est.degree > cur.degree)
+                    {
+                        Some(est)
+                    } else {
+                        Some(cur)
+                    }
+                }
+            };
+        }
+        best.expect("nonempty")
+    }
+
+    /// Estimated synchronization speedup of the estimated-optimal
+    /// degree over degree 4 (when degree 4 tiles `p`; otherwise over
+    /// the smallest full-tree degree).
+    pub fn estimated_speedup_vs_degree4(&self) -> f64 {
+        let best = self.estimate_optimal_degree();
+        let reference = match self.sync_delay(4) {
+            Ok(e) => e,
+            Err(_) => {
+                let degrees = full_tree_degrees(self.p);
+                self.sync_delay(degrees[0]).expect("full-tree degree")
+            }
+        };
+        reference.sync_delay_us / best.sync_delay_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TC: f64 = 20.0;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(BarrierModel::new(0, 0.0, TC).is_err());
+        assert!(BarrierModel::new(64, -1.0, TC).is_err());
+        assert!(BarrierModel::new(64, 0.0, 0.0).is_err());
+        assert!(BarrierModel::new(64, f64::NAN, TC).is_err());
+    }
+
+    #[test]
+    fn levels_for_full_trees() {
+        let m = BarrierModel::new(4096, 0.0, TC).unwrap();
+        assert_eq!(m.levels_for(2).unwrap(), 12);
+        assert_eq!(m.levels_for(4).unwrap(), 6);
+        assert_eq!(m.levels_for(8).unwrap(), 4);
+        assert_eq!(m.levels_for(16).unwrap(), 3);
+        assert_eq!(m.levels_for(64).unwrap(), 2);
+        assert_eq!(m.levels_for(4096).unwrap(), 1);
+        assert_eq!(
+            m.levels_for(32),
+            Err(ModelError::NotFullTree { p: 4096, degree: 32 })
+        );
+    }
+
+    /// At σ = 0, Algorithm 1 must reduce to Equation 1: L·d·t_c.
+    #[test]
+    fn zero_sigma_reduces_to_equation_1() {
+        for (p, d) in [(64u32, 2u32), (64, 4), (64, 8), (256, 4), (4096, 16), (4096, 4096)] {
+            let m = BarrierModel::new(p, 0.0, TC).unwrap();
+            let est = m.sync_delay(d).unwrap();
+            let eq1 = m.eq1_simultaneous_delay(d).unwrap();
+            assert!(
+                (est.sync_delay_us - eq1).abs() < 1e-9,
+                "p={p} d={d}: model {} vs Eq1 {eq1}",
+                est.sync_delay_us
+            );
+        }
+    }
+
+    /// Equation 1 favors degree ~e under simultaneous arrival: among
+    /// full-tree degrees of 4096, degree 4 had better win at σ = 0
+    /// (f(d) = d·ln p / ln d has its continuous optimum at d = e).
+    #[test]
+    fn sigma_zero_optimal_degree_is_four_when_available() {
+        for p in [64u32, 256, 4096] {
+            let m = BarrierModel::new(p, 0.0, TC).unwrap();
+            let best = m.estimate_optimal_degree();
+            assert_eq!(best.degree, 4, "p={p}");
+            assert!((m.estimated_speedup_vs_degree4() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// The paper's headline: the estimated optimal degree grows with σ,
+    /// reaching very wide trees (≥64) at σ = 100·t_c.
+    #[test]
+    fn estimated_optimal_degree_grows_with_sigma() {
+        let mut prev = 0u32;
+        for sigma_tc in [0.0, 6.2, 25.0, 100.0] {
+            let m = BarrierModel::new(4096, sigma_tc * TC, TC).unwrap();
+            let best = m.estimate_optimal_degree().degree;
+            assert!(best >= prev, "σ={sigma_tc}tc: degree {best} after {prev}");
+            prev = best;
+        }
+        assert!(prev >= 64, "σ=100tc should favor wide trees, got {prev}");
+    }
+
+    /// With one processor far behind, only the update path matters:
+    /// delay tends to L·t_c + (contention terms drop out). For huge σ
+    /// the wide tree (L = 1) must dominate.
+    #[test]
+    fn huge_sigma_favors_flat_tree() {
+        let m = BarrierModel::new(64, 1000.0 * TC, TC).unwrap();
+        let best = m.estimate_optimal_degree();
+        assert_eq!(best.degree, 64);
+        // delay ≈ 1·t_c once nothing else interferes
+        assert!(best.sync_delay_us < 3.0 * TC, "delay = {}", best.sync_delay_us);
+    }
+
+    #[test]
+    fn subset_probabilities_match_equation_2() {
+        let m = BarrierModel::new(64, 20.0, TC).unwrap();
+        let est = m.sync_delay(4).unwrap(); // L = 3
+        assert_eq!(est.subsets.len(), 3);
+        // S_0: 1 − 4/64, S_1: 1 − 16/64; S_2 special: (1 − 16/64)/2.
+        assert!((est.subsets[0].p_before - (1.0 - 4.0 / 64.0)).abs() < 1e-12);
+        assert!((est.subsets[1].p_before - (1.0 - 16.0 / 64.0)).abs() < 1e-12);
+        assert!((est.subsets[2].p_before - (1.0 - 16.0 / 64.0) / 2.0).abs() < 1e-12);
+        // subset sizes: (d−1)d^l = 3, 12, 48 — total 63 = p − 1.
+        let sizes: Vec<u64> = est.subsets.iter().map(|s| s.size).collect();
+        assert_eq!(sizes, vec![3, 12, 48]);
+        assert_eq!(sizes.iter().sum::<u64>(), 63);
+    }
+
+    #[test]
+    fn subset_arrival_ordering_holds() {
+        // Closer subsets (smaller l) must arrive later (Assumption 2).
+        let m = BarrierModel::new(4096, 250.0, TC).unwrap();
+        let est = m.sync_delay(8).unwrap();
+        for w in est.subsets.windows(2) {
+            assert!(
+                w[0].t_arr_us >= w[1].t_arr_us,
+                "S_{} arrives before S_{}",
+                w[0].level,
+                w[1].level
+            );
+        }
+        // And the last processor arrives after every subset.
+        for s in &est.subsets {
+            assert!(est.t_arr_last_us > s.t_arr_us);
+        }
+    }
+
+    #[test]
+    fn sync_delay_never_below_update_path() {
+        for sigma_tc in [0.0, 1.0, 10.0, 100.0] {
+            let m = BarrierModel::new(256, sigma_tc * TC, TC).unwrap();
+            for d in [2u32, 4, 16, 256] {
+                let est = m.sync_delay(d).unwrap();
+                let floor = est.levels as f64 * TC;
+                assert!(
+                    est.sync_delay_us >= floor - 1e-9,
+                    "σ={sigma_tc}tc d={d}: {} < L·tc = {floor}",
+                    est.sync_delay_us
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimators_agree_on_direction() {
+        for la in [LastArrival::PaperAsymptotic, LastArrival::ExactQuadrature, LastArrival::Blom] {
+            let m = BarrierModel::new(256, 500.0, TC).unwrap().with_last_arrival(la);
+            let best = m.estimate_optimal_degree();
+            assert!(best.degree > 4, "{la:?} should favor wide trees at σ=25tc");
+        }
+    }
+
+    #[test]
+    fn single_processor_degenerates() {
+        let m = BarrierModel::new(1, 100.0, TC).unwrap();
+        let est = m.sync_delay(2).unwrap();
+        assert_eq!(est.levels, 1);
+        assert!(est.sync_delay_us >= TC);
+    }
+}

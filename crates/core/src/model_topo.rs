@@ -1,0 +1,341 @@
+//! Algorithm 1 generalized to arbitrary trees (beyond the paper).
+//!
+//! The paper derives its model for *full* trees (`p = d^L`) and leaves
+//! other degrees out — its Figure 2 has no estimate bar at degree 32
+//! because 32 does not tile 4096. This module re-derives every model
+//! quantity from an actual [`Topology`] instead of from `(p, d, L)`
+//! closed forms, which makes the estimate available for partial
+//! combining trees and MCS-style owner trees alike:
+//!
+//! * the **reference path** is the root path of a deepest leaf (the
+//!   worst-placed processor — the full-tree model's implicit choice);
+//! * subset `S_l` = the processors under the *other* children of the
+//!   path counter at level `l+1`, plus that counter's own attached
+//!   processors (exact counts from the topology, replacing
+//!   `(d−1)·d^l`);
+//! * `P_before(S_l)` = (processors in strictly higher subsets)/p —
+//!   the paper's Equation 2 evaluated on real counts, with the same
+//!   halving special case for the earliest subset;
+//! * the subset's completion uses real fan-ins: the internal
+//!   simultaneous-arrival delay of a subtree is the max over its
+//!   root-to-leaf paths of `Σ fan_in·t_c` (which reduces to `l·d·t_c`
+//!   on a full tree, i.e. Equation 1), the join counter adds its own
+//!   `fan_in·t_c`, and the remaining path counters are uncontended.
+//!
+//! On full trees this reproduces [`crate::model::BarrierModel`] exactly
+//! (tested), so it is a strict generalization.
+
+use crate::model::{ModelError, SubsetTerm};
+use crate::LastArrival;
+use combar_rng::special::normal_quantile;
+use combar_topo::{CounterId, Topology};
+
+/// Output of the generalized estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoEstimate {
+    /// Levels on the reference (deepest-leaf) path.
+    pub levels: u32,
+    /// Per-subset terms along the reference path.
+    pub subsets: Vec<SubsetTerm>,
+    /// Expected arrival of the last processor (µs, mean-relative).
+    pub t_arr_last_us: f64,
+    /// The synchronization delay estimate (µs).
+    pub sync_delay_us: f64,
+}
+
+/// Estimates the synchronization delay of `topo` under normally
+/// distributed arrivals with spread `sigma_us` and update cost `tc_us`,
+/// by the paper's Algorithm 1 evaluated on the real tree.
+///
+/// # Errors
+///
+/// Returns [`ModelError::BadParams`] for invalid σ/t_c.
+pub fn sync_delay_for_topology(
+    topo: &Topology,
+    sigma_us: f64,
+    tc_us: f64,
+    last_arrival: LastArrival,
+) -> Result<TopoEstimate, ModelError> {
+    if sigma_us.is_nan() || sigma_us < 0.0 {
+        return Err(ModelError::BadParams("sigma must be non-negative"));
+    }
+    if tc_us.is_nan() || tc_us <= 0.0 {
+        return Err(ModelError::BadParams("t_c must be positive"));
+    }
+    let p = topo.num_procs() as f64;
+
+    // Reference path: a deepest leaf to the root (bottom-up order).
+    let deepest = topo
+        .nodes()
+        .iter()
+        .max_by_key(|n| n.path_len)
+        .expect("nonempty topology")
+        .id;
+    let path: Vec<CounterId> = topo.path_to_root(deepest).collect();
+    let levels = path.len() as u32;
+
+    // Precompute subtree processor counts and internal serial delays
+    // (max over root-to-leaf paths of Σ fan_in·t_c) for every counter.
+    let n = topo.num_counters();
+    let mut subtree_procs = vec![0u64; n];
+    let mut internal_delay = vec![0.0f64; n];
+    // children before parents: sort ids by decreasing path_len
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(topo.path_len(c)));
+    for &c in &order {
+        let node = topo.node(c);
+        let own = node.fan_in() as f64 * tc_us;
+        let mut procs = node.procs.len() as u64;
+        let mut child_max = 0.0f64;
+        for &ch in &node.children {
+            procs += subtree_procs[ch as usize];
+            child_max = child_max.max(internal_delay[ch as usize]);
+        }
+        subtree_procs[c as usize] = procs;
+        internal_delay[c as usize] = child_max + own;
+    }
+
+    // Subsets along the path: S_l lives at the path counter at level
+    // l+1 (path[l+1] counting from the leaf). Its members are the
+    // processors under that counter excluding those under path[l],
+    // i.e. sibling subtrees plus the counter's attached processors.
+    let mut sizes: Vec<u64> = Vec::new();
+    let mut joins: Vec<CounterId> = Vec::new();
+    let mut sibling_delay: Vec<f64> = Vec::new();
+    for l in 0..path.len().saturating_sub(1) {
+        let join = path[l + 1];
+        let below = path[l];
+        let node = topo.node(join);
+        let mut size = node.procs.len() as u64;
+        let mut max_internal = 0.0f64;
+        for &ch in &node.children {
+            if ch != below {
+                size += subtree_procs[ch as usize];
+                max_internal = max_internal.max(internal_delay[ch as usize]);
+            }
+        }
+        sizes.push(size);
+        joins.push(join);
+        sibling_delay.push(max_internal);
+    }
+    // The leaf itself may be shared (MCS leaves, combining leaf
+    // groups): its other occupants form the closest subset of all,
+    // joining at the leaf counter.
+    let leaf_node = topo.node(deepest);
+    let leaf_others = leaf_node.procs.len().saturating_sub(1) as u64;
+    if leaf_others > 0 {
+        sizes.insert(0, leaf_others);
+        joins.insert(0, deepest);
+        sibling_delay.insert(0, 0.0);
+    }
+
+    // Arrival probabilities: subsets further out arrive earlier.
+    // P_before(S_l) = (procs in strictly higher subsets)/p, with the
+    // paper's halving special case for the earliest (outermost) subset.
+    let total_in_subsets: u64 = sizes.iter().sum();
+    debug_assert_eq!(total_in_subsets + 1, topo.num_procs() as u64);
+    let mut before_running: u64 = total_in_subsets;
+    let mut subsets = Vec::with_capacity(sizes.len());
+    let t_arr_last = sigma_us * last_arrival.expected_max(topo.num_procs());
+    let t_rel_last = t_arr_last + levels as f64 * tc_us;
+    let mut max_rel = t_rel_last;
+    for (idx, (&size, &join)) in sizes.iter().zip(&joins).enumerate() {
+        before_running -= size;
+        let nominal = before_running as f64 / p;
+        let p_before = if before_running == 0 {
+            // earliest subset: halve the next one's probability, or use
+            // 1/(2p)-style floor when it is the only subset
+            let next = subsets
+                .last()
+                .map(|s: &SubsetTerm| s.p_before)
+                .unwrap_or((p - 1.0) / p);
+            next / 2.0
+        } else {
+            nominal
+        };
+        let t_arr = sigma_us * normal_quantile(p_before);
+        // completion: siblings finish internally, serialize at the join
+        // counter (full fan-in), then walk the remaining path counters
+        // uncontended.
+        let join_pos = path.iter().position(|&c| c == join).expect("join on path");
+        let remaining = (path.len() - 1 - join_pos) as f64;
+        let t_rel = t_arr
+            + sibling_delay[idx]
+            + topo.node(join).fan_in() as f64 * tc_us
+            + remaining * tc_us;
+        max_rel = max_rel.max(t_rel);
+        subsets.push(SubsetTerm {
+            level: idx as u32,
+            size,
+            p_before,
+            t_arr_us: t_arr,
+            t_rel_us: t_rel,
+        });
+    }
+
+    Ok(TopoEstimate {
+        levels,
+        subsets,
+        t_arr_last_us: t_arr_last,
+        sync_delay_us: max_rel - t_arr_last,
+    })
+}
+
+/// The estimated optimal degree over **all** candidate degrees (not
+/// just the full-tree ladder): evaluates the generalized Algorithm 1 on
+/// every degree in `combar_topo::default_degree_sweep(p)` and returns
+/// the minimizing `(degree, estimate)`. Ties break wider, as in
+/// [`crate::model::BarrierModel::estimate_optimal_degree`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::BadParams`] for invalid σ/t_c.
+pub fn estimate_optimal_degree_any(
+    p: u32,
+    sigma_us: f64,
+    tc_us: f64,
+    last_arrival: LastArrival,
+) -> Result<(u32, TopoEstimate), ModelError> {
+    let mut best: Option<(u32, TopoEstimate)> = None;
+    for d in combar_topo::default_degree_sweep(p) {
+        let topo = if d >= p { Topology::flat(p) } else { Topology::combining(p, d) };
+        let est = sync_delay_for_topology(&topo, sigma_us, tc_us, last_arrival)?;
+        best = match best {
+            None => Some((d, est)),
+            Some((bd, cur)) => {
+                let eps = 1e-9 * cur.sync_delay_us.abs().max(1.0);
+                if est.sync_delay_us < cur.sync_delay_us - eps
+                    || (est.sync_delay_us <= cur.sync_delay_us + eps && d > bd)
+                {
+                    Some((d, est))
+                } else {
+                    Some((bd, cur))
+                }
+            }
+        };
+    }
+    Ok(best.expect("sweep is nonempty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::BarrierModel;
+
+    const TC: f64 = 20.0;
+
+    /// On full combining trees the generalized estimate must equal the
+    /// closed-form Algorithm 1 exactly.
+    #[test]
+    fn reduces_to_algorithm_1_on_full_trees() {
+        for (p, d) in [(64u32, 4u32), (64, 8), (256, 16), (4096, 16), (4096, 64)] {
+            for sigma in [0.0f64, 124.0, 500.0, 2000.0] {
+                let closed = BarrierModel::new(p, sigma, TC)
+                    .unwrap()
+                    .sync_delay(d)
+                    .unwrap()
+                    .sync_delay_us;
+                let topo = Topology::combining(p, d);
+                let general =
+                    sync_delay_for_topology(&topo, sigma, TC, LastArrival::default())
+                        .unwrap()
+                        .sync_delay_us;
+                assert!(
+                    (closed - general).abs() < 1e-9,
+                    "p={p} d={d} σ={sigma}: closed {closed} vs general {general}"
+                );
+            }
+        }
+    }
+
+    /// Fills the paper's missing bar: a degree-32 estimate over 4096
+    /// processors exists and interpolates between degrees 16 and 64.
+    #[test]
+    fn fills_the_missing_degree_32_bar() {
+        let sigma = 250.0;
+        let est = |d: u32| {
+            let topo = Topology::combining(4096, d);
+            sync_delay_for_topology(&topo, sigma, TC, LastArrival::default())
+                .unwrap()
+                .sync_delay_us
+        };
+        let d16 = est(16);
+        let d32 = est(32);
+        let d64 = est(64);
+        assert!(
+            d16 <= d32 && d32 <= d64,
+            "expected monotone interpolation: {d16} ≤ {d32} ≤ {d64}"
+        );
+    }
+
+    /// The generalized estimate tracks simulation on partial trees —
+    /// conservatively. The paper's subset-simultaneity assumption
+    /// overprices wide fan-ins (it already does on the closed form's
+    /// flat tree), so the band is one-sided: never a large
+    /// *under*estimate, overestimates growing with fan-in.
+    #[test]
+    fn tracks_simulation_on_partial_trees() {
+        use combar_des::Duration;
+        use combar_sim::{sweep_degrees, SweepConfig, TreeStyle};
+        let p = 4096u32;
+        let sigma = 250.0;
+        let cfg = SweepConfig {
+            tc: Duration::from_us(TC),
+            sigma_us: sigma,
+            reps: 10,
+            seed: 0x9e7e,
+            style: TreeStyle::Combining,
+        };
+        let swept = sweep_degrees(p, &[32], &cfg);
+        let sim = swept[0].sync_delay.mean();
+        let topo = Topology::combining(p, 32);
+        let est = sync_delay_for_topology(&topo, sigma, TC, LastArrival::default())
+            .unwrap()
+            .sync_delay_us;
+        let ratio = est / sim;
+        assert!(
+            (0.7..4.5).contains(&ratio),
+            "degree 32: est {est} vs sim {sim} (ratio {ratio})"
+        );
+    }
+
+    /// Works on MCS owner trees too (the paper's Section 5 substrate).
+    #[test]
+    fn handles_mcs_trees() {
+        let topo = Topology::mcs(4096, 4);
+        let est = sync_delay_for_topology(&topo, 250.0, TC, LastArrival::default()).unwrap();
+        assert_eq!(est.levels, topo.depth());
+        assert!(est.sync_delay_us >= topo.depth() as f64 * TC - 1e-9);
+        // subset sizes cover p − 1 processors
+        let total: u64 = est.subsets.iter().map(|s| s.size).sum();
+        assert_eq!(total, 4095);
+    }
+
+    /// The any-degree estimator agrees with the full-tree one at σ = 0
+    /// (degree 4) and never returns something absurd elsewhere.
+    #[test]
+    fn any_degree_estimator_is_sane() {
+        let (d0, e0) = estimate_optimal_degree_any(256, 0.0, TC, LastArrival::default()).unwrap();
+        assert_eq!(d0, 4);
+        assert!((e0.sync_delay_us - 320.0).abs() < 1e-9); // Eq. 1: 4·4·20
+        let (dw, _) =
+            estimate_optimal_degree_any(256, 100.0 * TC, TC, LastArrival::default()).unwrap();
+        assert!(dw >= 32, "extreme σ should pick a wide tree, got {dw}");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let topo = Topology::combining(16, 4);
+        assert!(sync_delay_for_topology(&topo, -1.0, TC, LastArrival::default()).is_err());
+        assert!(sync_delay_for_topology(&topo, 0.0, 0.0, LastArrival::default()).is_err());
+    }
+
+    /// Flat tree: one subset of p−1 processors joining at the single
+    /// counter; at σ = 0 the delay is p·t_c (Eq. 1's flat case).
+    #[test]
+    fn flat_tree_matches_eq1_at_zero_sigma() {
+        let topo = Topology::flat(64);
+        let est = sync_delay_for_topology(&topo, 0.0, TC, LastArrival::default()).unwrap();
+        assert!((est.sync_delay_us - 64.0 * TC).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,152 @@
+//! The paper's reported numbers, as data.
+//!
+//! Everything the source text states quantitatively is collected here
+//! so tests and the experiment harness can compare against the paper
+//! programmatically instead of by eyeball. Where the scan is damaged
+//! only the legible values appear (provenance noted per item).
+
+/// Counter update cost measured on the KSR1 (Section 3/4), µs.
+pub const TC_US: f64 = 20.0;
+
+/// The classical optimal degree under simultaneous arrival, from Yew,
+/// Tzeng & Lawrie and Mellor-Crummey & Scott (Section 2), which the
+/// paper's σ = 0 column confirms.
+pub const CLASSICAL_OPTIMAL_DEGREE: u32 = 4;
+
+/// Continuous minimizer of Equation 1 (`d/ln d`), `e ≈ 2.71`.
+pub const EQ1_CONTINUOUS_OPTIMUM: f64 = std::f64::consts::E;
+
+/// Abstract: the optimal degree "increases from four to as much as 128
+/// in a 4K system as the load imbalance increases".
+pub const MAX_OPTIMAL_DEGREE_4K: u32 = 128;
+
+/// Abstract/Section 4: the analytic estimate's delay is within ~7 % of
+/// the simulated optimum on the paper's grid (fraction, not percent).
+pub const ESTIMATION_GAP: f64 = 0.07;
+
+/// Section 4: speedups of the optimal degree over degree 4 range from
+/// 1.3 (degree 8) up to ~4 (degree 256, "300 percent faster").
+pub const SPEEDUP_RANGE: (f64, f64) = (1.3, 4.0);
+
+/// Section 4: MCS owner trees beat plain combining trees by ~5 % when
+/// the optimal degree is 4, vanishing for larger degrees.
+pub const MCS_ADVANTAGE_AT_DEGREE_4: f64 = 1.05;
+
+/// One row of the paper's Figure 8 table (4096 processors, σ = 0.25
+/// ms), indexed by slack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig8PaperRow {
+    /// Fuzzy slack in µs.
+    pub slack_us: f64,
+    /// Average tree depth seen by the last (releasing) processor.
+    pub last_proc_depth: f64,
+    /// Synchronization speedup of dynamic over static placement.
+    pub sync_speedup: f64,
+    /// Communication overhead ratio.
+    pub comm_overhead: f64,
+}
+
+/// Figure 8, degree 4 (verbatim from the paper's table).
+pub const FIG8_DEGREE4: [Fig8PaperRow; 5] = [
+    Fig8PaperRow { slack_us: 0.0, last_proc_depth: 5.85, sync_speedup: 1.00, comm_overhead: 1.09 },
+    Fig8PaperRow { slack_us: 1_000.0, last_proc_depth: 3.34, sync_speedup: 1.73, comm_overhead: 1.08 },
+    Fig8PaperRow { slack_us: 2_000.0, last_proc_depth: 1.88, sync_speedup: 3.07, comm_overhead: 1.07 },
+    Fig8PaperRow { slack_us: 4_000.0, last_proc_depth: 1.44, sync_speedup: 3.98, comm_overhead: 1.04 },
+    Fig8PaperRow { slack_us: 16_000.0, last_proc_depth: 1.24, sync_speedup: 4.71, comm_overhead: 1.01 },
+];
+
+/// Figure 8, degree 16 (verbatim from the paper's table).
+pub const FIG8_DEGREE16: [Fig8PaperRow; 5] = [
+    Fig8PaperRow { slack_us: 0.0, last_proc_depth: 2.99, sync_speedup: 1.00, comm_overhead: 1.04 },
+    Fig8PaperRow { slack_us: 1_000.0, last_proc_depth: 2.16, sync_speedup: 1.34, comm_overhead: 1.03 },
+    Fig8PaperRow { slack_us: 2_000.0, last_proc_depth: 1.59, sync_speedup: 1.85, comm_overhead: 1.02 },
+    Fig8PaperRow { slack_us: 4_000.0, last_proc_depth: 1.36, sync_speedup: 2.21, comm_overhead: 1.01 },
+    Fig8PaperRow { slack_us: 16_000.0, last_proc_depth: 1.21, sync_speedup: 2.45, comm_overhead: 1.00 },
+];
+
+/// Section 7 / Figure 13 anchors on the real KSR1 (d_y = 210):
+/// mean iteration time and measured standard deviation.
+pub const KSR_SOR_MEAN_US: f64 = 9_500.0;
+/// Measured σ at d_y = 210 on the KSR1 (µs).
+pub const KSR_SOR_SIGMA_US: f64 = 110.0;
+/// Figure 12: the speedup at the top of the paper's d_y sweep ("the
+/// resulting speedup increases from zero to 23 percent").
+pub const FIG12_MAX_SPEEDUP: f64 = 1.23;
+
+/// Figure 13 depth/speedup envelopes (degree 2 and 16): initial and
+/// final last-processor depths and peak speedups.
+pub const FIG13_DEGREE2_DEPTHS: (f64, f64) = (4.38, 1.67);
+/// Figure 13 degree-16 depth envelope.
+pub const FIG13_DEGREE16_DEPTHS: (f64, f64) = (2.88, 1.24);
+/// Figure 13 peak speedups (degree 2, degree 16).
+pub const FIG13_PEAK_SPEEDUPS: (f64, f64) = (1.73, 1.32);
+
+/// Verdict of a shape comparison against a paper trend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Measured trend moves in the paper's direction and lands within
+    /// the stated factor of the paper's endpoint.
+    Matches,
+    /// Measured trend moves in the paper's direction but the magnitude
+    /// is off by more than the stated factor.
+    DirectionOnly,
+    /// Measured trend contradicts the paper's direction.
+    Contradicts,
+}
+
+/// Compares a measured (start, end) trend against the paper's
+/// (start, end): the *direction* must match; the endpoint must land
+/// within `factor` (multiplicative) of the paper's endpoint for a full
+/// match.
+pub fn compare_trend(paper: (f64, f64), measured: (f64, f64), factor: f64) -> Shape {
+    assert!(factor >= 1.0, "factor is multiplicative and >= 1");
+    let paper_dir = (paper.1 - paper.0).signum();
+    let measured_dir = (measured.1 - measured.0).signum();
+    if paper_dir != measured_dir && (paper.1 - paper.0).abs() > 1e-12 {
+        return Shape::Contradicts;
+    }
+    let ratio = measured.1 / paper.1;
+    if ratio >= 1.0 / factor && ratio <= factor {
+        Shape::Matches
+    } else {
+        Shape::DirectionOnly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure8_tables_are_monotone_as_printed() {
+        for table in [&FIG8_DEGREE4, &FIG8_DEGREE16] {
+            for w in table.windows(2) {
+                assert!(w[1].slack_us > w[0].slack_us);
+                assert!(w[1].last_proc_depth <= w[0].last_proc_depth);
+                assert!(w[1].sync_speedup >= w[0].sync_speedup);
+                assert!(w[1].comm_overhead <= w[0].comm_overhead);
+            }
+        }
+        // the paper's depth starts at the static tree depth
+        assert!((FIG8_DEGREE4[0].last_proc_depth - 5.85).abs() < 1e-12);
+        assert!((FIG8_DEGREE16[0].last_proc_depth - 2.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compare_trend_classifies() {
+        // paper: depth falls 5.85 → 1.24; we measured 5.93 → 1.19
+        assert_eq!(compare_trend((5.85, 1.24), (5.93, 1.19), 1.25), Shape::Matches);
+        // direction right, magnitude off
+        assert_eq!(compare_trend((5.85, 1.24), (5.9, 3.0), 1.25), Shape::DirectionOnly);
+        // wrong direction
+        assert_eq!(compare_trend((5.85, 1.24), (5.9, 6.5), 1.25), Shape::Contradicts);
+        // flat paper trend never contradicts on direction
+        assert_eq!(compare_trend((1.0, 1.0), (1.0, 1.01), 1.25), Shape::Matches);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor is multiplicative")]
+    fn compare_trend_rejects_sub_one_factor() {
+        let _ = compare_trend((1.0, 2.0), (1.0, 2.0), 0.5);
+    }
+}

@@ -1,0 +1,167 @@
+//! Degree-selection policies: connecting the analytic model to running
+//! barriers.
+//!
+//! The paper's conclusion: "Our analytic model can be used by a
+//! compiler to estimate the optimum degree … This finding also
+//! indicates the feasibility of barriers that would adapt their degree
+//! at run time." [`DegreeAdvisor`] is that compiler/runtime component:
+//! feed it arrival-time observations (or a known σ), and it recommends
+//! a combining-tree degree via Algorithm 1. [`model_policy`] packages
+//! the advisor as a policy for [`combar_rt::AdaptiveBarrier`].
+
+use crate::model::{BarrierModel, LastArrival};
+use combar_rng::stats::OnlineStats;
+use combar_rt::DegreePolicy;
+
+/// Recommends combining-tree degrees from observed load imbalance.
+///
+/// # Examples
+///
+/// ```
+/// use combar::DegreeAdvisor;
+///
+/// let mut advisor = DegreeAdvisor::new(256, 20.0);
+/// // feed measured per-episode arrival times (any time origin)
+/// advisor.observe_arrivals(&[0.0, 120.0, 980.0, 410.0]);
+/// let degree = advisor.recommend();
+/// assert!(combar::combar_topo::full_tree_degrees(256).contains(&degree));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DegreeAdvisor {
+    p: u32,
+    tc_us: f64,
+    last_arrival: LastArrival,
+    spread: OnlineStats,
+}
+
+impl DegreeAdvisor {
+    /// Creates an advisor for `p` processors with counter update cost
+    /// `t_c` (µs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0` or `tc_us <= 0`.
+    pub fn new(p: u32, tc_us: f64) -> Self {
+        assert!(p > 0, "need at least one processor");
+        assert!(tc_us > 0.0, "t_c must be positive");
+        Self { p, tc_us, last_arrival: LastArrival::default(), spread: OnlineStats::new() }
+    }
+
+    /// Selects the last-arrival estimator used by the model.
+    pub fn with_last_arrival(mut self, la: LastArrival) -> Self {
+        self.last_arrival = la;
+        self
+    }
+
+    /// Records the per-processor arrival times (any common origin) of
+    /// one barrier episode; their standard deviation feeds σ̂.
+    pub fn observe_arrivals(&mut self, arrivals_us: &[f64]) {
+        self.spread.push(combar_rng::stats::std_dev(arrivals_us));
+    }
+
+    /// Records a directly measured arrival spread.
+    pub fn observe_sigma(&mut self, sigma_us: f64) {
+        self.spread.push(sigma_us.max(0.0));
+    }
+
+    /// The current spread estimate σ̂ (mean of the observations), 0
+    /// before any observation.
+    pub fn sigma_hat_us(&self) -> f64 {
+        self.spread.mean()
+    }
+
+    /// Number of observations recorded.
+    pub fn observations(&self) -> u64 {
+        self.spread.count()
+    }
+
+    /// Forgets all observations.
+    pub fn reset(&mut self) {
+        self.spread = OnlineStats::new();
+    }
+
+    /// The degree Algorithm 1 recommends for the current σ̂.
+    pub fn recommend(&self) -> u32 {
+        self.recommend_for_sigma(self.sigma_hat_us())
+    }
+
+    /// The degree Algorithm 1 recommends for an explicit σ.
+    pub fn recommend_for_sigma(&self, sigma_us: f64) -> u32 {
+        let model = BarrierModel::new(self.p, sigma_us.max(0.0), self.tc_us)
+            .expect("validated parameters")
+            .with_last_arrival(self.last_arrival);
+        model.estimate_optimal_degree().degree
+    }
+}
+
+/// Packages the analytic model as an [`combar_rt::AdaptiveBarrier`]
+/// degree policy: given the measured σ̂, recommend the model-optimal
+/// full-tree degree.
+pub fn model_policy(tc_us: f64) -> DegreePolicy {
+    Box::new(move |sigma_us: f64, p: u32| {
+        BarrierModel::new(p, sigma_us.max(0.0), tc_us)
+            .expect("positive p and t_c")
+            .estimate_optimal_degree()
+            .degree
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TC: f64 = 20.0;
+
+    #[test]
+    fn quiet_system_gets_degree_four() {
+        let advisor = DegreeAdvisor::new(256, TC);
+        assert_eq!(advisor.recommend(), 4); // σ̂ = 0 before observations
+        assert_eq!(advisor.recommend_for_sigma(0.0), 4);
+    }
+
+    #[test]
+    fn imbalanced_system_gets_wider_trees() {
+        let advisor = DegreeAdvisor::new(256, TC);
+        let quiet = advisor.recommend_for_sigma(0.0);
+        let busy = advisor.recommend_for_sigma(100.0 * TC);
+        assert!(busy > quiet, "busy {busy} vs quiet {quiet}");
+    }
+
+    #[test]
+    fn observations_drive_recommendation() {
+        let mut advisor = DegreeAdvisor::new(64, TC);
+        // wide arrival spreads, σ ≈ 25·t_c each
+        for k in 0..5 {
+            let arrivals: Vec<f64> =
+                (0..64).map(|i| (i as f64) * 16.0 + k as f64).collect();
+            advisor.observe_arrivals(&arrivals);
+        }
+        assert_eq!(advisor.observations(), 5);
+        assert!(advisor.sigma_hat_us() > 200.0);
+        assert!(advisor.recommend() > 4);
+        advisor.reset();
+        assert_eq!(advisor.observations(), 0);
+        assert_eq!(advisor.recommend(), 4);
+    }
+
+    #[test]
+    fn policy_closure_matches_advisor() {
+        let policy = model_policy(TC);
+        let advisor = DegreeAdvisor::new(4096, TC);
+        for sigma in [0.0, 124.0, 500.0, 2000.0] {
+            assert_eq!(policy(sigma, 4096), advisor.recommend_for_sigma(sigma));
+        }
+    }
+
+    #[test]
+    fn recommendations_are_full_tree_degrees() {
+        let advisor = DegreeAdvisor::new(4096, TC);
+        for sigma in [0.0, 50.0, 250.0, 1000.0, 5000.0] {
+            let d = advisor.recommend_for_sigma(sigma);
+            assert!(
+                combar_topo::full_tree_degrees(4096).contains(&d),
+                "σ={sigma}: {d} is not a full-tree degree"
+            );
+        }
+    }
+}

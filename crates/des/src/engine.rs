@@ -1,0 +1,403 @@
+//! The event-driven simulation engine.
+//!
+//! A minimal but complete discrete-event core: a pending-event set
+//! ordered by `(time, sequence)` — the sequence number makes simultaneous
+//! events fire in scheduling order, so runs are fully deterministic — and
+//! a user state threaded through every handler.
+//!
+//! Handlers are `FnOnce(&mut Engine<S>)` closures; they read the clock
+//! with [`Engine::now`], mutate `engine.state`, and schedule further
+//! events. This "closures over shared state" style is the conventional
+//! Rust shape for sequential DES (no processes/coroutines needed for the
+//! barrier models in this workspace, which are naturally event-oriented:
+//! *processor requests counter*, *counter update completes*).
+
+use crate::time::{Duration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Type-erased event action.
+type Action<S> = Box<dyn FnOnce(&mut Engine<S>)>;
+
+/// Token disarming a cancellable or periodic event (see
+/// [`Engine::schedule_cancellable`]). Cloneable; any clone cancels all.
+#[derive(Debug, Clone, Default)]
+pub struct Cancellation {
+    cancelled: std::rc::Rc<std::cell::Cell<bool>>,
+}
+
+impl Cancellation {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    /// Disarms the associated event(s).
+    pub fn cancel(&self) {
+        self.cancelled.set(true);
+    }
+
+    /// Whether the event has been disarmed.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.get()
+    }
+}
+
+struct Scheduled<S> {
+    time: SimTime,
+    seq: u64,
+    action: Action<S>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A discrete-event simulation engine over user state `S`.
+pub struct Engine<S> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Scheduled<S>>>,
+    events_executed: u64,
+    /// The user state, freely accessible to event handlers.
+    pub state: S,
+}
+
+impl<S> Engine<S> {
+    /// Creates an engine at time zero with the given state.
+    pub fn new(state: S) -> Self {
+        Self {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            events_executed: 0,
+            state,
+        }
+    }
+
+    /// The current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.events_executed
+    }
+
+    /// Number of events still pending.
+    pub fn events_pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `action` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time (causality).
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F)
+    where
+        F: FnOnce(&mut Engine<S>) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now = {}, at = {}",
+            self.now,
+            at
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { time: at, seq, action: Box::new(action) }));
+    }
+
+    /// Schedules `action` after a delay from the current time.
+    pub fn schedule_in<F>(&mut self, delay: Duration, action: F)
+    where
+        F: FnOnce(&mut Engine<S>) + 'static,
+    {
+        self.schedule_at(self.now + delay, action);
+    }
+
+    /// Schedules a cancellable event; the returned [`Cancellation`]
+    /// token suppresses the action if triggered before the event fires
+    /// (the event still occupies its queue slot but becomes a no-op).
+    ///
+    /// Typical use: timeouts that are usually disarmed — e.g. a watchdog
+    /// on barrier completion in soak tests.
+    pub fn schedule_cancellable<F>(&mut self, at: SimTime, action: F) -> Cancellation
+    where
+        F: FnOnce(&mut Engine<S>) + 'static,
+    {
+        let token = Cancellation::new();
+        let guard = token.clone();
+        self.schedule_at(at, move |eng| {
+            if !guard.is_cancelled() {
+                action(eng);
+            }
+        });
+        token
+    }
+
+    /// Schedules `action` to run every `period`, starting at
+    /// `first`, until the returned token is cancelled. The action runs
+    /// at most `max_firings` times as a runaway guard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero (the simulation would never advance).
+    pub fn schedule_periodic<F>(
+        &mut self,
+        first: SimTime,
+        period: Duration,
+        max_firings: u64,
+        action: F,
+    ) -> Cancellation
+    where
+        F: FnMut(&mut Engine<S>) + 'static,
+    {
+        assert!(period.as_us() > 0.0, "periodic events need a positive period");
+        let token = Cancellation::new();
+        let guard = token.clone();
+        fn tick<S, F: FnMut(&mut Engine<S>) + 'static>(
+            eng: &mut Engine<S>,
+            mut action: F,
+            guard: Cancellation,
+            period: Duration,
+            remaining: u64,
+        ) {
+            if guard.is_cancelled() || remaining == 0 {
+                return;
+            }
+            action(eng);
+            let next_remaining = remaining - 1;
+            if next_remaining > 0 && !guard.is_cancelled() {
+                eng.schedule_in(period, move |e| {
+                    tick(e, action, guard, period, next_remaining)
+                });
+            }
+        }
+        self.schedule_at(first, move |e| tick(e, action, guard, period, max_firings));
+        token
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.time)
+    }
+
+    /// Executes the single next event. Returns `false` when the pending
+    /// set is empty.
+    pub fn step(&mut self) -> bool {
+        match self.heap.pop() {
+            None => false,
+            Some(Reverse(ev)) => {
+                debug_assert!(ev.time >= self.now);
+                self.now = ev.time;
+                self.events_executed += 1;
+                (ev.action)(self);
+                true
+            }
+        }
+    }
+
+    /// Runs until the pending set is empty; returns the final time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Runs until the next event would be strictly later than `until`
+    /// (events exactly at `until` are executed); returns the time of the
+    /// last executed event.
+    pub fn run_until(&mut self, until: SimTime) -> SimTime {
+        while let Some(t) = self.peek_time() {
+            if t > until {
+                break;
+            }
+            self.step();
+        }
+        self.now
+    }
+
+    /// Consumes the engine and returns the user state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng = Engine::new(Vec::<u32>::new());
+        eng.schedule_at(SimTime::from_us(3.0), |e| e.state.push(3));
+        eng.schedule_at(SimTime::from_us(1.0), |e| e.state.push(1));
+        eng.schedule_at(SimTime::from_us(2.0), |e| e.state.push(2));
+        eng.run();
+        assert_eq!(eng.state, vec![1, 2, 3]);
+        assert_eq!(eng.events_executed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_scheduling_order() {
+        let mut eng = Engine::new(Vec::<u32>::new());
+        for i in 0..10 {
+            eng.schedule_at(SimTime::from_us(5.0), move |e| e.state.push(i));
+        }
+        eng.run();
+        assert_eq!(eng.state, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut eng = Engine::new(0u32);
+        fn tick(e: &mut Engine<u32>) {
+            e.state += 1;
+            if e.state < 5 {
+                e.schedule_in(Duration::from_us(1.0), tick);
+            }
+        }
+        eng.schedule_at(SimTime::ZERO, tick);
+        let end = eng.run();
+        assert_eq!(eng.state, 5);
+        assert_eq!(end.as_us(), 4.0);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon_inclusive() {
+        let mut eng = Engine::new(Vec::<f64>::new());
+        for i in 1..=10 {
+            eng.schedule_at(SimTime::from_us(i as f64), move |e| {
+                let t = e.now().as_us();
+                e.state.push(t);
+            });
+        }
+        eng.run_until(SimTime::from_us(5.0));
+        assert_eq!(eng.state, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(eng.events_pending(), 5);
+        eng.run();
+        assert_eq!(eng.state.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut eng = Engine::new(());
+        eng.schedule_at(SimTime::from_us(10.0), |e| {
+            e.schedule_at(SimTime::from_us(5.0), |_| {});
+        });
+        eng.run();
+    }
+
+    #[test]
+    fn clock_is_monotone_across_run() {
+        let mut eng = Engine::new((SimTime::ZERO, true));
+        for i in (0..100).rev() {
+            eng.schedule_at(SimTime::from_us(i as f64 * 0.5), |e| {
+                let now = e.now();
+                let (last, ok) = &mut e.state;
+                if now < *last {
+                    *ok = false;
+                }
+                *last = now;
+            });
+        }
+        eng.run();
+        assert!(eng.state.1, "clock went backwards");
+    }
+
+    #[test]
+    fn into_state_returns_final_state() {
+        let mut eng = Engine::new(41);
+        eng.schedule_at(SimTime::from_us(1.0), |e| e.state += 1);
+        eng.run();
+        assert_eq!(eng.into_state(), 42);
+    }
+
+    #[test]
+    fn empty_engine_runs_to_zero() {
+        let mut eng = Engine::new(());
+        assert_eq!(eng.run(), SimTime::ZERO);
+        assert!(!eng.step());
+        assert_eq!(eng.peek_time(), None);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut eng = Engine::new(0u32);
+        let keep = eng.schedule_cancellable(SimTime::from_us(1.0), |e| e.state += 1);
+        let kill = eng.schedule_cancellable(SimTime::from_us(2.0), |e| e.state += 10);
+        kill.cancel();
+        assert!(kill.is_cancelled());
+        assert!(!keep.is_cancelled());
+        eng.run();
+        assert_eq!(eng.state, 1);
+    }
+
+    #[test]
+    fn cancellation_mid_run_works() {
+        // the first event cancels the second
+        let mut eng = Engine::new((0u32, None::<Cancellation>));
+        let token = eng.schedule_cancellable(SimTime::from_us(5.0), |e| e.state.0 += 100);
+        eng.state.1 = Some(token);
+        eng.schedule_at(SimTime::from_us(1.0), |e| {
+            e.state.1.take().expect("token stored").cancel();
+        });
+        eng.run();
+        assert_eq!(eng.state.0, 0);
+    }
+
+    #[test]
+    fn periodic_events_fire_until_cancelled() {
+        let mut eng = Engine::new((0u32, None::<Cancellation>));
+        let token = eng.schedule_periodic(
+            SimTime::from_us(10.0),
+            Duration::from_us(5.0),
+            1000,
+            |e| e.state.0 += 1,
+        );
+        eng.state.1 = Some(token);
+        // cancel after the event at t = 30 has fired (events at 10, 15,
+        // 20, 25, 30 → 5 firings)
+        eng.schedule_at(SimTime::from_us(31.0), |e| {
+            e.state.1.take().expect("token stored").cancel();
+        });
+        eng.run();
+        assert_eq!(eng.state.0, 5);
+    }
+
+    #[test]
+    fn periodic_events_respect_max_firings() {
+        let mut eng = Engine::new(0u32);
+        let _token = eng.schedule_periodic(
+            SimTime::ZERO,
+            Duration::from_us(1.0),
+            3,
+            |e| e.state += 1,
+        );
+        eng.run();
+        assert_eq!(eng.state, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive period")]
+    fn zero_period_rejected() {
+        let mut eng = Engine::new(());
+        let _ = eng.schedule_periodic(SimTime::ZERO, Duration::ZERO, 10, |_| {});
+    }
+}

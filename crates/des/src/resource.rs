@@ -1,0 +1,187 @@
+//! Multi-server FIFO resource.
+//!
+//! Generalizes [`crate::FifoServer`] to capacity `c`: up to `c`
+//! requests in service simultaneously, FIFO dispatch. In the barrier
+//! study this models contention points that are not fully serialized —
+//! e.g. a KSR1 ring segment that can carry a small number of
+//! concurrent sub-line transfers — and it gives the DES substrate the
+//! standard M/M/c-style building block any queueing study needs.
+
+use crate::server::Service;
+use crate::time::{Duration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A FIFO resource with `capacity` identical servers.
+#[derive(Debug, Clone)]
+pub struct Resource {
+    /// Completion times of in-service requests (min-heap).
+    busy: BinaryHeap<Reverse<SimTime>>,
+    capacity: usize,
+    last_arrival: SimTime,
+    /// Earliest time a *new* request could begin service if all servers
+    /// are busy; tracked as the queue's virtual dispatch clock.
+    queue_free_at: SimTime,
+    served: u64,
+    total_wait: Duration,
+    total_service: Duration,
+}
+
+impl Resource {
+    /// Creates an idle resource with the given number of servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "resource needs at least one server");
+        Self {
+            busy: BinaryHeap::with_capacity(capacity),
+            capacity,
+            last_arrival: SimTime::ZERO,
+            queue_free_at: SimTime::ZERO,
+            served: 0,
+            total_wait: Duration::ZERO,
+            total_service: Duration::ZERO,
+        }
+    }
+
+    /// Number of servers.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Serves a request arriving at `arrival` needing `service` time.
+    /// Requests must arrive in nondecreasing time order (as the DES
+    /// engine guarantees).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on out-of-order arrivals.
+    pub fn serve(&mut self, arrival: SimTime, service: Duration) -> Service {
+        debug_assert!(
+            arrival >= self.last_arrival,
+            "resource requires nondecreasing arrivals"
+        );
+        self.last_arrival = arrival;
+        // Retire servers that finished by `arrival`.
+        while let Some(&Reverse(t)) = self.busy.peek() {
+            if t <= arrival {
+                self.busy.pop();
+            } else {
+                break;
+            }
+        }
+        let start = if self.busy.len() < self.capacity {
+            arrival
+        } else {
+            // All servers busy: wait for the earliest completion, but
+            // never before any earlier queued dispatch (FIFO).
+            let earliest = self.busy.pop().map(|Reverse(t)| t).expect("nonempty");
+            earliest.max(self.queue_free_at)
+        };
+        let finish = start + service;
+        self.busy.push(Reverse(finish));
+        self.queue_free_at = start;
+        self.served += 1;
+        self.total_wait += start - arrival;
+        self.total_service += service;
+        Service { arrival, start, finish }
+    }
+
+    /// Number of requests currently in service at time `t` (after
+    /// retiring completions).
+    pub fn in_service_at(&self, t: SimTime) -> usize {
+        self.busy.iter().filter(|&&Reverse(f)| f > t).count()
+    }
+
+    /// Requests served so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Sum of queueing delays.
+    pub fn total_wait(&self) -> Duration {
+        self.total_wait
+    }
+
+    /// Sum of service times.
+    pub fn total_service(&self) -> Duration {
+        self.total_service
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_one_matches_fifo_server() {
+        use crate::server::FifoServer;
+        let mut r = Resource::new(1);
+        let mut s = FifoServer::new();
+        let arrivals = [0.0f64, 0.0, 5.0, 100.0, 100.0, 101.0];
+        for &a in &arrivals {
+            let sa = s.serve(SimTime::from_us(a), Duration::from_us(20.0));
+            let ra = r.serve(SimTime::from_us(a), Duration::from_us(20.0));
+            assert_eq!(sa.start, ra.start, "arrival {a}");
+            assert_eq!(sa.finish, ra.finish, "arrival {a}");
+        }
+        assert_eq!(r.total_wait().as_us(), s.total_wait().as_us());
+    }
+
+    #[test]
+    fn two_servers_run_two_concurrently() {
+        let mut r = Resource::new(2);
+        let d = Duration::from_us(20.0);
+        let a = r.serve(SimTime::ZERO, d);
+        let b = r.serve(SimTime::ZERO, d);
+        let c = r.serve(SimTime::ZERO, d);
+        assert_eq!(a.start.as_us(), 0.0);
+        assert_eq!(b.start.as_us(), 0.0); // second server
+        assert_eq!(c.start.as_us(), 20.0); // queued behind the first completion
+        assert_eq!(c.finish.as_us(), 40.0);
+        assert_eq!(r.served(), 3);
+    }
+
+    #[test]
+    fn servers_are_reused_after_completion() {
+        let mut r = Resource::new(2);
+        let d = Duration::from_us(10.0);
+        r.serve(SimTime::from_us(0.0), d); // 0–10
+        r.serve(SimTime::from_us(0.0), d); // 0–10
+        let late = r.serve(SimTime::from_us(50.0), d);
+        assert_eq!(late.start.as_us(), 50.0, "both servers idle again");
+        assert_eq!(r.in_service_at(SimTime::from_us(55.0)), 1);
+        assert_eq!(r.in_service_at(SimTime::from_us(65.0)), 0);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_under_mixed_service_times() {
+        // Two long jobs occupy both servers; three short jobs queue and
+        // must start in arrival order even though completions free
+        // servers out of order.
+        let mut r = Resource::new(2);
+        r.serve(SimTime::from_us(0.0), Duration::from_us(100.0)); // 0–100
+        r.serve(SimTime::from_us(1.0), Duration::from_us(10.0)); // 1–11
+        let q1 = r.serve(SimTime::from_us(2.0), Duration::from_us(5.0));
+        let q2 = r.serve(SimTime::from_us(3.0), Duration::from_us(5.0));
+        assert_eq!(q1.start.as_us(), 11.0);
+        assert!(q2.start >= q1.start, "FIFO dispatch order");
+    }
+
+    #[test]
+    fn large_capacity_never_queues() {
+        let mut r = Resource::new(64);
+        for i in 0..50 {
+            let svc = r.serve(SimTime::from_us(i as f64 * 0.1), Duration::from_us(500.0));
+            assert_eq!(svc.queueing_delay().as_us(), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_capacity_rejected() {
+        let _ = Resource::new(0);
+    }
+}

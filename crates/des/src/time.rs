@@ -1,0 +1,262 @@
+//! Simulation time.
+//!
+//! Time is a totally ordered `f64` measured in **microseconds** — the
+//! natural unit for this study, where the counter update cost on the
+//! KSR1 is `t_c = 20 µs` and arrival spreads range from fractions of a
+//! microsecond to tens of milliseconds. The wrapper provides a total
+//! order (via `f64::total_cmp`), which the event queue requires, and
+//! rejects NaN at construction so ordering anomalies cannot enter the
+//! simulation.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulation time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time point from microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is NaN (infinities are allowed: `+∞` is a useful
+    /// "never" sentinel).
+    #[inline]
+    pub fn from_us(us: f64) -> Self {
+        assert!(!us.is_nan(), "SimTime cannot be NaN");
+        SimTime(us)
+    }
+
+    /// Creates a time point from milliseconds.
+    #[inline]
+    pub fn from_ms(ms: f64) -> Self {
+        Self::from_us(ms * 1e3)
+    }
+
+    /// The value in microseconds.
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0
+    }
+
+    /// The value in milliseconds.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// The later of two time points.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two time points.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A span of simulation time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Duration(f64);
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0.0);
+
+    /// Creates a span from microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is NaN or negative.
+    #[inline]
+    pub fn from_us(us: f64) -> Self {
+        assert!(!us.is_nan() && us >= 0.0, "Duration must be non-negative, got {us}");
+        Duration(us)
+    }
+
+    /// Creates a span from milliseconds.
+    #[inline]
+    pub fn from_ms(ms: f64) -> Self {
+        Self::from_us(ms * 1e3)
+    }
+
+    /// The span in microseconds.
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0
+    }
+
+    /// The span in milliseconds.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Multiplies the span by a non-negative scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Duration {
+        Duration::from_us(self.0 * k)
+    }
+}
+
+impl Eq for Duration {}
+
+impl Ord for Duration {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for Duration {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime::from_us(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    /// Elapsed time between two points.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in the `Duration` constructor) if `rhs` is later than
+    /// `self`.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration::from_us(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}µs", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}µs", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_units() {
+        assert_eq!(SimTime::from_ms(1.5).as_us(), 1500.0);
+        assert_eq!(SimTime::from_us(2000.0).as_ms(), 2.0);
+        assert_eq!(Duration::from_ms(0.02).as_us(), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_rejected() {
+        let _ = SimTime::from_us(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_rejected() {
+        let _ = Duration::from_us(-1.0);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_us(1.0);
+        let b = SimTime::from_us(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(SimTime::from_us(f64::INFINITY) > b);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let t = SimTime::from_us(10.0) + Duration::from_us(5.0);
+        assert_eq!(t.as_us(), 15.0);
+        let d = t - SimTime::from_us(4.0);
+        assert_eq!(d.as_us(), 11.0);
+        let mut acc = Duration::ZERO;
+        acc += Duration::from_us(3.0);
+        acc += Duration::from_us(4.0);
+        assert_eq!(acc.as_us(), 7.0);
+        assert_eq!(Duration::from_us(4.0).scale(2.5).as_us(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn backwards_subtraction_panics() {
+        let _ = SimTime::from_us(1.0) - SimTime::from_us(2.0);
+    }
+
+    #[test]
+    fn display_formats_microseconds() {
+        assert_eq!(format!("{}", SimTime::from_us(1.5)), "1.500µs");
+        assert_eq!(format!("{}", Duration::from_us(20.0)), "20.000µs");
+    }
+}

@@ -1,0 +1,127 @@
+//! Lightweight event tracing for debugging and tests.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time of the event.
+    pub time: SimTime,
+    /// Entity the event concerns (processor id, counter id, …).
+    pub subject: u32,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Kinds of traced events in barrier simulations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Processor arrived at the barrier.
+    Arrive,
+    /// Processor began updating a counter (the payload is the counter).
+    UpdateStart(u32),
+    /// Processor finished updating a counter.
+    UpdateEnd(u32),
+    /// Barrier released all processors.
+    Release,
+    /// Dynamic placement swapped a processor to a new counter.
+    Swap(u32),
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            TraceKind::Arrive => write!(f, "{} p{} arrive", self.time, self.subject),
+            TraceKind::UpdateStart(c) => {
+                write!(f, "{} p{} update-start c{}", self.time, self.subject, c)
+            }
+            TraceKind::UpdateEnd(c) => {
+                write!(f, "{} p{} update-end c{}", self.time, self.subject, c)
+            }
+            TraceKind::Release => write!(f, "{} release", self.time),
+            TraceKind::Swap(c) => write!(f, "{} p{} swap->c{}", self.time, self.subject, c),
+        }
+    }
+}
+
+/// A bounded in-memory trace buffer.
+///
+/// When the capacity is reached further records are counted but
+/// dropped, so enabling tracing on a 4096-processor run cannot exhaust
+/// memory.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace buffer holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Self { events: Vec::new(), capacity, dropped: 0 }
+    }
+
+    /// Records an event.
+    pub fn record(&mut self, time: SimTime, subject: u32, kind: TraceKind) {
+        if self.events.len() < self.capacity {
+            self.events.push(TraceEvent { time, subject, kind });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of records dropped after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the trace, one event per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&format!("{ev}\n"));
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} events dropped\n", self.dropped));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_until_capacity_then_counts_drops() {
+        let mut t = Trace::new(2);
+        t.record(SimTime::from_us(1.0), 0, TraceKind::Arrive);
+        t.record(SimTime::from_us(2.0), 1, TraceKind::Arrive);
+        t.record(SimTime::from_us(3.0), 2, TraceKind::Arrive);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 1);
+        assert!(t.render().contains("1 events dropped"));
+    }
+
+    #[test]
+    fn display_covers_all_kinds() {
+        let cases = [
+            (TraceKind::Arrive, "arrive"),
+            (TraceKind::UpdateStart(3), "update-start c3"),
+            (TraceKind::UpdateEnd(3), "update-end c3"),
+            (TraceKind::Release, "release"),
+            (TraceKind::Swap(7), "swap->c7"),
+        ];
+        for (kind, needle) in cases {
+            let ev = TraceEvent { time: SimTime::from_us(0.0), subject: 1, kind };
+            assert!(format!("{ev}").contains(needle), "{ev}");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! KSR1 machine parameters.
+//!
+//! The Kendall Square Research KSR1 used in the paper's Section 7
+//! measurements: 64 processors organized in rings of 32 (the authors
+//! use 56 to avoid I/O nodes), a COMA memory system whose cache
+//! sub-line is 16 words, and a measured counter update cost of
+//! `t_c = 20 µs`.
+
+/// Parameters of the modelled machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KsrParams {
+    /// Processors used for computation (the paper: 56 of 64).
+    pub procs: u32,
+    /// Processors per ring (KSR1: 32).
+    pub ring_size: u32,
+    /// Counter update cost in µs (measured on the KSR1: 20).
+    pub tc_us: f64,
+    /// Words per cache sub-line (KSR1: 16); one communication event is
+    /// the transfer of one sub-line.
+    pub subline_words: u32,
+    /// Compute time per grid point in µs. Calibrated so that the
+    /// paper's measured operating point — `d_x = 60`, `d_y = 210` →
+    /// mean iteration 9.5 ms — is reproduced.
+    pub point_time_us: f64,
+    /// Fixed latency per sub-line communication event (µs).
+    pub comm_base_us: f64,
+    /// Mean of the exponential contention jitter added to each
+    /// communication event (µs). Calibrated so σ(d_y = 210) ≈ 110 µs
+    /// (the paper's measured standard deviation).
+    pub comm_jitter_us: f64,
+}
+
+impl Default for KsrParams {
+    fn default() -> Self {
+        // Calibration (see DESIGN.md): events(210) = 4·⌈210/16⌉ = 56;
+        // jitter = 110/√56 ≈ 14.7 µs; comm total = 56·(5 + 14.7) ≈ 1.10
+        // ms; compute = 9.5 ms − 1.10 ms over 60·210 points ≈ 0.666
+        // µs/point.
+        Self {
+            procs: 56,
+            ring_size: 32,
+            tc_us: 20.0,
+            subline_words: 16,
+            point_time_us: 0.666,
+            comm_base_us: 5.0,
+            comm_jitter_us: 14.7,
+        }
+    }
+}
+
+impl KsrParams {
+    /// Communication events per processor per SOR iteration for a
+    /// y-dimension of `dy` points: the paper's `4·⌈d_y/16⌉` (two
+    /// neighbour exchanges, each touching `⌈d_y/subline⌉` sub-lines in
+    /// both directions).
+    pub fn comm_events(&self, dy: u32) -> u32 {
+        4 * dy.div_ceil(self.subline_words)
+    }
+
+    /// Number of rings needed for `self.procs`.
+    pub fn num_rings(&self) -> u32 {
+        self.procs.div_ceil(self.ring_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let k = KsrParams::default();
+        assert_eq!(k.procs, 56);
+        assert_eq!(k.ring_size, 32);
+        assert_eq!(k.tc_us, 20.0);
+        assert_eq!(k.subline_words, 16);
+        assert_eq!(k.num_rings(), 2);
+    }
+
+    /// The paper's footnote: `4·⌈d_y/16⌉` communication events.
+    #[test]
+    fn comm_events_formula() {
+        let k = KsrParams::default();
+        assert_eq!(k.comm_events(210), 4 * 14);
+        assert_eq!(k.comm_events(16), 4);
+        assert_eq!(k.comm_events(17), 8);
+        assert_eq!(k.comm_events(1), 4);
+    }
+}

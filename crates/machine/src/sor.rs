@@ -1,0 +1,266 @@
+//! The SOR relaxation kernel itself.
+//!
+//! The paper's measurement program: "a relaxation algorithm (SOR) where
+//! each element is averaged with its four neighbors. The relaxation is
+//! performed in two alternating arrays" — i.e. Jacobi-style sweeps over
+//! a 2-D grid with fixed boundaries, double-buffered to avoid races,
+//! partitioned along the x-dimension (rows) across processors.
+//!
+//! This module provides the numeric kernel in a form usable both
+//! sequentially (reference/tests) and by the threaded example
+//! (row-band functions over flat buffers, so bands can be handed to
+//! `std::thread::scope` workers disjointly).
+
+/// A 2-D grid of `nx × ny` points stored row-major in two buffers.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    nx: usize,
+    ny: usize,
+    front: Vec<f64>,
+    back: Vec<f64>,
+}
+
+impl Grid {
+    /// Creates a grid with all points at `interior` and the border at
+    /// `boundary` (Dirichlet condition held fixed by the sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both dimensions are at least 3 (smaller grids have
+    /// no interior to relax).
+    pub fn new(nx: usize, ny: usize, interior: f64, boundary: f64) -> Self {
+        assert!(nx >= 3 && ny >= 3, "grid needs at least 3×3 points");
+        let mut front = vec![interior; nx * ny];
+        for i in 0..nx {
+            for j in 0..ny {
+                if i == 0 || i == nx - 1 || j == 0 || j == ny - 1 {
+                    front[i * ny + j] = boundary;
+                }
+            }
+        }
+        let back = front.clone();
+        Self { nx, ny, front, back }
+    }
+
+    /// Grid rows.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid columns.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// The current (front) buffer.
+    pub fn values(&self) -> &[f64] {
+        &self.front
+    }
+
+    /// Value at `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.front[i * self.ny + j]
+    }
+
+    /// Sets a value in the front buffer (e.g. to pose a boundary
+    /// profile before iterating). Mirrors into the back buffer so
+    /// boundary rows stay fixed under sweeps.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.front[i * self.ny + j] = v;
+        self.back[i * self.ny + j] = v;
+    }
+
+    /// One full Jacobi sweep over the interior; returns the maximum
+    /// absolute change (the convergence residual).
+    pub fn step(&mut self) -> f64 {
+        let ny = self.ny;
+        let mut max_delta = 0.0f64;
+        for i in 1..self.nx - 1 {
+            let (src, dst) = (&self.front, &mut self.back);
+            let delta = relax_row(src, &mut dst[i * ny..(i + 1) * ny], ny, i);
+            max_delta = max_delta.max(delta);
+        }
+        std::mem::swap(&mut self.front, &mut self.back);
+        max_delta
+    }
+
+    /// Runs sweeps until the residual drops below `tol` or `max_iters`
+    /// is exhausted; returns `(iterations, final residual)`.
+    pub fn solve(&mut self, tol: f64, max_iters: usize) -> (usize, f64) {
+        let mut res = f64::INFINITY;
+        for k in 0..max_iters {
+            res = self.step();
+            if res < tol {
+                return (k + 1, res);
+            }
+        }
+        (max_iters, res)
+    }
+
+    /// Splits the interior rows `1..nx−1` into `parts` contiguous
+    /// bands, as the paper partitions the grid along the x-dimension.
+    /// Returns `(first_row, row_count)` per band; bands may be empty
+    /// when there are more parts than rows.
+    pub fn row_bands(&self, parts: usize) -> Vec<(usize, usize)> {
+        partition_rows(self.nx - 2, parts)
+            .into_iter()
+            .map(|(start, len)| (start + 1, len))
+            .collect()
+    }
+}
+
+/// Relaxes one interior row `i`: `dst_row` receives the four-neighbour
+/// averages computed from `src`; returns the row's max absolute change.
+///
+/// `dst_row` must be exactly the `ny` values of row `i`. The first and
+/// last column are boundary points and are copied through unchanged.
+pub fn relax_row(src: &[f64], dst_row: &mut [f64], ny: usize, i: usize) -> f64 {
+    debug_assert_eq!(dst_row.len(), ny);
+    let row = &src[i * ny..(i + 1) * ny];
+    let above = &src[(i - 1) * ny..i * ny];
+    let below = &src[(i + 1) * ny..(i + 2) * ny];
+    dst_row[0] = row[0];
+    dst_row[ny - 1] = row[ny - 1];
+    let mut max_delta = 0.0f64;
+    for j in 1..ny - 1 {
+        let new = 0.25 * (above[j] + below[j] + row[j - 1] + row[j + 1]);
+        max_delta = max_delta.max((new - row[j]).abs());
+        dst_row[j] = new;
+    }
+    max_delta
+}
+
+/// Relaxes a band of interior rows `first..first+count` from `src` into
+/// `dst_band` (which must hold exactly those rows, contiguously);
+/// returns the band's max absolute change.
+pub fn relax_band(src: &[f64], dst_band: &mut [f64], ny: usize, first: usize, count: usize) -> f64 {
+    debug_assert_eq!(dst_band.len(), count * ny);
+    let mut max_delta = 0.0f64;
+    for (k, dst_row) in dst_band.chunks_mut(ny).enumerate() {
+        max_delta = max_delta.max(relax_row(src, dst_row, ny, first + k));
+    }
+    max_delta
+}
+
+/// Splits `n` items into `parts` contiguous `(start, len)` ranges whose
+/// lengths differ by at most one.
+pub fn partition_rows(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    assert!(parts > 0, "need at least one part");
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_points_never_move() {
+        let mut g = Grid::new(8, 8, 0.0, 1.0);
+        for _ in 0..50 {
+            g.step();
+        }
+        for i in 0..8 {
+            assert_eq!(g.get(i, 0), 1.0);
+            assert_eq!(g.get(i, 7), 1.0);
+            assert_eq!(g.get(0, i), 1.0);
+            assert_eq!(g.get(7, i), 1.0);
+        }
+    }
+
+    /// With a constant boundary the unique harmonic solution is that
+    /// constant everywhere; the sweeps must converge to it.
+    #[test]
+    fn converges_to_constant_boundary_value() {
+        let mut g = Grid::new(12, 12, 0.0, 3.5);
+        let (iters, res) = g.solve(1e-10, 10_000);
+        assert!(res < 1e-10, "residual {res} after {iters} iters");
+        for i in 0..12 {
+            for j in 0..12 {
+                assert!((g.get(i, j) - 3.5).abs() < 1e-7, "({i},{j}) = {}", g.get(i, j));
+            }
+        }
+    }
+
+    /// Linear functions are harmonic: u(i,j) = i + 2j is a fixed point
+    /// of the four-neighbour average.
+    #[test]
+    fn linear_field_is_a_fixed_point() {
+        let mut g = Grid::new(10, 10, 0.0, 0.0);
+        for i in 0..10 {
+            for j in 0..10 {
+                g.set(i, j, i as f64 + 2.0 * j as f64);
+            }
+        }
+        let res = g.step();
+        assert!(res < 1e-12, "residual on harmonic field = {res}");
+    }
+
+    /// Discrete maximum principle: interior values stay within the
+    /// boundary extremes.
+    #[test]
+    fn maximum_principle_holds() {
+        let mut g = Grid::new(16, 16, 0.5, 0.0);
+        for j in 0..16 {
+            g.set(0, j, 1.0); // hot top edge
+        }
+        for _ in 0..500 {
+            g.step();
+        }
+        for i in 1..15 {
+            for j in 1..15 {
+                let v = g.get(i, j);
+                assert!((0.0..=1.0).contains(&v), "({i},{j}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn band_relaxation_matches_full_step() {
+        let mut a = Grid::new(9, 7, 0.0, 1.0);
+        a.set(3, 3, 9.0);
+        let b = a.clone();
+        let res_a = a.step();
+
+        // manual banded sweep on b
+        let ny = b.ny();
+        let src = b.front.clone();
+        let mut dst = b.back.clone();
+        let mut res_b = 0.0f64;
+        for (first, count) in b.row_bands(3) {
+            let band = &mut dst[first * ny..(first + count) * ny];
+            res_b = res_b.max(relax_band(&src, band, ny, first, count));
+        }
+        assert_eq!(&a.front[ny..a.front.len() - ny], &dst[ny..dst.len() - ny]);
+        assert!((res_a - res_b).abs() < 1e-15);
+    }
+
+    #[test]
+    fn partition_rows_covers_everything() {
+        for (n, parts) in [(54usize, 56usize), (54, 7), (1, 1), (10, 3)] {
+            let bands = partition_rows(n, parts);
+            assert_eq!(bands.len(), parts);
+            let total: usize = bands.iter().map(|&(_, l)| l).sum();
+            assert_eq!(total, n);
+            let mut cursor = 0;
+            for (start, len) in bands {
+                assert_eq!(start, cursor);
+                cursor += len;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "3×3")]
+    fn tiny_grid_rejected() {
+        let _ = Grid::new(2, 5, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! The exponential distribution.
+//!
+//! Used as a heavier-tailed alternative to the normal in the ablation
+//! experiments (how sensitive is the optimal tree degree to the paper's
+//! normality assumption?) and as the contention-delay model for the
+//! simulated KSR1 communication events.
+
+use crate::{Distribution, ParamError, Rng};
+
+/// Exponential distribution with rate `λ` (mean `1/λ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate `λ > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `rate` is not finite or not positive.
+    pub fn new(rate: f64) -> Result<Self, ParamError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(ParamError { what: "exponential rate must be finite and > 0" });
+        }
+        Ok(Self { rate })
+    }
+
+    /// Creates an exponential distribution with the given mean `> 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `mean` is not finite or not positive.
+    pub fn with_mean(mean: f64) -> Result<Self, ParamError> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(ParamError { what: "exponential mean must be finite and > 0" });
+        }
+        Self::new(1.0 / mean)
+    }
+
+    /// The rate parameter λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The mean `1/λ`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// The standard deviation (equal to the mean for an exponential).
+    pub fn std_dev(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+}
+
+impl Distribution<f64> for Exponential {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse transform on an open-interval uniform avoids ln(0).
+        -rng.next_f64_open().ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, Xoshiro256pp};
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::with_mean(0.0).is_err());
+    }
+
+    #[test]
+    fn with_mean_sets_rate() {
+        let e = Exponential::with_mean(4.0).unwrap();
+        assert!((e.rate() - 0.25).abs() < 1e-15);
+        assert!((e.mean() - 4.0).abs() < 1e-15);
+        assert!((e.std_dev() - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn samples_are_positive_with_correct_mean() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let e = Exponential::new(2.0).unwrap();
+        let n = 200_000usize;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = e.sample(&mut rng);
+            assert!(x > 0.0);
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn empirical_cdf_tracks_analytic() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let e = Exponential::with_mean(1.0).unwrap();
+        let n = 100_000usize;
+        let samples = e.sample_vec(&mut rng, n);
+        for x in [0.25f64, 0.5, 1.0, 2.0, 4.0] {
+            let emp = samples.iter().filter(|&&s| s <= x).count() as f64 / n as f64;
+            assert!((emp - e.cdf(x)).abs() < 0.006, "x = {x}: {emp} vs {}", e.cdf(x));
+        }
+    }
+
+    #[test]
+    fn cdf_at_nonpositive_is_zero() {
+        let e = Exponential::new(1.0).unwrap();
+        assert_eq!(e.cdf(0.0), 0.0);
+        assert_eq!(e.cdf(-1.0), 0.0);
+    }
+}

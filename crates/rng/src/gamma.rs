@@ -1,0 +1,240 @@
+//! Gamma and Weibull distributions.
+//!
+//! The machine model's communication total is a sum of exponentials —
+//! a Gamma — and queueing studies routinely need both families for
+//! service-time modelling. Gamma sampling uses the Marsaglia–Tsang
+//! squeeze (2000): for shape `α ≥ 1`, `d = α − 1/3`, `c = 1/√(9d)`,
+//! accept `d·v` with `v = (1 + c·z)³` under a log squeeze; shapes below
+//! 1 use the boosting identity `Γ(α) = Γ(α+1)·U^{1/α}`.
+
+use crate::{Distribution, Normal, ParamError, Rng};
+
+/// Gamma distribution with shape `α > 0` and scale `θ > 0`
+/// (mean `αθ`, variance `αθ²`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+    normal: Normal,
+}
+
+impl Gamma {
+    /// Creates a Gamma distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both parameters are finite and positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, ParamError> {
+        if !shape.is_finite() || shape <= 0.0 {
+            return Err(ParamError { what: "gamma shape must be finite and > 0" });
+        }
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(ParamError { what: "gamma scale must be finite and > 0" });
+        }
+        Ok(Self { shape, scale, normal: Normal::standard() })
+    }
+
+    /// The shape parameter α.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter θ.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Mean `αθ`.
+    pub fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    /// Variance `αθ²`.
+    pub fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    fn sample_shape_ge1<R: Rng + ?Sized>(&self, rng: &mut R, alpha: f64) -> f64 {
+        let d = alpha - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let z = self.normal.sample(rng);
+            let v = 1.0 + c * z;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u = rng.next_f64_open();
+            // squeeze then exact log test
+            if u < 1.0 - 0.0331 * z * z * z * z {
+                return d * v3;
+            }
+            if u.ln() < 0.5 * z * z + d * (1.0 - v3 + v3.ln()) {
+                return d * v3;
+            }
+        }
+    }
+}
+
+impl Distribution<f64> for Gamma {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let raw = if self.shape >= 1.0 {
+            self.sample_shape_ge1(rng, self.shape)
+        } else {
+            // boost: Γ(α) = Γ(α+1) · U^(1/α)
+            let g = self.sample_shape_ge1(rng, self.shape + 1.0);
+            g * rng.next_f64_open().powf(1.0 / self.shape)
+        };
+        raw * self.scale
+    }
+}
+
+/// Weibull distribution with scale `λ > 0` and shape `k > 0`.
+///
+/// `k < 1` gives a heavier-than-exponential tail, `k = 1` is
+/// exponential, `k > 1` is lighter-tailed — a convenient one-knob
+/// family for tail-sensitivity studies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    scale: f64,
+    shape: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both parameters are finite and positive.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, ParamError> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(ParamError { what: "weibull scale must be finite and > 0" });
+        }
+        if !shape.is_finite() || shape <= 0.0 {
+            return Err(ParamError { what: "weibull shape must be finite and > 0" });
+        }
+        Ok(Self { scale, shape })
+    }
+
+    /// CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-(x / self.scale).powf(self.shape)).exp()
+        }
+    }
+}
+
+impl Distribution<f64> for Weibull {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // inverse transform: λ·(−ln U)^{1/k}
+        self.scale * (-rng.next_f64_open().ln()).powf(1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kstest::ks_test;
+    use crate::{stats, Exponential, SeedableRng, Xoshiro256pp};
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, -1.0).is_err());
+        assert!(Gamma::new(f64::NAN, 1.0).is_err());
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn gamma_moments_match_for_various_shapes() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        for (shape, scale) in [(0.5f64, 2.0f64), (1.0, 1.5), (3.0, 0.5), (20.0, 1.0)] {
+            let g = Gamma::new(shape, scale).unwrap();
+            let n = 200_000usize;
+            let samples = g.sample_vec(&mut rng, n);
+            assert!(samples.iter().all(|&x| x > 0.0));
+            let mean = stats::mean(&samples);
+            let var = stats::std_dev(&samples).powi(2);
+            assert!(
+                ((mean - g.mean()) / g.mean()).abs() < 0.02,
+                "shape {shape}: mean {mean} vs {}",
+                g.mean()
+            );
+            assert!(
+                ((var - g.variance()) / g.variance()).abs() < 0.08,
+                "shape {shape}: var {var} vs {}",
+                g.variance()
+            );
+        }
+    }
+
+    /// Gamma(1, θ) is exponential: KS-test one against the other's CDF.
+    #[test]
+    fn gamma_shape_one_is_exponential() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let g = Gamma::new(1.0, 2.0).unwrap();
+        let e = Exponential::with_mean(2.0).unwrap();
+        let samples = g.sample_vec(&mut rng, 5_000);
+        let res = ks_test(&samples, |x| e.cdf(x));
+        assert!(res.consistent_at(0.01), "D = {}, p = {}", res.statistic, res.p_value);
+    }
+
+    /// Sum of k exponentials is Gamma(k): check the machine model's
+    /// implicit assumption directly.
+    #[test]
+    fn sum_of_exponentials_is_gamma() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let e = Exponential::with_mean(1.0).unwrap();
+        let k = 5usize;
+        let sums: Vec<f64> = (0..4_000)
+            .map(|_| (0..k).map(|_| e.sample(&mut rng)).sum::<f64>())
+            .collect();
+        // Gamma(5,1) CDF via the sample comparison: use KS against the
+        // Gamma CDF computed by numerical integration of the pdf.
+        let gamma_cdf = |x: f64| -> f64 {
+            if x <= 0.0 {
+                return 0.0;
+            }
+            // P(5, x) regularized via the series Σ x^j e^{-x} / j!
+            let mut term = (-x).exp();
+            let mut cum = term;
+            for j in 1..k {
+                term *= x / j as f64;
+                cum += term;
+            }
+            1.0 - cum
+        };
+        let res = ks_test(&sums, gamma_cdf);
+        assert!(res.consistent_at(0.01), "D = {}, p = {}", res.statistic, res.p_value);
+    }
+
+    #[test]
+    fn weibull_samples_match_cdf() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        for (scale, shape) in [(1.0f64, 0.7f64), (2.0, 1.0), (1.5, 3.0)] {
+            let w = Weibull::new(scale, shape).unwrap();
+            let samples = w.sample_vec(&mut rng, 5_000);
+            assert!(samples.iter().all(|&x| x > 0.0));
+            let res = ks_test(&samples, |x| w.cdf(x));
+            assert!(
+                res.consistent_at(0.01),
+                "scale {scale} shape {shape}: D = {}, p = {}",
+                res.statistic,
+                res.p_value
+            );
+        }
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let w = Weibull::new(3.0, 1.0).unwrap();
+        let e = Exponential::with_mean(3.0).unwrap();
+        for x in [0.5f64, 1.0, 3.0, 9.0] {
+            assert!((w.cdf(x) - e.cdf(x)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! One-sample Kolmogorov–Smirnov goodness-of-fit test.
+//!
+//! Used to *validate the paper's normality assumption inside this
+//! repository*: the simulator's arrival-time generators and the KSR1
+//! SOR iteration-time model are KS-tested against their intended
+//! distributions, and the distribution-shape ablation uses the
+//! statistic to quantify how far from normal the alternatives are.
+
+/// Result of a one-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D_n = sup |F_n(x) − F(x)|`.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution; accurate for
+    /// `n ≳ 35`).
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl KsResult {
+    /// Whether the sample is consistent with the hypothesized
+    /// distribution at the given significance level (e.g. 0.01).
+    pub fn consistent_at(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Runs the one-sample KS test of `data` against the CDF `cdf`.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or contains NaN.
+pub fn ks_test<F: Fn(f64) -> f64>(data: &[f64], cdf: F) -> KsResult {
+    assert!(!data.is_empty(), "KS test needs data");
+    let mut sorted: Vec<f64> = data.to_vec();
+    assert!(sorted.iter().all(|x| !x.is_nan()), "KS test data must not contain NaN");
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    let nf = n as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x).clamp(0.0, 1.0);
+        // empirical CDF jumps from i/n to (i+1)/n at x
+        let d_plus = ((i + 1) as f64 / nf - f).abs();
+        let d_minus = (f - i as f64 / nf).abs();
+        d = d.max(d_plus).max(d_minus);
+    }
+    KsResult { statistic: d, p_value: kolmogorov_sf(nf.sqrt() * d), n }
+}
+
+/// Survival function of the Kolmogorov distribution:
+/// `Q(t) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2 k² t²)`.
+pub fn kolmogorov_sf(t: f64) -> f64 {
+    if t <= 0.0 {
+        return 1.0;
+    }
+    if t > 8.0 {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    let mut sign = 1.0f64;
+    for k in 1..=100u32 {
+        let term = (-2.0 * (k as f64) * (k as f64) * t * t).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-16 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::special::normal_cdf;
+    use crate::{Distribution, Exponential, Normal, Rng, SeedableRng, Xoshiro256pp};
+
+    #[test]
+    fn kolmogorov_sf_reference_points() {
+        // Known values: Q(1.2238) ≈ 0.10, Q(1.3581) ≈ 0.05,
+        // Q(1.6276) ≈ 0.01 (classical critical values).
+        assert!((kolmogorov_sf(1.2238) - 0.10).abs() < 0.002);
+        assert!((kolmogorov_sf(1.3581) - 0.05).abs() < 0.002);
+        assert!((kolmogorov_sf(1.6276) - 0.01).abs() < 0.002);
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert_eq!(kolmogorov_sf(9.0), 0.0);
+    }
+
+    #[test]
+    fn normal_samples_pass_against_normal_cdf() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let d = Normal::standard();
+        let data = d.sample_vec(&mut rng, 5_000);
+        let res = ks_test(&data, normal_cdf);
+        assert!(res.consistent_at(0.01), "D = {}, p = {}", res.statistic, res.p_value);
+    }
+
+    #[test]
+    fn ziggurat_samples_pass_against_normal_cdf() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let z = crate::ZigguratNormal::new();
+        let data: Vec<f64> = (0..5_000).map(|_| z.sample(&mut rng)).collect();
+        let res = ks_test(&data, normal_cdf);
+        assert!(res.consistent_at(0.01), "D = {}, p = {}", res.statistic, res.p_value);
+    }
+
+    #[test]
+    fn exponential_samples_fail_against_normal_cdf() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let e = Exponential::with_mean(1.0).unwrap();
+        let data = e.sample_vec(&mut rng, 5_000);
+        // standardize to mean 0 / sd 1 so only the *shape* differs
+        let m = crate::stats::mean(&data);
+        let s = crate::stats::std_dev(&data);
+        let std_data: Vec<f64> = data.iter().map(|&x| (x - m) / s).collect();
+        let res = ks_test(&std_data, normal_cdf);
+        assert!(!res.consistent_at(0.01), "exponential should be detected, p = {}", res.p_value);
+    }
+
+    #[test]
+    fn uniform_data_against_uniform_cdf_is_consistent() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let data: Vec<f64> = (0..3_000).map(|_| rng.next_f64()).collect();
+        let res = ks_test(&data, |x| x.clamp(0.0, 1.0));
+        assert!(res.consistent_at(0.01));
+        assert_eq!(res.n, 3_000);
+    }
+
+    #[test]
+    fn shifted_data_is_rejected() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let d = Normal::new(0.5, 1.0).unwrap(); // half a σ off
+        let data = d.sample_vec(&mut rng, 5_000);
+        let res = ks_test(&data, normal_cdf);
+        assert!(!res.consistent_at(0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs data")]
+    fn empty_data_panics() {
+        let _ = ks_test(&[], |x| x);
+    }
+}

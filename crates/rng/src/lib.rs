@@ -1,0 +1,275 @@
+//! Deterministic pseudo-random number generation, probability
+//! distributions, special functions, and descriptive statistics for the
+//! `combar` barrier-synchronization study.
+//!
+//! The crate is a from-scratch substitute for `rand` + `rand_distr` +
+//! `statrs`, providing exactly what the paper's analytic model
+//! (Eichenberger & Abraham, ICPP 1995) and its event-driven simulations
+//! need:
+//!
+//! * fast, reproducible generators ([`SplitMix64`], [`Xoshiro256pp`],
+//!   [`Pcg32`]) with explicit seeding and stream splitting;
+//! * a ziggurat fast path for standard normals ([`ZigguratNormal`]),
+//!   cross-validated against the polar method;
+//! * distributions of processor execution times: [`Normal`] (the paper's
+//!   central assumption), plus [`Exponential`], [`LogNormal`] and
+//!   [`Pareto`] for tail-sensitivity ablations;
+//! * the standard normal CDF `Φ` and its inverse `Φ⁻¹`
+//!   ([`special::normal_cdf`], [`special::normal_quantile`]) used by
+//!   Equation (4) of the paper;
+//! * order statistics of i.i.d. normal samples ([`order_stats`]),
+//!   including the asymptotic expected-maximum of Equation (5) and an
+//!   exact quadrature for validation;
+//! * streaming summary statistics ([`stats::OnlineStats`]) and fixed-bin
+//!   [`Histogram`]s for simulation outputs.
+//!
+//! # Determinism
+//!
+//! Every generator is a pure function of its seed. All simulations in the
+//! workspace thread explicit seeds so that every experiment table can be
+//! regenerated bit-for-bit.
+//!
+//! # Example
+//!
+//! ```
+//! use combar_rng::{Rng, SeedableRng, Xoshiro256pp, Normal, Distribution};
+//!
+//! let mut rng = Xoshiro256pp::seed_from_u64(42);
+//! let normal = Normal::new(0.0, 250.0).unwrap(); // σ = 250 µs arrival spread
+//! let arrival = normal.sample(&mut rng);
+//! assert!(arrival.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exponential;
+pub mod gamma;
+pub mod histogram;
+pub mod kstest;
+pub mod lognormal;
+pub mod normal;
+pub mod order_stats;
+pub mod pareto;
+pub mod pcg;
+pub mod special;
+pub mod splitmix;
+pub mod stats;
+pub mod uniform;
+pub mod xoshiro;
+pub mod ziggurat;
+
+pub use exponential::Exponential;
+pub use gamma::{Gamma, Weibull};
+pub use histogram::Histogram;
+pub use kstest::{ks_test, KsResult};
+pub use lognormal::LogNormal;
+pub use normal::Normal;
+pub use pareto::Pareto;
+pub use pcg::Pcg32;
+pub use splitmix::SplitMix64;
+pub use stats::OnlineStats;
+pub use uniform::{Uniform, UniformInt};
+pub use xoshiro::Xoshiro256pp;
+pub use ziggurat::ZigguratNormal;
+
+/// Core source of randomness: a stream of uniformly distributed `u64`s.
+///
+/// All provided methods are derived deterministically from
+/// [`Rng::next_u64`], so two generators producing identical `u64`
+/// streams behave identically through every helper.
+pub trait Rng {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed random bits.
+    ///
+    /// Uses the high half of [`Rng::next_u64`], which has the best
+    /// statistical quality for the generators in this crate.
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)` with 53 bits of
+    /// precision.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        // 53 high bits / 2^53: the standard full-precision conversion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniformly distributed `f64` in the open interval
+    /// `(0, 1)`, suitable for transforms that must avoid `ln(0)`.
+    #[inline]
+    fn next_f64_open(&mut self) -> f64 {
+        // 52 random mantissa bits + 0.5 ulp offset keeps the value
+        // strictly inside (0, 1).
+        ((self.next_u64() >> 12) as f64 + 0.5) * (1.0 / (1u64 << 52) as f64)
+    }
+
+    /// Returns a uniformly distributed integer in `[0, bound)` using
+    /// Lemire's unbiased multiply-shift rejection method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below: bound must be positive");
+        // Lemire 2019: multiply a 64-bit variate by the bound and keep
+        // the high word; reject the small biased region of the low word.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniformly distributed `usize` index in `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    #[inline]
+    fn next_index(&mut self, len: usize) -> usize {
+        self.next_below(len as u64) as usize
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Shuffles a slice in place with the Fisher–Yates algorithm.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a single `u64` seed.
+    ///
+    /// Implementations expand the seed through [`SplitMix64`] so that
+    /// nearby seeds (0, 1, 2, …) yield statistically independent states.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Derives an independent child generator for a parallel stream.
+    ///
+    /// The `(seed, stream)` pair is hashed into a fresh seed, so
+    /// `split(s, a)` and `split(s, b)` are decorrelated for `a != b`.
+    fn split(seed: u64, stream: u64) -> Self {
+        // A two-word mix based on SplitMix64's finalizer.
+        let mut sm = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(stream | 1));
+        let s = sm.next_u64() ^ stream.rotate_left(32);
+        Self::seed_from_u64(s)
+    }
+}
+
+/// A probability distribution that can be sampled with any [`Rng`].
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+
+    /// Draws `n` samples into a fresh vector.
+    fn sample_vec<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<T> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Error type for invalid distribution parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError {
+    /// Human-readable description of which parameter was invalid.
+    pub what: &'static str,
+}
+
+impl core::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_f64_open_avoids_endpoints() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = rng.next_f64_open();
+            assert!(x > 0.0 && x < 1.0);
+        }
+    }
+
+    #[test]
+    fn next_below_stays_in_range_and_covers() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            let v = rng.next_below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let _ = rng.next_below(0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move elements");
+    }
+
+    #[test]
+    fn split_streams_differ() {
+        let mut a = Xoshiro256pp::split(7, 0);
+        let mut b = Xoshiro256pp::split(7, 1);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn next_bool_respects_probability_extremes() {
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        for _ in 0..100 {
+            assert!(!rng.next_bool(0.0));
+            assert!(rng.next_bool(1.0));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! The log-normal distribution.
+//!
+//! Models multiplicative execution-time noise (a skewed alternative to
+//! the paper's normal assumption used in the distribution-shape
+//! ablation).
+
+use crate::{Distribution, Normal, ParamError, Rng};
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogNormal {
+    underlying: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with the given parameters of the underlying
+    /// normal (`mu`, `sigma`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying normal parameters are invalid.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        Ok(Self { underlying: Normal::new(mu, sigma)? })
+    }
+
+    /// Creates a log-normal whose *own* mean and standard deviation are
+    /// the given values, by inverting the moment equations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `mean > 0` and `std_dev >= 0`.
+    pub fn from_mean_std(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(ParamError { what: "lognormal mean must be finite and > 0" });
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(ParamError { what: "lognormal std_dev must be finite and >= 0" });
+        }
+        let cv2 = (std_dev / mean).powi(2);
+        let sigma2 = (1.0 + cv2).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        Self::new(mu, sigma2.sqrt())
+    }
+
+    /// Mean of the log-normal itself.
+    pub fn mean(&self) -> f64 {
+        let m = self.underlying.mean();
+        let s2 = self.underlying.std_dev().powi(2);
+        (m + s2 / 2.0).exp()
+    }
+
+    /// Variance of the log-normal itself.
+    pub fn variance(&self) -> f64 {
+        let s2 = self.underlying.std_dev().powi(2);
+        (s2.exp() - 1.0) * self.mean().powi(2)
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.underlying.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, Xoshiro256pp};
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::from_mean_std(0.0, 1.0).is_err());
+        assert!(LogNormal::from_mean_std(1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn from_mean_std_recovers_target_moments() {
+        let d = LogNormal::from_mean_std(10.0, 3.0).unwrap();
+        assert!((d.mean() - 10.0).abs() < 1e-10, "mean = {}", d.mean());
+        assert!((d.variance().sqrt() - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn samples_are_positive_and_match_moments() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let d = LogNormal::from_mean_std(5.0, 1.0).unwrap();
+        let n = 200_000usize;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            assert!(x > 0.0);
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.03, "mean = {mean}");
+    }
+}

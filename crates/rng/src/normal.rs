@@ -1,0 +1,187 @@
+//! The normal (Gaussian) distribution.
+//!
+//! The paper's central modelling assumption — supported by the
+//! measurements it cites (Adve & Vernon; Eichenberger & Abraham's
+//! companion study) — is that processor execution times are normally
+//! distributed. Sampling uses the Marsaglia polar method, which needs no
+//! tables and produces two variates per acceptance.
+
+use crate::special::{normal_cdf, normal_quantile};
+use crate::{Distribution, ParamError, Rng};
+use std::cell::Cell;
+
+/// Normal distribution `N(mean, std_dev²)`.
+///
+/// The sampler caches the second variate of each polar-method pair in a
+/// `Cell`, so sampling alternates between one-and-a-bit and zero uniform
+/// draws. Cloning a `Normal` clears no state besides that cache; two
+/// clones sample identically when driven by identical generators only if
+/// their caches start equal, so `spare` is deliberately excluded from
+/// `PartialEq`.
+#[derive(Debug, Clone)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+    spare: Cell<Option<f64>>,
+}
+
+impl PartialEq for Normal {
+    fn eq(&self, other: &Self) -> bool {
+        self.mean == other.mean && self.std_dev == other.std_dev
+    }
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// `std_dev == 0` is allowed and yields the degenerate point mass at
+    /// `mean` — the paper's "all processors arrive simultaneously" case.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `mean` is not finite, or `std_dev` is
+    /// negative or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if !mean.is_finite() {
+            return Err(ParamError { what: "normal mean must be finite" });
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(ParamError { what: "normal std_dev must be finite and >= 0" });
+        }
+        Ok(Self { mean, std_dev, spare: Cell::new(None) })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self { mean: 0.0, std_dev: 1.0, spare: Cell::new(None) }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.std_dev == 0.0 {
+            return if x < self.mean { 0.0 } else { 1.0 };
+        }
+        normal_cdf((x - self.mean) / self.std_dev)
+    }
+
+    /// Quantile (inverse CDF) at probability `p`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.mean + self.std_dev * normal_quantile(p)
+    }
+
+    /// Draws a standard normal variate via the Marsaglia polar method.
+    fn sample_standard<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        loop {
+            let u = 2.0 * rng.next_f64() - 1.0;
+            let v = 2.0 * rng.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare.set(Some(v * factor));
+                return u * factor;
+            }
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.std_dev == 0.0 {
+            return self.mean;
+        }
+        self.mean + self.std_dev * self.sample_standard(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, Xoshiro256pp};
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn zero_sigma_is_point_mass() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let n = Normal::new(5.0, 0.0).unwrap();
+        for _ in 0..100 {
+            assert_eq!(n.sample(&mut rng), 5.0);
+        }
+        assert_eq!(n.cdf(4.999), 0.0);
+        assert_eq!(n.cdf(5.0), 1.0);
+    }
+
+    #[test]
+    fn sample_moments_match_parameters() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let dist = Normal::new(3.0, 2.0).unwrap();
+        let n = 200_000usize;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = dist.sample(&mut rng);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - 3.0).abs() < 0.02, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.06, "var = {var}");
+    }
+
+    #[test]
+    fn empirical_cdf_tracks_analytic_cdf() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let dist = Normal::standard();
+        let n = 100_000usize;
+        let samples = dist.sample_vec(&mut rng, n);
+        for z in [-1.5f64, -0.5, 0.0, 0.5, 1.5] {
+            let emp = samples.iter().filter(|&&x| x <= z).count() as f64 / n as f64;
+            let ana = dist.cdf(z);
+            assert!(
+                (emp - ana).abs() < 0.006,
+                "z = {z}: empirical {emp} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_round_trips_cdf() {
+        let dist = Normal::new(-1.0, 3.0).unwrap();
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            let x = dist.quantile(p);
+            assert!((dist.cdf(x) - p).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn spare_cache_does_not_break_determinism() {
+        let d1 = Normal::standard();
+        let d2 = Normal::standard();
+        let mut r1 = Xoshiro256pp::seed_from_u64(4);
+        let mut r2 = Xoshiro256pp::seed_from_u64(4);
+        let a: Vec<f64> = (0..1000).map(|_| d1.sample(&mut r1)).collect();
+        let b: Vec<f64> = (0..1000).map(|_| d2.sample(&mut r2)).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,119 @@
+//! The Pareto distribution.
+//!
+//! A power-law-tailed execution-time model for stress-testing the
+//! optimal-degree result: if a few processors are *extremely* late, the
+//! contention argument for deep trees collapses even faster than under
+//! the paper's normal assumption.
+
+use crate::{Distribution, ParamError, Rng};
+
+/// Pareto (Type I) distribution with scale `x_m > 0` and shape `α > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution with scale `x_m` and shape `α`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both parameters are finite and positive.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, ParamError> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(ParamError { what: "pareto scale must be finite and > 0" });
+        }
+        if !shape.is_finite() || shape <= 0.0 {
+            return Err(ParamError { what: "pareto shape must be finite and > 0" });
+        }
+        Ok(Self { scale, shape })
+    }
+
+    /// The scale parameter `x_m` (minimum possible value).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The shape parameter `α`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Mean, or `∞` when `α <= 1`.
+    pub fn mean(&self) -> f64 {
+        if self.shape <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.shape * self.scale / (self.shape - 1.0)
+        }
+    }
+
+    /// CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < self.scale {
+            0.0
+        } else {
+            1.0 - (self.scale / x).powf(self.shape)
+        }
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse transform: x_m · U^(−1/α) on U ∈ (0, 1).
+        self.scale * rng.next_f64_open().powf(-1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, Xoshiro256pp};
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+        assert!(Pareto::new(-1.0, 2.0).is_err());
+        assert!(Pareto::new(1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn samples_never_fall_below_scale() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let d = Pareto::new(2.0, 3.0).unwrap();
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn mean_matches_formula_for_alpha_above_one() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let d = Pareto::new(1.0, 3.0).unwrap();
+        // analytic mean = 3/2
+        let n = 300_000usize;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - d.mean()).abs() < 0.01, "mean = {mean} vs {}", d.mean());
+    }
+
+    #[test]
+    fn infinite_mean_when_alpha_at_most_one() {
+        let d = Pareto::new(1.0, 1.0).unwrap();
+        assert!(d.mean().is_infinite());
+    }
+
+    #[test]
+    fn empirical_cdf_tracks_analytic() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let d = Pareto::new(1.0, 2.0).unwrap();
+        let n = 100_000usize;
+        let samples = d.sample_vec(&mut rng, n);
+        for x in [1.2f64, 1.5, 2.0, 4.0] {
+            let emp = samples.iter().filter(|&&s| s <= x).count() as f64 / n as f64;
+            assert!((emp - d.cdf(x)).abs() < 0.006);
+        }
+    }
+}

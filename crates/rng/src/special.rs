@@ -1,0 +1,323 @@
+//! Special functions for the normal distribution.
+//!
+//! The analytic barrier model (Equation 4 of the paper) maps the fraction
+//! of earlier-arriving processors through the inverse normal CDF `Φ⁻¹`;
+//! this module provides `erf`, `erfc`, `Φ`, the normal PDF, and a
+//! high-accuracy `Φ⁻¹` (Acklam's rational approximation polished with one
+//! Halley step, giving ~1e-15 relative accuracy over the open unit
+//! interval).
+
+/// 1/√(2π), the normalizing constant of the standard normal PDF.
+pub const FRAC_1_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+
+/// √2.
+pub const SQRT_2: f64 = std::f64::consts::SQRT_2;
+
+/// Series kernel for `erf(x)`, valid for `0 ≤ x ≲ 2.6`.
+///
+/// Maclaurin series `erf(x) = 2/√π · Σ (−1)ⁿ x^{2n+1} / (n!(2n+1))`.
+/// The alternating series loses ~`x²/ln 10` digits to cancellation, so
+/// we only use it below the crossover where the continued fraction for
+/// `erfc` takes over.
+fn erf_series(x: f64) -> f64 {
+    debug_assert!((0.0..=2.75).contains(&x));
+    let two_over_sqrt_pi = std::f64::consts::FRAC_2_SQRT_PI;
+    let x2 = x * x;
+    let mut term = x;
+    let mut sum = x;
+    let mut n = 1u32;
+    loop {
+        term *= -x2 / n as f64;
+        let contrib = term / (2 * n + 1) as f64;
+        let new_sum = sum + contrib;
+        if new_sum == sum {
+            break;
+        }
+        sum = new_sum;
+        n += 1;
+    }
+    two_over_sqrt_pi * sum
+}
+
+/// Continued-fraction kernel for `erfc(x)`, valid for `x ≳ 2.6`.
+///
+/// Uses the classical expansion
+/// `x·√π·e^{x²}·erfc(x) = 1/(1 + u/(1 + 2u/(1 + 3u/(1 + …))))` with
+/// `u = 1/(2x²)`, evaluated with the modified Lentz algorithm. For
+/// `x ≥ 2.6` (`u ≤ 0.074`) it converges to full double precision in a
+/// few dozen iterations.
+fn erfc_cf(x: f64) -> f64 {
+    debug_assert!(x >= 2.5);
+    let u = 1.0 / (2.0 * x * x);
+    let tiny = 1e-300;
+    // Lentz on f = b0 + a1/(b1 + a2/(b2 + …)) with b0 = 0, a1 = 1,
+    // b_n = 1 for n ≥ 1, a_n = (n−1)·u for n ≥ 2.
+    let mut f = tiny;
+    let mut c = f;
+    let mut d = 0.0f64;
+    for n in 1..=200u32 {
+        let a = if n == 1 { 1.0 } else { (n - 1) as f64 * u };
+        let b = 1.0;
+        d = b + a * d;
+        if d == 0.0 {
+            d = tiny;
+        }
+        c = b + a / c;
+        if c == 0.0 {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let delta = c * d;
+        f *= delta;
+        if (delta - 1.0).abs() < 1e-17 {
+            break;
+        }
+    }
+    let sqrt_pi = 1.772_453_850_905_516_f64;
+    (-x * x).exp() / (x * sqrt_pi) * f
+}
+
+/// The error function `erf(x)`, accurate to ≲1e-13 absolute error.
+pub fn erf(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x < 0.0 {
+        return -erf(-x);
+    }
+    if x < 2.6 {
+        erf_series(x)
+    } else {
+        1.0 - erfc_cf(x)
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// Relative accuracy is ≲1e-11 in the worst part of the mid-range
+/// (`x ≈ 2.5`, where the series hand-off loses a few digits) and close
+/// to machine precision in the far tail; it does not underflow until
+/// `x ≈ 26.5`, so extreme order-statistic tail probabilities stay
+/// meaningful.
+pub fn erfc(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    if x < 2.6 {
+        1.0 - erf_series(x)
+    } else {
+        erfc_cf(x)
+    }
+}
+
+/// The standard normal probability density function φ(x).
+#[inline]
+pub fn normal_pdf(x: f64) -> f64 {
+    FRAC_1_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// The standard normal cumulative distribution function Φ(x).
+#[inline]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / SQRT_2)
+}
+
+/// The inverse standard normal CDF `Φ⁻¹(p)` (the probit function).
+///
+/// Implements Peter Acklam's rational approximation (|relative error| <
+/// 1.15e-9) refined by a single Halley iteration, which brings the
+/// result to within a few ulps across `p ∈ (0, 1)`.
+///
+/// Returns `-∞` for `p == 0`, `+∞` for `p == 1`, and `NaN` outside
+/// `[0, 1]`.
+pub fn normal_quantile(p: f64) -> f64 {
+    if p.is_nan() || !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley step: e = Φ(x) − p; x ← x − 2e/(2φ(x)·... ) using
+    // u = e·√(2π)·exp(x²/2), x ← x − u/(1 + x·u/2).
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (0.5 * x * x).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// High-precision reference values (Mathematica / Wolfram Alpha).
+    #[test]
+    fn erf_reference_values() {
+        let cases = [
+            (0.0, 0.0),
+            (0.1, 0.112_462_916_018_284_89),
+            (0.5, 0.520_499_877_813_046_5),
+            (1.0, 0.842_700_792_949_714_9),
+            (2.0, 0.995_322_265_018_952_7),
+            (3.0, 0.999_977_909_503_001_4),
+            (-1.0, -0.842_700_792_949_714_9),
+        ];
+        for (x, want) in cases {
+            let got = erf(x);
+            assert!(
+                (got - want).abs() < 1e-13,
+                "erf({x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn erfc_reference_values() {
+        let cases = [
+            (0.5, 0.479_500_122_186_953_5),
+            (1.0, 0.157_299_207_050_285_13),
+            (2.0, 4.677_734_981_047_266e-3),
+            (4.0, 1.541_725_790_028_002e-8),
+            (6.0, 2.151_973_671_249_892e-17),
+        ];
+        for (x, want) in cases {
+            let got = erfc(x);
+            assert!(
+                ((got - want) / want).abs() < 1e-11,
+                "erfc({x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn erf_plus_erfc_is_one() {
+        for i in 0..200 {
+            let x = -5.0 + i as f64 * 0.05;
+            let s = erf(x) + erfc(x);
+            assert!((s - 1.0).abs() < 1e-13, "x = {x}: erf+erfc = {s}");
+        }
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        let cases = [
+            (0.0, 0.5),
+            (1.0, 0.841_344_746_068_542_9),
+            (-1.0, 0.158_655_253_931_457_05),
+            (1.959_963_984_540_054, 0.975),
+            (3.0, 0.998_650_101_968_369_9),
+        ];
+        for (x, want) in cases {
+            let got = normal_cdf(x);
+            assert!(
+                (got - want).abs() < 1e-12,
+                "Φ({x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for i in 1..999 {
+            let p = i as f64 / 1000.0;
+            let x = normal_quantile(p);
+            let back = normal_cdf(x);
+            assert!(
+                (back - p).abs() < 1e-12,
+                "Φ(Φ⁻¹({p})) = {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_extreme_tails() {
+        // Deep tails should still round-trip with small relative error.
+        for &p in &[1e-10, 1e-8, 1e-6, 1.0 - 1e-6, 1.0 - 1e-10] {
+            let x = normal_quantile(p);
+            let back = normal_cdf(x);
+            assert!(
+                ((back - p) / p.min(1.0 - p)).abs() < 1e-6,
+                "p = {p}: x = {x}, Φ(x) = {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        assert_eq!(normal_quantile(0.0), f64::NEG_INFINITY);
+        assert_eq!(normal_quantile(1.0), f64::INFINITY);
+        assert!(normal_quantile(-0.1).is_nan());
+        assert!(normal_quantile(1.1).is_nan());
+        assert!(normal_quantile(f64::NAN).is_nan());
+        assert_eq!(normal_quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_known_points() {
+        // Classic z-values.
+        assert!((normal_quantile(0.975) - 1.959_963_984_540_054).abs() < 1e-9);
+        assert!((normal_quantile(0.841_344_746_068_542_9) - 1.0).abs() < 1e-9);
+        assert!((normal_quantile(0.998_650_101_968_369_9) - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn pdf_is_symmetric_and_normalized_at_zero() {
+        assert!((normal_pdf(0.0) - FRAC_1_SQRT_2PI).abs() < 1e-16);
+        for i in 0..50 {
+            let x = i as f64 * 0.1;
+            assert!((normal_pdf(x) - normal_pdf(-x)).abs() < 1e-16);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! SplitMix64: a tiny, fast generator used for seed expansion.
+//!
+//! SplitMix64 (Steele, Lea & Flood, OOPSLA 2014) passes BigCrush and has
+//! a full 2⁶⁴ period. Its main role in this crate is turning a single
+//! `u64` seed into well-mixed state words for the larger generators, but
+//! it is a perfectly serviceable generator in its own right.
+
+use crate::{Rng, SeedableRng};
+
+/// The SplitMix64 generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator with the given raw state.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the current raw state (useful for checkpointing).
+    #[inline]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Rng for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    #[inline]
+    fn seed_from_u64(seed: u64) -> Self {
+        Self::new(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The first output is the SplitMix64 finalizer applied to
+    /// `seed + GOLDEN_GAMMA`; check it against an independent inline
+    /// transcription of the published algorithm.
+    #[test]
+    fn matches_published_algorithm() {
+        fn reference(seed: u64) -> u64 {
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        for seed in [0u64, 1, 0x1234_5678, u64::MAX] {
+            let mut rng = SplitMix64::new(seed);
+            assert_eq!(rng.next_u64(), reference(seed));
+        }
+    }
+
+    /// Uniformity sanity check: the mean of many `next_f64` draws is
+    /// close to 1/2 (standard error ≈ 0.289/√n).
+    #[test]
+    fn unit_mean_is_near_half() {
+        let mut rng = SplitMix64::new(2024);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean = {mean}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(99);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(99);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = SplitMix64::new(0);
+        let mut b = SplitMix64::new(1);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn state_advances() {
+        let mut r = SplitMix64::new(5);
+        let s0 = r.state();
+        let _ = r.next_u64();
+        assert_ne!(s0, r.state());
+    }
+}

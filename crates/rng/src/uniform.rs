@@ -1,0 +1,121 @@
+//! Uniform distributions over real intervals and integer ranges.
+
+use crate::{Distribution, ParamError, Rng};
+
+/// Uniform distribution over the half-open real interval `[low, high)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    low: f64,
+    span: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution over `[low, high)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the bounds are not finite or `low >= high`.
+    pub fn new(low: f64, high: f64) -> Result<Self, ParamError> {
+        if !low.is_finite() || !high.is_finite() {
+            return Err(ParamError { what: "uniform bounds must be finite" });
+        }
+        if low >= high {
+            return Err(ParamError { what: "uniform requires low < high" });
+        }
+        Ok(Self { low, span: high - low })
+    }
+
+    /// Lower bound of the support.
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// Upper bound of the support.
+    pub fn high(&self) -> f64 {
+        self.low + self.span
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.low + self.span * rng.next_f64()
+    }
+}
+
+/// Uniform distribution over the integer range `[low, high)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformInt {
+    low: i64,
+    width: u64,
+}
+
+impl UniformInt {
+    /// Creates a uniform integer distribution over `[low, high)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `low >= high`.
+    pub fn new(low: i64, high: i64) -> Result<Self, ParamError> {
+        if low >= high {
+            return Err(ParamError { what: "uniform int requires low < high" });
+        }
+        Ok(Self { low, width: high.wrapping_sub(low) as u64 })
+    }
+}
+
+impl Distribution<i64> for UniformInt {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        self.low.wrapping_add(rng.next_below(self.width) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, Xoshiro256pp};
+
+    #[test]
+    fn rejects_bad_bounds() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NAN, 1.0).is_err());
+        assert!(Uniform::new(0.0, f64::INFINITY).is_err());
+        assert!(UniformInt::new(3, 3).is_err());
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let u = Uniform::new(-2.5, 7.5).unwrap();
+        for _ in 0..10_000 {
+            let x = u.sample(&mut rng);
+            assert!((-2.5..7.5).contains(&x));
+        }
+        let ui = UniformInt::new(-3, 4).unwrap();
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            let v = ui.sample(&mut rng);
+            assert!((-3..4).contains(&v));
+            seen[(v + 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn mean_matches_midpoint() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let u = Uniform::new(10.0, 20.0).unwrap();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| u.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 15.0).abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let u = Uniform::new(1.0, 9.0).unwrap();
+        assert_eq!(u.low(), 1.0);
+        assert_eq!(u.high(), 9.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Xoshiro256++: the workspace's default general-purpose generator.
+//!
+//! Xoshiro256++ (Blackman & Vigna, 2019) has 256 bits of state, a period
+//! of 2²⁵⁶ − 1, passes BigCrush, and is one rotate/add/xor round per
+//! output — well suited to simulations that draw millions of arrival
+//! times.
+
+use crate::{Rng, SeedableRng, SplitMix64};
+
+/// The xoshiro256++ generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Creates a generator from four raw state words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all four words are zero (the all-zero state is the one
+    /// fixed point of the transition function and would emit only
+    /// zeros).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256++ state must not be all-zero"
+        );
+        Self { s }
+    }
+
+    /// Returns the raw state words (useful for checkpointing).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// The 2¹²⁸-step jump, giving 2¹²⁸ non-overlapping subsequences.
+    ///
+    /// Calling `jump` on a clone yields a stream guaranteed not to
+    /// overlap the parent for 2¹²⁸ outputs — an alternative to
+    /// [`SeedableRng::split`] when overlap must be provably impossible.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180e_c6d3_3cfd_0aba,
+            0xd5a6_1266_f0c9_392c,
+            0xa958_2618_e03f_c9aa,
+            0x39ab_dc45_29b1_661c,
+        ];
+        let mut t = [0u64; 4];
+        for &word in &JUMP {
+            for b in 0..64 {
+                if word & (1u64 << b) != 0 {
+                    t[0] ^= self.s[0];
+                    t[1] ^= self.s[1];
+                    t[2] ^= self.s[2];
+                    t[3] ^= self.s[3];
+                }
+                let _ = self.next_u64();
+            }
+        }
+        self.s = t;
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256pp {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        // SplitMix64 output is never all-zero across four consecutive
+        // words for any seed, but keep the guard for safety.
+        Self::from_state(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Xoshiro256pp::seed_from_u64(77);
+        let mut b = Xoshiro256pp::seed_from_u64(77);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn zero_state_rejected() {
+        let _ = Xoshiro256pp::from_state([0; 4]);
+    }
+
+    #[test]
+    fn jump_produces_disjoint_prefix() {
+        let base = Xoshiro256pp::seed_from_u64(3);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        b.jump();
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    /// First outputs for the all-ones-ish state [1,2,3,4]: computed by an
+    /// independent transcription of the reference algorithm, guarding the
+    /// rotate/shift constants against typos.
+    #[test]
+    fn matches_reference_round() {
+        fn reference_round(s: &mut [u64; 4]) -> u64 {
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+        let mut state = [1u64, 2, 3, 4];
+        let mut rng = Xoshiro256pp::from_state(state);
+        for _ in 0..16 {
+            assert_eq!(rng.next_u64(), reference_round(&mut state));
+        }
+    }
+
+    #[test]
+    fn unit_mean_and_variance_are_uniform_like() {
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
+        let n = 200_000usize;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = rng.next_f64();
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - 0.5).abs() < 0.005, "mean = {mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.005, "var = {var}");
+    }
+}

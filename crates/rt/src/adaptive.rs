@@ -1,0 +1,276 @@
+//! An adaptive-degree barrier.
+//!
+//! The paper closes Section 8 noting that its analytic model "indicates
+//! the feasibility of barriers that would adapt their degree at run
+//! time to minimize their synchronization delay". This module builds
+//! that barrier: it measures the arrival-time spread σ̂ over a window of
+//! episodes and switches between prebuilt combining trees of candidate
+//! degrees according to a pluggable policy (the `combar` core crate
+//! supplies the paper's analytic model as that policy).
+//!
+//! # Agreement without a leader
+//!
+//! All threads must use the *same* tree in every episode or the barrier
+//! deadlocks. Instead of electing a reconfiguring leader, every thread
+//! recomputes the decision independently from identical inputs:
+//! arrival timestamps are written to per-thread slots, double-buffered
+//! by window parity, so during window `w` every thread reads the
+//! *complete, frozen* slots of window `w−1` (the final barrier of
+//! window `w−1` orders all writes before any window-`w` read) and runs
+//! the same deterministic float computation — hence every thread picks
+//! the same tree.
+
+use crate::pad::CachePadded;
+use crate::tree::{TreeBarrier, TreeWaiter};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Chooses a tree degree from the measured arrival spread.
+///
+/// Arguments: σ̂ in microseconds, thread count. The returned degree is
+/// mapped to the nearest candidate.
+pub type DegreePolicy = Box<dyn Fn(f64, u32) -> u32 + Send + Sync>;
+
+/// An adaptive-degree combining-tree barrier.
+pub struct AdaptiveBarrier {
+    trees: Vec<TreeBarrier>,
+    degrees: Vec<u32>,
+    /// `slots[parity][tid]`: arrival timestamp (ns bits) for the window
+    /// with that parity.
+    slots: [Vec<CachePadded<AtomicU64>>; 2],
+    policy: DegreePolicy,
+    window: u32,
+    start: Instant,
+    p: u32,
+    initial_idx: usize,
+}
+
+impl std::fmt::Debug for AdaptiveBarrier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveBarrier")
+            .field("degrees", &self.degrees)
+            .field("window", &self.window)
+            .field("p", &self.p)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AdaptiveBarrier {
+    /// Creates an adaptive barrier for `p` threads over the given
+    /// candidate degrees, re-deciding every `window` episodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`, `degrees` is empty, or `window == 0`.
+    pub fn new(p: u32, degrees: &[u32], window: u32, policy: DegreePolicy) -> Self {
+        assert!(p > 0, "barrier needs at least one thread");
+        assert!(!degrees.is_empty(), "need at least one candidate degree");
+        assert!(window > 0, "window must be positive");
+        let mut degrees = degrees.to_vec();
+        degrees.sort_unstable();
+        degrees.dedup();
+        let trees = degrees.iter().map(|&d| TreeBarrier::combining(p, d)).collect();
+        let mk = || (0..p).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+        // start near degree 4, the classical default
+        let initial_idx = nearest_index(&degrees, 4);
+        Self {
+            trees,
+            degrees,
+            slots: [mk(), mk()],
+            policy,
+            window,
+            start: Instant::now(),
+            p,
+            initial_idx,
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn threads(&self) -> u32 {
+        self.p
+    }
+
+    /// The candidate degrees (sorted, deduplicated).
+    pub fn degrees(&self) -> &[u32] {
+        &self.degrees
+    }
+
+    /// Creates the per-thread handle for thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn waiter(&self, tid: u32) -> AdaptiveWaiter<'_> {
+        assert!(tid < self.p, "thread id out of range");
+        AdaptiveWaiter {
+            barrier: self,
+            waiters: self.trees.iter().map(|t| t.waiter(tid)).collect(),
+            tid,
+            episode: 0,
+            idx: self.initial_idx,
+        }
+    }
+
+    /// Deterministic decision from one window's frozen slots: compute
+    /// σ̂ of the recorded arrival times and ask the policy.
+    fn decide(&self, parity: usize) -> usize {
+        let n = self.p as f64;
+        let mut mean = 0.0f64;
+        for s in &self.slots[parity] {
+            mean += s.load(Ordering::Acquire) as f64;
+        }
+        mean /= n;
+        let mut ss = 0.0f64;
+        for s in &self.slots[parity] {
+            let d = s.load(Ordering::Acquire) as f64 - mean;
+            ss += d * d;
+        }
+        let sigma_us = if self.p > 1 { (ss / (n - 1.0)).sqrt() / 1e3 } else { 0.0 };
+        let wanted = (self.policy)(sigma_us, self.p);
+        nearest_index(&self.degrees, wanted)
+    }
+}
+
+/// Index of the candidate nearest to `wanted` (ties go to the wider
+/// tree, which degrades more gracefully under imbalance).
+fn nearest_index(degrees: &[u32], wanted: u32) -> usize {
+    let mut best = 0usize;
+    let mut best_dist = u32::MAX;
+    for (i, &d) in degrees.iter().enumerate() {
+        let dist = d.abs_diff(wanted);
+        if dist < best_dist || (dist == best_dist && d > degrees[best]) {
+            best = i;
+            best_dist = dist;
+        }
+    }
+    best
+}
+
+/// Per-thread handle to an [`AdaptiveBarrier`].
+#[derive(Debug)]
+pub struct AdaptiveWaiter<'a> {
+    barrier: &'a AdaptiveBarrier,
+    waiters: Vec<TreeWaiter<'a>>,
+    tid: u32,
+    episode: u32,
+    idx: usize,
+}
+
+impl AdaptiveWaiter<'_> {
+    /// One barrier episode, including measurement and (at window
+    /// boundaries) reconfiguration.
+    pub fn wait(&mut self) {
+        let b = self.barrier;
+        let win = self.episode / b.window;
+        if self.episode % b.window == 0 && win > 0 {
+            // Decide from the previous window's frozen slots; every
+            // thread computes the same index.
+            self.idx = b.decide(((win - 1) % 2) as usize);
+        }
+        let now_ns = b.start.elapsed().as_nanos() as u64;
+        b.slots[(win % 2) as usize][self.tid as usize].store(now_ns, Ordering::Release);
+        self.waiters[self.idx].wait();
+        self.episode += 1;
+    }
+
+    /// The degree of the tree this thread is currently using.
+    pub fn current_degree(&self) -> u32 {
+        self.barrier.degrees[self.idx]
+    }
+
+    /// This thread's id.
+    pub fn tid(&self) -> u32 {
+        self.tid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn nearest_index_prefers_wider_on_ties() {
+        assert_eq!(nearest_index(&[2, 4, 8], 4), 1);
+        assert_eq!(nearest_index(&[2, 4, 8], 5), 1);
+        assert_eq!(nearest_index(&[2, 4, 8], 6), 2); // tie 4 vs 8 → 8
+        assert_eq!(nearest_index(&[2, 4, 8], 100), 2);
+        assert_eq!(nearest_index(&[2, 4, 8], 1), 0);
+    }
+
+    #[test]
+    fn lockstep_across_reconfigurations() {
+        const P: usize = 4;
+        let policy: DegreePolicy = Box::new(|sigma_us, _| if sigma_us > 100.0 { 8 } else { 2 });
+        let barrier = AdaptiveBarrier::new(P as u32, &[2, 4, 8], 3, policy);
+        let phases: Vec<AtomicU32> = (0..P).map(|_| AtomicU32::new(0)).collect();
+        std::thread::scope(|s| {
+            for tid in 0..P {
+                let barrier = &barrier;
+                let phases = &phases;
+                s.spawn(move || {
+                    let mut w = barrier.waiter(tid as u32);
+                    for e in 0..60u32 {
+                        if (e as usize + tid) % 4 == 0 {
+                            std::thread::sleep(Duration::from_micros(300));
+                        }
+                        phases[tid].store(e + 1, Ordering::Release);
+                        w.wait();
+                        for q in phases {
+                            let ph = q.load(Ordering::Acquire);
+                            assert!(ph == e + 1 || ph == e + 2, "episode {e}: phase {ph}");
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// With a large injected arrival spread, the policy must widen the
+    /// tree.
+    #[test]
+    fn widens_under_injected_imbalance() {
+        const P: usize = 4;
+        let policy: DegreePolicy = Box::new(|sigma_us, p| if sigma_us > 500.0 { p } else { 4 });
+        let barrier = AdaptiveBarrier::new(P as u32, &[2, 4, P as u32], 4, policy);
+        let final_degree = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for tid in 0..P {
+                let barrier = &barrier;
+                let final_degree = &final_degree;
+                s.spawn(move || {
+                    let mut w = barrier.waiter(tid as u32);
+                    for _ in 0..16 {
+                        if tid == 0 {
+                            std::thread::sleep(Duration::from_millis(3));
+                        }
+                        w.wait();
+                    }
+                    if tid == 0 {
+                        final_degree.store(w.current_degree(), Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(final_degree.load(Ordering::Relaxed), P as u32);
+    }
+
+    #[test]
+    fn single_thread_never_blocks() {
+        let policy: DegreePolicy = Box::new(|_, _| 4);
+        let b = AdaptiveBarrier::new(1, &[2, 4], 2, policy);
+        let mut w = b.waiter(0);
+        for _ in 0..10 {
+            w.wait();
+        }
+        assert_eq!(w.current_degree(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_degrees_rejected() {
+        let policy: DegreePolicy = Box::new(|_, _| 4);
+        let _ = AdaptiveBarrier::new(4, &[], 2, policy);
+    }
+}

@@ -1,0 +1,185 @@
+//! A blocking (sleeping) central barrier.
+//!
+//! The spinning barriers in this crate assume roughly one thread per
+//! core — the paper's setting. When the host is oversubscribed
+//! (CI machines, laptops, or barrier counts far above the core count),
+//! spinning burns the very cycles the awaited thread needs. This
+//! variant parks waiters on a condition variable instead.
+//!
+//! Unlike `std::sync::Barrier`, it supports the fuzzy
+//! [`arrive`](BlockingWaiter::arrive)/[`depart`](BlockingWaiter::depart)
+//! split, so it slots into the same [`crate::FuzzyWaiter`] harnesses as
+//! the spinning barriers.
+
+use crate::fuzzy::FuzzyWaiter;
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct State {
+    count: u32,
+    generation: u64,
+}
+
+/// A sense-free blocking barrier for `p` threads.
+#[derive(Debug)]
+pub struct BlockingBarrier {
+    state: Mutex<State>,
+    cond: Condvar,
+    p: u32,
+}
+
+impl BlockingBarrier {
+    /// Creates a barrier for `p` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn new(p: u32) -> Self {
+        assert!(p > 0, "barrier needs at least one thread");
+        Self { state: Mutex::new(State { count: 0, generation: 0 }), cond: Condvar::new(), p }
+    }
+
+    /// Number of participating threads.
+    pub fn threads(&self) -> u32 {
+        self.p
+    }
+
+    /// Creates the per-thread handle.
+    ///
+    /// Waiters may be created at any quiescent point; they inherit the
+    /// barrier's current generation.
+    pub fn waiter(&self) -> BlockingWaiter<'_> {
+        let generation = self.state.lock().expect("no poisoning").generation;
+        BlockingWaiter { barrier: self, generation, pending: false }
+    }
+}
+
+/// Per-thread handle to a [`BlockingBarrier`].
+#[derive(Debug)]
+pub struct BlockingWaiter<'a> {
+    barrier: &'a BlockingBarrier,
+    generation: u64,
+    pending: bool,
+}
+
+impl BlockingWaiter<'_> {
+    /// Signals arrival; never blocks. The caller may run slack work
+    /// before [`Self::depart`].
+    pub fn arrive(&mut self) {
+        assert!(!self.pending, "arrive called twice without depart");
+        self.pending = true;
+        let b = self.barrier;
+        let mut st = b.state.lock().expect("no poisoning");
+        st.count += 1;
+        debug_assert!(st.count <= b.p, "more threads than the barrier was built for");
+        if st.count == b.p {
+            st.count = 0;
+            st.generation += 1;
+            b.cond.notify_all();
+        }
+    }
+
+    /// Parks until every thread of the episode has arrived.
+    pub fn depart(&mut self) {
+        assert!(self.pending, "depart called without arrive");
+        self.pending = false;
+        let target = self.generation + 1;
+        self.generation = target;
+        let b = self.barrier;
+        let mut st = b.state.lock().expect("no poisoning");
+        while st.generation < target {
+            st = b.cond.wait(st).expect("no poisoning");
+        }
+    }
+
+    /// A full barrier: `arrive` then `depart`.
+    pub fn wait(&mut self) {
+        self.arrive();
+        self.depart();
+    }
+}
+
+impl FuzzyWaiter for BlockingWaiter<'_> {
+    fn arrive(&mut self) {
+        BlockingWaiter::arrive(self)
+    }
+    fn depart(&mut self) {
+        BlockingWaiter::depart(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{lockstep_torture, Stagger};
+
+    #[test]
+    fn lockstep_under_heavy_oversubscription() {
+        // 16 threads on however-few cores: spinning would crawl; the
+        // blocking barrier must stay correct and brisk.
+        let b = BlockingBarrier::new(16);
+        let report = lockstep_torture(16, 60, Stagger::Mixed, |_| {
+            let mut w = b.waiter();
+            move || w.wait()
+        });
+        assert!(report.max_skew <= 1);
+    }
+
+    #[test]
+    fn fuzzy_split_works() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let b = BlockingBarrier::new(3);
+        let acc = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let b = &b;
+                let acc = &acc;
+                s.spawn(move || {
+                    let mut w = b.waiter();
+                    for _ in 0..40 {
+                        w.arrive();
+                        acc.fetch_add(1, Ordering::Relaxed);
+                        w.depart();
+                    }
+                });
+            }
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 120);
+    }
+
+    #[test]
+    fn single_thread_never_blocks() {
+        let b = BlockingBarrier::new(1);
+        let mut w = b.waiter();
+        for _ in 0..50 {
+            w.wait();
+        }
+    }
+
+    #[test]
+    fn survives_waiter_churn() {
+        let b = BlockingBarrier::new(4);
+        for _ in 0..3 {
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let b = &b;
+                    s.spawn(move || {
+                        let mut w = b.waiter();
+                        for _ in 0..25 {
+                            w.wait();
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arrive called twice")]
+    fn double_arrive_rejected() {
+        let b = BlockingBarrier::new(2);
+        let mut w = b.waiter();
+        w.arrive();
+        w.arrive();
+    }
+}

@@ -1,0 +1,182 @@
+//! The central (single-counter) barrier.
+//!
+//! The simplest software barrier: one shared counter plus an epoch
+//! flag. Its synchronization delay grows linearly in `p` under
+//! simultaneous arrival — the baseline the paper's Section 1 starts
+//! from — but it is *optimal* under extreme load imbalance (the last
+//! processor pays a single update), which is exactly the paper's
+//! 64-processor σ = 25·t_c result.
+
+use crate::pad::CachePadded;
+use crate::spin::wait_for_epoch;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A sense-reversing central counter barrier for `p` threads.
+#[derive(Debug)]
+pub struct CentralBarrier {
+    count: CachePadded<AtomicU32>,
+    epoch: CachePadded<AtomicU32>,
+    p: u32,
+}
+
+impl CentralBarrier {
+    /// Creates a barrier for `p` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn new(p: u32) -> Self {
+        assert!(p > 0, "barrier needs at least one thread");
+        Self {
+            count: CachePadded::new(AtomicU32::new(0)),
+            epoch: CachePadded::new(AtomicU32::new(0)),
+            p,
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn threads(&self) -> u32 {
+        self.p
+    }
+
+    /// Creates the per-thread handle. Each thread must use its own.
+    ///
+    /// Waiters may be created at any quiescent point (no episode in
+    /// flight): they inherit the barrier's current epoch, so barriers
+    /// survive being reused across thread-team phases.
+    pub fn waiter(&self) -> CentralWaiter<'_> {
+        CentralWaiter {
+            barrier: self,
+            epoch: self.epoch.load(Ordering::Acquire),
+            pending: false,
+        }
+    }
+}
+
+/// Per-thread handle to a [`CentralBarrier`].
+#[derive(Debug)]
+pub struct CentralWaiter<'a> {
+    barrier: &'a CentralBarrier,
+    epoch: u32,
+    pending: bool,
+}
+
+impl CentralWaiter<'_> {
+    /// Signals arrival (the fuzzy barrier's release phase). The caller
+    /// may then run independent slack work before [`Self::depart`].
+    pub fn arrive(&mut self) {
+        assert!(!self.pending, "arrive called twice without depart");
+        self.pending = true;
+        let b = self.barrier;
+        let prev = b.count.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(prev < b.p, "more threads than the barrier was built for");
+        if prev + 1 == b.p {
+            // Last arriver: reset for the next episode, then release.
+            b.count.store(0, Ordering::Relaxed);
+            b.epoch.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// Blocks until every thread of the current episode has arrived
+    /// (the fuzzy barrier's enforce phase).
+    pub fn depart(&mut self) {
+        assert!(self.pending, "depart called without arrive");
+        self.pending = false;
+        self.epoch = self.epoch.wrapping_add(1);
+        wait_for_epoch(&self.barrier.epoch, self.epoch);
+    }
+
+    /// A full barrier: `arrive` then `depart`.
+    pub fn wait(&mut self) {
+        self.arrive();
+        self.depart();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn single_thread_never_blocks() {
+        let b = CentralBarrier::new(1);
+        let mut w = b.waiter();
+        for _ in 0..100 {
+            w.wait();
+        }
+    }
+
+    #[test]
+    fn four_threads_stay_in_lockstep() {
+        const P: usize = 4;
+        const EPISODES: usize = 200;
+        let barrier = CentralBarrier::new(P as u32);
+        let phases: Vec<AtomicU32> = (0..P).map(|_| AtomicU32::new(0)).collect();
+        std::thread::scope(|s| {
+            for tid in 0..P {
+                let barrier = &barrier;
+                let phases = &phases;
+                s.spawn(move || {
+                    let mut w = barrier.waiter();
+                    for e in 0..EPISODES as u32 {
+                        phases[tid].store(e + 1, Ordering::Release);
+                        w.wait();
+                        for q in phases {
+                            let ph = q.load(Ordering::Acquire);
+                            assert!(
+                                ph == e + 1 || ph == e + 2,
+                                "episode {e}: saw phase {ph}"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn fuzzy_split_allows_work_between_phases() {
+        const P: usize = 3;
+        let barrier = CentralBarrier::new(P as u32);
+        let acc = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..P {
+                let barrier = &barrier;
+                let acc = &acc;
+                s.spawn(move || {
+                    let mut w = barrier.waiter();
+                    for _ in 0..50 {
+                        w.arrive();
+                        acc.fetch_add(1, Ordering::Relaxed); // slack work
+                        w.depart();
+                    }
+                });
+            }
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrive called twice")]
+    fn double_arrive_is_rejected() {
+        let b = CentralBarrier::new(2);
+        let mut w = b.waiter();
+        w.arrive();
+        w.arrive();
+    }
+
+    #[test]
+    #[should_panic(expected = "depart called without arrive")]
+    fn depart_without_arrive_is_rejected() {
+        let b = CentralBarrier::new(2);
+        let mut w = b.waiter();
+        w.depart();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = CentralBarrier::new(0);
+    }
+}

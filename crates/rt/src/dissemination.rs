@@ -1,0 +1,168 @@
+//! The dissemination barrier (Hensgen/Finkel/Manber; also in
+//! Mellor-Crummey & Scott).
+//!
+//! A literature baseline with no combining tree at all: in round `r`
+//! each thread signals the thread `2^r` positions ahead (mod `p`) and
+//! waits for the thread `2^r` behind, completing in `⌈log₂ p⌉` rounds
+//! with no single hot location. Its critical path is `⌈log₂ p⌉`
+//! regardless of arrival spread, which makes it a useful contrast to
+//! the paper's adaptive-degree trees: it can never exploit imbalance
+//! the way a wide tree does.
+//!
+//! Signalling uses per-slot episode numbers instead of sense flags:
+//! slot `(r, i)` holds the episode in which thread `i` was signalled in
+//! round `r`, so no reset phase is needed.
+
+use crate::pad::CachePadded;
+use crate::spin::wait_for_epoch;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A dissemination barrier for `p` threads.
+#[derive(Debug)]
+pub struct DisseminationBarrier {
+    /// `flags[r][i]`: episode number signalled to thread `i` in round
+    /// `r`.
+    flags: Vec<Vec<CachePadded<AtomicU32>>>,
+    /// Last completed episode, recorded so waiters created between
+    /// phases resume from the live count.
+    episode_hint: CachePadded<AtomicU32>,
+    rounds: u32,
+    p: u32,
+}
+
+impl DisseminationBarrier {
+    /// Creates a barrier for `p` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn new(p: u32) -> Self {
+        assert!(p > 0, "barrier needs at least one thread");
+        let rounds = if p == 1 { 0 } else { (p - 1).ilog2() + 1 };
+        let flags = (0..rounds)
+            .map(|_| (0..p).map(|_| CachePadded::new(AtomicU32::new(0))).collect())
+            .collect();
+        Self { flags, episode_hint: CachePadded::new(AtomicU32::new(0)), rounds, p }
+    }
+
+    /// Number of participating threads.
+    pub fn threads(&self) -> u32 {
+        self.p
+    }
+
+    /// Number of rounds, `⌈log₂ p⌉`.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Creates the per-thread handle for thread `tid`.
+    ///
+    /// Waiters may be created at any quiescent point (no episode in
+    /// flight): they resume from the barrier's last completed episode,
+    /// so the barrier survives reuse across thread-team phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn waiter(&self, tid: u32) -> DisseminationWaiter<'_> {
+        assert!(tid < self.p, "thread id out of range");
+        DisseminationWaiter {
+            barrier: self,
+            tid,
+            episode: self.episode_hint.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Per-thread handle to a [`DisseminationBarrier`].
+#[derive(Debug)]
+pub struct DisseminationWaiter<'a> {
+    barrier: &'a DisseminationBarrier,
+    tid: u32,
+    episode: u32,
+}
+
+impl DisseminationWaiter<'_> {
+    /// A full barrier episode.
+    ///
+    /// Dissemination has no separable signal/enforce split — every
+    /// round interleaves both — so it implements only `wait` (no fuzzy
+    /// variant; the paper's fuzzy discussion applies to counter trees).
+    pub fn wait(&mut self) {
+        let b = self.barrier;
+        self.episode = self.episode.wrapping_add(1);
+        for r in 0..b.rounds {
+            let partner = (self.tid + (1 << r)) % b.p;
+            b.flags[r as usize][partner as usize].store(self.episode, Ordering::Release);
+            wait_for_epoch(&b.flags[r as usize][self.tid as usize], self.episode);
+        }
+        // Benign race: every thread stores the same value.
+        b.episode_hint.store(self.episode, Ordering::Release);
+    }
+
+    /// This thread's id.
+    pub fn tid(&self) -> u32 {
+        self.tid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn rounds_are_ceil_log2() {
+        assert_eq!(DisseminationBarrier::new(1).rounds(), 0);
+        assert_eq!(DisseminationBarrier::new(2).rounds(), 1);
+        assert_eq!(DisseminationBarrier::new(3).rounds(), 2);
+        assert_eq!(DisseminationBarrier::new(4).rounds(), 2);
+        assert_eq!(DisseminationBarrier::new(5).rounds(), 3);
+        assert_eq!(DisseminationBarrier::new(8).rounds(), 3);
+        assert_eq!(DisseminationBarrier::new(9).rounds(), 4);
+    }
+
+    #[test]
+    fn lockstep_for_non_power_of_two() {
+        for p in [2usize, 3, 5, 8] {
+            let barrier = DisseminationBarrier::new(p as u32);
+            let phases: Vec<AtomicU32> = (0..p).map(|_| AtomicU32::new(0)).collect();
+            std::thread::scope(|s| {
+                for tid in 0..p {
+                    let barrier = &barrier;
+                    let phases = &phases;
+                    s.spawn(move || {
+                        let mut w = barrier.waiter(tid as u32);
+                        for e in 0..150u32 {
+                            phases[tid].store(e + 1, Ordering::Release);
+                            w.wait();
+                            for q in phases {
+                                let ph = q.load(Ordering::Acquire);
+                                assert!(
+                                    ph == e + 1 || ph == e + 2,
+                                    "p={p} episode {e}: phase {ph}"
+                                );
+                            }
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn single_thread_never_blocks() {
+        let b = DisseminationBarrier::new(1);
+        let mut w = b.waiter(0);
+        for _ in 0..10 {
+            w.wait();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "thread id out of range")]
+    fn waiter_bounds_checked() {
+        let b = DisseminationBarrier::new(2);
+        let _ = b.waiter(2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Reusable correctness harness for barrier implementations.
+//!
+//! The fundamental barrier contract is *lockstep*: when any thread
+//! leaves episode `e`, every thread has entered episode `e` — so no
+//! thread is ever more than one episode ahead of another. This module
+//! packages that check (with optional adversarial staggering) so the
+//! crate's own tests, the integration tests and downstream users can
+//! soak-test any barrier — including their own — identically.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How the harness perturbs thread timing to shake out races.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stagger {
+    /// No artificial delays: maximal arrival rate.
+    None,
+    /// Deterministic mix of sleeps and yields, different per
+    /// (thread, episode) — the default adversary.
+    Mixed,
+    /// One designated thread is systematically slow (models systemic
+    /// load imbalance; drives dynamic placement's migration).
+    SlowThread(u32),
+}
+
+/// Outcome of a torture run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TortureReport {
+    /// Episodes each thread completed.
+    pub episodes: u32,
+    /// Threads that participated.
+    pub threads: u32,
+    /// Wall-clock time for the whole run.
+    pub elapsed: Duration,
+    /// Maximum phase skew ever observed (must be ≤ 1 for a correct
+    /// barrier; the harness panics otherwise, so a returned report
+    /// always carries 1 or 0 here).
+    pub max_skew: u32,
+}
+
+impl TortureReport {
+    /// Mean wall time per episode.
+    pub fn per_episode(&self) -> Duration {
+        self.elapsed / self.episodes.max(1)
+    }
+}
+
+/// Runs `threads` threads for `episodes` barrier episodes and asserts
+/// the lockstep contract on every crossing.
+///
+/// `make(tid)` builds each thread's step closure (typically
+/// `move || waiter.wait()`).
+///
+/// # Panics
+///
+/// Panics (from inside a worker) if any thread observes another more
+/// than one episode away — i.e. if the barrier is broken.
+pub fn lockstep_torture<F, G>(
+    threads: u32,
+    episodes: u32,
+    stagger: Stagger,
+    make: F,
+) -> TortureReport
+where
+    F: Fn(u32) -> G + Sync,
+    G: FnMut() + Send,
+{
+    assert!(threads > 0, "need at least one thread");
+    let phases: Vec<AtomicU32> = (0..threads).map(|_| AtomicU32::new(0)).collect();
+    let max_skew = AtomicU32::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let phases = &phases;
+            let max_skew = &max_skew;
+            let mut step = make(tid);
+            s.spawn(move || {
+                for e in 0..episodes {
+                    match stagger {
+                        Stagger::None => {}
+                        Stagger::Mixed => match (e as u64 + tid as u64 * 13) % 7 {
+                            0 => std::thread::sleep(Duration::from_micros(150)),
+                            3 => std::thread::yield_now(),
+                            _ => {}
+                        },
+                        Stagger::SlowThread(slow) => {
+                            if tid == slow {
+                                std::thread::sleep(Duration::from_micros(800));
+                            }
+                        }
+                    }
+                    phases[tid as usize].store(e + 1, Ordering::Release);
+                    step();
+                    for q in phases {
+                        let ph = q.load(Ordering::Acquire);
+                        let skew = ph.abs_diff(e + 1);
+                        max_skew.fetch_max(skew, Ordering::Relaxed);
+                        assert!(
+                            skew <= 1,
+                            "lockstep violated: tid {tid} at episode {e} saw phase {ph}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    TortureReport {
+        episodes,
+        threads,
+        elapsed: start.elapsed(),
+        max_skew: max_skew.load(Ordering::Relaxed),
+    }
+}
+
+/// Times `episodes` barrier crossings across `threads` threads without
+/// the (cache-hostile) lockstep assertions — a quick throughput probe
+/// for examples and benches. Returns mean wall time per episode.
+pub fn time_episodes<F, G>(threads: u32, episodes: u32, make: F) -> Duration
+where
+    F: Fn(u32) -> G + Sync,
+    G: FnMut() + Send,
+{
+    let counter = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let counter = &counter;
+            let mut step = make(tid);
+            s.spawn(move || {
+                for _ in 0..episodes {
+                    step();
+                }
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(counter.load(Ordering::Relaxed), threads as u64);
+    start.elapsed() / episodes.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::central::CentralBarrier;
+    use crate::dynamic::DynamicBarrier;
+    use crate::tree::TreeBarrier;
+
+    #[test]
+    fn torture_passes_for_correct_barriers() {
+        let b = CentralBarrier::new(3);
+        let rep = lockstep_torture(3, 80, Stagger::Mixed, |_| {
+            let mut w = b.waiter();
+            move || w.wait()
+        });
+        assert_eq!(rep.episodes, 80);
+        assert!(rep.max_skew <= 1);
+        assert!(rep.per_episode() > Duration::ZERO);
+    }
+
+    #[test]
+    fn torture_with_slow_thread_drives_dynamic_swaps() {
+        let b = DynamicBarrier::mcs(6, 2);
+        lockstep_torture(6, 40, Stagger::SlowThread(5), |tid| {
+            let mut w = b.waiter(tid);
+            move || w.wait()
+        });
+        assert!(b.swap_count() > 0);
+    }
+
+    /// A deliberately broken "barrier" (does nothing) must be caught.
+    #[test]
+    fn torture_catches_a_broken_barrier() {
+        let result = std::panic::catch_unwind(|| {
+            lockstep_torture(3, 200, Stagger::Mixed, |_| move || {
+                // no synchronization at all
+                std::hint::spin_loop();
+            });
+        });
+        assert!(result.is_err(), "a no-op barrier must fail the torture");
+    }
+
+    #[test]
+    fn time_episodes_reports_positive_duration() {
+        let b = TreeBarrier::combining(2, 2);
+        let per = time_episodes(2, 200, |tid| {
+            let mut w = b.waiter(tid);
+            move || w.wait()
+        });
+        assert!(per > Duration::ZERO);
+    }
+}

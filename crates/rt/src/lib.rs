@@ -1,0 +1,58 @@
+//! Threaded barrier runtime for the `combar` study.
+//!
+//! Real software barriers built on `std::sync::atomic` — the paper's
+//! premise is that barriers made of *simple* hardware primitives
+//! (fetch-and-increment under a lock; here, native atomics) can scale
+//! to large machines when the tree degree matches the load imbalance
+//! and slow processors are placed near the root:
+//!
+//! * [`CentralBarrier`] — one counter + sense-reversing epoch; the
+//!   `O(p)` baseline that is nevertheless optimal under extreme
+//!   imbalance — with [`BlockingBarrier`] as the parking (condvar)
+//!   variant for oversubscribed hosts;
+//! * [`TreeBarrier`] — static combining tree of any degree over any
+//!   `combar-topo` topology (combining, MCS, ring);
+//! * [`DynamicBarrier`] — the paper's dynamic placement barrier
+//!   (Section 5.1): victor/victim swaps migrate slow threads to the
+//!   root;
+//! * [`DisseminationBarrier`] and [`TournamentBarrier`] — the classic
+//!   `⌈log₂ p⌉`-round baselines from the literature the paper builds
+//!   on;
+//! * [`fuzzy`] — the arrive/depart split (Gupta's fuzzy barrier) every
+//!   counter-tree waiter supports;
+//! * [`AdaptiveBarrier`] — reconfigures its degree at run time from the
+//!   measured arrival spread (the feasibility claim of the paper's
+//!   conclusion), with the degree policy injected (the `combar` core
+//!   crate supplies the analytic model as that policy).
+//!
+//! [`harness`] packages the lockstep soak test used throughout the
+//! repository, so downstream barrier implementations can be tortured
+//! identically. All hot state is cache-padded ([`CachePadded`]); waiting is
+//! spin-then-yield ([`spin::Backoff`]) so the crate behaves on machines
+//! with fewer cores than threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod blocking;
+pub mod central;
+pub mod dissemination;
+pub mod dynamic;
+pub mod fuzzy;
+pub mod harness;
+pub mod pad;
+pub mod spin;
+pub mod tournament;
+pub mod tree;
+
+pub use adaptive::{AdaptiveBarrier, AdaptiveWaiter, DegreePolicy};
+pub use blocking::{BlockingBarrier, BlockingWaiter};
+pub use central::{CentralBarrier, CentralWaiter};
+pub use dissemination::{DisseminationBarrier, DisseminationWaiter};
+pub use dynamic::{DynamicBarrier, DynamicWaiter};
+pub use fuzzy::{fuzzy_episode, FuzzyTiming, FuzzyWaiter};
+pub use harness::{lockstep_torture, time_episodes, Stagger, TortureReport};
+pub use pad::CachePadded;
+pub use tournament::{TournamentBarrier, TournamentWaiter};
+pub use tree::{TreeBarrier, TreeWaiter};

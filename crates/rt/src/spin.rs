@@ -1,0 +1,102 @@
+//! Busy-wait strategy.
+//!
+//! The paper's barriers busy-wait on shared flags. On a machine with
+//! fewer cores than threads (including this repository's CI), pure
+//! spinning livelocks the releaser off the CPU, so the waiter spins
+//! briefly and then yields to the scheduler with exponential backoff —
+//! the standard adaptive strategy.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Exponential spin-then-yield backoff.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Fresh backoff state.
+    pub fn new() -> Self {
+        Self { step: 0 }
+    }
+
+    /// One wait quantum: a handful of `spin_loop` hints while the wait
+    /// is young, escalating to `yield_now` once it is clear the awaited
+    /// thread is not about to act.
+    #[inline]
+    pub fn snooze(&mut self) {
+        if self.step < 6 {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+            self.step += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Resets to the spinning phase.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Whether the backoff has escalated to yielding.
+    pub fn is_yielding(&self) -> bool {
+        self.step >= 6
+    }
+}
+
+/// Spins until `flag` (an epoch counter) reaches at least `target`,
+/// with Acquire ordering on the successful read.
+#[inline]
+pub fn wait_for_epoch(flag: &AtomicU32, target: u32) {
+    let mut backoff = Backoff::new();
+    while flag.load(Ordering::Acquire).wrapping_sub(target) > u32::MAX / 2 {
+        backoff.snooze();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Arc;
+
+    #[test]
+    fn backoff_escalates_to_yielding() {
+        let mut b = Backoff::new();
+        assert!(!b.is_yielding());
+        for _ in 0..6 {
+            b.snooze();
+        }
+        assert!(b.is_yielding());
+        b.reset();
+        assert!(!b.is_yielding());
+    }
+
+    #[test]
+    fn wait_for_epoch_returns_when_flag_advances() {
+        let flag = Arc::new(AtomicU32::new(0));
+        let f2 = flag.clone();
+        let h = std::thread::spawn(move || {
+            for _ in 0..50 {
+                std::thread::yield_now();
+            }
+            f2.store(3, Ordering::Release);
+        });
+        wait_for_epoch(&flag, 3);
+        assert!(flag.load(Ordering::Relaxed) >= 3);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_epoch_handles_wraparound() {
+        // target just past a wrapped counter: u32::MAX wraps to 0, 1 …
+        let flag = AtomicU32::new(u32::MAX);
+        // already-satisfied target (flag − target small) returns at once
+        wait_for_epoch(&flag, u32::MAX);
+        flag.store(2, Ordering::Release); // wrapped past target 0
+        wait_for_epoch(&flag, 0);
+        wait_for_epoch(&flag, 2);
+    }
+}

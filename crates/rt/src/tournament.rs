@@ -1,0 +1,211 @@
+//! The tournament barrier (Hensgen, Finkel & Manber).
+//!
+//! Another classic `O(log p)` baseline: threads play ⌈log₂ p⌉ rounds of
+//! statically paired matches. The pre-determined *loser* of each match
+//! signals the winner and sits out; the winner waits for the signal and
+//! advances. The champion (thread 0) releases everyone through the
+//! shared epoch flag. Unlike the combining tree, every signal targets a
+//! statically known location — no fetch-and-increment is needed at all,
+//! only single-writer flags — which is why it appears as the minimum-
+//! communication alternative in the literature the paper builds on.
+//!
+//! Like the dissemination barrier, the tournament has no useful
+//! arrive/depart split (winners *block* inside the arrival phase
+//! waiting for their losers), so it implements only `wait`.
+
+use crate::pad::CachePadded;
+use crate::spin::wait_for_epoch;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A tournament barrier for `p` threads.
+#[derive(Debug)]
+pub struct TournamentBarrier {
+    /// `flags[r][w]`: episode number signalled to winner `w` in round
+    /// `r` by its paired loser.
+    flags: Vec<Vec<CachePadded<AtomicU32>>>,
+    epoch: CachePadded<AtomicU32>,
+    rounds: u32,
+    p: u32,
+}
+
+impl TournamentBarrier {
+    /// Creates a barrier for `p` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn new(p: u32) -> Self {
+        assert!(p > 0, "barrier needs at least one thread");
+        let rounds = if p == 1 { 0 } else { (p - 1).ilog2() + 1 };
+        let flags = (0..rounds)
+            .map(|_| (0..p).map(|_| CachePadded::new(AtomicU32::new(0))).collect())
+            .collect();
+        Self { flags, epoch: CachePadded::new(AtomicU32::new(0)), rounds, p }
+    }
+
+    /// Number of participating threads.
+    pub fn threads(&self) -> u32 {
+        self.p
+    }
+
+    /// Number of rounds, `⌈log₂ p⌉`.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Creates the per-thread handle for thread `tid`.
+    ///
+    /// Waiters may be created at any quiescent point; they inherit the
+    /// barrier's current epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn waiter(&self, tid: u32) -> TournamentWaiter<'_> {
+        assert!(tid < self.p, "thread id out of range");
+        TournamentWaiter {
+            barrier: self,
+            tid,
+            epoch: self.epoch.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Per-thread handle to a [`TournamentBarrier`].
+#[derive(Debug)]
+pub struct TournamentWaiter<'a> {
+    barrier: &'a TournamentBarrier,
+    tid: u32,
+    epoch: u32,
+}
+
+impl TournamentWaiter<'_> {
+    /// One full barrier episode.
+    pub fn wait(&mut self) {
+        let b = self.barrier;
+        self.epoch = self.epoch.wrapping_add(1);
+        let me = self.tid;
+        let mut released_by_champion = false;
+        for r in 0..b.rounds {
+            let stride = 1u32 << r;
+            let block = stride << 1;
+            if me % block == 0 {
+                // Winner of this round — if a paired loser exists.
+                let loser = me + stride;
+                if loser < b.p {
+                    wait_for_epoch(&b.flags[r as usize][me as usize], self.epoch);
+                }
+                // (bye: advance without waiting)
+            } else {
+                // Loser: signal the winner and stop playing.
+                let winner = me - stride;
+                b.flags[r as usize][winner as usize].store(self.epoch, Ordering::Release);
+                break;
+            }
+            if r + 1 == b.rounds {
+                // Champion: every subtree has arrived.
+                b.epoch.fetch_add(1, Ordering::Release);
+                released_by_champion = true;
+            }
+        }
+        if b.rounds == 0 {
+            // single thread: trivially released
+            b.epoch.fetch_add(1, Ordering::Release);
+            released_by_champion = true;
+        }
+        if !released_by_champion {
+            wait_for_epoch(&b.epoch, self.epoch);
+        }
+    }
+
+    /// This thread's id.
+    pub fn tid(&self) -> u32 {
+        self.tid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::time::Duration;
+
+    fn lockstep(p: usize, episodes: u32) {
+        let barrier = TournamentBarrier::new(p as u32);
+        let phases: Vec<AtomicU32> = (0..p).map(|_| AtomicU32::new(0)).collect();
+        std::thread::scope(|s| {
+            for tid in 0..p {
+                let barrier = &barrier;
+                let phases = &phases;
+                s.spawn(move || {
+                    let mut w = barrier.waiter(tid as u32);
+                    for e in 0..episodes {
+                        if (e as usize + tid) % 5 == 0 {
+                            std::thread::sleep(Duration::from_micros(100));
+                        }
+                        phases[tid].store(e + 1, Ordering::Release);
+                        w.wait();
+                        for q in phases {
+                            let ph = q.load(Ordering::Acquire);
+                            assert!(ph == e + 1 || ph == e + 2, "p={p} episode {e}: {ph}");
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn lockstep_power_of_two() {
+        lockstep(4, 120);
+        lockstep(8, 120);
+    }
+
+    #[test]
+    fn lockstep_odd_counts_use_byes() {
+        lockstep(3, 120);
+        lockstep(5, 120);
+        lockstep(7, 120);
+    }
+
+    #[test]
+    fn single_thread_never_blocks() {
+        let b = TournamentBarrier::new(1);
+        let mut w = b.waiter(0);
+        for _ in 0..50 {
+            w.wait();
+        }
+    }
+
+    #[test]
+    fn two_threads_round_count() {
+        assert_eq!(TournamentBarrier::new(2).rounds(), 1);
+        assert_eq!(TournamentBarrier::new(3).rounds(), 2);
+        assert_eq!(TournamentBarrier::new(8).rounds(), 3);
+    }
+
+    #[test]
+    fn survives_waiter_churn() {
+        let b = TournamentBarrier::new(3);
+        for _ in 0..4 {
+            std::thread::scope(|s| {
+                for tid in 0..3u32 {
+                    let b = &b;
+                    s.spawn(move || {
+                        let mut w = b.waiter(tid);
+                        for _ in 0..25 {
+                            w.wait();
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "thread id out of range")]
+    fn waiter_bounds_checked() {
+        let b = TournamentBarrier::new(2);
+        let _ = b.waiter(5);
+    }
+}

@@ -1,0 +1,276 @@
+//! The combining-tree barrier (static placement).
+//!
+//! A tree of padded atomic counters built from any `combar-topo`
+//! [`Topology`]: classic combining trees (threads at the leaves),
+//! MCS-style owner trees, or ring-constrained KSR trees. A thread
+//! updates its home counter; whoever brings a counter to its fan-in
+//! propagates to the parent; the root's last updater bumps the shared
+//! epoch flag, releasing everyone (the paper's "last processor …
+//! releases all the processors by updating a shared variable").
+//!
+//! Counter resets happen *before* the release, so the structure is
+//! immediately reusable: no thread can start the next episode until
+//! after the release, which orders every reset before every
+//! next-episode increment.
+
+use crate::pad::CachePadded;
+use crate::spin::wait_for_epoch;
+use combar_topo::{CounterId, Topology};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A static-placement tree barrier over an arbitrary topology.
+///
+/// # Examples
+///
+/// ```
+/// use combar_rt::TreeBarrier;
+///
+/// let barrier = TreeBarrier::combining(4, 2);
+/// std::thread::scope(|s| {
+///     for tid in 0..4 {
+///         let barrier = &barrier;
+///         s.spawn(move || {
+///             let mut w = barrier.waiter(tid);
+///             for _ in 0..100 {
+///                 w.wait(); // or w.arrive(); <slack work>; w.depart();
+///             }
+///         });
+///     }
+/// });
+/// ```
+#[derive(Debug)]
+pub struct TreeBarrier {
+    counts: Vec<CachePadded<AtomicU32>>,
+    fan_in: Vec<u32>,
+    parent: Vec<Option<CounterId>>,
+    homes: Vec<CounterId>,
+    path_len: Vec<u32>,
+    epoch: CachePadded<AtomicU32>,
+    degree: u32,
+}
+
+impl TreeBarrier {
+    /// Builds the barrier from a topology (one thread per processor).
+    pub fn from_topology(topo: &Topology) -> Self {
+        let counts = (0..topo.num_counters())
+            .map(|_| CachePadded::new(AtomicU32::new(0)))
+            .collect();
+        Self {
+            counts,
+            fan_in: topo.nodes().iter().map(|n| n.fan_in()).collect(),
+            parent: topo.nodes().iter().map(|n| n.parent).collect(),
+            homes: topo.homes().to_vec(),
+            path_len: topo.nodes().iter().map(|n| n.path_len).collect(),
+            epoch: CachePadded::new(AtomicU32::new(0)),
+            degree: topo.degree(),
+        }
+    }
+
+    /// A classic combining tree of the given degree over `p` threads
+    /// (degree `>= p` builds the flat counter).
+    pub fn combining(p: u32, degree: u32) -> Self {
+        if degree >= p {
+            Self::from_topology(&Topology::flat(p))
+        } else {
+            Self::from_topology(&Topology::combining(p, degree))
+        }
+    }
+
+    /// An MCS-style owner tree of the given degree over `p` threads.
+    pub fn mcs(p: u32, degree: u32) -> Self {
+        Self::from_topology(&Topology::mcs(p, degree))
+    }
+
+    /// Number of participating threads.
+    pub fn threads(&self) -> u32 {
+        self.homes.len() as u32
+    }
+
+    /// The construction degree.
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// Path length (counters to the root, inclusive) seen by `tid`.
+    pub fn depth_of(&self, tid: u32) -> u32 {
+        self.path_len[self.homes[tid as usize] as usize]
+    }
+
+    /// Creates the per-thread handle for thread `tid`.
+    ///
+    /// Waiters may be created at any quiescent point (no episode in
+    /// flight): they inherit the barrier's current epoch, so barriers
+    /// survive being reused across thread-team phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn waiter(&self, tid: u32) -> TreeWaiter<'_> {
+        assert!((tid as usize) < self.homes.len(), "thread id out of range");
+        TreeWaiter {
+            barrier: self,
+            tid,
+            epoch: self.epoch.load(Ordering::Acquire),
+            pending: false,
+        }
+    }
+
+    /// The signalling walk: increment from `start` upward; returns once
+    /// this thread stops being the last updater (or released the root).
+    fn signal(&self, start: CounterId) {
+        let mut c = start as usize;
+        loop {
+            let prev = self.counts[c].fetch_add(1, Ordering::AcqRel);
+            debug_assert!(prev < self.fan_in[c], "counter over-updated");
+            if prev + 1 < self.fan_in[c] {
+                return; // not last here: someone else will propagate
+            }
+            // Last updater: reset for the next episode (safe before the
+            // release — nobody re-enters until after it), then continue
+            // upward or release.
+            self.counts[c].store(0, Ordering::Relaxed);
+            match self.parent[c] {
+                Some(par) => c = par as usize,
+                None => {
+                    self.epoch.fetch_add(1, Ordering::Release);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Per-thread handle to a [`TreeBarrier`].
+#[derive(Debug)]
+pub struct TreeWaiter<'a> {
+    barrier: &'a TreeBarrier,
+    tid: u32,
+    epoch: u32,
+    pending: bool,
+}
+
+impl TreeWaiter<'_> {
+    /// Signals arrival: walks the combining tree from this thread's
+    /// home counter. May be followed by slack work before
+    /// [`Self::depart`].
+    pub fn arrive(&mut self) {
+        assert!(!self.pending, "arrive called twice without depart");
+        self.pending = true;
+        let home = self.barrier.homes[self.tid as usize];
+        self.barrier.signal(home);
+    }
+
+    /// Blocks until the barrier releases.
+    pub fn depart(&mut self) {
+        assert!(self.pending, "depart called without arrive");
+        self.pending = false;
+        self.epoch = self.epoch.wrapping_add(1);
+        wait_for_epoch(&self.barrier.epoch, self.epoch);
+    }
+
+    /// A full barrier: `arrive` then `depart`.
+    pub fn wait(&mut self) {
+        self.arrive();
+        self.depart();
+    }
+
+    /// This thread's id.
+    pub fn tid(&self) -> u32 {
+        self.tid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn lockstep_check(barrier: &TreeBarrier, episodes: u32) {
+        let p = barrier.threads() as usize;
+        let phases: Vec<AtomicU32> = (0..p).map(|_| AtomicU32::new(0)).collect();
+        std::thread::scope(|s| {
+            for tid in 0..p {
+                let phases = &phases;
+                s.spawn(move || {
+                    let mut w = barrier.waiter(tid as u32);
+                    for e in 0..episodes {
+                        phases[tid].store(e + 1, Ordering::Release);
+                        w.wait();
+                        for q in phases {
+                            let ph = q.load(Ordering::Acquire);
+                            assert!(ph == e + 1 || ph == e + 2, "episode {e}: phase {ph}");
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn combining_tree_lockstep() {
+        for (p, d) in [(4u32, 2u32), (8, 2), (6, 4), (5, 8)] {
+            let b = TreeBarrier::combining(p, d);
+            lockstep_check(&b, 100);
+        }
+    }
+
+    #[test]
+    fn mcs_tree_lockstep() {
+        for (p, d) in [(4u32, 2u32), (7, 2), (8, 4)] {
+            let b = TreeBarrier::mcs(p, d);
+            lockstep_check(&b, 100);
+        }
+    }
+
+    #[test]
+    fn ring_tree_lockstep() {
+        let topo = combar_topo::Topology::ring_mcs(6, 2, 3);
+        let b = TreeBarrier::from_topology(&topo);
+        lockstep_check(&b, 100);
+    }
+
+    #[test]
+    fn single_thread_never_blocks() {
+        let b = TreeBarrier::combining(1, 4);
+        let mut w = b.waiter(0);
+        for _ in 0..50 {
+            w.wait();
+        }
+    }
+
+    #[test]
+    fn depth_of_matches_topology() {
+        let topo = combar_topo::Topology::mcs(8, 2);
+        let b = TreeBarrier::from_topology(&topo);
+        for tid in 0..8u32 {
+            assert_eq!(b.depth_of(tid), topo.path_len(topo.home_of(tid)));
+        }
+    }
+
+    #[test]
+    fn counters_reset_between_episodes() {
+        // After a complete episode every internal count must read 0.
+        let b = TreeBarrier::combining(4, 2);
+        let mut ws: Vec<_> = Vec::new();
+        // single-threaded interleaving: arrive all, then check
+        for tid in 0..4 {
+            ws.push(b.waiter(tid));
+        }
+        for w in &mut ws {
+            w.arrive();
+        }
+        for w in &mut ws {
+            w.depart();
+        }
+        for c in &b.counts {
+            assert_eq!(c.load(Ordering::Relaxed), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "thread id out of range")]
+    fn waiter_bounds_checked() {
+        let b = TreeBarrier::combining(2, 2);
+        let _ = b.waiter(2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Graphviz export of barrier trees.
+//!
+//! `Topology::to_dot` renders the counter tree (and optionally a live
+//! [`Placement`]) as a `dot` digraph — handy for documentation and for
+//! eyeballing where dynamic placement has moved processors.
+
+use crate::{Placement, Topology};
+use std::fmt::Write as _;
+
+impl Topology {
+    /// Renders the topology as a Graphviz digraph. With a placement,
+    /// node labels show the *current* occupants instead of the
+    /// construction-time ones.
+    pub fn to_dot(&self, placement: Option<&Placement>) -> String {
+        let mut out = String::from("digraph barrier {\n  rankdir=BT;\n  node [shape=box];\n");
+        for n in self.nodes() {
+            let occupants: Vec<u32> = match placement {
+                Some(p) => p.occupants(n.id).to_vec(),
+                None => n.procs.clone(),
+            };
+            let procs = if occupants.is_empty() {
+                String::from("—")
+            } else {
+                occupants
+                    .iter()
+                    .map(|p| format!("p{p}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let ring = match n.ring {
+                Some(r) => format!(" r{r}"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "  c{} [label=\"c{}{}\\nfan-in {}\\n{}\"];",
+                n.id,
+                n.id,
+                ring,
+                n.fan_in(),
+                procs
+            );
+            if let Some(par) = n.parent {
+                let _ = writeln!(out, "  c{} -> c{};", n.id, par);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_every_counter_and_edge() {
+        let t = Topology::combining(16, 4);
+        let dot = t.to_dot(None);
+        assert!(dot.starts_with("digraph barrier {"));
+        assert!(dot.ends_with("}\n"));
+        for n in t.nodes() {
+            assert!(dot.contains(&format!("c{} [label=", n.id)));
+        }
+        // 5 counters → 4 edges
+        assert_eq!(dot.matches(" -> ").count(), t.num_counters() - 1);
+        // leaf labels list their processors
+        assert!(dot.contains("p0,p1,p2,p3"));
+    }
+
+    #[test]
+    fn dot_reflects_placement_after_swap() {
+        let t = Topology::mcs(16, 4);
+        let mut pl = Placement::initial(&t);
+        let root = t.root();
+        let victor = t
+            .nodes()
+            .iter()
+            .find(|n| n.children.is_empty())
+            .and_then(|n| n.procs.first().copied())
+            .expect("leaf proc");
+        pl.try_swap(&t, victor, root).expect("swap allowed");
+        let dot = t.to_dot(Some(&pl));
+        // the root's label names the victor now
+        let root_line = dot
+            .lines()
+            .find(|l| l.contains(&format!("c{root} [label=")))
+            .expect("root line");
+        assert!(root_line.contains(&format!("p{victor}")), "{root_line}");
+    }
+
+    #[test]
+    fn merge_root_renders_em_dash_for_no_occupants() {
+        let t = Topology::ring_mcs(8, 2, 4);
+        let dot = t.to_dot(None);
+        assert!(dot.contains("—"));
+        assert!(dot.contains(" r0"));
+        assert!(dot.contains(" r1"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Every barrier family in `combar-rt`, timed side by side on this
+//! host — quiet, then under injected load imbalance.
+//!
+//! ```text
+//! cargo run --release -p combar --example barrier_families -- [threads] [episodes]
+//! ```
+//!
+//! On a multi-core box the quiet column orders roughly as the theory
+//! says (dissemination/tournament ≈ tree < central as p grows); under a
+//! systematically slow thread all barriers are dominated by the
+//! injected delay — the interesting number is the *overhead above* it,
+//! which is where dynamic placement keeps its path short.
+
+use combar::prelude::*;
+use combar_rt::harness::time_episodes;
+use combar_rt::{BlockingBarrier, TournamentBarrier};
+use std::time::Duration as StdDuration;
+
+/// Sleep injected into thread 0 per episode during the slow phase.
+const SLOW_US: u64 = 500;
+
+fn pause(slow: bool, tid: u32) {
+    if slow && tid == 0 {
+        std::thread::sleep(StdDuration::from_micros(SLOW_US));
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let threads: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let episodes: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
+
+    println!("barrier families: {threads} threads × {episodes} episodes\n");
+    println!("{:<22} {:>14} {:>18}", "barrier", "quiet µs/ep", "slow-thread µs/ep");
+
+    let central = |slow: bool| {
+        let b = CentralBarrier::new(threads);
+        time_episodes(threads, episodes, |tid| {
+            let mut w = b.waiter();
+            move || {
+                pause(slow, tid);
+                w.wait()
+            }
+        })
+    };
+    let blocking = |slow: bool| {
+        let b = BlockingBarrier::new(threads);
+        time_episodes(threads, episodes, |tid| {
+            let mut w = b.waiter();
+            move || {
+                pause(slow, tid);
+                w.wait()
+            }
+        })
+    };
+    let tree = |slow: bool| {
+        let b = TreeBarrier::combining(threads, 2);
+        time_episodes(threads, episodes, |tid| {
+            let mut w = b.waiter(tid);
+            move || {
+                pause(slow, tid);
+                w.wait()
+            }
+        })
+    };
+    let mcs = |slow: bool| {
+        let b = TreeBarrier::mcs(threads, 2);
+        time_episodes(threads, episodes, |tid| {
+            let mut w = b.waiter(tid);
+            move || {
+                pause(slow, tid);
+                w.wait()
+            }
+        })
+    };
+    let dynamic = |slow: bool| {
+        let b = DynamicBarrier::mcs(threads, 2);
+        time_episodes(threads, episodes, |tid| {
+            let mut w = b.waiter(tid);
+            move || {
+                pause(slow, tid);
+                w.wait()
+            }
+        })
+    };
+    let dissemination = |slow: bool| {
+        let b = DisseminationBarrier::new(threads);
+        time_episodes(threads, episodes, |tid| {
+            let mut w = b.waiter(tid);
+            move || {
+                pause(slow, tid);
+                w.wait()
+            }
+        })
+    };
+    let tournament = |slow: bool| {
+        let b = TournamentBarrier::new(threads);
+        time_episodes(threads, episodes, |tid| {
+            let mut w = b.waiter(tid);
+            move || {
+                pause(slow, tid);
+                w.wait()
+            }
+        })
+    };
+
+    let rows: Vec<(&str, &dyn Fn(bool) -> StdDuration)> = vec![
+        ("central (spin)", &central),
+        ("blocking (condvar)", &blocking),
+        ("tree degree 2", &tree),
+        ("MCS tree degree 2", &mcs),
+        ("dynamic placement", &dynamic),
+        ("dissemination", &dissemination),
+        ("tournament", &tournament),
+    ];
+    for (name, f) in rows {
+        let quiet = f(false);
+        let slow = f(true);
+        println!(
+            "{:<22} {:>14.1} {:>18.1}",
+            name,
+            quiet.as_secs_f64() * 1e6,
+            slow.as_secs_f64() * 1e6
+        );
+    }
+    println!(
+        "\n(slow-thread phase: thread 0 sleeps {SLOW_US} µs per episode; that sleep is the \
+         floor for every barrier)"
+    );
+}

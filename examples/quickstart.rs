@@ -1,0 +1,70 @@
+//! Quickstart: pick a barrier degree for your machine's load imbalance.
+//!
+//! ```text
+//! cargo run --release -p combar --example quickstart
+//! ```
+//!
+//! Walks the paper's core result end to end:
+//! 1. Algorithm 1 estimates the synchronization delay of every
+//!    full-tree degree for a given (p, σ, t_c);
+//! 2. the event-driven simulator checks the estimate;
+//! 3. a real threaded combining-tree barrier of the recommended degree
+//!    runs on this machine.
+
+use combar::prelude::*;
+
+fn main() {
+    let p: u32 = 256; // processors to synchronize
+    let tc_us = 20.0; // counter update cost (KSR1-measured)
+
+    println!("combar quickstart: optimal barrier degree vs load imbalance");
+    println!("p = {p}, t_c = {tc_us} µs\n");
+
+    // 1. The analytic model across imbalance levels.
+    println!("{:>10} {:>12} {:>16}", "σ/t_c", "est degree", "est delay (µs)");
+    for sigma_tc in [0.0, 1.6, 6.2, 12.5, 25.0, 100.0] {
+        let model = BarrierModel::new(p, sigma_tc * tc_us, tc_us).expect("valid parameters");
+        let best = model.estimate_optimal_degree();
+        println!("{:>10} {:>12} {:>16.1}", sigma_tc, best.degree, best.sync_delay_us);
+    }
+
+    // 2. Cross-check one point against the simulator.
+    let sigma_us = 12.5 * tc_us;
+    let model = BarrierModel::new(p, sigma_us, tc_us).expect("valid parameters");
+    let est = model.estimate_optimal_degree();
+    let cfg = SweepConfig { sigma_us, reps: 20, ..SweepConfig::default() };
+    let swept = sweep_degrees(p, &full_tree_degrees(p), &cfg);
+    let sim = optimal_degree(&swept);
+    println!(
+        "\nat σ = 12.5·t_c: model recommends degree {}, exhaustive simulation picks {} \
+         (delays {:.1} vs {:.1} µs)",
+        est.degree,
+        sim.degree,
+        est.sync_delay_us,
+        sim.sync_delay.mean(),
+    );
+
+    // 3. Drive a real threaded barrier of the recommended degree.
+    let threads = 4u32;
+    let advisor = DegreeAdvisor::new(threads, tc_us);
+    let degree = advisor.recommend_for_sigma(sigma_us);
+    let barrier = TreeBarrier::combining(threads, degree);
+    let episodes = 1000u32;
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut w = barrier.waiter(tid);
+                for _ in 0..episodes {
+                    w.wait();
+                }
+            });
+        }
+    });
+    let per_episode = t0.elapsed().as_secs_f64() * 1e6 / f64::from(episodes);
+    println!(
+        "\nthreaded check: {threads} threads × {episodes} episodes through a degree-{degree} \
+         tree barrier, {per_episode:.1} µs/episode on this host"
+    );
+}

@@ -1,0 +1,182 @@
+//! Validation of the DES substrate against closed-form queueing
+//! theory: if the engine + FIFO servers are correct, an M/M/1 queue
+//! simulated through them must reproduce the textbook formulas. This
+//! independently validates the machinery that produces every barrier
+//! result in the repository.
+
+use combar_des::{Duration, Engine, FifoServer, Resource, SimTime};
+use combar_rng::{Distribution, Exponential, SeedableRng, Xoshiro256pp};
+
+/// Simulates an M/M/1 queue; returns (mean wait in queue, mean number
+/// served per unit time).
+fn mm1_mean_wait(lambda: f64, mu: f64, customers: usize, seed: u64) -> f64 {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let inter = Exponential::new(lambda).unwrap();
+    let service = Exponential::new(mu).unwrap();
+    let mut server = FifoServer::new();
+    let mut t = 0.0f64;
+    let mut total_wait = 0.0f64;
+    // skip a warm-up prefix so the estimate is steady-state
+    let warmup = customers / 10;
+    for i in 0..customers {
+        t += inter.sample(&mut rng);
+        let svc = server.serve(SimTime::from_us(t), Duration::from_us(service.sample(&mut rng)));
+        if i >= warmup {
+            total_wait += svc.queueing_delay().as_us();
+        }
+    }
+    total_wait / (customers - warmup) as f64
+}
+
+/// M/M/1: `Wq = ρ / (µ − λ)` with `ρ = λ/µ`.
+#[test]
+fn mm1_wait_matches_theory() {
+    for (lambda, mu) in [(0.5f64, 1.0f64), (0.7, 1.0), (0.4, 0.8)] {
+        let rho = lambda / mu;
+        let theory = rho / (mu - lambda);
+        let measured = mm1_mean_wait(lambda, mu, 400_000, 42);
+        let rel = (measured - theory).abs() / theory;
+        assert!(
+            rel < 0.05,
+            "λ={lambda} µ={mu}: Wq measured {measured:.3} vs theory {theory:.3} ({rel:.1}%)"
+        );
+    }
+}
+
+/// M/D/1 (deterministic service): `Wq = ρ/(2(µ−λ)) · 1` — half the
+/// M/M/1 wait. The barrier counters are exactly deterministic-service
+/// queues, so this case is the one the study leans on.
+#[test]
+fn md1_wait_is_half_of_mm1() {
+    let lambda = 0.6f64;
+    let mu = 1.0f64;
+    let rho = lambda / mu;
+    let theory = rho / (2.0 * (mu - lambda)); // 0.75
+    let mut rng = Xoshiro256pp::seed_from_u64(7);
+    let inter = Exponential::new(lambda).unwrap();
+    let mut server = FifoServer::new();
+    let mut t = 0.0f64;
+    let mut total_wait = 0.0f64;
+    let n = 400_000usize;
+    let warmup = n / 10;
+    for i in 0..n {
+        t += inter.sample(&mut rng);
+        let svc = server.serve(SimTime::from_us(t), Duration::from_us(1.0 / mu));
+        if i >= warmup {
+            total_wait += svc.queueing_delay().as_us();
+        }
+    }
+    let measured = total_wait / (n - warmup) as f64;
+    let rel = (measured - theory).abs() / theory;
+    assert!(rel < 0.05, "M/D/1 Wq {measured:.3} vs {theory:.3}");
+}
+
+/// M/M/c via [`Resource`]: compare against the Erlang-C formula.
+#[test]
+fn mmc_wait_matches_erlang_c() {
+    fn erlang_c_wait(lambda: f64, mu: f64, c: usize) -> f64 {
+        let a = lambda / mu; // offered load
+        let rho = a / c as f64;
+        assert!(rho < 1.0);
+        // Erlang C probability of waiting
+        let mut sum = 0.0f64;
+        let mut term = 1.0f64; // a^k / k!
+        for k in 0..c {
+            if k > 0 {
+                term *= a / k as f64;
+            }
+            sum += term;
+        }
+        let term_c = term * a / c as f64; // a^c / c!
+        let pc = term_c / (1.0 - rho) / (sum + term_c / (1.0 - rho));
+        pc / (c as f64 * mu - lambda)
+    }
+
+    for (lambda, mu, c) in [(1.5f64, 1.0f64, 2usize), (2.5, 1.0, 3)] {
+        let theory = erlang_c_wait(lambda, mu, c);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let inter = Exponential::new(lambda).unwrap();
+        let service = Exponential::new(mu).unwrap();
+        let mut resource = Resource::new(c);
+        let mut t = 0.0f64;
+        let mut total_wait = 0.0f64;
+        let n = 400_000usize;
+        let warmup = n / 10;
+        for i in 0..n {
+            t += inter.sample(&mut rng);
+            let svc = resource
+                .serve(SimTime::from_us(t), Duration::from_us(service.sample(&mut rng)));
+            if i >= warmup {
+                total_wait += svc.queueing_delay().as_us();
+            }
+        }
+        let measured = total_wait / (n - warmup) as f64;
+        let rel = (measured - theory).abs() / theory;
+        assert!(
+            rel < 0.08,
+            "M/M/{c} λ={lambda}: Wq {measured:.4} vs Erlang-C {theory:.4} ({:.1}%)",
+            rel * 100.0
+        );
+    }
+}
+
+/// Little's law through the engine: run an open queue as real discrete
+/// events (arrival events scheduling service completions) and check
+/// L = λ·W on the time-average number in system.
+#[test]
+fn littles_law_holds_through_the_engine() {
+    struct St {
+        server: FifoServer,
+        in_system: u32,
+        area: f64, // ∫ N(t) dt
+        last_change: f64,
+        completed: u32,
+        total_sojourn: f64,
+    }
+    let lambda = 0.5f64;
+    let mu = 1.0f64;
+    let n = 120_000usize;
+
+    let mut rng = Xoshiro256pp::seed_from_u64(3);
+    let inter = Exponential::new(lambda).unwrap();
+    let service = Exponential::new(mu).unwrap();
+    let mut eng = Engine::new(St {
+        server: FifoServer::new(),
+        in_system: 0,
+        area: 0.0,
+        last_change: 0.0,
+        completed: 0,
+        total_sojourn: 0.0,
+    });
+    let mut t = 0.0f64;
+    for _ in 0..n {
+        t += inter.sample(&mut rng);
+        let svc_time = service.sample(&mut rng);
+        eng.schedule_at(SimTime::from_us(t), move |e| {
+            let now = e.now().as_us();
+            e.state.area += e.state.in_system as f64 * (now - e.state.last_change);
+            e.state.last_change = now;
+            e.state.in_system += 1;
+            let svc = e.state.server.serve(e.now(), Duration::from_us(svc_time));
+            let arrived = now;
+            e.schedule_at(svc.finish, move |e2| {
+                let now2 = e2.now().as_us();
+                e2.state.area += e2.state.in_system as f64 * (now2 - e2.state.last_change);
+                e2.state.last_change = now2;
+                e2.state.in_system -= 1;
+                e2.state.completed += 1;
+                e2.state.total_sojourn += now2 - arrived;
+            });
+        });
+    }
+    let end = eng.run().as_us();
+    let st = eng.into_state();
+    assert_eq!(st.completed as usize, n);
+    let l = st.area / end; // time-average number in system
+    let w = st.total_sojourn / st.completed as f64; // mean sojourn
+    let lambda_hat = st.completed as f64 / end;
+    let little_gap = (l - lambda_hat * w).abs() / l;
+    assert!(little_gap < 0.02, "L = {l:.4} vs λW = {:.4}", lambda_hat * w);
+    // and the M/M/1 sojourn W = 1/(µ−λ) = 2
+    assert!((w - 2.0).abs() / 2.0 < 0.05, "W = {w:.3}");
+}

@@ -1,0 +1,162 @@
+//! Integration: the analytic model (crates/core) against the
+//! event-driven simulator (crates/sim) — the paper's central
+//! validation (Figures 2–4).
+
+use combar::model::{BarrierModel, LastArrival};
+use combar::presets::TC_US;
+use combar_des::Duration;
+use combar_sim::{
+    full_tree_degrees, optimal_degree, sweep_degrees, SweepConfig, TreeStyle,
+};
+
+fn sweep(p: u32, sigma_tc: f64, degrees: &[u32], reps: usize) -> Vec<combar_sim::DegreeResult> {
+    let cfg = SweepConfig {
+        tc: Duration::from_us(TC_US),
+        sigma_us: sigma_tc * TC_US,
+        reps,
+        seed: 0xfeed,
+        style: TreeStyle::Combining,
+    };
+    sweep_degrees(p, degrees, &cfg)
+}
+
+/// Equation 1 is exact: at σ = 0 the model equals the simulator for
+/// every full-tree degree, at every scale.
+#[test]
+fn equation_1_exact_at_every_scale() {
+    for p in [16u32, 64, 256, 1024, 4096] {
+        let degrees = full_tree_degrees(p);
+        let swept = sweep(p, 0.0, &degrees, 1);
+        let model = BarrierModel::new(p, 0.0, TC_US).unwrap();
+        for r in &swept {
+            let m = model.sync_delay(r.degree).unwrap().sync_delay_us;
+            assert!(
+                (m - r.sync_delay.mean()).abs() < 1e-9,
+                "p={p} d={}: model {m} vs sim {}",
+                r.degree,
+                r.sync_delay.mean()
+            );
+        }
+    }
+}
+
+/// The model's recommended degree, *evaluated by the simulator*, costs
+/// only a modest premium over the simulated optimum across a grid
+/// around the paper's (the paper reports ~7 % on its grid).
+#[test]
+fn estimated_degree_costs_single_digit_percent_on_average() {
+    let mut gaps = Vec::new();
+    for p in [64u32, 256, 1024] {
+        let degrees = combar_sim::default_degree_sweep(p);
+        for sigma_tc in [0.0, 6.2, 12.5, 50.0] {
+            let swept = sweep(p, sigma_tc, &degrees, 15);
+            let best = optimal_degree(&swept);
+            let model = BarrierModel::new(p, sigma_tc * TC_US, TC_US).unwrap();
+            let est = model.estimate_optimal_degree().degree;
+            let est_sim = swept
+                .iter()
+                .find(|r| r.degree == est)
+                .cloned()
+                .unwrap_or_else(|| sweep(p, sigma_tc, &[est], 15).into_iter().next().unwrap());
+            gaps.push(est_sim.sync_delay.mean() / best.sync_delay.mean() - 1.0);
+        }
+    }
+    let mean = gaps.iter().sum::<f64>() / gaps.len() as f64 * 100.0;
+    assert!(mean < 20.0, "mean estimation premium {mean:.1}% (paper ~7%)");
+}
+
+/// Both the model and the simulator move the optimum wider as σ grows
+/// — and they agree about *when* degree 4 stops being optimal within
+/// one grid column.
+#[test]
+fn model_and_sim_agree_on_the_transition() {
+    let p = 256u32;
+    let degrees = full_tree_degrees(p);
+    for sigma_tc in [0.0f64, 25.0] {
+        let swept = sweep(p, sigma_tc, &degrees, 20);
+        let sim_best = optimal_degree(&swept).degree;
+        let model = BarrierModel::new(p, sigma_tc * TC_US, TC_US).unwrap();
+        let est_best = model.estimate_optimal_degree().degree;
+        if sigma_tc == 0.0 {
+            assert_eq!(sim_best, 4);
+            assert_eq!(est_best, 4);
+        } else {
+            assert!(sim_best > 4, "σ=25tc sim best {sim_best}");
+            assert!(est_best > 4, "σ=25tc est best {est_best}");
+        }
+    }
+}
+
+/// The model is conservative in the right direction: it never
+/// *underestimates* the delay of very wide trees (which would cause a
+/// catastrophically bad recommendation), while moderate trees stay
+/// within a factor-2 band.
+#[test]
+fn model_bias_is_safe_for_recommendation() {
+    let p = 256u32;
+    for sigma_tc in [6.2f64, 25.0] {
+        let swept = sweep(p, sigma_tc, &full_tree_degrees(p), 20);
+        let model = BarrierModel::new(p, sigma_tc * TC_US, TC_US).unwrap();
+        for r in &swept {
+            let m = model.sync_delay(r.degree).unwrap().sync_delay_us;
+            if r.degree == p {
+                assert!(m > r.sync_delay.mean() * 0.95, "flat tree underestimated");
+            } else {
+                let ratio = m / r.sync_delay.mean();
+                assert!(
+                    (0.5..2.5).contains(&ratio),
+                    "p={p} d={} σ={sigma_tc}tc: ratio {ratio}",
+                    r.degree
+                );
+            }
+        }
+    }
+}
+
+/// All three last-arrival estimators give usable recommendations; the
+/// exact quadrature never misleads relative to the asymptotic by more
+/// than one degree step on the full-tree ladder.
+#[test]
+fn last_arrival_estimators_agree_closely() {
+    for p in [64u32, 4096] {
+        for sigma_tc in [6.2f64, 25.0, 100.0] {
+            let asym = BarrierModel::new(p, sigma_tc * TC_US, TC_US)
+                .unwrap()
+                .estimate_optimal_degree()
+                .degree;
+            let exact = BarrierModel::new(p, sigma_tc * TC_US, TC_US)
+                .unwrap()
+                .with_last_arrival(LastArrival::ExactQuadrature)
+                .estimate_optimal_degree()
+                .degree;
+            let ladder = full_tree_degrees(p);
+            let ia = ladder.iter().position(|&d| d == asym).unwrap();
+            let ie = ladder.iter().position(|&d| d == exact).unwrap();
+            assert!(
+                ia.abs_diff(ie) <= 1,
+                "p={p} σ={sigma_tc}tc: asymptotic {asym} vs exact {exact}"
+            );
+        }
+    }
+}
+
+/// MCS trees beat plain combining trees at degree 4 but the advantage
+/// vanishes for wider trees (paper Section 4) — checked through the
+/// same simulator the grid uses.
+#[test]
+fn mcs_advantage_exists_then_vanishes() {
+    let p = 1024u32;
+    let cfg = |style| SweepConfig {
+        tc: Duration::from_us(TC_US),
+        sigma_us: 0.0,
+        reps: 1,
+        seed: 1,
+        style,
+    };
+    let comb = sweep_degrees(p, &[4, 32], &cfg(TreeStyle::Combining));
+    let mcs = sweep_degrees(p, &[4, 32], &cfg(TreeStyle::Mcs));
+    let adv4 = comb[0].sync_delay.mean() / mcs[0].sync_delay.mean();
+    let adv32 = comb[1].sync_delay.mean() / mcs[1].sync_delay.mean();
+    assert!(adv4 > 1.0, "MCS should win at degree 4 (got {adv4})");
+    assert!(adv4 >= adv32 - 0.02, "advantage should not grow with degree");
+}

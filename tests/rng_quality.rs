@@ -1,0 +1,152 @@
+//! Statistical quality battery for the from-scratch PRNGs.
+//!
+//! Not a BigCrush replacement — a regression net: if a generator's
+//! constants or update rule are ever mistyped, at least one of these
+//! coarse tests fails loudly.
+
+use combar_rng::special::normal_cdf;
+use combar_rng::stats::{autocorrelation, pearson};
+use combar_rng::{ks_test, Pcg32, Rng, SeedableRng, SplitMix64, Xoshiro256pp};
+
+/// Chi-square statistic for byte frequencies of `n` outputs.
+fn byte_chi_square<R: Rng>(rng: &mut R, words: usize) -> f64 {
+    let mut counts = [0u64; 256];
+    for _ in 0..words {
+        let x = rng.next_u64();
+        for b in x.to_le_bytes() {
+            counts[b as usize] += 1;
+        }
+    }
+    let total = (words * 8) as f64;
+    let expect = total / 256.0;
+    counts.iter().map(|&c| (c as f64 - expect).powi(2) / expect).sum()
+}
+
+/// For 255 degrees of freedom, the chi-square statistic should lie in
+/// roughly [180, 340] (99.9 % band ≈ [175, 348]).
+#[test]
+fn byte_frequencies_are_uniform() {
+    let mut xo = Xoshiro256pp::seed_from_u64(1);
+    let mut pcg = Pcg32::seed_from_u64(2);
+    let mut sm = SplitMix64::seed_from_u64(3);
+    for (name, chi) in [
+        ("xoshiro", byte_chi_square(&mut xo, 100_000)),
+        ("pcg32", byte_chi_square(&mut pcg, 100_000)),
+        ("splitmix", byte_chi_square(&mut sm, 100_000)),
+    ] {
+        assert!((170.0..350.0).contains(&chi), "{name}: χ² = {chi}");
+    }
+}
+
+/// Unit-interval outputs must pass a KS test against U(0, 1).
+#[test]
+fn unit_outputs_are_uniform() {
+    let mut rng = Xoshiro256pp::seed_from_u64(4);
+    let data: Vec<f64> = (0..20_000).map(|_| rng.next_f64()).collect();
+    let res = ks_test(&data, |x| x.clamp(0.0, 1.0));
+    assert!(res.consistent_at(0.01), "D = {}, p = {}", res.statistic, res.p_value);
+}
+
+/// Successive outputs must be uncorrelated at several lags.
+#[test]
+fn serial_correlation_is_negligible() {
+    for seed in [5u64, 6, 7] {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let series: Vec<f64> = (0..50_000).map(|_| rng.next_f64()).collect();
+        for lag in [1usize, 2, 7, 64] {
+            let r = autocorrelation(&series, lag);
+            assert!(r.abs() < 0.02, "seed {seed} lag {lag}: r = {r}");
+        }
+    }
+}
+
+/// Nearby seeds must produce decorrelated streams (the SplitMix64 seed
+/// expansion is what guarantees this).
+#[test]
+fn adjacent_seeds_are_decorrelated() {
+    for base in [0u64, 1_000_000, u64::MAX - 10] {
+        let mut a = Xoshiro256pp::seed_from_u64(base);
+        let mut b = Xoshiro256pp::seed_from_u64(base.wrapping_add(1));
+        let va: Vec<f64> = (0..20_000).map(|_| a.next_f64()).collect();
+        let vb: Vec<f64> = (0..20_000).map(|_| b.next_f64()).collect();
+        let r = pearson(&va, &vb);
+        assert!(r.abs() < 0.02, "seeds {base}/{}: r = {r}", base.wrapping_add(1));
+    }
+}
+
+/// `split` streams must be pairwise decorrelated.
+#[test]
+fn split_streams_are_decorrelated() {
+    let streams: Vec<Vec<f64>> = (0..4)
+        .map(|s| {
+            let mut rng = Xoshiro256pp::split(99, s);
+            (0..20_000).map(|_| rng.next_f64()).collect()
+        })
+        .collect();
+    for i in 0..streams.len() {
+        for j in i + 1..streams.len() {
+            let r = pearson(&streams[i], &streams[j]);
+            assert!(r.abs() < 0.02, "streams {i}/{j}: r = {r}");
+        }
+    }
+}
+
+/// Lemire bounded sampling must be unbiased: chi-square over a bound
+/// that stresses the rejection path (a bound just above a power of
+/// two).
+#[test]
+fn bounded_sampling_is_unbiased() {
+    let bound = 65u64; // 64 + 1: worst-case-ish rejection structure
+    let mut rng = Pcg32::seed_from_u64(11);
+    let n = 650_000usize;
+    let mut counts = vec![0u64; bound as usize];
+    for _ in 0..n {
+        counts[rng.next_below(bound) as usize] += 1;
+    }
+    let expect = n as f64 / bound as f64;
+    let chi: f64 = counts.iter().map(|&c| (c as f64 - expect).powi(2) / expect).sum();
+    // 64 dof: 99.9 % band ≈ [30, 110]
+    assert!((25.0..115.0).contains(&chi), "χ² = {chi}");
+}
+
+/// The two normal samplers agree with the analytic CDF through a KS
+/// test at scale (stacking the earlier per-module checks).
+#[test]
+fn normal_samplers_pass_ks_at_scale() {
+    use combar_rng::{Distribution, Normal, ZigguratNormal};
+    let mut rng = Xoshiro256pp::seed_from_u64(12);
+    let polar: Vec<f64> = {
+        let d = Normal::standard();
+        (0..30_000).map(|_| d.sample(&mut rng)).collect()
+    };
+    let zig: Vec<f64> = {
+        let z = ZigguratNormal::new();
+        (0..30_000).map(|_| z.sample(&mut rng)).collect()
+    };
+    assert!(ks_test(&polar, normal_cdf).consistent_at(0.01));
+    assert!(ks_test(&zig, normal_cdf).consistent_at(0.01));
+}
+
+/// Shuffle uniformity: over many shuffles of [0,1,2,3], every position
+/// histogram must be flat (checks Fisher–Yates index bounds).
+#[test]
+fn shuffle_is_unbiased() {
+    let mut rng = Xoshiro256pp::seed_from_u64(13);
+    let n = 120_000usize;
+    let mut counts = [[0u64; 4]; 4]; // counts[value][position]
+    for _ in 0..n {
+        let mut v = [0u8, 1, 2, 3];
+        rng.shuffle(&mut v);
+        for (pos, &val) in v.iter().enumerate() {
+            counts[val as usize][pos] += 1;
+        }
+    }
+    let expect = n as f64 / 4.0;
+    for (val, row) in counts.iter().enumerate() {
+        for (pos, &count) in row.iter().enumerate() {
+            let c = count as f64;
+            let dev = (c - expect).abs() / expect;
+            assert!(dev < 0.02, "value {val} at position {pos}: {c} vs {expect}");
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Integration: every threaded barrier of `combar-rt` under one
+//! lockstep torture harness, plus the model-driven adaptive policy.
+
+use combar::model_policy;
+use combar_rt::harness::{lockstep_torture, Stagger};
+use combar_rt::{
+    AdaptiveBarrier, CentralBarrier, DisseminationBarrier, DynamicBarrier, FuzzyWaiter,
+    TournamentBarrier, TreeBarrier,
+};
+use combar_topo::Topology;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+const EPISODES: u32 = 120;
+
+/// The shared soak harness, with this file's historical call shape.
+fn torture<F, G>(p: usize, stagger: bool, make: F)
+where
+    F: Fn(u32) -> G + Sync,
+    G: FnMut() + Send,
+{
+    let mode = if stagger { Stagger::Mixed } else { Stagger::None };
+    let report = lockstep_torture(p as u32, EPISODES, mode, make);
+    assert_eq!(report.episodes, EPISODES);
+    assert!(report.max_skew <= 1);
+}
+
+#[test]
+fn central_barrier_lockstep() {
+    for p in [2usize, 5] {
+        let b = CentralBarrier::new(p as u32);
+        torture(p, true, |_| {
+            let mut w = b.waiter();
+            move || w.wait()
+        });
+    }
+}
+
+#[test]
+fn combining_tree_lockstep_various_degrees() {
+    for (p, d) in [(4usize, 2u32), (6, 3), (8, 8)] {
+        let b = TreeBarrier::combining(p as u32, d);
+        torture(p, true, |tid| {
+            let mut w = b.waiter(tid);
+            move || w.wait()
+        });
+    }
+}
+
+#[test]
+fn mcs_and_ring_tree_lockstep() {
+    let b = TreeBarrier::mcs(7, 2);
+    torture(7, true, |tid| {
+        let mut w = b.waiter(tid);
+        move || w.wait()
+    });
+    let topo = Topology::ring_mcs(8, 2, 4);
+    let b = TreeBarrier::from_topology(&topo);
+    torture(8, true, |tid| {
+        let mut w = b.waiter(tid);
+        move || w.wait()
+    });
+}
+
+#[test]
+fn dissemination_barrier_lockstep() {
+    for p in [3usize, 8] {
+        let b = DisseminationBarrier::new(p as u32);
+        torture(p, true, |tid| {
+            let mut w = b.waiter(tid);
+            move || w.wait()
+        });
+    }
+}
+
+#[test]
+fn tournament_barrier_lockstep() {
+    for p in [2usize, 5, 8] {
+        let b = TournamentBarrier::new(p as u32);
+        torture(p, true, |tid| {
+            let mut w = b.waiter(tid);
+            move || w.wait()
+        });
+    }
+}
+
+#[test]
+fn dynamic_barrier_lockstep_while_swapping() {
+    for (p, d) in [(6usize, 2u32), (8, 4)] {
+        let b = DynamicBarrier::mcs(p as u32, d);
+        torture(p, true, |tid| {
+            let mut w = b.waiter(tid);
+            move || w.wait()
+        });
+        // staggering makes different threads slow in different
+        // episodes, so swaps definitely happened
+        assert!(b.swap_count() > 0, "p={p} d={d} swapped 0 times");
+    }
+}
+
+#[test]
+fn adaptive_barrier_lockstep_with_model_policy() {
+    let p = 4usize;
+    let b = AdaptiveBarrier::new(p as u32, &[2, 4], 5, model_policy(20.0));
+    torture(p, true, |tid| {
+        let mut w = b.waiter(tid);
+        move || w.wait()
+    });
+}
+
+/// Fuzzy split across barrier kinds: slack work between arrive and
+/// depart must all complete before the *next* episode's departures.
+#[test]
+fn fuzzy_contract_across_barrier_kinds() {
+    fn fuzzy_torture<W: FuzzyWaiter + Send>(p: usize, waiters: Vec<W>) {
+        let slack_units = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for mut w in waiters {
+                let slack_units = &slack_units;
+                s.spawn(move || {
+                    for e in 0..60u32 {
+                        w.arrive();
+                        slack_units.fetch_add(1, Ordering::AcqRel);
+                        w.depart();
+                        // All arrivals for episode e happened; my own
+                        // slack ran; at least p·e + my (e+1) units exist.
+                        let seen = slack_units.load(Ordering::Acquire);
+                        assert!(seen > e * p as u32, "episode {e}: {seen}");
+                    }
+                });
+            }
+        });
+        assert_eq!(slack_units.load(Ordering::Relaxed), 60 * p as u32);
+    }
+
+    let p = 3usize;
+    let c = CentralBarrier::new(p as u32);
+    fuzzy_torture(p, (0..p).map(|_| c.waiter()).collect());
+    let t = TreeBarrier::combining(p as u32, 2);
+    fuzzy_torture(p, (0..p as u32).map(|i| t.waiter(i)).collect());
+    let d = DynamicBarrier::mcs(p as u32, 2);
+    fuzzy_torture(p, (0..p as u32).map(|i| d.waiter(i)).collect());
+}
+
+/// The dynamic barrier's migration matches the simulator's placement
+/// semantics: a persistently slow thread converges to the root and the
+/// average depth seen by the releaser drops accordingly.
+#[test]
+fn dynamic_migration_matches_paper_mechanism() {
+    const P: u32 = 8;
+    let b = DynamicBarrier::mcs(P, 2);
+    let depth_after = AtomicU32::new(0);
+    std::thread::scope(|s| {
+        for tid in 0..P {
+            let b = &b;
+            let depth_after = &depth_after;
+            s.spawn(move || {
+                let mut w = b.waiter(tid);
+                for _ in 0..25 {
+                    if tid == 3 {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    w.wait();
+                }
+                if tid == 3 {
+                    depth_after.store(w.depth(), Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(depth_after.load(Ordering::Relaxed), 1, "slow thread owns the root");
+}
+
+/// Mixed workload churn: threads repeatedly create fresh waiters for
+/// the same shared barrier across phases (a pattern real runtimes use
+/// between parallel regions).
+#[test]
+fn barriers_survive_waiter_churn() {
+    let p = 4u32;
+    let b = TreeBarrier::combining(p, 2);
+    for _phase in 0..5 {
+        std::thread::scope(|s| {
+            for tid in 0..p {
+                let b = &b;
+                s.spawn(move || {
+                    let mut w = b.waiter(tid);
+                    for _ in 0..20 {
+                        w.wait();
+                    }
+                });
+            }
+        });
+    }
+}
