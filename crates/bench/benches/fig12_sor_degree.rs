@@ -1,39 +1,33 @@
-//! Criterion bench regenerating a reduced Figure 12/13 point: SOR on
+//! In-tree bench regenerating a reduced Figure 12/13 point: SOR on
 //! the modelled KSR1 through the barrier iteration runner.
 
+use combar_bench::experiments::SEED;
+use combar_bench::Bench;
 use combar_des::Duration;
 use combar_machine::{ring_topology, KsrParams, SorWork};
 use combar_rng::{SeedableRng, Xoshiro256pp};
-use combar_bench::experiments::SEED;
 use combar_sim::{run_iterations, IterateConfig, PlacementMode};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn fig12_bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig12_sor_degree");
-    group.sample_size(10);
+fn main() {
+    let mut bench = Bench::new("fig12_sor_degree");
     let params = KsrParams::default();
     for degree in [4u32, 16, 32] {
-        group.bench_with_input(BenchmarkId::from_parameter(degree), &degree, |b, &d| {
-            let topo = ring_topology(&params, d);
-            let cfg = IterateConfig {
-                tc: Duration::from_us(params.tc_us),
-                slack: Duration::ZERO,
-                iterations: 50,
-                warmup: 5,
-                mode: PlacementMode::Static,
-                record_arrivals: false,
-                release_model: combar_sim::ReleaseModel::CentralFlag,
-            };
-            b.iter(|| {
-                let mut work = SorWork::paper_config(210);
-                let mut rng = Xoshiro256pp::seed_from_u64(SEED);
-                let rep = run_iterations(&topo, &cfg, &mut work, &mut rng);
-                std::hint::black_box(rep.sync_delay.mean())
-            });
+        let topo = ring_topology(&params, degree);
+        let cfg = IterateConfig {
+            tc: Duration::from_us(params.tc_us),
+            slack: Duration::ZERO,
+            iterations: 50,
+            warmup: 5,
+            mode: PlacementMode::Static,
+            record_arrivals: false,
+            release_model: combar_sim::ReleaseModel::CentralFlag,
+        };
+        bench.bench(format!("degree{degree}"), || {
+            let mut work = SorWork::paper_config(210);
+            let mut rng = Xoshiro256pp::seed_from_u64(SEED);
+            let rep = run_iterations(&topo, &cfg, &mut work, &mut rng);
+            rep.sync_delay.mean()
         });
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, fig12_bench);
-criterion_main!(benches);

@@ -1,33 +1,27 @@
-//! Criterion bench regenerating Figure 2 (reduced replication): sync
+//! In-tree bench regenerating Figure 2 (reduced replication): sync
 //! delay vs degree at 4096 processors, one benchmark per degree.
 
 use combar::presets::{Fig2, TC_US};
 use combar_bench::experiments::SEED;
-use combar_sim::{sweep_degrees, SweepConfig, TreeStyle};
+use combar_bench::Bench;
 use combar_des::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use combar_sim::{sweep_degrees, SweepConfig, TreeStyle};
 
-fn fig2_bench(c: &mut Criterion) {
+fn main() {
     let preset = Fig2::default();
-    let mut group = c.benchmark_group("fig2_delay_vs_degree");
-    group.sample_size(10);
+    let mut bench = Bench::new("fig2_delay_vs_degree");
     for &degree in &preset.degrees {
-        group.bench_with_input(BenchmarkId::from_parameter(degree), &degree, |b, &d| {
-            let cfg = SweepConfig {
-                tc: Duration::from_us(TC_US),
-                sigma_us: preset.sigma_us,
-                reps: 3,
-                seed: SEED,
-                style: TreeStyle::Combining,
-            };
-            b.iter(|| {
-                let res = sweep_degrees(preset.p, &[d], &cfg);
-                std::hint::black_box(res[0].sync_delay.mean())
-            });
+        let cfg = SweepConfig {
+            tc: Duration::from_us(TC_US),
+            sigma_us: preset.sigma_us,
+            reps: 3,
+            seed: SEED,
+            style: TreeStyle::Combining,
+        };
+        bench.bench(format!("degree{degree}"), || {
+            let res = sweep_degrees(preset.p, &[degree], &cfg);
+            res[0].sync_delay.mean()
         });
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, fig2_bench);
-criterion_main!(benches);

@@ -1,34 +1,27 @@
-//! Criterion bench regenerating one Figure 3 grid cell per benchmark:
+//! In-tree bench regenerating one Figure 3 grid cell per benchmark:
 //! exhaustive optimal-degree search at (p, σ).
 
 use combar::presets::TC_US;
 use combar_bench::experiments::SEED;
+use combar_bench::Bench;
 use combar_des::Duration;
 use combar_sim::{default_degree_sweep, optimal_degree, sweep_degrees, SweepConfig, TreeStyle};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn fig3_bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig3_optimal_degree");
-    group.sample_size(10);
+fn main() {
+    let mut bench = Bench::new("fig3_optimal_degree");
     for (p, sigma_tc) in [(64u32, 6.2f64), (256, 25.0), (4096, 12.5)] {
-        let id = format!("p{p}_sigma{sigma_tc}tc");
-        group.bench_with_input(BenchmarkId::from_parameter(id), &(p, sigma_tc), |b, &(p, s)| {
-            let cfg = SweepConfig {
-                tc: Duration::from_us(TC_US),
-                sigma_us: s * TC_US,
-                reps: 3,
-                seed: SEED,
-                style: TreeStyle::Combining,
-            };
-            let degrees = default_degree_sweep(p);
-            b.iter(|| {
-                let swept = sweep_degrees(p, &degrees, &cfg);
-                std::hint::black_box(optimal_degree(&swept).degree)
-            });
+        let cfg = SweepConfig {
+            tc: Duration::from_us(TC_US),
+            sigma_us: sigma_tc * TC_US,
+            reps: 3,
+            seed: SEED,
+            style: TreeStyle::Combining,
+        };
+        let degrees = default_degree_sweep(p);
+        bench.bench(format!("p{p}_sigma{sigma_tc}tc"), || {
+            let swept = sweep_degrees(p, &degrees, &cfg);
+            optimal_degree(&swept).degree
         });
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, fig3_bench);
-criterion_main!(benches);

@@ -1,41 +1,37 @@
-//! Criterion bench regenerating a reduced Figure 8 cell: dynamic vs
+//! In-tree bench regenerating a reduced Figure 8 cell: dynamic vs
 //! static placement over chained fuzzy iterations.
 
 use combar::presets::TC_US;
 use combar_bench::experiments::SEED;
+use combar_bench::Bench;
 use combar_des::Duration;
 use combar_rng::{SeedableRng, Xoshiro256pp};
 use combar_sim::{run_iterations, IterateConfig, PlacementMode, Topology, Workload};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn fig8_bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_dynamic_placement");
-    group.sample_size(10);
-    for (mode, name) in [(PlacementMode::Static, "static"), (PlacementMode::Dynamic, "dynamic")] {
+fn main() {
+    let mut bench = Bench::new("fig8_dynamic_placement");
+    for (mode, name) in [
+        (PlacementMode::Static, "static"),
+        (PlacementMode::Dynamic, "dynamic"),
+    ] {
         for degree in [4u32, 16] {
-            let id = format!("{name}_d{degree}");
-            group.bench_with_input(BenchmarkId::from_parameter(id), &degree, |b, &d| {
-                let topo = Topology::mcs(1024, d);
-                let cfg = IterateConfig {
-                    tc: Duration::from_us(TC_US),
-                    slack: Duration::from_us(4_000.0),
-                    iterations: 20,
-                    warmup: 5,
-                    mode,
-                    record_arrivals: false,
-                    release_model: combar_sim::ReleaseModel::CentralFlag,
-                };
-                b.iter(|| {
-                    let mut w = Workload::iid_normal(9_500.0, 250.0);
-                    let mut rng = Xoshiro256pp::seed_from_u64(SEED);
-                    let rep = run_iterations(&topo, &cfg, &mut w, &mut rng);
-                    std::hint::black_box(rep.sync_delay.mean())
-                });
+            let topo = Topology::mcs(1024, degree);
+            let cfg = IterateConfig {
+                tc: Duration::from_us(TC_US),
+                slack: Duration::from_us(4_000.0),
+                iterations: 20,
+                warmup: 5,
+                mode,
+                record_arrivals: false,
+                release_model: combar_sim::ReleaseModel::CentralFlag,
+            };
+            bench.bench(format!("{name}_d{degree}"), || {
+                let mut w = Workload::iid_normal(9_500.0, 250.0);
+                let mut rng = Xoshiro256pp::seed_from_u64(SEED);
+                let rep = run_iterations(&topo, &cfg, &mut w, &mut rng);
+                rep.sync_delay.mean()
             });
         }
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, fig8_bench);
-criterion_main!(benches);

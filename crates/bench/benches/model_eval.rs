@@ -1,30 +1,26 @@
-//! Criterion bench for the analytic model itself: Algorithm 1
+//! In-tree bench for the analytic model itself: Algorithm 1
 //! evaluation and estimated-optimal-degree search (the operation a
 //! compiler or adaptive barrier performs).
 
 use combar::model::{BarrierModel, LastArrival};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use combar_bench::Bench;
 
-fn model_bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("model_eval");
+fn main() {
+    let mut bench = Bench::new("model_eval");
     for p in [64u32, 4096] {
-        group.bench_with_input(BenchmarkId::new("algorithm1", p), &p, |b, &p| {
-            let m = BarrierModel::new(p, 250.0, 20.0).unwrap();
-            b.iter(|| std::hint::black_box(m.sync_delay(4).unwrap().sync_delay_us));
+        let m = BarrierModel::new(p, 250.0, 20.0).unwrap();
+        bench.bench(format!("algorithm1/p{p}"), || {
+            m.sync_delay(4).unwrap().sync_delay_us
         });
-        group.bench_with_input(BenchmarkId::new("estimate_optimal", p), &p, |b, &p| {
-            let m = BarrierModel::new(p, 250.0, 20.0).unwrap();
-            b.iter(|| std::hint::black_box(m.estimate_optimal_degree().degree));
+        bench.bench(format!("estimate_optimal/p{p}"), || {
+            m.estimate_optimal_degree().degree
         });
-        group.bench_with_input(BenchmarkId::new("exact_quadrature", p), &p, |b, &p| {
-            let m = BarrierModel::new(p, 250.0, 20.0)
-                .unwrap()
-                .with_last_arrival(LastArrival::ExactQuadrature);
-            b.iter(|| std::hint::black_box(m.estimate_optimal_degree().degree));
+        let mq = BarrierModel::new(p, 250.0, 20.0)
+            .unwrap()
+            .with_last_arrival(LastArrival::ExactQuadrature);
+        bench.bench(format!("exact_quadrature/p{p}"), || {
+            mq.estimate_optimal_degree().degree
         });
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, model_bench);
-criterion_main!(benches);

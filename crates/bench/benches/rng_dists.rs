@@ -1,71 +1,65 @@
-//! Criterion bench for the random-number substrate: raw generators and
+//! In-tree bench for the random-number substrate: raw generators and
 //! the distributions the simulations draw millions of times.
 
+use combar_bench::Bench;
 use combar_rng::{
     Distribution, Exponential, Gamma, Normal, Pcg32, Rng, SeedableRng, SplitMix64, Xoshiro256pp,
     ZigguratNormal,
 };
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-fn generators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rng_generators");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("xoshiro256pp", |b| {
+fn main() {
+    let mut bench = Bench::new("rng_generators");
+    {
         let mut rng = Xoshiro256pp::seed_from_u64(1);
-        b.iter(|| std::hint::black_box(rng.next_u64()));
-    });
-    group.bench_function("pcg32", |b| {
+        bench.bench("xoshiro256pp", move || rng.next_u64());
+    }
+    {
         let mut rng = Pcg32::seed_from_u64(1);
-        b.iter(|| std::hint::black_box(rng.next_u64()));
-    });
-    group.bench_function("splitmix64", |b| {
+        bench.bench("pcg32", move || rng.next_u64());
+    }
+    {
         let mut rng = SplitMix64::seed_from_u64(1);
-        b.iter(|| std::hint::black_box(rng.next_u64()));
-    });
-    group.finish();
-}
+        bench.bench("splitmix64", move || rng.next_u64());
+    }
+    bench.finish();
 
-fn distributions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rng_distributions");
-    group.throughput(Throughput::Elements(1));
-    let mut rng = Xoshiro256pp::seed_from_u64(2);
-    group.bench_function("normal_polar", |b| {
+    let mut bench = Bench::new("rng_distributions");
+    {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let d = Normal::standard();
-        b.iter(|| std::hint::black_box(d.sample(&mut rng)));
-    });
-    group.bench_function("normal_ziggurat", |b| {
+        bench.bench("normal_polar", move || d.sample(&mut rng));
+    }
+    {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let z = ZigguratNormal::new();
-        b.iter(|| std::hint::black_box(z.sample(&mut rng)));
-    });
-    group.bench_function("exponential", |b| {
+        bench.bench("normal_ziggurat", move || z.sample(&mut rng));
+    }
+    {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let e = Exponential::with_mean(1.0).unwrap();
-        b.iter(|| std::hint::black_box(e.sample(&mut rng)));
-    });
-    group.bench_function("gamma_shape3", |b| {
+        bench.bench("exponential", move || e.sample(&mut rng));
+    }
+    {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let g = Gamma::new(3.0, 1.0).unwrap();
-        b.iter(|| std::hint::black_box(g.sample(&mut rng)));
-    });
-    group.finish();
-}
+        bench.bench("gamma_shape3", move || g.sample(&mut rng));
+    }
+    bench.finish();
 
-fn model_functions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rng_special");
-    group.bench_function("normal_quantile", |b| {
+    let mut bench = Bench::new("rng_special");
+    {
         let mut p = 0.001f64;
-        b.iter(|| {
+        bench.bench("normal_quantile", move || {
             p = if p > 0.998 { 0.001 } else { p + 0.001 };
-            std::hint::black_box(combar_rng::special::normal_quantile(p))
+            combar_rng::special::normal_quantile(p)
         });
-    });
-    group.bench_function("erfc", |b| {
+    }
+    {
         let mut x = -5.0f64;
-        b.iter(|| {
+        bench.bench("erfc", move || {
             x = if x > 5.0 { -5.0 } else { x + 0.01 };
-            std::hint::black_box(combar_rng::special::erfc(x))
+            combar_rng::special::erfc(x)
         });
-    });
-    group.finish();
+    }
+    bench.finish();
 }
-
-criterion_group!(benches, generators, distributions, model_functions);
-criterion_main!(benches);

@@ -1,9 +1,9 @@
-//! Criterion bench for the threaded barrier runtime: episodes per
+//! In-tree bench for the threaded barrier runtime: episodes per
 //! second for each barrier kind at small thread counts (beyond-paper
 //! validation on the host machine).
 
+use combar_bench::Bench;
 use combar_rt::{CentralBarrier, DisseminationBarrier, DynamicBarrier, TreeBarrier};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const EPISODES: u32 = 200;
 
@@ -24,49 +24,37 @@ where
     });
 }
 
-fn rt_bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rt_barriers");
-    group.sample_size(10);
+fn main() {
+    let mut bench = Bench::new("rt_barriers");
     for p in [2u32, 4] {
-        group.bench_with_input(BenchmarkId::new("central", p), &p, |b, &p| {
-            b.iter(|| {
-                let barrier = CentralBarrier::new(p);
-                run_threads(p, |_| {
-                    let mut w = barrier.waiter();
-                    move || w.wait()
-                });
+        bench.bench(format!("central/p{p}"), || {
+            let barrier = CentralBarrier::new(p);
+            run_threads(p, |_| {
+                let mut w = barrier.waiter();
+                move || w.wait()
             });
         });
-        group.bench_with_input(BenchmarkId::new("tree_d2", p), &p, |b, &p| {
-            b.iter(|| {
-                let barrier = TreeBarrier::combining(p, 2);
-                run_threads(p, |tid| {
-                    let mut w = barrier.waiter(tid);
-                    move || w.wait()
-                });
+        bench.bench(format!("tree_d2/p{p}"), || {
+            let barrier = TreeBarrier::combining(p, 2);
+            run_threads(p, |tid| {
+                let mut w = barrier.waiter(tid);
+                move || w.wait()
             });
         });
-        group.bench_with_input(BenchmarkId::new("dissemination", p), &p, |b, &p| {
-            b.iter(|| {
-                let barrier = DisseminationBarrier::new(p);
-                run_threads(p, |tid| {
-                    let mut w = barrier.waiter(tid);
-                    move || w.wait()
-                });
+        bench.bench(format!("dissemination/p{p}"), || {
+            let barrier = DisseminationBarrier::new(p);
+            run_threads(p, |tid| {
+                let mut w = barrier.waiter(tid);
+                move || w.wait()
             });
         });
-        group.bench_with_input(BenchmarkId::new("dynamic_d2", p), &p, |b, &p| {
-            b.iter(|| {
-                let barrier = DynamicBarrier::mcs(p, 2);
-                run_threads(p, |tid| {
-                    let mut w = barrier.waiter(tid);
-                    move || w.wait()
-                });
+        bench.bench(format!("dynamic_d2/p{p}"), || {
+            let barrier = DynamicBarrier::mcs(p, 2);
+            run_threads(p, |tid| {
+                let mut w = barrier.waiter(tid);
+                move || w.wait()
             });
         });
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, rt_bench);
-criterion_main!(benches);

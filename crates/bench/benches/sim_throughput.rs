@@ -1,48 +1,31 @@
-//! Criterion bench for the simulator substrate itself: events per
-//! second of the DES engine through barrier episodes, plus the SOR
-//! numeric kernel.
+//! In-tree bench for the simulator substrate itself: time per barrier
+//! episode through the DES engine, plus the SOR numeric kernel.
 
-use combar_machine::Grid;
 use combar::presets::TC_US;
 use combar_bench::experiments::SEED;
+use combar_bench::Bench;
 use combar_des::Duration;
+use combar_machine::Grid;
 use combar_rng::{SeedableRng, Xoshiro256pp};
 use combar_sim::{normal_arrivals, run_episode, Topology};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn episode_bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_episode");
+fn main() {
+    let mut bench = Bench::new("sim_episode");
     for (p, d) in [(256u32, 4u32), (4096, 4), (4096, 64)] {
         let topo = Topology::combining(p, d);
-        let updates = p as u64 + topo.num_counters() as u64 - 1;
-        group.throughput(Throughput::Elements(updates));
         let mut rng = Xoshiro256pp::seed_from_u64(SEED);
         let arrivals = normal_arrivals(p as usize, 250.0, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("p{p}_d{d}")),
-            &topo,
-            |b, topo| {
-                b.iter(|| {
-                    let r = run_episode(topo, topo.homes(), &arrivals, Duration::from_us(TC_US));
-                    std::hint::black_box(r.sync_delay_us)
-                });
-            },
-        );
-    }
-    group.finish();
-}
-
-fn sor_bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sor_kernel");
-    for n in [64usize, 256] {
-        group.throughput(Throughput::Elements(((n - 2) * (n - 2)) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut g = Grid::new(n, n, 0.0, 1.0);
-            b.iter(|| std::hint::black_box(g.step()));
+        bench.bench(format!("p{p}_d{d}"), || {
+            let r = run_episode(&topo, topo.homes(), &arrivals, Duration::from_us(TC_US));
+            r.sync_delay_us
         });
     }
-    group.finish();
-}
+    bench.finish();
 
-criterion_group!(benches, episode_bench, sor_bench);
-criterion_main!(benches);
+    let mut bench = Bench::new("sor_kernel");
+    for n in [64usize, 256] {
+        let mut g = Grid::new(n, n, 0.0, 1.0);
+        bench.bench(format!("n{n}"), move || g.step());
+    }
+    bench.finish();
+}

@@ -6,23 +6,46 @@
 //! ```
 //!
 //! Available ids: fig2, fig3, fig4, fig5, sec4-mcs, fig8, fig9, fig10,
-//! fig11, fig12, fig13, ablate, adaptive, fuzzy-idle, release,
+//! fig11, fig12, fig13, ablate, adaptive, chaos, fuzzy-idle, release,
 //! baselines, verify, all. A `--quick` flag shrinks replication counts
 //! for smoke runs. `verify` grades the reproduction against the paper's
 //! reference values and exits non-zero on failure.
 
 use combar::presets::{Fig12, Fig13, Fig2, Fig3Grid, Fig5, Fig8, ScalingSweep};
-use combar_bench::experiments::{ablate, adaptive, baselines, fig2, fig34, fig5, fig8, fuzzy_idle, ksr, mcs, release, scaling};
+use combar_bench::experiments::{
+    ablate, adaptive, baselines, chaos, fig2, fig34, fig5, fig8, fuzzy_idle, ksr, mcs, release,
+    scaling, SEED,
+};
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| *a != "--quick").collect();
+    let ids: Vec<&str> = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|a| *a != "--quick")
+        .collect();
     let ids: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
         vec![
-            "fig2", "fig3", "fig4", "fig5", "sec4-mcs", "fig8", "fig9", "fig10", "fig11",
-            "fig12", "fig13", "ablate", "adaptive", "fuzzy-idle", "release", "baselines", "verify",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "sec4-mcs",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "ablate",
+            "adaptive",
+            "chaos",
+            "fuzzy-idle",
+            "release",
+            "baselines",
+            "verify",
         ]
     } else {
         ids
@@ -36,13 +59,24 @@ fn main() {
         let t0 = Instant::now();
         match id {
             "fig2" => {
-                let preset = if quick { Fig2 { reps: 5, ..Fig2::default() } } else { Fig2::default() };
+                let preset = if quick {
+                    Fig2 {
+                        reps: 5,
+                        ..Fig2::default()
+                    }
+                } else {
+                    Fig2::default()
+                };
                 println!("{}", fig2::run(&preset).render());
             }
             "fig3" | "fig4" => {
                 if grid_cache.is_none() {
                     let preset = if quick {
-                        Fig3Grid { reps: 6, procs: vec![64, 256], ..Fig3Grid::default() }
+                        Fig3Grid {
+                            reps: 6,
+                            procs: vec![64, 256],
+                            ..Fig3Grid::default()
+                        }
                     } else {
                         Fig3Grid::default()
                     };
@@ -57,7 +91,11 @@ fn main() {
             }
             "fig5" => {
                 let preset = if quick {
-                    Fig5 { p: 256, iterations: 60, ..Fig5::default() }
+                    Fig5 {
+                        p: 256,
+                        iterations: 60,
+                        ..Fig5::default()
+                    }
                 } else {
                     Fig5::default()
                 };
@@ -70,7 +108,12 @@ fn main() {
             }
             "fig8" => {
                 let preset = if quick {
-                    Fig8 { p: 256, iterations: 60, warmup: 10, ..Fig8::default() }
+                    Fig8 {
+                        p: 256,
+                        iterations: 60,
+                        warmup: 10,
+                        ..Fig8::default()
+                    }
                 } else {
                     Fig8::default()
                 };
@@ -101,7 +144,11 @@ fn main() {
             }
             "fig12" => {
                 let preset = if quick {
-                    Fig12 { iterations: 60, warmup: 5, ..Fig12::default() }
+                    Fig12 {
+                        iterations: 60,
+                        warmup: 5,
+                        ..Fig12::default()
+                    }
                 } else {
                     Fig12::default()
                 };
@@ -109,7 +156,11 @@ fn main() {
             }
             "fig13" => {
                 let preset = if quick {
-                    Fig13 { iterations: 60, warmup: 5, ..Fig13::default() }
+                    Fig13 {
+                        iterations: 60,
+                        warmup: 5,
+                        ..Fig13::default()
+                    }
                 } else {
                     Fig13::default()
                 };
@@ -130,20 +181,42 @@ fn main() {
             "adaptive" => {
                 let p = if quick { 1024 } else { 4096 };
                 let phases = [
-                    adaptive::Phase { sigma_tc: 0.0, iterations: 50 },
-                    adaptive::Phase { sigma_tc: 50.0, iterations: 50 },
-                    adaptive::Phase { sigma_tc: 12.5, iterations: 50 },
-                    adaptive::Phase { sigma_tc: 100.0, iterations: 50 },
+                    adaptive::Phase {
+                        sigma_tc: 0.0,
+                        iterations: 50,
+                    },
+                    adaptive::Phase {
+                        sigma_tc: 50.0,
+                        iterations: 50,
+                    },
+                    adaptive::Phase {
+                        sigma_tc: 12.5,
+                        iterations: 50,
+                    },
+                    adaptive::Phase {
+                        sigma_tc: 100.0,
+                        iterations: 50,
+                    },
                 ];
                 println!("{}", adaptive::run(p, &phases, 10).render());
+            }
+            "chaos" => {
+                let preset = if quick {
+                    chaos::ChaosPreset::quick(SEED)
+                } else {
+                    chaos::ChaosPreset::full(SEED)
+                };
+                println!("{}", chaos::run(&preset).render());
             }
             "dot" => {
                 // Figure 6's mechanism, rendered: a small owner tree
                 // before and after a slow processor migrates.
-                use combar_sim::{run_iterations, IterateConfig, PlacementMode, Placement,
-                                 Topology, WorkSource, Workload};
-                use combar::combar_rng::{SeedableRng, Xoshiro256pp};
                 use combar::combar_des::Duration;
+                use combar::combar_rng::{SeedableRng, Xoshiro256pp};
+                use combar_sim::{
+                    run_iterations, IterateConfig, Placement, PlacementMode, Topology, WorkSource,
+                    Workload,
+                };
                 let topo = Topology::mcs(16, 2);
                 println!("// initial placement\n{}", topo.to_dot(None));
                 // run a few iterations with one systemically slow proc
@@ -166,13 +239,12 @@ fn main() {
                 let mut rng = Xoshiro256pp::seed_from_u64(1);
                 let mut seed_rng = Xoshiro256pp::seed_from_u64(2);
                 let mut w = Workload::systemic(16, 9_500.0, 300.0, 20.0, &mut seed_rng);
-                let mut begin = vec![0.0f64; 16];
+                let mut begin = [0.0f64; 16];
                 let mut works = vec![0.0f64; 16];
                 for _ in 0..30 {
                     use combar_sim::run_episode;
                     w.sample_into(&mut rng, &mut works);
-                    let arrivals: Vec<f64> =
-                        begin.iter().zip(&works).map(|(b, w)| b + w).collect();
+                    let arrivals: Vec<f64> = begin.iter().zip(&works).map(|(b, w)| b + w).collect();
                     let homes = placement.homes().to_vec();
                     let r = run_episode(&topo, &homes, &arrivals, Duration::from_us(20.0));
                     let mut wins: Vec<Vec<u32>> = vec![Vec::new(); 16];
@@ -192,12 +264,14 @@ fn main() {
                             }
                         }
                     }
-                    for i in 0..16 {
-                        begin[i] = (r.signal_done_us[i] + 4_000.0).max(r.release_us);
+                    for (b, done) in begin.iter_mut().zip(&r.signal_done_us) {
+                        *b = (done + 4_000.0).max(r.release_us);
                     }
                 }
-                println!("// after 30 iterations with a systemic slow set\n{}",
-                         topo.to_dot(Some(&placement)));
+                println!(
+                    "// after 30 iterations with a systemic slow set\n{}",
+                    topo.to_dot(Some(&placement))
+                );
             }
             "verify" => {
                 let verdicts = combar_bench::verify::run(quick);
@@ -228,7 +302,7 @@ fn main() {
                 eprintln!("unknown experiment id: {other}");
                 eprintln!(
                     "known: fig2 fig3 fig4 fig5 sec4-mcs fig8 fig9 fig10 fig11 fig12 fig13 \
-                     ablate adaptive fuzzy-idle all"
+                     ablate adaptive chaos fuzzy-idle all"
                 );
                 std::process::exit(2);
             }

@@ -64,12 +64,20 @@ pub fn run_shapes(p: u32, sigma_tcs: &[f64], reps: usize) -> Vec<ShapeRow> {
                 let min = buf.iter().copied().fold(f64::INFINITY, f64::min);
                 let arrivals: Vec<f64> = buf.iter().map(|&x| x - min).collect();
                 for (d, acc) in per_degree.iter_mut() {
-                    let topo = if *d >= p { Topology::flat(p) } else { Topology::combining(p, *d) };
+                    let topo = if *d >= p {
+                        Topology::flat(p)
+                    } else {
+                        Topology::combining(p, *d)
+                    };
                     let r = run_episode(&topo, topo.homes(), &arrivals, Duration::from_us(TC_US));
                     *acc += r.sync_delay_us;
                 }
             }
-            let four = per_degree.iter().find(|(d, _)| *d == 4).expect("4 in sweep").1;
+            let four = per_degree
+                .iter()
+                .find(|(d, _)| *d == 4)
+                .expect("4 in sweep")
+                .1;
             // wider-on-tie argmin
             let mut best = per_degree[0];
             for &(d, v) in &per_degree[1..] {
@@ -138,7 +146,10 @@ pub fn run_model_error(p: u32, sigma_tcs: &[f64], reps: usize) -> Vec<ModelError
         let swept = sweep_degrees(p, &degrees, &cfg);
         let model = BarrierModel::new(p, sigma_tc * TC_US, TC_US).expect("valid");
         for r in &swept {
-            let m = model.sync_delay(r.degree).expect("full degree").sync_delay_us;
+            let m = model
+                .sync_delay(r.degree)
+                .expect("full degree")
+                .sync_delay_us;
             rows.push(ModelErrorRow {
                 p,
                 degree: r.degree,
@@ -196,15 +207,23 @@ pub fn run_partial_vs_full(p: u32, sigma_tc: f64, reps: usize) -> Vec<(u32, bool
 /// the root only d), but past the threshold degree the root's queueing
 /// explodes — and the root sits on every release path, so that is what
 /// drives the synchronization delay.
-pub fn run_level_profile(p: u32, sigma_tc: f64, degrees: &[u32], reps: usize) -> Vec<(u32, Vec<f64>)> {
+pub fn run_level_profile(
+    p: u32,
+    sigma_tc: f64,
+    degrees: &[u32],
+    reps: usize,
+) -> Vec<(u32, Vec<f64>)> {
     let mut out = Vec::new();
     for &d in degrees {
-        let topo = if d >= p { Topology::flat(p) } else { Topology::combining(p, d) };
+        let topo = if d >= p {
+            Topology::flat(p)
+        } else {
+            Topology::combining(p, d)
+        };
         let mut acc: Vec<f64> = vec![0.0; topo.depth() as usize];
         let mut rng = Xoshiro256pp::seed_from_u64(SEED ^ 0x1e7e1 ^ d as u64);
         for _ in 0..reps {
-            let arrivals =
-                combar_sim::normal_arrivals(p as usize, sigma_tc * TC_US, &mut rng);
+            let arrivals = combar_sim::normal_arrivals(p as usize, sigma_tc * TC_US, &mut rng);
             let r = run_episode(&topo, topo.homes(), &arrivals, Duration::from_us(TC_US));
             for (a, w) in acc.iter_mut().zip(&r.level_wait_us) {
                 *a += w / reps as f64;
@@ -228,7 +247,12 @@ pub fn render_level_profile(rows: &[(u32, Vec<f64>)], p: u32, sigma_tc: f64) -> 
     for (d, waits) in rows {
         let mut row = vec![d.to_string()];
         for l in 0..max_levels {
-            row.push(waits.get(l).map(|w| format!("{w:.0}")).unwrap_or_else(|| "-".into()));
+            row.push(
+                waits
+                    .get(l)
+                    .map(|w| format!("{w:.0}"))
+                    .unwrap_or_else(|| "-".into()),
+            );
         }
         t.row(row);
     }
@@ -269,7 +293,10 @@ mod tests {
             pareto.optimal_degree,
             normal.optimal_degree
         );
-        assert!(normal.optimal_degree > 4, "normal at σ=12.5tc favors wide trees");
+        assert!(
+            normal.optimal_degree > 4,
+            "normal at σ=12.5tc favors wide trees"
+        );
     }
 
     /// The model is exact at σ = 0 (Eq. 1) and stays within a moderate
@@ -313,13 +340,15 @@ mod tests {
         assert!(rows.iter().any(|&(_, is_full, _)| !is_full));
         // every partial-tree delay sits within the span of full-tree
         // delays' [min/2, max*2] envelope — nothing pathological
-        let full_delays: Vec<f64> =
-            rows.iter().filter(|r| r.1).map(|r| r.2).collect();
+        let full_delays: Vec<f64> = rows.iter().filter(|r| r.1).map(|r| r.2).collect();
         let lo = full_delays.iter().copied().fold(f64::INFINITY, f64::min) / 2.0;
         let hi = full_delays.iter().copied().fold(0.0f64, f64::max) * 2.0;
         for &(d, is_full, delay) in &rows {
             if !is_full {
-                assert!((lo..hi).contains(&delay), "degree {d}: {delay} outside [{lo},{hi}]");
+                assert!(
+                    (lo..hi).contains(&delay),
+                    "degree {d}: {delay} outside [{lo},{hi}]"
+                );
             }
         }
     }
@@ -335,7 +364,10 @@ mod tests {
         let (_, wide) = &prof[1];
         let narrow_total: f64 = narrow.iter().sum();
         let wide_total: f64 = wide.iter().sum();
-        assert!(wide_total > narrow_total * 10.0, "{wide_total} vs {narrow_total}");
+        assert!(
+            wide_total > narrow_total * 10.0,
+            "{wide_total} vs {narrow_total}"
+        );
         // the root's queueing grows enormously with the degree
         assert!(
             wide[0] > narrow[0] * 100.0 + 100.0,
@@ -345,7 +377,11 @@ mod tests {
         );
         // per-request root wait at degree 64 exceeds 10·t_c: the root
         // is the bottleneck on the release path
-        assert!(wide[0] / 64.0 > 10.0 * TC_US, "per-request root wait {}", wide[0] / 64.0);
+        assert!(
+            wide[0] / 64.0 > 10.0 * TC_US,
+            "per-request root wait {}",
+            wide[0] / 64.0
+        );
     }
 
     #[test]

@@ -21,8 +21,8 @@ use combar_des::Duration;
 use combar_rng::stats::{std_dev, OnlineStats};
 use combar_rng::{SeedableRng, Xoshiro256pp};
 use combar_sim::{
-    build_tree, default_degree_sweep, normal_arrivals, optimal_degree, run_episode,
-    sweep_degrees, SweepConfig, TreeStyle,
+    build_tree, default_degree_sweep, normal_arrivals, optimal_degree, run_episode, sweep_degrees,
+    SweepConfig, TreeStyle,
 };
 
 /// One imbalance phase.
@@ -93,8 +93,7 @@ pub fn run(p: u32, phases: &[Phase], window: usize) -> AdaptiveResult {
             *degree_use.entry(current_degree).or_default() += 1;
             window_spreads.push(std_dev(&arrivals));
             if window_spreads.len() >= window {
-                let sigma_hat =
-                    window_spreads.iter().sum::<f64>() / window_spreads.len() as f64;
+                let sigma_hat = window_spreads.iter().sum::<f64>() / window_spreads.len() as f64;
                 current_degree = advisor.recommend_for_sigma(sigma_hat);
                 window_spreads.clear();
             }
@@ -136,7 +135,14 @@ impl AdaptiveResult {
                 "Adaptive-degree barrier ({} procs, window {} iterations)",
                 self.p, self.window
             ),
-            &["phase σ/tc", "fixed-4", "adaptive", "oracle", "adapted d", "oracle d"],
+            &[
+                "phase σ/tc",
+                "fixed-4",
+                "adaptive",
+                "oracle",
+                "adapted d",
+                "oracle d",
+            ],
         );
         for r in &self.rows {
             t.row(vec![
@@ -158,9 +164,18 @@ mod tests {
 
     fn phases() -> Vec<Phase> {
         vec![
-            Phase { sigma_tc: 0.0, iterations: 30 },
-            Phase { sigma_tc: 50.0, iterations: 30 },
-            Phase { sigma_tc: 12.5, iterations: 30 },
+            Phase {
+                sigma_tc: 0.0,
+                iterations: 30,
+            },
+            Phase {
+                sigma_tc: 50.0,
+                iterations: 30,
+            },
+            Phase {
+                sigma_tc: 12.5,
+                iterations: 30,
+            },
         ]
     }
 

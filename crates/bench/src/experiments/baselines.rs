@@ -81,7 +81,14 @@ pub fn run(p: u32, sigma_tcs: &[f64], reps: usize) -> Vec<BaselineRow> {
 pub fn render(rows: &[BaselineRow], p: u32) -> String {
     let mut t = Table::new(
         format!("Baselines: barrier families vs imbalance ({p} procs, t_msg = t_c)"),
-        &["σ/tc", "flat", "degree 4", "optimal tree", "opt d", "dissemination"],
+        &[
+            "σ/tc",
+            "flat",
+            "degree 4",
+            "optimal tree",
+            "opt d",
+            "dissemination",
+        ],
     );
     for r in rows {
         t.row(vec![

@@ -8,9 +8,9 @@ use combar::model::BarrierModel;
 use combar::model_topo::sync_delay_for_topology;
 use combar::presets::{Fig2, TC_US};
 use combar::LastArrival;
+use combar_des::Duration;
 use combar_sim::Topology;
 use combar_sim::{sweep_degrees, DegreeResult, SweepConfig, TreeStyle};
-use combar_des::Duration;
 
 /// One bar pair of the figure.
 #[derive(Debug, Clone)]
@@ -79,7 +79,10 @@ pub fn run(preset: &Fig2) -> Fig2Result {
             }
         })
         .collect();
-    Fig2Result { rows, preset: preset.clone() }
+    Fig2Result {
+        rows,
+        preset: preset.clone(),
+    }
 }
 
 impl Fig2Result {
@@ -90,7 +93,15 @@ impl Fig2Result {
                 "Figure 2: sync delay vs degree ({} procs, σ = {} µs, t_c = {} µs)",
                 self.preset.p, self.preset.sigma_us, TC_US
             ),
-            &["degree", "depth", "sim total", "sim update", "sim contention", "model", "model*"],
+            &[
+                "degree",
+                "depth",
+                "sim total",
+                "sim update",
+                "sim contention",
+                "model",
+                "model*",
+            ],
         );
         for r in &self.rows {
             t.row(vec![
@@ -99,7 +110,9 @@ impl Fig2Result {
                 fmt_us(r.sim_total_us),
                 fmt_us(r.sim_update_us),
                 fmt_us(r.sim_contention_us),
-                r.model_us.map(fmt_us).unwrap_or_else(|| "(not full)".into()),
+                r.model_us
+                    .map(fmt_us)
+                    .unwrap_or_else(|| "(not full)".into()),
                 fmt_us(r.model_topo_us),
             ]);
         }
@@ -118,7 +131,10 @@ mod tests {
     use super::*;
 
     fn small_preset() -> Fig2 {
-        Fig2 { reps: 6, ..Fig2::default() }
+        Fig2 {
+            reps: 6,
+            ..Fig2::default()
+        }
     }
 
     /// The paper's qualitative shape: update delay falls with degree
@@ -165,7 +181,10 @@ mod tests {
 
     #[test]
     fn render_contains_all_degrees() {
-        let res = run(&Fig2 { reps: 2, ..Fig2::default() });
+        let res = run(&Fig2 {
+            reps: 2,
+            ..Fig2::default()
+        });
         let s = res.render();
         for d in &res.preset.degrees {
             assert!(s.contains(&d.to_string()));
@@ -178,7 +197,10 @@ mod tests {
     /// degrees and exists for degree 32.
     #[test]
     fn generalized_model_fills_degree_32() {
-        let res = run(&Fig2 { reps: 2, ..Fig2::default() });
+        let res = run(&Fig2 {
+            reps: 2,
+            ..Fig2::default()
+        });
         for r in &res.rows {
             if let Some(m) = r.model_us {
                 assert!(

@@ -13,9 +13,7 @@ use combar::model_topo::estimate_optimal_degree_any;
 use combar::presets::{Fig3Grid, TC_US};
 use combar::LastArrival;
 use combar_des::Duration;
-use combar_sim::{
-    default_degree_sweep, optimal_degree, sweep_degrees, SweepConfig, TreeStyle,
-};
+use combar_sim::{default_degree_sweep, optimal_degree, sweep_degrees, SweepConfig, TreeStyle};
 
 /// One grid cell.
 #[derive(Debug, Clone)]
@@ -68,7 +66,10 @@ pub fn run(preset: &Fig3Grid) -> GridResult {
             };
             let swept = sweep_degrees(p, &degrees, &cfg);
             let best = optimal_degree(&swept);
-            let four = swept.iter().find(|r| r.degree == 4).expect("4 is in the sweep");
+            let four = swept
+                .iter()
+                .find(|r| r.degree == 4)
+                .expect("4 is in the sweep");
 
             let model = BarrierModel::new(p, sigma_tc * TC_US, TC_US).expect("valid");
             let est_degree = model.estimate_optimal_degree().degree;
@@ -79,7 +80,10 @@ pub fn run(preset: &Fig3Grid) -> GridResult {
                 .find(|r| r.degree == est_degree)
                 .cloned()
                 .unwrap_or_else(|| {
-                    sweep_degrees(p, &[est_degree], &cfg).into_iter().next().unwrap()
+                    sweep_degrees(p, &[est_degree], &cfg)
+                        .into_iter()
+                        .next()
+                        .unwrap()
                 });
             let (est_any_degree, _) =
                 estimate_optimal_degree_any(p, sigma_tc * TC_US, TC_US, LastArrival::default())
@@ -89,7 +93,10 @@ pub fn run(preset: &Fig3Grid) -> GridResult {
                 .find(|r| r.degree == est_any_degree)
                 .cloned()
                 .unwrap_or_else(|| {
-                    sweep_degrees(p, &[est_any_degree], &cfg).into_iter().next().unwrap()
+                    sweep_degrees(p, &[est_any_degree], &cfg)
+                        .into_iter()
+                        .next()
+                        .unwrap()
                 });
 
             cells.push(GridCell {
@@ -106,7 +113,10 @@ pub fn run(preset: &Fig3Grid) -> GridResult {
             });
         }
     }
-    GridResult { cells, preset: preset.clone() }
+    GridResult {
+        cells,
+        preset: preset.clone(),
+    }
 }
 
 impl GridResult {
@@ -214,7 +224,11 @@ mod tests {
             assert_eq!(c.est_degree, 4);
         }
         let wide = res.cell(64, 25.0);
-        assert!(wide.sim_degree >= 32, "64@25tc should be very wide, got {}", wide.sim_degree);
+        assert!(
+            wide.sim_degree >= 32,
+            "64@25tc should be very wide, got {}",
+            wide.sim_degree
+        );
         assert!(wide.sim_speedup > 1.5);
     }
 
@@ -258,7 +272,11 @@ mod tests {
 
     #[test]
     fn rendering_mentions_every_processor_count() {
-        let res = run(&Fig3Grid { procs: vec![64], sigma_tc: vec![0.0, 6.2], reps: 4 });
+        let res = run(&Fig3Grid {
+            procs: vec![64],
+            sigma_tc: vec![0.0, 6.2],
+            reps: 4,
+        });
         let f3 = res.render_fig3();
         let f4 = res.render_fig4();
         assert!(f3.contains("64"));

@@ -91,7 +91,10 @@ pub fn run(preset: &Fig5) -> Fig5Result {
             });
         }
     }
-    Fig5Result { cells, preset: preset.clone() }
+    Fig5Result {
+        cells,
+        preset: preset.clone(),
+    }
 }
 
 impl Fig5Result {

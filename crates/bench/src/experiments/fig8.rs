@@ -72,7 +72,10 @@ pub fn run(preset: &Fig8) -> Fig8Result {
             });
         }
     }
-    Fig8Result { cells, preset: preset.clone() }
+    Fig8Result {
+        cells,
+        preset: preset.clone(),
+    }
 }
 
 impl Fig8Result {
@@ -87,7 +90,12 @@ impl Fig8Result {
     /// Renders the paper-style table (one block per degree).
     pub fn render(&self) -> String {
         let mut headers: Vec<String> = vec!["metric".into()];
-        headers.extend(self.preset.slacks_us.iter().map(|s| format!("{:.0}ms", s / 1000.0)));
+        headers.extend(
+            self.preset
+                .slacks_us
+                .iter()
+                .map(|s| format!("{:.0}ms", s / 1000.0)),
+        );
         let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         let mut out = String::new();
         for &degree in &self.preset.degrees {
@@ -146,7 +154,11 @@ mod tests {
             ample.last_proc_depth,
             none.last_proc_depth
         );
-        assert!(ample.last_proc_depth < 2.0, "depth → 1, got {}", ample.last_proc_depth);
+        assert!(
+            ample.last_proc_depth < 2.0,
+            "depth → 1, got {}",
+            ample.last_proc_depth
+        );
         assert!(ample.sync_speedup > 1.5, "speedup {}", ample.sync_speedup);
         assert!(
             (0.75..1.3).contains(&none.sync_speedup),

@@ -100,7 +100,13 @@ pub fn run(p: u32, sigma_us: f64, slacks_us: &[f64], iterations: usize) -> Fuzzy
     } else {
         0.0
     };
-    FuzzyIdleResult { rows, p, sigma_us, asymmetry, skewness }
+    FuzzyIdleResult {
+        rows,
+        p,
+        sigma_us,
+        asymmetry,
+        skewness,
+    }
 }
 
 impl FuzzyIdleResult {
@@ -142,7 +148,12 @@ mod tests {
         let res = run(128, 100.0, &[0.0, 400.0, 1_600.0], 60);
         let first = &res.rows[0];
         let last = res.rows.last().unwrap();
-        assert!(last.idle_us < first.idle_us / 2.0, "{} vs {}", last.idle_us, first.idle_us);
+        assert!(
+            last.idle_us < first.idle_us / 2.0,
+            "{} vs {}",
+            last.idle_us,
+            first.idle_us
+        );
         assert!(
             last.spread_us > first.spread_us,
             "spread should grow: {} vs {}",

@@ -126,7 +126,10 @@ pub fn run_fig12(preset: &Fig12) -> Fig12Result {
             optimal_delay_us,
         });
     }
-    Fig12Result { rows, preset: preset.clone() }
+    Fig12Result {
+        rows,
+        preset: preset.clone(),
+    }
 }
 
 impl Fig12Result {
@@ -187,7 +190,13 @@ pub fn run_fig13(preset: &Fig13) -> Fig13Result {
                 seed,
             };
             let stat = run_sor(&params, base);
-            let dynamic = run_sor(&params, SorRun { mode: PlacementMode::Dynamic, ..base });
+            let dynamic = run_sor(
+                &params,
+                SorRun {
+                    mode: PlacementMode::Dynamic,
+                    ..base
+                },
+            );
             cells.push(Fig13Cell {
                 degree,
                 slack_us: slack,
@@ -196,7 +205,10 @@ pub fn run_fig13(preset: &Fig13) -> Fig13Result {
             });
         }
     }
-    Fig13Result { cells, preset: preset.clone() }
+    Fig13Result {
+        cells,
+        preset: preset.clone(),
+    }
 }
 
 impl Fig13Result {
@@ -211,7 +223,12 @@ impl Fig13Result {
     /// Renders the paper-style table (one block per degree).
     pub fn render(&self) -> String {
         let mut headers: Vec<String> = vec!["metric".into()];
-        headers.extend(self.preset.slacks_us.iter().map(|s| format!("{:.2}ms", s / 1000.0)));
+        headers.extend(
+            self.preset
+                .slacks_us
+                .iter()
+                .map(|s| format!("{:.2}ms", s / 1000.0)),
+        );
         let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         let mut out = String::new();
         for &degree in &self.preset.degrees {
@@ -243,14 +260,17 @@ impl Fig13Result {
 /// real hardware) rather than independent? Our fig13 speedups overshoot
 /// the paper's; shared contention is the suspected cause (see
 /// EXPERIMENTS.md).
-pub fn run_fig13_correlation(rhos: &[f64], slack_us: f64, iterations: usize) -> Vec<(f64, f64, f64)> {
+pub fn run_fig13_correlation(
+    rhos: &[f64],
+    slack_us: f64,
+    iterations: usize,
+) -> Vec<(f64, f64, f64)> {
     let params = KsrParams::default();
     let mut out = Vec::new();
     for &rho in rhos {
         let run_mode = |mode| {
             let topo = ring_topology(&params, 2);
-            let mut work =
-                SorWork::new(params.clone(), 60, 210).with_ring_correlation(rho);
+            let mut work = SorWork::new(params.clone(), 60, 210).with_ring_correlation(rho);
             let mut rng = Xoshiro256pp::seed_from_u64(SEED ^ 0xc0 ^ rho.to_bits());
             run_iterations(
                 &topo,

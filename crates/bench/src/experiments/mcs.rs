@@ -48,7 +48,14 @@ pub fn run(p: u32, sigma_us: f64, degrees: &[u32], reps: usize) -> McsResult {
         style: TreeStyle::Combining,
     };
     let comb = sweep_degrees(p, degrees, &base);
-    let mcs = sweep_degrees(p, degrees, &SweepConfig { style: TreeStyle::Mcs, ..base });
+    let mcs = sweep_degrees(
+        p,
+        degrees,
+        &SweepConfig {
+            style: TreeStyle::Mcs,
+            ..base
+        },
+    );
     let rows = comb
         .iter()
         .zip(&mcs)

@@ -3,16 +3,17 @@
 //! workload without diverging from the real experiment.
 
 pub mod ablate;
-pub mod baselines;
 pub mod adaptive;
+pub mod baselines;
+pub mod chaos;
 pub mod fig2;
 pub mod fig34;
 pub mod fig5;
 pub mod fig8;
 pub mod fuzzy_idle;
 pub mod ksr;
-pub mod release;
 pub mod mcs;
+pub mod release;
 pub mod scaling;
 
 /// Common RNG seed for every experiment (results are fully

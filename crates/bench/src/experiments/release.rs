@@ -58,7 +58,12 @@ pub fn run(procs: &[u32], degrees: &[u32], notify_us: f64, reps: usize) -> Vec<R
                     / p as f64;
                 mean_lag += lag / reps as f64;
             }
-            rows.push(ReleaseRow { p, degree: d, wakeup_extra_us: extra, wakeup_mean_lag_us: mean_lag });
+            rows.push(ReleaseRow {
+                p,
+                degree: d,
+                wakeup_extra_us: extra,
+                wakeup_mean_lag_us: mean_lag,
+            });
         }
     }
     rows
@@ -68,7 +73,12 @@ pub fn run(procs: &[u32], degrees: &[u32], notify_us: f64, reps: usize) -> Vec<R
 pub fn render(rows: &[ReleaseRow], notify_us: f64) -> String {
     let mut t = Table::new(
         format!("Release broadcast: wakeup tree vs ideal flag (notify = {notify_us} µs)"),
-        &["p", "degree", "last-release extra µs", "mean release lag µs"],
+        &[
+            "p",
+            "degree",
+            "last-release extra µs",
+            "mean release lag µs",
+        ],
     );
     for r in rows {
         t.row(vec![

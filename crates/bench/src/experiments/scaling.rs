@@ -162,10 +162,15 @@ impl ScalingResult {
     /// Renders Figures 10/11.
     pub fn render_fig10_11(&self) -> String {
         let mut out = String::new();
-        for (name, series) in [("Figure 10 (degree 4)", &self.fig10), ("Figure 11 (degree 16)", &self.fig11)]
-        {
+        for (name, series) in [
+            ("Figure 10 (degree 4)", &self.fig10),
+            ("Figure 11 (degree 16)", &self.fig11),
+        ] {
             let mut t = Table::new(
-                format!("{name}: static vs dynamic placement (σ = {} µs)", self.preset.small_sigma_us),
+                format!(
+                    "{name}: static vs dynamic placement (σ = {} µs)",
+                    self.preset.small_sigma_us
+                ),
                 &["p", "static", "dynamic", "static depth", "dynamic depth"],
             );
             for pt in series {
@@ -246,7 +251,10 @@ mod tests {
             dyn_growth < static_growth,
             "dynamic {dyn_growth} vs static {static_growth}"
         );
-        assert!(dyn_growth < 1.8, "dynamic delay should be nearly constant, grew {dyn_growth}x");
+        assert!(
+            dyn_growth < 1.8,
+            "dynamic delay should be nearly constant, grew {dyn_growth}x"
+        );
     }
 
     #[test]

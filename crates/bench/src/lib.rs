@@ -1,12 +1,14 @@
 //! Experiment harness for the `combar` reproduction: one module per
 //! paper artifact, each returning structured results plus a rendered
-//! table, shared by the `experiments` binary and the Criterion benches.
+//! table, shared by the `experiments` binary and the in-tree benches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod table;
+pub mod timing;
 pub mod verify;
 
 pub use table::Table;
+pub use timing::Bench;

@@ -1,0 +1,174 @@
+//! Minimal in-tree timing harness for the `benches/` targets.
+//!
+//! The repository builds fully offline, so the benches cannot pull an
+//! external harness crate. This module supplies the small slice of
+//! that functionality the paper's benches actually need: warm up a
+//! closure, time a handful of batched samples, and print an aligned
+//! table of per-iteration statistics. The `[[bench]]` targets keep
+//! `harness = false` and drive a [`Bench`] from a plain `main()`.
+//!
+//! Timings favour the *minimum* sample — the least-perturbed run —
+//! with the mean alongside so scheduling noise is visible. Sample and
+//! warm-up budgets are intentionally small: these benches exist to
+//! spot order-of-magnitude regressions and to regenerate the paper's
+//! relative comparisons, not to chase microsecond-level precision.
+//!
+//! Set `COMBAR_BENCH_SAMPLES` to override the per-benchmark sample
+//! count (minimum 2), e.g. for a quick smoke pass in CI.
+
+use crate::table::Table;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one timed batch.
+const BATCH_TARGET: Duration = Duration::from_millis(20);
+/// Wall-clock budget for warming a benchmark up.
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLES: usize = 8;
+
+/// One benchmark's aggregated result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Iterations per timed sample.
+    pub batch: u64,
+    /// Best (minimum) per-iteration time across samples.
+    pub min: Duration,
+    /// Mean per-iteration time across samples.
+    pub mean: Duration,
+}
+
+impl Measurement {
+    /// Iterations per second implied by the minimum sample.
+    pub fn per_second(&self) -> f64 {
+        1.0 / self.min.as_secs_f64()
+    }
+}
+
+/// A named group of benchmarks, timed as they are registered and
+/// rendered as one table by [`Bench::finish`].
+pub struct Bench {
+    group: String,
+    samples: usize,
+    results: Vec<Measurement>,
+}
+
+impl Bench {
+    /// Creates a benchmark group.
+    pub fn new(group: impl Into<String>) -> Self {
+        let samples = std::env::var("COMBAR_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|n| n.max(2))
+            .unwrap_or(DEFAULT_SAMPLES);
+        Self {
+            group: group.into(),
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f` under `id`: warms up, sizes a batch so one sample
+    /// spans roughly [`BATCH_TARGET`], then records the configured
+    /// number of samples. The closure's result is `black_box`ed so the
+    /// optimizer cannot delete the work.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, id: impl Into<String>, mut f: F) -> &Measurement {
+        // Warm-up: at least one call, then as many as fit the budget.
+        let warm_start = Instant::now();
+        black_box(f());
+        let mut calls = 1u64;
+        while warm_start.elapsed() < WARMUP_TARGET {
+            black_box(f());
+            calls += 1;
+        }
+        let est = warm_start.elapsed() / calls as u32;
+        let batch = (BATCH_TARGET.as_nanos() / est.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+
+        let mut min = Duration::MAX;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let per_iter = t0.elapsed() / batch as u32;
+            min = min.min(per_iter);
+            total += per_iter;
+        }
+        self.results.push(Measurement {
+            id: id.into(),
+            batch,
+            min,
+            mean: total / self.samples as u32,
+        });
+        self.results.last().expect("just pushed")
+    }
+
+    /// The measurements recorded so far, in registration order.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Renders the group as an aligned table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            format!("bench: {}", self.group),
+            &["benchmark", "min/iter", "mean/iter", "iters/s", "batch"],
+        );
+        for m in &self.results {
+            t.row(vec![
+                m.id.clone(),
+                fmt_duration(m.min),
+                fmt_duration(m.mean),
+                format!("{:.0}", m.per_second()),
+                m.batch.to_string(),
+            ]);
+        }
+        t.render()
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn finish(self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a duration with a unit matched to its magnitude.
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2}µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_renders() {
+        let mut b = Bench::new("unit");
+        let m = b.bench("noop", || 1 + 1);
+        assert!(m.min <= m.mean);
+        assert!(m.batch >= 1);
+        let s = b.render();
+        assert!(s.contains("bench: unit"));
+        assert!(s.contains("noop"));
+    }
+
+    #[test]
+    fn formats_durations_across_magnitudes() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert!(fmt_duration(Duration::from_micros(3)).ends_with("µs"));
+    }
+}

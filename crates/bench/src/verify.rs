@@ -14,8 +14,7 @@ use combar::presets::{Fig8, TC_US};
 use combar_des::Duration;
 use combar_machine::SorWork;
 use combar_sim::{
-    default_degree_sweep, full_tree_degrees, optimal_degree, sweep_degrees, SweepConfig,
-    TreeStyle,
+    default_degree_sweep, full_tree_degrees, optimal_degree, sweep_degrees, SweepConfig, TreeStyle,
 };
 
 /// One verified claim.
@@ -67,8 +66,7 @@ pub fn run(quick: bool) -> Vec<Verdict> {
         let model = BarrierModel::new(p, 0.0, TC_US).expect("valid");
         let est = model.estimate_optimal_degree();
         let exact = swept.iter().all(|r| {
-            (model.sync_delay(r.degree).unwrap().sync_delay_us - r.sync_delay.mean()).abs()
-                < 1e-9
+            (model.sync_delay(r.degree).unwrap().sync_delay_us - r.sync_delay.mean()).abs() < 1e-9
         });
         out.push(Verdict::new(
             "σ=0: optimal degree is 4 (classical result)",
@@ -137,9 +135,7 @@ pub fn run(quick: bool) -> Vec<Verdict> {
                     .iter()
                     .find(|r| r.degree == est)
                     .map(|r| r.sync_delay.mean())
-                    .unwrap_or_else(|| {
-                        sweep_degrees(p, &[est], &cfg)[0].sync_delay.mean()
-                    });
+                    .unwrap_or_else(|| sweep_degrees(p, &[est], &cfg)[0].sync_delay.mean());
                 gaps.push(est_delay / best.sync_delay.mean() - 1.0);
             }
         }
@@ -232,8 +228,7 @@ pub fn run(quick: bool) -> Vec<Verdict> {
             "Fig 12: speedup grows with d_y toward ~23%",
             format!("1.00 → {:.2}", paper::FIG12_MAX_SPEEDUP),
             format!("{:.2} → {:.2}", at30.speedup_vs_4, at210.speedup_vs_4),
-            at210.speedup_vs_4 > at30.speedup_vs_4
-                && (1.05..1.6).contains(&at210.speedup_vs_4),
+            at210.speedup_vs_4 > at30.speedup_vs_4 && (1.05..1.6).contains(&at210.speedup_vs_4),
         ));
     }
 
@@ -277,7 +272,10 @@ pub fn run(quick: bool) -> Vec<Verdict> {
 
 /// Renders the verdicts; returns `(table, all_ok)`.
 pub fn render(verdicts: &[Verdict]) -> (String, bool) {
-    let mut t = Table::new("Verification against the paper", &["claim", "paper", "measured", "verdict"]);
+    let mut t = Table::new(
+        "Verification against the paper",
+        &["claim", "paper", "measured", "verdict"],
+    );
     let mut all_ok = true;
     for v in verdicts {
         all_ok &= v.ok;
@@ -301,11 +299,12 @@ mod tests {
     fn quick_verification_passes() {
         let verdicts = run(true);
         let (table, all_ok) = render(&verdicts);
+        assert!(all_ok, "verification failures:\n{table}");
         assert!(
-            all_ok,
-            "verification failures:\n{table}"
+            verdicts.len() >= 12,
+            "expected a full battery, got {}",
+            verdicts.len()
         );
-        assert!(verdicts.len() >= 12, "expected a full battery, got {}", verdicts.len());
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! Deterministic fault injection for the `combar` barrier runtime.
+//!
+//! The paper's thesis is that barriers must be designed for *imbalanced*
+//! arrivals. This crate makes that regime testable: a [`FaultPlan`] is a
+//! pure function from a `(thread, episode)` coordinate to an optional
+//! [`FaultKind`], seeded by `combar-rng` stream splitting. Replaying the
+//! same plan therefore yields a bit-identical fault schedule, so chaos
+//! soak tests and the `experiments chaos` table are reproducible.
+//!
+//! Fault kinds model the adversarial timing a real machine produces:
+//!
+//! * [`FaultKind::Stall`] — a bounded compute stall (cache miss storm,
+//!   page fault, interrupt) before the barrier episode;
+//! * [`FaultKind::YieldStorm`] — repeated involuntary descheduling, as
+//!   under CPU oversubscription;
+//! * [`FaultKind::SpuriousWake`] — the waiter resumes without the
+//!   barrier having opened, exercising the timeout/retry path;
+//! * [`FaultKind::Die`] — the participant never arrives again, either by
+//!   stalling forever ([`DeathMode::Stall`]) or by panicking mid-episode
+//!   ([`DeathMode::Panic`]).
+//!
+//! The plan is *descriptive*: it never touches a barrier itself. The
+//! runtime harness (`combar-rt::harness`) interprets the plan on real
+//! threads, and the DES bridge replays the same schedule as simulated
+//! fault events so threaded and simulated degradation can be compared.
+//!
+//! # Example
+//!
+//! ```
+//! use combar_chaos::{ChaosConfig, DeathMode, FaultPlan};
+//!
+//! let plan = FaultPlan::new(ChaosConfig {
+//!     seed: 7,
+//!     stall_prob: 0.05,
+//!     max_stall_us: 200,
+//!     ..ChaosConfig::default()
+//! })
+//! .with_death(1, 20, DeathMode::Stall);
+//! assert_eq!(plan.death_episode(1), Some(20));
+//! // Same plan, same schedule — determinism is the whole point.
+//! assert_eq!(plan.schedule(4, 64), plan.schedule(4, 64));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use combar_rng::{Rng, SeedableRng, Xoshiro256pp};
+
+/// How a participant dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeathMode {
+    /// The thread stops arriving but keeps its state intact (permanent
+    /// preemption / stop-the-world). Peers observe only its absence.
+    Stall,
+    /// The thread panics mid-episode, dropping its waiter and poisoning
+    /// the barrier for every peer.
+    Panic,
+}
+
+/// A single injected fault at one `(thread, episode)` coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Stall for the given number of microseconds before arriving.
+    Stall(u32),
+    /// Yield the CPU the given number of times before arriving.
+    YieldStorm(u32),
+    /// Resume from the wait without the barrier having opened; the
+    /// harness models this as an immediate zero-timeout wait attempt.
+    SpuriousWake,
+    /// Stop participating permanently.
+    Die(DeathMode),
+}
+
+/// A scripted participant death.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Death {
+    /// Thread that dies.
+    pub tid: u32,
+    /// Episode index (0-based) at which it dies, before arriving.
+    pub episode: u32,
+    /// How it dies.
+    pub mode: DeathMode,
+}
+
+/// Tunable fault probabilities and bounds for a [`FaultPlan`].
+///
+/// Probabilities are evaluated per `(thread, episode)` on a single
+/// uniform roll, so `stall_prob + yield_prob + spurious_prob` must not
+/// exceed 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed for the plan's deterministic random stream.
+    pub seed: u64,
+    /// Probability of a bounded stall per (thread, episode).
+    pub stall_prob: f64,
+    /// Upper bound on an injected stall, in microseconds (inclusive).
+    pub max_stall_us: u32,
+    /// Probability of a yield storm per (thread, episode).
+    pub yield_prob: f64,
+    /// Upper bound on yields in one storm (inclusive).
+    pub max_yields: u32,
+    /// Probability of a spurious wakeup per (thread, episode).
+    pub spurious_prob: f64,
+    /// Optional scripted participant death.
+    pub death: Option<Death>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            stall_prob: 0.0,
+            max_stall_us: 100,
+            yield_prob: 0.0,
+            max_yields: 8,
+            spurious_prob: 0.0,
+            death: None,
+        }
+    }
+}
+
+/// A deterministic fault schedule: a pure function from
+/// `(thread, episode)` to an optional [`FaultKind`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    cfg: ChaosConfig,
+}
+
+impl FaultPlan {
+    /// Creates a plan from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]` or the probability
+    /// mass of the three transient faults exceeds 1.
+    pub fn new(cfg: ChaosConfig) -> Self {
+        for (name, p) in [
+            ("stall_prob", cfg.stall_prob),
+            ("yield_prob", cfg.yield_prob),
+            ("spurious_prob", cfg.spurious_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1]");
+        }
+        assert!(
+            cfg.stall_prob + cfg.yield_prob + cfg.spurious_prob <= 1.0,
+            "total transient fault probability exceeds 1"
+        );
+        Self { cfg }
+    }
+
+    /// A plan that injects nothing — useful as a neutral baseline.
+    pub fn quiet(seed: u64) -> Self {
+        Self::new(ChaosConfig {
+            seed,
+            ..ChaosConfig::default()
+        })
+    }
+
+    /// Returns the plan with a scripted death added.
+    pub fn with_death(mut self, tid: u32, episode: u32, mode: DeathMode) -> Self {
+        self.cfg.death = Some(Death { tid, episode, mode });
+        self
+    }
+
+    /// The configuration this plan was built from.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// The episode at which `tid` dies, if the plan kills it.
+    pub fn death_episode(&self, tid: u32) -> Option<u32> {
+        match self.cfg.death {
+            Some(d) if d.tid == tid => Some(d.episode),
+            _ => None,
+        }
+    }
+
+    /// The fault injected at `(tid, episode)`, if any.
+    ///
+    /// Pure and deterministic: repeated calls with the same arguments on
+    /// the same plan always agree, across threads and runs.
+    pub fn fault(&self, tid: u32, episode: u32) -> Option<FaultKind> {
+        if let Some(d) = self.cfg.death {
+            if d.tid == tid && d.episode == episode {
+                return Some(FaultKind::Die(d.mode));
+            }
+        }
+        let stream = ((tid as u64) << 32) | episode as u64;
+        let mut rng = Xoshiro256pp::split(self.cfg.seed, stream);
+        let roll = rng.next_f64();
+        let c = &self.cfg;
+        if roll < c.stall_prob {
+            let us = 1 + rng.next_below(c.max_stall_us.max(1) as u64) as u32;
+            Some(FaultKind::Stall(us))
+        } else if roll < c.stall_prob + c.yield_prob {
+            let n = 1 + rng.next_below(c.max_yields.max(1) as u64) as u32;
+            Some(FaultKind::YieldStorm(n))
+        } else if roll < c.stall_prob + c.yield_prob + c.spurious_prob {
+            Some(FaultKind::SpuriousWake)
+        } else {
+            None
+        }
+    }
+
+    /// Enumerates the full fault schedule for a `threads × episodes`
+    /// grid. Two calls on equal plans return identical vectors; tests
+    /// and the DES bridge rely on this.
+    pub fn schedule(&self, threads: u32, episodes: u32) -> Vec<(u32, u32, FaultKind)> {
+        let mut out = Vec::new();
+        for tid in 0..threads {
+            for ep in 0..episodes {
+                if let Some(f) = self.fault(tid, ep) {
+                    out.push((tid, ep, f));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Executes the *transient* side effect of a fault on the calling
+/// thread: sleeps for stalls, yields for storms. [`FaultKind::Die`]
+/// and [`FaultKind::SpuriousWake`] are control-flow faults the
+/// harness must interpret itself; this function ignores them.
+pub fn apply_transient(fault: &FaultKind) {
+    match *fault {
+        FaultKind::Stall(us) => std::thread::sleep(std::time::Duration::from_micros(us as u64)),
+        FaultKind::YieldStorm(n) => {
+            for _ in 0..n {
+                std::thread::yield_now();
+            }
+        }
+        FaultKind::SpuriousWake | FaultKind::Die(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_cfg(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            stall_prob: 0.2,
+            max_stall_us: 50,
+            yield_prob: 0.2,
+            max_yields: 4,
+            spurious_prob: 0.1,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        let a = FaultPlan::new(busy_cfg(0xC0FFEE));
+        let b = FaultPlan::new(busy_cfg(0xC0FFEE));
+        assert_eq!(a.schedule(8, 256), b.schedule(8, 256));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(busy_cfg(1));
+        let b = FaultPlan::new(busy_cfg(2));
+        assert_ne!(a.schedule(8, 256), b.schedule(8, 256));
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let plan = FaultPlan::quiet(99);
+        assert!(plan.schedule(16, 512).is_empty());
+    }
+
+    #[test]
+    fn death_overrides_and_is_reported() {
+        let plan = FaultPlan::quiet(3).with_death(2, 17, DeathMode::Panic);
+        assert_eq!(plan.death_episode(2), Some(17));
+        assert_eq!(plan.death_episode(1), None);
+        assert_eq!(plan.fault(2, 17), Some(FaultKind::Die(DeathMode::Panic)));
+        assert_eq!(plan.fault(2, 16), None);
+        assert_eq!(plan.fault(1, 17), None);
+    }
+
+    #[test]
+    fn fault_rates_track_probabilities() {
+        let plan = FaultPlan::new(busy_cfg(42));
+        let sched = plan.schedule(16, 1024);
+        let total = 16.0 * 1024.0;
+        let stalls = sched
+            .iter()
+            .filter(|(_, _, f)| matches!(f, FaultKind::Stall(_)))
+            .count() as f64;
+        let yields = sched
+            .iter()
+            .filter(|(_, _, f)| matches!(f, FaultKind::YieldStorm(_)))
+            .count() as f64;
+        // 20% ± generous slack at n = 16384.
+        assert!((stalls / total - 0.2).abs() < 0.02, "stall rate off");
+        assert!((yields / total - 0.2).abs() < 0.02, "yield rate off");
+    }
+
+    #[test]
+    fn stall_bounds_respected() {
+        let plan = FaultPlan::new(busy_cfg(7));
+        for (_, _, f) in plan.schedule(8, 512) {
+            match f {
+                FaultKind::Stall(us) => assert!((1..=50).contains(&us)),
+                FaultKind::YieldStorm(n) => assert!((1..=4).contains(&n)),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "total transient fault probability")]
+    fn rejects_excess_probability_mass() {
+        FaultPlan::new(ChaosConfig {
+            stall_prob: 0.6,
+            yield_prob: 0.6,
+            ..ChaosConfig::default()
+        });
+    }
+}

@@ -77,7 +77,7 @@ pub mod prelude {
     };
     pub use combar_sim::{
         full_tree_degrees, optimal_degree, run_episode, run_iterations, sweep_degrees,
-        IterateConfig, PlacementMode, Placement, SweepConfig, Topology, TreeStyle, WorkSource,
+        IterateConfig, Placement, PlacementMode, SweepConfig, Topology, TreeStyle, WorkSource,
         Workload,
     };
 }
@@ -105,7 +105,11 @@ mod tests {
         // model → recommended degree → topology → simulated episode
         let model = BarrierModel::new(64, 500.0, 20.0).unwrap();
         let d = model.estimate_optimal_degree().degree;
-        let topo = if d >= 64 { Topology::flat(64) } else { Topology::combining(64, d) };
+        let topo = if d >= 64 {
+            Topology::flat(64)
+        } else {
+            Topology::combining(64, d)
+        };
         let mut rng = Xoshiro256pp::seed_from_u64(1);
         let arrivals = combar_sim::normal_arrivals(64, 500.0, &mut rng);
         let r = run_episode(&topo, topo.homes(), &arrivals, Duration::from_us(20.0));

@@ -90,7 +90,10 @@ impl std::fmt::Display for ModelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ModelError::NotFullTree { p, degree } => {
-                write!(f, "degree {degree} does not tile {p} processors into full levels")
+                write!(
+                    f,
+                    "degree {degree} does not tile {p} processors into full levels"
+                )
             }
             ModelError::BadParams(s) => write!(f, "bad model parameters: {s}"),
         }
@@ -173,7 +176,12 @@ impl BarrierModel {
         if tc_us.is_nan() || tc_us <= 0.0 {
             return Err(ModelError::BadParams("t_c must be positive"));
         }
-        Ok(Self { p, sigma_us, tc_us, last_arrival: LastArrival::default() })
+        Ok(Self {
+            p,
+            sigma_us,
+            tc_us,
+            last_arrival: LastArrival::default(),
+        })
     }
 
     /// Selects the last-arrival estimator.
@@ -239,8 +247,7 @@ impl BarrierModel {
             let t_arr = sigma * normal_quantile(p_before);
             // (l+1)·d·t_c: subtree completion c(l) plus serialization at
             // the join counter; then L−l−1 uncontended updates.
-            let t_rel =
-                t_arr + (l as f64 + 1.0) * d * tc + (levels as f64 - l as f64 - 1.0) * tc;
+            let t_rel = t_arr + (l as f64 + 1.0) * d * tc + (levels as f64 - l as f64 - 1.0) * tc;
             max_rel = max_rel.max(t_rel);
             subsets.push(SubsetTerm {
                 level: l,
@@ -273,7 +280,10 @@ impl BarrierModel {
     /// Panics if `p < 2` (no full-tree degree exists).
     pub fn estimate_optimal_degree(&self) -> ModelEstimate {
         let degrees = full_tree_degrees(self.p);
-        assert!(!degrees.is_empty(), "estimate_optimal_degree requires p >= 2");
+        assert!(
+            !degrees.is_empty(),
+            "estimate_optimal_degree requires p >= 2"
+        );
         let mut best: Option<ModelEstimate> = None;
         for d in degrees {
             let est = self.sync_delay(d).expect("full-tree degree");
@@ -284,8 +294,7 @@ impl BarrierModel {
                     // equal delay
                     let eps = 1e-9 * cur.sync_delay_us.abs().max(1.0);
                     if est.sync_delay_us < cur.sync_delay_us - eps
-                        || (est.sync_delay_us <= cur.sync_delay_us + eps
-                            && est.degree > cur.degree)
+                        || (est.sync_delay_us <= cur.sync_delay_us + eps && est.degree > cur.degree)
                     {
                         Some(est)
                     } else {
@@ -338,14 +347,24 @@ mod tests {
         assert_eq!(m.levels_for(4096).unwrap(), 1);
         assert_eq!(
             m.levels_for(32),
-            Err(ModelError::NotFullTree { p: 4096, degree: 32 })
+            Err(ModelError::NotFullTree {
+                p: 4096,
+                degree: 32
+            })
         );
     }
 
     /// At σ = 0, Algorithm 1 must reduce to Equation 1: L·d·t_c.
     #[test]
     fn zero_sigma_reduces_to_equation_1() {
-        for (p, d) in [(64u32, 2u32), (64, 4), (64, 8), (256, 4), (4096, 16), (4096, 4096)] {
+        for (p, d) in [
+            (64u32, 2u32),
+            (64, 4),
+            (64, 8),
+            (256, 4),
+            (4096, 16),
+            (4096, 4096),
+        ] {
             let m = BarrierModel::new(p, 0.0, TC).unwrap();
             let est = m.sync_delay(d).unwrap();
             let eq1 = m.eq1_simultaneous_delay(d).unwrap();
@@ -393,7 +412,11 @@ mod tests {
         let best = m.estimate_optimal_degree();
         assert_eq!(best.degree, 64);
         // delay ≈ 1·t_c once nothing else interferes
-        assert!(best.sync_delay_us < 3.0 * TC, "delay = {}", best.sync_delay_us);
+        assert!(
+            best.sync_delay_us < 3.0 * TC,
+            "delay = {}",
+            best.sync_delay_us
+        );
     }
 
     #[test]
@@ -448,8 +471,14 @@ mod tests {
 
     #[test]
     fn estimators_agree_on_direction() {
-        for la in [LastArrival::PaperAsymptotic, LastArrival::ExactQuadrature, LastArrival::Blom] {
-            let m = BarrierModel::new(256, 500.0, TC).unwrap().with_last_arrival(la);
+        for la in [
+            LastArrival::PaperAsymptotic,
+            LastArrival::ExactQuadrature,
+            LastArrival::Blom,
+        ] {
+            let m = BarrierModel::new(256, 500.0, TC)
+                .unwrap()
+                .with_last_arrival(la);
             let best = m.estimate_optimal_degree();
             assert!(best.degree > 4, "{la:?} should favor wide trees at σ=25tc");
         }

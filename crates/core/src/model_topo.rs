@@ -198,7 +198,11 @@ pub fn estimate_optimal_degree_any(
 ) -> Result<(u32, TopoEstimate), ModelError> {
     let mut best: Option<(u32, TopoEstimate)> = None;
     for d in combar_topo::default_degree_sweep(p) {
-        let topo = if d >= p { Topology::flat(p) } else { Topology::combining(p, d) };
+        let topo = if d >= p {
+            Topology::flat(p)
+        } else {
+            Topology::combining(p, d)
+        };
         let est = sync_delay_for_topology(&topo, sigma_us, tc_us, last_arrival)?;
         best = match best {
             None => Some((d, est)),
@@ -236,10 +240,9 @@ mod tests {
                     .unwrap()
                     .sync_delay_us;
                 let topo = Topology::combining(p, d);
-                let general =
-                    sync_delay_for_topology(&topo, sigma, TC, LastArrival::default())
-                        .unwrap()
-                        .sync_delay_us;
+                let general = sync_delay_for_topology(&topo, sigma, TC, LastArrival::default())
+                    .unwrap()
+                    .sync_delay_us;
                 assert!(
                     (closed - general).abs() < 1e-9,
                     "p={p} d={d} σ={sigma}: closed {closed} vs general {general}"

@@ -48,20 +48,70 @@ pub struct Fig8PaperRow {
 
 /// Figure 8, degree 4 (verbatim from the paper's table).
 pub const FIG8_DEGREE4: [Fig8PaperRow; 5] = [
-    Fig8PaperRow { slack_us: 0.0, last_proc_depth: 5.85, sync_speedup: 1.00, comm_overhead: 1.09 },
-    Fig8PaperRow { slack_us: 1_000.0, last_proc_depth: 3.34, sync_speedup: 1.73, comm_overhead: 1.08 },
-    Fig8PaperRow { slack_us: 2_000.0, last_proc_depth: 1.88, sync_speedup: 3.07, comm_overhead: 1.07 },
-    Fig8PaperRow { slack_us: 4_000.0, last_proc_depth: 1.44, sync_speedup: 3.98, comm_overhead: 1.04 },
-    Fig8PaperRow { slack_us: 16_000.0, last_proc_depth: 1.24, sync_speedup: 4.71, comm_overhead: 1.01 },
+    Fig8PaperRow {
+        slack_us: 0.0,
+        last_proc_depth: 5.85,
+        sync_speedup: 1.00,
+        comm_overhead: 1.09,
+    },
+    Fig8PaperRow {
+        slack_us: 1_000.0,
+        last_proc_depth: 3.34,
+        sync_speedup: 1.73,
+        comm_overhead: 1.08,
+    },
+    Fig8PaperRow {
+        slack_us: 2_000.0,
+        last_proc_depth: 1.88,
+        sync_speedup: 3.07,
+        comm_overhead: 1.07,
+    },
+    Fig8PaperRow {
+        slack_us: 4_000.0,
+        last_proc_depth: 1.44,
+        sync_speedup: 3.98,
+        comm_overhead: 1.04,
+    },
+    Fig8PaperRow {
+        slack_us: 16_000.0,
+        last_proc_depth: 1.24,
+        sync_speedup: 4.71,
+        comm_overhead: 1.01,
+    },
 ];
 
 /// Figure 8, degree 16 (verbatim from the paper's table).
 pub const FIG8_DEGREE16: [Fig8PaperRow; 5] = [
-    Fig8PaperRow { slack_us: 0.0, last_proc_depth: 2.99, sync_speedup: 1.00, comm_overhead: 1.04 },
-    Fig8PaperRow { slack_us: 1_000.0, last_proc_depth: 2.16, sync_speedup: 1.34, comm_overhead: 1.03 },
-    Fig8PaperRow { slack_us: 2_000.0, last_proc_depth: 1.59, sync_speedup: 1.85, comm_overhead: 1.02 },
-    Fig8PaperRow { slack_us: 4_000.0, last_proc_depth: 1.36, sync_speedup: 2.21, comm_overhead: 1.01 },
-    Fig8PaperRow { slack_us: 16_000.0, last_proc_depth: 1.21, sync_speedup: 2.45, comm_overhead: 1.00 },
+    Fig8PaperRow {
+        slack_us: 0.0,
+        last_proc_depth: 2.99,
+        sync_speedup: 1.00,
+        comm_overhead: 1.04,
+    },
+    Fig8PaperRow {
+        slack_us: 1_000.0,
+        last_proc_depth: 2.16,
+        sync_speedup: 1.34,
+        comm_overhead: 1.03,
+    },
+    Fig8PaperRow {
+        slack_us: 2_000.0,
+        last_proc_depth: 1.59,
+        sync_speedup: 1.85,
+        comm_overhead: 1.02,
+    },
+    Fig8PaperRow {
+        slack_us: 4_000.0,
+        last_proc_depth: 1.36,
+        sync_speedup: 2.21,
+        comm_overhead: 1.01,
+    },
+    Fig8PaperRow {
+        slack_us: 16_000.0,
+        last_proc_depth: 1.21,
+        sync_speedup: 2.45,
+        comm_overhead: 1.00,
+    },
 ];
 
 /// Section 7 / Figure 13 anchors on the real KSR1 (d_y = 210):
@@ -135,11 +185,20 @@ mod tests {
     #[test]
     fn compare_trend_classifies() {
         // paper: depth falls 5.85 → 1.24; we measured 5.93 → 1.19
-        assert_eq!(compare_trend((5.85, 1.24), (5.93, 1.19), 1.25), Shape::Matches);
+        assert_eq!(
+            compare_trend((5.85, 1.24), (5.93, 1.19), 1.25),
+            Shape::Matches
+        );
         // direction right, magnitude off
-        assert_eq!(compare_trend((5.85, 1.24), (5.9, 3.0), 1.25), Shape::DirectionOnly);
+        assert_eq!(
+            compare_trend((5.85, 1.24), (5.9, 3.0), 1.25),
+            Shape::DirectionOnly
+        );
         // wrong direction
-        assert_eq!(compare_trend((5.85, 1.24), (5.9, 6.5), 1.25), Shape::Contradicts);
+        assert_eq!(
+            compare_trend((5.85, 1.24), (5.9, 6.5), 1.25),
+            Shape::Contradicts
+        );
         // flat paper trend never contradicts on direction
         assert_eq!(compare_trend((1.0, 1.0), (1.0, 1.01), 1.25), Shape::Matches);
     }

@@ -44,7 +44,12 @@ impl DegreeAdvisor {
     pub fn new(p: u32, tc_us: f64) -> Self {
         assert!(p > 0, "need at least one processor");
         assert!(tc_us > 0.0, "t_c must be positive");
-        Self { p, tc_us, last_arrival: LastArrival::default(), spread: OnlineStats::new() }
+        Self {
+            p,
+            tc_us,
+            last_arrival: LastArrival::default(),
+            spread: OnlineStats::new(),
+        }
     }
 
     /// Selects the last-arrival estimator used by the model.
@@ -132,8 +137,7 @@ mod tests {
         let mut advisor = DegreeAdvisor::new(64, TC);
         // wide arrival spreads, σ ≈ 25·t_c each
         for k in 0..5 {
-            let arrivals: Vec<f64> =
-                (0..64).map(|i| (i as f64) * 16.0 + k as f64).collect();
+            let arrivals: Vec<f64> = (0..64).map(|i| (i as f64) * 16.0 + k as f64).collect();
             advisor.observe_arrivals(&arrivals);
         }
         assert_eq!(advisor.observations(), 5);

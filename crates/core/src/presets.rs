@@ -26,7 +26,12 @@ pub struct Fig2 {
 
 impl Default for Fig2 {
     fn default() -> Self {
-        Self { p: 4096, sigma_us: 250.0, degrees: vec![2, 4, 8, 16, 32, 64], reps: 30 }
+        Self {
+            p: 4096,
+            sigma_us: 250.0,
+            degrees: vec![2, 4, 8, 16, 32, 64],
+            reps: 30,
+        }
     }
 }
 

@@ -120,7 +120,11 @@ impl<S> Engine<S> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Scheduled { time: at, seq, action: Box::new(action) }));
+        self.heap.push(Reverse(Scheduled {
+            time: at,
+            seq,
+            action: Box::new(action),
+        }));
     }
 
     /// Schedules `action` after a delay from the current time.
@@ -168,7 +172,10 @@ impl<S> Engine<S> {
     where
         F: FnMut(&mut Engine<S>) + 'static,
     {
-        assert!(period.as_us() > 0.0, "periodic events need a positive period");
+        assert!(
+            period.as_us() > 0.0,
+            "periodic events need a positive period"
+        );
         let token = Cancellation::new();
         let guard = token.clone();
         fn tick<S, F: FnMut(&mut Engine<S>) + 'static>(
@@ -365,12 +372,10 @@ mod tests {
     #[test]
     fn periodic_events_fire_until_cancelled() {
         let mut eng = Engine::new((0u32, None::<Cancellation>));
-        let token = eng.schedule_periodic(
-            SimTime::from_us(10.0),
-            Duration::from_us(5.0),
-            1000,
-            |e| e.state.0 += 1,
-        );
+        let token =
+            eng.schedule_periodic(SimTime::from_us(10.0), Duration::from_us(5.0), 1000, |e| {
+                e.state.0 += 1
+            });
         eng.state.1 = Some(token);
         // cancel after the event at t = 30 has fired (events at 10, 15,
         // 20, 25, 30 → 5 firings)
@@ -384,12 +389,8 @@ mod tests {
     #[test]
     fn periodic_events_respect_max_firings() {
         let mut eng = Engine::new(0u32);
-        let _token = eng.schedule_periodic(
-            SimTime::ZERO,
-            Duration::from_us(1.0),
-            3,
-            |e| e.state += 1,
-        );
+        let _token =
+            eng.schedule_periodic(SimTime::ZERO, Duration::from_us(1.0), 3, |e| e.state += 1);
         eng.run();
         assert_eq!(eng.state, 3);
     }

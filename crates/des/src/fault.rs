@@ -1,0 +1,170 @@
+//! Fault timelines for simulated barrier studies.
+//!
+//! The runtime side of the repository injects faults with
+//! `combar-chaos`; this module is its DES mirror: a passive,
+//! deterministic description of *when* simulated processors stall or
+//! die, consumable by any episode-structured model (the `combar-sim`
+//! episode runner, the bench experiments' degradation tables) plus a
+//! small helper to schedule the timeline as engine events.
+//!
+//! The types are deliberately independent of `combar-chaos` — the DES
+//! crates stay dependency-light — and a bridge (chaos plan → fault
+//! timeline) lives with the experiments that need both sides.
+
+use crate::engine::Engine;
+use crate::time::{Duration, SimTime};
+
+/// What happens to a simulated processor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimFault {
+    /// Extra service delay before the processor's barrier arrival.
+    Stall(Duration),
+    /// The processor stops participating from this episode on.
+    Death,
+}
+
+/// One fault on one processor's episode timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Target processor.
+    pub proc: u32,
+    /// Episode index at which the fault applies.
+    pub episode: u32,
+    /// The fault.
+    pub fault: SimFault,
+}
+
+/// A deterministic set of [`FaultSpec`]s, queryable per (processor,
+/// episode) — the shape an episode-driven simulation consumes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultTimeline {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultTimeline {
+    /// Builds a timeline from arbitrary specs (order irrelevant).
+    pub fn new(mut specs: Vec<FaultSpec>) -> Self {
+        specs.sort_by_key(|s| (s.proc, s.episode));
+        Self { specs }
+    }
+
+    /// The specs, sorted by `(proc, episode)`.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// Total extra stall delay injected into `proc` at `episode`.
+    pub fn stall(&self, proc: u32, episode: u32) -> Duration {
+        let mut total = Duration::ZERO;
+        for s in &self.specs {
+            if s.proc == proc && s.episode == episode {
+                if let SimFault::Stall(d) = s.fault {
+                    total += d;
+                }
+            }
+        }
+        total
+    }
+
+    /// The episode at which `proc` dies, if the timeline kills it.
+    pub fn death_episode(&self, proc: u32) -> Option<u32> {
+        self.specs
+            .iter()
+            .filter(|s| s.proc == proc && s.fault == SimFault::Death)
+            .map(|s| s.episode)
+            .min()
+    }
+
+    /// Whether `proc` still participates in `episode`.
+    pub fn alive(&self, proc: u32, episode: u32) -> bool {
+        self.death_episode(proc).is_none_or(|k| episode < k)
+    }
+
+    /// Processors alive in `episode`, out of `p` total.
+    pub fn survivors(&self, p: u32, episode: u32) -> u32 {
+        (0..p).filter(|&q| self.alive(q, episode)).count() as u32
+    }
+}
+
+/// Schedules every fault of a wall-clock-mapped timeline as an engine
+/// event: at `origin + episode · period`, `handler` runs with the
+/// engine, the processor and the fault. Use this when the simulation
+/// is event-driven rather than episode-looped.
+pub fn inject<S, F>(
+    eng: &mut Engine<S>,
+    timeline: &FaultTimeline,
+    origin: SimTime,
+    period: Duration,
+    handler: F,
+) where
+    F: Fn(&mut Engine<S>, u32, SimFault) + Clone + 'static,
+{
+    for spec in timeline.specs() {
+        let at = origin + period.scale(spec.episode as f64);
+        let h = handler.clone();
+        let (proc, fault) = (spec.proc, spec.fault);
+        eng.schedule_at(at, move |e| h(e, proc, fault));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline() -> FaultTimeline {
+        FaultTimeline::new(vec![
+            FaultSpec {
+                proc: 2,
+                episode: 3,
+                fault: SimFault::Death,
+            },
+            FaultSpec {
+                proc: 0,
+                episode: 1,
+                fault: SimFault::Stall(Duration::from_us(5.0)),
+            },
+            FaultSpec {
+                proc: 0,
+                episode: 1,
+                fault: SimFault::Stall(Duration::from_us(2.0)),
+            },
+        ])
+    }
+
+    #[test]
+    fn stalls_accumulate_per_episode() {
+        let t = timeline();
+        assert_eq!(t.stall(0, 1), Duration::from_us(7.0));
+        assert_eq!(t.stall(0, 2), Duration::ZERO);
+        assert_eq!(t.stall(1, 1), Duration::ZERO);
+    }
+
+    #[test]
+    fn death_bounds_aliveness() {
+        let t = timeline();
+        assert_eq!(t.death_episode(2), Some(3));
+        assert!(t.alive(2, 2));
+        assert!(!t.alive(2, 3));
+        assert_eq!(t.survivors(4, 2), 4);
+        assert_eq!(t.survivors(4, 3), 3);
+    }
+
+    #[test]
+    fn inject_schedules_at_episode_times() {
+        let t = timeline();
+        let mut eng = Engine::new(Vec::<(f64, u32)>::new());
+        inject(
+            &mut eng,
+            &t,
+            SimTime::from_us(10.0),
+            Duration::from_us(100.0),
+            |e, proc, _| {
+                let now = e.now().as_us();
+                e.state.push((now, proc));
+            },
+        );
+        eng.run();
+        // proc 0 stalls at episode 1 (two specs), proc 2 dies at 3.
+        assert_eq!(eng.state, vec![(110.0, 0), (110.0, 0), (310.0, 2)]);
+    }
+}

@@ -12,7 +12,9 @@
 //! * [`FifoServer`] — the contention model for a lock-protected counter
 //!   (serve one update of `t_c` at a time, FIFO), generalized to
 //!   capacity `c` by [`Resource`];
-//! * [`trace`] — bounded tracing for debugging barrier episodes.
+//! * [`trace`] — bounded tracing for debugging barrier episodes;
+//! * [`fault`] — episode-indexed fault timelines (stalls, deaths) so
+//!   simulated degradation can mirror the runtime chaos harness.
 //!
 //! # Example: three processors hitting one counter
 //!
@@ -36,12 +38,14 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod resource;
 pub mod server;
 pub mod time;
 pub mod trace;
 
 pub use engine::{Cancellation, Engine};
+pub use fault::{FaultSpec, FaultTimeline, SimFault};
 pub use resource::Resource;
 pub use server::{FifoServer, Service};
 pub use time::{Duration, SimTime};
@@ -63,7 +67,10 @@ mod integration {
             counter: FifoServer,
             release: SimTime,
         }
-        let mut eng = Engine::new(St { counter: FifoServer::new(), release: SimTime::ZERO });
+        let mut eng = Engine::new(St {
+            counter: FifoServer::new(),
+            release: SimTime::ZERO,
+        });
         for &a in &arrivals {
             eng.schedule_at(SimTime::from_us(a), move |e| {
                 let now = e.now();

@@ -86,7 +86,11 @@ impl Resource {
         self.served += 1;
         self.total_wait += start - arrival;
         self.total_service += service;
-        Service { arrival, start, finish }
+        Service {
+            arrival,
+            start,
+            finish,
+        }
     }
 
     /// Number of requests currently in service at time `t` (after

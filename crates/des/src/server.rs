@@ -84,7 +84,11 @@ impl FifoServer {
         self.served += 1;
         self.total_wait += start - arrival;
         self.total_service += service;
-        Service { arrival, start, finish }
+        Service {
+            arrival,
+            start,
+            finish,
+        }
     }
 
     /// The time at which the server next becomes idle.

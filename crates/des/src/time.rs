@@ -101,7 +101,10 @@ impl Duration {
     /// Panics if `us` is NaN or negative.
     #[inline]
     pub fn from_us(us: f64) -> Self {
-        assert!(!us.is_nan() && us >= 0.0, "Duration must be non-negative, got {us}");
+        assert!(
+            !us.is_nan() && us >= 0.0,
+            "Duration must be non-negative, got {us}"
+        );
         Duration(us)
     }
 

@@ -60,13 +60,21 @@ pub struct Trace {
 impl Trace {
     /// Creates a trace buffer holding at most `capacity` records.
     pub fn new(capacity: usize) -> Self {
-        Self { events: Vec::new(), capacity, dropped: 0 }
+        Self {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Records an event.
     pub fn record(&mut self, time: SimTime, subject: u32, kind: TraceKind) {
         if self.events.len() < self.capacity {
-            self.events.push(TraceEvent { time, subject, kind });
+            self.events.push(TraceEvent {
+                time,
+                subject,
+                kind,
+            });
         } else {
             self.dropped += 1;
         }
@@ -120,7 +128,11 @@ mod tests {
             (TraceKind::Swap(7), "swap->c7"),
         ];
         for (kind, needle) in cases {
-            let ev = TraceEvent { time: SimTime::from_us(0.0), subject: 1, kind };
+            let ev = TraceEvent {
+                time: SimTime::from_us(0.0),
+                subject: 1,
+                kind,
+            };
             assert!(format!("{ev}").contains(needle), "{ev}");
         }
     }

@@ -39,7 +39,12 @@ impl Grid {
             }
         }
         let back = front.clone();
-        Self { nx, ny, front, back }
+        Self {
+            nx,
+            ny,
+            front,
+            back,
+        }
     }
 
     /// Grid rows.
@@ -185,7 +190,11 @@ mod tests {
         assert!(res < 1e-10, "residual {res} after {iters} iters");
         for i in 0..12 {
             for j in 0..12 {
-                assert!((g.get(i, j) - 3.5).abs() < 1e-7, "({i},{j}) = {}", g.get(i, j));
+                assert!(
+                    (g.get(i, j) - 3.5).abs() < 1e-7,
+                    "({i},{j}) = {}",
+                    g.get(i, j)
+                );
             }
         }
     }

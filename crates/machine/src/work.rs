@@ -42,10 +42,20 @@ impl SorWork {
     ///
     /// Panics if either dimension is zero.
     pub fn new(params: KsrParams, dx_per_proc: u32, dy: u32) -> Self {
-        assert!(dx_per_proc > 0 && dy > 0, "grid dimensions must be positive");
+        assert!(
+            dx_per_proc > 0 && dy > 0,
+            "grid dimensions must be positive"
+        );
         let events = params.comm_events(dy);
         let compute_us = dx_per_proc as f64 * dy as f64 * params.point_time_us;
-        Self { params, dx_per_proc, dy, events, compute_us, ring_correlation: 0.0 }
+        Self {
+            params,
+            dx_per_proc,
+            dy,
+            events,
+            compute_us,
+            ring_correlation: 0.0,
+        }
     }
 
     /// Makes a fraction `rho ∈ [0, 1)` of the communication-jitter
@@ -229,7 +239,10 @@ mod tests {
         }
         let within = stats::pearson(&a, &b);
         let cross = stats::pearson(&a, &c);
-        assert!((within - rho).abs() < 0.06, "within-ring corr {within} vs {rho}");
+        assert!(
+            (within - rho).abs() < 0.06,
+            "within-ring corr {within} vs {rho}"
+        );
         assert!(cross.abs() < 0.06, "cross-ring corr {cross}");
         let sd = stats::std_dev(&all);
         assert!(

@@ -21,7 +21,9 @@ impl Exponential {
     /// Returns an error if `rate` is not finite or not positive.
     pub fn new(rate: f64) -> Result<Self, ParamError> {
         if !rate.is_finite() || rate <= 0.0 {
-            return Err(ParamError { what: "exponential rate must be finite and > 0" });
+            return Err(ParamError {
+                what: "exponential rate must be finite and > 0",
+            });
         }
         Ok(Self { rate })
     }
@@ -33,7 +35,9 @@ impl Exponential {
     /// Returns an error if `mean` is not finite or not positive.
     pub fn with_mean(mean: f64) -> Result<Self, ParamError> {
         if !mean.is_finite() || mean <= 0.0 {
-            return Err(ParamError { what: "exponential mean must be finite and > 0" });
+            return Err(ParamError {
+                what: "exponential mean must be finite and > 0",
+            });
         }
         Self::new(1.0 / mean)
     }
@@ -115,7 +119,11 @@ mod tests {
         let samples = e.sample_vec(&mut rng, n);
         for x in [0.25f64, 0.5, 1.0, 2.0, 4.0] {
             let emp = samples.iter().filter(|&&s| s <= x).count() as f64 / n as f64;
-            assert!((emp - e.cdf(x)).abs() < 0.006, "x = {x}: {emp} vs {}", e.cdf(x));
+            assert!(
+                (emp - e.cdf(x)).abs() < 0.006,
+                "x = {x}: {emp} vs {}",
+                e.cdf(x)
+            );
         }
     }
 

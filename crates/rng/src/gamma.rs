@@ -26,12 +26,20 @@ impl Gamma {
     /// Returns an error unless both parameters are finite and positive.
     pub fn new(shape: f64, scale: f64) -> Result<Self, ParamError> {
         if !shape.is_finite() || shape <= 0.0 {
-            return Err(ParamError { what: "gamma shape must be finite and > 0" });
+            return Err(ParamError {
+                what: "gamma shape must be finite and > 0",
+            });
         }
         if !scale.is_finite() || scale <= 0.0 {
-            return Err(ParamError { what: "gamma scale must be finite and > 0" });
+            return Err(ParamError {
+                what: "gamma scale must be finite and > 0",
+            });
         }
-        Ok(Self { shape, scale, normal: Normal::standard() })
+        Ok(Self {
+            shape,
+            scale,
+            normal: Normal::standard(),
+        })
     }
 
     /// The shape parameter α.
@@ -108,10 +116,14 @@ impl Weibull {
     /// Returns an error unless both parameters are finite and positive.
     pub fn new(scale: f64, shape: f64) -> Result<Self, ParamError> {
         if !scale.is_finite() || scale <= 0.0 {
-            return Err(ParamError { what: "weibull scale must be finite and > 0" });
+            return Err(ParamError {
+                what: "weibull scale must be finite and > 0",
+            });
         }
         if !shape.is_finite() || shape <= 0.0 {
-            return Err(ParamError { what: "weibull shape must be finite and > 0" });
+            return Err(ParamError {
+                what: "weibull shape must be finite and > 0",
+            });
         }
         Ok(Self { scale, shape })
     }
@@ -180,7 +192,12 @@ mod tests {
         let e = Exponential::with_mean(2.0).unwrap();
         let samples = g.sample_vec(&mut rng, 5_000);
         let res = ks_test(&samples, |x| e.cdf(x));
-        assert!(res.consistent_at(0.01), "D = {}, p = {}", res.statistic, res.p_value);
+        assert!(
+            res.consistent_at(0.01),
+            "D = {}, p = {}",
+            res.statistic,
+            res.p_value
+        );
     }
 
     /// Sum of k exponentials is Gamma(k): check the machine model's
@@ -209,7 +226,12 @@ mod tests {
             1.0 - cum
         };
         let res = ks_test(&sums, gamma_cdf);
-        assert!(res.consistent_at(0.01), "D = {}, p = {}", res.statistic, res.p_value);
+        assert!(
+            res.consistent_at(0.01),
+            "D = {}, p = {}",
+            res.statistic,
+            res.p_value
+        );
     }
 
     #[test]

@@ -20,8 +20,17 @@ impl Histogram {
     /// finite.
     pub fn new(low: f64, high: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
-        assert!(low.is_finite() && high.is_finite() && low < high, "bad histogram bounds");
-        Self { low, high, bins: vec![0; bins], underflow: 0, overflow: 0 }
+        assert!(
+            low.is_finite() && high.is_finite() && low < high,
+            "bad histogram bounds"
+        );
+        Self {
+            low,
+            high,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Records one observation.

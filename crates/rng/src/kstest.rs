@@ -34,7 +34,10 @@ impl KsResult {
 pub fn ks_test<F: Fn(f64) -> f64>(data: &[f64], cdf: F) -> KsResult {
     assert!(!data.is_empty(), "KS test needs data");
     let mut sorted: Vec<f64> = data.to_vec();
-    assert!(sorted.iter().all(|x| !x.is_nan()), "KS test data must not contain NaN");
+    assert!(
+        sorted.iter().all(|x| !x.is_nan()),
+        "KS test data must not contain NaN"
+    );
     sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     let nf = n as f64;
@@ -46,7 +49,11 @@ pub fn ks_test<F: Fn(f64) -> f64>(data: &[f64], cdf: F) -> KsResult {
         let d_minus = (f - i as f64 / nf).abs();
         d = d.max(d_plus).max(d_minus);
     }
-    KsResult { statistic: d, p_value: kolmogorov_sf(nf.sqrt() * d), n }
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_sf(nf.sqrt() * d),
+        n,
+    }
 }
 
 /// Survival function of the Kolmogorov distribution:
@@ -94,7 +101,12 @@ mod tests {
         let d = Normal::standard();
         let data = d.sample_vec(&mut rng, 5_000);
         let res = ks_test(&data, normal_cdf);
-        assert!(res.consistent_at(0.01), "D = {}, p = {}", res.statistic, res.p_value);
+        assert!(
+            res.consistent_at(0.01),
+            "D = {}, p = {}",
+            res.statistic,
+            res.p_value
+        );
     }
 
     #[test]
@@ -103,7 +115,12 @@ mod tests {
         let z = crate::ZigguratNormal::new();
         let data: Vec<f64> = (0..5_000).map(|_| z.sample(&mut rng)).collect();
         let res = ks_test(&data, normal_cdf);
-        assert!(res.consistent_at(0.01), "D = {}, p = {}", res.statistic, res.p_value);
+        assert!(
+            res.consistent_at(0.01),
+            "D = {}, p = {}",
+            res.statistic,
+            res.p_value
+        );
     }
 
     #[test]
@@ -116,7 +133,11 @@ mod tests {
         let s = crate::stats::std_dev(&data);
         let std_data: Vec<f64> = data.iter().map(|&x| (x - m) / s).collect();
         let res = ks_test(&std_data, normal_cdf);
-        assert!(!res.consistent_at(0.01), "exponential should be detected, p = {}", res.p_value);
+        assert!(
+            !res.consistent_at(0.01),
+            "exponential should be detected, p = {}",
+            res.p_value
+        );
     }
 
     #[test]

@@ -20,7 +20,9 @@ impl LogNormal {
     ///
     /// Returns an error if the underlying normal parameters are invalid.
     pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
-        Ok(Self { underlying: Normal::new(mu, sigma)? })
+        Ok(Self {
+            underlying: Normal::new(mu, sigma)?,
+        })
     }
 
     /// Creates a log-normal whose *own* mean and standard deviation are
@@ -31,10 +33,14 @@ impl LogNormal {
     /// Returns an error unless `mean > 0` and `std_dev >= 0`.
     pub fn from_mean_std(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
         if !mean.is_finite() || mean <= 0.0 {
-            return Err(ParamError { what: "lognormal mean must be finite and > 0" });
+            return Err(ParamError {
+                what: "lognormal mean must be finite and > 0",
+            });
         }
         if !std_dev.is_finite() || std_dev < 0.0 {
-            return Err(ParamError { what: "lognormal std_dev must be finite and >= 0" });
+            return Err(ParamError {
+                what: "lognormal std_dev must be finite and >= 0",
+            });
         }
         let cv2 = (std_dev / mean).powi(2);
         let sigma2 = (1.0 + cv2).ln();

@@ -44,17 +44,29 @@ impl Normal {
     /// negative or not finite.
     pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
         if !mean.is_finite() {
-            return Err(ParamError { what: "normal mean must be finite" });
+            return Err(ParamError {
+                what: "normal mean must be finite",
+            });
         }
         if !std_dev.is_finite() || std_dev < 0.0 {
-            return Err(ParamError { what: "normal std_dev must be finite and >= 0" });
+            return Err(ParamError {
+                what: "normal std_dev must be finite and >= 0",
+            });
         }
-        Ok(Self { mean, std_dev, spare: Cell::new(None) })
+        Ok(Self {
+            mean,
+            std_dev,
+            spare: Cell::new(None),
+        })
     }
 
     /// The standard normal `N(0, 1)`.
     pub fn standard() -> Self {
-        Self { mean: 0.0, std_dev: 1.0, spare: Cell::new(None) }
+        Self {
+            mean: 0.0,
+            std_dev: 1.0,
+            spare: Cell::new(None),
+        }
     }
 
     /// Mean of the distribution.

@@ -67,7 +67,10 @@ pub fn expected_max_exact(n: usize) -> f64 {
 /// E[X_(k)] ≈ Φ⁻¹( (k − 0.375) / (n + 0.25) )
 /// ```
 pub fn expected_order_stat_blom(n: usize, k: usize) -> f64 {
-    assert!(n >= 1 && (1..=n).contains(&k), "order statistic indices out of range");
+    assert!(
+        n >= 1 && (1..=n).contains(&k),
+        "order statistic indices out of range"
+    );
     normal_quantile((k as f64 - 0.375) / (n as f64 + 0.25))
 }
 

@@ -22,10 +22,14 @@ impl Pareto {
     /// Returns an error unless both parameters are finite and positive.
     pub fn new(scale: f64, shape: f64) -> Result<Self, ParamError> {
         if !scale.is_finite() || scale <= 0.0 {
-            return Err(ParamError { what: "pareto scale must be finite and > 0" });
+            return Err(ParamError {
+                what: "pareto scale must be finite and > 0",
+            });
         }
         if !shape.is_finite() || shape <= 0.0 {
-            return Err(ParamError { what: "pareto shape must be finite and > 0" });
+            return Err(ParamError {
+                what: "pareto shape must be finite and > 0",
+            });
         }
         Ok(Self { scale, shape })
     }
@@ -96,7 +100,11 @@ mod tests {
         // analytic mean = 3/2
         let n = 300_000usize;
         let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
-        assert!((mean - d.mean()).abs() < 0.01, "mean = {mean} vs {}", d.mean());
+        assert!(
+            (mean - d.mean()).abs() < 0.01,
+            "mean = {mean} vs {}",
+            d.mean()
+        );
     }
 
     #[test]

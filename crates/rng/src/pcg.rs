@@ -79,7 +79,13 @@ mod tests {
     #[test]
     fn matches_pcg_reference_vector() {
         let mut rng = Pcg32::new(42, 54);
-        let expected: [u32; 5] = [0xa15c_02b7, 0x7b47_f409, 0xba1d_3330, 0x83d2_f293, 0xbfa4_784b];
+        let expected: [u32; 5] = [
+            0xa15c_02b7,
+            0x7b47_f409,
+            0xba1d_3330,
+            0x83d2_f293,
+            0xbfa4_784b,
+        ];
         for &e in &expected {
             assert_eq!(rng.next_u32_native(), e);
         }

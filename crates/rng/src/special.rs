@@ -216,10 +216,7 @@ mod tests {
         ];
         for (x, want) in cases {
             let got = erf(x);
-            assert!(
-                (got - want).abs() < 1e-13,
-                "erf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-13, "erf({x}) = {got}, want {want}");
         }
     }
 
@@ -261,10 +258,7 @@ mod tests {
         ];
         for (x, want) in cases {
             let got = normal_cdf(x);
-            assert!(
-                (got - want).abs() < 1e-12,
-                "Φ({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-12, "Φ({x}) = {got}, want {want}");
         }
     }
 
@@ -274,10 +268,7 @@ mod tests {
             let p = i as f64 / 1000.0;
             let x = normal_quantile(p);
             let back = normal_cdf(x);
-            assert!(
-                (back - p).abs() < 1e-12,
-                "Φ(Φ⁻¹({p})) = {back}"
-            );
+            assert!((back - p).abs() < 1e-12, "Φ(Φ⁻¹({p})) = {back}");
         }
     }
 

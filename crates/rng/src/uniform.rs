@@ -17,12 +17,19 @@ impl Uniform {
     /// Returns an error if the bounds are not finite or `low >= high`.
     pub fn new(low: f64, high: f64) -> Result<Self, ParamError> {
         if !low.is_finite() || !high.is_finite() {
-            return Err(ParamError { what: "uniform bounds must be finite" });
+            return Err(ParamError {
+                what: "uniform bounds must be finite",
+            });
         }
         if low >= high {
-            return Err(ParamError { what: "uniform requires low < high" });
+            return Err(ParamError {
+                what: "uniform requires low < high",
+            });
         }
-        Ok(Self { low, span: high - low })
+        Ok(Self {
+            low,
+            span: high - low,
+        })
     }
 
     /// Lower bound of the support.
@@ -58,9 +65,14 @@ impl UniformInt {
     /// Returns an error if `low >= high`.
     pub fn new(low: i64, high: i64) -> Result<Self, ParamError> {
         if low >= high {
-            return Err(ParamError { what: "uniform int requires low < high" });
+            return Err(ParamError {
+                what: "uniform int requires low < high",
+            });
         }
-        Ok(Self { low, width: high.wrapping_sub(low) as u64 })
+        Ok(Self {
+            low,
+            width: high.wrapping_sub(low) as u64,
+        })
     }
 }
 

@@ -99,7 +99,11 @@ impl ZigguratNormal {
             }
             // Wedge: accept with probability proportional to the pdf
             // gap between the layer's floor and ceiling.
-            let y0 = if layer == 0 { pdf(t.x[1]) } else { t.y[layer - 1] };
+            let y0 = if layer == 0 {
+                pdf(t.x[1])
+            } else {
+                t.y[layer - 1]
+            };
             let y1 = t.y[layer];
             let y = y0 + (y1 - y0) * rng.next_f64();
             if y < pdf(x) {
@@ -134,10 +138,7 @@ mod tests {
         // layer's box area x[i]·(y[i] − y[i−1]) ≈ V
         for i in 2..LAYERS - 1 {
             let area = t.x[i] * (t.y[i] - t.y[i - 1]);
-            assert!(
-                (area - V).abs() < V * 0.02,
-                "layer {i} area {area} vs {V}"
-            );
+            assert!((area - V).abs() < V * 0.02, "layer {i} area {area} vs {V}");
         }
     }
 

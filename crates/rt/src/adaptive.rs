@@ -19,11 +19,22 @@
 //! window `w−1` orders all writes before any window-`w` read) and runs
 //! the same deterministic float computation — hence every thread picks
 //! the same tree.
+//!
+//! # Fault model
+//!
+//! Bounded waits ([`AdaptiveWaiter::wait_timeout`]), poisoning, and
+//! eviction are supported; an eviction is applied to **every**
+//! candidate tree, so proxies flow no matter which tree later windows
+//! select. Re-admission is *not* supported: a rejoiner would have to
+//! reconcile the pre-delivered proxy counts sitting in the inactive
+//! trees, which cannot be done race-free without a stop-the-world
+//! reconfiguration. Rebuild the barrier to re-admit a participant.
 
+use crate::error::BarrierError;
 use crate::pad::CachePadded;
 use crate::tree::{TreeBarrier, TreeWaiter};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Chooses a tree degree from the measured arrival spread.
 ///
@@ -43,6 +54,9 @@ pub struct AdaptiveBarrier {
     start: Instant,
     p: u32,
     initial_idx: usize,
+    /// Tree index in use this window (every waiter stores the same
+    /// value; read by the eviction API to find stragglers).
+    current: AtomicUsize,
 }
 
 impl std::fmt::Debug for AdaptiveBarrier {
@@ -69,8 +83,15 @@ impl AdaptiveBarrier {
         let mut degrees = degrees.to_vec();
         degrees.sort_unstable();
         degrees.dedup();
-        let trees = degrees.iter().map(|&d| TreeBarrier::combining(p, d)).collect();
-        let mk = || (0..p).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+        let trees = degrees
+            .iter()
+            .map(|&d| TreeBarrier::combining(p, d))
+            .collect();
+        let mk = || {
+            (0..p)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect()
+        };
         // start near degree 4, the classical default
         let initial_idx = nearest_index(&degrees, 4);
         Self {
@@ -82,6 +103,7 @@ impl AdaptiveBarrier {
             start: Instant::now(),
             p,
             initial_idx,
+            current: AtomicUsize::new(initial_idx),
         }
     }
 
@@ -108,7 +130,56 @@ impl AdaptiveBarrier {
             tid,
             episode: 0,
             idx: self.initial_idx,
+            mid: false,
         }
+    }
+
+    /// Whether a participant died mid-episode in any candidate tree.
+    pub fn is_poisoned(&self) -> bool {
+        self.trees.iter().any(|t| t.is_poisoned())
+    }
+
+    /// Number of currently evicted participants.
+    pub fn evicted_count(&self) -> u32 {
+        self.trees[self.current.load(Ordering::Acquire)].evicted_count()
+    }
+
+    /// Whether participant `tid` is currently evicted.
+    pub fn is_evicted(&self, tid: u32) -> bool {
+        self.trees[self.current.load(Ordering::Acquire)].is_evicted(tid)
+    }
+
+    /// Participants that have not arrived for the in-flight episode of
+    /// the tree currently in use.
+    pub fn stragglers(&self) -> Vec<u32> {
+        self.trees[self.current.load(Ordering::Acquire)].stragglers()
+    }
+
+    /// Evicts participant `tid` from **every** candidate tree (so
+    /// proxies flow no matter which tree later windows select).
+    /// Refused — returning `false` — if `tid` already arrived for the
+    /// in-flight episode of the current tree.
+    pub fn evict(&self, tid: u32) -> bool {
+        let cur = self.current.load(Ordering::Acquire);
+        if !self.trees[cur].evict(tid) {
+            return false;
+        }
+        for (i, t) in self.trees.iter().enumerate() {
+            if i != cur {
+                // Idle trees hold no in-flight arrival from `tid`, so
+                // these evictions cannot be refused.
+                t.evict(tid);
+            }
+        }
+        true
+    }
+
+    /// Evicts every current straggler; returns the evicted ids.
+    pub fn evict_stragglers(&self) -> Vec<u32> {
+        self.stragglers()
+            .into_iter()
+            .filter(|&t| self.evict(t))
+            .collect()
     }
 
     /// Deterministic decision from one window's frozen slots: compute
@@ -125,7 +196,11 @@ impl AdaptiveBarrier {
             let d = s.load(Ordering::Acquire) as f64 - mean;
             ss += d * d;
         }
-        let sigma_us = if self.p > 1 { (ss / (n - 1.0)).sqrt() / 1e3 } else { 0.0 };
+        let sigma_us = if self.p > 1 {
+            (ss / (n - 1.0)).sqrt() / 1e3
+        } else {
+            0.0
+        };
         let wanted = (self.policy)(sigma_us, self.p);
         nearest_index(&self.degrees, wanted)
     }
@@ -147,6 +222,9 @@ fn nearest_index(degrees: &[u32], wanted: u32) -> usize {
 }
 
 /// Per-thread handle to an [`AdaptiveBarrier`].
+///
+/// Dropping a waiter mid-episode poisons the barrier (via the tree it
+/// was crossing).
 #[derive(Debug)]
 pub struct AdaptiveWaiter<'a> {
     barrier: &'a AdaptiveBarrier,
@@ -154,12 +232,14 @@ pub struct AdaptiveWaiter<'a> {
     tid: u32,
     episode: u32,
     idx: usize,
+    /// Whether an episode is in flight (preamble done, tree wait not
+    /// yet complete).
+    mid: bool,
 }
 
 impl AdaptiveWaiter<'_> {
-    /// One barrier episode, including measurement and (at window
-    /// boundaries) reconfiguration.
-    pub fn wait(&mut self) {
+    /// Measurement/reconfiguration preamble, run once per episode.
+    fn preamble(&mut self) {
         let b = self.barrier;
         let win = self.episode / b.window;
         if self.episode % b.window == 0 && win > 0 {
@@ -167,10 +247,41 @@ impl AdaptiveWaiter<'_> {
             // thread computes the same index.
             self.idx = b.decide(((win - 1) % 2) as usize);
         }
+        b.current.store(self.idx, Ordering::Release);
         let now_ns = b.start.elapsed().as_nanos() as u64;
         b.slots[(win % 2) as usize][self.tid as usize].store(now_ns, Ordering::Release);
+        self.mid = true;
+    }
+
+    /// One barrier episode, including measurement and (at window
+    /// boundaries) reconfiguration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier is poisoned or this participant evicted.
+    pub fn wait(&mut self) {
+        if !self.mid {
+            self.preamble();
+        }
         self.waiters[self.idx].wait();
+        self.mid = false;
         self.episode += 1;
+    }
+
+    /// One barrier episode bounded by `timeout`.
+    ///
+    /// On [`BarrierError::Timeout`] the episode stays in flight: call a
+    /// wait method again to resume it. A timed-out waiter must not
+    /// simply be dropped — that poisons the barrier; retry, or have a
+    /// peer evict it.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Result<(), BarrierError> {
+        if !self.mid {
+            self.preamble();
+        }
+        self.waiters[self.idx].wait_timeout(timeout)?;
+        self.mid = false;
+        self.episode += 1;
+        Ok(())
     }
 
     /// The degree of the tree this thread is currently using.
@@ -265,6 +376,47 @@ mod tests {
             w.wait();
         }
         assert_eq!(w.current_degree(), 4);
+    }
+
+    /// Survivors keep crossing — including across a window boundary
+    /// that switches trees — after a straggler is evicted.
+    #[test]
+    fn eviction_survives_tree_switches() {
+        const P: u32 = 4;
+        // Starts on the degree-8 tree (nearest to the default 4, ties
+        // widen); the policy then steers every later window to degree 2,
+        // so the evicted participant's proxies must flow in both trees.
+        let policy: DegreePolicy = Box::new(|_, _| 2);
+        let b = AdaptiveBarrier::new(P, &[2, 8], 5, policy);
+        let dead = 3u32;
+        std::thread::scope(|s| {
+            for tid in 0..P {
+                let b = &b;
+                s.spawn(move || {
+                    let mut w = b.waiter(tid);
+                    if tid == dead {
+                        return; // never shows up
+                    }
+                    let mut evicted = false;
+                    for _ in 0..40 {
+                        loop {
+                            match w.wait_timeout(Duration::from_millis(20)) {
+                                Ok(()) => break,
+                                Err(BarrierError::Timeout) => {
+                                    if !evicted {
+                                        b.evict(dead);
+                                        evicted = true;
+                                    }
+                                }
+                                Err(e) => panic!("unexpected: {e}"),
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert!(b.is_evicted(dead));
+        assert!(!b.is_poisoned());
     }
 
     #[test]

@@ -10,14 +10,48 @@
 //! [`arrive`](BlockingWaiter::arrive)/[`depart`](BlockingWaiter::depart)
 //! split, so it slots into the same [`crate::FuzzyWaiter`] harnesses as
 //! the spinning barriers.
+//!
+//! # Fault model
+//!
+//! The full surface: bounded waits via
+//! [`BlockingWaiter::wait_timeout`] (built on `Condvar::wait_timeout`),
+//! poisoning on mid-episode drops, and eviction with re-admission.
+//! Because the mutex serialises everything, eviction needs no proxy
+//! machinery at all: an evicted participant is simply excluded from the
+//! release count, and a rejoiner participates again from the next
+//! episode.
 
+use crate::error::BarrierError;
 use crate::fuzzy::FuzzyWaiter;
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 #[derive(Debug)]
 struct State {
-    count: u32,
+    /// Which participants have arrived for the episode in flight.
+    arrived: Vec<bool>,
+    /// Which participants are currently evicted.
+    evicted: Vec<bool>,
     generation: u64,
+    poisoned: bool,
+}
+
+impl State {
+    /// Releases the episode if every non-evicted participant arrived.
+    /// Returns whether it did.
+    fn release_if_complete(&mut self) -> bool {
+        let complete = self
+            .arrived
+            .iter()
+            .zip(&self.evicted)
+            .all(|(&a, &e)| a || e);
+        if complete {
+            self.arrived.fill(false);
+            self.generation += 1;
+        }
+        complete
+    }
 }
 
 /// A sense-free blocking barrier for `p` threads.
@@ -25,6 +59,7 @@ struct State {
 pub struct BlockingBarrier {
     state: Mutex<State>,
     cond: Condvar,
+    next_id: AtomicU32,
     p: u32,
 }
 
@@ -36,7 +71,17 @@ impl BlockingBarrier {
     /// Panics if `p == 0`.
     pub fn new(p: u32) -> Self {
         assert!(p > 0, "barrier needs at least one thread");
-        Self { state: Mutex::new(State { count: 0, generation: 0 }), cond: Condvar::new(), p }
+        Self {
+            state: Mutex::new(State {
+                arrived: vec![false; p as usize],
+                evicted: vec![false; p as usize],
+                generation: 0,
+                poisoned: false,
+            }),
+            cond: Condvar::new(),
+            next_id: AtomicU32::new(0),
+            p,
+        }
     }
 
     /// Number of participating threads.
@@ -44,20 +89,113 @@ impl BlockingBarrier {
         self.p
     }
 
-    /// Creates the per-thread handle.
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // The std mutex's own poisoning is folded into ours: a panic
+        // while holding the lock also means a participant died.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(e) => {
+                let mut g = e.into_inner();
+                g.poisoned = true;
+                g
+            }
+        }
+    }
+
+    /// Creates the next per-thread handle (participant ids are assigned
+    /// round-robin).
     ///
     /// Waiters may be created at any quiescent point; they inherit the
     /// barrier's current generation.
     pub fn waiter(&self) -> BlockingWaiter<'_> {
-        let generation = self.state.lock().expect("no poisoning").generation;
-        BlockingWaiter { barrier: self, generation, pending: false }
+        let tid = self.next_id.fetch_add(1, Ordering::Relaxed) % self.p;
+        self.waiter_for(tid)
+    }
+
+    /// Creates the per-thread handle for participant `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn waiter_for(&self, tid: u32) -> BlockingWaiter<'_> {
+        assert!(tid < self.p, "thread id out of range");
+        let generation = self.lock().generation;
+        BlockingWaiter {
+            barrier: self,
+            tid,
+            generation,
+            pending: false,
+        }
+    }
+
+    /// Whether a participant died mid-episode, wedging the barrier.
+    pub fn is_poisoned(&self) -> bool {
+        self.lock().poisoned
+    }
+
+    /// Number of currently evicted participants.
+    pub fn evicted_count(&self) -> u32 {
+        self.lock().evicted.iter().filter(|&&e| e).count() as u32
+    }
+
+    /// Whether participant `tid` is currently evicted.
+    pub fn is_evicted(&self, tid: u32) -> bool {
+        self.lock().evicted[tid as usize]
+    }
+
+    /// Participants that have not arrived for the in-flight episode.
+    pub fn stragglers(&self) -> Vec<u32> {
+        let st = self.lock();
+        (0..self.p)
+            .filter(|&t| !st.arrived[t as usize] && !st.evicted[t as usize])
+            .collect()
+    }
+
+    /// Evicts participant `tid` if it has not arrived for the episode
+    /// in flight; it is excluded from release counts until it rejoins.
+    /// Returns whether the eviction happened.
+    pub fn evict(&self, tid: u32) -> bool {
+        assert!(tid < self.p, "thread id out of range");
+        let mut st = self.lock();
+        let t = tid as usize;
+        if st.evicted[t] || st.arrived[t] {
+            return false;
+        }
+        st.evicted[t] = true;
+        if st.release_if_complete() {
+            self.cond.notify_all();
+        }
+        true
+    }
+
+    /// Evicts every current straggler; returns the evicted ids.
+    pub fn evict_stragglers(&self) -> Vec<u32> {
+        let mut st = self.lock();
+        let evicted: Vec<u32> = (0..self.p)
+            .filter(|&t| {
+                let t = t as usize;
+                !st.arrived[t] && !st.evicted[t]
+            })
+            .collect();
+        for &t in &evicted {
+            st.evicted[t as usize] = true;
+        }
+        if !evicted.is_empty() && st.release_if_complete() {
+            self.cond.notify_all();
+        }
+        evicted
     }
 }
 
 /// Per-thread handle to a [`BlockingBarrier`].
+///
+/// Dropping a waiter between `arrive` and a completed depart poisons
+/// the barrier: peers receive [`BarrierError::Poisoned`] instead of
+/// parking forever.
 #[derive(Debug)]
 pub struct BlockingWaiter<'a> {
     barrier: &'a BlockingBarrier,
+    tid: u32,
     generation: u64,
     pending: bool,
 }
@@ -65,37 +203,136 @@ pub struct BlockingWaiter<'a> {
 impl BlockingWaiter<'_> {
     /// Signals arrival; never blocks. The caller may run slack work
     /// before [`Self::depart`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice without a depart, if the barrier is
+    /// poisoned, or if this participant has been evicted.
     pub fn arrive(&mut self) {
         assert!(!self.pending, "arrive called twice without depart");
-        self.pending = true;
+        if let Err(e) = self.try_arrive() {
+            panic!("barrier arrive failed: {e}");
+        }
+    }
+
+    /// Fallible arrival: errors with [`BarrierError::Poisoned`] or
+    /// [`BarrierError::Evicted`] instead of panicking.
+    pub fn try_arrive(&mut self) -> Result<(), BarrierError> {
+        assert!(!self.pending, "arrive called twice without depart");
         let b = self.barrier;
-        let mut st = b.state.lock().expect("no poisoning");
-        st.count += 1;
-        debug_assert!(st.count <= b.p, "more threads than the barrier was built for");
-        if st.count == b.p {
-            st.count = 0;
-            st.generation += 1;
+        let mut st = b.lock();
+        if st.poisoned {
+            return Err(BarrierError::Poisoned);
+        }
+        let t = self.tid as usize;
+        if st.evicted[t] {
+            return Err(BarrierError::Evicted);
+        }
+        assert!(
+            !st.arrived[t],
+            "duplicate arrival for one episode (aliased waiters?)"
+        );
+        st.arrived[t] = true;
+        self.pending = true;
+        if st.release_if_complete() {
             b.cond.notify_all();
         }
+        Ok(())
     }
 
     /// Parks until every thread of the episode has arrived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier becomes poisoned while parked.
     pub fn depart(&mut self) {
         assert!(self.pending, "depart called without arrive");
-        self.pending = false;
-        let target = self.generation + 1;
-        self.generation = target;
-        let b = self.barrier;
-        let mut st = b.state.lock().expect("no poisoning");
-        while st.generation < target {
-            st = b.cond.wait(st).expect("no poisoning");
+        if let Err(e) = self.depart_deadline(None) {
+            panic!("barrier depart failed: {e}");
         }
     }
 
+    fn depart_deadline(&mut self, deadline: Option<Instant>) -> Result<(), BarrierError> {
+        assert!(self.pending, "depart called without arrive");
+        let b = self.barrier;
+        let target = self.generation + 1;
+        let mut st = b.lock();
+        loop {
+            if st.generation >= target {
+                self.generation = target;
+                self.pending = false;
+                return Ok(());
+            }
+            if st.poisoned {
+                return Err(BarrierError::Poisoned);
+            }
+            match deadline {
+                None => st = b.cond.wait(st).unwrap_or_else(|e| e.into_inner()),
+                Some(d) => {
+                    let Some(remaining) = d.checked_duration_since(Instant::now()) else {
+                        return Err(BarrierError::Timeout);
+                    };
+                    st = b
+                        .cond
+                        .wait_timeout(st, remaining)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                }
+            }
+        }
+    }
+
+    fn wait_deadline(&mut self, deadline: Option<Instant>) -> Result<(), BarrierError> {
+        if !self.pending {
+            self.try_arrive()?;
+        }
+        self.depart_deadline(deadline)
+    }
+
     /// A full barrier: `arrive` then `depart`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier is poisoned or this participant evicted.
     pub fn wait(&mut self) {
-        self.arrive();
-        self.depart();
+        if let Err(e) = self.wait_deadline(None) {
+            panic!("barrier wait failed: {e}");
+        }
+    }
+
+    /// A full barrier bounded by `timeout`.
+    ///
+    /// On [`BarrierError::Timeout`] the arrival stays registered: call
+    /// a wait method again to resume the same episode rather than
+    /// re-arriving. A timed-out waiter must not simply be dropped —
+    /// that poisons the barrier; retry, or have a peer evict it.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Result<(), BarrierError> {
+        self.wait_deadline(Some(Instant::now() + timeout))
+    }
+
+    /// Re-admission after eviction: this participant counts again from
+    /// the *next* episode (the lock serialises everything, so no
+    /// mid-episode proxy state needs recovering). Returns `Ok(false)`
+    /// if this participant was not evicted.
+    pub fn rejoin(&mut self) -> Result<bool, BarrierError> {
+        let b = self.barrier;
+        let mut st = b.lock();
+        if st.poisoned {
+            return Err(BarrierError::Poisoned);
+        }
+        let t = self.tid as usize;
+        if !st.evicted[t] {
+            return Ok(false);
+        }
+        st.evicted[t] = false;
+        self.generation = st.generation;
+        self.pending = false;
+        Ok(true)
+    }
+
+    /// This thread's id.
+    pub fn tid(&self) -> u32 {
+        self.tid
     }
 }
 
@@ -105,6 +342,16 @@ impl FuzzyWaiter for BlockingWaiter<'_> {
     }
     fn depart(&mut self) {
         BlockingWaiter::depart(self)
+    }
+}
+
+impl Drop for BlockingWaiter<'_> {
+    fn drop(&mut self) {
+        if self.pending {
+            let mut st = self.barrier.lock();
+            st.poisoned = true;
+            self.barrier.cond.notify_all();
+        }
     }
 }
 
@@ -120,7 +367,7 @@ mod tests {
         let b = BlockingBarrier::new(16);
         let report = lockstep_torture(16, 60, Stagger::Mixed, |_| {
             let mut w = b.waiter();
-            move || w.wait()
+            move || w.wait_timeout(Duration::from_secs(10))
         });
         assert!(report.max_skew <= 1);
     }
@@ -172,6 +419,47 @@ mod tests {
                 }
             });
         }
+    }
+
+    #[test]
+    fn timeout_then_eviction_releases_survivor() {
+        let b = BlockingBarrier::new(2);
+        let mut w0 = b.waiter_for(0);
+        assert_eq!(
+            w0.wait_timeout(Duration::from_millis(2)),
+            Err(BarrierError::Timeout)
+        );
+        assert_eq!(b.evict_stragglers(), vec![1]);
+        // Eviction completed the episode; the survivor resumes alone
+        // for 100 further episodes.
+        for _ in 0..100 {
+            w0.wait_timeout(Duration::from_secs(2)).unwrap();
+        }
+        // Rejoin: participant 1 counts again from the next episode.
+        let mut w1 = b.waiter_for(1);
+        assert!(w1.rejoin().unwrap());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..10 {
+                    w1.wait_timeout(Duration::from_secs(2)).unwrap();
+                }
+            });
+            for _ in 0..10 {
+                w0.wait_timeout(Duration::from_secs(2)).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn dropping_pending_waiter_poisons_peers() {
+        let b = BlockingBarrier::new(2);
+        {
+            let mut dying = b.waiter_for(0);
+            dying.try_arrive().unwrap();
+        }
+        assert!(b.is_poisoned());
+        let mut peer = b.waiter_for(1);
+        assert_eq!(peer.try_arrive(), Err(BarrierError::Poisoned));
     }
 
     #[test]

@@ -6,16 +6,32 @@
 //! from — but it is *optimal* under extreme load imbalance (the last
 //! processor pays a single update), which is exactly the paper's
 //! 64-processor σ = 25·t_c result.
+//!
+//! # Fault model
+//!
+//! Besides the infallible spinning API, the barrier supports the
+//! crate-wide degradation protocol: [`CentralWaiter::wait_timeout`]
+//! bounds every wait, a waiter dropped mid-episode poisons the barrier
+//! ([`BarrierError::Poisoned`]), and a participant that stops arriving
+//! can be evicted ([`CentralBarrier::evict`]) so survivors keep
+//! crossing — its arrivals are thereafter delivered by proxy at each
+//! release, and it may later [`CentralWaiter::rejoin`].
 
+use crate::error::BarrierError;
 use crate::pad::CachePadded;
-use crate::spin::wait_for_epoch;
+use crate::roster::{Arrival, Roster};
+use crate::spin::{wait_for_epoch_fallible, EpochWait};
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
 
 /// A sense-reversing central counter barrier for `p` threads.
 #[derive(Debug)]
 pub struct CentralBarrier {
     count: CachePadded<AtomicU32>,
     epoch: CachePadded<AtomicU32>,
+    poison: CachePadded<AtomicU32>,
+    roster: Roster,
+    next_id: AtomicU32,
     p: u32,
 }
 
@@ -30,6 +46,9 @@ impl CentralBarrier {
         Self {
             count: CachePadded::new(AtomicU32::new(0)),
             epoch: CachePadded::new(AtomicU32::new(0)),
+            poison: CachePadded::new(AtomicU32::new(0)),
+            roster: Roster::new(p),
+            next_id: AtomicU32::new(0),
             p,
         }
     }
@@ -39,24 +58,108 @@ impl CentralBarrier {
         self.p
     }
 
-    /// Creates the per-thread handle. Each thread must use its own.
+    /// Creates the per-thread handle. Each thread must use its own;
+    /// participant ids are assigned round-robin in creation order.
     ///
     /// Waiters may be created at any quiescent point (no episode in
     /// flight): they inherit the barrier's current epoch, so barriers
     /// survive being reused across thread-team phases.
     pub fn waiter(&self) -> CentralWaiter<'_> {
+        let tid = self.next_id.fetch_add(1, Ordering::Relaxed) % self.p;
+        self.waiter_for(tid)
+    }
+
+    /// Creates the handle for an explicit participant id — useful when
+    /// eviction decisions must name a specific thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn waiter_for(&self, tid: u32) -> CentralWaiter<'_> {
+        assert!(tid < self.p, "thread id out of range");
         CentralWaiter {
             barrier: self,
+            tid,
             epoch: self.epoch.load(Ordering::Acquire),
             pending: false,
         }
     }
+
+    /// Whether a participant died mid-episode, wedging the barrier.
+    pub fn is_poisoned(&self) -> bool {
+        self.poison.load(Ordering::Acquire) != 0
+    }
+
+    /// Number of currently evicted participants.
+    pub fn evicted_count(&self) -> u32 {
+        self.roster.evicted_count()
+    }
+
+    /// Whether participant `tid` is currently evicted.
+    pub fn is_evicted(&self, tid: u32) -> bool {
+        self.roster.is_evicted(tid)
+    }
+
+    /// Evicts participant `tid` if it has not arrived for the episode
+    /// in flight, delivering its arrival by proxy so survivors release.
+    /// Each later release re-delivers its proxy, so the barrier keeps
+    /// functioning with `p − evicted` live threads. Returns whether the
+    /// eviction happened (`false`: already evicted, or it did arrive).
+    pub fn evict(&self, tid: u32) -> bool {
+        assert!(tid < self.p, "thread id out of range");
+        if self.roster.evict(tid, &self.epoch) {
+            if self.bump() {
+                self.maintain();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Evicts every participant that has not arrived for the in-flight
+    /// episode; returns the evicted ids. The caller is inherently not
+    /// among them (it has either arrived or not entered the episode,
+    /// and evicting a thread that later shows up is safe — it gets
+    /// [`BarrierError::Evicted`] and may rejoin).
+    pub fn evict_stragglers(&self) -> Vec<u32> {
+        self.roster
+            .stragglers(&self.epoch)
+            .into_iter()
+            .filter(|&t| self.evict(t))
+            .collect()
+    }
+
+    /// One arrival count; returns whether it released the episode.
+    fn bump(&self) -> bool {
+        let prev = self.count.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(prev < self.p, "more threads than the barrier was built for");
+        if prev + 1 == self.p {
+            // Last arriver: reset for the next episode, then release.
+            self.count.store(0, Ordering::Relaxed);
+            self.epoch.fetch_add(1, Ordering::Release);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Post-release proxy sweep for evicted participants.
+    fn maintain(&self) {
+        self.roster.maintain(&self.epoch, |_| self.bump());
+    }
 }
 
 /// Per-thread handle to a [`CentralBarrier`].
+///
+/// Dropping a waiter between `arrive` and a completed depart (e.g. a
+/// panic unwinding through the slack section of a fuzzy episode)
+/// poisons the barrier: peers receive [`BarrierError::Poisoned`]
+/// instead of spinning forever.
 #[derive(Debug)]
 pub struct CentralWaiter<'a> {
     barrier: &'a CentralBarrier,
+    tid: u32,
     epoch: u32,
     pending: bool,
 }
@@ -64,32 +167,127 @@ pub struct CentralWaiter<'a> {
 impl CentralWaiter<'_> {
     /// Signals arrival (the fuzzy barrier's release phase). The caller
     /// may then run independent slack work before [`Self::depart`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice without a depart, if the barrier is
+    /// poisoned, or if this participant has been evicted (use
+    /// [`Self::try_arrive`] for the fallible form).
     pub fn arrive(&mut self) {
         assert!(!self.pending, "arrive called twice without depart");
-        self.pending = true;
+        if let Err(e) = self.try_arrive() {
+            panic!("barrier arrive failed: {e}");
+        }
+    }
+
+    /// Fallible arrival: errors with [`BarrierError::Poisoned`] or
+    /// [`BarrierError::Evicted`] instead of panicking.
+    pub fn try_arrive(&mut self) -> Result<(), BarrierError> {
+        assert!(!self.pending, "arrive called twice without depart");
         let b = self.barrier;
-        let prev = b.count.fetch_add(1, Ordering::AcqRel);
-        debug_assert!(prev < b.p, "more threads than the barrier was built for");
-        if prev + 1 == b.p {
-            // Last arriver: reset for the next episode, then release.
-            b.count.store(0, Ordering::Relaxed);
-            b.epoch.fetch_add(1, Ordering::Release);
+        if b.is_poisoned() {
+            return Err(BarrierError::Poisoned);
+        }
+        let target = self.epoch.wrapping_add(1);
+        match b.roster.try_arrive(self.tid, target) {
+            Arrival::Evicted => Err(BarrierError::Evicted),
+            Arrival::Claimed => {
+                self.pending = true;
+                if b.bump() {
+                    b.maintain();
+                }
+                Ok(())
+            }
         }
     }
 
     /// Blocks until every thread of the current episode has arrived
     /// (the fuzzy barrier's enforce phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier becomes poisoned while waiting.
     pub fn depart(&mut self) {
         assert!(self.pending, "depart called without arrive");
-        self.pending = false;
-        self.epoch = self.epoch.wrapping_add(1);
-        wait_for_epoch(&self.barrier.epoch, self.epoch);
+        if let Err(e) = self.depart_deadline(None) {
+            panic!("barrier depart failed: {e}");
+        }
+    }
+
+    fn depart_deadline(&mut self, deadline: Option<Instant>) -> Result<(), BarrierError> {
+        assert!(self.pending, "depart called without arrive");
+        let b = self.barrier;
+        let target = self.epoch.wrapping_add(1);
+        match wait_for_epoch_fallible(&b.epoch, target, &b.poison, deadline) {
+            EpochWait::Released => {
+                self.epoch = target;
+                self.pending = false;
+                Ok(())
+            }
+            EpochWait::TimedOut => Err(BarrierError::Timeout),
+            EpochWait::Poisoned => Err(BarrierError::Poisoned),
+        }
+    }
+
+    fn wait_deadline(&mut self, deadline: Option<Instant>) -> Result<(), BarrierError> {
+        if !self.pending {
+            self.try_arrive()?;
+        }
+        self.depart_deadline(deadline)
     }
 
     /// A full barrier: `arrive` then `depart`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier is poisoned or this participant evicted.
     pub fn wait(&mut self) {
-        self.arrive();
-        self.depart();
+        if let Err(e) = self.wait_deadline(None) {
+            panic!("barrier wait failed: {e}");
+        }
+    }
+
+    /// A full barrier bounded by `timeout`.
+    ///
+    /// On [`BarrierError::Timeout`] the arrival stays registered: call
+    /// a wait method again to resume the same episode. A timed-out
+    /// waiter must not simply be dropped — that poisons the barrier
+    /// (the episode still counts its arrival); retry, or have a peer
+    /// evict it.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Result<(), BarrierError> {
+        self.wait_deadline(Some(Instant::now() + timeout))
+    }
+
+    /// Re-admission after eviction. On success the waiter is mid-episode
+    /// (its latest arrival was delivered by proxy): complete it with a
+    /// wait call, which departs without re-arriving. Returns
+    /// `Ok(false)` if this participant was not evicted.
+    pub fn rejoin(&mut self) -> Result<bool, BarrierError> {
+        let b = self.barrier;
+        if b.is_poisoned() {
+            return Err(BarrierError::Poisoned);
+        }
+        match b.roster.rejoin(self.tid) {
+            None => Ok(false),
+            Some(last) => {
+                self.epoch = last.wrapping_sub(1);
+                self.pending = true;
+                Ok(true)
+            }
+        }
+    }
+
+    /// This thread's participant id.
+    pub fn tid(&self) -> u32 {
+        self.tid
+    }
+}
+
+impl Drop for CentralWaiter<'_> {
+    fn drop(&mut self) {
+        if self.pending {
+            self.barrier.poison.store(1, Ordering::Release);
+        }
     }
 }
 
@@ -124,10 +322,7 @@ mod tests {
                         w.wait();
                         for q in phases {
                             let ph = q.load(Ordering::Acquire);
-                            assert!(
-                                ph == e + 1 || ph == e + 2,
-                                "episode {e}: saw phase {ph}"
-                            );
+                            assert!(ph == e + 1 || ph == e + 2, "episode {e}: saw phase {ph}");
                         }
                     }
                 });
@@ -155,6 +350,83 @@ mod tests {
             }
         });
         assert_eq!(acc.load(Ordering::Relaxed), 150);
+    }
+
+    #[test]
+    fn eviction_lets_survivors_cross_and_rejoin_resumes() {
+        // Single-threaded orchestration of the full degradation cycle.
+        let b = CentralBarrier::new(2);
+        let mut alive = b.waiter_for(0);
+        let mut lost = b.waiter_for(1);
+
+        // Episode 1: tid 1 never arrives; the survivor times out, then
+        // evicts the straggler and completes.
+        alive.try_arrive().unwrap();
+        assert_eq!(
+            alive.wait_timeout(Duration::from_millis(2)),
+            Err(BarrierError::Timeout)
+        );
+        assert_eq!(b.evict_stragglers(), vec![1]);
+        alive.wait_timeout(Duration::from_millis(100)).unwrap();
+
+        // Survivor keeps crossing alone: proxies flow each release.
+        for _ in 0..150 {
+            alive.wait_timeout(Duration::from_millis(100)).unwrap();
+        }
+        assert_eq!(b.evicted_count(), 1);
+
+        // The lost thread shows up late, learns of its eviction,
+        // rejoins, and the pair is in lockstep again.
+        assert_eq!(lost.try_arrive(), Err(BarrierError::Evicted));
+        assert!(lost.rejoin().unwrap());
+        assert_eq!(b.evicted_count(), 0);
+        // The rejoined waiter resumes mid-episode (arrival proxied), so
+        // its first wait merely departs; the pair then runs in lockstep.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..20 {
+                    alive.wait_timeout(Duration::from_millis(500)).unwrap();
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..20 {
+                    lost.wait_timeout(Duration::from_millis(500)).unwrap();
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn evicting_an_arrived_thread_is_refused() {
+        let b = CentralBarrier::new(2);
+        let mut w = b.waiter_for(0);
+        w.try_arrive().unwrap();
+        assert!(!b.evict(0), "arrived participant must not be evictable");
+        assert!(b.evict_stragglers().contains(&1));
+        w.wait_timeout(Duration::from_millis(100)).unwrap();
+    }
+
+    #[test]
+    fn dropping_pending_waiter_poisons_peers() {
+        let b = CentralBarrier::new(2);
+        {
+            let mut dying = b.waiter_for(0);
+            dying.try_arrive().unwrap();
+            // dropped here, mid-episode
+        }
+        assert!(b.is_poisoned());
+        let mut peer = b.waiter_for(1);
+        assert_eq!(peer.try_arrive(), Err(BarrierError::Poisoned));
+    }
+
+    #[test]
+    fn clean_drop_does_not_poison() {
+        let b = CentralBarrier::new(1);
+        {
+            let mut w = b.waiter();
+            w.wait();
+        }
+        assert!(!b.is_poisoned());
     }
 
     #[test]

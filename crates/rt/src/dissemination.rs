@@ -12,10 +12,24 @@
 //! Signalling uses per-slot episode numbers instead of sense flags:
 //! slot `(r, i)` holds the episode in which thread `i` was signalled in
 //! round `r`, so no reset phase is needed.
+//!
+//! # Fault model
+//!
+//! Waits can be bounded ([`DisseminationWaiter::wait_timeout`]) — the
+//! waiter checkpoints its round and resumes where it stopped, and the
+//! partner store is idempotent so re-running a round is safe. A waiter
+//! dropped mid-episode poisons the barrier. **Eviction is structurally
+//! impossible** here: every thread is a distinct signalling *source* in
+//! every round, so a proxy would have to impersonate the dead thread's
+//! entire future signal schedule — equivalent to rebuilding the barrier
+//! with `p-1` threads. Use a counter-tree barrier where graceful
+//! degradation is required.
 
+use crate::error::BarrierError;
 use crate::pad::CachePadded;
-use crate::spin::wait_for_epoch;
+use crate::spin::{wait_for_epoch_fallible, EpochWait};
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
 
 /// A dissemination barrier for `p` threads.
 #[derive(Debug)]
@@ -26,6 +40,7 @@ pub struct DisseminationBarrier {
     /// Last completed episode, recorded so waiters created between
     /// phases resume from the live count.
     episode_hint: CachePadded<AtomicU32>,
+    poison: CachePadded<AtomicU32>,
     rounds: u32,
     p: u32,
 }
@@ -40,9 +55,19 @@ impl DisseminationBarrier {
         assert!(p > 0, "barrier needs at least one thread");
         let rounds = if p == 1 { 0 } else { (p - 1).ilog2() + 1 };
         let flags = (0..rounds)
-            .map(|_| (0..p).map(|_| CachePadded::new(AtomicU32::new(0))).collect())
+            .map(|_| {
+                (0..p)
+                    .map(|_| CachePadded::new(AtomicU32::new(0)))
+                    .collect()
+            })
             .collect();
-        Self { flags, episode_hint: CachePadded::new(AtomicU32::new(0)), rounds, p }
+        Self {
+            flags,
+            episode_hint: CachePadded::new(AtomicU32::new(0)),
+            poison: CachePadded::new(AtomicU32::new(0)),
+            rounds,
+            p,
+        }
     }
 
     /// Number of participating threads.
@@ -53,6 +78,11 @@ impl DisseminationBarrier {
     /// Number of rounds, `⌈log₂ p⌉`.
     pub fn rounds(&self) -> u32 {
         self.rounds
+    }
+
+    /// Whether a participant died mid-episode, wedging the barrier.
+    pub fn is_poisoned(&self) -> bool {
+        self.poison.load(Ordering::Acquire) != 0
     }
 
     /// Creates the per-thread handle for thread `tid`.
@@ -70,16 +100,25 @@ impl DisseminationBarrier {
             barrier: self,
             tid,
             episode: self.episode_hint.load(Ordering::Acquire),
+            round: 0,
+            mid: false,
         }
     }
 }
 
 /// Per-thread handle to a [`DisseminationBarrier`].
+///
+/// Dropping a waiter mid-episode poisons the barrier: peers receive
+/// [`BarrierError::Poisoned`] instead of spinning forever.
 #[derive(Debug)]
 pub struct DisseminationWaiter<'a> {
     barrier: &'a DisseminationBarrier,
     tid: u32,
     episode: u32,
+    /// Resume point for a timed-out episode.
+    round: u32,
+    /// Whether an episode is in flight (entered but not completed).
+    mid: bool,
 }
 
 impl DisseminationWaiter<'_> {
@@ -88,21 +127,69 @@ impl DisseminationWaiter<'_> {
     /// Dissemination has no separable signal/enforce split — every
     /// round interleaves both — so it implements only `wait` (no fuzzy
     /// variant; the paper's fuzzy discussion applies to counter trees).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier is (or becomes) poisoned.
     pub fn wait(&mut self) {
+        if let Err(e) = self.wait_deadline(None) {
+            panic!("barrier wait failed: {e}");
+        }
+    }
+
+    /// A full barrier episode bounded by `timeout`.
+    ///
+    /// On [`BarrierError::Timeout`] the rounds already completed stay
+    /// completed: call a wait method again to resume the same episode
+    /// at the round that stalled. A timed-out waiter must not simply be
+    /// dropped — that poisons the barrier; retry until release instead.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Result<(), BarrierError> {
+        self.wait_deadline(Some(Instant::now() + timeout))
+    }
+
+    fn wait_deadline(&mut self, deadline: Option<Instant>) -> Result<(), BarrierError> {
         let b = self.barrier;
-        self.episode = self.episode.wrapping_add(1);
-        for r in 0..b.rounds {
-            let partner = (self.tid + (1 << r)) % b.p;
-            b.flags[r as usize][partner as usize].store(self.episode, Ordering::Release);
-            wait_for_epoch(&b.flags[r as usize][self.tid as usize], self.episode);
+        if b.is_poisoned() {
+            return Err(BarrierError::Poisoned);
+        }
+        if !self.mid {
+            self.episode = self.episode.wrapping_add(1);
+            self.round = 0;
+            self.mid = true;
+        }
+        while self.round < b.rounds {
+            let r = self.round as usize;
+            let partner = (self.tid + (1 << self.round)) % b.p;
+            // Idempotent on resume: re-storing the same episode is fine.
+            b.flags[r][partner as usize].store(self.episode, Ordering::Release);
+            match wait_for_epoch_fallible(
+                &b.flags[r][self.tid as usize],
+                self.episode,
+                &b.poison,
+                deadline,
+            ) {
+                EpochWait::Released => self.round += 1,
+                EpochWait::TimedOut => return Err(BarrierError::Timeout),
+                EpochWait::Poisoned => return Err(BarrierError::Poisoned),
+            }
         }
         // Benign race: every thread stores the same value.
         b.episode_hint.store(self.episode, Ordering::Release);
+        self.mid = false;
+        Ok(())
     }
 
     /// This thread's id.
     pub fn tid(&self) -> u32 {
         self.tid
+    }
+}
+
+impl Drop for DisseminationWaiter<'_> {
+    fn drop(&mut self) {
+        if self.mid {
+            self.barrier.poison.store(1, Ordering::Release);
+        }
     }
 }
 
@@ -157,6 +244,40 @@ mod tests {
         for _ in 0..10 {
             w.wait();
         }
+    }
+
+    #[test]
+    fn timeout_resumes_at_the_stalled_round() {
+        let b = DisseminationBarrier::new(2);
+        let mut w0 = b.waiter(0);
+        // Alone, thread 0 stalls in round 0 waiting on thread 1.
+        assert_eq!(
+            w0.wait_timeout(Duration::from_millis(2)),
+            Err(BarrierError::Timeout)
+        );
+        // Partner completes its episode concurrently with the resume.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut w1 = b.waiter(1);
+                w1.wait_timeout(Duration::from_secs(2)).unwrap();
+            });
+            w0.wait_timeout(Duration::from_secs(2)).unwrap();
+        });
+    }
+
+    #[test]
+    fn dropping_mid_episode_poisons_peers() {
+        let b = DisseminationBarrier::new(3);
+        {
+            let mut dying = b.waiter(0);
+            let _ = dying.wait_timeout(Duration::from_millis(1));
+        }
+        assert!(b.is_poisoned());
+        let mut peer = b.waiter(1);
+        assert_eq!(
+            peer.wait_timeout(Duration::from_secs(1)),
+            Err(BarrierError::Poisoned)
+        );
     }
 
     #[test]

@@ -31,11 +31,24 @@
 //!   one level), and the communication bound is unchanged: at most one
 //!   swap per counter per episode, i.e. `1/(d+1)` extra communications
 //!   per processor.
+//!
+//! # Fault model
+//!
+//! Same surface as the static tree: bounded waits via
+//! [`DynamicWaiter::wait_timeout`], poisoning on mid-episode drops, and
+//! eviction with proxy arrivals. A proxy walk never swaps — the evicted
+//! thread is not present to notice a displacement — but it does consume
+//! any displacement notice left for the thread, so the roster always
+//! signals the thread's live (possibly migrated) home counter, and a
+//! rejoining waiter resumes from that counter.
 
+use crate::error::BarrierError;
 use crate::pad::CachePadded;
-use crate::spin::wait_for_epoch;
+use crate::roster::{Arrival, Roster};
+use crate::spin::{wait_for_epoch_fallible, EpochWait};
 use combar_topo::{CounterId, Topology};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 const INVALID: u32 = u32::MAX;
 
@@ -87,6 +100,8 @@ pub struct DynamicBarrier {
     /// Whether a counter may be a swap target (exactly one occupant).
     swappable: Vec<bool>,
     epoch: CachePadded<AtomicU32>,
+    poison: CachePadded<AtomicU32>,
+    roster: Roster,
     swaps: AtomicU64,
     /// Current home of each thread, maintained at swap time so fresh
     /// waiters (created between phases) start from the live placement.
@@ -120,7 +135,11 @@ impl DynamicBarrier {
                 .nodes()
                 .iter()
                 .map(|n| {
-                    let owner = if n.procs.len() == 1 { n.procs[0] } else { INVALID };
+                    let owner = if n.procs.len() == 1 {
+                        n.procs[0]
+                    } else {
+                        INVALID
+                    };
                     CachePadded::new(AtomicU32::new(owner))
                 })
                 .collect(),
@@ -130,9 +149,15 @@ impl DynamicBarrier {
             fan_in: topo.nodes().iter().map(|n| n.fan_in()).collect(),
             parent: topo.nodes().iter().map(|n| n.parent).collect(),
             path_len: topo.nodes().iter().map(|n| n.path_len).collect(),
-            ring: topo.nodes().iter().map(|n| n.ring.unwrap_or(INVALID)).collect(),
+            ring: topo
+                .nodes()
+                .iter()
+                .map(|n| n.ring.unwrap_or(INVALID))
+                .collect(),
             swappable,
             epoch: CachePadded::new(AtomicU32::new(0)),
+            poison: CachePadded::new(AtomicU32::new(0)),
+            roster: Roster::new(topo.num_procs()),
             swaps: AtomicU64::new(0),
             cur_home: topo
                 .homes()
@@ -174,7 +199,10 @@ impl DynamicBarrier {
     ///
     /// Panics if `tid` is out of range.
     pub fn waiter(&self, tid: u32) -> DynamicWaiter<'_> {
-        assert!((tid as usize) < self.new_home.len(), "thread id out of range");
+        assert!(
+            (tid as usize) < self.new_home.len(),
+            "thread id out of range"
+        );
         DynamicWaiter {
             barrier: self,
             tid,
@@ -182,6 +210,99 @@ impl DynamicBarrier {
             fc: self.cur_home[tid as usize].load(Ordering::Acquire),
             pending: false,
         }
+    }
+
+    /// Whether a participant died mid-episode, wedging the barrier.
+    pub fn is_poisoned(&self) -> bool {
+        self.poison.load(Ordering::Acquire) != 0
+    }
+
+    /// Number of currently evicted participants.
+    pub fn evicted_count(&self) -> u32 {
+        self.roster.evicted_count()
+    }
+
+    /// Whether participant `tid` is currently evicted.
+    pub fn is_evicted(&self, tid: u32) -> bool {
+        self.roster.is_evicted(tid)
+    }
+
+    /// Participants that have not arrived for the in-flight episode.
+    pub fn stragglers(&self) -> Vec<u32> {
+        self.roster.stragglers(&self.epoch)
+    }
+
+    /// Evicts participant `tid` if it has not arrived for the episode
+    /// in flight; its (current) home counter is thereafter walked by
+    /// proxy at each release. Returns whether the eviction happened.
+    pub fn evict(&self, tid: u32) -> bool {
+        assert!(
+            (tid as usize) < self.new_home.len(),
+            "thread id out of range"
+        );
+        if self.roster.evict(tid, &self.epoch) {
+            if self.proxy_signal(tid) {
+                self.maintain();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Evicts every current straggler; returns the evicted ids.
+    pub fn evict_stragglers(&self) -> Vec<u32> {
+        self.stragglers()
+            .into_iter()
+            .filter(|&t| self.evict(t))
+            .collect()
+    }
+
+    /// The signalling walk without swaps: increment from `start`
+    /// upward; returns whether this walk released the episode.
+    fn signal_static(&self, start: CounterId) -> bool {
+        let mut c = start as usize;
+        loop {
+            let prev = self.counts[c].fetch_add(1, Ordering::AcqRel);
+            debug_assert!(prev < self.fan_in[c], "counter over-updated");
+            if prev + 1 < self.fan_in[c] {
+                return false;
+            }
+            self.counts[c].store(0, Ordering::Relaxed);
+            match self.parent[c] {
+                Some(par) => c = par as usize,
+                None => {
+                    self.epoch.fetch_add(1, Ordering::Release);
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Arrival walk performed on behalf of evicted thread `tid`:
+    /// consumes any displacement notice (keeping `cur_home` live), then
+    /// signals statically from the thread's current home.
+    ///
+    /// Safe against concurrent swaps: a swap victimising `tid` requires
+    /// `tid`'s home counter to fill, which requires this very proxy's
+    /// increment — so the notice consumed here (if any) happened-before
+    /// this call, and no new notice can appear until after our
+    /// increment below.
+    fn proxy_signal(&self, tid: u32) -> bool {
+        let t = tid as usize;
+        let moved = self.new_home[t].load(Ordering::Acquire);
+        if moved != INVALID {
+            self.new_home[t].store(INVALID, Ordering::Relaxed);
+            self.cur_home[t].store(moved, Ordering::Release);
+        }
+        let home = self.cur_home[t].load(Ordering::Acquire);
+        self.signal_static(home)
+    }
+
+    /// Post-release proxy sweep for evicted participants.
+    fn maintain(&self) {
+        self.roster
+            .maintain(&self.epoch, |tid| self.proxy_signal(tid));
     }
 
     /// Whether `target` is a legal swap destination for a thread homed
@@ -212,6 +333,10 @@ impl DynamicBarrier {
 }
 
 /// Per-thread handle to a [`DynamicBarrier`].
+///
+/// Dropping a waiter between `arrive` and a completed depart poisons
+/// the barrier: peers receive [`BarrierError::Poisoned`] instead of
+/// spinning forever.
 #[derive(Debug)]
 pub struct DynamicWaiter<'a> {
     barrier: &'a DynamicBarrier,
@@ -224,10 +349,32 @@ pub struct DynamicWaiter<'a> {
 impl DynamicWaiter<'_> {
     /// Signals arrival, performing any pending relocation first and
     /// cascading swaps while winning counters on the way up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice without a depart, if the barrier is
+    /// poisoned, or if this participant has been evicted.
     pub fn arrive(&mut self) {
         assert!(!self.pending, "arrive called twice without depart");
-        self.pending = true;
+        if let Err(e) = self.try_arrive() {
+            panic!("barrier arrive failed: {e}");
+        }
+    }
+
+    /// Fallible arrival: errors with [`BarrierError::Poisoned`] or
+    /// [`BarrierError::Evicted`] instead of panicking.
+    pub fn try_arrive(&mut self) -> Result<(), BarrierError> {
+        assert!(!self.pending, "arrive called twice without depart");
         let b = self.barrier;
+        if b.is_poisoned() {
+            return Err(BarrierError::Poisoned);
+        }
+        let target = self.epoch.wrapping_add(1);
+        match b.roster.try_arrive(self.tid, target) {
+            Arrival::Evicted => return Err(BarrierError::Evicted),
+            Arrival::Claimed => {}
+        }
+        self.pending = true;
         let tid = self.tid as usize;
 
         // Victim side (paper Figure 6d): notice a displacement before
@@ -243,7 +390,7 @@ impl DynamicWaiter<'_> {
             let prev = b.counts[c].fetch_add(1, Ordering::AcqRel);
             debug_assert!(prev < b.fan_in[c], "counter over-updated");
             if prev + 1 < b.fan_in[c] {
-                return; // not last: propagation is someone else's job
+                return Ok(()); // not last: propagation is someone else's job
             }
             // Last updater of c: reset, swap upward if this is a new
             // highest win, then continue.
@@ -256,24 +403,89 @@ impl DynamicWaiter<'_> {
                 Some(par) => c = par as usize,
                 None => {
                     b.epoch.fetch_add(1, Ordering::Release);
-                    return;
+                    b.maintain();
+                    return Ok(());
                 }
             }
         }
     }
 
     /// Blocks until the barrier releases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier becomes poisoned while waiting.
     pub fn depart(&mut self) {
         assert!(self.pending, "depart called without arrive");
-        self.pending = false;
-        self.epoch = self.epoch.wrapping_add(1);
-        wait_for_epoch(&self.barrier.epoch, self.epoch);
+        if let Err(e) = self.depart_deadline(None) {
+            panic!("barrier depart failed: {e}");
+        }
+    }
+
+    fn depart_deadline(&mut self, deadline: Option<Instant>) -> Result<(), BarrierError> {
+        assert!(self.pending, "depart called without arrive");
+        let b = self.barrier;
+        let target = self.epoch.wrapping_add(1);
+        match wait_for_epoch_fallible(&b.epoch, target, &b.poison, deadline) {
+            EpochWait::Released => {
+                self.epoch = target;
+                self.pending = false;
+                Ok(())
+            }
+            EpochWait::TimedOut => Err(BarrierError::Timeout),
+            EpochWait::Poisoned => Err(BarrierError::Poisoned),
+        }
+    }
+
+    fn wait_deadline(&mut self, deadline: Option<Instant>) -> Result<(), BarrierError> {
+        if !self.pending {
+            self.try_arrive()?;
+        }
+        self.depart_deadline(deadline)
     }
 
     /// A full barrier: `arrive` then `depart`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier is poisoned or this participant evicted.
     pub fn wait(&mut self) {
-        self.arrive();
-        self.depart();
+        if let Err(e) = self.wait_deadline(None) {
+            panic!("barrier wait failed: {e}");
+        }
+    }
+
+    /// A full barrier bounded by `timeout`.
+    ///
+    /// On [`BarrierError::Timeout`] the arrival stays registered: call
+    /// a wait method again to resume the same episode rather than
+    /// re-arriving. A timed-out waiter must not simply be dropped —
+    /// that poisons the barrier; retry, or have a peer evict it.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Result<(), BarrierError> {
+        self.wait_deadline(Some(Instant::now() + timeout))
+    }
+
+    /// Re-admission after eviction. On success the waiter is
+    /// mid-episode (its latest arrival was delivered by proxy from its
+    /// live home counter): complete it with a wait call, which departs
+    /// without re-arriving. Returns `Ok(false)` if this participant was
+    /// not evicted.
+    pub fn rejoin(&mut self) -> Result<bool, BarrierError> {
+        let b = self.barrier;
+        if b.is_poisoned() {
+            return Err(BarrierError::Poisoned);
+        }
+        match b.roster.rejoin(self.tid) {
+            None => Ok(false),
+            Some(last) => {
+                self.epoch = last.wrapping_sub(1);
+                self.pending = true;
+                // Proxies kept cur_home live (consuming any displacement
+                // notice), so resume from there.
+                self.fc = b.cur_home[self.tid as usize].load(Ordering::Acquire);
+                Ok(true)
+            }
+        }
     }
 
     /// Path length from this thread's current home to the root — the
@@ -286,6 +498,14 @@ impl DynamicWaiter<'_> {
     /// This thread's id.
     pub fn tid(&self) -> u32 {
         self.tid
+    }
+}
+
+impl Drop for DynamicWaiter<'_> {
+    fn drop(&mut self) {
+        if self.pending {
+            self.barrier.poison.store(1, Ordering::Release);
+        }
     }
 }
 
@@ -423,6 +643,70 @@ mod tests {
         for c in &b.counts {
             assert_eq!(c.load(Ordering::Relaxed), 0);
         }
+    }
+
+    /// Eviction must track migration: the dead thread is first swapped
+    /// toward the root (it is slow), then evicted; proxies must walk
+    /// its *migrated* home, and rejoin must resume from it.
+    #[test]
+    fn eviction_follows_migrated_home_and_rejoin_resumes() {
+        let b = DynamicBarrier::mcs(6, 2);
+        let dead = 5u32;
+        std::thread::scope(|s| {
+            for tid in 0..6u32 {
+                let b = &b;
+                s.spawn(move || {
+                    let mut w = b.waiter(tid);
+                    for _ in 0..20 {
+                        if tid == dead {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        w.wait();
+                    }
+                    if tid == dead {
+                        return; // goes silent (waiter dropped clean)
+                    }
+                    // Survivors time out, evict the straggler, and keep
+                    // crossing for 120 further episodes.
+                    let mut evicted = false;
+                    for _ in 0..120 {
+                        loop {
+                            match w.wait_timeout(Duration::from_millis(20)) {
+                                Ok(()) => break,
+                                Err(BarrierError::Timeout) => {
+                                    if !evicted {
+                                        b.evict(dead);
+                                        evicted = true;
+                                    }
+                                }
+                                Err(e) => panic!("unexpected: {e}"),
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert!(b.is_evicted(dead));
+        assert!(!b.is_poisoned());
+        // Rejoin resumes mid-episode from the live home; a full
+        // all-hands episode then completes.
+        let mut w = b.waiter(dead);
+        assert!(w.rejoin().unwrap());
+        let mut ws: Vec<_> = (0..5).map(|t| b.waiter(t)).collect();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for _ in 0..10 {
+                    w.wait_timeout(Duration::from_secs(2)).unwrap();
+                }
+            });
+            for w in &mut ws {
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        w.wait_timeout(Duration::from_secs(2)).unwrap();
+                    }
+                });
+            }
+        });
     }
 
     #[test]

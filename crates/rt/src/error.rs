@@ -1,0 +1,43 @@
+//! Fallible-wait error type shared by every barrier in the crate.
+
+/// Why a fallible barrier operation did not complete normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierError {
+    /// The deadline passed before the episode's release. The waiter's
+    /// arrival (if it was registered) remains valid: calling a wait
+    /// method again resumes the same episode rather than re-arriving.
+    Timeout,
+    /// A participant died mid-episode (its waiter was dropped between
+    /// arrive and depart, typically by a panic unwinding), so the
+    /// episode can never complete. The barrier is permanently poisoned.
+    Poisoned,
+    /// This participant was evicted by the graceful-degradation
+    /// protocol after failing to arrive. Survivors keep crossing via
+    /// proxy arrivals; the evicted thread may call `rejoin` to be
+    /// re-admitted.
+    Evicted,
+}
+
+impl core::fmt::Display for BarrierError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Timeout => write!(f, "barrier wait timed out"),
+            Self::Poisoned => write!(f, "barrier poisoned by a participant dying mid-episode"),
+            Self::Evicted => write!(f, "participant was evicted from the barrier"),
+        }
+    }
+}
+
+impl std::error::Error for BarrierError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(BarrierError::Timeout.to_string().contains("timed out"));
+        assert!(BarrierError::Poisoned.to_string().contains("poisoned"));
+        assert!(BarrierError::Evicted.to_string().contains("evicted"));
+    }
+}

@@ -82,7 +82,11 @@ pub fn fuzzy_episode<W: FuzzyWaiter, F: FnOnce()>(waiter: &mut W, slack_work: F)
     let t2 = Instant::now();
     waiter.depart();
     let t3 = Instant::now();
-    FuzzyTiming { signal: t1 - t0, slack: t2 - t1, idle: t3 - t2 }
+    FuzzyTiming {
+        signal: t1 - t0,
+        slack: t2 - t1,
+        idle: t3 - t2,
+    }
 }
 
 #[cfg(test)]

@@ -6,12 +6,33 @@
 //! packages that check (with optional adversarial staggering) so the
 //! crate's own tests, the integration tests and downstream users can
 //! soak-test any barrier — including their own — identically.
+//!
+//! Two fault-tolerance provisions make contract violations *fail fast*
+//! instead of wedging the whole test process:
+//!
+//! * a shared **abort flag**: the first worker to panic (skew
+//!   violation, injected fault, unexpected error) flips it, and every
+//!   other worker drains out at its next timeout instead of spinning
+//!   forever on a barrier that will never release;
+//! * a **watchdog** thread that converts a total lack of progress into
+//!   a panic, so a deadlocked barrier fails the test rather than
+//!   hanging CI.
+//!
+//! Both require the step closures to use bounded waits
+//! (`wait_timeout`): a worker parked in an infallible `wait()` can
+//! observe neither the abort flag nor the watchdog.
+//!
+//! For runs with injected *deaths* (participants that stop arriving),
+//! use [`chaos_torture`]: it drives eviction through a per-barrier
+//! rescue closure and reports per-thread survival.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use crate::error::BarrierError;
+use combar_chaos::{apply_transient, DeathMode, FaultKind, FaultPlan};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// How the harness perturbs thread timing to shake out races.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Stagger {
     /// No artificial delays: maximal arrival rate.
     None,
@@ -21,6 +42,12 @@ pub enum Stagger {
     /// One designated thread is systematically slow (models systemic
     /// load imbalance; drives dynamic placement's migration).
     SlowThread(u32),
+    /// Seeded fault injection from `combar-chaos`: per-(thread,
+    /// episode) stalls, yield storms and deaths. A `Die(Stall)` fault
+    /// makes the thread stop participating (peers wedge unless the
+    /// step closures evict — prefer [`chaos_torture`] for death
+    /// plans); a `Die(Panic)` fault panics the worker.
+    Chaos(FaultPlan),
 }
 
 /// Outcome of a torture run.
@@ -36,6 +63,8 @@ pub struct TortureReport {
     /// barrier; the harness panics otherwise, so a returned report
     /// always carries 1 or 0 here).
     pub max_skew: u32,
+    /// Total `BarrierError::Timeout` results observed (each is retried).
+    pub timeouts: u64,
 }
 
 impl TortureReport {
@@ -45,16 +74,61 @@ impl TortureReport {
     }
 }
 
+/// Decrements the live-worker count on the way out and trips the abort
+/// flag when leaving by panic, so peers drain instead of wedging.
+struct WorkerGuard<'a> {
+    abort: &'a AtomicBool,
+    remaining: &'a AtomicU32,
+}
+
+impl Drop for WorkerGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.abort.store(true, Ordering::Release);
+        }
+        self.remaining.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Panics when `progress` stops advancing while workers are still live:
+/// the deadlock becomes a test failure instead of a hang.
+fn watchdog(
+    abort: &AtomicBool,
+    remaining: &AtomicU32,
+    progress: &AtomicU64,
+    stall_limit: Duration,
+) {
+    let mut last = progress.load(Ordering::Relaxed);
+    let mut since = Instant::now();
+    while remaining.load(Ordering::Acquire) > 0 {
+        std::thread::sleep(Duration::from_millis(10));
+        let now = progress.load(Ordering::Relaxed);
+        if now != last {
+            last = now;
+            since = Instant::now();
+        } else if since.elapsed() > stall_limit && !abort.load(Ordering::Acquire) {
+            abort.store(true, Ordering::Release);
+            panic!(
+                "watchdog: no barrier progress for {:.1}s — deadlock converted into failure",
+                since.elapsed().as_secs_f64()
+            );
+        }
+    }
+}
+
 /// Runs `threads` threads for `episodes` barrier episodes and asserts
 /// the lockstep contract on every crossing.
 ///
 /// `make(tid)` builds each thread's step closure (typically
-/// `move || waiter.wait()`).
+/// `move || waiter.wait_timeout(SOME_BOUND)`). A step returning
+/// [`BarrierError::Timeout`] is retried; any other error fails the
+/// run.
 ///
 /// # Panics
 ///
 /// Panics (from inside a worker) if any thread observes another more
-/// than one episode away — i.e. if the barrier is broken.
+/// than one episode away — i.e. if the barrier is broken — or, via the
+/// watchdog, if no thread makes progress for several seconds.
 pub fn lockstep_torture<F, G>(
     threads: u32,
     episodes: u32,
@@ -63,19 +137,35 @@ pub fn lockstep_torture<F, G>(
 ) -> TortureReport
 where
     F: Fn(u32) -> G + Sync,
-    G: FnMut() + Send,
+    G: FnMut() -> Result<(), BarrierError> + Send,
 {
     assert!(threads > 0, "need at least one thread");
     let phases: Vec<AtomicU32> = (0..threads).map(|_| AtomicU32::new(0)).collect();
     let max_skew = AtomicU32::new(0);
+    let abort = AtomicBool::new(false);
+    let remaining = AtomicU32::new(threads);
+    let progress = AtomicU64::new(0);
+    let timeouts = AtomicU64::new(0);
+    let plan = match stagger {
+        Stagger::Chaos(p) => Some(p),
+        _ => None,
+    };
     let start = Instant::now();
     std::thread::scope(|s| {
         for tid in 0..threads {
             let phases = &phases;
             let max_skew = &max_skew;
+            let abort = &abort;
+            let remaining = &remaining;
+            let progress = &progress;
+            let timeouts = &timeouts;
             let mut step = make(tid);
             s.spawn(move || {
-                for e in 0..episodes {
+                let _guard = WorkerGuard { abort, remaining };
+                'episodes: for e in 0..episodes {
+                    if abort.load(Ordering::Acquire) {
+                        break;
+                    }
                     match stagger {
                         Stagger::None => {}
                         Stagger::Mixed => match (e as u64 + tid as u64 * 13) % 7 {
@@ -88,11 +178,46 @@ where
                                 std::thread::sleep(Duration::from_micros(800));
                             }
                         }
+                        Stagger::Chaos(plan) => match plan.fault(tid, e) {
+                            Some(FaultKind::Die(DeathMode::Stall)) => break 'episodes,
+                            Some(FaultKind::Die(DeathMode::Panic)) => {
+                                panic!("chaos: injected panic (tid {tid}, episode {e})")
+                            }
+                            Some(ref f) => apply_transient(f),
+                            None => {}
+                        },
                     }
                     phases[tid as usize].store(e + 1, Ordering::Release);
-                    step();
-                    for q in phases {
-                        let ph = q.load(Ordering::Acquire);
+                    loop {
+                        match step() {
+                            Ok(()) => {
+                                progress.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Err(BarrierError::Timeout) => {
+                                timeouts.fetch_add(1, Ordering::Relaxed);
+                                if abort.load(Ordering::Acquire) {
+                                    break 'episodes;
+                                }
+                            }
+                            Err(err) => {
+                                panic!(
+                                    "barrier failed under torture: {err} (tid {tid}, episode {e})"
+                                )
+                            }
+                        }
+                    }
+                    if abort.load(Ordering::Acquire) {
+                        break;
+                    }
+                    for (q, ph) in phases.iter().enumerate() {
+                        if plan
+                            .and_then(|p| p.death_episode(q as u32))
+                            .is_some_and(|k| e + 1 >= k)
+                        {
+                            continue; // peer died on schedule; its phase froze
+                        }
+                        let ph = ph.load(Ordering::Acquire);
                         let skew = ph.abs_diff(e + 1);
                         max_skew.fetch_max(skew, Ordering::Relaxed);
                         assert!(
@@ -103,10 +228,253 @@ where
                 }
             });
         }
+        let (abort, remaining, progress) = (&abort, &remaining, &progress);
+        s.spawn(move || watchdog(abort, remaining, progress, Duration::from_secs(5)));
     });
     TortureReport {
         episodes,
         threads,
+        elapsed: start.elapsed(),
+        max_skew: max_skew.load(Ordering::Relaxed),
+        timeouts: timeouts.load(Ordering::Relaxed),
+    }
+}
+
+/// Outcome of a [`chaos_torture`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// Threads that started.
+    pub threads: u32,
+    /// Episodes requested per thread.
+    pub episodes: u32,
+    /// Episodes actually completed, per thread.
+    pub completed: Vec<u32>,
+    /// Threads still participating at the end (not dead, evicted,
+    /// poisoned out, or given up).
+    pub survivors: u32,
+    /// Deaths the plan scheduled within the run's episode range.
+    pub planned_deaths: u32,
+    /// Evictions performed by rescue closures.
+    pub evictions: u64,
+    /// Total timeout results observed (each is retried).
+    pub timeouts: u64,
+    /// Threads that exhausted their retry budget.
+    pub gave_up: u32,
+    /// Whether the barrier ended up poisoned.
+    pub poisoned: bool,
+    /// Wall-clock time for the whole run.
+    pub elapsed: Duration,
+    /// Maximum phase skew observed among live participants (≤ 1 or the
+    /// run panicked).
+    pub max_skew: u32,
+}
+
+/// Soak-tests a barrier under a seeded [`FaultPlan`], including
+/// participant deaths, asserting lockstep among the survivors.
+///
+/// `make(tid)` builds each thread's pair of closures:
+///
+/// * **step**: one bounded barrier crossing, typically
+///   `move |d| waiter.wait_timeout(d)`;
+/// * **rescue**: invoked after repeated timeouts; it should evict the
+///   stragglers wedging the barrier (e.g.
+///   `move || barrier.evict_stragglers()`) and return the evicted ids
+///   so the harness can exclude them from the lockstep check. Barriers
+///   without eviction support may return an empty vec — the wedged run
+///   then ends in give-ups rather than survival.
+///
+/// Threads scheduled to `Die(Stall)` silently stop arriving (their
+/// waiter drops *clean*, no poisoning): survivors' rescues must evict
+/// them. Threads scheduled to `Die(Panic)` abandon a registered
+/// arrival, modelling a mid-episode crash: the barrier poisons and
+/// every peer drains out with [`BarrierError::Poisoned`].
+///
+/// # Panics
+///
+/// Panics if two live participants drift more than one episode apart,
+/// or (via the watchdog) if nothing progresses for far longer than
+/// `step_timeout`.
+pub fn chaos_torture<F, S, R>(
+    threads: u32,
+    episodes: u32,
+    plan: FaultPlan,
+    step_timeout: Duration,
+    make: F,
+) -> ChaosReport
+where
+    F: Fn(u32) -> (S, R) + Sync,
+    S: FnMut(Duration) -> Result<(), BarrierError> + Send,
+    R: FnMut() -> Vec<u32> + Send,
+{
+    assert!(threads > 0, "need at least one thread");
+    assert!(
+        step_timeout > Duration::ZERO,
+        "step timeout must be positive"
+    );
+    const MAX_ATTEMPTS: u32 = 25;
+    let phases: Vec<AtomicU32> = (0..threads).map(|_| AtomicU32::new(0)).collect();
+    let completed: Vec<AtomicU32> = (0..threads).map(|_| AtomicU32::new(0)).collect();
+    let excluded: Vec<AtomicBool> = (0..threads).map(|_| AtomicBool::new(false)).collect();
+    let max_skew = AtomicU32::new(0);
+    let abort = AtomicBool::new(false);
+    let remaining = AtomicU32::new(threads);
+    let progress = AtomicU64::new(0);
+    let timeouts = AtomicU64::new(0);
+    let evictions = AtomicU64::new(0);
+    let gave_up = AtomicU32::new(0);
+    let poisoned = AtomicBool::new(false);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let phases = &phases;
+            let completed = &completed;
+            let excluded = &excluded;
+            let max_skew = &max_skew;
+            let abort = &abort;
+            let remaining = &remaining;
+            let progress = &progress;
+            let timeouts = &timeouts;
+            let evictions = &evictions;
+            let gave_up = &gave_up;
+            let poisoned = &poisoned;
+            let (mut step, mut rescue) = make(tid);
+            s.spawn(move || {
+                let _guard = WorkerGuard { abort, remaining };
+                'episodes: for e in 0..episodes {
+                    if abort.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let mut done_early = false;
+                    match plan.fault(tid, e) {
+                        Some(FaultKind::Die(DeathMode::Stall)) => {
+                            // Goes silent before arriving: the waiter
+                            // drops clean and survivors must evict.
+                            excluded[tid as usize].store(true, Ordering::Release);
+                            break 'episodes;
+                        }
+                        Some(FaultKind::Die(DeathMode::Panic)) => {
+                            // Register an arrival and abandon it: the
+                            // step closure is dropped mid-episode on the
+                            // way out, poisoning the barrier. Stepping
+                            // until a timeout guarantees the abandoned
+                            // arrival did not itself release an episode.
+                            while step(Duration::ZERO) == Ok(()) {}
+                            excluded[tid as usize].store(true, Ordering::Release);
+                            break 'episodes;
+                        }
+                        Some(FaultKind::SpuriousWake) => {
+                            // An extra early crossing attempt; resumes
+                            // normally below if it merely times out.
+                            phases[tid as usize].store(e + 1, Ordering::Release);
+                            match step(Duration::ZERO) {
+                                Ok(()) => done_early = true,
+                                Err(BarrierError::Timeout) => {
+                                    timeouts.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(BarrierError::Poisoned) => {
+                                    poisoned.store(true, Ordering::Release);
+                                    excluded[tid as usize].store(true, Ordering::Release);
+                                    break 'episodes;
+                                }
+                                Err(BarrierError::Evicted) => {
+                                    excluded[tid as usize].store(true, Ordering::Release);
+                                    break 'episodes;
+                                }
+                            }
+                        }
+                        Some(ref f) => apply_transient(f),
+                        None => {}
+                    }
+                    phases[tid as usize].store(e + 1, Ordering::Release);
+                    let mut attempts = 0u32;
+                    if !done_early {
+                        loop {
+                            match step(step_timeout) {
+                                Ok(()) => break,
+                                Err(BarrierError::Timeout) => {
+                                    timeouts.fetch_add(1, Ordering::Relaxed);
+                                    if abort.load(Ordering::Acquire) {
+                                        break 'episodes;
+                                    }
+                                    attempts += 1;
+                                    if attempts % 2 == 0 {
+                                        // Peers are overdue: evict whoever is
+                                        // wedging the episode. Mark them
+                                        // excluded *before* our own arrival
+                                        // can release any later episode, so
+                                        // the skew check below never compares
+                                        // against an evictee.
+                                        for t in rescue() {
+                                            excluded[t as usize].store(true, Ordering::Release);
+                                            evictions.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                    }
+                                    if attempts >= MAX_ATTEMPTS {
+                                        gave_up.fetch_add(1, Ordering::Relaxed);
+                                        excluded[tid as usize].store(true, Ordering::Release);
+                                        break 'episodes;
+                                    }
+                                }
+                                Err(BarrierError::Poisoned) => {
+                                    poisoned.store(true, Ordering::Release);
+                                    excluded[tid as usize].store(true, Ordering::Release);
+                                    break 'episodes;
+                                }
+                                Err(BarrierError::Evicted) => {
+                                    excluded[tid as usize].store(true, Ordering::Release);
+                                    break 'episodes;
+                                }
+                            }
+                        }
+                    }
+                    progress.fetch_add(1, Ordering::Relaxed);
+                    completed[tid as usize].fetch_add(1, Ordering::Relaxed);
+                    if abort.load(Ordering::Acquire) {
+                        break;
+                    }
+                    for (q, ph) in phases.iter().enumerate() {
+                        if excluded[q].load(Ordering::Acquire)
+                            || plan
+                                .death_episode(q as u32)
+                                .is_some_and(|k| e + 1 >= k)
+                        {
+                            continue; // dead or evicted; phase frozen
+                        }
+                        let ph = ph.load(Ordering::Acquire);
+                        let skew = ph.abs_diff(e + 1);
+                        max_skew.fetch_max(skew, Ordering::Relaxed);
+                        assert!(
+                            skew <= 1,
+                            "lockstep violated among survivors: tid {tid} at episode {e} saw phase {ph}"
+                        );
+                    }
+                }
+            });
+        }
+        let (abort, remaining, progress) = (&abort, &remaining, &progress);
+        let stall_limit = (step_timeout * 8 * MAX_ATTEMPTS).max(Duration::from_secs(5));
+        s.spawn(move || watchdog(abort, remaining, progress, stall_limit));
+    });
+    let planned_deaths = (0..threads)
+        .filter(|&t| plan.death_episode(t).is_some_and(|k| k < episodes))
+        .count() as u32;
+    let excluded_count = excluded
+        .iter()
+        .filter(|x| x.load(Ordering::Acquire))
+        .count() as u32;
+    ChaosReport {
+        threads,
+        episodes,
+        completed: completed
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect(),
+        survivors: threads - excluded_count,
+        planned_deaths,
+        evictions: evictions.load(Ordering::Relaxed),
+        timeouts: timeouts.load(Ordering::Relaxed),
+        gave_up: gave_up.load(Ordering::Relaxed),
+        poisoned: poisoned.load(Ordering::Acquire),
         elapsed: start.elapsed(),
         max_skew: max_skew.load(Ordering::Relaxed),
     }
@@ -144,13 +512,16 @@ mod tests {
     use crate::central::CentralBarrier;
     use crate::dynamic::DynamicBarrier;
     use crate::tree::TreeBarrier;
+    use combar_chaos::ChaosConfig;
+
+    const STEP: Duration = Duration::from_secs(5);
 
     #[test]
     fn torture_passes_for_correct_barriers() {
         let b = CentralBarrier::new(3);
         let rep = lockstep_torture(3, 80, Stagger::Mixed, |_| {
             let mut w = b.waiter();
-            move || w.wait()
+            move || w.wait_timeout(STEP)
         });
         assert_eq!(rep.episodes, 80);
         assert!(rep.max_skew <= 1);
@@ -162,7 +533,7 @@ mod tests {
         let b = DynamicBarrier::mcs(6, 2);
         lockstep_torture(6, 40, Stagger::SlowThread(5), |tid| {
             let mut w = b.waiter(tid);
-            move || w.wait()
+            move || w.wait_timeout(STEP)
         });
         assert!(b.swap_count() > 0);
     }
@@ -171,12 +542,72 @@ mod tests {
     #[test]
     fn torture_catches_a_broken_barrier() {
         let result = std::panic::catch_unwind(|| {
-            lockstep_torture(3, 200, Stagger::Mixed, |_| move || {
-                // no synchronization at all
-                std::hint::spin_loop();
+            lockstep_torture(3, 200, Stagger::Mixed, |_| {
+                move || {
+                    // no synchronization at all
+                    std::hint::spin_loop();
+                    Ok(())
+                }
             });
         });
         assert!(result.is_err(), "a no-op barrier must fail the torture");
+    }
+
+    #[test]
+    fn torture_under_transient_chaos() {
+        let plan = FaultPlan::new(ChaosConfig {
+            seed: 0xC0FFEE,
+            stall_prob: 0.1,
+            max_stall_us: 200,
+            yield_prob: 0.2,
+            max_yields: 8,
+            spurious_prob: 0.0,
+            death: None,
+        });
+        let b = TreeBarrier::combining(4, 2);
+        let rep = lockstep_torture(4, 60, Stagger::Chaos(plan), |tid| {
+            let mut w = b.waiter(tid);
+            move || w.wait_timeout(STEP)
+        });
+        assert!(rep.max_skew <= 1);
+    }
+
+    #[test]
+    fn chaos_torture_evicts_a_silent_death_and_survivors_finish() {
+        let plan = FaultPlan::quiet(7).with_death(3, 5, DeathMode::Stall);
+        let b = CentralBarrier::new(4);
+        let rep = chaos_torture(4, 40, plan, Duration::from_millis(100), |tid| {
+            let b = &b;
+            let mut w = b.waiter_for(tid);
+            (move |d| w.wait_timeout(d), move || b.evict_stragglers())
+        });
+        assert_eq!(rep.planned_deaths, 1);
+        assert_eq!(rep.survivors, 3);
+        assert!(rep.evictions >= 1);
+        assert!(!rep.poisoned);
+        for t in 0..3 {
+            assert_eq!(
+                rep.completed[t], 40,
+                "survivor {t} must finish every episode"
+            );
+        }
+        assert_eq!(
+            rep.completed[3], 5,
+            "the dead thread stopped at its death episode"
+        );
+    }
+
+    #[test]
+    fn chaos_torture_panic_death_poisons_the_run() {
+        let plan = FaultPlan::quiet(11).with_death(2, 4, DeathMode::Panic);
+        let b = CentralBarrier::new(3);
+        let rep = chaos_torture(3, 30, plan, Duration::from_millis(30), |tid| {
+            let b = &b;
+            let mut w = b.waiter_for(tid);
+            (move |d| w.wait_timeout(d), move || b.evict_stragglers())
+        });
+        assert!(rep.poisoned, "an abandoned arrival must poison the barrier");
+        assert!(rep.survivors <= 2);
     }
 
     #[test]

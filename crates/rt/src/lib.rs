@@ -30,6 +30,29 @@
 //! identically. All hot state is cache-padded ([`CachePadded`]); waiting is
 //! spin-then-yield ([`spin::Backoff`]) so the crate behaves on machines
 //! with fewer cores than threads.
+//!
+//! # Fault model
+//!
+//! Every barrier additionally exposes a fallible surface
+//! ([`BarrierError`]):
+//!
+//! * **bounded waits** — `wait_timeout(Duration)` alongside the
+//!   infallible `wait()`; a timed-out arrival stays registered and the
+//!   next wait call resumes the same episode;
+//! * **poisoning** — a waiter dropped mid-episode (typically a panic
+//!   unwinding) permanently poisons the barrier, turning a would-be
+//!   deadlock into prompt [`BarrierError::Poisoned`] errors for peers;
+//! * **graceful degradation** — the counter-tree barriers (central,
+//!   tree, dynamic, blocking, adaptive) support *eviction*: a
+//!   participant that stops arriving can be removed (`evict` /
+//!   `evict_stragglers`) and its arrivals are thereafter delivered by
+//!   proxy at each release, so survivors keep crossing; evicted
+//!   participants can later `rejoin` (except on the adaptive barrier).
+//!   The dissemination and tournament barriers cannot support eviction
+//!   — every thread is a structurally unique signaller there.
+//!
+//! [`harness::chaos_torture`] soaks any barrier under a seeded
+//! `combar-chaos` fault plan, including participant deaths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,9 +62,11 @@ pub mod blocking;
 pub mod central;
 pub mod dissemination;
 pub mod dynamic;
+pub mod error;
 pub mod fuzzy;
 pub mod harness;
 pub mod pad;
+mod roster;
 pub mod spin;
 pub mod tournament;
 pub mod tree;
@@ -51,8 +76,12 @@ pub use blocking::{BlockingBarrier, BlockingWaiter};
 pub use central::{CentralBarrier, CentralWaiter};
 pub use dissemination::{DisseminationBarrier, DisseminationWaiter};
 pub use dynamic::{DynamicBarrier, DynamicWaiter};
+pub use error::BarrierError;
 pub use fuzzy::{fuzzy_episode, FuzzyTiming, FuzzyWaiter};
-pub use harness::{lockstep_torture, time_episodes, Stagger, TortureReport};
+pub use harness::{
+    chaos_torture, lockstep_torture, time_episodes, ChaosReport, Stagger, TortureReport,
+};
 pub use pad::CachePadded;
+pub use spin::EpochWait;
 pub use tournament::{TournamentBarrier, TournamentWaiter};
 pub use tree::{TreeBarrier, TreeWaiter};

@@ -64,8 +64,9 @@ mod tests {
 
     #[test]
     fn adjacent_array_elements_live_on_distinct_lines() {
-        let v: Vec<CachePadded<AtomicU32>> =
-            (0..4).map(|_| CachePadded::new(AtomicU32::new(0))).collect();
+        let v: Vec<CachePadded<AtomicU32>> = (0..4)
+            .map(|_| CachePadded::new(AtomicU32::new(0)))
+            .collect();
         let a = &*v[0] as *const AtomicU32 as usize;
         let b = &*v[1] as *const AtomicU32 as usize;
         assert!(b - a >= 128);

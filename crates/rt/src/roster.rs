@@ -1,0 +1,285 @@
+//! Participant roster for the graceful-degradation (eviction) protocol
+//! of the counter-tree barriers.
+//!
+//! Each participant owns one packed `AtomicU64` slot:
+//! `state << 32 | last`, where `state` is Active/Evicted and `last` is
+//! the epoch-tagged target of its most recent arrival (own or proxied).
+//! Every transition — arrival, eviction, proxy delivery, re-admission —
+//! is a single CAS on that slot, which makes the races between a slow
+//! arriver and its evictor, between two evictors, and between a
+//! maintainer and a rejoiner all linearizable:
+//!
+//! * **arrive vs evict**: both CAS from `(Active, last)`; exactly one
+//!   wins, so the episode receives exactly one count for the thread
+//!   (its own or the evictor's proxy), never zero or two.
+//! * **proxy vs proxy**: a proxy for target `T` is the CAS
+//!   `(Evicted, last≠T) → (Evicted, T)`; double delivery is impossible.
+//! * **rejoin vs proxy**: the rejoiner CASes `(Evicted, last) →
+//!   (Active, last)` and resumes as "arrived for `last`, pending
+//!   depart", since `last` is exactly the episode its proxy covered.
+//!
+//! The invariant that makes stale maintainers harmless: episode `X`
+//! cannot release until every evicted slot carries `last ≥ X`, so a
+//! maintainer holding an outdated target always fails its CAS or skips.
+
+use crate::pad::CachePadded;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+const ACTIVE: u32 = 0;
+const EVICTED: u32 = 1;
+
+fn pack(state: u32, last: u32) -> u64 {
+    ((state as u64) << 32) | last as u64
+}
+
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// Outcome of [`Roster::try_arrive`].
+pub(crate) enum Arrival {
+    /// The slot was claimed; the caller must signal the barrier.
+    Claimed,
+    /// The participant is evicted and must rejoin instead.
+    Evicted,
+}
+
+/// Per-participant eviction state for one barrier.
+#[derive(Debug)]
+pub(crate) struct Roster {
+    slots: Vec<CachePadded<AtomicU64>>,
+    evicted: AtomicU32,
+}
+
+impl Roster {
+    pub(crate) fn new(p: u32) -> Self {
+        Self {
+            slots: (0..p)
+                .map(|_| CachePadded::new(AtomicU64::new(pack(ACTIVE, 0))))
+                .collect(),
+            evicted: AtomicU32::new(0),
+        }
+    }
+
+    /// Number of currently evicted participants. A single relaxed-ish
+    /// load, cheap enough for every release path.
+    pub(crate) fn evicted_count(&self) -> u32 {
+        self.evicted.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn is_evicted(&self, tid: u32) -> bool {
+        unpack(self.slots[tid as usize].load(Ordering::Acquire)).0 == EVICTED
+    }
+
+    /// Claims this participant's arrival for `target`.
+    pub(crate) fn try_arrive(&self, tid: u32, target: u32) -> Arrival {
+        let slot = &self.slots[tid as usize];
+        loop {
+            let s = slot.load(Ordering::Acquire);
+            let (state, last) = unpack(s);
+            if state != ACTIVE {
+                return Arrival::Evicted;
+            }
+            assert!(
+                last != target,
+                "duplicate arrival for one episode (aliased waiters?)"
+            );
+            if slot
+                .compare_exchange(s, pack(ACTIVE, target), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Arrival::Claimed;
+            }
+        }
+    }
+
+    /// Evicts `tid` if (and only if) it has not arrived for the episode
+    /// in flight. On success the slot is already tagged with that
+    /// episode's target and the caller **must** deliver the proxy
+    /// signal for it exactly once.
+    ///
+    /// `epoch` is re-read on every CAS retry: a successful CAS proves
+    /// the slot did not change since the target was computed, and the
+    /// in-flight episode cannot release without this slot changing, so
+    /// the target is never stale at the linearization point.
+    pub(crate) fn evict(&self, tid: u32, epoch: &AtomicU32) -> bool {
+        let slot = &self.slots[tid as usize];
+        loop {
+            let target = epoch.load(Ordering::Acquire).wrapping_add(1);
+            let s = slot.load(Ordering::Acquire);
+            let (state, last) = unpack(s);
+            if state != ACTIVE || last == target {
+                return false; // already evicted, or it did arrive
+            }
+            if slot
+                .compare_exchange(
+                    s,
+                    pack(EVICTED, target),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                self.evicted.fetch_add(1, Ordering::AcqRel);
+                return true;
+            }
+        }
+    }
+
+    /// Participants that have not arrived for the in-flight episode
+    /// (candidates for [`Roster::evict`]).
+    pub(crate) fn stragglers(&self, epoch: &AtomicU32) -> Vec<u32> {
+        let target = epoch.load(Ordering::Acquire).wrapping_add(1);
+        (0..self.slots.len() as u32)
+            .filter(|&t| {
+                let (state, last) = unpack(self.slots[t as usize].load(Ordering::Acquire));
+                state == ACTIVE && last != target
+            })
+            .collect()
+    }
+
+    /// Re-admits `tid`. Returns the epoch its latest proxy covered —
+    /// the rejoined waiter must resume as "arrived for that episode,
+    /// pending depart" — or `None` if the participant was not evicted.
+    pub(crate) fn rejoin(&self, tid: u32) -> Option<u32> {
+        let slot = &self.slots[tid as usize];
+        loop {
+            let s = slot.load(Ordering::Acquire);
+            let (state, last) = unpack(s);
+            if state != EVICTED {
+                return None;
+            }
+            if slot
+                .compare_exchange(s, pack(ACTIVE, last), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.evicted.fetch_sub(1, Ordering::AcqRel);
+                return Some(last);
+            }
+        }
+    }
+
+    /// Post-release maintenance: deliver proxy arrivals for every
+    /// evicted participant for the next episode, looping while those
+    /// proxies themselves complete episodes. Called by whoever bumps
+    /// the barrier's epoch, whenever `evicted_count() > 0`.
+    ///
+    /// `signal(tid)` must perform the barrier's arrival walk for `tid`
+    /// and report whether it released the episode.
+    pub(crate) fn maintain<F: FnMut(u32) -> bool>(&self, epoch: &AtomicU32, mut signal: F) {
+        loop {
+            if self.evicted.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            let target = epoch.load(Ordering::Acquire).wrapping_add(1);
+            let mut released = false;
+            for tid in 0..self.slots.len() as u32 {
+                let slot = &self.slots[tid as usize];
+                loop {
+                    let s = slot.load(Ordering::Acquire);
+                    let (state, last) = unpack(s);
+                    if state != EVICTED || last == target {
+                        break;
+                    }
+                    if slot
+                        .compare_exchange(
+                            s,
+                            pack(EVICTED, target),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        if signal(tid) {
+                            released = true;
+                        }
+                        break;
+                    }
+                }
+            }
+            if !released {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrive_then_evict_loses() {
+        let r = Roster::new(2);
+        let epoch = AtomicU32::new(0);
+        assert!(matches!(r.try_arrive(0, 1), Arrival::Claimed));
+        assert!(!r.evict(0, &epoch), "arrived participant is not evictable");
+        assert!(r.evict(1, &epoch));
+        assert!(r.is_evicted(1));
+        assert!(matches!(r.try_arrive(1, 1), Arrival::Evicted));
+        assert_eq!(r.evicted_count(), 1);
+    }
+
+    #[test]
+    fn rejoin_restores_active_state() {
+        let r = Roster::new(1);
+        let epoch = AtomicU32::new(4);
+        assert!(r.evict(0, &epoch));
+        assert_eq!(
+            r.rejoin(0),
+            Some(5),
+            "proxy target is the in-flight episode"
+        );
+        assert_eq!(r.rejoin(0), None, "double rejoin is a no-op");
+        assert_eq!(r.evicted_count(), 0);
+        assert!(!r.is_evicted(0));
+    }
+
+    #[test]
+    fn stragglers_excludes_arrived_and_evicted() {
+        let r = Roster::new(3);
+        let epoch = AtomicU32::new(0);
+        assert!(matches!(r.try_arrive(0, 1), Arrival::Claimed));
+        assert!(r.evict(2, &epoch));
+        assert_eq!(r.stragglers(&epoch), vec![1]);
+    }
+
+    #[test]
+    fn maintain_delivers_one_proxy_per_target() {
+        let r = Roster::new(2);
+        let epoch = AtomicU32::new(0);
+        assert!(r.evict(1, &epoch)); // tags slot with target 1
+        let mut calls = Vec::new();
+        // Episode 1 not yet released: proxy for 1 already delivered by
+        // the evictor, so maintain has nothing to do.
+        r.maintain(&epoch, |t| {
+            calls.push(t);
+            false
+        });
+        assert!(calls.is_empty());
+        // Release episode 1: maintain now delivers the proxy for 2.
+        epoch.store(1, Ordering::Release);
+        r.maintain(&epoch, |t| {
+            calls.push(t);
+            false
+        });
+        assert_eq!(calls, vec![1]);
+    }
+
+    #[test]
+    fn maintain_loops_while_proxies_release() {
+        let r = Roster::new(1);
+        let epoch = AtomicU32::new(0);
+        assert!(r.evict(0, &epoch)); // slot tagged for target 1
+        epoch.store(1, Ordering::Release); // the evictor's proxy released it
+                                           // Every further proxy releases an episode; emulate three then
+                                           // stop releasing.
+        let mut n = 0;
+        r.maintain(&epoch, |_| {
+            n += 1;
+            epoch.fetch_add(1, Ordering::AcqRel);
+            n < 3
+        });
+        assert_eq!(n, 3);
+    }
+}

@@ -7,17 +7,50 @@
 //! the standard adaptive strategy.
 
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
 
-/// Exponential spin-then-yield backoff.
+/// Exponential spin-then-yield backoff, optionally bounded by a
+/// deadline.
 #[derive(Debug, Default)]
 pub struct Backoff {
     step: u32,
+    deadline: Option<Instant>,
 }
 
 impl Backoff {
-    /// Fresh backoff state.
+    /// Fresh backoff state with no deadline.
     pub fn new() -> Self {
-        Self { step: 0 }
+        Self {
+            step: 0,
+            deadline: None,
+        }
+    }
+
+    /// Fresh backoff state that expires at `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self {
+            step: 0,
+            deadline: Some(deadline),
+        }
+    }
+
+    /// The deadline, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether the deadline (if any) has passed.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// One wait quantum like [`Backoff::snooze`], then reports whether
+    /// the deadline has passed. Always returns `false` when no deadline
+    /// was set.
+    #[inline]
+    pub fn snooze_expired(&mut self) -> bool {
+        self.snooze();
+        self.expired()
     }
 
     /// One wait quantum: a handful of `spin_loop` hints while the wait
@@ -56,6 +89,46 @@ pub fn wait_for_epoch(flag: &AtomicU32, target: u32) {
     }
 }
 
+/// How a fallible epoch wait ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochWait {
+    /// The flag reached the target.
+    Released,
+    /// The deadline passed first.
+    TimedOut,
+    /// The poison flag became set first.
+    Poisoned,
+}
+
+/// Fault-aware variant of [`wait_for_epoch`]: additionally watches a
+/// poison flag (any non-zero value aborts the wait) and an optional
+/// deadline. The release check runs first, so a wait whose target is
+/// already met never reports a timeout or poisoning.
+#[inline]
+pub fn wait_for_epoch_fallible(
+    flag: &AtomicU32,
+    target: u32,
+    poison: &AtomicU32,
+    deadline: Option<Instant>,
+) -> EpochWait {
+    let mut backoff = match deadline {
+        Some(d) => Backoff::with_deadline(d),
+        None => Backoff::new(),
+    };
+    loop {
+        if flag.load(Ordering::Acquire).wrapping_sub(target) <= u32::MAX / 2 {
+            return EpochWait::Released;
+        }
+        if poison.load(Ordering::Acquire) != 0 {
+            return EpochWait::Poisoned;
+        }
+        if backoff.expired() {
+            return EpochWait::TimedOut;
+        }
+        backoff.snooze();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +160,50 @@ mod tests {
         wait_for_epoch(&flag, 3);
         assert!(flag.load(Ordering::Relaxed) >= 3);
         h.join().unwrap();
+    }
+
+    #[test]
+    fn fallible_wait_reports_timeout_and_poison() {
+        use std::time::Duration;
+        let flag = AtomicU32::new(0);
+        let poison = AtomicU32::new(0);
+        // Deadline already passed → timeout, promptly.
+        let deadline = Instant::now();
+        assert_eq!(
+            wait_for_epoch_fallible(&flag, 1, &poison, Some(deadline)),
+            EpochWait::TimedOut
+        );
+        // Released target wins even with an expired deadline.
+        flag.store(1, Ordering::Release);
+        assert_eq!(
+            wait_for_epoch_fallible(&flag, 1, &poison, Some(deadline)),
+            EpochWait::Released
+        );
+        // Poison wins over an unmet target.
+        poison.store(1, Ordering::Release);
+        assert_eq!(
+            wait_for_epoch_fallible(&flag, 2, &poison, None),
+            EpochWait::Poisoned
+        );
+        // Short real deadline actually elapses.
+        poison.store(0, Ordering::Release);
+        let t0 = Instant::now();
+        let deadline = t0 + Duration::from_millis(5);
+        assert_eq!(
+            wait_for_epoch_fallible(&flag, 2, &poison, Some(deadline)),
+            EpochWait::TimedOut
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn backoff_deadline_expiry() {
+        let mut b = Backoff::new();
+        assert!(b.deadline().is_none());
+        assert!(!b.expired());
+        assert!(!b.snooze_expired());
+        let mut b = Backoff::with_deadline(Instant::now());
+        assert!(b.snooze_expired());
     }
 
     #[test]

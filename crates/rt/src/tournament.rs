@@ -12,10 +12,22 @@
 //! Like the dissemination barrier, the tournament has no useful
 //! arrive/depart split (winners *block* inside the arrival phase
 //! waiting for their losers), so it implements only `wait`.
+//!
+//! # Fault model
+//!
+//! Waits can be bounded ([`TournamentWaiter::wait_timeout`]); the
+//! waiter checkpoints its match position and resumes there. A waiter
+//! dropped mid-episode poisons the barrier. **Eviction is structurally
+//! impossible**: the match pairings are static and every thread is the
+//! unique signaller of its round's winner, so a proxy would have to
+//! impersonate the dead thread's entire bracket forever. Use a
+//! counter-tree barrier where graceful degradation is required.
 
+use crate::error::BarrierError;
 use crate::pad::CachePadded;
-use crate::spin::wait_for_epoch;
+use crate::spin::{wait_for_epoch_fallible, EpochWait};
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
 
 /// A tournament barrier for `p` threads.
 #[derive(Debug)]
@@ -24,6 +36,7 @@ pub struct TournamentBarrier {
     /// `r` by its paired loser.
     flags: Vec<Vec<CachePadded<AtomicU32>>>,
     epoch: CachePadded<AtomicU32>,
+    poison: CachePadded<AtomicU32>,
     rounds: u32,
     p: u32,
 }
@@ -38,9 +51,19 @@ impl TournamentBarrier {
         assert!(p > 0, "barrier needs at least one thread");
         let rounds = if p == 1 { 0 } else { (p - 1).ilog2() + 1 };
         let flags = (0..rounds)
-            .map(|_| (0..p).map(|_| CachePadded::new(AtomicU32::new(0))).collect())
+            .map(|_| {
+                (0..p)
+                    .map(|_| CachePadded::new(AtomicU32::new(0)))
+                    .collect()
+            })
             .collect();
-        Self { flags, epoch: CachePadded::new(AtomicU32::new(0)), rounds, p }
+        Self {
+            flags,
+            epoch: CachePadded::new(AtomicU32::new(0)),
+            poison: CachePadded::new(AtomicU32::new(0)),
+            rounds,
+            p,
+        }
     }
 
     /// Number of participating threads.
@@ -51,6 +74,11 @@ impl TournamentBarrier {
     /// Number of rounds, `⌈log₂ p⌉`.
     pub fn rounds(&self) -> u32 {
         self.rounds
+    }
+
+    /// Whether a participant died mid-episode, wedging the barrier.
+    pub fn is_poisoned(&self) -> bool {
+        self.poison.load(Ordering::Acquire) != 0
     }
 
     /// Creates the per-thread handle for thread `tid`.
@@ -67,60 +95,120 @@ impl TournamentBarrier {
             barrier: self,
             tid,
             epoch: self.epoch.load(Ordering::Acquire),
+            round: 0,
+            lost: false,
+            mid: false,
         }
     }
 }
 
 /// Per-thread handle to a [`TournamentBarrier`].
+///
+/// Dropping a waiter mid-episode poisons the barrier: peers receive
+/// [`BarrierError::Poisoned`] instead of spinning forever.
 #[derive(Debug)]
 pub struct TournamentWaiter<'a> {
     barrier: &'a TournamentBarrier,
     tid: u32,
     epoch: u32,
+    /// Resume point for a timed-out episode: next match round to play.
+    round: u32,
+    /// Whether this thread already lost its match this episode (and is
+    /// now only waiting for the champion's release).
+    lost: bool,
+    /// Whether an episode is in flight (entered but not completed).
+    mid: bool,
 }
 
 impl TournamentWaiter<'_> {
     /// One full barrier episode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier is (or becomes) poisoned.
     pub fn wait(&mut self) {
+        if let Err(e) = self.wait_deadline(None) {
+            panic!("barrier wait failed: {e}");
+        }
+    }
+
+    /// One full barrier episode bounded by `timeout`.
+    ///
+    /// On [`BarrierError::Timeout`] the matches already played stay
+    /// played: call a wait method again to resume the same episode at
+    /// the match that stalled. A timed-out waiter must not simply be
+    /// dropped — that poisons the barrier; retry until release instead.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Result<(), BarrierError> {
+        self.wait_deadline(Some(Instant::now() + timeout))
+    }
+
+    fn wait_deadline(&mut self, deadline: Option<Instant>) -> Result<(), BarrierError> {
         let b = self.barrier;
-        self.epoch = self.epoch.wrapping_add(1);
-        let me = self.tid;
-        let mut released_by_champion = false;
-        for r in 0..b.rounds {
-            let stride = 1u32 << r;
+        if b.is_poisoned() {
+            return Err(BarrierError::Poisoned);
+        }
+        if !self.mid {
+            self.epoch = self.epoch.wrapping_add(1);
+            self.round = 0;
+            self.lost = false;
+            self.mid = true;
+        }
+        while !self.lost && self.round < b.rounds {
+            let r = self.round as usize;
+            let stride = 1u32 << self.round;
             let block = stride << 1;
-            if me % block == 0 {
-                // Winner of this round — if a paired loser exists.
-                let loser = me + stride;
+            if self.tid % block == 0 {
+                // Winner of this round — if a paired loser exists
+                // (bye: advance without waiting).
+                let loser = self.tid + stride;
                 if loser < b.p {
-                    wait_for_epoch(&b.flags[r as usize][me as usize], self.epoch);
+                    match wait_for_epoch_fallible(
+                        &b.flags[r][self.tid as usize],
+                        self.epoch,
+                        &b.poison,
+                        deadline,
+                    ) {
+                        EpochWait::Released => {}
+                        EpochWait::TimedOut => return Err(BarrierError::Timeout),
+                        EpochWait::Poisoned => return Err(BarrierError::Poisoned),
+                    }
                 }
-                // (bye: advance without waiting)
+                self.round += 1;
             } else {
                 // Loser: signal the winner and stop playing.
-                let winner = me - stride;
-                b.flags[r as usize][winner as usize].store(self.epoch, Ordering::Release);
-                break;
-            }
-            if r + 1 == b.rounds {
-                // Champion: every subtree has arrived.
-                b.epoch.fetch_add(1, Ordering::Release);
-                released_by_champion = true;
+                let winner = self.tid - stride;
+                b.flags[r][winner as usize].store(self.epoch, Ordering::Release);
+                self.lost = true;
             }
         }
-        if b.rounds == 0 {
-            // single thread: trivially released
+        if !self.lost {
+            // Champion: every subtree has arrived. (Also the trivial
+            // single-thread case, where rounds == 0.)
             b.epoch.fetch_add(1, Ordering::Release);
-            released_by_champion = true;
+            self.mid = false;
+            return Ok(());
         }
-        if !released_by_champion {
-            wait_for_epoch(&b.epoch, self.epoch);
+        match wait_for_epoch_fallible(&b.epoch, self.epoch, &b.poison, deadline) {
+            EpochWait::Released => {
+                self.mid = false;
+                Ok(())
+            }
+            EpochWait::TimedOut => Err(BarrierError::Timeout),
+            EpochWait::Poisoned => Err(BarrierError::Poisoned),
         }
     }
 
     /// This thread's id.
     pub fn tid(&self) -> u32 {
         self.tid
+    }
+}
+
+impl Drop for TournamentWaiter<'_> {
+    fn drop(&mut self) {
+        if self.mid {
+            self.barrier.poison.store(1, Ordering::Release);
+        }
     }
 }
 
@@ -200,6 +288,48 @@ mod tests {
                 }
             });
         }
+    }
+
+    #[test]
+    fn timeout_resumes_at_the_stalled_match() {
+        // Thread 0 (the eventual champion) stalls waiting for thread 1.
+        let b = TournamentBarrier::new(2);
+        let mut w0 = b.waiter(0);
+        assert_eq!(
+            w0.wait_timeout(Duration::from_millis(2)),
+            Err(BarrierError::Timeout)
+        );
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut w1 = b.waiter(1);
+                w1.wait_timeout(Duration::from_secs(2)).unwrap();
+            });
+            w0.wait_timeout(Duration::from_secs(2)).unwrap();
+        });
+        // A loser's timeout while awaiting the release also resumes.
+        let mut w1 = b.waiter(1);
+        let mut w0 = b.waiter(0);
+        assert_eq!(
+            w1.wait_timeout(Duration::from_millis(2)),
+            Err(BarrierError::Timeout)
+        );
+        w0.wait_timeout(Duration::from_secs(2)).unwrap();
+        w1.wait_timeout(Duration::from_secs(2)).unwrap();
+    }
+
+    #[test]
+    fn dropping_mid_episode_poisons_peers() {
+        let b = TournamentBarrier::new(4);
+        {
+            let mut dying = b.waiter(0);
+            let _ = dying.wait_timeout(Duration::from_millis(1));
+        }
+        assert!(b.is_poisoned());
+        let mut peer = b.waiter(2);
+        assert_eq!(
+            peer.wait_timeout(Duration::from_secs(1)),
+            Err(BarrierError::Poisoned)
+        );
     }
 
     #[test]

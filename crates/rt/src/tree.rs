@@ -12,11 +12,22 @@
 //! immediately reusable: no thread can start the next episode until
 //! after the release, which orders every reset before every
 //! next-episode increment.
+//!
+//! # Fault model
+//!
+//! [`TreeWaiter::wait_timeout`] bounds every wait; a waiter dropped
+//! mid-episode poisons the barrier; a participant that stops arriving
+//! can be evicted ([`TreeBarrier::evict`]) — its home-counter walk is
+//! thereafter performed by proxy at each release — and later readmitted
+//! via [`TreeWaiter::rejoin`].
 
+use crate::error::BarrierError;
 use crate::pad::CachePadded;
-use crate::spin::wait_for_epoch;
+use crate::roster::{Arrival, Roster};
+use crate::spin::{wait_for_epoch_fallible, EpochWait};
 use combar_topo::{CounterId, Topology};
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
 
 /// A static-placement tree barrier over an arbitrary topology.
 ///
@@ -46,6 +57,8 @@ pub struct TreeBarrier {
     homes: Vec<CounterId>,
     path_len: Vec<u32>,
     epoch: CachePadded<AtomicU32>,
+    poison: CachePadded<AtomicU32>,
+    roster: Roster,
     degree: u32,
 }
 
@@ -62,6 +75,8 @@ impl TreeBarrier {
             homes: topo.homes().to_vec(),
             path_len: topo.nodes().iter().map(|n| n.path_len).collect(),
             epoch: CachePadded::new(AtomicU32::new(0)),
+            poison: CachePadded::new(AtomicU32::new(0)),
+            roster: Roster::new(topo.num_procs()),
             degree: topo.degree(),
         }
     }
@@ -115,15 +130,59 @@ impl TreeBarrier {
         }
     }
 
-    /// The signalling walk: increment from `start` upward; returns once
-    /// this thread stops being the last updater (or released the root).
-    fn signal(&self, start: CounterId) {
+    /// Whether a participant died mid-episode, wedging the barrier.
+    pub fn is_poisoned(&self) -> bool {
+        self.poison.load(Ordering::Acquire) != 0
+    }
+
+    /// Number of currently evicted participants.
+    pub fn evicted_count(&self) -> u32 {
+        self.roster.evicted_count()
+    }
+
+    /// Whether participant `tid` is currently evicted.
+    pub fn is_evicted(&self, tid: u32) -> bool {
+        self.roster.is_evicted(tid)
+    }
+
+    /// Participants that have not arrived for the in-flight episode.
+    pub fn stragglers(&self) -> Vec<u32> {
+        self.roster.stragglers(&self.epoch)
+    }
+
+    /// Evicts participant `tid` if it has not arrived for the episode
+    /// in flight, walking its home counter by proxy so survivors
+    /// release; every later release re-delivers the proxy. Returns
+    /// whether the eviction happened.
+    pub fn evict(&self, tid: u32) -> bool {
+        assert!((tid as usize) < self.homes.len(), "thread id out of range");
+        if self.roster.evict(tid, &self.epoch) {
+            if self.signal(self.homes[tid as usize]) {
+                self.maintain();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Evicts every current straggler; returns the evicted ids.
+    pub fn evict_stragglers(&self) -> Vec<u32> {
+        self.stragglers()
+            .into_iter()
+            .filter(|&t| self.evict(t))
+            .collect()
+    }
+
+    /// The signalling walk: increment from `start` upward; returns
+    /// whether this walk released the episode.
+    fn signal(&self, start: CounterId) -> bool {
         let mut c = start as usize;
         loop {
             let prev = self.counts[c].fetch_add(1, Ordering::AcqRel);
             debug_assert!(prev < self.fan_in[c], "counter over-updated");
             if prev + 1 < self.fan_in[c] {
-                return; // not last here: someone else will propagate
+                return false; // not last here: someone else will propagate
             }
             // Last updater: reset for the next episode (safe before the
             // release — nobody re-enters until after it), then continue
@@ -133,14 +192,24 @@ impl TreeBarrier {
                 Some(par) => c = par as usize,
                 None => {
                     self.epoch.fetch_add(1, Ordering::Release);
-                    return;
+                    return true;
                 }
             }
         }
     }
+
+    /// Post-release proxy sweep for evicted participants.
+    fn maintain(&self) {
+        self.roster
+            .maintain(&self.epoch, |tid| self.signal(self.homes[tid as usize]));
+    }
 }
 
 /// Per-thread handle to a [`TreeBarrier`].
+///
+/// Dropping a waiter between `arrive` and a completed depart poisons
+/// the barrier: peers receive [`BarrierError::Poisoned`] instead of
+/// spinning forever.
 #[derive(Debug)]
 pub struct TreeWaiter<'a> {
     barrier: &'a TreeBarrier,
@@ -153,30 +222,124 @@ impl TreeWaiter<'_> {
     /// Signals arrival: walks the combining tree from this thread's
     /// home counter. May be followed by slack work before
     /// [`Self::depart`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice without a depart, if the barrier is
+    /// poisoned, or if this participant has been evicted.
     pub fn arrive(&mut self) {
         assert!(!self.pending, "arrive called twice without depart");
-        self.pending = true;
-        let home = self.barrier.homes[self.tid as usize];
-        self.barrier.signal(home);
+        if let Err(e) = self.try_arrive() {
+            panic!("barrier arrive failed: {e}");
+        }
+    }
+
+    /// Fallible arrival: errors with [`BarrierError::Poisoned`] or
+    /// [`BarrierError::Evicted`] instead of panicking.
+    pub fn try_arrive(&mut self) -> Result<(), BarrierError> {
+        assert!(!self.pending, "arrive called twice without depart");
+        let b = self.barrier;
+        if b.is_poisoned() {
+            return Err(BarrierError::Poisoned);
+        }
+        let target = self.epoch.wrapping_add(1);
+        match b.roster.try_arrive(self.tid, target) {
+            Arrival::Evicted => Err(BarrierError::Evicted),
+            Arrival::Claimed => {
+                self.pending = true;
+                if b.signal(b.homes[self.tid as usize]) {
+                    b.maintain();
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Blocks until the barrier releases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier becomes poisoned while waiting.
     pub fn depart(&mut self) {
         assert!(self.pending, "depart called without arrive");
-        self.pending = false;
-        self.epoch = self.epoch.wrapping_add(1);
-        wait_for_epoch(&self.barrier.epoch, self.epoch);
+        if let Err(e) = self.depart_deadline(None) {
+            panic!("barrier depart failed: {e}");
+        }
+    }
+
+    fn depart_deadline(&mut self, deadline: Option<Instant>) -> Result<(), BarrierError> {
+        assert!(self.pending, "depart called without arrive");
+        let b = self.barrier;
+        let target = self.epoch.wrapping_add(1);
+        match wait_for_epoch_fallible(&b.epoch, target, &b.poison, deadline) {
+            EpochWait::Released => {
+                self.epoch = target;
+                self.pending = false;
+                Ok(())
+            }
+            EpochWait::TimedOut => Err(BarrierError::Timeout),
+            EpochWait::Poisoned => Err(BarrierError::Poisoned),
+        }
+    }
+
+    fn wait_deadline(&mut self, deadline: Option<Instant>) -> Result<(), BarrierError> {
+        if !self.pending {
+            self.try_arrive()?;
+        }
+        self.depart_deadline(deadline)
     }
 
     /// A full barrier: `arrive` then `depart`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier is poisoned or this participant evicted.
     pub fn wait(&mut self) {
-        self.arrive();
-        self.depart();
+        if let Err(e) = self.wait_deadline(None) {
+            panic!("barrier wait failed: {e}");
+        }
+    }
+
+    /// A full barrier bounded by `timeout`.
+    ///
+    /// On [`BarrierError::Timeout`] the arrival stays registered: call
+    /// a wait method again to resume the same episode rather than
+    /// re-arriving. A timed-out waiter must not simply be dropped —
+    /// that poisons the barrier; retry, or have a peer evict it.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Result<(), BarrierError> {
+        self.wait_deadline(Some(Instant::now() + timeout))
+    }
+
+    /// Re-admission after eviction. On success the waiter is
+    /// mid-episode (its latest arrival was delivered by proxy):
+    /// complete it with a wait call, which departs without re-arriving.
+    /// Returns `Ok(false)` if this participant was not evicted.
+    pub fn rejoin(&mut self) -> Result<bool, BarrierError> {
+        let b = self.barrier;
+        if b.is_poisoned() {
+            return Err(BarrierError::Poisoned);
+        }
+        match b.roster.rejoin(self.tid) {
+            None => Ok(false),
+            Some(last) => {
+                self.epoch = last.wrapping_sub(1);
+                self.pending = true;
+                Ok(true)
+            }
+        }
     }
 
     /// This thread's id.
     pub fn tid(&self) -> u32 {
         self.tid
+    }
+}
+
+impl Drop for TreeWaiter<'_> {
+    fn drop(&mut self) {
+        if self.pending {
+            self.barrier.poison.store(1, Ordering::Release);
+        }
     }
 }
 
@@ -265,6 +428,50 @@ mod tests {
         for c in &b.counts {
             assert_eq!(c.load(Ordering::Relaxed), 0);
         }
+    }
+
+    #[test]
+    fn eviction_keeps_survivors_crossing_on_deep_trees() {
+        // The straggler sits on a deep leaf; its whole root path must be
+        // walked by proxy every episode.
+        let b = TreeBarrier::combining(8, 2);
+        let mut ws: Vec<_> = (0..7).map(|t| b.waiter(t)).collect();
+        for w in &mut ws {
+            w.try_arrive().unwrap();
+        }
+        assert_eq!(
+            ws[0].wait_timeout(Duration::from_millis(2)),
+            Err(BarrierError::Timeout)
+        );
+        assert_eq!(b.evict_stragglers(), vec![7]);
+        // The eviction's proxy released the in-flight episode; depart.
+        for w in &mut ws {
+            w.wait_timeout(Duration::from_millis(500)).unwrap();
+        }
+        // 120 further episodes, single-threaded: arrive all (the last
+        // arrival plus the maintained proxy releases), then depart all.
+        for _ in 0..120 {
+            for w in &mut ws {
+                w.try_arrive().unwrap();
+            }
+            for w in &mut ws {
+                w.wait_timeout(Duration::from_millis(500)).unwrap();
+            }
+        }
+        assert_eq!(b.evicted_count(), 1);
+        assert!(b.is_evicted(7));
+    }
+
+    #[test]
+    fn poisoning_propagates_to_tree_peers() {
+        let b = TreeBarrier::combining(3, 2);
+        {
+            let mut dying = b.waiter(0);
+            dying.try_arrive().unwrap();
+        }
+        assert!(b.is_poisoned());
+        let mut peer = b.waiter(1);
+        assert_eq!(peer.try_arrive(), Err(BarrierError::Poisoned));
     }
 
     #[test]

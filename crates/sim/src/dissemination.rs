@@ -60,7 +60,10 @@ pub fn run_dissemination(arrivals_us: &[f64], t_msg_us: f64) -> DisseminationRes
         }
         std::mem::swap(&mut t, &mut next);
     }
-    let last_arrival = arrivals_us.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let last_arrival = arrivals_us
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
     let complete = t.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     DisseminationResult {
         finish_us: t,
@@ -142,7 +145,10 @@ mod tests {
         let r = run_dissemination(&arrivals, t_msg);
         let max_arrival = arrivals.iter().copied().fold(0.0f64, f64::max);
         for (i, &f) in r.finish_us.iter().enumerate() {
-            assert!(f >= max_arrival + t_msg, "proc {i} finished before the last arrival");
+            assert!(
+                f >= max_arrival + t_msg,
+                "proc {i} finished before the last arrival"
+            );
             assert!(f >= arrivals[i] + r.rounds as f64 * t_msg);
         }
     }

@@ -84,7 +84,10 @@ impl EpisodeResult {
     /// difference to [`EpisodeResult::release_us`] is the broadcast
     /// cost the paper's definition sets aside.
     pub fn last_release_us(&self) -> f64 {
-        self.release_per_proc_us.iter().copied().fold(self.release_us, f64::max)
+        self.release_per_proc_us
+            .iter()
+            .copied()
+            .fold(self.release_us, f64::max)
     }
 }
 
@@ -493,10 +496,7 @@ mod tests {
         let arrivals: Vec<f64> = (0..16).map(|i| i as f64 * 2.0).collect();
         let r = run_episode(&topo, topo.homes(), &arrivals, tc());
         for (i, &t) in r.signal_done_us.iter().enumerate() {
-            assert!(
-                t >= arrivals[i] + TC,
-                "proc {i} signal_done {t} too early"
-            );
+            assert!(t >= arrivals[i] + TC, "proc {i} signal_done {t} too early");
             assert!(t <= r.release_us, "signalling cannot outlast release");
         }
     }
@@ -505,7 +505,9 @@ mod tests {
     fn top_win_prefers_highest_counter() {
         let topo = Topology::mcs(16, 2);
         // Make the processor homed deepest arrive last everywhere.
-        let deepest = (0..16u32).max_by_key(|&q| topo.path_len(topo.home_of(q))).unwrap();
+        let deepest = (0..16u32)
+            .max_by_key(|&q| topo.path_len(topo.home_of(q)))
+            .unwrap();
         let mut arrivals = vec![0.0; 16];
         arrivals[deepest as usize] = 100_000.0;
         let r = run_episode(&topo, topo.homes(), &arrivals, tc());
@@ -549,7 +551,11 @@ mod tests {
         let topo = Topology::combining(64, 4);
         let arrivals: Vec<f64> = (0..64).map(|i| i as f64 * 1000.0).collect();
         let r = run_episode(&topo, topo.homes(), &arrivals, tc());
-        assert!(r.level_wait_us.iter().all(|&w| w == 0.0), "{:?}", r.level_wait_us);
+        assert!(
+            r.level_wait_us.iter().all(|&w| w == 0.0),
+            "{:?}",
+            r.level_wait_us
+        );
     }
 
     /// Central flag: everyone released at once; wakeup tree: the root
@@ -559,7 +565,10 @@ mod tests {
         let topo = Topology::mcs(16, 2);
         let arrivals = vec![0.0; 16];
         let flag = run_episode(&topo, topo.homes(), &arrivals, tc());
-        assert!(flag.release_per_proc_us.iter().all(|&r| r == flag.release_us));
+        assert!(flag
+            .release_per_proc_us
+            .iter()
+            .all(|&r| r == flag.release_us));
         assert_eq!(flag.last_release_us(), flag.release_us);
 
         let notify = 5.0;
@@ -577,7 +586,10 @@ mod tests {
         for &r in &wake.release_per_proc_us {
             assert!(r > wake.release_us);
             let steps = (r - wake.release_us) / notify;
-            assert!((steps - steps.round()).abs() < 1e-9, "non-integral step {steps}");
+            assert!(
+                (steps - steps.round()).abs() < 1e-9,
+                "non-integral step {steps}"
+            );
             distinct.insert(steps.round() as u64);
         }
         assert!(distinct.len() > 4, "releases should be staggered");
@@ -615,7 +627,10 @@ mod tests {
         let (r, trace) = run_episode_traced(&topo, topo.homes(), &arrivals, tc(), 10_000);
         let events = trace.events();
         assert_eq!(trace.dropped(), 0);
-        let arrives = events.iter().filter(|e| e.kind == TraceKind::Arrive).count();
+        let arrives = events
+            .iter()
+            .filter(|e| e.kind == TraceKind::Arrive)
+            .count();
         let starts = events
             .iter()
             .filter(|e| matches!(e.kind, TraceKind::UpdateStart(_)))
@@ -624,13 +639,19 @@ mod tests {
             .iter()
             .filter(|e| matches!(e.kind, TraceKind::UpdateEnd(_)))
             .count();
-        let releases = events.iter().filter(|e| e.kind == TraceKind::Release).count();
+        let releases = events
+            .iter()
+            .filter(|e| e.kind == TraceKind::Release)
+            .count();
         assert_eq!(arrives, 16);
         assert_eq!(starts as u64, r.total_updates);
         assert_eq!(ends as u64, r.total_updates);
         assert_eq!(releases, 1);
         // the release is the last event and matches the result
-        let release_ev = events.iter().find(|e| e.kind == TraceKind::Release).unwrap();
+        let release_ev = events
+            .iter()
+            .find(|e| e.kind == TraceKind::Release)
+            .unwrap();
         assert_eq!(release_ev.time.as_us(), r.release_us);
         assert_eq!(release_ev.subject, r.releasing_proc);
         // renderable

@@ -178,8 +178,10 @@ pub fn run_iterations<W: WorkSource, R: Rng>(
         // Fuzzy-barrier chaining: slack after the signal, then enforce
         // (each processor departs when it *observes* the release).
         let slack = cfg.slack.as_us();
-        for ((b, &done), &released) in
-            begin.iter_mut().zip(&r.signal_done_us).zip(&r.release_per_proc_us)
+        for ((b, &done), &released) in begin
+            .iter_mut()
+            .zip(&r.signal_done_us)
+            .zip(&r.release_per_proc_us)
         {
             let ready = done + slack;
             if measured {
@@ -360,7 +362,12 @@ mod tests {
         let topo = Topology::ring_mcs(56, 4, 32);
         let mut w = Workload::iid_normal(9500.0, 110.0);
         let mut rng = Xoshiro256pp::seed_from_u64(13);
-        let rep = run_iterations(&topo, &cfg(2000.0, PlacementMode::Dynamic), &mut w, &mut rng);
+        let rep = run_iterations(
+            &topo,
+            &cfg(2000.0, PlacementMode::Dynamic),
+            &mut w,
+            &mut rng,
+        );
         assert!(rep.sync_delay.mean() > 0.0);
         // with 56 procs and slack the releasing depth should shrink
         // below the static tree depth of 4 (degree-4 over 32 + merge)

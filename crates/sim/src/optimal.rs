@@ -96,7 +96,10 @@ pub fn sweep_degrees(p: u32, degrees: &[u32], cfg: &SweepConfig) -> Vec<DegreeRe
             }
         })
         .collect();
-    let topos: Vec<Topology> = degrees.iter().map(|&d| build_tree(cfg.style, p, d)).collect();
+    let topos: Vec<Topology> = degrees
+        .iter()
+        .map(|&d| build_tree(cfg.style, p, d))
+        .collect();
 
     let reps = if cfg.sigma_us == 0.0 { 1 } else { cfg.reps };
     for rep in 0..reps {
@@ -221,12 +224,16 @@ mod tests {
 
     #[test]
     fn mcs_style_builds_and_runs() {
-        let res = sweep_degrees(64, &[2, 4, 8], &SweepConfig {
-            style: TreeStyle::Mcs,
-            sigma_us: 100.0,
-            reps: 5,
-            ..SweepConfig::default()
-        });
+        let res = sweep_degrees(
+            64,
+            &[2, 4, 8],
+            &SweepConfig {
+                style: TreeStyle::Mcs,
+                sigma_us: 100.0,
+                reps: 5,
+                ..SweepConfig::default()
+            },
+        );
         assert_eq!(res.len(), 3);
         assert!(res.iter().all(|r| r.sync_delay.mean() > 0.0));
     }

@@ -36,7 +36,11 @@ enum Kind {
     Systemic { noise_sigma_us: f64, bias: Vec<f64> },
     /// Per-processor bias performing a random walk with step `σ_w`,
     /// plus i.i.d. noise.
-    Evolving { noise_sigma_us: f64, walk_sigma_us: f64, bias: Vec<f64> },
+    Evolving {
+        noise_sigma_us: f64,
+        walk_sigma_us: f64,
+        bias: Vec<f64>,
+    },
     /// `mean + (Exp(1/σ) − σ)`: exponential right tail, mean `mean`,
     /// standard deviation `σ`.
     IidExponential { sigma_us: f64 },
@@ -49,7 +53,10 @@ impl Workload {
     /// I.i.d. normal work times `N(mean, σ²)` — the paper's main model.
     pub fn iid_normal(mean_us: f64, sigma_us: f64) -> Self {
         assert!(sigma_us >= 0.0, "sigma must be non-negative");
-        Self { mean_us, kind: Kind::IidNormal { sigma_us } }
+        Self {
+            mean_us,
+            kind: Kind::IidNormal { sigma_us },
+        }
     }
 
     /// Systemic imbalance: biases drawn once from `N(0, σ_b²)`, then
@@ -63,7 +70,13 @@ impl Workload {
     ) -> Self {
         let normal = Normal::new(0.0, bias_sigma_us).expect("valid bias sigma");
         let bias = normal.sample_vec(rng, p);
-        Self { mean_us, kind: Kind::Systemic { noise_sigma_us, bias } }
+        Self {
+            mean_us,
+            kind: Kind::Systemic {
+                noise_sigma_us,
+                bias,
+            },
+        }
     }
 
     /// Evolving imbalance: biases start at 0 and random-walk with step
@@ -71,7 +84,11 @@ impl Workload {
     pub fn evolving(p: usize, mean_us: f64, walk_sigma_us: f64, noise_sigma_us: f64) -> Self {
         Self {
             mean_us,
-            kind: Kind::Evolving { noise_sigma_us, walk_sigma_us, bias: vec![0.0; p] },
+            kind: Kind::Evolving {
+                noise_sigma_us,
+                walk_sigma_us,
+                bias: vec![0.0; p],
+            },
         }
     }
 
@@ -79,13 +96,22 @@ impl Workload {
     /// deviation σ.
     pub fn iid_exponential(mean_us: f64, sigma_us: f64) -> Self {
         assert!(sigma_us > 0.0, "sigma must be positive");
-        Self { mean_us, kind: Kind::IidExponential { sigma_us } }
+        Self {
+            mean_us,
+            kind: Kind::IidExponential { sigma_us },
+        }
     }
 
     /// Pareto-tailed work times: `shape > 2` keeps the variance finite.
     pub fn iid_pareto(mean_us: f64, scale_us: f64, shape: f64) -> Self {
-        assert!(scale_us > 0.0 && shape > 1.0, "need scale > 0 and shape > 1");
-        Self { mean_us, kind: Kind::IidPareto { scale_us, shape } }
+        assert!(
+            scale_us > 0.0 && shape > 1.0,
+            "need scale > 0 and shape > 1"
+        );
+        Self {
+            mean_us,
+            kind: Kind::IidPareto { scale_us, shape },
+        }
     }
 
     /// The nominal mean work time.
@@ -109,14 +135,21 @@ impl WorkSource for Workload {
                     *w = normal.sample(rng).max(0.0);
                 }
             }
-            Kind::Systemic { noise_sigma_us, bias } => {
+            Kind::Systemic {
+                noise_sigma_us,
+                bias,
+            } => {
                 assert_eq!(out.len(), bias.len(), "processor count mismatch");
                 let noise = Normal::new(0.0, *noise_sigma_us).expect("valid sigma");
                 for (w, &b) in out.iter_mut().zip(bias.iter()) {
                     *w = (self.mean_us + b + noise.sample(rng)).max(0.0);
                 }
             }
-            Kind::Evolving { noise_sigma_us, walk_sigma_us, bias } => {
+            Kind::Evolving {
+                noise_sigma_us,
+                walk_sigma_us,
+                bias,
+            } => {
                 assert_eq!(out.len(), bias.len(), "processor count mismatch");
                 let step = Normal::new(0.0, *walk_sigma_us).expect("valid sigma");
                 let noise = Normal::new(0.0, *noise_sigma_us).expect("valid sigma");

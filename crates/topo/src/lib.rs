@@ -145,7 +145,10 @@ impl Topology {
     /// single counter).
     pub fn combining(p: u32, d: u32) -> Self {
         assert!(p > 0, "need at least one processor");
-        assert!(d >= 2, "combining tree degree must be >= 2 (use flat for one counter)");
+        assert!(
+            d >= 2,
+            "combining tree degree must be >= 2 (use flat for one counter)"
+        );
         if d >= p {
             let mut t = Self::flat(p);
             t.kind = TopologyKind::Combining;
@@ -425,7 +428,10 @@ impl Topology {
 
     /// Iterator over the counters from `c` to the root, inclusive.
     pub fn path_to_root(&self, c: CounterId) -> PathToRoot<'_> {
-        PathToRoot { topo: self, next: Some(c) }
+        PathToRoot {
+            topo: self,
+            next: Some(c),
+        }
     }
 
     /// Checks structural invariants; used by tests and property tests.
@@ -718,7 +724,11 @@ mod tests {
 
     #[test]
     fn single_processor_topologies() {
-        for t in [Topology::flat(1), Topology::mcs(1, 4), Topology::ring_mcs(1, 4, 32)] {
+        for t in [
+            Topology::flat(1),
+            Topology::mcs(1, 4),
+            Topology::ring_mcs(1, 4, 32),
+        ] {
             t.validate().unwrap();
             assert_eq!(t.depth(), 1);
         }

@@ -67,7 +67,11 @@ impl Placement {
     /// construction-time home).
     pub fn initial(topo: &Topology) -> Self {
         let occupants = topo.nodes().iter().map(|n| n.procs.clone()).collect();
-        Self { home: topo.homes().to_vec(), occupants, swaps_applied: 0 }
+        Self {
+            home: topo.homes().to_vec(),
+            occupants,
+            swaps_applied: 0,
+        }
     }
 
     /// The current home counter of processor `p`.
@@ -143,7 +147,12 @@ impl Placement {
         self.occupants[old_home as usize][slot] = victim;
         self.home[victim as usize] = old_home;
         self.swaps_applied += 1;
-        Some(Swap { victor, victim, counter: target, old_home })
+        Some(Swap {
+            victor,
+            victim,
+            counter: target,
+            old_home,
+        })
     }
 
     /// Checks that the placement is consistent: every processor occupies
@@ -210,7 +219,9 @@ mod tests {
             .find(|&q| t.node(p.home(q)).children.is_empty())
             .expect("some proc lives on a leaf");
         let old_home = p.home(victor);
-        let swap = p.try_swap(&t, victor, root).expect("swap should be allowed");
+        let swap = p
+            .try_swap(&t, victor, root)
+            .expect("swap should be allowed");
         assert_eq!(swap.victim, old_owner);
         assert_eq!(p.home(victor), root);
         assert_eq!(p.owner(root), Some(victor));
@@ -298,13 +309,14 @@ mod tests {
         let mut p = Placement::initial(&t);
         let before = p.mean_depth(&t);
         // choose a deep victor
-        let victor = (0..64u32)
-            .max_by_key(|&q| t.path_len(p.home(q)))
-            .unwrap();
+        let victor = (0..64u32).max_by_key(|&q| t.path_len(p.home(q))).unwrap();
         let victor_depth_before = t.path_len(p.home(victor));
         p.try_swap(&t, victor, t.root()).unwrap();
         let after = p.mean_depth(&t);
-        assert!((after - before).abs() < 1e-12, "swap permutes, mean invariant");
+        assert!(
+            (after - before).abs() < 1e-12,
+            "swap permutes, mean invariant"
+        );
         assert_eq!(t.path_len(p.home(victor)), 1);
         assert!(victor_depth_before > 1);
     }

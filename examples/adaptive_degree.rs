@@ -77,10 +77,20 @@ fn simulated_demo() {
     for sigma_tc in [0.0, 12.5, 50.0, 100.0] {
         let sigma_us = sigma_tc * 20.0;
         let degree = advisor.recommend_for_sigma(sigma_us);
-        let cfg = SweepConfig { sigma_us, reps: 10, ..SweepConfig::default() };
+        let cfg = SweepConfig {
+            sigma_us,
+            reps: 10,
+            ..SweepConfig::default()
+        };
         let swept = sweep_degrees(4096, &[4, degree], &cfg);
-        let fixed = swept.iter().find(|r| r.degree == 4).expect("degree 4 swept");
-        let adapted = swept.iter().find(|r| r.degree == degree).expect("adapted swept");
+        let fixed = swept
+            .iter()
+            .find(|r| r.degree == 4)
+            .expect("degree 4 swept");
+        let adapted = swept
+            .iter()
+            .find(|r| r.degree == degree)
+            .expect("adapted swept");
         println!(
             "  {:>10} {:>12} {:>12.1}µs {:>12.1}µs",
             sigma_tc,

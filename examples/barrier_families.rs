@@ -31,7 +31,10 @@ fn main() {
     let episodes: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
 
     println!("barrier families: {threads} threads × {episodes} episodes\n");
-    println!("{:<22} {:>14} {:>18}", "barrier", "quiet µs/ep", "slow-thread µs/ep");
+    println!(
+        "{:<22} {:>14} {:>18}",
+        "barrier", "quiet µs/ep", "slow-thread µs/ep"
+    );
 
     let central = |slow: bool| {
         let b = CentralBarrier::new(threads);

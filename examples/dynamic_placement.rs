@@ -64,7 +64,10 @@ fn run_dynamic() -> f64 {
     );
     let all: Vec<u32> = depths.iter().map(|d| d.load(Ordering::Relaxed)).collect();
     println!("                    final depths per thread: {all:?}");
-    assert_eq!(slow_depth, 1, "the systematically slow thread should own the root");
+    assert_eq!(
+        slow_depth, 1,
+        "the systematically slow thread should own the root"
+    );
     elapsed
 }
 

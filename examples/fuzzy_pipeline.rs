@@ -102,8 +102,15 @@ fn main() {
         let rep = combar_sim::run_iterations(&topo, &cfg, &mut w, &mut rng);
         let mut rho = OnlineStats::new();
         for k in 0..rep.arrivals.len() - 1 {
-            rho.push(combar_rng::stats::spearman(&rep.arrivals[k], &rep.arrivals[k + 1]));
+            rho.push(combar_rng::stats::spearman(
+                &rep.arrivals[k],
+                &rep.arrivals[k + 1],
+            ));
         }
-        println!("  slack {:>6.1} ms → rank correlation ρ = {:.2}", slack_us / 1e3, rho.mean());
+        println!(
+            "  slack {:>6.1} ms → rank correlation ρ = {:.2}",
+            slack_us / 1e3,
+            rho.mean()
+        );
     }
 }

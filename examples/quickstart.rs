@@ -21,18 +21,28 @@ fn main() {
     println!("p = {p}, t_c = {tc_us} µs\n");
 
     // 1. The analytic model across imbalance levels.
-    println!("{:>10} {:>12} {:>16}", "σ/t_c", "est degree", "est delay (µs)");
+    println!(
+        "{:>10} {:>12} {:>16}",
+        "σ/t_c", "est degree", "est delay (µs)"
+    );
     for sigma_tc in [0.0, 1.6, 6.2, 12.5, 25.0, 100.0] {
         let model = BarrierModel::new(p, sigma_tc * tc_us, tc_us).expect("valid parameters");
         let best = model.estimate_optimal_degree();
-        println!("{:>10} {:>12} {:>16.1}", sigma_tc, best.degree, best.sync_delay_us);
+        println!(
+            "{:>10} {:>12} {:>16.1}",
+            sigma_tc, best.degree, best.sync_delay_us
+        );
     }
 
     // 2. Cross-check one point against the simulator.
     let sigma_us = 12.5 * tc_us;
     let model = BarrierModel::new(p, sigma_us, tc_us).expect("valid parameters");
     let est = model.estimate_optimal_degree();
-    let cfg = SweepConfig { sigma_us, reps: 20, ..SweepConfig::default() };
+    let cfg = SweepConfig {
+        sigma_us,
+        reps: 20,
+        ..SweepConfig::default()
+    };
     let swept = sweep_degrees(p, &full_tree_degrees(p), &cfg);
     let sim = optimal_degree(&swept);
     println!(

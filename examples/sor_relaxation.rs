@@ -50,8 +50,10 @@ fn main() {
     let barrier = TreeBarrier::combining(threads as u32, 4);
     let bands = partition_rows(n - 2, threads);
     let snapshot = RwLock::new(initial.clone());
-    let band_out: Vec<Mutex<Vec<f64>>> =
-        bands.iter().map(|&(_, len)| Mutex::new(vec![0.0; len * ny])).collect();
+    let band_out: Vec<Mutex<Vec<f64>>> = bands
+        .iter()
+        .map(|&(_, len)| Mutex::new(vec![0.0; len * ny]))
+        .collect();
     let residual_bits = AtomicU64::new(0);
 
     let t0 = std::time::Instant::now();
@@ -95,7 +97,10 @@ fn main() {
         .zip(&reference)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
-    assert_eq!(max_diff, 0.0, "parallel and sequential sweeps must agree exactly");
+    assert_eq!(
+        max_diff, 0.0,
+        "parallel and sequential sweeps must agree exactly"
+    );
 
     let residual = f64::from_bits(residual_bits.load(Ordering::Relaxed));
     println!(

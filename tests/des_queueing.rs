@@ -20,7 +20,10 @@ fn mm1_mean_wait(lambda: f64, mu: f64, customers: usize, seed: u64) -> f64 {
     let warmup = customers / 10;
     for i in 0..customers {
         t += inter.sample(&mut rng);
-        let svc = server.serve(SimTime::from_us(t), Duration::from_us(service.sample(&mut rng)));
+        let svc = server.serve(
+            SimTime::from_us(t),
+            Duration::from_us(service.sample(&mut rng)),
+        );
         if i >= warmup {
             total_wait += svc.queueing_delay().as_us();
         }
@@ -104,8 +107,10 @@ fn mmc_wait_matches_erlang_c() {
         let warmup = n / 10;
         for i in 0..n {
             t += inter.sample(&mut rng);
-            let svc = resource
-                .serve(SimTime::from_us(t), Duration::from_us(service.sample(&mut rng)));
+            let svc = resource.serve(
+                SimTime::from_us(t),
+                Duration::from_us(service.sample(&mut rng)),
+            );
             if i >= warmup {
                 total_wait += svc.queueing_delay().as_us();
             }
@@ -176,7 +181,11 @@ fn littles_law_holds_through_the_engine() {
     let w = st.total_sojourn / st.completed as f64; // mean sojourn
     let lambda_hat = st.completed as f64 / end;
     let little_gap = (l - lambda_hat * w).abs() / l;
-    assert!(little_gap < 0.02, "L = {l:.4} vs λW = {:.4}", lambda_hat * w);
+    assert!(
+        little_gap < 0.02,
+        "L = {l:.4} vs λW = {:.4}",
+        lambda_hat * w
+    );
     // and the M/M/1 sojourn W = 1/(µ−λ) = 2
     assert!((w - 2.0).abs() / 2.0 < 0.05, "W = {w:.3}");
 }

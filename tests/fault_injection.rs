@@ -1,0 +1,360 @@
+//! Integration: the fault model across every barrier of `combar-rt` —
+//! bounded timeouts, panic poisoning, graceful degradation through
+//! eviction, and deterministic chaos soaks driven by `combar-chaos`.
+
+use combar_chaos::{ChaosConfig, DeathMode, FaultPlan};
+use combar_rt::harness::{chaos_torture, lockstep_torture, Stagger};
+use combar_rt::{
+    AdaptiveBarrier, BarrierError, BlockingBarrier, CentralBarrier, DisseminationBarrier,
+    DynamicBarrier, TournamentBarrier, TreeBarrier,
+};
+use std::time::Duration;
+
+const SHORT: Duration = Duration::from_millis(20);
+const STEP: Duration = Duration::from_millis(100);
+const LONG: Duration = Duration::from_secs(10);
+
+fn transient_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(ChaosConfig {
+        seed,
+        stall_prob: 0.10,
+        max_stall_us: 150,
+        yield_prob: 0.15,
+        max_yields: 6,
+        spurious_prob: 0.10,
+        ..ChaosConfig::default()
+    })
+}
+
+/// A deadline must surface as `Timeout` on every barrier kind when a
+/// peer never arrives — and leave the arrival intact for a retry.
+#[test]
+fn wait_timeout_reports_timeout_on_every_kind() {
+    fn expect_timeout(r: Result<(), BarrierError>) {
+        assert_eq!(r, Err(BarrierError::Timeout));
+    }
+    let b = CentralBarrier::new(2);
+    expect_timeout(b.waiter_for(0).wait_timeout(SHORT));
+    let b = TreeBarrier::combining(3, 2);
+    expect_timeout(b.waiter(0).wait_timeout(SHORT));
+    let b = TreeBarrier::mcs(3, 2);
+    expect_timeout(b.waiter(1).wait_timeout(SHORT));
+    let b = DynamicBarrier::mcs(3, 2);
+    expect_timeout(b.waiter(0).wait_timeout(SHORT));
+    let b = DisseminationBarrier::new(2);
+    expect_timeout(b.waiter(0).wait_timeout(SHORT));
+    let b = TournamentBarrier::new(2);
+    expect_timeout(b.waiter(0).wait_timeout(SHORT));
+    let b = BlockingBarrier::new(2);
+    expect_timeout(b.waiter_for(0).wait_timeout(SHORT));
+    let b = AdaptiveBarrier::new(2, &[2], 4, Box::new(|_, _| 0));
+    expect_timeout(b.waiter(0).wait_timeout(SHORT));
+}
+
+/// A timed-out arrival stays registered: once the peer shows up, the
+/// retried wait completes the same episode (no double arrival).
+#[test]
+fn timeout_then_retry_resumes_the_same_episode() {
+    let b = TreeBarrier::combining(2, 2);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut w = b.waiter(0);
+            assert_eq!(w.wait_timeout(SHORT), Err(BarrierError::Timeout));
+            assert_eq!(w.wait_timeout(LONG), Ok(()));
+        });
+        s.spawn(|| {
+            let mut w = b.waiter(1);
+            std::thread::sleep(SHORT * 3);
+            assert_eq!(w.wait_timeout(LONG), Ok(()));
+        });
+    });
+}
+
+/// Dropping a waiter mid-episode (what an unwinding panic does)
+/// poisons the barrier for every peer, on every kind.
+#[test]
+fn dropped_mid_episode_waiter_poisons_every_kind() {
+    let b = CentralBarrier::new(2);
+    {
+        let mut w = b.waiter_for(0);
+        assert_eq!(w.wait_timeout(SHORT), Err(BarrierError::Timeout));
+    }
+    assert!(b.is_poisoned());
+    assert_eq!(
+        b.waiter_for(1).wait_timeout(SHORT),
+        Err(BarrierError::Poisoned)
+    );
+
+    let b = TreeBarrier::combining(3, 2);
+    {
+        let mut w = b.waiter(0);
+        assert_eq!(w.wait_timeout(SHORT), Err(BarrierError::Timeout));
+    }
+    assert!(b.is_poisoned());
+    assert_eq!(b.waiter(1).wait_timeout(SHORT), Err(BarrierError::Poisoned));
+
+    let b = DynamicBarrier::mcs(3, 2);
+    {
+        let mut w = b.waiter(2);
+        assert_eq!(w.wait_timeout(SHORT), Err(BarrierError::Timeout));
+    }
+    assert!(b.is_poisoned());
+    assert_eq!(b.waiter(0).wait_timeout(SHORT), Err(BarrierError::Poisoned));
+
+    let b = DisseminationBarrier::new(3);
+    {
+        let mut w = b.waiter(0);
+        assert_eq!(w.wait_timeout(SHORT), Err(BarrierError::Timeout));
+    }
+    assert!(b.is_poisoned());
+    assert_eq!(b.waiter(1).wait_timeout(SHORT), Err(BarrierError::Poisoned));
+
+    let b = TournamentBarrier::new(3);
+    {
+        let mut w = b.waiter(1);
+        assert_eq!(w.wait_timeout(SHORT), Err(BarrierError::Timeout));
+    }
+    assert!(b.is_poisoned());
+    assert_eq!(b.waiter(0).wait_timeout(SHORT), Err(BarrierError::Poisoned));
+
+    let b = BlockingBarrier::new(2);
+    {
+        let mut w = b.waiter_for(0);
+        assert_eq!(w.wait_timeout(SHORT), Err(BarrierError::Timeout));
+    }
+    assert!(b.is_poisoned());
+    assert_eq!(
+        b.waiter_for(1).wait_timeout(SHORT),
+        Err(BarrierError::Poisoned)
+    );
+
+    let b = AdaptiveBarrier::new(2, &[2], 4, Box::new(|_, _| 0));
+    {
+        let mut w = b.waiter(0);
+        assert_eq!(w.wait_timeout(SHORT), Err(BarrierError::Timeout));
+    }
+    assert!(b.is_poisoned());
+    assert_eq!(b.waiter(1).wait_timeout(SHORT), Err(BarrierError::Poisoned));
+}
+
+/// Graceful degradation: with one participant silent from the start,
+/// the survivors evict it and complete 100 further episodes — on every
+/// evictable (counter-tree) kind.
+#[test]
+fn eviction_lets_survivors_complete_100_episodes() {
+    const P: u32 = 3;
+    const EPISODES: u32 = 100;
+
+    fn survive<S, R>(make: impl Fn(u32) -> (S, R) + Sync)
+    where
+        S: FnMut(Duration) -> Result<(), BarrierError> + Send,
+        R: FnMut() -> Vec<u32> + Send,
+    {
+        std::thread::scope(|s| {
+            for tid in 0..P - 1 {
+                let (mut step, mut rescue) = make(tid);
+                s.spawn(move || {
+                    for _ in 0..EPISODES {
+                        loop {
+                            match step(STEP) {
+                                Ok(()) => break,
+                                Err(BarrierError::Timeout) => {
+                                    rescue();
+                                }
+                                Err(e) => panic!("survivor hit {e}"),
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    let b = CentralBarrier::new(P);
+    survive(|tid| {
+        let b = &b;
+        let mut w = b.waiter_for(tid);
+        (move |d| w.wait_timeout(d), move || b.evict_stragglers())
+    });
+    assert_eq!(b.evicted_count(), 1);
+
+    let b = TreeBarrier::combining(P, 2);
+    survive(|tid| {
+        let b = &b;
+        let mut w = b.waiter(tid);
+        (move |d| w.wait_timeout(d), move || b.evict_stragglers())
+    });
+    assert!(b.is_evicted(P - 1));
+
+    let b = TreeBarrier::mcs(P, 2);
+    survive(|tid| {
+        let b = &b;
+        let mut w = b.waiter(tid);
+        (move |d| w.wait_timeout(d), move || b.evict_stragglers())
+    });
+    assert!(b.is_evicted(P - 1));
+
+    let b = DynamicBarrier::mcs(P, 2);
+    survive(|tid| {
+        let b = &b;
+        let mut w = b.waiter(tid);
+        (move |d| w.wait_timeout(d), move || b.evict_stragglers())
+    });
+    assert!(b.is_evicted(P - 1));
+
+    let b = BlockingBarrier::new(P);
+    survive(|tid| {
+        let b = &b;
+        let mut w = b.waiter_for(tid);
+        (move |d| w.wait_timeout(d), move || b.evict_stragglers())
+    });
+    assert!(b.is_evicted(P - 1));
+
+    let b = AdaptiveBarrier::new(P, &[2], 4, Box::new(|_, _| 0));
+    survive(|tid| {
+        let b = &b;
+        let mut w = b.waiter(tid);
+        (move |d| w.wait_timeout(d), move || b.evict_stragglers())
+    });
+    assert_eq!(b.evicted_count(), 1);
+}
+
+/// An evicted thread can re-admit itself and the barrier returns to
+/// full strength (counter-tree kinds with rejoin support).
+#[test]
+fn evicted_thread_rejoins_at_full_strength() {
+    let b = TreeBarrier::combining(2, 2);
+    let mut w1 = b.waiter(1);
+    assert_eq!(w1.wait_timeout(SHORT), Err(BarrierError::Timeout));
+    // survivor evicts the straggler (tid 0, which never arrived)
+    assert_eq!(b.evict_stragglers(), vec![0]);
+    assert_eq!(w1.wait_timeout(LONG), Ok(()));
+    for _ in 0..10 {
+        assert_eq!(w1.wait_timeout(LONG), Ok(()));
+    }
+    // the corpse revives and rejoins; both now required again
+    let mut w0 = b.waiter(0);
+    assert!(w0.rejoin().expect("rejoin"));
+    assert_eq!(b.evicted_count(), 0);
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            for _ in 0..10 {
+                assert_eq!(w0.wait_timeout(LONG), Ok(()));
+            }
+        });
+        s.spawn(move || {
+            for _ in 0..10 {
+                assert_eq!(w1.wait_timeout(LONG), Ok(()));
+            }
+        });
+    });
+}
+
+/// Fixed-seed transient chaos soak: stalls, yield storms, and spurious
+/// wakeups over every barrier kind, asserting lockstep throughout.
+#[test]
+fn chaos_soak_keeps_lockstep_on_every_kind() {
+    const P: u32 = 4;
+    const EPISODES: u32 = 60;
+    let chaos = Stagger::Chaos(transient_plan(0x50AC));
+
+    let b = CentralBarrier::new(P);
+    lockstep_torture(P, EPISODES, chaos, |tid| {
+        let mut w = b.waiter_for(tid);
+        move || w.wait_timeout(LONG)
+    });
+    let b = TreeBarrier::combining(P, 2);
+    lockstep_torture(P, EPISODES, chaos, |tid| {
+        let mut w = b.waiter(tid);
+        move || w.wait_timeout(LONG)
+    });
+    let b = TreeBarrier::mcs(P, 2);
+    lockstep_torture(P, EPISODES, chaos, |tid| {
+        let mut w = b.waiter(tid);
+        move || w.wait_timeout(LONG)
+    });
+    let b = DynamicBarrier::mcs(P, 2);
+    lockstep_torture(P, EPISODES, chaos, |tid| {
+        let mut w = b.waiter(tid);
+        move || w.wait_timeout(LONG)
+    });
+    let b = DisseminationBarrier::new(P);
+    lockstep_torture(P, EPISODES, chaos, |tid| {
+        let mut w = b.waiter(tid);
+        move || w.wait_timeout(LONG)
+    });
+    let b = TournamentBarrier::new(P);
+    lockstep_torture(P, EPISODES, chaos, |tid| {
+        let mut w = b.waiter(tid);
+        move || w.wait_timeout(LONG)
+    });
+    let b = BlockingBarrier::new(P);
+    lockstep_torture(P, EPISODES, chaos, |tid| {
+        let mut w = b.waiter_for(tid);
+        move || w.wait_timeout(LONG)
+    });
+    let b = AdaptiveBarrier::new(P, &[2, 4], 5, Box::new(|_, _| 0));
+    lockstep_torture(P, EPISODES, chaos, |tid| {
+        let mut w = b.waiter(tid);
+        move || w.wait_timeout(LONG)
+    });
+}
+
+/// Chaos soak with a scripted death: survivors stay in lockstep and
+/// finish every episode after evicting the corpse.
+#[test]
+fn chaos_soak_with_death_keeps_survivors_in_lockstep() {
+    const P: u32 = 4;
+    const EPISODES: u32 = 50;
+    let plan = FaultPlan::quiet(0xDEAD).with_death(1, 12, DeathMode::Stall);
+
+    let b = TreeBarrier::combining(P, 2);
+    let report = chaos_torture(P, EPISODES, plan, STEP, |tid| {
+        let b = &b;
+        let mut w = b.waiter(tid);
+        (move |d| w.wait_timeout(d), move || b.evict_stragglers())
+    });
+    assert_eq!(report.survivors, P - 1);
+    assert_eq!(report.completed[1], 12);
+    for tid in [0usize, 2, 3] {
+        assert_eq!(report.completed[tid], EPISODES, "tid {tid}");
+    }
+    assert!(report.evictions >= 1);
+    assert!(report.max_skew <= 1);
+    assert!(!report.poisoned);
+
+    let b = DynamicBarrier::mcs(P, 2);
+    let report = chaos_torture(P, EPISODES, plan, STEP, |tid| {
+        let b = &b;
+        let mut w = b.waiter(tid);
+        (move |d| w.wait_timeout(d), move || b.evict_stragglers())
+    });
+    assert_eq!(report.survivors, P - 1);
+    for tid in [0usize, 2, 3] {
+        assert_eq!(report.completed[tid], EPISODES, "tid {tid}");
+    }
+}
+
+/// Determinism: the same plan replayed twice yields bit-identical
+/// fault schedules, and distinct seeds diverge.
+#[test]
+fn fault_plans_replay_identically() {
+    let cfg = ChaosConfig {
+        seed: 0xBEEF,
+        stall_prob: 0.15,
+        max_stall_us: 300,
+        yield_prob: 0.15,
+        max_yields: 10,
+        spurious_prob: 0.05,
+        ..ChaosConfig::default()
+    };
+    let a = FaultPlan::new(cfg).with_death(3, 40, DeathMode::Panic);
+    let b = FaultPlan::new(cfg).with_death(3, 40, DeathMode::Panic);
+    assert_eq!(a.schedule(8, 128), b.schedule(8, 128));
+    assert_eq!(a.death_episode(3), Some(40));
+    let c = FaultPlan::new(ChaosConfig {
+        seed: 0xBEF0,
+        ..cfg
+    });
+    assert_ne!(a.schedule(8, 128), c.schedule(8, 128));
+}

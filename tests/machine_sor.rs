@@ -39,12 +39,20 @@ fn larger_dy_flips_the_degree_comparison() {
             mode: PlacementMode::Static,
             ..IterateConfig::default()
         };
-        run_iterations(&topo, &cfg, &mut work, &mut rng).sync_delay.mean()
+        run_iterations(&topo, &cfg, &mut work, &mut rng)
+            .sync_delay
+            .mean()
     };
     // tiny variance: degree 4 should beat a flat-ish degree-32 tree
-    assert!(delay(4, 30) < delay(32, 30), "low σ should favor narrow trees");
+    assert!(
+        delay(4, 30) < delay(32, 30),
+        "low σ should favor narrow trees"
+    );
     // large variance: degree 32 should beat degree 4
-    assert!(delay(32, 840) < delay(4, 840), "high σ should favor wide trees");
+    assert!(
+        delay(32, 840) < delay(4, 840),
+        "high σ should favor wide trees"
+    );
 }
 
 /// Figure 13's zero-slack penalty: on the modelled KSR1, dynamic

@@ -5,9 +5,7 @@
 use combar::model::{BarrierModel, LastArrival};
 use combar::presets::TC_US;
 use combar_des::Duration;
-use combar_sim::{
-    full_tree_degrees, optimal_degree, sweep_degrees, SweepConfig, TreeStyle,
-};
+use combar_sim::{full_tree_degrees, optimal_degree, sweep_degrees, SweepConfig, TreeStyle};
 
 fn sweep(p: u32, sigma_tc: f64, degrees: &[u32], reps: usize) -> Vec<combar_sim::DegreeResult> {
     let cfg = SweepConfig {
@@ -62,7 +60,10 @@ fn estimated_degree_costs_single_digit_percent_on_average() {
         }
     }
     let mean = gaps.iter().sum::<f64>() / gaps.len() as f64 * 100.0;
-    assert!(mean < 20.0, "mean estimation premium {mean:.1}% (paper ~7%)");
+    assert!(
+        mean < 20.0,
+        "mean estimation premium {mean:.1}% (paper ~7%)"
+    );
 }
 
 /// Both the model and the simulator move the optimum wider as σ grows
@@ -158,5 +159,8 @@ fn mcs_advantage_exists_then_vanishes() {
     let adv4 = comb[0].sync_delay.mean() / mcs[0].sync_delay.mean();
     let adv32 = comb[1].sync_delay.mean() / mcs[1].sync_delay.mean();
     assert!(adv4 > 1.0, "MCS should win at degree 4 (got {adv4})");
-    assert!(adv4 >= adv32 - 0.02, "advantage should not grow with degree");
+    assert!(
+        adv4 >= adv32 - 0.02,
+        "advantage should not grow with degree"
+    );
 }

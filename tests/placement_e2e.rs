@@ -3,9 +3,7 @@
 
 use combar_des::Duration;
 use combar_rng::{SeedableRng, Xoshiro256pp};
-use combar_sim::{
-    run_iterations, IterateConfig, IterateReport, PlacementMode, Topology, Workload,
-};
+use combar_sim::{run_iterations, IterateConfig, IterateReport, PlacementMode, Topology, Workload};
 
 fn run(
     topo: &Topology,
@@ -47,10 +45,18 @@ fn figure8_shape_holds_at_512() {
         assert!(dynamic.comm_overhead() <= bound + 1e-9);
         assert!(dynamic.comm_overhead() >= 1.0);
     }
-    assert!(depths.last().unwrap() < &1.7, "ample slack depth {:?}", depths);
+    assert!(
+        depths.last().unwrap() < &1.7,
+        "ample slack depth {:?}",
+        depths
+    );
     assert!(depths.last().unwrap() < &depths[0]);
     assert!(speedups.last().unwrap() > &2.0, "speedups {speedups:?}");
-    assert!((0.8..1.3).contains(&speedups[0]), "slack-0 speedup {}", speedups[0]);
+    assert!(
+        (0.8..1.3).contains(&speedups[0]),
+        "slack-0 speedup {}",
+        speedups[0]
+    );
 }
 
 /// Under *systemic* imbalance (fixed slow processors), dynamic

@@ -19,7 +19,10 @@ fn byte_chi_square<R: Rng>(rng: &mut R, words: usize) -> f64 {
     }
     let total = (words * 8) as f64;
     let expect = total / 256.0;
-    counts.iter().map(|&c| (c as f64 - expect).powi(2) / expect).sum()
+    counts
+        .iter()
+        .map(|&c| (c as f64 - expect).powi(2) / expect)
+        .sum()
 }
 
 /// For 255 degrees of freedom, the chi-square statistic should lie in
@@ -44,7 +47,12 @@ fn unit_outputs_are_uniform() {
     let mut rng = Xoshiro256pp::seed_from_u64(4);
     let data: Vec<f64> = (0..20_000).map(|_| rng.next_f64()).collect();
     let res = ks_test(&data, |x| x.clamp(0.0, 1.0));
-    assert!(res.consistent_at(0.01), "D = {}, p = {}", res.statistic, res.p_value);
+    assert!(
+        res.consistent_at(0.01),
+        "D = {}, p = {}",
+        res.statistic,
+        res.p_value
+    );
 }
 
 /// Successive outputs must be uncorrelated at several lags.
@@ -70,7 +78,11 @@ fn adjacent_seeds_are_decorrelated() {
         let va: Vec<f64> = (0..20_000).map(|_| a.next_f64()).collect();
         let vb: Vec<f64> = (0..20_000).map(|_| b.next_f64()).collect();
         let r = pearson(&va, &vb);
-        assert!(r.abs() < 0.02, "seeds {base}/{}: r = {r}", base.wrapping_add(1));
+        assert!(
+            r.abs() < 0.02,
+            "seeds {base}/{}: r = {r}",
+            base.wrapping_add(1)
+        );
     }
 }
 
@@ -104,7 +116,10 @@ fn bounded_sampling_is_unbiased() {
         counts[rng.next_below(bound) as usize] += 1;
     }
     let expect = n as f64 / bound as f64;
-    let chi: f64 = counts.iter().map(|&c| (c as f64 - expect).powi(2) / expect).sum();
+    let chi: f64 = counts
+        .iter()
+        .map(|&c| (c as f64 - expect).powi(2) / expect)
+        .sum();
     // 64 dof: 99.9 % band ≈ [30, 110]
     assert!((25.0..115.0).contains(&chi), "χ² = {chi}");
 }

@@ -4,22 +4,29 @@
 use combar::model_policy;
 use combar_rt::harness::{lockstep_torture, Stagger};
 use combar_rt::{
-    AdaptiveBarrier, CentralBarrier, DisseminationBarrier, DynamicBarrier, FuzzyWaiter,
-    TournamentBarrier, TreeBarrier,
+    AdaptiveBarrier, BarrierError, CentralBarrier, DisseminationBarrier, DynamicBarrier,
+    FuzzyWaiter, TournamentBarrier, TreeBarrier,
 };
 use combar_topo::Topology;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
 
 const EPISODES: u32 = 120;
+/// Bounded step so the harness watchdog/abort machinery can drain a
+/// wedged run instead of hanging the test binary.
+const STEP: Duration = Duration::from_secs(5);
 
 /// The shared soak harness, with this file's historical call shape.
 fn torture<F, G>(p: usize, stagger: bool, make: F)
 where
     F: Fn(u32) -> G + Sync,
-    G: FnMut() + Send,
+    G: FnMut() -> Result<(), BarrierError> + Send,
 {
-    let mode = if stagger { Stagger::Mixed } else { Stagger::None };
+    let mode = if stagger {
+        Stagger::Mixed
+    } else {
+        Stagger::None
+    };
     let report = lockstep_torture(p as u32, EPISODES, mode, make);
     assert_eq!(report.episodes, EPISODES);
     assert!(report.max_skew <= 1);
@@ -31,7 +38,7 @@ fn central_barrier_lockstep() {
         let b = CentralBarrier::new(p as u32);
         torture(p, true, |_| {
             let mut w = b.waiter();
-            move || w.wait()
+            move || w.wait_timeout(STEP)
         });
     }
 }
@@ -42,7 +49,7 @@ fn combining_tree_lockstep_various_degrees() {
         let b = TreeBarrier::combining(p as u32, d);
         torture(p, true, |tid| {
             let mut w = b.waiter(tid);
-            move || w.wait()
+            move || w.wait_timeout(STEP)
         });
     }
 }
@@ -52,13 +59,13 @@ fn mcs_and_ring_tree_lockstep() {
     let b = TreeBarrier::mcs(7, 2);
     torture(7, true, |tid| {
         let mut w = b.waiter(tid);
-        move || w.wait()
+        move || w.wait_timeout(STEP)
     });
     let topo = Topology::ring_mcs(8, 2, 4);
     let b = TreeBarrier::from_topology(&topo);
     torture(8, true, |tid| {
         let mut w = b.waiter(tid);
-        move || w.wait()
+        move || w.wait_timeout(STEP)
     });
 }
 
@@ -68,7 +75,7 @@ fn dissemination_barrier_lockstep() {
         let b = DisseminationBarrier::new(p as u32);
         torture(p, true, |tid| {
             let mut w = b.waiter(tid);
-            move || w.wait()
+            move || w.wait_timeout(STEP)
         });
     }
 }
@@ -79,7 +86,7 @@ fn tournament_barrier_lockstep() {
         let b = TournamentBarrier::new(p as u32);
         torture(p, true, |tid| {
             let mut w = b.waiter(tid);
-            move || w.wait()
+            move || w.wait_timeout(STEP)
         });
     }
 }
@@ -90,7 +97,7 @@ fn dynamic_barrier_lockstep_while_swapping() {
         let b = DynamicBarrier::mcs(p as u32, d);
         torture(p, true, |tid| {
             let mut w = b.waiter(tid);
-            move || w.wait()
+            move || w.wait_timeout(STEP)
         });
         // staggering makes different threads slow in different
         // episodes, so swaps definitely happened
@@ -104,7 +111,7 @@ fn adaptive_barrier_lockstep_with_model_policy() {
     let b = AdaptiveBarrier::new(p as u32, &[2, 4], 5, model_policy(20.0));
     torture(p, true, |tid| {
         let mut w = b.waiter(tid);
-        move || w.wait()
+        move || w.wait_timeout(STEP)
     });
 }
 
@@ -168,7 +175,11 @@ fn dynamic_migration_matches_paper_mechanism() {
             });
         }
     });
-    assert_eq!(depth_after.load(Ordering::Relaxed), 1, "slow thread owns the root");
+    assert_eq!(
+        depth_after.load(Ordering::Relaxed),
+        1,
+        "slow thread owns the root"
+    );
 }
 
 /// Mixed workload churn: threads repeatedly create fresh waiters for
