@@ -301,7 +301,7 @@ pub fn timeline_of(plan: &FaultPlan, p: u32, episodes: u32) -> FaultTimeline {
 /// and serialize `t_c = 20 µs` updates through one FIFO counter. The
 /// death episode additionally pays the detection timeout before the
 /// eviction lands.
-fn simulate(preset: &ChaosPreset) -> SimDegradation {
+pub fn simulate(preset: &ChaosPreset) -> SimDegradation {
     let tc = SimDuration::from_us(20.0);
     let timeline = timeline_of(&preset.death_plan(), preset.p, preset.episodes);
     let spread = Normal::new(1_000.0, 250.0).expect("valid sigma");
@@ -389,26 +389,33 @@ impl ChaosResult {
             ]);
         }
         let mut s = t.render();
-        let mut d = Table::new(
-            "chaos: DES replay, central counter sync delay (t_c = 20µs)",
-            &["phase", "sync delay"],
-        );
-        d.row(vec![
-            "healthy (pre-death)".into(),
-            format!("{:.1}µs", self.sim.healthy_us),
-        ]);
-        d.row(vec![
-            "death episode (detection)".into(),
-            format!("{:.1}µs", self.sim.detect_us),
-        ]);
-        d.row(vec![
-            "evicted (post-death)".into(),
-            format!("{:.1}µs", self.sim.degraded_us),
-        ]);
         s.push('\n');
-        s.push_str(&d.render());
+        s.push_str(&render_des(&self.sim));
         s
     }
+}
+
+/// Renders the DES-companion table on its own. Unlike the threaded
+/// survival matrix this half is a pure function of the preset (seeded
+/// RNG, virtual time), which is what makes it snapshot-testable.
+pub fn render_des(sim: &SimDegradation) -> String {
+    let mut d = Table::new(
+        "chaos: DES replay, central counter sync delay (t_c = 20µs)",
+        &["phase", "sync delay"],
+    );
+    d.row(vec![
+        "healthy (pre-death)".into(),
+        format!("{:.1}µs", sim.healthy_us),
+    ]);
+    d.row(vec![
+        "death episode (detection)".into(),
+        format!("{:.1}µs", sim.detect_us),
+    ]);
+    d.row(vec![
+        "evicted (post-death)".into(),
+        format!("{:.1}µs", sim.degraded_us),
+    ]);
+    d.render()
 }
 
 #[cfg(test)]

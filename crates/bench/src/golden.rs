@@ -1,0 +1,60 @@
+//! Golden-snapshot renderings of the flagship experiment tables.
+//!
+//! Each function here is a *small, fully deterministic* variant of an
+//! experiment the `experiments` binary prints: the RNG is seeded with
+//! the repository-wide [`SEED`](crate::experiments::SEED), time is DES
+//! virtual time, and nothing reads a wall clock — so the rendered
+//! table is byte-identical on every run. `tests/golden.rs` diffs these
+//! against the snapshots checked in under `crates/bench/tests/golden/`,
+//! which turns any unintended change to the simulator, the analytic
+//! model, or the table renderer into a visible CI diff.
+//!
+//! After an *intended* change, regenerate the snapshots with
+//!
+//! ```text
+//! COMBAR_BLESS=1 cargo test -p combar-bench --test golden
+//! ```
+//!
+//! and commit the updated files alongside the change that caused them.
+//!
+//! The chaos experiment's threaded survival matrix measures wall time
+//! and is excluded; its DES companion (the replayed fault timeline) is
+//! deterministic and snapshotted via [`chaos_des_small`].
+
+use crate::experiments::{chaos, fig2, fig8, SEED};
+use combar::presets::{Fig2, Fig8};
+use std::time::Duration;
+
+/// Figure 2 (sync delay vs degree) at 256 processors, 4 replications.
+pub fn fig2_small() -> String {
+    fig2::run(&Fig2 {
+        p: 256,
+        reps: 4,
+        ..Fig2::default()
+    })
+    .render()
+}
+
+/// Figure 8 (dynamic placement) at 128 processors, degree 4, two
+/// slack points.
+pub fn fig8_small() -> String {
+    fig8::run(&Fig8 {
+        p: 128,
+        slacks_us: vec![0.0, 4_000.0],
+        degrees: vec![4],
+        iterations: 40,
+        warmup: 5,
+        ..Fig8::default()
+    })
+    .render()
+}
+
+/// The chaos experiment's DES companion: the fault timeline replayed
+/// against the simulated central counter.
+pub fn chaos_des_small() -> String {
+    let preset = chaos::ChaosPreset {
+        step: Duration::from_millis(10),
+        ..chaos::ChaosPreset::quick(SEED)
+    };
+    chaos::render_des(&chaos::simulate(&preset))
+}

@@ -6,6 +6,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod golden;
 pub mod table;
 pub mod timing;
 pub mod verify;

@@ -1,0 +1,79 @@
+//! Byte-exact snapshot tests over the deterministic experiment
+//! renderings in `combar_bench::golden`.
+//!
+//! A failure prints both versions; if the change was intended,
+//! re-bless with `COMBAR_BLESS=1 cargo test -p combar-bench --test
+//! golden` and commit the updated snapshot.
+
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("COMBAR_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             COMBAR_BLESS=1 cargo test -p combar-bench --test golden",
+            path.display()
+        )
+    });
+    if expected != *actual {
+        let first_diff = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map(|i| i + 1);
+        panic!(
+            "golden snapshot {name} differs (first differing line: {:?})\n\
+             --- expected ---\n{expected}\n--- actual ---\n{actual}\n\
+             If the change is intended, re-bless with COMBAR_BLESS=1.",
+            first_diff
+        );
+    }
+}
+
+#[test]
+fn fig2_table_is_stable() {
+    check("fig2_small.txt", &combar_bench::golden::fig2_small());
+}
+
+#[test]
+fn fig8_table_is_stable() {
+    check("fig8_small.txt", &combar_bench::golden::fig8_small());
+}
+
+#[test]
+fn chaos_des_table_is_stable() {
+    check(
+        "chaos_des_small.txt",
+        &combar_bench::golden::chaos_des_small(),
+    );
+}
+
+/// The renderings really are deterministic: two in-process runs agree
+/// byte for byte (guards the snapshots themselves against flakiness).
+#[test]
+fn renderings_are_deterministic() {
+    assert_eq!(
+        combar_bench::golden::fig2_small(),
+        combar_bench::golden::fig2_small()
+    );
+    assert_eq!(
+        combar_bench::golden::fig8_small(),
+        combar_bench::golden::fig8_small()
+    );
+    assert_eq!(
+        combar_bench::golden::chaos_des_small(),
+        combar_bench::golden::chaos_des_small()
+    );
+}

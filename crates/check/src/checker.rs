@@ -1,0 +1,393 @@
+//! Public front-end: exploration modes, failure reporting, replay.
+
+use crate::exec::{run_once, Event, RawFailure, RunCfg};
+use crate::minimize::{minimize, switches_of};
+use crate::strategy::{DfsStrategy, GuidedStrategy, PctStrategy, SharedStrategy};
+use crate::token::{self, Token};
+use combar_rng::{Rng, SeedableRng, SplitMix64};
+
+const SEED_MASK48: u64 = (1 << 48) - 1;
+
+/// What kind of property violation a schedule exposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Every live thread was blocked waiting for a write that can
+    /// never come — a lost wakeup (or a join cycle).
+    Deadlock,
+    /// An assertion (or any panic) fired inside the fixture or the
+    /// code under test.
+    Panic,
+    /// A thread exceeded the per-thread step bound: livelock guard.
+    StepBound,
+}
+
+/// A failing schedule, minimized and replayable.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Panic message or deadlock detail.
+    pub message: String,
+    /// Single-`u64` replay token: `Checker::replay(token)` reproduces
+    /// this failure on the same fixture.
+    pub token: u64,
+    /// Context switches remaining after minimization.
+    pub switches: usize,
+    /// Schedules executed before (and including) the failing one.
+    pub schedules: u64,
+    /// The minimized schedule's per-decision thread choices.
+    pub schedule: Vec<usize>,
+    /// Happens-before event trace of the minimized failing run.
+    pub trace: Vec<Event>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "combar-check failure: {:?}: {}", self.kind, self.message)?;
+        write!(
+            f,
+            "  after {} schedule(s); minimized to {} switch(es); replay token {:#018x} ({})",
+            self.schedules,
+            self.switches,
+            self.token,
+            token::describe_token(self.token)
+        )
+    }
+}
+
+/// Result of a checking run.
+#[derive(Debug)]
+pub enum Outcome {
+    /// No schedule violated any property.
+    Pass {
+        /// Schedules executed.
+        schedules: u64,
+        /// Whether the bounded space was fully enumerated (always
+        /// `true` for PCT/replay, which run a fixed budget).
+        complete: bool,
+    },
+    /// Some schedule failed; the payload replays it.
+    Fail(Failure),
+}
+
+impl Outcome {
+    /// The failure, if any.
+    pub fn failure(&self) -> Option<&Failure> {
+        match self {
+            Outcome::Pass { .. } => None,
+            Outcome::Fail(f) => Some(f),
+        }
+    }
+
+    /// Panics with the failure report unless the outcome is a pass;
+    /// returns the number of schedules explored.
+    #[track_caller]
+    pub fn expect_pass(&self) -> u64 {
+        match self {
+            Outcome::Pass { schedules, .. } => *schedules,
+            Outcome::Fail(f) => panic!("{f}"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Mode {
+    Exhaustive {
+        bound: u32,
+    },
+    Pct {
+        seed: u64,
+        depth: u32,
+        schedules: u64,
+    },
+    Replay {
+        token: u64,
+    },
+}
+
+/// Configurable schedule-exploration driver. See the crate docs for
+/// the execution model.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    mode: Mode,
+    max_steps: u64,
+    max_schedules: u64,
+    minimize_budget: usize,
+}
+
+impl Checker {
+    /// Exhaustive DFS over interleavings with at most `bound`
+    /// preemptive context switches per schedule.
+    pub fn exhaustive(bound: u32) -> Self {
+        assert!(bound < 16, "preemption bound must fit a token nibble");
+        Checker {
+            mode: Mode::Exhaustive { bound },
+            max_steps: 50_000,
+            max_schedules: 1_000_000,
+            minimize_budget: 300,
+        }
+    }
+
+    /// `schedules` PCT-style randomized runs of the given `depth`,
+    /// derived deterministically from `seed`.
+    pub fn pct(seed: u64, depth: u32, schedules: u64) -> Self {
+        assert!((1..16).contains(&depth), "PCT depth must be 1..16");
+        Checker {
+            mode: Mode::Pct {
+                seed,
+                depth,
+                schedules,
+            },
+            max_steps: 50_000,
+            max_schedules: u64::MAX,
+            minimize_budget: 300,
+        }
+    }
+
+    /// Replay a single schedule from a failure's token.
+    pub fn replay(token: u64) -> Self {
+        Checker {
+            mode: Mode::Replay { token },
+            max_steps: 50_000,
+            max_schedules: u64::MAX,
+            minimize_budget: 0,
+        }
+    }
+
+    /// Per-thread executed-op bound (livelock cutoff).
+    pub fn max_steps(mut self, n: u64) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Cap on schedules for exhaustive exploration.
+    pub fn max_schedules(mut self, n: u64) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Cap on guided replays spent minimizing a failure (0 disables).
+    pub fn minimize_budget(mut self, n: usize) -> Self {
+        self.minimize_budget = n;
+        self
+    }
+
+    fn cfg(&self, record_trace: bool) -> RunCfg {
+        RunCfg {
+            max_steps: self.max_steps,
+            record_trace,
+        }
+    }
+
+    /// Run the fixture under this checker's exploration mode. The
+    /// fixture is re-executed once per schedule and must be
+    /// deterministic apart from thread interleaving.
+    pub fn check(&self, fixture: impl Fn() + Sync) -> Outcome {
+        match self.mode {
+            Mode::Exhaustive { bound } => self.run_exhaustive(bound, &fixture),
+            Mode::Pct {
+                seed,
+                depth,
+                schedules,
+            } => self.run_pct(seed, depth, schedules, &fixture),
+            Mode::Replay { token } => self.run_replay(token, &fixture),
+        }
+    }
+
+    fn run_exhaustive(&self, bound: u32, fixture: &(dyn Fn() + Sync)) -> Outcome {
+        let dfs = SharedStrategy::new(DfsStrategy::new(bound));
+        let mut schedules = 0u64;
+        loop {
+            let res = run_once(fixture, Box::new(dfs.clone()), self.cfg(false));
+            schedules += 1;
+            if let Some(failure) = res.failure {
+                let seq: Vec<usize> = res.decisions.iter().map(|d| d.chosen).collect();
+                let mode_token = token::pack_dfs(bound, (schedules - 1).min(SEED_MASK48));
+                return Outcome::Fail(self.finalize(fixture, mode_token, seq, failure, schedules));
+            }
+            if schedules >= self.max_schedules {
+                return Outcome::Pass {
+                    schedules,
+                    complete: false,
+                };
+            }
+            if !dfs.with(|d| d.advance()) {
+                return Outcome::Pass {
+                    schedules,
+                    complete: true,
+                };
+            }
+        }
+    }
+
+    fn run_pct(
+        &self,
+        base_seed: u64,
+        depth: u32,
+        budget: u64,
+        fixture: &(dyn Fn() + Sync),
+    ) -> Outcome {
+        let mut seeder = SplitMix64::seed_from_u64(base_seed);
+        for i in 0..budget {
+            let seed = seeder.next_u64() & SEED_MASK48;
+            let res = self.pct_schedule(fixture, seed, depth, false);
+            if let Some(failure) = res.failure {
+                let seq: Vec<usize> = res.decisions.iter().map(|d| d.chosen).collect();
+                let mode_token = token::pack_pct(depth, seed);
+                return Outcome::Fail(self.finalize(fixture, mode_token, seq, failure, i + 1));
+            }
+        }
+        Outcome::Pass {
+            schedules: budget,
+            complete: true,
+        }
+    }
+
+    /// One PCT schedule: a priority-only measuring run sizes the
+    /// change-point horizon (and can itself fail), then the run with
+    /// `depth − 1` change points executes. Both derive from `seed`
+    /// alone, so `Checker::replay` reproduces either outcome.
+    fn pct_schedule(
+        &self,
+        fixture: &(dyn Fn() + Sync),
+        seed: u64,
+        depth: u32,
+        record_trace: bool,
+    ) -> crate::exec::RunResult {
+        let probe = PctStrategy::new(seed, 1, 1);
+        let res = run_once(fixture, Box::new(probe), self.cfg(record_trace));
+        if res.failure.is_some() || depth <= 1 {
+            return res;
+        }
+        let horizon = res.steps.max(1);
+        let pct = PctStrategy::new(seed, depth, horizon);
+        run_once(fixture, Box::new(pct), self.cfg(record_trace))
+    }
+
+    fn run_replay(&self, tok: u64, fixture: &(dyn Fn() + Sync)) -> Outcome {
+        match token::unpack(tok) {
+            Some(Token::Pct { depth, seed }) => {
+                let res = self.pct_schedule(fixture, seed, depth, true);
+                self.replay_outcome(tok, res)
+            }
+            Some(Token::Dfs { bound, index }) => {
+                let dfs = SharedStrategy::new(DfsStrategy::new(bound));
+                let mut last = None;
+                for _ in 0..=index {
+                    let res = run_once(fixture, Box::new(dfs.clone()), self.cfg(true));
+                    let done = res.failure.is_some() || !dfs.with(|d| d.advance());
+                    last = Some(res);
+                    if done {
+                        break;
+                    }
+                }
+                self.replay_outcome(tok, last.expect("at least one schedule ran"))
+            }
+            Some(Token::Switches(switches)) => {
+                let res = run_once(
+                    fixture,
+                    Box::new(SharedStrategy::new(GuidedStrategy::new(sparse_plan(
+                        &switches,
+                    )))),
+                    self.cfg(true),
+                );
+                self.replay_outcome(tok, res)
+            }
+            None => panic!("combar-check: unrecognized replay token {tok:#018x}"),
+        }
+    }
+
+    fn replay_outcome(&self, tok: u64, res: crate::exec::RunResult) -> Outcome {
+        match res.failure {
+            None => Outcome::Pass {
+                schedules: 1,
+                complete: true,
+            },
+            Some(failure) => {
+                let seq: Vec<usize> = res.decisions.iter().map(|d| d.chosen).collect();
+                let (kind, message) = split_failure(failure);
+                Outcome::Fail(Failure {
+                    kind,
+                    message,
+                    token: tok,
+                    switches: switches_of(&seq).len(),
+                    schedules: 1,
+                    schedule: seq,
+                    trace: res.trace,
+                })
+            }
+        }
+    }
+
+    /// Minimize a fresh failure, pick the best token that provably
+    /// replays it, and record the trace of the final failing run.
+    fn finalize(
+        &self,
+        fixture: &(dyn Fn() + Sync),
+        mode_token: u64,
+        mut seq: Vec<usize>,
+        mut failure: RawFailure,
+        schedules: u64,
+    ) -> Failure {
+        let cfg = self.cfg(false);
+        if self.minimize_budget > 0 {
+            (seq, failure) = minimize(fixture, &cfg, seq, failure, self.minimize_budget);
+        }
+        let switches = switches_of(&seq);
+        let mut chosen_token = mode_token;
+        if let Some(tok) = token::pack_switches(&switches) {
+            // Only trust the compact token if the sparse replay —
+            // exactly what `Checker::replay` will run — still fails
+            // the same way.
+            let guided = SharedStrategy::new(GuidedStrategy::new(sparse_plan(&switches)));
+            let res = run_once(fixture, Box::new(guided.clone()), cfg.clone());
+            if let Some(f2) = res.failure {
+                if std::mem::discriminant(&f2) == std::mem::discriminant(&failure) {
+                    chosen_token = tok;
+                    seq = guided.with(|g| g.taken.clone());
+                    failure = f2;
+                }
+            }
+        }
+        // Final instrumented replay for the happens-before trace.
+        let plan: Vec<Option<usize>> = seq.iter().map(|&t| Some(t)).collect();
+        let res = run_once(
+            fixture,
+            Box::new(SharedStrategy::new(GuidedStrategy::new(plan))),
+            self.cfg(true),
+        );
+        if let Some(f) = res.failure {
+            failure = f;
+        }
+        let (kind, message) = split_failure(failure);
+        Failure {
+            kind,
+            message,
+            token: chosen_token,
+            switches: switches_of(&seq).len(),
+            schedules,
+            schedule: seq,
+            trace: res.trace,
+        }
+    }
+}
+
+fn sparse_plan(switches: &[(usize, usize)]) -> Vec<Option<usize>> {
+    let len = switches.iter().map(|&(di, _)| di + 1).max().unwrap_or(0);
+    let mut plan = vec![None; len];
+    for &(di, tid) in switches {
+        plan[di] = Some(tid);
+    }
+    plan
+}
+
+fn split_failure(f: RawFailure) -> (FailureKind, String) {
+    match f {
+        RawFailure::Deadlock(d) => (FailureKind::Deadlock, d),
+        RawFailure::Panic(m) => (FailureKind::Panic, m),
+        RawFailure::StepBound(t) => (
+            FailureKind::StepBound,
+            format!("thread t{t} exceeded the step bound"),
+        ),
+    }
+}

@@ -1,0 +1,93 @@
+//! Failing-schedule minimization: greedy removal of context switches.
+//!
+//! A recorded failing run is a sequence of decisions (chosen tids).
+//! Minimization repeatedly tries to erase one context switch — replace
+//! "switch to t at decision i" with "continue the previous thread" —
+//! and keeps the shorter schedule whenever the guided replay still
+//! fails the same way. The result is characterized purely by its
+//! remaining switch points, which is what packs into a replay token.
+
+use crate::exec::{run_once, RawFailure, RunCfg};
+use crate::strategy::{GuidedStrategy, SharedStrategy};
+
+fn same_kind(a: &RawFailure, b: &RawFailure) -> bool {
+    matches!(
+        (a, b),
+        (RawFailure::Deadlock(_), RawFailure::Deadlock(_))
+            | (RawFailure::Panic(_), RawFailure::Panic(_))
+            | (RawFailure::StepBound(_), RawFailure::StepBound(_))
+    )
+}
+
+/// The switch points of a decision sequence: `(decision_index, tid)`
+/// wherever the chosen tid differs from the previous decision's.
+pub(crate) fn switches_of(seq: &[usize]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut prev = 0usize; // the main thread runs first
+    for (i, &t) in seq.iter().enumerate() {
+        if t != prev {
+            out.push((i, t));
+            prev = t;
+        }
+    }
+    out
+}
+
+/// Replay `plan` (full per-decision prescription) and report whether
+/// it still fails like `reference`, returning the executed sequence.
+fn replay_seq(
+    fixture: &(dyn Fn() + Sync),
+    cfg: &RunCfg,
+    plan: Vec<Option<usize>>,
+    reference: &RawFailure,
+) -> Option<(RawFailure, Vec<usize>)> {
+    let guided = SharedStrategy::new(GuidedStrategy::new(plan));
+    let res = run_once(fixture, Box::new(guided.clone()), cfg.clone());
+    let failure = res.failure?;
+    if !same_kind(&failure, reference) {
+        return None;
+    }
+    let taken = guided.with(|g| g.taken.clone());
+    Some((failure, taken))
+}
+
+/// Greedily minimize a failing decision sequence. Returns the reduced
+/// sequence together with the failure its replay produced.
+pub(crate) fn minimize(
+    fixture: &(dyn Fn() + Sync),
+    cfg: &RunCfg,
+    mut seq: Vec<usize>,
+    mut failure: RawFailure,
+    budget: usize,
+) -> (Vec<usize>, RawFailure) {
+    let mut replays = 0usize;
+    loop {
+        let mut improved = false;
+        let mut i = seq.len();
+        while i > 0 {
+            i -= 1;
+            let prev = if i == 0 { 0 } else { seq[i - 1] };
+            if seq[i] == prev {
+                continue;
+            }
+            if replays >= budget {
+                return (seq, failure);
+            }
+            replays += 1;
+            // Erase this switch: force "continue" here, keep the
+            // prescription before it, and let the canonical fallback
+            // (continue-or-lowest) finish the run.
+            let mut plan: Vec<Option<usize>> = seq[..i].iter().map(|&t| Some(t)).collect();
+            plan.push(Some(prev));
+            if let Some((f, taken)) = replay_seq(fixture, cfg, plan, &failure) {
+                seq = taken;
+                failure = f;
+                improved = true;
+                i = i.min(seq.len());
+            }
+        }
+        if !improved {
+            return (seq, failure);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Scheduling strategies: exhaustive DFS with a preemption bound,
+//! PCT-style randomized priorities, and guided replay.
+
+use combar_rng::{Rng, SeedableRng, SplitMix64};
+
+/// A deterministic scheduling policy consulted at every decision
+/// point (≥ 2 candidates).
+///
+/// `di` is the decision index within the run, `decider` the token
+/// holder if it is itself a candidate (its entry is `cands[0]`), and
+/// `steps` the global executed-op count.
+pub(crate) trait Strategy: Send {
+    fn choose(&mut self, di: usize, decider: Option<usize>, cands: &[usize], steps: u64) -> usize;
+}
+
+/// One decision node of a DFS run, with enough context to enumerate
+/// the next unexplored sibling.
+#[derive(Debug, Clone)]
+pub(crate) struct DfsNode {
+    n_cands: usize,
+    chosen_idx: usize,
+    /// Whether alternatives at index ≥ 1 preempt a runnable decider.
+    preemptive: bool,
+    /// Preemptions consumed by the path strictly before this node.
+    preemptions_before: u32,
+}
+
+/// Depth-first enumeration of schedules, bounded by the number of
+/// *preemptive* context switches (switching away from a thread that
+/// could have continued). Forced switches (decider blocked or
+/// finished) are free, as in CHESS.
+pub(crate) struct DfsStrategy {
+    /// Candidate indices to replay for the first `plan.len()` decisions.
+    plan: Vec<usize>,
+    /// Decisions actually taken this run.
+    pub(crate) nodes: Vec<DfsNode>,
+    bound: u32,
+}
+
+impl DfsStrategy {
+    pub(crate) fn new(bound: u32) -> Self {
+        DfsStrategy {
+            plan: Vec::new(),
+            nodes: Vec::new(),
+            bound,
+        }
+    }
+
+    /// Prepare the next run's plan from the just-finished run, or
+    /// `false` when the bounded space is exhausted.
+    pub(crate) fn advance(&mut self) -> bool {
+        while let Some(node) = self.nodes.last() {
+            let budget_left = node.preemptions_before < self.bound;
+            let mut next = node.chosen_idx + 1;
+            // Index 0 is "continue the decider" (free); the rest cost a
+            // preemption when the decider was runnable.
+            if node.preemptive && !budget_left && next >= 1 {
+                next = node.n_cands; // out of budget: no siblings
+            }
+            if next < node.n_cands {
+                let depth = self.nodes.len() - 1;
+                self.plan = self.nodes[..depth].iter().map(|n| n.chosen_idx).collect();
+                self.plan.push(next);
+                self.nodes.clear();
+                return true;
+            }
+            self.nodes.pop();
+        }
+        false
+    }
+}
+
+impl Strategy for DfsStrategy {
+    fn choose(&mut self, di: usize, decider: Option<usize>, cands: &[usize], _steps: u64) -> usize {
+        let idx = self.plan.get(di).copied().unwrap_or(0).min(cands.len() - 1);
+        let preemptive = decider.is_some();
+        let preemptions_before = self
+            .nodes
+            .last()
+            .map(|n| n.preemptions_before + u32::from(n.preemptive && n.chosen_idx > 0))
+            .unwrap_or(0);
+        self.nodes.push(DfsNode {
+            n_cands: cands.len(),
+            chosen_idx: idx,
+            preemptive,
+            preemptions_before,
+        });
+        cands[idx]
+    }
+}
+
+/// PCT-style randomized priority scheduler (Burckhardt et al.):
+/// threads get random priorities; the highest-priority candidate
+/// always runs; at `depth − 1` pre-drawn change points the current
+/// decider's priority drops below everything seen so far. Fully
+/// determined by a 48-bit seed, so any failing schedule replays from
+/// its token.
+pub(crate) struct PctStrategy {
+    prio: Vec<u64>,
+    change_points: Vec<u64>,
+    next_low: u64,
+    rng: SplitMix64,
+}
+
+impl PctStrategy {
+    /// Priorities derive from `seed` alone; the `depth − 1` change
+    /// points are drawn from an independent stream over `[1, horizon]`
+    /// (the measured step count of the priority-only run with the same
+    /// seed), so a token's `(seed, depth)` pair fully determines the
+    /// schedule.
+    pub(crate) fn new(seed: u64, depth: u32, horizon: u64) -> Self {
+        let mut cp_rng = SplitMix64::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut change_points: Vec<u64> = (1..depth)
+            .map(|_| 1 + cp_rng.next_u64() % horizon.max(1))
+            .collect();
+        change_points.sort_unstable();
+        PctStrategy {
+            prio: Vec::new(),
+            change_points,
+            next_low: u64::MAX / 2,
+            rng: SplitMix64::seed_from_u64(seed),
+        }
+    }
+
+    fn prio_of(&mut self, tid: usize) -> u64 {
+        while self.prio.len() <= tid {
+            // High bit set: above every demoted priority.
+            self.prio.push(self.rng.next_u64() | (1 << 63));
+        }
+        self.prio[tid]
+    }
+}
+
+impl Strategy for PctStrategy {
+    fn choose(&mut self, _di: usize, decider: Option<usize>, cands: &[usize], steps: u64) -> usize {
+        while self.change_points.first().is_some_and(|&cp| cp <= steps) {
+            self.change_points.remove(0);
+            if let Some(d) = decider {
+                self.prio_of(d);
+                self.next_low -= 1;
+                self.prio[d] = self.next_low;
+            }
+        }
+        *cands
+            .iter()
+            .max_by_key(|&&t| self.prio_of(t))
+            .expect("non-empty candidates")
+    }
+}
+
+/// Shares one strategy between the schedule driver (which needs to
+/// inspect or advance it between runs) and the session executing the
+/// current run. Contention is nil: the session is serialized.
+pub(crate) struct SharedStrategy<S: Strategy>(std::sync::Arc<std::sync::Mutex<S>>);
+
+impl<S: Strategy> SharedStrategy<S> {
+    pub(crate) fn new(inner: S) -> Self {
+        SharedStrategy(std::sync::Arc::new(std::sync::Mutex::new(inner)))
+    }
+
+    pub(crate) fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.0.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl<S: Strategy> Clone for SharedStrategy<S> {
+    fn clone(&self) -> Self {
+        SharedStrategy(std::sync::Arc::clone(&self.0))
+    }
+}
+
+impl<S: Strategy> Strategy for SharedStrategy<S> {
+    fn choose(&mut self, di: usize, decider: Option<usize>, cands: &[usize], steps: u64) -> usize {
+        self.with(|s| s.choose(di, decider, cands, steps))
+    }
+}
+
+/// Replays a prescribed tid per decision index; off-plan (or when the
+/// prescribed tid is not runnable) it continues the decider when
+/// possible and otherwise takes the lowest candidate — the canonical
+/// fallback shared with minimization.
+pub(crate) struct GuidedStrategy {
+    plan: Vec<Option<usize>>,
+    /// The tids actually executed, decision by decision.
+    pub(crate) taken: Vec<usize>,
+}
+
+impl GuidedStrategy {
+    pub(crate) fn new(plan: Vec<Option<usize>>) -> Self {
+        GuidedStrategy {
+            plan,
+            taken: Vec::new(),
+        }
+    }
+}
+
+impl Strategy for GuidedStrategy {
+    fn choose(
+        &mut self,
+        di: usize,
+        _decider: Option<usize>,
+        cands: &[usize],
+        _steps: u64,
+    ) -> usize {
+        let wanted = self.plan.get(di).copied().flatten();
+        let chosen = match wanted {
+            Some(t) if cands.contains(&t) => t,
+            // cands[0] is the decider when runnable, else lowest tid.
+            _ => cands[0],
+        };
+        self.taken.push(chosen);
+        chosen
+    }
+}

@@ -1,0 +1,140 @@
+//! Replay tokens: a whole failing schedule in one `u64`.
+//!
+//! Layout (tag in bits 63..60):
+//!
+//! * `1` — PCT: bits 59..56 = depth, bits 47..0 = the failing
+//!   schedule's 48-bit PCT seed. Self-contained: replays regardless
+//!   of the base seed the fuzzing run started from.
+//! * `2` — DFS: bits 59..56 = preemption bound, bits 47..0 = index of
+//!   the failing schedule in the enumeration order.
+//! * `3` — switch list: bits 59..56 = switch count `n ≤ 4`, then `n`
+//!   14-bit entries from bit 0, each `decision_index(10) | tid(4)`.
+//!   Produced by minimization when the reduced schedule is small
+//!   enough to carry verbatim; otherwise the mode token above is kept.
+
+const TAG_SHIFT: u32 = 60;
+const SUB_SHIFT: u32 = 56;
+const MASK48: u64 = (1 << 48) - 1;
+
+/// Tagged decode of a replay token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Token {
+    Pct { depth: u32, seed: u64 },
+    Dfs { bound: u32, index: u64 },
+    Switches(Vec<(usize, usize)>),
+}
+
+pub(crate) fn pack_pct(depth: u32, seed: u64) -> u64 {
+    debug_assert!(depth < 16 && seed <= MASK48);
+    (1 << TAG_SHIFT) | ((depth as u64) << SUB_SHIFT) | (seed & MASK48)
+}
+
+pub(crate) fn pack_dfs(bound: u32, index: u64) -> u64 {
+    debug_assert!(bound < 16 && index <= MASK48);
+    (2 << TAG_SHIFT) | ((bound as u64) << SUB_SHIFT) | (index & MASK48)
+}
+
+/// Packs `(decision_index, tid)` switches, if they fit.
+pub(crate) fn pack_switches(switches: &[(usize, usize)]) -> Option<u64> {
+    if switches.len() > 4 {
+        return None;
+    }
+    let mut word = (3u64 << TAG_SHIFT) | ((switches.len() as u64) << SUB_SHIFT);
+    for (i, &(di, tid)) in switches.iter().enumerate() {
+        if di >= 1 << 10 || tid >= 1 << 4 {
+            return None;
+        }
+        let entry = ((di as u64) << 4) | tid as u64;
+        word |= entry << (14 * i as u32);
+    }
+    Some(word)
+}
+
+pub(crate) fn unpack(token: u64) -> Option<Token> {
+    match token >> TAG_SHIFT {
+        1 => Some(Token::Pct {
+            depth: ((token >> SUB_SHIFT) & 0xf) as u32,
+            seed: token & MASK48,
+        }),
+        2 => Some(Token::Dfs {
+            bound: ((token >> SUB_SHIFT) & 0xf) as u32,
+            index: token & MASK48,
+        }),
+        3 => {
+            let n = ((token >> SUB_SHIFT) & 0xf) as usize;
+            if n > 4 {
+                return None;
+            }
+            let mut switches = Vec::with_capacity(n);
+            for i in 0..n {
+                let entry = (token >> (14 * i as u32)) & 0x3fff;
+                switches.push(((entry >> 4) as usize, (entry & 0xf) as usize));
+            }
+            Some(Token::Switches(switches))
+        }
+        _ => None,
+    }
+}
+
+/// Human-readable description of a replay token (diagnostics).
+pub fn describe_token(token: u64) -> String {
+    match unpack(token) {
+        Some(Token::Pct { depth, seed }) => {
+            format!("PCT schedule, depth {depth}, seed {seed:#x}")
+        }
+        Some(Token::Dfs { bound, index }) => {
+            format!("DFS schedule #{index}, preemption bound {bound}")
+        }
+        Some(Token::Switches(sw)) => {
+            let parts: Vec<String> = sw
+                .iter()
+                .map(|&(di, tid)| format!("@{di}→t{tid}"))
+                .collect();
+            format!("minimized schedule, switches [{}]", parts.join(", "))
+        }
+        None => "unrecognized token".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_tags() {
+        let t = pack_pct(3, 0xdead_beef_cafe);
+        assert_eq!(
+            unpack(t),
+            Some(Token::Pct {
+                depth: 3,
+                seed: 0xdead_beef_cafe
+            })
+        );
+        let t = pack_dfs(4, 123_456);
+        assert_eq!(
+            unpack(t),
+            Some(Token::Dfs {
+                bound: 4,
+                index: 123_456
+            })
+        );
+        let sw = vec![(7, 1), (900, 3), (12, 0)];
+        let t = pack_switches(&sw).unwrap();
+        assert_eq!(unpack(t), Some(Token::Switches(sw)));
+    }
+
+    #[test]
+    fn oversized_switch_lists_do_not_pack() {
+        assert!(pack_switches(&[(0, 1); 5]).is_none());
+        assert!(pack_switches(&[(1024, 1)]).is_none());
+        assert!(pack_switches(&[(1, 16)]).is_none());
+    }
+
+    #[test]
+    fn describe_is_total() {
+        assert!(describe_token(pack_pct(2, 9)).contains("PCT"));
+        assert!(describe_token(pack_dfs(3, 9)).contains("DFS"));
+        assert!(describe_token(pack_switches(&[(2, 1)]).unwrap()).contains("switches"));
+        assert!(describe_token(0).contains("unrecognized"));
+    }
+}

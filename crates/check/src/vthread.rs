@@ -1,0 +1,68 @@
+//! Virtual threads: `std::thread`-shaped spawn/join that registers
+//! with the active checker session (and falls back to real threads
+//! outside one, so fixtures also run natively).
+
+use crate::exec::{self, with_session};
+use std::sync::{Arc, Mutex};
+
+enum Inner<T> {
+    Virtual {
+        tid: usize,
+        slot: Arc<Mutex<Option<T>>>,
+    },
+    Os(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned virtual (or fallback OS) thread.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread and take its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics (unwinding the checked schedule) if the thread
+    /// panicked.
+    pub fn join(self) -> T {
+        match self.0 {
+            Inner::Virtual { tid, slot } => {
+                with_session(|sess, me| sess.join_op(me, tid));
+                slot.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("joined virtual thread panicked")
+            }
+            Inner::Os(h) => match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            },
+        }
+    }
+}
+
+/// Spawn a thread participating in the checked schedule. Inside a
+/// session this registers a virtual thread whose every shadowed op is
+/// scheduler-controlled; outside one it is `std::thread::spawn`.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if !exec::tls_active() {
+        return JoinHandle(Inner::Os(std::thread::spawn(f)));
+    }
+    let slot = Arc::new(Mutex::new(None));
+    let out_slot = Arc::clone(&slot);
+    let (sess, tid) = with_session(|sess, me| (Arc::clone(sess), sess.register_thread(me)));
+    let body: Box<dyn FnOnce() + Send> = Box::new(move || {
+        let out = f();
+        *out_slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+    });
+    let sess2 = Arc::clone(&sess);
+    let h = std::thread::Builder::new()
+        .name(format!("combar-check-vt{tid}"))
+        .spawn(move || exec::worker_body(sess2, tid, body))
+        .expect("spawn checker worker");
+    sess.adopt_os_handle(h);
+    JoinHandle(Inner::Virtual { tid, slot })
+}

@@ -21,7 +21,7 @@ use crate::error::BarrierError;
 use crate::pad::CachePadded;
 use crate::roster::{Arrival, Roster};
 use crate::spin::{wait_for_epoch_fallible, EpochWait};
-use std::sync::atomic::{AtomicU32, Ordering};
+use crate::sync::{AtomicU32, Ordering};
 use std::time::{Duration, Instant};
 
 /// A sense-reversing central counter barrier for `p` threads.
@@ -256,6 +256,28 @@ impl CentralWaiter<'_> {
     /// evict it.
     pub fn wait_timeout(&mut self, timeout: Duration) -> Result<(), BarrierError> {
         self.wait_deadline(Some(Instant::now() + timeout))
+    }
+
+    /// Unbounded fallible full barrier: like [`Self::wait`] but
+    /// returning poisoning/eviction as an error instead of panicking.
+    /// Reads no clock, so schedules stay deterministic under the
+    /// `combar-check` model checker.
+    pub fn try_wait(&mut self) -> Result<(), BarrierError> {
+        self.wait_deadline(None)
+    }
+
+    /// Barrier episodes this waiter has completed (its local copy of
+    /// the barrier epoch). After [`Self::rejoin`], reflects the epoch
+    /// the proxied pending episode belongs to minus one, so a revived
+    /// participant can tell how many episodes its proxy already covered.
+    pub fn episodes(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Unbounded fallible depart: like [`Self::depart`] but returning
+    /// poisoning as an error instead of panicking. Reads no clock.
+    pub fn try_depart(&mut self) -> Result<(), BarrierError> {
+        self.depart_deadline(None)
     }
 
     /// Re-admission after eviction. On success the waiter is mid-episode

@@ -28,7 +28,7 @@
 use crate::error::BarrierError;
 use crate::pad::CachePadded;
 use crate::spin::{wait_for_epoch_fallible, EpochWait};
-use std::sync::atomic::{AtomicU32, Ordering};
+use crate::sync::{AtomicU32, Ordering};
 use std::time::{Duration, Instant};
 
 /// A dissemination barrier for `p` threads.
@@ -145,6 +145,14 @@ impl DisseminationWaiter<'_> {
     /// dropped — that poisons the barrier; retry until release instead.
     pub fn wait_timeout(&mut self, timeout: Duration) -> Result<(), BarrierError> {
         self.wait_deadline(Some(Instant::now() + timeout))
+    }
+
+    /// Unbounded fallible full barrier: like [`Self::wait`] but
+    /// returning poisoning as an error instead of panicking. Reads no
+    /// clock, so schedules stay deterministic under the `combar-check`
+    /// model checker.
+    pub fn try_wait(&mut self) -> Result<(), BarrierError> {
+        self.wait_deadline(None)
     }
 
     fn wait_deadline(&mut self, deadline: Option<Instant>) -> Result<(), BarrierError> {

@@ -46,8 +46,8 @@ use crate::error::BarrierError;
 use crate::pad::CachePadded;
 use crate::roster::{Arrival, Roster};
 use crate::spin::{wait_for_epoch_fallible, EpochWait};
+use crate::sync::{AtomicU32, AtomicU64, Ordering};
 use combar_topo::{CounterId, Topology};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 const INVALID: u32 = u32::MAX;
@@ -463,6 +463,20 @@ impl DynamicWaiter<'_> {
     /// that poisons the barrier; retry, or have a peer evict it.
     pub fn wait_timeout(&mut self, timeout: Duration) -> Result<(), BarrierError> {
         self.wait_deadline(Some(Instant::now() + timeout))
+    }
+
+    /// Unbounded fallible full barrier: like [`Self::wait`] but
+    /// returning poisoning/eviction as an error instead of panicking.
+    /// Reads no clock, so schedules stay deterministic under the
+    /// `combar-check` model checker.
+    pub fn try_wait(&mut self) -> Result<(), BarrierError> {
+        self.wait_deadline(None)
+    }
+
+    /// Unbounded fallible depart: like [`Self::depart`] but returning
+    /// poisoning as an error instead of panicking. Reads no clock.
+    pub fn try_depart(&mut self) -> Result<(), BarrierError> {
+        self.depart_deadline(None)
     }
 
     /// Re-admission after eviction. On success the waiter is

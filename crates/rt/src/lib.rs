@@ -27,9 +27,24 @@
 //!
 //! [`harness`] packages the lockstep soak test used throughout the
 //! repository, so downstream barrier implementations can be tortured
-//! identically. All hot state is cache-padded ([`CachePadded`]); waiting is
-//! spin-then-yield ([`spin::Backoff`]) so the crate behaves on machines
-//! with fewer cores than threads.
+//! identically, and [`conformance`] turns the shared barrier contract
+//! (lockstep, reuse, arrival/release ordering, fuzzy slack) into a
+//! type-erased matrix every kind is checked against. All hot state is
+//! cache-padded ([`CachePadded`]); waiting is spin-then-yield
+//! ([`spin::Backoff`]) so the crate behaves on machines with fewer
+//! cores than threads.
+//!
+//! # Model checking
+//!
+//! All atomics and scheduling hints go through the [`sync`] facade:
+//! by default they resolve to `combar-check`'s shadowed atomics, so
+//! the whole runtime can execute under that crate's deterministic
+//! schedule-exploration checker (see `tests/model_check.rs`); outside
+//! a checked run the shadow ops cost one thread-local flag test.
+//! Build with `--cfg combar_sync_raw` to compile the facade straight
+//! to `std::sync::atomic` instead. Checked fixtures must avoid wall
+//! clocks, so the barriers expose clock-free fallible crossings
+//! (`try_wait`/`try_depart`) alongside `wait_timeout`.
 //!
 //! # Fault model
 //!
@@ -60,6 +75,7 @@
 pub mod adaptive;
 pub mod blocking;
 pub mod central;
+pub mod conformance;
 pub mod dissemination;
 pub mod dynamic;
 pub mod error;
@@ -68,12 +84,14 @@ pub mod harness;
 pub mod pad;
 mod roster;
 pub mod spin;
+pub mod sync;
 pub mod tournament;
 pub mod tree;
 
 pub use adaptive::{AdaptiveBarrier, AdaptiveWaiter, DegreePolicy};
 pub use blocking::{BlockingBarrier, BlockingWaiter};
 pub use central::{CentralBarrier, CentralWaiter};
+pub use conformance::{AnyBarrier, AnyWaiter, BarrierKind};
 pub use dissemination::{DisseminationBarrier, DisseminationWaiter};
 pub use dynamic::{DynamicBarrier, DynamicWaiter};
 pub use error::BarrierError;

@@ -21,9 +21,16 @@
 //! The invariant that makes stale maintainers harmless: episode `X`
 //! cannot release until every evicted slot carries `last ≥ X`, so a
 //! maintainer holding an outdated target always fails its CAS or skips.
+//!
+//! The rejoin-vs-maintain race (a rejoiner's `Evicted → Active` CAS
+//! interleaved with a maintainer's proxy CAS on the same slot) is
+//! explored under the deterministic scheduler in
+//! `tests/model_check.rs::exhaustive_evict_rejoin_converges`: both CAS
+//! orders occur across the schedule space and every interleaving
+//! converges with exactly one count per thread per episode.
 
 use crate::pad::CachePadded;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use crate::sync::{AtomicU32, AtomicU64, Ordering};
 
 const ACTIVE: u32 = 0;
 const EVICTED: u32 = 1;

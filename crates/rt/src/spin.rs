@@ -6,7 +6,7 @@
 //! briefly and then yields to the scheduler with exponential backoff —
 //! the standard adaptive strategy.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use crate::sync::{AtomicU32, Ordering};
 use std::time::Instant;
 
 /// Exponential spin-then-yield backoff, optionally bounded by a
@@ -60,11 +60,11 @@ impl Backoff {
     pub fn snooze(&mut self) {
         if self.step < 6 {
             for _ in 0..(1u32 << self.step) {
-                std::hint::spin_loop();
+                crate::sync::spin_hint();
             }
             self.step += 1;
         } else {
-            std::thread::yield_now();
+            crate::sync::yield_now();
         }
     }
 
@@ -132,7 +132,6 @@ pub fn wait_for_epoch_fallible(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU32;
     use std::sync::Arc;
 
     #[test]

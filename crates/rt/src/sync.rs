@@ -1,0 +1,39 @@
+//! Synchronization facade: the barrier modules' only door to atomics
+//! and scheduler hints.
+//!
+//! Every barrier in this crate performs its shared-memory traffic
+//! through these names instead of `std::sync::atomic` directly. They
+//! resolve to [`combar_check`]'s shadow types, which behave exactly
+//! like the `std` types outside a checker session (one thread-local
+//! flag test of overhead per operation) and become schedule points
+//! with happens-before recording inside one. That is what lets
+//! `tests/model_check.rs` exhaustively explore barrier interleavings
+//! against the *production* protocol code rather than a model of it.
+//!
+//! Building with `RUSTFLAGS="--cfg combar_sync_raw"` strips the
+//! instrumentation entirely and compiles the facade straight to
+//! `std::sync::atomic` / `std::thread::yield_now` /
+//! `std::hint::spin_loop` for overhead-sensitive benchmarking; the
+//! barrier sources are identical either way.
+
+#[cfg(not(combar_sync_raw))]
+pub use combar_check::shadow::{spin_hint, yield_now, AtomicU32, AtomicU64};
+
+#[cfg(combar_sync_raw)]
+pub use std::sync::atomic::{AtomicU32, AtomicU64};
+
+/// `std::thread::yield_now` (raw build).
+#[cfg(combar_sync_raw)]
+#[inline]
+pub fn yield_now() {
+    std::thread::yield_now();
+}
+
+/// `std::hint::spin_loop` (raw build).
+#[cfg(combar_sync_raw)]
+#[inline]
+pub fn spin_hint() {
+    std::hint::spin_loop();
+}
+
+pub use std::sync::atomic::Ordering;

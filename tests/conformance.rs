@@ -1,0 +1,78 @@
+//! The barrier conformance matrix: every [`BarrierKind`] × the shared
+//! contract suite × several thread counts.
+//!
+//! Each kind gets its own module so a failure names the exact cell
+//! (`central::lockstep`, `dynamic_d2::fuzzy_slack`, …). The contracts
+//! themselves live in `combar_rt::conformance`; kind-specific
+//! behaviour (migration, adaptive policy, eviction) stays in
+//! `tests/runtime_barriers.rs` and `tests/fault_injection.rs`, and
+//! model-checked interleaving coverage in `tests/model_check.rs`.
+
+use combar_rt::conformance::{
+    check_arrival_release_ordering, check_fuzzy_slack, check_lockstep, check_reuse_and_churn,
+    BarrierKind, CONFORMANCE_EPISODES,
+};
+
+/// Thread counts each cell runs at: the degenerate pair, an odd count
+/// that leaves trees ragged, and a power of two.
+const P_AXIS: [u32; 3] = [2, 5, 8];
+
+macro_rules! conformance_matrix {
+    ($($name:ident => $kind:expr),+ $(,)?) => {$(
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn lockstep() {
+                for p in P_AXIS {
+                    check_lockstep($kind, p, CONFORMANCE_EPISODES);
+                }
+            }
+
+            #[test]
+            fn reuse_and_churn() {
+                for p in P_AXIS {
+                    check_reuse_and_churn($kind, p);
+                }
+            }
+
+            #[test]
+            fn arrival_release_ordering() {
+                for p in P_AXIS {
+                    check_arrival_release_ordering($kind, p);
+                }
+            }
+
+            #[test]
+            fn fuzzy_slack() {
+                let kind: BarrierKind = $kind;
+                for p in P_AXIS {
+                    assert_eq!(check_fuzzy_slack(kind, p), kind.supports_fuzzy());
+                }
+            }
+        }
+    )+};
+}
+
+conformance_matrix! {
+    central => BarrierKind::Central,
+    blocking => BarrierKind::Blocking,
+    combining_tree_d2 => BarrierKind::CombiningTree { degree: 2 },
+    combining_tree_d8 => BarrierKind::CombiningTree { degree: 8 },
+    mcs_tree_d2 => BarrierKind::McsTree { degree: 2 },
+    dissemination => BarrierKind::Dissemination,
+    tournament => BarrierKind::Tournament,
+    dynamic_d2 => BarrierKind::Dynamic { degree: 2 },
+    adaptive => BarrierKind::Adaptive,
+}
+
+/// `BarrierKind::all` is the same axis this file spells out — guards
+/// against a new kind being added to the enum but not to the matrix.
+#[test]
+fn axis_is_exhaustive() {
+    assert_eq!(
+        BarrierKind::all().len(),
+        9,
+        "new kind? add it to the matrix above"
+    );
+}

@@ -1,0 +1,443 @@
+//! Model-checked barrier conformance (`combar-check`).
+//!
+//! These tests run the *production* barrier protocols from `combar-rt`
+//! under the deterministic schedule-exploration checker: every shadowed
+//! atomic operation is a scheduler-controlled step, so a lost wakeup
+//! shows up as a detected deadlock and a phase-safety violation as a
+//! panic, in a schedule that replays from a printed `u64` token.
+//!
+//! Two exploration modes are used:
+//!
+//! * **exhaustive** — DFS over the full schedule space up to a
+//!   preemption bound, for the small (2-thread) fixtures;
+//! * **PCT** — seeded randomized priority schedules, for the 3-thread
+//!   per-kind lockstep fixtures. The schedule count per kind is
+//!   `COMBAR_CHECK_PCT` (default 200; CI runs 10 000).
+//!
+//! The phase-safety invariant asserted by the lockstep fixtures:
+//! immediately after a thread completes episode `e` (0-indexed), every
+//! peer has completed either `e` or `e + 1` episodes — i.e. barrier
+//! episodes never overlap and never skip. A doubled arrival (e.g. from
+//! a racing victor/victim swap) would release an episode early and
+//! trip the lower bound; a lost arrival would deadlock.
+
+use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
+use std::sync::Arc;
+
+use combar_check::shadow::{spin_hint, AtomicU32};
+use combar_check::{vthread, Checker, FailureKind, Outcome};
+use combar_rt::{
+    BarrierError, CentralBarrier, DisseminationBarrier, DynamicBarrier, TournamentBarrier,
+    TreeBarrier,
+};
+use std::sync::atomic::Ordering;
+
+/// Seeded PCT schedules per barrier kind (`COMBAR_CHECK_PCT`, CI: 10000).
+fn pct_schedules() -> u64 {
+    std::env::var("COMBAR_CHECK_PCT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200)
+}
+
+/// One fallible barrier-wait closure borrowing a barrier of type `B`.
+type WaitFn<B> = for<'b> fn(&'b B, u32) -> Box<dyn FnMut() -> Result<(), BarrierError> + 'b>;
+
+/// Builds a checker fixture: `p` virtual threads × `episodes` episodes
+/// over a fresh barrier per schedule, with shadowed per-thread phase
+/// counters asserting the phase-safety invariant after every episode.
+fn lockstep_fixture<B, MkB>(
+    p: u32,
+    episodes: u32,
+    mk_barrier: MkB,
+    mk_wait: WaitFn<B>,
+) -> impl Fn() + Sync
+where
+    B: Send + Sync + 'static,
+    MkB: Fn(u32) -> B + Sync,
+{
+    move || {
+        let b = Arc::new(mk_barrier(p));
+        let phases: Arc<Vec<AtomicU32>> = Arc::new((0..p).map(|_| AtomicU32::new(0)).collect());
+        let handles: Vec<_> = (0..p)
+            .map(|tid| {
+                let b = Arc::clone(&b);
+                let phases = Arc::clone(&phases);
+                vthread::spawn(move || {
+                    let mut wait = mk_wait(&b, tid);
+                    for e in 0..episodes {
+                        wait().unwrap();
+                        phases[tid as usize].store(e + 1, Ordering::SeqCst);
+                        for (j, ph) in phases.iter().enumerate() {
+                            if j == tid as usize {
+                                continue;
+                            }
+                            let c = ph.load(Ordering::SeqCst);
+                            assert!(
+                                c == e || c == e + 1,
+                                "phase safety violated: thread {tid} finished episode {e} \
+                                 but peer {j} has completed {c}"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+    }
+}
+
+fn central_wait(b: &CentralBarrier, tid: u32) -> Box<dyn FnMut() -> Result<(), BarrierError> + '_> {
+    let mut w = b.waiter_for(tid);
+    Box::new(move || w.try_wait())
+}
+
+fn tree_wait(b: &TreeBarrier, tid: u32) -> Box<dyn FnMut() -> Result<(), BarrierError> + '_> {
+    let mut w = b.waiter(tid);
+    Box::new(move || w.try_wait())
+}
+
+fn dissemination_wait(
+    b: &DisseminationBarrier,
+    tid: u32,
+) -> Box<dyn FnMut() -> Result<(), BarrierError> + '_> {
+    let mut w = b.waiter(tid);
+    Box::new(move || w.try_wait())
+}
+
+fn tournament_wait(
+    b: &TournamentBarrier,
+    tid: u32,
+) -> Box<dyn FnMut() -> Result<(), BarrierError> + '_> {
+    let mut w = b.waiter(tid);
+    Box::new(move || w.try_wait())
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive exploration: 2-thread central barrier, preemption bound 3.
+// ---------------------------------------------------------------------------
+
+/// The acceptance fixture from the issue: every interleaving of a
+/// 2-thread central-barrier episode up to preemption bound 3, fully
+/// enumerated (no schedule cap hit), finds no deadlock, panic, or
+/// phase violation.
+#[test]
+fn exhaustive_central_two_threads_full_space() {
+    let fx = lockstep_fixture(2, 1, CentralBarrier::new, central_wait);
+    match Checker::exhaustive(3).max_schedules(2_000_000).check(fx) {
+        Outcome::Pass {
+            schedules,
+            complete,
+        } => {
+            assert!(complete, "schedule space not fully enumerated");
+            assert!(schedules > 10, "suspiciously few schedules: {schedules}");
+        }
+        Outcome::Fail(f) => panic!("central barrier failed model check: {f}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PCT lockstep per barrier kind: p = 3, 2 episodes.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pct_lockstep_central() {
+    let fx = lockstep_fixture(3, 2, CentralBarrier::new, central_wait);
+    Checker::pct(0x5eed_0001, 3, pct_schedules())
+        .check(fx)
+        .expect_pass();
+}
+
+#[test]
+fn pct_lockstep_combining_tree() {
+    let fx = lockstep_fixture(3, 2, |p| TreeBarrier::combining(p, 2), tree_wait);
+    Checker::pct(0x5eed_0002, 3, pct_schedules())
+        .check(fx)
+        .expect_pass();
+}
+
+#[test]
+fn pct_lockstep_mcs_tree() {
+    let fx = lockstep_fixture(3, 2, |p| TreeBarrier::mcs(p, 2), tree_wait);
+    Checker::pct(0x5eed_0003, 3, pct_schedules())
+        .check(fx)
+        .expect_pass();
+}
+
+#[test]
+fn pct_lockstep_dissemination() {
+    let fx = lockstep_fixture(3, 2, DisseminationBarrier::new, dissemination_wait);
+    Checker::pct(0x5eed_0004, 3, pct_schedules())
+        .check(fx)
+        .expect_pass();
+}
+
+#[test]
+fn pct_lockstep_tournament() {
+    let fx = lockstep_fixture(3, 2, TournamentBarrier::new, tournament_wait);
+    Checker::pct(0x5eed_0005, 3, pct_schedules())
+        .check(fx)
+        .expect_pass();
+}
+
+/// Victor/victim swap linearizability. Dynamic-placement swaps are
+/// triggered purely by arrival order (the last updater of a counter
+/// wins it and swaps upward), so schedule exploration drives genuinely
+/// different swap patterns. The phase-safety assertion is the
+/// linearizability check: a swap that lost an arrival would deadlock,
+/// one that doubled an arrival would release an episode early and trip
+/// the phase bound. The tally asserts exploration actually exercised
+/// swaps rather than vacuously passing. `p = 4` because `mcs(3, 2)`
+/// collapses to one shared leaf (no swappable counter): the MCS owner
+/// tree needs `p > degree + 1` before any counter has a single owner.
+#[test]
+fn pct_lockstep_dynamic_victor_victim_swaps() {
+    let swap_runs = Arc::new(AtomicUsize::new(0));
+    let tally = Arc::clone(&swap_runs);
+    let fx = move || {
+        let b = Arc::new(DynamicBarrier::mcs(4, 2));
+        let phases: Arc<Vec<AtomicU32>> = Arc::new((0..4).map(|_| AtomicU32::new(0)).collect());
+        let handles: Vec<_> = (0..4u32)
+            .map(|tid| {
+                let b = Arc::clone(&b);
+                let phases = Arc::clone(&phases);
+                vthread::spawn(move || {
+                    let mut w = b.waiter(tid);
+                    for e in 0..2u32 {
+                        w.try_wait().unwrap();
+                        phases[tid as usize].store(e + 1, Ordering::SeqCst);
+                        for (j, ph) in phases.iter().enumerate() {
+                            if j == tid as usize {
+                                continue;
+                            }
+                            let c = ph.load(Ordering::SeqCst);
+                            assert!(
+                                c == e || c == e + 1,
+                                "phase safety violated around a swap: thread {tid} finished \
+                                 episode {e} but peer {j} has completed {c}"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        if b.swap_count() > 0 {
+            tally.fetch_add(1, StdOrdering::Relaxed);
+        }
+    };
+    Checker::pct(0x5eed_0006, 3, pct_schedules())
+        .check(fx)
+        .expect_pass();
+    assert!(
+        swap_runs.load(StdOrdering::Relaxed) > 0,
+        "no explored schedule performed a victor/victim swap"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Poisoning invariant (PR 1 fault model) under exhaustive exploration.
+// ---------------------------------------------------------------------------
+
+/// A waiter dropped mid-episode poisons the barrier. In every
+/// interleaving the peer either crossed first (the doomed arrival
+/// still completed the episode) or observes `Poisoned` — it never
+/// spins forever, which the checker would report as a deadlock. The
+/// tally asserts the poisoned outcome is actually reachable.
+#[test]
+fn exhaustive_poisoning_never_strands_peer() {
+    let poisoned_runs = Arc::new(AtomicUsize::new(0));
+    let tally = Arc::clone(&poisoned_runs);
+    let fx = move || {
+        let b = Arc::new(CentralBarrier::new(2));
+        let doomed = {
+            let b = Arc::clone(&b);
+            vthread::spawn(move || {
+                let mut w = b.waiter_for(1);
+                w.try_arrive().unwrap();
+                // Dropped with the episode pending: poisons the barrier.
+                drop(w);
+            })
+        };
+        let survivor = {
+            let b = Arc::clone(&b);
+            vthread::spawn(move || {
+                let mut w = b.waiter_for(0);
+                match w.try_wait() {
+                    Ok(()) => false,
+                    Err(BarrierError::Poisoned) => true,
+                    Err(e) => panic!("unexpected barrier error: {e}"),
+                }
+            })
+        };
+        let saw_poison = survivor.join();
+        doomed.join();
+        if saw_poison {
+            assert!(b.is_poisoned());
+            tally.fetch_add(1, StdOrdering::Relaxed);
+        }
+    };
+    match Checker::exhaustive(3).max_schedules(2_000_000).check(fx) {
+        Outcome::Pass { complete, .. } => assert!(complete),
+        Outcome::Fail(f) => panic!("poisoning fixture failed: {f}"),
+    }
+    assert!(
+        poisoned_runs.load(StdOrdering::Relaxed) > 0,
+        "no explored schedule reached the poisoned outcome"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Eviction + rejoin invariant, including the Roster rejoin race window.
+// ---------------------------------------------------------------------------
+
+/// Evict a straggler, cross episodes at reduced strength, then revive
+/// it *concurrently* with the survivor's next episode. This drives the
+/// roster's rejoin CAS directly against `maintain`'s proxy-delivery
+/// CAS on the same slot — the race window audited in this PR:
+/// whichever CAS wins, the revived thread owes arrivals for exactly
+/// the episodes its proxy did not cover, which it discovers from its
+/// post-rejoin episode count. The survivor holds its *final* episode
+/// until the revival has happened (a rejoin only converges while
+/// peers keep crossing — the pending proxied episode needs their
+/// arrivals). Every interleaving must end with both at full strength.
+#[test]
+fn exhaustive_evict_rejoin_converges() {
+    const TOTAL: u32 = 4;
+    let fx = || {
+        let b = Arc::new(CentralBarrier::new(2));
+        let rejoined = Arc::new(AtomicU32::new(0));
+        let mut w0 = b.waiter_for(0);
+        // Episode 1: thread 1 straggles (it has not even arrived) and
+        // is evicted mid-episode; its arrival is delivered by proxy.
+        w0.try_arrive().unwrap();
+        assert!(b.evict(1));
+        w0.try_depart().unwrap();
+        // Episode 2 at reduced strength.
+        w0.try_wait().unwrap();
+        // Episode 3 races against the revival below.
+        let revived = {
+            let b = Arc::clone(&b);
+            let rejoined = Arc::clone(&rejoined);
+            vthread::spawn(move || {
+                let mut w1 = b.waiter_for(1);
+                assert!(w1.rejoin().unwrap());
+                rejoined.store(1, Ordering::SeqCst);
+                // Complete the episode the proxy already arrived for…
+                w1.try_depart().unwrap();
+                // …then arrive for every remaining episode ourselves.
+                while w1.episodes() < TOTAL {
+                    w1.try_wait().unwrap();
+                }
+                w1.episodes()
+            })
+        };
+        w0.try_wait().unwrap();
+        while rejoined.load(Ordering::SeqCst) == 0 {
+            spin_hint();
+        }
+        while w0.episodes() < TOTAL {
+            w0.try_wait().unwrap();
+        }
+        assert_eq!(revived.join(), TOTAL);
+        assert_eq!(b.evicted_count(), 0);
+        assert!(!b.is_poisoned());
+    };
+    match Checker::exhaustive(3).max_schedules(2_000_000).check(fx) {
+        Outcome::Pass { complete, .. } => assert!(complete),
+        Outcome::Fail(f) => panic!("evict/rejoin fixture failed: {f}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The checker catches a real protocol bug and the token replays it.
+// ---------------------------------------------------------------------------
+
+/// A sense-reversing barrier whose releasing thread forgets the
+/// release store: the classic lost-wakeup bug the checker exists to
+/// catch.
+struct BrokenBarrier {
+    count: AtomicU32,
+    sense: AtomicU32,
+}
+
+impl BrokenBarrier {
+    fn new() -> Self {
+        Self {
+            count: AtomicU32::new(0),
+            sense: AtomicU32::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        let s = self.sense.load(Ordering::SeqCst);
+        if self.count.fetch_add(1, Ordering::SeqCst) + 1 == 2 {
+            self.count.store(0, Ordering::SeqCst);
+            // BUG (deliberate): the release store `self.sense.store(
+            // s ^ 1, SeqCst)` is omitted, stranding the peer.
+        } else {
+            while self.sense.load(Ordering::SeqCst) == s {
+                spin_hint();
+            }
+        }
+    }
+}
+
+/// Acceptance criterion: the dropped-release-flag barrier is caught as
+/// a deadlock, the failing schedule is minimized, and the printed
+/// token alone reproduces the failure.
+#[test]
+fn broken_release_flag_caught_and_token_replays() {
+    let fixture = || {
+        let b = Arc::new(BrokenBarrier::new());
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                vthread::spawn(move || b.wait())
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+    };
+    let outcome = Checker::exhaustive(2).check(fixture);
+    let failure = outcome
+        .failure()
+        .expect("dropped release flag must be caught")
+        .clone();
+    assert_eq!(failure.kind, FailureKind::Deadlock, "got: {failure}");
+    assert!(!failure.schedule.is_empty());
+
+    // The token alone — as printed in the failure report — replays it.
+    let replay = Checker::replay(failure.token).check(fixture);
+    let replayed = replay.failure().expect("token failed to reproduce");
+    assert_eq!(replayed.kind, FailureKind::Deadlock);
+}
+
+/// Debug helper: replay a failing token and dump the recorded trace.
+/// Run manually: `cargo test --test model_check -- --ignored debug_replay --nocapture`
+#[test]
+#[ignore]
+fn debug_replay() {
+    let tok = u64::from_str_radix(
+        std::env::var("COMBAR_DEBUG_TOKEN")
+            .expect("set COMBAR_DEBUG_TOKEN")
+            .trim_start_matches("0x"),
+        16,
+    )
+    .unwrap();
+    let fx = lockstep_fixture(3, 2, CentralBarrier::new, central_wait);
+    let out = Checker::replay(tok).check(fx);
+    let f = out.failure().expect("token did not fail");
+    eprintln!("== {f}");
+    for ev in &f.trace {
+        eprintln!(
+            "step {:4}  t{}  {:?}  loc {:?}  val {:#x}",
+            ev.step, ev.tid, ev.access, ev.loc, ev.value
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Cross-validation: `combar-sim`'s event-driven barrier episode
+//! against an independent fault-free queueing model over a
+//! (p, degree, σ/t_c) grid.
+//!
+//! `combar_sim::run_episode` simulates an episode by scheduling
+//! arrival events through the `combar-des` engine and serializing
+//! counter updates through per-counter FIFO servers. This file
+//! recomputes the same episode with *none* of that machinery — a
+//! direct bottom-up recurrence over the counter tree using only the
+//! FIFO service law (`finish = max(request, server_free) + t_c`) — and
+//! demands the two agree on every release time and synchronization
+//! delay across the grid. A regression in the engine's event ordering,
+//! the server's bookkeeping, or the episode wiring shows up as a
+//! disagreement here, without trusting either implementation to test
+//! itself.
+//!
+//! A second anchor ties the flat topology straight to a raw
+//! `combar_des::FifoServer` timeline, and a third to the paper's
+//! Equation (1) closed form at zero spread.
+
+use combar_des::{Duration, FifoServer, SimTime};
+use combar_rng::{Distribution, Normal, Rng, SeedableRng, Xoshiro256pp};
+use combar_sim::run_episode;
+use combar_topo::{CounterId, Topology};
+
+const TC_US: f64 = 20.0;
+/// Agreement bound (µs). Both sides do the same f64 arithmetic in
+/// slightly different orders, so demand near-exactness, not exactness.
+const TOL_US: f64 = 1e-6;
+
+/// Independent episode model: processes counters children-first; each
+/// counter FIFO-serializes its requests (attached processors' arrivals
+/// plus completed child counters) at `t_c` per update, and its own
+/// completion time becomes a request at the parent. The root's
+/// completion is the barrier release.
+fn reference_release_us(
+    topo: &Topology,
+    homes: &[CounterId],
+    arrivals_us: &[f64],
+    tc_us: f64,
+) -> f64 {
+    let mut requests: Vec<Vec<f64>> = vec![Vec::new(); topo.num_counters()];
+    for (proc, &home) in homes.iter().enumerate() {
+        requests[home as usize].push(arrivals_us[proc]);
+    }
+    let mut order: Vec<CounterId> = (0..topo.num_counters() as CounterId).collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(topo.path_len(c)));
+    let mut release = 0.0f64;
+    for &c in &order {
+        let mut reqs = std::mem::take(&mut requests[c as usize]);
+        reqs.sort_by(f64::total_cmp);
+        let mut free = 0.0f64;
+        for r in reqs {
+            free = free.max(r) + tc_us;
+        }
+        match topo.node(c).parent {
+            Some(parent) => requests[parent as usize].push(free),
+            None => release = free,
+        }
+    }
+    release
+}
+
+fn grid_arrivals(p: u32, sigma_us: f64, rng: &mut impl Rng) -> Vec<f64> {
+    // Mean far enough from zero that clamping is rare even at the
+    // widest spread of the grid.
+    let mean = 4.0 * sigma_us + 100.0;
+    if sigma_us == 0.0 {
+        return vec![mean; p as usize];
+    }
+    let dist = Normal::new(mean, sigma_us).expect("valid sigma");
+    (0..p).map(|_| dist.sample(rng).max(0.0)).collect()
+}
+
+fn topologies(p: u32) -> Vec<Topology> {
+    vec![
+        Topology::flat(p),
+        Topology::combining(p, 2),
+        Topology::combining(p, 4),
+        Topology::combining(p, 8),
+        Topology::mcs(p, 4),
+    ]
+}
+
+/// The full grid: every (p, topology, σ/t_c) cell, several seeded
+/// replications each, agreeing on release time and sync delay.
+#[test]
+fn episode_release_matches_reference_on_grid() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xc805_5e11);
+    for p in [16u32, 64, 256] {
+        for topo in topologies(p) {
+            for sigma_tc in [0.0f64, 1.6, 12.5, 50.0] {
+                let sigma_us = sigma_tc * TC_US;
+                for rep in 0..5 {
+                    let arrivals = grid_arrivals(p, sigma_us, &mut rng);
+                    let sim = run_episode(&topo, topo.homes(), &arrivals, Duration::from_us(TC_US));
+                    let reference = reference_release_us(&topo, topo.homes(), &arrivals, TC_US);
+                    let last = arrivals.iter().copied().fold(f64::MIN, f64::max);
+                    assert!(
+                        (sim.release_us - reference).abs() < TOL_US,
+                        "{:?} p={p} σ/t_c={sigma_tc} rep={rep}: \
+                         sim release {} vs reference {}",
+                        topo.kind(),
+                        sim.release_us,
+                        reference
+                    );
+                    assert!(
+                        (sim.sync_delay_us - (reference - last)).abs() < TOL_US,
+                        "{:?} p={p} σ/t_c={sigma_tc} rep={rep}: \
+                         sim sync delay {} vs reference {}",
+                        topo.kind(),
+                        sim.sync_delay_us,
+                        reference - last
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Migrated placements (homes differing from the static default) stay
+/// in agreement — the cross-check is not specific to the identity
+/// placement the other grid cells use.
+#[test]
+fn episode_matches_reference_under_migrated_homes() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x51ac_ed01);
+    let topo = Topology::mcs(64, 4);
+    let sigma_us = 12.5 * TC_US;
+    for rep in 0..10 {
+        // Random transposition of two processors' homes per episode.
+        let mut homes = topo.homes().to_vec();
+        let a = (rng.next_u64() % 64) as usize;
+        let b = (rng.next_u64() % 64) as usize;
+        homes.swap(a, b);
+        let arrivals = grid_arrivals(64, sigma_us, &mut rng);
+        let sim = run_episode(&topo, &homes, &arrivals, Duration::from_us(TC_US));
+        let reference = reference_release_us(&topo, &homes, &arrivals, TC_US);
+        assert!(
+            (sim.release_us - reference).abs() < TOL_US,
+            "rep {rep} (swap {a}<->{b}): sim {} vs reference {}",
+            sim.release_us,
+            reference
+        );
+    }
+}
+
+/// Flat topology against a *raw* `combar-des` FIFO timeline: the whole
+/// barrier is one server, so serving the sorted arrivals directly must
+/// reproduce the simulated release.
+#[test]
+fn flat_topology_matches_direct_fifo_timeline() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xf1a7_0001);
+    for p in [4u32, 32, 128] {
+        let topo = Topology::flat(p);
+        let mut arrivals = grid_arrivals(p, 6.2 * TC_US, &mut rng);
+        let sim = run_episode(&topo, topo.homes(), &arrivals, Duration::from_us(TC_US));
+        let mut server = FifoServer::new();
+        arrivals.sort_by(f64::total_cmp);
+        let mut finish = SimTime::ZERO;
+        for &a in &arrivals {
+            finish = server
+                .serve(SimTime::from_us(a), Duration::from_us(TC_US))
+                .finish;
+        }
+        assert!(
+            (sim.release_us - finish.as_us()).abs() < TOL_US,
+            "p={p}: sim {} vs direct timeline {}",
+            sim.release_us,
+            finish.as_us()
+        );
+    }
+}
+
+/// Zero spread on full combining trees: both the simulator and the
+/// reference must land on the paper's Equation (1), `L·d·t_c`.
+#[test]
+fn zero_spread_full_trees_match_equation_1() {
+    for (p, d, levels) in [(16u32, 4u32, 2u32), (64, 4, 3), (64, 8, 2), (256, 2, 8)] {
+        let topo = Topology::combining(p, d);
+        assert_eq!(topo.depth(), levels);
+        let arrivals = vec![0.0; p as usize];
+        let sim = run_episode(&topo, topo.homes(), &arrivals, Duration::from_us(TC_US));
+        let reference = reference_release_us(&topo, topo.homes(), &arrivals, TC_US);
+        let eq1 = levels as f64 * d as f64 * TC_US;
+        assert!((sim.sync_delay_us - eq1).abs() < TOL_US, "sim vs Eq.1");
+        assert!((reference - eq1).abs() < TOL_US, "reference vs Eq.1");
+    }
+}
