@@ -1,0 +1,25 @@
+//! In-tree bench for the parallel execution layer: episodes/sec of a
+//! fixed Figure 3-style sweep, serial vs on the worker pool.
+//!
+//! ```text
+//! cargo bench -p combar-bench --bench sweep_throughput > BENCH_sweep.json
+//! ```
+//!
+//! Prints the committed JSON to stdout and a human summary to stderr.
+//! `COMBAR_THREADS` caps the pooled pass.
+
+use combar_bench::timing::sweep_throughput;
+
+fn main() {
+    let m = sweep_throughput();
+    eprintln!(
+        "sweep_throughput: {} episodes/pass — serial {:.0}/s, pooled {:.0}/s on {} thread(s) \
+         (speedup {:.2}x)",
+        m.episodes,
+        m.serial_eps,
+        m.pooled_eps,
+        m.threads,
+        m.speedup()
+    );
+    print!("{}", m.to_json());
+}

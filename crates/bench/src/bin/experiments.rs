@@ -3,50 +3,81 @@
 //! ```text
 //! cargo run -p combar-bench --release --bin experiments -- all
 //! cargo run -p combar-bench --release --bin experiments -- fig2 fig8
+//! cargo run -p combar-bench --release --bin experiments -- --only fig2,fig8
+//! cargo run -p combar-bench --release --bin experiments -- --list
 //! ```
 //!
 //! Available ids: fig2, fig3, fig4, fig5, sec4-mcs, fig8, fig9, fig10,
 //! fig11, fig12, fig13, ablate, adaptive, chaos, fuzzy-idle, release,
 //! baselines, verify, all. A `--quick` flag shrinks replication counts
-//! for smoke runs. `verify` grades the reproduction against the paper's
-//! reference values and exits non-zero on failure.
+//! for smoke runs; `--list` prints the available ids and exits;
+//! `--only a,b,c` selects a comma-separated subset. `verify` grades the
+//! reproduction against the paper's reference values and exits non-zero
+//! on failure. Parallelism is governed by `COMBAR_THREADS` (default:
+//! all cores) and never changes any output byte.
 
 use combar::presets::{Fig12, Fig13, Fig2, Fig3Grid, Fig5, Fig8, ScalingSweep};
 use combar_bench::experiments::{
     ablate, adaptive, baselines, chaos, fig2, fig34, fig5, fig8, fuzzy_idle, ksr, mcs, release,
-    scaling, SEED,
+    scaling, seeds,
 };
 use std::time::Instant;
 
+/// The `all` expansion, in presentation order.
+const ALL_IDS: &[&str] = &[
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "sec4-mcs",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "ablate",
+    "adaptive",
+    "chaos",
+    "fuzzy-idle",
+    "release",
+    "baselines",
+    "verify",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<&str> = args
-        .iter()
-        .map(|s| s.as_str())
-        .filter(|a| *a != "--quick")
-        .collect();
+    let mut quick = false;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--list" => {
+                for id in ALL_IDS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--only" => {
+                let Some(names) = it.next() else {
+                    eprintln!("--only requires a comma-separated list of ids");
+                    std::process::exit(2);
+                };
+                ids.extend(names.split(',').filter(|s| !s.is_empty()).map(String::from));
+            }
+            other => {
+                if let Some(names) = other.strip_prefix("--only=") {
+                    ids.extend(names.split(',').filter(|s| !s.is_empty()).map(String::from));
+                } else {
+                    ids.push(other.to_string());
+                }
+            }
+        }
+    }
+    let ids: Vec<&str> = ids.iter().map(|s| s.as_str()).collect();
     let ids: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
-        vec![
-            "fig2",
-            "fig3",
-            "fig4",
-            "fig5",
-            "sec4-mcs",
-            "fig8",
-            "fig9",
-            "fig10",
-            "fig11",
-            "fig12",
-            "fig13",
-            "ablate",
-            "adaptive",
-            "chaos",
-            "fuzzy-idle",
-            "release",
-            "baselines",
-            "verify",
-        ]
+        ALL_IDS.to_vec()
     } else {
         ids
     };
@@ -202,9 +233,9 @@ fn main() {
             }
             "chaos" => {
                 let preset = if quick {
-                    chaos::ChaosPreset::quick(SEED)
+                    chaos::ChaosPreset::quick(seeds::chaos())
                 } else {
-                    chaos::ChaosPreset::full(SEED)
+                    chaos::ChaosPreset::full(seeds::chaos())
                 };
                 println!("{}", chaos::run(&preset).render());
             }
@@ -300,10 +331,7 @@ fn main() {
             }
             other => {
                 eprintln!("unknown experiment id: {other}");
-                eprintln!(
-                    "known: fig2 fig3 fig4 fig5 sec4-mcs fig8 fig9 fig10 fig11 fig12 fig13 \
-                     ablate adaptive chaos fuzzy-idle all"
-                );
+                eprintln!("known: {} all (see --list)", ALL_IDS.join(" "));
                 std::process::exit(2);
             }
         }

@@ -10,11 +10,12 @@
 //!    how much does a partial tree at equal p deviate from the
 //!    full-tree model prediction?
 
-use crate::experiments::SEED;
+use crate::experiments::seeds;
 use crate::table::{fmt_ratio, Table};
 use combar::model::BarrierModel;
 use combar::presets::TC_US;
 use combar_des::Duration;
+use combar_exec::Sweep;
 use combar_rng::{SeedableRng, Xoshiro256pp};
 use combar_sim::{
     default_degree_sweep, optimal_degree, run_episode, sweep_degrees, SweepConfig, Topology,
@@ -34,67 +35,64 @@ pub struct ShapeRow {
     pub speedup_vs_4: f64,
 }
 
-/// Runs the distribution-shape ablation at `p` processors.
+/// Runs the distribution-shape ablation at `p` processors. Every
+/// `(σ, shape)` cell draws from its own RNG seeded by σ alone (the
+/// shapes are a paired comparison over the same stream), so the grid
+/// evaluates as one parallel [`Sweep`].
 pub fn run_shapes(p: u32, sigma_tcs: &[f64], reps: usize) -> Vec<ShapeRow> {
     let degrees = default_degree_sweep(p);
-    let mut rows = Vec::new();
-    for &sigma_tc in sigma_tcs {
+    let shapes = ["normal", "exponential", "pareto"];
+    Sweep::grid2(seeds::BASE, sigma_tcs, &shapes).run(|cell| {
+        let &(sigma_tc, shape) = cell.param;
         let sigma_us = sigma_tc * TC_US;
-        let make = |shape: &'static str| -> (_, Workload) {
-            let w = match shape {
-                "normal" => Workload::iid_normal(10.0 * sigma_us + 100.0, sigma_us),
-                "exponential" => Workload::iid_exponential(10.0 * sigma_us + 100.0, sigma_us),
-                // shape 2.5 → heavy tail with finite variance; scale
-                // chosen so σ matches: σ² = s²·α/((α−1)²(α−2)),
-                // α = 2.5 → σ = s·√(2.5/(1.5²·0.5)) = s·1.491
-                "pareto" => Workload::iid_pareto(10.0 * sigma_us + 100.0, sigma_us / 1.491, 2.5),
-                _ => unreachable!(),
-            };
-            (shape, w)
+        let mut w = match shape {
+            "normal" => Workload::iid_normal(10.0 * sigma_us + 100.0, sigma_us),
+            "exponential" => Workload::iid_exponential(10.0 * sigma_us + 100.0, sigma_us),
+            // shape 2.5 → heavy tail with finite variance; scale
+            // chosen so σ matches: σ² = s²·α/((α−1)²(α−2)),
+            // α = 2.5 → σ = s·√(2.5/(1.5²·0.5)) = s·1.491
+            "pareto" => Workload::iid_pareto(10.0 * sigma_us + 100.0, sigma_us / 1.491, 2.5),
+            _ => unreachable!(),
         };
-        for shape in ["normal", "exponential", "pareto"] {
-            let (name, mut w) = make(shape);
-            // build per-rep arrival sets from the workload and sweep
-            // degrees with common random numbers
-            let mut rng = Xoshiro256pp::seed_from_u64(SEED ^ sigma_tc.to_bits());
-            let mut per_degree: Vec<(u32, f64)> = degrees.iter().map(|&d| (d, 0.0)).collect();
-            let mut buf = vec![0.0f64; p as usize];
-            for _ in 0..reps {
-                w.sample_into(&mut rng, &mut buf);
-                let min = buf.iter().copied().fold(f64::INFINITY, f64::min);
-                let arrivals: Vec<f64> = buf.iter().map(|&x| x - min).collect();
-                for (d, acc) in per_degree.iter_mut() {
-                    let topo = if *d >= p {
-                        Topology::flat(p)
-                    } else {
-                        Topology::combining(p, *d)
-                    };
-                    let r = run_episode(&topo, topo.homes(), &arrivals, Duration::from_us(TC_US));
-                    *acc += r.sync_delay_us;
-                }
+        // build per-rep arrival sets from the workload and sweep
+        // degrees with common random numbers
+        let mut rng = Xoshiro256pp::seed_from_u64(seeds::ablate_shape(sigma_tc));
+        let mut per_degree: Vec<(u32, f64)> = degrees.iter().map(|&d| (d, 0.0)).collect();
+        let mut buf = vec![0.0f64; p as usize];
+        for _ in 0..reps {
+            w.sample_into(&mut rng, &mut buf);
+            let min = buf.iter().copied().fold(f64::INFINITY, f64::min);
+            let arrivals: Vec<f64> = buf.iter().map(|&x| x - min).collect();
+            for (d, acc) in per_degree.iter_mut() {
+                let topo = if *d >= p {
+                    Topology::flat(p)
+                } else {
+                    Topology::combining(p, *d)
+                };
+                let r = run_episode(&topo, topo.homes(), &arrivals, Duration::from_us(TC_US));
+                *acc += r.sync_delay_us;
             }
-            let four = per_degree
-                .iter()
-                .find(|(d, _)| *d == 4)
-                .expect("4 in sweep")
-                .1;
-            // wider-on-tie argmin
-            let mut best = per_degree[0];
-            for &(d, v) in &per_degree[1..] {
-                let eps = 1e-9 * best.1.max(1.0);
-                if v < best.1 - eps || (v <= best.1 + eps && d > best.0) {
-                    best = (d, v);
-                }
-            }
-            rows.push(ShapeRow {
-                shape: name,
-                sigma_tc,
-                optimal_degree: best.0,
-                speedup_vs_4: four / best.1,
-            });
         }
-    }
-    rows
+        let four = per_degree
+            .iter()
+            .find(|(d, _)| *d == 4)
+            .expect("4 in sweep")
+            .1;
+        // wider-on-tie argmin
+        let mut best = per_degree[0];
+        for &(d, v) in &per_degree[1..] {
+            let eps = 1e-9 * best.1.max(1.0);
+            if v < best.1 - eps || (v <= best.1 + eps && d > best.0) {
+                best = (d, v);
+            }
+        }
+        ShapeRow {
+            shape,
+            sigma_tc,
+            optimal_degree: best.0,
+            speedup_vs_4: four / best.1,
+        }
+    })
 }
 
 /// Renders the shape ablation.
@@ -131,36 +129,42 @@ pub struct ModelErrorRow {
     pub rel_err: f64,
 }
 
-/// Quantifies the §3 approximation error over full-tree degrees.
+/// Quantifies the §3 approximation error over full-tree degrees. Each
+/// σ column is an independent degree sweep, so the axis evaluates as a
+/// parallel [`Sweep`].
 pub fn run_model_error(p: u32, sigma_tcs: &[f64], reps: usize) -> Vec<ModelErrorRow> {
     let degrees = combar_sim::full_tree_degrees(p);
-    let mut rows = Vec::new();
-    for &sigma_tc in sigma_tcs {
-        let cfg = SweepConfig {
-            tc: Duration::from_us(TC_US),
-            sigma_us: sigma_tc * TC_US,
-            reps,
-            seed: SEED ^ 0xe44,
-            style: TreeStyle::Combining,
-        };
-        let swept = sweep_degrees(p, &degrees, &cfg);
-        let model = BarrierModel::new(p, sigma_tc * TC_US, TC_US).expect("valid");
-        for r in &swept {
-            let m = model
-                .sync_delay(r.degree)
-                .expect("full degree")
-                .sync_delay_us;
-            rows.push(ModelErrorRow {
-                p,
-                degree: r.degree,
-                sigma_tc,
-                sim_us: r.sync_delay.mean(),
-                model_us: m,
-                rel_err: (m - r.sync_delay.mean()) / r.sync_delay.mean(),
-            });
-        }
-    }
-    rows
+    let per_sigma: Vec<Vec<ModelErrorRow>> =
+        Sweep::new(seeds::BASE, sigma_tcs.to_vec()).run(|cell| {
+            let &sigma_tc = cell.param;
+            let cfg = SweepConfig {
+                tc: Duration::from_us(TC_US),
+                sigma_us: sigma_tc * TC_US,
+                reps,
+                seed: seeds::model_error(),
+                style: TreeStyle::Combining,
+            };
+            let swept = sweep_degrees(p, &degrees, &cfg);
+            let model = BarrierModel::new(p, sigma_tc * TC_US, TC_US).expect("valid");
+            swept
+                .iter()
+                .map(|r| {
+                    let m = model
+                        .sync_delay(r.degree)
+                        .expect("full degree")
+                        .sync_delay_us;
+                    ModelErrorRow {
+                        p,
+                        degree: r.degree,
+                        sigma_tc,
+                        sim_us: r.sync_delay.mean(),
+                        model_us: m,
+                        rel_err: (m - r.sync_delay.mean()) / r.sync_delay.mean(),
+                    }
+                })
+                .collect()
+        });
+    per_sigma.into_iter().flatten().collect()
 }
 
 /// Renders the model-error ablation.
@@ -191,7 +195,7 @@ pub fn run_partial_vs_full(p: u32, sigma_tc: f64, reps: usize) -> Vec<(u32, bool
         tc: Duration::from_us(TC_US),
         sigma_us: sigma_tc * TC_US,
         reps,
-        seed: SEED ^ 0xf0f0,
+        seed: seeds::partial(),
         style: TreeStyle::Combining,
     };
     let degrees = default_degree_sweep(p);
@@ -213,15 +217,15 @@ pub fn run_level_profile(
     degrees: &[u32],
     reps: usize,
 ) -> Vec<(u32, Vec<f64>)> {
-    let mut out = Vec::new();
-    for &d in degrees {
+    Sweep::new(seeds::BASE, degrees.to_vec()).run(|cell| {
+        let &d = cell.param;
         let topo = if d >= p {
             Topology::flat(p)
         } else {
             Topology::combining(p, d)
         };
         let mut acc: Vec<f64> = vec![0.0; topo.depth() as usize];
-        let mut rng = Xoshiro256pp::seed_from_u64(SEED ^ 0x1e7e1 ^ d as u64);
+        let mut rng = Xoshiro256pp::seed_from_u64(seeds::level_profile(d));
         for _ in 0..reps {
             let arrivals = combar_sim::normal_arrivals(p as usize, sigma_tc * TC_US, &mut rng);
             let r = run_episode(&topo, topo.homes(), &arrivals, Duration::from_us(TC_US));
@@ -229,9 +233,8 @@ pub fn run_level_profile(
                 *a += w / reps as f64;
             }
         }
-        out.push((d, acc));
-    }
-    out
+        (d, acc)
+    })
 }
 
 /// Renders the level profile (level 1 = root).
@@ -266,7 +269,7 @@ pub fn optimal_under_normal(p: u32, sigma_tc: f64, reps: usize) -> u32 {
         tc: Duration::from_us(TC_US),
         sigma_us: sigma_tc * TC_US,
         reps,
-        seed: SEED,
+        seed: seeds::optimal_under_normal(),
         style: TreeStyle::Combining,
     };
     let swept = sweep_degrees(p, &default_degree_sweep(p), &cfg);

@@ -13,11 +13,12 @@
 //! * **oracle** — the best fixed degree per phase, found by exhaustive
 //!   search (the unreachable lower bound).
 
-use crate::experiments::SEED;
+use crate::experiments::seeds;
 use crate::table::{fmt_us, Table};
 use combar::policy::DegreeAdvisor;
 use combar::presets::TC_US;
 use combar_des::Duration;
+use combar_exec::Sweep;
 use combar_rng::stats::{std_dev, OnlineStats};
 use combar_rng::{SeedableRng, Xoshiro256pp};
 use combar_sim::{
@@ -62,11 +63,27 @@ pub struct AdaptiveResult {
     pub window: usize,
 }
 
-/// Runs the adaptive-degree experiment.
+/// Runs the adaptive-degree experiment. The phase script itself is
+/// inherently sequential (the controller carries its degree and RNG
+/// across phases), but each phase's oracle depends only on the phase's
+/// σ, so the oracle searches evaluate up front as a parallel
+/// [`Sweep`].
 pub fn run(p: u32, phases: &[Phase], window: usize) -> AdaptiveResult {
     let tc = Duration::from_us(TC_US);
     let advisor = DegreeAdvisor::new(p, TC_US);
-    let mut rng = Xoshiro256pp::seed_from_u64(SEED ^ 0xada);
+    let mut rng = Xoshiro256pp::seed_from_u64(seeds::adaptive());
+
+    let oracles = Sweep::new(seeds::BASE, phases.to_vec()).run(|cell| {
+        let cfg = SweepConfig {
+            tc,
+            sigma_us: cell.param.sigma_tc * TC_US,
+            reps: 15,
+            seed: seeds::adaptive_oracle(cell.param.sigma_tc),
+            style: TreeStyle::Combining,
+        };
+        let swept = sweep_degrees(p, &default_degree_sweep(p), &cfg);
+        optimal_degree(&swept).clone()
+    });
 
     let mut rows = Vec::new();
     // The adaptive barrier starts at the classical degree and carries
@@ -74,7 +91,7 @@ pub fn run(p: u32, phases: &[Phase], window: usize) -> AdaptiveResult {
     let mut current_degree = 4u32;
     let mut window_spreads: Vec<f64> = Vec::new();
 
-    for &phase in phases {
+    for (&phase, oracle) in phases.iter().zip(&oracles) {
         let sigma_us = phase.sigma_tc * TC_US;
         let fixed_topo = build_tree(TreeStyle::Combining, p, 4);
         let mut fixed = OnlineStats::new();
@@ -98,17 +115,6 @@ pub fn run(p: u32, phases: &[Phase], window: usize) -> AdaptiveResult {
                 window_spreads.clear();
             }
         }
-
-        // oracle for this phase
-        let cfg = SweepConfig {
-            tc,
-            sigma_us,
-            reps: 15,
-            seed: SEED ^ phase.sigma_tc.to_bits(),
-            style: TreeStyle::Combining,
-        };
-        let swept = sweep_degrees(p, &default_degree_sweep(p), &cfg);
-        let oracle = optimal_degree(&swept);
 
         let adapted_degree = degree_use
             .into_iter()

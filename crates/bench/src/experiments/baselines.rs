@@ -13,10 +13,11 @@
 //! The crossover structure answers "when is any combining tree worth
 //! it at all?"
 
-use crate::experiments::SEED;
+use crate::experiments::seeds;
 use crate::table::{fmt_us, Table};
 use combar::presets::TC_US;
 use combar_des::Duration;
+use combar_exec::Sweep;
 use combar_rng::{SeedableRng, Xoshiro256pp};
 use combar_sim::{
     default_degree_sweep, mean_dissemination_delay, optimal_degree, sweep_degrees, SweepConfig,
@@ -40,24 +41,26 @@ pub struct BaselineRow {
     pub dissemination_us: f64,
 }
 
-/// Runs the shoot-out at `p` processors.
+/// Runs the shoot-out at `p` processors. Each σ row is independently
+/// seeded (by `p` alone, fresh per row), so the axis evaluates as a
+/// parallel [`Sweep`].
 pub fn run(p: u32, sigma_tcs: &[f64], reps: usize) -> Vec<BaselineRow> {
     let degrees = default_degree_sweep(p);
-    let mut rows = Vec::new();
-    for &sigma_tc in sigma_tcs {
+    Sweep::new(seeds::BASE, sigma_tcs.to_vec()).run(|cell| {
+        let &sigma_tc = cell.param;
         let sigma_us = sigma_tc * TC_US;
         let cfg = SweepConfig {
             tc: Duration::from_us(TC_US),
             sigma_us,
             reps,
-            seed: SEED ^ 0xba5e ^ p as u64,
+            seed: seeds::baseline(p),
             style: TreeStyle::Combining,
         };
         let swept = sweep_degrees(p, &degrees, &cfg);
         let best = optimal_degree(&swept);
         let four = swept.iter().find(|r| r.degree == 4).expect("4 in sweep");
         let flat = swept.iter().find(|r| r.degree == p).expect("p in sweep");
-        let mut rng = Xoshiro256pp::seed_from_u64(SEED ^ 0xd155 ^ p as u64);
+        let mut rng = Xoshiro256pp::seed_from_u64(seeds::dissemination(p));
         let diss = mean_dissemination_delay(
             p as usize,
             sigma_us,
@@ -65,16 +68,15 @@ pub fn run(p: u32, sigma_tcs: &[f64], reps: usize) -> Vec<BaselineRow> {
             if sigma_us == 0.0 { 1 } else { reps },
             &mut rng,
         );
-        rows.push(BaselineRow {
+        BaselineRow {
             sigma_tc,
             flat_us: flat.sync_delay.mean(),
             degree4_us: four.sync_delay.mean(),
             optimal_us: best.sync_delay.mean(),
             optimal_degree: best.degree,
             dissemination_us: diss.mean(),
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// Renders the table.

@@ -2,7 +2,7 @@
 //! processors, σ = 250 µs — simulated (update + contention split)
 //! against the analytic approximation (full-tree degrees only).
 
-use crate::experiments::SEED;
+use crate::experiments::seeds;
 use crate::table::{fmt_us, Table};
 use combar::model::BarrierModel;
 use combar::model_topo::sync_delay_for_topology;
@@ -48,9 +48,11 @@ pub fn run(preset: &Fig2) -> Fig2Result {
         tc: Duration::from_us(TC_US),
         sigma_us: preset.sigma_us,
         reps: preset.reps,
-        seed: SEED,
+        seed: seeds::fig2(),
         style: TreeStyle::Combining,
     };
+    // The degree axis shares common random numbers, so the grid lives
+    // inside `sweep_degrees`, which replicates on the combar-exec pool.
     let swept: Vec<DegreeResult> = sweep_degrees(preset.p, &preset.degrees, &cfg);
     let model = BarrierModel::new(preset.p, preset.sigma_us, TC_US).expect("valid params");
     let rows = swept

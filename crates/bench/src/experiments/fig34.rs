@@ -6,7 +6,7 @@
 //! the speedups — the paper reports the estimated degrees cost only
 //! ~7 % on average.
 
-use crate::experiments::SEED;
+use crate::experiments::seeds;
 use crate::table::{fmt_ratio, Table};
 use combar::model::BarrierModel;
 use combar::model_topo::estimate_optimal_degree_any;
@@ -51,68 +51,68 @@ pub struct GridResult {
     pub preset: Fig3Grid,
 }
 
-/// Runs the Figure 3/4 grid.
+/// Runs the Figure 3/4 grid. Every `(p, σ)` cell is independent — its
+/// seed depends only on `p` — so the grid evaluates as one parallel
+/// [`Sweep`](combar_exec::Sweep) in table row order.
 pub fn run(preset: &Fig3Grid) -> GridResult {
-    let mut cells = Vec::new();
-    for &p in &preset.procs {
+    let cells = preset.sweep().run(|cell| {
+        let &(p, sigma_tc) = cell.param;
         let degrees = default_degree_sweep(p);
-        for &sigma_tc in &preset.sigma_tc {
-            let cfg = SweepConfig {
-                tc: Duration::from_us(TC_US),
-                sigma_us: sigma_tc * TC_US,
-                reps: preset.reps,
-                seed: SEED ^ p as u64,
-                style: TreeStyle::Combining,
-            };
-            let swept = sweep_degrees(p, &degrees, &cfg);
-            let best = optimal_degree(&swept);
-            let four = swept
-                .iter()
-                .find(|r| r.degree == 4)
-                .expect("4 is in the sweep");
+        let cfg = SweepConfig {
+            tc: Duration::from_us(TC_US),
+            sigma_us: sigma_tc * TC_US,
+            reps: preset.reps,
+            seed: seeds::fig34(p),
+            style: TreeStyle::Combining,
+        };
+        let swept = sweep_degrees(p, &degrees, &cfg);
+        let best = optimal_degree(&swept);
+        let four = swept
+            .iter()
+            .find(|r| r.degree == 4)
+            .expect("4 is in the sweep");
 
-            let model = BarrierModel::new(p, sigma_tc * TC_US, TC_US).expect("valid");
-            let est_degree = model.estimate_optimal_degree().degree;
-            // honest evaluation: simulate the estimated degree with the
-            // same common random numbers
-            let est_sim = swept
-                .iter()
-                .find(|r| r.degree == est_degree)
-                .cloned()
-                .unwrap_or_else(|| {
-                    sweep_degrees(p, &[est_degree], &cfg)
-                        .into_iter()
-                        .next()
-                        .unwrap()
-                });
-            let (est_any_degree, _) =
-                estimate_optimal_degree_any(p, sigma_tc * TC_US, TC_US, LastArrival::default())
-                    .expect("valid parameters");
-            let est_any_sim = swept
-                .iter()
-                .find(|r| r.degree == est_any_degree)
-                .cloned()
-                .unwrap_or_else(|| {
-                    sweep_degrees(p, &[est_any_degree], &cfg)
-                        .into_iter()
-                        .next()
-                        .unwrap()
-                });
-
-            cells.push(GridCell {
-                p,
-                sigma_tc,
-                sim_degree: best.degree,
-                sim_speedup: four.sync_delay.mean() / best.sync_delay.mean(),
-                est_degree,
-                est_speedup: four.sync_delay.mean() / est_sim.sync_delay.mean(),
-                sim_delay_us: best.sync_delay.mean(),
-                est_delay_us: est_sim.sync_delay.mean(),
-                est_any_degree,
-                est_any_delay_us: est_any_sim.sync_delay.mean(),
+        let model = BarrierModel::new(p, sigma_tc * TC_US, TC_US).expect("valid");
+        let est_degree = model.estimate_optimal_degree().degree;
+        // honest evaluation: simulate the estimated degree with the
+        // same common random numbers
+        let est_sim = swept
+            .iter()
+            .find(|r| r.degree == est_degree)
+            .cloned()
+            .unwrap_or_else(|| {
+                sweep_degrees(p, &[est_degree], &cfg)
+                    .into_iter()
+                    .next()
+                    .unwrap()
             });
+        let (est_any_degree, _) =
+            estimate_optimal_degree_any(p, sigma_tc * TC_US, TC_US, LastArrival::default())
+                .expect("valid parameters");
+        let est_any_sim = swept
+            .iter()
+            .find(|r| r.degree == est_any_degree)
+            .cloned()
+            .unwrap_or_else(|| {
+                sweep_degrees(p, &[est_any_degree], &cfg)
+                    .into_iter()
+                    .next()
+                    .unwrap()
+            });
+
+        GridCell {
+            p,
+            sigma_tc,
+            sim_degree: best.degree,
+            sim_speedup: four.sync_delay.mean() / best.sync_delay.mean(),
+            est_degree,
+            est_speedup: four.sync_delay.mean() / est_sim.sync_delay.mean(),
+            sim_delay_us: best.sync_delay.mean(),
+            est_delay_us: est_sim.sync_delay.mean(),
+            est_any_degree,
+            est_any_delay_us: est_any_sim.sync_delay.mean(),
         }
-    }
+    });
     GridResult {
         cells,
         preset: preset.clone(),

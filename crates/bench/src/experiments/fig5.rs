@@ -13,7 +13,7 @@
 //! * probability that the last processor is still in the slowest decile
 //!   `lag` iterations later.
 
-use crate::experiments::SEED;
+use crate::experiments::seeds;
 use crate::table::Table;
 use combar::presets::Fig5;
 use combar_des::Duration;
@@ -43,11 +43,14 @@ pub struct Fig5Result {
     pub preset: Fig5,
 }
 
-/// Runs the persistence experiment.
+/// Runs the persistence experiment. Each slack value is an independent
+/// chained run — its seed depends only on the slack — so the axis
+/// evaluates as a parallel [`Sweep`](combar_exec::Sweep); the lag
+/// analysis of each run stays inside its cell.
 pub fn run(preset: &Fig5) -> Fig5Result {
     let topo = Topology::mcs(preset.p, 4);
-    let mut cells = Vec::new();
-    for &slack in &preset.slacks_us {
+    let cells: Vec<Vec<PersistenceCell>> = preset.sweep().run(|cell| {
+        let &slack = cell.param;
         let cfg = IterateConfig {
             tc: Duration::from_us(combar::presets::TC_US),
             slack: Duration::from_us(slack),
@@ -58,41 +61,45 @@ pub fn run(preset: &Fig5) -> Fig5Result {
             release_model: combar_sim::ReleaseModel::CentralFlag,
         };
         let mut workload = Workload::iid_normal(preset.work_mean_us, preset.sigma_us);
-        let mut rng = Xoshiro256pp::seed_from_u64(SEED ^ slack.to_bits());
+        let mut rng = Xoshiro256pp::seed_from_u64(seeds::fig5(slack));
         let rep = run_iterations(&topo, &cfg, &mut workload, &mut rng);
 
-        for &lag in &preset.lags {
-            let mut corr = OnlineStats::new();
-            let mut hits = 0usize;
-            let mut total = 0usize;
-            let decile = (preset.p as usize).div_ceil(10);
-            for k in 0..rep.arrivals.len().saturating_sub(lag) {
-                corr.push(spearman(&rep.arrivals[k], &rep.arrivals[k + lag]));
-                // was iteration k's last arriver still in the slowest
-                // decile at k+lag?
-                let last = rep.last_arrivers[k] as usize;
-                let future = &rep.arrivals[k + lag];
-                let mut slower = 0usize;
-                for &a in future.iter() {
-                    if a > future[last] {
-                        slower += 1;
+        preset
+            .lags
+            .iter()
+            .map(|&lag| {
+                let mut corr = OnlineStats::new();
+                let mut hits = 0usize;
+                let mut total = 0usize;
+                let decile = (preset.p as usize).div_ceil(10);
+                for k in 0..rep.arrivals.len().saturating_sub(lag) {
+                    corr.push(spearman(&rep.arrivals[k], &rep.arrivals[k + lag]));
+                    // was iteration k's last arriver still in the
+                    // slowest decile at k+lag?
+                    let last = rep.last_arrivers[k] as usize;
+                    let future = &rep.arrivals[k + lag];
+                    let mut slower = 0usize;
+                    for &a in future.iter() {
+                        if a > future[last] {
+                            slower += 1;
+                        }
                     }
+                    if slower < decile {
+                        hits += 1;
+                    }
+                    total += 1;
                 }
-                if slower < decile {
-                    hits += 1;
+                PersistenceCell {
+                    slack_us: slack,
+                    lag,
+                    rank_corr: corr.mean(),
+                    last_in_decile: hits as f64 / total.max(1) as f64,
                 }
-                total += 1;
-            }
-            cells.push(PersistenceCell {
-                slack_us: slack,
-                lag,
-                rank_corr: corr.mean(),
-                last_in_decile: hits as f64 / total.max(1) as f64,
-            });
-        }
-    }
+            })
+            .collect()
+    });
     Fig5Result {
-        cells,
+        cells: cells.into_iter().flatten().collect(),
         preset: preset.clone(),
     }
 }

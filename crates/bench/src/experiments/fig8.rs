@@ -5,12 +5,12 @@
 //! the synchronization speedup of dynamic over static placement, and
 //! the communication overhead of the swaps.
 
-use crate::experiments::SEED;
+use crate::experiments::seeds;
 use crate::table::Table;
 use combar::presets::{Fig8, TC_US};
 use combar_des::Duration;
 use combar_rng::{SeedableRng, Xoshiro256pp};
-use combar_sim::{run_iterations, IterateConfig, PlacementMode, Topology, Workload};
+use combar_sim::{run_modes, IterateConfig, PlacementMode, Topology, Workload};
 
 /// One (degree, slack) measurement.
 #[derive(Debug, Clone)]
@@ -38,40 +38,41 @@ pub struct Fig8Result {
     pub preset: Fig8,
 }
 
-/// Runs the Figure 8 experiment.
+/// Runs the Figure 8 experiment. Every `(degree, slack)` cell is
+/// independently seeded, so the grid evaluates as one parallel
+/// [`Sweep`](combar_exec::Sweep); inside a cell the static/dynamic
+/// pair shares identical workload streams (paired comparison) via
+/// [`run_modes`].
 pub fn run(preset: &Fig8) -> Fig8Result {
-    let mut cells = Vec::new();
-    for &degree in &preset.degrees {
+    let cells = preset.sweep().run(|cell| {
+        let &(degree, slack) = cell.param;
         let topo = Topology::mcs(preset.p, degree);
-        for &slack in &preset.slacks_us {
-            let cfg = |mode| IterateConfig {
-                tc: Duration::from_us(TC_US),
-                slack: Duration::from_us(slack),
-                iterations: preset.iterations,
-                warmup: preset.warmup,
-                mode,
-                record_arrivals: false,
-                release_model: combar_sim::ReleaseModel::CentralFlag,
-            };
-            // identical workload streams for the paired comparison
-            let seed = SEED ^ (degree as u64) << 32 ^ slack.to_bits();
-            let mut w1 = Workload::iid_normal(preset.work_mean_us, preset.sigma_us);
-            let mut r1 = Xoshiro256pp::seed_from_u64(seed);
-            let stat = run_iterations(&topo, &cfg(PlacementMode::Static), &mut w1, &mut r1);
-            let mut w2 = Workload::iid_normal(preset.work_mean_us, preset.sigma_us);
-            let mut r2 = Xoshiro256pp::seed_from_u64(seed);
-            let dynamic = run_iterations(&topo, &cfg(PlacementMode::Dynamic), &mut w2, &mut r2);
+        let cfg = IterateConfig {
+            tc: Duration::from_us(TC_US),
+            slack: Duration::from_us(slack),
+            iterations: preset.iterations,
+            warmup: preset.warmup,
+            mode: PlacementMode::Static,
+            record_arrivals: false,
+            release_model: combar_sim::ReleaseModel::CentralFlag,
+        };
+        let seed = seeds::fig8(degree, slack);
+        let (stat, dynamic) = run_modes(&topo, &cfg, || {
+            (
+                Workload::iid_normal(preset.work_mean_us, preset.sigma_us),
+                Xoshiro256pp::seed_from_u64(seed),
+            )
+        });
 
-            cells.push(Fig8Cell {
-                degree,
-                slack_us: slack,
-                last_proc_depth: dynamic.releasing_depth.mean(),
-                static_depth: stat.releasing_depth.mean(),
-                sync_speedup: stat.sync_delay.mean() / dynamic.sync_delay.mean(),
-                comm_overhead: dynamic.comm_overhead(),
-            });
+        Fig8Cell {
+            degree,
+            slack_us: slack,
+            last_proc_depth: dynamic.releasing_depth.mean(),
+            static_depth: stat.releasing_depth.mean(),
+            sync_speedup: stat.sync_delay.mean() / dynamic.sync_delay.mean(),
+            comm_overhead: dynamic.comm_overhead(),
         }
-    }
+    });
     Fig8Result {
         cells,
         preset: preset.clone(),

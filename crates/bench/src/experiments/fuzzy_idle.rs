@@ -8,10 +8,11 @@
 //! arrival-spread growth that makes dynamic placement's predictions
 //! possible.
 
-use crate::experiments::SEED;
+use crate::experiments::seeds;
 use crate::table::Table;
 use combar::presets::TC_US;
 use combar_des::Duration;
+use combar_exec::Sweep;
 use combar_rng::stats::{mean, std_dev, OnlineStats};
 use combar_rng::{Histogram, SeedableRng, Xoshiro256pp};
 use combar_sim::{run_iterations, IterateConfig, PlacementMode, Topology, Workload};
@@ -48,52 +49,66 @@ pub struct FuzzyIdleResult {
     pub skewness: f64,
 }
 
-/// Runs the sweep.
+/// Runs the sweep. Each slack value is an independent chained run (its
+/// seed depends only on the slack), so the axis evaluates as a parallel
+/// [`Sweep`]; the asymmetry histogram and skewness are folded from the
+/// cells' standardized offsets in grid order afterwards, keeping the
+/// result identical for any thread count.
 pub fn run(p: u32, sigma_us: f64, slacks_us: &[f64], iterations: usize) -> FuzzyIdleResult {
     let topo = Topology::mcs(p, 4);
-    let mut rows = Vec::new();
+    let max_slack = slacks_us.iter().copied().fold(0.0f64, f64::max);
+    let cells: Vec<(FuzzyIdleRow, Option<Vec<f64>>)> = Sweep::new(seeds::BASE, slacks_us.to_vec())
+        .run(|cell| {
+            let &slack = cell.param;
+            let cfg = IterateConfig {
+                tc: Duration::from_us(TC_US),
+                slack: Duration::from_us(slack),
+                iterations,
+                warmup: 15,
+                mode: PlacementMode::Static,
+                record_arrivals: true,
+                release_model: combar_sim::ReleaseModel::CentralFlag,
+            };
+            let mut w = Workload::iid_normal(10.0 * sigma_us + 1_000.0, sigma_us);
+            let mut rng = Xoshiro256pp::seed_from_u64(seeds::fuzzy_idle(slack));
+            let rep = run_iterations(&topo, &cfg, &mut w, &mut rng);
+            let mut spread = OnlineStats::new();
+            for a in &rep.arrivals {
+                spread.push(std_dev(a));
+            }
+            let offsets = (slack == max_slack).then(|| {
+                // standardized arrival offsets for the asymmetry view
+                let mut zs = Vec::new();
+                for a in &rep.arrivals {
+                    let m = mean(a);
+                    let s = std_dev(a).max(1e-9);
+                    zs.extend(a.iter().map(|&x| (x - m) / s));
+                }
+                zs
+            });
+            let row = FuzzyIdleRow {
+                slack_us: slack,
+                idle_us: rep.idle.mean(),
+                sync_us: rep.sync_delay.mean(),
+                spread_us: spread.mean(),
+            };
+            (row, offsets)
+        });
+    let mut rows = Vec::with_capacity(cells.len());
     let mut asymmetry = Histogram::new(-4.0, 8.0, 24);
     let mut skew_num = 0.0f64;
     let mut skew_den = 0.0f64;
     let mut skew_n = 0usize;
-    let max_slack = slacks_us.iter().copied().fold(0.0f64, f64::max);
-    for &slack in slacks_us {
-        let cfg = IterateConfig {
-            tc: Duration::from_us(TC_US),
-            slack: Duration::from_us(slack),
-            iterations,
-            warmup: 15,
-            mode: PlacementMode::Static,
-            record_arrivals: true,
-            release_model: combar_sim::ReleaseModel::CentralFlag,
-        };
-        let mut w = Workload::iid_normal(10.0 * sigma_us + 1_000.0, sigma_us);
-        let mut rng = Xoshiro256pp::seed_from_u64(SEED ^ 0xf1d1e ^ slack.to_bits());
-        let rep = run_iterations(&topo, &cfg, &mut w, &mut rng);
-        let mut spread = OnlineStats::new();
-        for a in &rep.arrivals {
-            spread.push(std_dev(a));
-        }
-        if slack == max_slack {
-            // collect standardized arrival offsets for the asymmetry view
-            for a in &rep.arrivals {
-                let m = mean(a);
-                let s = std_dev(a).max(1e-9);
-                for &x in a {
-                    let z = (x - m) / s;
-                    asymmetry.record(z);
-                    skew_num += z * z * z;
-                    skew_den += z * z;
-                    skew_n += 1;
-                }
+    for (row, offsets) in cells {
+        if let Some(zs) = offsets {
+            for z in zs {
+                asymmetry.record(z);
+                skew_num += z * z * z;
+                skew_den += z * z;
+                skew_n += 1;
             }
         }
-        rows.push(FuzzyIdleRow {
-            slack_us: slack,
-            idle_us: rep.idle.mean(),
-            sync_us: rep.sync_delay.mean(),
-            spread_us: spread.mean(),
-        });
+        rows.push(row);
     }
     let skewness = if skew_n > 0 {
         (skew_num / skew_n as f64) / (skew_den / skew_n as f64).powf(1.5)

@@ -9,10 +9,11 @@
 //!   depth 4.38 → 1.67 at degree 2; speedups up to 1.73, with a penalty
 //!   below ~1 ms of slack).
 
-use crate::experiments::SEED;
+use crate::experiments::seeds;
 use crate::table::Table;
 use combar::presets::{Fig12, Fig13};
 use combar_des::Duration;
+use combar_exec::Sweep;
 use combar_machine::{ring_topology, KsrParams, SorWork};
 use combar_rng::{SeedableRng, Xoshiro256pp};
 use combar_sim::{run_iterations, IterateConfig, IterateReport, PlacementMode};
@@ -83,11 +84,14 @@ pub struct Fig12Result {
     pub preset: Fig12,
 }
 
-/// Runs the Figure 12 experiment.
+/// Runs the Figure 12 experiment. Each `d_y` row is independently
+/// seeded (the degree scan within a row is a paired comparison over one
+/// seed), so the axis evaluates as a parallel
+/// [`Sweep`](combar_exec::Sweep).
 pub fn run_fig12(preset: &Fig12) -> Fig12Result {
     let params = KsrParams::default();
-    let mut rows = Vec::new();
-    for &dy in &preset.dy {
+    let rows = preset.sweep().run(|cell| {
+        let &dy = cell.param;
         let mut best: Option<(u32, f64)> = None;
         let mut degree4 = f64::NAN;
         for &d in &preset.degrees {
@@ -100,7 +104,7 @@ pub fn run_fig12(preset: &Fig12) -> Fig12Result {
                     iterations: preset.iterations,
                     warmup: preset.warmup,
                     mode: PlacementMode::Static,
-                    seed: SEED ^ dy as u64,
+                    seed: seeds::fig12(dy),
                 },
             );
             let delay = rep.sync_delay.mean();
@@ -118,14 +122,14 @@ pub fn run_fig12(preset: &Fig12) -> Fig12Result {
             }
         }
         let (optimal_degree, optimal_delay_us) = best.expect("at least one degree");
-        rows.push(Fig12Row {
+        Fig12Row {
             dy,
             sigma_us: SorWork::paper_config(dy).analytic_sigma_us(),
             optimal_degree,
             speedup_vs_4: degree4 / optimal_delay_us,
             optimal_delay_us,
-        });
-    }
+        }
+    });
     Fig12Result {
         rows,
         preset: preset.clone(),
@@ -173,38 +177,38 @@ pub struct Fig13Result {
     pub preset: Fig13,
 }
 
-/// Runs the Figure 13 experiment.
+/// Runs the Figure 13 experiment. Every `(degree, slack)` cell is
+/// independently seeded, so the grid evaluates as one parallel
+/// [`Sweep`](combar_exec::Sweep); inside a cell the static/dynamic
+/// pair replays the same seed (paired comparison).
 pub fn run_fig13(preset: &Fig13) -> Fig13Result {
     let params = KsrParams::default();
-    let mut cells = Vec::new();
-    for &degree in &preset.degrees {
-        for &slack in &preset.slacks_us {
-            let seed = SEED ^ 0x13 ^ ((degree as u64) << 32) ^ slack.to_bits();
-            let base = SorRun {
-                degree,
-                dy: preset.dy,
-                slack_us: slack,
-                iterations: preset.iterations,
-                warmup: preset.warmup,
-                mode: PlacementMode::Static,
-                seed,
-            };
-            let stat = run_sor(&params, base);
-            let dynamic = run_sor(
-                &params,
-                SorRun {
-                    mode: PlacementMode::Dynamic,
-                    ..base
-                },
-            );
-            cells.push(Fig13Cell {
-                degree,
-                slack_us: slack,
-                last_proc_depth: dynamic.releasing_depth.mean(),
-                sync_speedup: stat.sync_delay.mean() / dynamic.sync_delay.mean(),
-            });
+    let cells = preset.sweep().run(|cell| {
+        let &(degree, slack) = cell.param;
+        let base = SorRun {
+            degree,
+            dy: preset.dy,
+            slack_us: slack,
+            iterations: preset.iterations,
+            warmup: preset.warmup,
+            mode: PlacementMode::Static,
+            seed: seeds::fig13(degree, slack),
+        };
+        let stat = run_sor(&params, base);
+        let dynamic = run_sor(
+            &params,
+            SorRun {
+                mode: PlacementMode::Dynamic,
+                ..base
+            },
+        );
+        Fig13Cell {
+            degree,
+            slack_us: slack,
+            last_proc_depth: dynamic.releasing_depth.mean(),
+            sync_speedup: stat.sync_delay.mean() / dynamic.sync_delay.mean(),
         }
-    }
+    });
     Fig13Result {
         cells,
         preset: preset.clone(),
@@ -266,12 +270,12 @@ pub fn run_fig13_correlation(
     iterations: usize,
 ) -> Vec<(f64, f64, f64)> {
     let params = KsrParams::default();
-    let mut out = Vec::new();
-    for &rho in rhos {
+    Sweep::new(seeds::BASE, rhos.to_vec()).run(|cell| {
+        let &rho = cell.param;
         let run_mode = |mode| {
             let topo = ring_topology(&params, 2);
             let mut work = SorWork::new(params.clone(), 60, 210).with_ring_correlation(rho);
-            let mut rng = Xoshiro256pp::seed_from_u64(SEED ^ 0xc0 ^ rho.to_bits());
+            let mut rng = Xoshiro256pp::seed_from_u64(seeds::fig13_correlation(rho));
             run_iterations(
                 &topo,
                 &iterate_cfg(&params, slack_us, iterations, 10, mode),
@@ -281,13 +285,12 @@ pub fn run_fig13_correlation(
         };
         let stat = run_mode(PlacementMode::Static);
         let dynamic = run_mode(PlacementMode::Dynamic);
-        out.push((
+        (
             rho,
             stat.sync_delay.mean() / dynamic.sync_delay.mean(),
             dynamic.releasing_depth.mean(),
-        ));
-    }
-    out
+        )
+    })
 }
 
 /// Renders the correlation ablation.

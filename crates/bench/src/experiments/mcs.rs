@@ -7,10 +7,11 @@
 //! larger than four" — because the fraction of processors attached
 //! above the leaves shrinks with the degree.
 
-use crate::experiments::SEED;
+use crate::experiments::seeds;
 use crate::table::{fmt_ratio, fmt_us, Table};
 use combar::presets::TC_US;
 use combar_des::Duration;
+use combar_exec::par_map;
 use combar_sim::{sweep_degrees, SweepConfig, TreeStyle};
 
 /// One degree's comparison.
@@ -38,24 +39,29 @@ pub struct McsResult {
 }
 
 /// Runs the comparison at `p` processors and spread `sigma_us` over the
-/// given degrees.
+/// given degrees. The two tree styles share one seed (paired
+/// comparison) and evaluate in parallel via [`par_map`].
 pub fn run(p: u32, sigma_us: f64, degrees: &[u32], reps: usize) -> McsResult {
     let base = SweepConfig {
         tc: Duration::from_us(TC_US),
         sigma_us,
         reps,
-        seed: SEED ^ 0xabcd,
+        seed: seeds::mcs(),
         style: TreeStyle::Combining,
     };
-    let comb = sweep_degrees(p, degrees, &base);
-    let mcs = sweep_degrees(
-        p,
-        degrees,
-        &SweepConfig {
-            style: TreeStyle::Mcs,
-            ..base
-        },
-    );
+    let styles = [TreeStyle::Combining, TreeStyle::Mcs];
+    let mut swept = par_map(&styles, |&style| {
+        sweep_degrees(
+            p,
+            degrees,
+            &SweepConfig {
+                style,
+                ..base.clone()
+            },
+        )
+    });
+    let mcs = swept.pop().expect("two styles");
+    let comb = swept.pop().expect("two styles");
     let rows = comb
         .iter()
         .zip(&mcs)

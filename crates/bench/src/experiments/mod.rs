@@ -17,5 +17,7 @@ pub mod release;
 pub mod scaling;
 
 /// Common RNG seed for every experiment (results are fully
-/// reproducible; change it to check robustness).
-pub const SEED: u64 = 0x1995_1ccc;
+/// reproducible; change it in `combar::presets::seeds` to check
+/// robustness). Individual experiments derive their per-cell seeds
+/// from the [`seeds`] table, never ad hoc.
+pub use combar::presets::seeds::{self, BASE as SEED};

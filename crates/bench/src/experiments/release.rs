@@ -9,10 +9,11 @@
 //! the term a degree-selection model would need on machines where flag
 //! invalidation storms are not free.
 
-use crate::experiments::SEED;
+use crate::experiments::seeds;
 use crate::table::Table;
 use combar::presets::TC_US;
 use combar_des::Duration;
+use combar_exec::Sweep;
 use combar_rng::{SeedableRng, Xoshiro256pp};
 use combar_sim::{normal_arrivals, run_episode_with, ReleaseModel, Topology};
 
@@ -31,42 +32,41 @@ pub struct ReleaseRow {
 }
 
 /// Runs the sweep. `notify_us` is the per-notification cost; the KSR1's
-/// cache-line transfer is a reasonable anchor (a few µs).
+/// cache-line transfer is a reasonable anchor (a few µs). Each `(p, d)`
+/// cell draws a fresh RNG seeded by `p` alone (the degree columns are a
+/// paired comparison), so the grid evaluates as one parallel [`Sweep`].
 pub fn run(procs: &[u32], degrees: &[u32], notify_us: f64, reps: usize) -> Vec<ReleaseRow> {
-    let mut rows = Vec::new();
-    for &p in procs {
-        for &d in degrees {
-            let topo = Topology::mcs(p, d);
-            let mut extra = 0.0;
-            let mut mean_lag = 0.0;
-            let mut rng = Xoshiro256pp::seed_from_u64(SEED ^ 0x3e1ea5e ^ p as u64);
-            for _ in 0..reps {
-                let arrivals = normal_arrivals(p as usize, 250.0, &mut rng);
-                let r = run_episode_with(
-                    &topo,
-                    topo.homes(),
-                    &arrivals,
-                    Duration::from_us(TC_US),
-                    ReleaseModel::WakeupTree { notify_us },
-                );
-                extra += (r.last_release_us() - r.release_us) / reps as f64;
-                let lag: f64 = r
-                    .release_per_proc_us
-                    .iter()
-                    .map(|&x| x - r.release_us)
-                    .sum::<f64>()
-                    / p as f64;
-                mean_lag += lag / reps as f64;
-            }
-            rows.push(ReleaseRow {
-                p,
-                degree: d,
-                wakeup_extra_us: extra,
-                wakeup_mean_lag_us: mean_lag,
-            });
+    Sweep::grid2(seeds::BASE, procs, degrees).run(|cell| {
+        let &(p, d) = cell.param;
+        let topo = Topology::mcs(p, d);
+        let mut extra = 0.0;
+        let mut mean_lag = 0.0;
+        let mut rng = Xoshiro256pp::seed_from_u64(seeds::release(p));
+        for _ in 0..reps {
+            let arrivals = normal_arrivals(p as usize, 250.0, &mut rng);
+            let r = run_episode_with(
+                &topo,
+                topo.homes(),
+                &arrivals,
+                Duration::from_us(TC_US),
+                ReleaseModel::WakeupTree { notify_us },
+            );
+            extra += (r.last_release_us() - r.release_us) / reps as f64;
+            let lag: f64 = r
+                .release_per_proc_us
+                .iter()
+                .map(|&x| x - r.release_us)
+                .sum::<f64>()
+                / p as f64;
+            mean_lag += lag / reps as f64;
         }
-    }
-    rows
+        ReleaseRow {
+            p,
+            degree: d,
+            wakeup_extra_us: extra,
+            wakeup_mean_lag_us: mean_lag,
+        }
+    })
 }
 
 /// Renders the table.

@@ -8,14 +8,14 @@
 //! * Figure 11 — both combined at degree 16: delay nearly independent
 //!   of p.
 
-use crate::experiments::SEED;
+use crate::experiments::seeds;
 use crate::table::{fmt_us, Table};
 use combar::presets::{ScalingSweep, TC_US};
 use combar_des::Duration;
 use combar_rng::{SeedableRng, Xoshiro256pp};
 use combar_sim::{
-    default_degree_sweep, optimal_degree, run_iterations, sweep_degrees, IterateConfig,
-    PlacementMode, SweepConfig, Topology, TreeStyle, Workload,
+    default_degree_sweep, optimal_degree, run_modes, sweep_degrees, IterateConfig, PlacementMode,
+    SweepConfig, Topology, TreeStyle, Workload,
 };
 
 /// One Figure 9 point.
@@ -63,71 +63,71 @@ pub struct ScalingResult {
     pub preset: ScalingSweep,
 }
 
-/// Runs Figure 9 only.
+/// Runs Figure 9 only. Each `(p, σ)` point is independently seeded, so
+/// the grid evaluates as one parallel [`Sweep`](combar_exec::Sweep).
 pub fn run_fig9(preset: &ScalingSweep) -> Vec<Fig9Point> {
-    let mut out = Vec::new();
-    for &p in &preset.procs {
-        for &sigma_tc in &preset.fig9_sigma_tc {
-            let cfg = SweepConfig {
-                tc: Duration::from_us(TC_US),
-                sigma_us: sigma_tc * TC_US,
-                reps: preset.reps,
-                seed: SEED ^ 0x9 ^ p as u64,
-                style: TreeStyle::Combining,
-            };
-            let swept = sweep_degrees(p, &default_degree_sweep(p), &cfg);
-            let best = optimal_degree(&swept);
-            let four = swept
-                .iter()
-                .find(|r| r.degree == 4)
-                .or_else(|| swept.first())
-                .expect("nonempty sweep");
-            out.push(Fig9Point {
-                p,
-                sigma_tc,
-                degree4_us: four.sync_delay.mean(),
-                optimal_us: best.sync_delay.mean(),
-                optimal_degree: best.degree,
-            });
+    preset.fig9_sweep().run(|cell| {
+        let &(p, sigma_tc) = cell.param;
+        let cfg = SweepConfig {
+            tc: Duration::from_us(TC_US),
+            sigma_us: sigma_tc * TC_US,
+            reps: preset.reps,
+            seed: seeds::fig9(p),
+            style: TreeStyle::Combining,
+        };
+        let swept = sweep_degrees(p, &default_degree_sweep(p), &cfg);
+        let best = optimal_degree(&swept);
+        let four = swept
+            .iter()
+            .find(|r| r.degree == 4)
+            .or_else(|| swept.first())
+            .expect("nonempty sweep");
+        Fig9Point {
+            p,
+            sigma_tc,
+            degree4_us: four.sync_delay.mean(),
+            optimal_us: best.sync_delay.mean(),
+            optimal_degree: best.degree,
         }
-    }
-    out
+    })
 }
 
 /// Runs the static-vs-dynamic comparison for one degree across p
-/// (Figure 10 with degree 4, Figure 11 with degree 16).
+/// (Figure 10 with degree 4, Figure 11 with degree 16). The processor
+/// axis evaluates as a parallel [`Sweep`](combar_exec::Sweep); inside
+/// a cell the two modes share identical workload streams via
+/// [`run_modes`].
 pub fn run_placement(preset: &ScalingSweep, degree: u32) -> Vec<PlacementPoint> {
-    let mut out = Vec::new();
-    for &p in &preset.procs {
+    preset.placement_sweep().run(|cell| {
+        let &p = cell.param;
         let topo = Topology::mcs(p, degree);
-        let cfg = |mode| IterateConfig {
+        let cfg = IterateConfig {
             tc: Duration::from_us(TC_US),
             slack: Duration::from_us(preset.slack_us),
             iterations: preset.iterations,
             warmup: 10,
-            mode,
+            mode: PlacementMode::Static,
             record_arrivals: false,
             release_model: combar_sim::ReleaseModel::CentralFlag,
         };
-        let seed = SEED ^ 0x10 ^ ((degree as u64) << 40) ^ p as u64;
+        let seed = seeds::placement(degree, p);
         // work mean ≫ σ so the fuzzy chaining stays realistic
         let mean = 3.0 * preset.small_sigma_us + 10_000.0;
-        let mut w1 = Workload::iid_normal(mean, preset.small_sigma_us);
-        let mut r1 = Xoshiro256pp::seed_from_u64(seed);
-        let stat = run_iterations(&topo, &cfg(PlacementMode::Static), &mut w1, &mut r1);
-        let mut w2 = Workload::iid_normal(mean, preset.small_sigma_us);
-        let mut r2 = Xoshiro256pp::seed_from_u64(seed);
-        let dynamic = run_iterations(&topo, &cfg(PlacementMode::Dynamic), &mut w2, &mut r2);
-        out.push(PlacementPoint {
+        let (stat, dynamic) = run_modes(&topo, &cfg, || {
+            (
+                Workload::iid_normal(mean, preset.small_sigma_us),
+                Xoshiro256pp::seed_from_u64(seed),
+            )
+        });
+        PlacementPoint {
             p,
             degree,
             static_us: stat.sync_delay.mean(),
             dynamic_us: dynamic.sync_delay.mean(),
             static_depth: stat.releasing_depth.mean(),
             dynamic_depth: dynamic.releasing_depth.mean(),
-        });
-    }
-    out
+        }
+    })
 }
 
 /// Runs all three figures.

@@ -1,8 +1,8 @@
 //! Golden-snapshot renderings of the flagship experiment tables.
 //!
 //! Each function here is a *small, fully deterministic* variant of an
-//! experiment the `experiments` binary prints: the RNG is seeded with
-//! the repository-wide [`SEED`](crate::experiments::SEED), time is DES
+//! experiment the `experiments` binary prints: the RNG is seeded from
+//! the repository-wide seed table ([`combar::presets::seeds`]), time is DES
 //! virtual time, and nothing reads a wall clock — so the rendered
 //! table is byte-identical on every run. `tests/golden.rs` diffs these
 //! against the snapshots checked in under `crates/bench/tests/golden/`,
@@ -21,7 +21,7 @@
 //! and is excluded; its DES companion (the replayed fault timeline) is
 //! deterministic and snapshotted via [`chaos_des_small`].
 
-use crate::experiments::{chaos, fig2, fig8, SEED};
+use crate::experiments::{chaos, fig2, fig8, seeds};
 use combar::presets::{Fig2, Fig8};
 use std::time::Duration;
 
@@ -54,7 +54,7 @@ pub fn fig8_small() -> String {
 pub fn chaos_des_small() -> String {
     let preset = chaos::ChaosPreset {
         step: Duration::from_millis(10),
-        ..chaos::ChaosPreset::quick(SEED)
+        ..chaos::ChaosPreset::quick(seeds::chaos())
     };
     chaos::render_des(&chaos::simulate(&preset))
 }

@@ -135,6 +135,105 @@ impl Bench {
     }
 }
 
+/// Result of [`sweep_throughput`]: episodes per second of a fixed
+/// Figure 3-style grid, serial vs on the worker pool.
+#[derive(Debug, Clone)]
+pub struct SweepThroughput {
+    /// Barrier episodes simulated per timed pass.
+    pub episodes: usize,
+    /// Episodes per second with the pool forced to one worker.
+    pub serial_eps: f64,
+    /// Episodes per second at the ambient thread count.
+    pub pooled_eps: f64,
+    /// The thread count the pooled pass ran with.
+    pub threads: usize,
+    /// Physical parallelism the host reports — on a single-core
+    /// machine no pool can speed anything up, so readers need this to
+    /// interpret the ratio.
+    pub host_cores: usize,
+}
+
+impl SweepThroughput {
+    /// Pool speedup over serial (1.0 ≈ no benefit).
+    pub fn speedup(&self) -> f64 {
+        self.pooled_eps / self.serial_eps
+    }
+
+    /// Renders the measurement as a small JSON document (the format
+    /// committed as `BENCH_sweep.json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"sweep_throughput\",\n  \"episodes_per_pass\": {},\n  \
+             \"serial_episodes_per_sec\": {:.1},\n  \"pooled_episodes_per_sec\": {:.1},\n  \
+             \"threads\": {},\n  \"host_cores\": {},\n  \"speedup\": {:.2}\n}}\n",
+            self.episodes,
+            self.serial_eps,
+            self.pooled_eps,
+            self.threads,
+            self.host_cores,
+            self.speedup()
+        )
+    }
+}
+
+/// Measures sweep throughput on a fixed Figure 3-style grid: a
+/// `procs × σ` [`Sweep`](combar_exec::Sweep) of barrier episodes, timed
+/// once with the pool forced to a single worker and once at the
+/// ambient [`thread_count`](combar_exec::thread_count). Both passes
+/// compute bit-identical results — the measurement is purely about the
+/// execution layer's scaling.
+pub fn sweep_throughput() -> SweepThroughput {
+    use combar::presets::{seeds, TC_US};
+    use combar_exec::{thread_count, with_thread_count, Sweep};
+    use combar_sim::{normal_arrivals, run_episode, Topology};
+
+    let procs = [64u32, 128, 256, 512];
+    let sigmas = [0.0f64, 6.2, 12.5, 25.0];
+    let reps = 24usize;
+    let episodes = procs.len() * sigmas.len() * reps;
+    let pass = || {
+        Sweep::grid2(seeds::BASE, &procs, &sigmas).run(|cell| {
+            let &(p, sigma_tc) = cell.param;
+            let topo = Topology::combining(p, 4);
+            let mut rng = cell.rng();
+            let mut acc = 0.0;
+            for _ in 0..reps {
+                let arrivals = normal_arrivals(p as usize, sigma_tc * TC_US, &mut rng);
+                let r = run_episode(
+                    &topo,
+                    topo.homes(),
+                    &arrivals,
+                    combar_des::Duration::from_us(TC_US),
+                );
+                acc += r.sync_delay_us;
+            }
+            acc
+        })
+    };
+    // Best-of-N wall time per mode, like Bench: the minimum sample is
+    // the least-perturbed one.
+    let time_best = |threads: usize| {
+        black_box(with_thread_count(threads, pass));
+        let mut best = Duration::MAX;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            black_box(with_thread_count(threads, pass));
+            best = best.min(t0.elapsed());
+        }
+        best
+    };
+    let threads = thread_count();
+    let serial = time_best(1);
+    let pooled = time_best(threads);
+    SweepThroughput {
+        episodes,
+        serial_eps: episodes as f64 / serial.as_secs_f64(),
+        pooled_eps: episodes as f64 / pooled.as_secs_f64(),
+        threads,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
 /// Formats a duration with a unit matched to its magnitude.
 fn fmt_duration(d: Duration) -> String {
     let ns = d.as_nanos() as f64;

@@ -6,7 +6,7 @@
 //! paper-vs-measured statements are not prose — they are checks that
 //! run.
 
-use crate::experiments::SEED;
+use crate::experiments::seeds;
 use crate::table::Table;
 use combar::model::BarrierModel;
 use combar::paper::{self, compare_trend, Shape};
@@ -58,7 +58,7 @@ pub fn run(quick: bool) -> Vec<Verdict> {
             tc: Duration::from_us(TC_US),
             sigma_us: 0.0,
             reps: 1,
-            seed: SEED,
+            seed: seeds::optimal_under_normal(),
             style: TreeStyle::Combining,
         };
         let swept = sweep_degrees(p, &full_tree_degrees(p), &cfg);
@@ -90,7 +90,7 @@ pub fn run(quick: bool) -> Vec<Verdict> {
             tc: Duration::from_us(TC_US),
             sigma_us: 100.0 * TC_US,
             reps,
-            seed: SEED,
+            seed: seeds::optimal_under_normal(),
             style: TreeStyle::Combining,
         };
         let swept = sweep_degrees(p, &default_degree_sweep(p), &cfg);
@@ -122,7 +122,7 @@ pub fn run(quick: bool) -> Vec<Verdict> {
                     tc: Duration::from_us(TC_US),
                     sigma_us: sigma_tc * TC_US,
                     reps,
-                    seed: SEED ^ p as u64,
+                    seed: seeds::fig34(p),
                     style: TreeStyle::Combining,
                 };
                 let swept = sweep_degrees(p, &degrees, &cfg);

@@ -11,6 +11,140 @@
 /// The counter update cost measured on the KSR1 (µs).
 pub const TC_US: f64 = 20.0;
 
+pub mod seeds {
+    //! The single seed table for every experiment in the workspace.
+    //!
+    //! Each experiment derives its per-cell RNG seed from [`BASE`] and
+    //! the cell's own parameters — never from loop position or worker
+    //! identity — so any cell can be recomputed in isolation and grids
+    //! can be evaluated in parallel. The exact derivations are frozen:
+    //! the golden snapshots under `crates/bench/tests/golden/` encode
+    //! their outputs byte-for-byte. Changing the base seed is a
+    //! one-line edit here; changing a derivation requires re-blessing
+    //! the snapshots.
+
+    /// Repository-wide base seed.
+    pub const BASE: u64 = 0x1995_1ccc;
+
+    /// Figure 2 single-grid sweep (4096 processors, σ = 12.5·t_c).
+    pub fn fig2() -> u64 {
+        BASE
+    }
+
+    /// Figures 3/4 optimal-degree cell for `p` processors (all σ
+    /// columns share the seed: common random numbers across σ is not
+    /// needed, but across degrees it is, and `sweep_degrees` handles
+    /// that internally).
+    pub fn fig34(p: u32) -> u64 {
+        BASE ^ p as u64
+    }
+
+    /// Figure 5 persistence run at one slack value.
+    pub fn fig5(slack_us: f64) -> u64 {
+        BASE ^ slack_us.to_bits()
+    }
+
+    /// Figure 8 dynamic-placement cell at `(degree, slack)`.
+    pub fn fig8(degree: u32, slack_us: f64) -> u64 {
+        BASE ^ ((degree as u64) << 32) ^ slack_us.to_bits()
+    }
+
+    /// Figure 9 scaling point at `p` processors.
+    pub fn fig9(p: u32) -> u64 {
+        BASE ^ 0x9 ^ p as u64
+    }
+
+    /// Figures 10/11 placement scaling point at `(degree, p)`.
+    pub fn placement(degree: u32, p: u32) -> u64 {
+        BASE ^ 0x10 ^ ((degree as u64) << 40) ^ p as u64
+    }
+
+    /// Section 4 MCS-vs-combining comparison.
+    pub fn mcs() -> u64 {
+        BASE ^ 0xabcd
+    }
+
+    /// Centralized/tree baseline sweep at `p` processors.
+    pub fn baseline(p: u32) -> u64 {
+        BASE ^ 0xba5e ^ p as u64
+    }
+
+    /// Dissemination-barrier baseline at `p` processors.
+    pub fn dissemination(p: u32) -> u64 {
+        BASE ^ 0xd155 ^ p as u64
+    }
+
+    /// Release-model comparison at `p` processors (shared by every
+    /// degree column: the comparison is paired across release models).
+    pub fn release(p: u32) -> u64 {
+        BASE ^ 0x3e1ea5e ^ p as u64
+    }
+
+    /// Fuzzy-barrier idle profile at one slack value.
+    pub fn fuzzy_idle(slack_us: f64) -> u64 {
+        BASE ^ 0xf1d1e ^ slack_us.to_bits()
+    }
+
+    /// Distribution-shape ablation at one σ/t_c (shared by all shapes:
+    /// the comparison is paired across distributions).
+    pub fn ablate_shape(sigma_tc: f64) -> u64 {
+        BASE ^ sigma_tc.to_bits()
+    }
+
+    /// Analytic-model error scan.
+    pub fn model_error() -> u64 {
+        BASE ^ 0xe44
+    }
+
+    /// Partial-vs-full tree comparison.
+    pub fn partial() -> u64 {
+        BASE ^ 0xf0f0
+    }
+
+    /// Per-level contention profile at one degree.
+    pub fn level_profile(degree: u32) -> u64 {
+        BASE ^ 0x1e7e1 ^ degree as u64
+    }
+
+    /// Optimal-degree check under the exact normal model.
+    pub fn optimal_under_normal() -> u64 {
+        BASE
+    }
+
+    /// Adaptive-degree controller phase script.
+    pub fn adaptive() -> u64 {
+        BASE ^ 0xada
+    }
+
+    /// Oracle sweep for one adaptive phase at σ/t_c.
+    pub fn adaptive_oracle(sigma_tc: f64) -> u64 {
+        BASE ^ sigma_tc.to_bits()
+    }
+
+    /// KSR1 SOR optimal degree (Figure 12) at grid height `dy` (shared
+    /// by all degrees: paired comparison).
+    pub fn fig12(dy: u32) -> u64 {
+        BASE ^ dy as u64
+    }
+
+    /// KSR1 SOR dynamic placement (Figure 13) at `(degree, slack)`.
+    pub fn fig13(degree: u32, slack_us: f64) -> u64 {
+        BASE ^ 0x13 ^ ((degree as u64) << 32) ^ slack_us.to_bits()
+    }
+
+    /// Figure 13 correlation ablation at correlation `rho`.
+    pub fn fig13_correlation(rho: f64) -> u64 {
+        BASE ^ 0xc0 ^ rho.to_bits()
+    }
+
+    /// Fault-injection (chaos) experiments.
+    pub fn chaos() -> u64 {
+        BASE
+    }
+}
+
+use combar_exec::Sweep;
+
 /// Figure 2: synchronization delay vs degree at 4096 processors.
 #[derive(Debug, Clone)]
 pub struct Fig2 {
@@ -57,6 +191,15 @@ impl Default for Fig3Grid {
     }
 }
 
+impl Fig3Grid {
+    /// The `(p, σ/t_c)` grid as a parallel sweep, row-major in the
+    /// order the Figure 3/4 tables print (processors outer, σ inner).
+    /// Cell seeds come from [`seeds::fig34`], not the sweep's streams.
+    pub fn sweep(&self) -> Sweep<(u32, f64)> {
+        Sweep::grid2(seeds::BASE, &self.procs, &self.sigma_tc)
+    }
+}
+
 /// Figure 8: dynamic placement at 4096 processors.
 #[derive(Debug, Clone)]
 pub struct Fig8 {
@@ -88,6 +231,15 @@ impl Default for Fig8 {
             warmup: 20,
             work_mean_us: 9_500.0,
         }
+    }
+}
+
+impl Fig8 {
+    /// The `(degree, slack)` grid as a parallel sweep, row-major in the
+    /// order the Figure 8 blocks print (degree outer, slack inner).
+    /// Cell seeds come from [`seeds::fig8`].
+    pub fn sweep(&self) -> Sweep<(u32, f64)> {
+        Sweep::grid2(seeds::BASE, &self.degrees, &self.slacks_us)
     }
 }
 
@@ -126,6 +278,21 @@ impl Default for ScalingSweep {
     }
 }
 
+impl ScalingSweep {
+    /// Figure 9's `(p, σ/t_c)` grid as a parallel sweep (processors
+    /// outer, σ inner). Cell seeds come from [`seeds::fig9`].
+    pub fn fig9_sweep(&self) -> Sweep<(u32, f64)> {
+        Sweep::grid2(seeds::BASE, &self.procs, &self.fig9_sigma_tc)
+    }
+
+    /// Figures 10/11's processor axis as a parallel sweep; each cell
+    /// runs a paired static/dynamic comparison seeded by
+    /// [`seeds::placement`].
+    pub fn placement_sweep(&self) -> Sweep<u32> {
+        Sweep::new(seeds::BASE, self.procs.clone())
+    }
+}
+
 /// Figure 12: optimal degree for SOR on the modelled KSR1.
 #[derive(Debug, Clone)]
 pub struct Fig12 {
@@ -148,6 +315,15 @@ impl Default for Fig12 {
             iterations: 200,
             warmup: 10,
         }
+    }
+}
+
+impl Fig12 {
+    /// Figure 12's `d_y` axis as a parallel sweep. Each cell scans all
+    /// degrees with the shared [`seeds::fig12`] stream (the degree
+    /// comparison is paired, so it stays inside the cell).
+    pub fn sweep(&self) -> Sweep<u32> {
+        Sweep::new(seeds::BASE, self.dy.clone())
     }
 }
 
@@ -175,6 +351,14 @@ impl Default for Fig13 {
             iterations: 200,
             warmup: 10,
         }
+    }
+}
+
+impl Fig13 {
+    /// The `(degree, slack)` grid as a parallel sweep (degree outer,
+    /// slack inner). Cell seeds come from [`seeds::fig13`].
+    pub fn sweep(&self) -> Sweep<(u32, f64)> {
+        Sweep::grid2(seeds::BASE, &self.degrees, &self.slacks_us)
     }
 }
 
@@ -207,6 +391,14 @@ impl Default for Fig5 {
             iterations: 120,
             work_mean_us: 9_500.0,
         }
+    }
+}
+
+impl Fig5 {
+    /// The slack axis as a parallel sweep; cell seeds come from
+    /// [`seeds::fig5`].
+    pub fn sweep(&self) -> Sweep<f64> {
+        Sweep::new(seeds::BASE, self.slacks_us.clone())
     }
 }
 
@@ -249,5 +441,64 @@ mod tests {
     #[test]
     fn fig13_matches_paper_degrees() {
         assert_eq!(Fig13::default().degrees, vec![2, 4, 16]);
+    }
+
+    /// Sweep grids must match the nesting order of the historical
+    /// experiment loops (outer axis first), or table row order — and
+    /// with it the golden snapshots — would change.
+    #[test]
+    fn sweeps_are_row_major_in_table_order() {
+        let g = Fig3Grid {
+            procs: vec![64, 256],
+            sigma_tc: vec![0.0, 25.0],
+            reps: 1,
+        };
+        assert_eq!(
+            g.sweep().params(),
+            &[(64, 0.0), (64, 25.0), (256, 0.0), (256, 25.0)]
+        );
+        let f8 = Fig8 {
+            degrees: vec![4, 16],
+            slacks_us: vec![0.0, 1.0],
+            ..Fig8::default()
+        };
+        assert_eq!(
+            f8.sweep().params(),
+            &[(4, 0.0), (4, 1.0), (16, 0.0), (16, 1.0)]
+        );
+        assert_eq!(Fig12::default().sweep().params(), &Fig12::default().dy[..]);
+    }
+
+    #[test]
+    fn seed_table_matches_frozen_derivations() {
+        use super::seeds;
+        assert_eq!(seeds::BASE, 0x1995_1ccc);
+        assert_eq!(seeds::fig2(), seeds::BASE);
+        assert_eq!(seeds::fig34(64), seeds::BASE ^ 64);
+        assert_eq!(seeds::fig9(256), seeds::BASE ^ 0x9 ^ 256);
+        assert_eq!(
+            seeds::fig8(4, 250.0),
+            seeds::BASE ^ (4u64 << 32) ^ 250.0f64.to_bits()
+        );
+        assert_eq!(
+            seeds::placement(16, 1024),
+            seeds::BASE ^ 0x10 ^ (16u64 << 40) ^ 1024
+        );
+        assert_eq!(
+            seeds::fig13(2, 500.0),
+            seeds::BASE ^ 0x13 ^ (2u64 << 32) ^ 500.0f64.to_bits()
+        );
+        // distinct experiments never collide on the same parameters
+        let all = [
+            seeds::fig2(),
+            seeds::mcs(),
+            seeds::model_error(),
+            seeds::partial(),
+            seeds::adaptive(),
+        ];
+        let mut dedup = all.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
     }
 }

@@ -1,0 +1,54 @@
+//! Deterministic parallel execution for the `combar` workspace.
+//!
+//! Every result table in this repository is a pure function of its
+//! seeds, and the golden-snapshot tests hold the renderings to the
+//! byte. That rules out the usual "just parallelize it" approach where
+//! RNG streams follow worker threads: the moment a stream is keyed by
+//! *which worker* ran a cell, the output depends on scheduling. This
+//! crate provides the alternative the experiment layer is built on:
+//!
+//! * [`par_map`] / [`par_map_indexed`] — a chunked work-stealing
+//!   parallel map over an index range, run on a scoped worker pool
+//!   sized by [`thread_count`] (`std::thread::available_parallelism()`,
+//!   overridable via the `COMBAR_THREADS` environment variable or
+//!   [`with_thread_count`]). Results always come back in input order,
+//!   worker panics propagate to the caller, and nested calls from
+//!   inside a worker degrade to serial execution instead of
+//!   oversubscribing.
+//! * [`Sweep`] — a parameter grid paired with per-cell deterministic
+//!   RNG streams: cell `i` of a sweep seeded with `s` draws from
+//!   `Xoshiro256pp::split(s, i)`, *never* from worker-local state, so
+//!   a sweep's results are bit-identical for any thread count,
+//!   including one.
+//!
+//! # Determinism contract
+//!
+//! For any `f` that is itself a pure function of `(cell, seed)`,
+//!
+//! ```
+//! use combar_exec::{with_thread_count, Rng, Sweep};
+//!
+//! let sweep = Sweep::new(42, vec![1u32, 2, 3, 4]);
+//! let serial = with_thread_count(1, || sweep.run(|c| c.rng().next_u64()));
+//! let pooled = with_thread_count(4, || sweep.run(|c| c.rng().next_u64()));
+//! assert_eq!(serial, pooled);
+//! ```
+//!
+//! The crate is intentionally zero-dependency beyond `combar-rng` (the
+//! workspace builds offline; see DESIGN.md §10 for why this exists
+//! instead of a `rayon` dependency).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod par;
+mod pool;
+mod sweep;
+
+pub use par::{par_map, par_map_indexed};
+pub use pool::{thread_count, with_thread_count};
+pub use sweep::{Cell, Sweep};
+
+// Re-exported so sweep callers can drive the cell RNGs without adding
+// a direct combar-rng dependency.
+pub use combar_rng::Rng;

@@ -1,0 +1,108 @@
+//! Worker-pool sizing and nesting control.
+//!
+//! The pool itself is scoped: [`par_map_indexed`](crate::par_map_indexed)
+//! spawns its workers with `std::thread::scope` per call, so there is
+//! no global state to poison, no shutdown ordering, and a worker panic
+//! unwinds straight into the caller. What *is* shared is the sizing
+//! policy, resolved per call in priority order:
+//!
+//! 1. an explicit [`with_thread_count`] override on the calling thread
+//!    (used by the determinism tests and the sweep-throughput bench);
+//! 2. the `COMBAR_THREADS` environment variable;
+//! 3. `std::thread::available_parallelism()`.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Per-thread explicit override (`with_thread_count`).
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set on pool workers so nested parallel calls degrade to serial
+    /// execution instead of oversubscribing the machine.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of worker threads a parallel call on this thread would use.
+///
+/// Resolution order: [`with_thread_count`] override, then the
+/// `COMBAR_THREADS` environment variable, then
+/// `std::thread::available_parallelism()`. Always at least 1. A value
+/// of 1 (or calling from inside a pool worker) makes every parallel
+/// primitive run serially on the calling thread.
+pub fn thread_count() -> usize {
+    if let Some(n) = OVERRIDE.with(|o| o.get()) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("COMBAR_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` with the pool size pinned to `threads` on this thread,
+/// restoring the previous setting afterwards (also on panic).
+///
+/// This is how the determinism suite compares a 1-worker run against a
+/// 4-worker run in one process without racing on the process-global
+/// environment.
+pub fn with_thread_count<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(threads.max(1)))));
+    f()
+}
+
+/// Whether the current thread is a pool worker (nested parallel calls
+/// must run serially).
+pub(crate) fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+/// Marks the current (freshly spawned) thread as a pool worker.
+pub(crate) fn enter_worker() {
+    IN_WORKER.with(|w| w.set(true));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_wins_and_restores() {
+        let outer = thread_count();
+        let inner = with_thread_count(3, thread_count);
+        assert_eq!(inner, 3);
+        assert_eq!(thread_count(), outer);
+    }
+
+    #[test]
+    fn override_clamps_to_one() {
+        assert_eq!(with_thread_count(0, thread_count), 1);
+    }
+
+    #[test]
+    fn override_restored_after_panic() {
+        let before = thread_count();
+        let caught = std::panic::catch_unwind(|| {
+            with_thread_count(7, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(thread_count(), before);
+    }
+
+    #[test]
+    fn nested_overrides_unwind_in_order() {
+        with_thread_count(5, || {
+            assert_eq!(thread_count(), 5);
+            with_thread_count(2, || assert_eq!(thread_count(), 2));
+            assert_eq!(thread_count(), 5);
+        });
+    }
+}

@@ -168,14 +168,25 @@ pub trait SeedableRng: Sized {
 
     /// Derives an independent child generator for a parallel stream.
     ///
-    /// The `(seed, stream)` pair is hashed into a fresh seed, so
-    /// `split(s, a)` and `split(s, b)` are decorrelated for `a != b`.
+    /// The `(seed, stream)` pair is hashed into a fresh seed via
+    /// [`split_seed`], so `split(s, a)` and `split(s, b)` are
+    /// decorrelated for `a != b`.
     fn split(seed: u64, stream: u64) -> Self {
-        // A two-word mix based on SplitMix64's finalizer.
-        let mut sm = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(stream | 1));
-        let s = sm.next_u64() ^ stream.rotate_left(32);
-        Self::seed_from_u64(s)
+        Self::seed_from_u64(split_seed(seed, stream))
     }
+}
+
+/// Hashes a `(seed, stream)` pair into a fresh independent seed.
+///
+/// This is the seed-splitting rule behind [`SeedableRng::split`],
+/// exposed so callers that derive *sub*-streams (e.g. per-cell streams
+/// inside a parameter sweep) can chain it without constructing an
+/// intermediate generator: `split_seed(split_seed(s, cell), k)` yields
+/// decorrelated seeds for every `(cell, k)` pair.
+pub fn split_seed(seed: u64, stream: u64) -> u64 {
+    // A two-word mix based on SplitMix64's finalizer.
+    let mut sm = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(stream | 1));
+    sm.next_u64() ^ stream.rotate_left(32)
 }
 
 /// A probability distribution that can be sampled with any [`Rng`].
@@ -267,6 +278,32 @@ mod tests {
         let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
         let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
         assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn split_matches_split_seed() {
+        for (seed, stream) in [
+            (0u64, 0u64),
+            (7, 1),
+            (0x1995_1ccc, 42),
+            (u64::MAX, u64::MAX),
+        ] {
+            let mut direct = Xoshiro256pp::split(seed, stream);
+            let mut via_seed = Xoshiro256pp::seed_from_u64(split_seed(seed, stream));
+            for _ in 0..4 {
+                assert_eq!(direct.next_u64(), via_seed.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn chained_split_seed_decorrelates() {
+        let cells: Vec<u64> = (0..16).map(|c| split_seed(9, c)).collect();
+        let subs: Vec<u64> = cells.iter().map(|&s| split_seed(s, 3)).collect();
+        let mut all: Vec<u64> = cells.iter().chain(subs.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 32, "cell and sub-stream seeds should all differ");
     }
 
     #[test]

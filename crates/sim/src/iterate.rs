@@ -18,8 +18,9 @@
 use crate::episode::{run_episode_with, ReleaseModel};
 use crate::workload::WorkSource;
 use combar_des::Duration;
+use combar_exec::{par_map, par_map_indexed};
 use combar_rng::stats::OnlineStats;
-use combar_rng::Rng;
+use combar_rng::{Rng, SeedableRng, Xoshiro256pp};
 use combar_topo::{Placement, Topology};
 
 /// Whether processors stay at their construction-time counters or
@@ -205,11 +206,64 @@ pub fn run_iterations<W: WorkSource, R: Rng>(
     }
 }
 
+/// Runs the static and dynamic placements of the same configuration as
+/// a pair, in parallel on the `combar-exec` pool.
+///
+/// `make` constructs a fresh `(workload, rng)` per mode, so both runs
+/// see identical random inputs — the paired comparison the paper's
+/// Figure 8 speedup columns are built on. Returns `(static, dynamic)`.
+pub fn run_modes<W, R, F>(
+    topo: &Topology,
+    cfg: &IterateConfig,
+    make: F,
+) -> (IterateReport, IterateReport)
+where
+    W: WorkSource,
+    R: Rng,
+    F: Fn() -> (W, R) + Sync,
+{
+    let modes = [PlacementMode::Static, PlacementMode::Dynamic];
+    let mut reports = par_map(&modes, |&mode| {
+        let (mut workload, mut rng) = make();
+        let cfg = IterateConfig {
+            mode,
+            ..cfg.clone()
+        };
+        run_iterations(topo, &cfg, &mut workload, &mut rng)
+    });
+    let dynamic = reports.pop().expect("two modes");
+    let static_ = reports.pop().expect("two modes");
+    (static_, dynamic)
+}
+
+/// Runs `replicas` independent repetitions of the same configuration in
+/// parallel, replica `r` drawing from the RNG stream `split(seed, r)`.
+///
+/// The stream is keyed by the replica index, never by the worker, so
+/// the returned reports are identical for any thread count.
+pub fn run_replicas<W, F>(
+    topo: &Topology,
+    cfg: &IterateConfig,
+    seed: u64,
+    replicas: usize,
+    make_workload: F,
+) -> Vec<IterateReport>
+where
+    W: WorkSource,
+    F: Fn() -> W + Sync,
+{
+    par_map_indexed(replicas, |r| {
+        let mut workload = make_workload();
+        let mut rng = Xoshiro256pp::split(seed, r as u64);
+        run_iterations(topo, cfg, &mut workload, &mut rng)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::workload::Workload;
-    use combar_rng::{stats, SeedableRng, Xoshiro256pp};
+    use combar_rng::stats;
 
     fn cfg(slack_us: f64, mode: PlacementMode) -> IterateConfig {
         IterateConfig {
@@ -355,6 +409,46 @@ mod tests {
         let big_slack = corr_at(4000.0, 21);
         assert!(no_slack < 0.3, "no-slack persistence = {no_slack}");
         assert!(big_slack > 0.6, "big-slack persistence = {big_slack}");
+    }
+
+    /// `run_modes` must reproduce two hand-rolled paired runs exactly.
+    #[test]
+    fn run_modes_matches_sequential_pair() {
+        let topo = Topology::mcs(64, 4);
+        let c = cfg(2000.0, PlacementMode::Static);
+        let make = || {
+            (
+                Workload::iid_normal(10_000.0, 100.0),
+                Xoshiro256pp::seed_from_u64(17),
+            )
+        };
+        let (stat, dyn_) = combar_exec::with_thread_count(4, || run_modes(&topo, &c, make));
+        let (mut w1, mut r1) = make();
+        let by_hand_stat = run_iterations(&topo, &c, &mut w1, &mut r1);
+        let (mut w2, mut r2) = make();
+        let dyn_cfg = cfg(2000.0, PlacementMode::Dynamic);
+        let by_hand_dyn = run_iterations(&topo, &dyn_cfg, &mut w2, &mut r2);
+        assert_eq!(stat.sync_delay.mean(), by_hand_stat.sync_delay.mean());
+        assert_eq!(dyn_.sync_delay.mean(), by_hand_dyn.sync_delay.mean());
+        assert_eq!(dyn_.swaps, by_hand_dyn.swaps);
+    }
+
+    /// Replica streams are keyed by index, so thread count is
+    /// irrelevant to the results.
+    #[test]
+    fn run_replicas_is_thread_count_invariant() {
+        let topo = Topology::mcs(32, 4);
+        let c = cfg(0.0, PlacementMode::Static);
+        let make = || Workload::iid_normal(5_000.0, 80.0);
+        let serial = combar_exec::with_thread_count(1, || run_replicas(&topo, &c, 3, 6, make));
+        let pooled = combar_exec::with_thread_count(4, || run_replicas(&topo, &c, 3, 6, make));
+        assert_eq!(serial.len(), 6);
+        for (a, b) in serial.iter().zip(&pooled) {
+            assert_eq!(a.sync_delay.mean(), b.sync_delay.mean());
+            assert_eq!(a.idle.mean(), b.idle.mean());
+        }
+        // distinct streams actually differ
+        assert_ne!(serial[0].sync_delay.mean(), serial[1].sync_delay.mean());
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub use combar_topo::{
 };
 pub use dissemination::{mean_dissemination_delay, run_dissemination, DisseminationResult};
 pub use episode::{run_episode, run_episode_traced, run_episode_with, EpisodeResult, ReleaseModel};
-pub use iterate::{run_iterations, IterateConfig, IterateReport, PlacementMode};
+pub use iterate::{
+    run_iterations, run_modes, run_replicas, IterateConfig, IterateReport, PlacementMode,
+};
 pub use optimal::{
     build_tree, optimal_degree, speedup_vs_degree4, sweep_degrees, DegreeResult, SweepConfig,
     TreeStyle,

@@ -1,0 +1,117 @@
+//! End-to-end determinism of the parallel execution layer.
+//!
+//! The contract of `combar-exec`: thread count is a pure performance
+//! knob. Every experiment output — rendered tables included — must be
+//! byte-identical whether a sweep runs on one worker or many, because
+//! every RNG stream is keyed by cell identity, never by worker
+//! identity. These tests drive real experiment pipelines (not
+//! synthetic closures) under different thread counts and diff the
+//! results exactly.
+
+use combar_bench::golden;
+use combar_exec::{par_map, par_map_indexed, thread_count, with_thread_count, Sweep};
+use combar_sim::{default_degree_sweep, optimal_degree, sweep_degrees, SweepConfig, TreeStyle};
+
+/// Figure 2's golden rendering is byte-identical at 1 vs 4 threads.
+#[test]
+fn fig2_render_is_thread_count_invariant() {
+    let serial = with_thread_count(1, golden::fig2_small);
+    let pooled = with_thread_count(4, golden::fig2_small);
+    assert_eq!(serial, pooled);
+}
+
+/// Figure 8 exercises the chained-iteration path (`run_modes` inside a
+/// `Sweep`); its rendering is byte-identical at 1 vs 4 threads.
+#[test]
+fn fig8_render_is_thread_count_invariant() {
+    let serial = with_thread_count(1, golden::fig8_small);
+    let pooled = with_thread_count(4, golden::fig8_small);
+    assert_eq!(serial, pooled);
+}
+
+/// The optimal-degree search — `sweep_degrees` parallelizes over
+/// replications and folds serially — lands on the same degree and the
+/// same delay statistics bit-for-bit at any thread count.
+#[test]
+fn optimal_degree_search_is_thread_count_invariant() {
+    let cfg = SweepConfig {
+        tc: combar_des::Duration::from_us(20.0),
+        sigma_us: 250.0,
+        reps: 8,
+        seed: combar::presets::seeds::BASE,
+        style: TreeStyle::Combining,
+    };
+    let degrees = default_degree_sweep(256);
+    let run = || {
+        let swept = sweep_degrees(256, &degrees, &cfg);
+        let best = optimal_degree(&swept);
+        (
+            best.degree,
+            best.sync_delay.mean().to_bits(),
+            best.sync_delay.std_dev().to_bits(),
+            swept
+                .iter()
+                .map(|r| r.sync_delay.mean().to_bits())
+                .collect::<Vec<_>>(),
+        )
+    };
+    let serial = with_thread_count(1, run);
+    let pooled = with_thread_count(4, run);
+    assert_eq!(serial, pooled);
+}
+
+/// A sweep's per-cell RNG streams do not depend on how cells are
+/// chunked across workers.
+#[test]
+fn sweep_cell_seeds_are_chunking_invariant() {
+    let params: Vec<u32> = (0..37).collect();
+    let seeds_at = |threads: usize| {
+        with_thread_count(threads, || {
+            Sweep::new(0xfeed, params.clone()).run(|c| c.seed())
+        })
+    };
+    assert_eq!(seeds_at(1), seeds_at(3));
+    assert_eq!(seeds_at(1), seeds_at(4));
+}
+
+/// `par_map` keeps results in input order regardless of which worker
+/// computed them.
+#[test]
+fn par_map_preserves_order() {
+    let items: Vec<usize> = (0..1000).collect();
+    let out = with_thread_count(4, || par_map(&items, |&x| x * 2));
+    assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+}
+
+/// Empty and singleton inputs short-circuit without spawning.
+#[test]
+fn par_map_handles_empty_and_singleton() {
+    let empty: Vec<u32> = Vec::new();
+    assert!(with_thread_count(4, || par_map(&empty, |&x| x)).is_empty());
+    assert_eq!(with_thread_count(4, || par_map_indexed(1, |i| i)), vec![0]);
+}
+
+/// A panic inside a worker propagates to the caller with its original
+/// payload.
+#[test]
+#[should_panic(expected = "cell 5 exploded")]
+fn par_map_propagates_worker_panics() {
+    with_thread_count(4, || {
+        par_map_indexed(64, |i| {
+            if i == 5 {
+                panic!("cell 5 exploded");
+            }
+            i
+        })
+    });
+}
+
+/// `with_thread_count` overrides whatever `COMBAR_THREADS` or the
+/// machine reports, and restores the previous setting afterwards.
+#[test]
+fn with_thread_count_overrides_and_restores() {
+    let outer = thread_count();
+    let inner = with_thread_count(3, thread_count);
+    assert_eq!(inner, 3);
+    assert_eq!(thread_count(), outer);
+}
