@@ -8,19 +8,24 @@
 //! ```
 //!
 //! Available ids: fig2, fig3, fig4, fig5, sec4-mcs, fig8, fig9, fig10,
-//! fig11, fig12, fig13, ablate, adaptive, chaos, fuzzy-idle, release,
-//! baselines, verify, all. A `--quick` flag shrinks replication counts
-//! for smoke runs; `--list` prints the available ids and exits;
-//! `--only a,b,c` selects a comma-separated subset. `verify` grades the
-//! reproduction against the paper's reference values and exits non-zero
-//! on failure. Parallelism is governed by `COMBAR_THREADS` (default:
-//! all cores) and never changes any output byte.
+//! fig11, fig12, fig13, ablate, adaptive, chaos, churn, fuzzy-idle,
+//! release, baselines, verify, all. A `--quick` flag shrinks
+//! replication counts for smoke runs; `--list` prints the available ids
+//! and exits; `--only a,b,c` selects a comma-separated subset. `verify`
+//! grades the reproduction against the paper's reference values and
+//! exits non-zero on failure. `--json` emits one JSON object per id
+//! (JSON Lines) instead of text tables — derived by parsing the
+//! rendered tables, so the text renderers (and their golden snapshots)
+//! stay the single source of truth. Parallelism is governed by
+//! `COMBAR_THREADS` (default: all cores) and never changes any output
+//! byte.
 
 use combar::presets::{Fig12, Fig13, Fig2, Fig3Grid, Fig5, Fig8, ScalingSweep};
 use combar_bench::experiments::{
-    ablate, adaptive, baselines, chaos, fig2, fig34, fig5, fig8, fuzzy_idle, ksr, mcs, release,
-    scaling, seeds,
+    ablate, adaptive, baselines, chaos, churn, fig2, fig34, fig5, fig8, fuzzy_idle, ksr, mcs,
+    release, scaling, seeds,
 };
+use combar_bench::table::{json_escape, parse_rendered};
 use std::time::Instant;
 
 /// The `all` expansion, in presentation order.
@@ -39,20 +44,48 @@ const ALL_IDS: &[&str] = &[
     "ablate",
     "adaptive",
     "chaos",
+    "churn",
     "fuzzy-idle",
     "release",
     "baselines",
     "verify",
 ];
 
+/// Prints one experiment's output: text verbatim, or one JSON-Lines
+/// object with the tables parsed back out of the rendering (non-table
+/// output is carried under `"raw"` instead).
+fn emit(json: bool, id: &str, out: &str) {
+    if !json {
+        print!("{out}");
+        return;
+    }
+    let tables = parse_rendered(out);
+    if tables.is_empty() {
+        println!(
+            "{{\"id\":\"{}\",\"raw\":\"{}\"}}",
+            json_escape(id),
+            json_escape(out)
+        );
+    } else {
+        let rendered: Vec<String> = tables.iter().map(|t| t.to_json()).collect();
+        println!(
+            "{{\"id\":\"{}\",\"tables\":[{}]}}",
+            json_escape(id),
+            rendered.join(",")
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut json = false;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--json" => json = true,
             "--list" => {
                 for id in ALL_IDS {
                     println!("{id}");
@@ -88,7 +121,7 @@ fn main() {
 
     for id in ids {
         let t0 = Instant::now();
-        match id {
+        let out: String = match id {
             "fig2" => {
                 let preset = if quick {
                     Fig2 {
@@ -98,7 +131,7 @@ fn main() {
                 } else {
                     Fig2::default()
                 };
-                println!("{}", fig2::run(&preset).render());
+                format!("{}\n", fig2::run(&preset).render())
             }
             "fig3" | "fig4" => {
                 if grid_cache.is_none() {
@@ -115,9 +148,9 @@ fn main() {
                 }
                 let grid = grid_cache.as_ref().unwrap();
                 if id == "fig3" {
-                    println!("{}", grid.render_fig3());
+                    format!("{}\n", grid.render_fig3())
                 } else {
-                    println!("{}", grid.render_fig4());
+                    format!("{}\n", grid.render_fig4())
                 }
             }
             "fig5" => {
@@ -130,12 +163,12 @@ fn main() {
                 } else {
                     Fig5::default()
                 };
-                println!("{}", fig5::run(&preset).render());
+                format!("{}\n", fig5::run(&preset).render())
             }
             "sec4-mcs" => {
                 let (p, reps) = if quick { (256, 10) } else { (4096, 20) };
                 let res = mcs::run(p, 250.0, &[2, 4, 8, 16, 64], reps);
-                println!("{}", res.render());
+                format!("{}\n", res.render())
             }
             "fig8" => {
                 let preset = if quick {
@@ -148,7 +181,7 @@ fn main() {
                 } else {
                     Fig8::default()
                 };
-                println!("{}", fig8::run(&preset).render());
+                format!("{}\n", fig8::run(&preset).render())
             }
             "fig9" | "fig10" | "fig11" => {
                 if scaling_cache.is_none() {
@@ -166,12 +199,14 @@ fn main() {
                 }
                 let res = scaling_cache.as_ref().unwrap();
                 if id == "fig9" {
-                    println!("{}", res.render_fig9());
+                    format!("{}\n", res.render_fig9())
                 } else if id == "fig10" {
-                    print!("{}", res.render_fig10_11());
+                    res.render_fig10_11()
+                } else {
+                    // fig11 is included in render_fig10_11; avoid
+                    // printing it twice when both were requested
+                    String::new()
                 }
-                // fig11 is included in render_fig10_11; avoid printing
-                // it twice when both were requested
             }
             "fig12" => {
                 let preset = if quick {
@@ -183,7 +218,7 @@ fn main() {
                 } else {
                     Fig12::default()
                 };
-                println!("{}", ksr::run_fig12(&preset).render());
+                format!("{}\n", ksr::run_fig12(&preset).render())
             }
             "fig13" => {
                 let preset = if quick {
@@ -195,19 +230,22 @@ fn main() {
                 } else {
                     Fig13::default()
                 };
-                println!("{}", ksr::run_fig13(&preset).render());
+                format!("{}\n", ksr::run_fig13(&preset).render())
             }
             "ablate" => {
                 let reps = if quick { 8 } else { 20 };
                 let shapes = ablate::run_shapes(256, &[6.2, 25.0], reps);
-                println!("{}", ablate::render_shapes(&shapes, 256));
                 let err = ablate::run_model_error(256, &[0.0, 6.2, 25.0, 100.0], reps);
-                println!("{}", ablate::render_model_error(&err));
                 let prof = ablate::run_level_profile(4096, 12.5, &[4, 16, 64], reps);
-                println!("{}", ablate::render_level_profile(&prof, 4096, 12.5));
                 let iters = if quick { 80 } else { 200 };
                 let corr = ksr::run_fig13_correlation(&[0.0, 0.3, 0.6, 0.9], 2_000.0, iters);
-                println!("{}", ksr::render_fig13_correlation(&corr, 2_000.0));
+                format!(
+                    "{}\n{}\n{}\n{}\n",
+                    ablate::render_shapes(&shapes, 256),
+                    ablate::render_model_error(&err),
+                    ablate::render_level_profile(&prof, 4096, 12.5),
+                    ksr::render_fig13_correlation(&corr, 2_000.0)
+                )
             }
             "adaptive" => {
                 let p = if quick { 1024 } else { 4096 };
@@ -229,7 +267,7 @@ fn main() {
                         iterations: 50,
                     },
                 ];
-                println!("{}", adaptive::run(p, &phases, 10).render());
+                format!("{}\n", adaptive::run(p, &phases, 10).render())
             }
             "chaos" => {
                 let preset = if quick {
@@ -237,7 +275,15 @@ fn main() {
                 } else {
                     chaos::ChaosPreset::full(seeds::chaos())
                 };
-                println!("{}", chaos::run(&preset).render());
+                format!("{}\n", chaos::run(&preset).render())
+            }
+            "churn" => {
+                let preset = if quick {
+                    churn::ChurnPreset::quick()
+                } else {
+                    churn::ChurnPreset::full()
+                };
+                format!("{}\n", churn::run(&preset).render())
             }
             "dot" => {
                 // Figure 6's mechanism, rendered: a small owner tree
@@ -249,7 +295,7 @@ fn main() {
                     Workload,
                 };
                 let topo = Topology::mcs(16, 2);
-                println!("// initial placement\n{}", topo.to_dot(None));
+                let before = format!("// initial placement\n{}", topo.to_dot(None));
                 // run a few iterations with one systemically slow proc
                 let cfg = IterateConfig {
                     tc: Duration::from_us(20.0),
@@ -299,42 +345,44 @@ fn main() {
                         *b = (done + 4_000.0).max(r.release_us);
                     }
                 }
-                println!(
-                    "// after 30 iterations with a systemic slow set\n{}",
+                format!(
+                    "{}\n// after 30 iterations with a systemic slow set\n{}\n",
+                    before,
                     topo.to_dot(Some(&placement))
-                );
+                )
             }
             "verify" => {
                 let verdicts = combar_bench::verify::run(quick);
                 let (table, all_ok) = combar_bench::verify::render(&verdicts);
-                println!("{table}");
                 if !all_ok {
+                    emit(json, id, &format!("{table}\n"));
                     eprintln!("verification FAILED");
                     std::process::exit(1);
                 }
-                println!("all claims verified against the paper ✓");
+                format!("{table}\nall claims verified against the paper ✓\n")
             }
             "baselines" => {
                 let (p, reps) = if quick { (256, 8) } else { (1024, 20) };
                 let rows = baselines::run(p, &[0.0, 1.6, 6.2, 12.5, 25.0, 50.0, 100.0], reps);
-                println!("{}", baselines::render(&rows, p));
+                format!("{}\n", baselines::render(&rows, p))
             }
             "release" => {
                 let reps = if quick { 3 } else { 10 };
                 let rows = release::run(&[64, 256, 1024, 4096], &[2, 4, 16], 2.0, reps);
-                println!("{}", release::render(&rows, 2.0));
+                format!("{}\n", release::render(&rows, 2.0))
             }
             "fuzzy-idle" => {
                 let (p, iters) = if quick { (256, 60) } else { (1024, 120) };
                 let slacks = [0.0, 250.0, 500.0, 1_000.0, 2_000.0, 4_000.0, 16_000.0];
-                println!("{}", fuzzy_idle::run(p, 250.0, &slacks, iters).render());
+                format!("{}\n", fuzzy_idle::run(p, 250.0, &slacks, iters).render())
             }
             other => {
                 eprintln!("unknown experiment id: {other}");
                 eprintln!("known: {} all (see --list)", ALL_IDS.join(" "));
                 std::process::exit(2);
             }
-        }
+        };
+        emit(json, id, &out);
         eprintln!("[{id}] done in {:.1}s", t0.elapsed().as_secs_f64());
     }
 }

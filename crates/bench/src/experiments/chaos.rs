@@ -7,10 +7,11 @@
 //! per barrier kind, whether the survivors can evict the corpse and
 //! keep synchronizing — and at what per-episode cost. Counter-tree
 //! barriers (central, combining, MCS, dynamic, adaptive, blocking)
-//! degrade gracefully through the roster eviction protocol; the
-//! symmetric algorithms (dissemination, tournament) cannot, because
-//! every participant is a unique signaller, and their survivors give
-//! up after exhausting the retry budget.
+//! degrade gracefully through the roster eviction protocol, and the
+//! tournament heals through flag adoption (losers replay a dead
+//! winner's bracket track); only dissemination cannot recover, because
+//! every participant is a unique signaller in every round, and its
+//! survivors give up after exhausting the retry budget.
 //!
 //! A DES companion replays the same fault timeline against the
 //! simulated central counter, separating the *protocol* cost of
@@ -259,11 +260,12 @@ pub fn run(preset: &ChaosPreset) -> ChaosResult {
         let soak = |plan: FaultPlan| {
             let b = TournamentBarrier::new(p);
             chaos_torture(p, episodes, plan, preset.step, |tid| {
+                let b = &b;
                 let mut w = b.waiter(tid);
-                (move |d| w.wait_timeout(d), Vec::new)
+                (move |d| w.wait_timeout(d), move || b.evict_stragglers())
             })
         };
-        rows.push(row(preset, "tournament", false, soak(quiet), soak(death)));
+        rows.push(row(preset, "tournament", true, soak(quiet), soak(death)));
     }
 
     let sim = simulate(preset);
@@ -274,9 +276,10 @@ pub fn run(preset: &ChaosPreset) -> ChaosResult {
     }
 }
 
-/// Bridges a chaos plan into the DES fault-timeline types.
+/// Bridges a chaos plan into the DES fault-timeline types, including
+/// scheduled rejoins (`SimFault::Rejoin` closes the dead window).
 pub fn timeline_of(plan: &FaultPlan, p: u32, episodes: u32) -> FaultTimeline {
-    let specs = plan
+    let mut specs: Vec<FaultSpec> = plan
         .schedule(p, episodes)
         .into_iter()
         .filter_map(|(tid, ep, f)| {
@@ -293,6 +296,15 @@ pub fn timeline_of(plan: &FaultPlan, p: u32, episodes: u32) -> FaultTimeline {
             })
         })
         .collect();
+    for d in plan.deaths().filter(|d| d.tid < p) {
+        if let Some(back) = d.rejoin {
+            specs.push(FaultSpec {
+                proc: d.tid,
+                episode: back,
+                fault: SimFault::Rejoin,
+            });
+        }
+    }
     FaultTimeline::new(specs)
 }
 
@@ -439,6 +451,16 @@ mod tests {
             .any(|s| matches!(s.fault, SimFault::Stall(_))));
         // deterministic bridge: same plan, same timeline
         assert_eq!(t, timeline_of(&plan, 4, 32));
+    }
+
+    #[test]
+    fn timeline_bridge_carries_rejoins() {
+        let plan = FaultPlan::quiet(9).with_churn(2, 5, DeathMode::Stall, 11);
+        let t = timeline_of(&plan, 4, 32);
+        assert_eq!(t.death_episode(2), Some(5));
+        assert_eq!(t.rejoin_episode(2), Some(11));
+        assert!(!t.alive(2, 7));
+        assert!(t.alive(2, 11));
     }
 
     #[test]

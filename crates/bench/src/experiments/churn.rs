@@ -1,0 +1,405 @@
+//! Beyond-paper experiment: what online tree reconfiguration buys
+//! under membership churn.
+//!
+//! The chaos experiment measures *survival*; this one prices the
+//! *shape policy* a surviving cohort runs with. A deterministic churn
+//! timeline kills `k` of `p` participants at one episode and rejoins
+//! all of them later; per episode, three strategies synchronize the
+//! live cohort through the DES episode model:
+//!
+//! * **central** — one flat counter over the live processors: the
+//!   degenerate "reconfiguration" that always has depth 1 but
+//!   serializes every arrival (the paper's extreme-imbalance winner);
+//! * **static-proxy** — the pre-self-healing runtime: the combining
+//!   tree keeps its full-membership shape and dead subtrees are
+//!   covered by proxy arrivals delivered at episode start, so
+//!   survivors still pay the full critical depth;
+//! * **self-healing** — the tentpole policy: at the episode boundary
+//!   after detection the tree is pruned to the live set
+//!   ([`Topology::prune`], the same rule the runtime barriers apply in
+//!   the releaser's quiescent window), and the rejoin episode grafts
+//!   the victims back at their original leaves.
+//!
+//! Detection is not free for anyone: the episode in which the deaths
+//! happen pays the full step timeout before proxies/pruning land, for
+//! all three strategies alike. Reconfiguration itself is boundary work
+//! inside the quiescent window and is modelled as free, which is
+//! exactly the design claim the runtime's `heal` module makes.
+//!
+//! Everything is DES virtual time and seeded RNG — the table is
+//! byte-identical across runs and `COMBAR_THREADS` settings, and a
+//! shrunk variant is golden-snapshotted.
+
+use crate::experiments::seeds;
+use crate::table::{fmt_us, Table};
+use combar::presets::TC_US;
+use combar_chaos::{DeathMode, FaultPlan};
+use combar_des::fault::FaultTimeline;
+use combar_des::Duration as SimDuration;
+use combar_exec::Sweep;
+use combar_rng::{Distribution, Normal, SeedableRng, Xoshiro256pp};
+use combar_sim::{build_tree, run_episode, Topology, TreeStyle};
+
+use super::chaos::timeline_of;
+
+/// Shape of one churn run.
+#[derive(Debug, Clone)]
+pub struct ChurnPreset {
+    /// Participating processors.
+    pub p: u32,
+    /// Episodes simulated per strategy.
+    pub episodes: u32,
+    /// Combining-tree degree for the tree strategies.
+    pub degree: u32,
+    /// Kill counts, one sweep cell each.
+    pub kill_counts: Vec<u32>,
+    /// Episode at which all `k` victims die.
+    pub kill_episode: u32,
+    /// Episode at which all victims rejoin.
+    pub rejoin_episode: u32,
+    /// Arrival spread (σ of the normal arrival time), µs.
+    pub sigma_us: f64,
+    /// Detection timeout survivors pay in the kill episode, µs.
+    pub detect_us: f64,
+}
+
+impl ChurnPreset {
+    /// Full-size run: p = 16, kill k ∈ {1, 2, 4} at episode 20 of 120,
+    /// rejoin at 70.
+    pub fn full() -> Self {
+        Self {
+            p: 16,
+            episodes: 120,
+            degree: 2,
+            kill_counts: vec![1, 2, 4],
+            kill_episode: 20,
+            rejoin_episode: 70,
+            sigma_us: 250.0,
+            detect_us: 5_000.0,
+        }
+    }
+
+    /// Shrunk run for smoke passes and the golden snapshot.
+    pub fn quick() -> Self {
+        Self {
+            episodes: 40,
+            kill_episode: 8,
+            rejoin_episode: 24,
+            ..Self::full()
+        }
+    }
+
+    /// The victims for a kill count of `k`: odd tids, so the dead
+    /// subtrees spread across the tree rather than clustering under
+    /// one counter.
+    pub fn victims(&self, k: u32) -> Vec<u32> {
+        (0..k).map(|i| (2 * i + 1) % self.p).collect()
+    }
+
+    /// The churn plan for `k` victims: all die (stall) at
+    /// `kill_episode`, all rejoin at `rejoin_episode`.
+    pub fn plan(&self, k: u32) -> FaultPlan {
+        let mut plan = FaultPlan::quiet(seeds::churn(k));
+        for v in self.victims(k) {
+            plan = plan.with_churn(v, self.kill_episode, DeathMode::Stall, self.rejoin_episode);
+        }
+        plan
+    }
+}
+
+/// Per-phase mean sync delays of one strategy, µs.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseMeans {
+    /// Before the kill episode.
+    pub healthy_us: f64,
+    /// The kill episode itself (includes the detection timeout).
+    pub detect_us: f64,
+    /// Between detection and rejoin.
+    pub degraded_us: f64,
+    /// From the rejoin episode on.
+    pub healed_us: f64,
+}
+
+/// One `(kill count, strategy)` row.
+#[derive(Debug, Clone)]
+pub struct ChurnRow {
+    /// Kill count.
+    pub k: u32,
+    /// Strategy label.
+    pub strategy: &'static str,
+    /// Critical depth during the degraded window.
+    pub degraded_depth: u32,
+    /// Critical depth after the rejoin (must equal the base depth for
+    /// the tree strategies — the healed shape is the base shape).
+    pub healed_depth: u32,
+    /// Scheduled kills and rejoins (from the timeline, as a check).
+    pub kills: u32,
+    /// Scheduled rejoins.
+    pub rejoins: u32,
+    /// Phase means.
+    pub phases: PhaseMeans,
+}
+
+/// Everything the churn experiment produces.
+#[derive(Debug, Clone)]
+pub struct ChurnResult {
+    /// The run shape.
+    pub preset: ChurnPreset,
+    /// Rows grouped by kill count, strategies in fixed order.
+    pub rows: Vec<ChurnRow>,
+}
+
+/// Which shape policy an episode cohort synchronizes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Strategy {
+    Central,
+    StaticProxy,
+    SelfHealing,
+}
+
+impl Strategy {
+    const ALL: [Strategy; 3] = [
+        Strategy::Central,
+        Strategy::StaticProxy,
+        Strategy::SelfHealing,
+    ];
+
+    fn label(self) -> &'static str {
+        match self {
+            Strategy::Central => "central",
+            Strategy::StaticProxy => "static-proxy",
+            Strategy::SelfHealing => "self-healing",
+        }
+    }
+}
+
+/// One episode under a strategy: sync delay (µs) and critical depth.
+fn episode(strategy: Strategy, base: &Topology, live: &[bool], arrivals: &[f64]) -> (f64, u32) {
+    let tc = SimDuration::from_us(TC_US);
+    match strategy {
+        Strategy::Central => {
+            let live_arrivals: Vec<f64> = arrivals
+                .iter()
+                .zip(live)
+                .filter_map(|(&a, &l)| l.then_some(a))
+                .collect();
+            let n = live_arrivals.len() as u32;
+            let flat = build_tree(TreeStyle::Combining, n, n);
+            let r = run_episode(&flat, flat.homes(), &live_arrivals, tc);
+            (r.sync_delay_us, 1)
+        }
+        Strategy::StaticProxy => {
+            // Dead processors are covered by proxy arrivals the evictor
+            // delivered at the boundary: they cost no waiting, but the
+            // full tree shape stays on the survivors' critical path.
+            let proxied: Vec<f64> = arrivals
+                .iter()
+                .zip(live)
+                .map(|(&a, &l)| if l { a } else { 0.0 })
+                .collect();
+            let r = run_episode(base, base.homes(), &proxied, tc);
+            (r.sync_delay_us, base.depth())
+        }
+        Strategy::SelfHealing => {
+            let (pruned, proc_map) = base.prune(live).expect("someone is live");
+            let live_arrivals: Vec<f64> =
+                proc_map.iter().map(|&old| arrivals[old as usize]).collect();
+            let r = run_episode(&pruned, pruned.homes(), &live_arrivals, tc);
+            (r.sync_delay_us, pruned.depth())
+        }
+    }
+}
+
+fn soak(preset: &ChurnPreset, strategy: Strategy, timeline: &FaultTimeline, seed: u64) -> ChurnRow {
+    let p = preset.p as usize;
+    let spread = Normal::new(1_000.0, preset.sigma_us).expect("valid sigma");
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let base = build_tree(TreeStyle::Combining, preset.p, preset.degree);
+    let mut phase_sums = [(0.0f64, 0u32); 4]; // healthy, detect, degraded, healed
+    let mut degraded_depth = 0u32;
+    let mut healed_depth = 0u32;
+    for ep in 0..preset.episodes {
+        // One sample per (proc, episode) regardless of liveness keeps
+        // the RNG stream aligned across strategies (common random
+        // numbers), so strategy columns differ only by shape policy.
+        let arrivals: Vec<f64> = (0..p).map(|_| spread.sample(&mut rng).max(0.0)).collect();
+        let live: Vec<bool> = (0..preset.p).map(|q| timeline.alive(q, ep)).collect();
+        // In the kill episode the self-healing tree has not reached the
+        // reconfiguration boundary yet: it synchronizes through the
+        // static shape (proxies land with the eviction) and prunes
+        // from the next episode on.
+        let eff = if strategy == Strategy::SelfHealing && ep == preset.kill_episode {
+            Strategy::StaticProxy
+        } else {
+            strategy
+        };
+        let (mut sync, depth) = episode(eff, &base, &live, &arrivals);
+        let phase = if ep < preset.kill_episode {
+            0
+        } else if ep == preset.kill_episode {
+            // Survivors only notice the corpses after a full timeout;
+            // every strategy pays the same detection latency.
+            sync += preset.detect_us;
+            1
+        } else if ep < preset.rejoin_episode {
+            degraded_depth = degraded_depth.max(depth);
+            2
+        } else {
+            healed_depth = healed_depth.max(depth);
+            3
+        };
+        phase_sums[phase].0 += sync;
+        phase_sums[phase].1 += 1;
+    }
+    let mean = |(s, n): (f64, u32)| s / n.max(1) as f64;
+    let kills = (0..preset.p)
+        .filter(|&q| timeline.death_episode(q).is_some())
+        .count() as u32;
+    let rejoins = (0..preset.p)
+        .filter(|&q| timeline.rejoin_episode(q).is_some())
+        .count() as u32;
+    ChurnRow {
+        k: kills,
+        strategy: strategy.label(),
+        degraded_depth,
+        healed_depth,
+        kills,
+        rejoins,
+        phases: PhaseMeans {
+            healthy_us: mean(phase_sums[0]),
+            detect_us: mean(phase_sums[1]),
+            degraded_us: mean(phase_sums[2]),
+            healed_us: mean(phase_sums[3]),
+        },
+    }
+}
+
+/// Runs the churn grid: each kill count is one parallel [`Sweep`]
+/// cell; the three strategy rows of a cell share one timeline and one
+/// arrival stream.
+pub fn run(preset: &ChurnPreset) -> ChurnResult {
+    let rows: Vec<Vec<ChurnRow>> =
+        Sweep::new(seeds::BASE, preset.kill_counts.clone()).run(|cell| {
+            let &k = cell.param;
+            let plan = preset.plan(k);
+            let timeline = timeline_of(&plan, preset.p, preset.episodes);
+            Strategy::ALL
+                .iter()
+                .map(|&s| soak(preset, s, &timeline, seeds::churn(k)))
+                .collect()
+        });
+    ChurnResult {
+        preset: preset.clone(),
+        rows: rows.into_iter().flatten().collect(),
+    }
+}
+
+impl ChurnResult {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let p = &self.preset;
+        let mut t = Table::new(
+            format!(
+                "churn: shape policy under kill/rejoin (p={}, degree {}, kill@{}, rejoin@{}, σ={}µs, detect {}µs)",
+                p.p, p.degree, p.kill_episode, p.rejoin_episode, p.sigma_us, p.detect_us
+            ),
+            &[
+                "strategy",
+                "kills",
+                "rejoins",
+                "healthy",
+                "detect ep",
+                "degraded",
+                "healed",
+                "deg depth",
+                "healed depth",
+            ],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                format!("{} (k={})", r.strategy, r.k),
+                r.kills.to_string(),
+                r.rejoins.to_string(),
+                fmt_us(r.phases.healthy_us),
+                fmt_us(r.phases.detect_us),
+                fmt_us(r.phases.degraded_us),
+                fmt_us(r.phases.healed_us),
+                r.degraded_depth.to_string(),
+                r.healed_depth.to_string(),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> ChurnResult {
+        run(&ChurnPreset::quick())
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = result().render();
+        let b = result().render();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn self_healing_restores_base_depth_after_rejoin() {
+        let res = result();
+        let base = build_tree(TreeStyle::Combining, res.preset.p, res.preset.degree);
+        for r in res.rows.iter().filter(|r| r.strategy == "self-healing") {
+            assert_eq!(
+                r.healed_depth,
+                base.depth(),
+                "k={}: healed shape must be the base shape",
+                r.k
+            );
+            assert!(
+                r.degraded_depth <= base.depth(),
+                "k={}: pruning never deepens the tree",
+                r.k
+            );
+            assert_eq!(r.rejoins, r.kills, "every victim rejoins");
+        }
+    }
+
+    #[test]
+    fn static_proxy_keeps_full_depth_while_degraded() {
+        let res = result();
+        let base = build_tree(TreeStyle::Combining, res.preset.p, res.preset.degree);
+        for r in res.rows.iter().filter(|r| r.strategy == "static-proxy") {
+            assert_eq!(r.degraded_depth, base.depth());
+        }
+    }
+
+    #[test]
+    fn detection_dominates_every_strategy() {
+        for r in result().rows {
+            assert!(
+                r.phases.detect_us > r.phases.healthy_us,
+                "{} k={}: detection episode must pay the timeout",
+                r.strategy,
+                r.k
+            );
+        }
+    }
+
+    #[test]
+    fn healed_matches_healthy_for_tree_strategies() {
+        for r in result().rows.iter().filter(|r| r.strategy != "central") {
+            let ratio = r.phases.healed_us / r.phases.healthy_us;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "{} k={}: healed {} vs healthy {} diverge",
+                r.strategy,
+                r.k,
+                r.phases.healed_us,
+                r.phases.healthy_us
+            );
+        }
+    }
+}

@@ -6,6 +6,7 @@ pub mod ablate;
 pub mod adaptive;
 pub mod baselines;
 pub mod chaos;
+pub mod churn;
 pub mod fig2;
 pub mod fig34;
 pub mod fig5;

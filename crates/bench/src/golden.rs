@@ -21,7 +21,7 @@
 //! and is excluded; its DES companion (the replayed fault timeline) is
 //! deterministic and snapshotted via [`chaos_des_small`].
 
-use crate::experiments::{chaos, fig2, fig8, seeds};
+use crate::experiments::{chaos, churn, fig2, fig8, seeds};
 use combar::presets::{Fig2, Fig8};
 use std::time::Duration;
 
@@ -57,4 +57,11 @@ pub fn chaos_des_small() -> String {
         ..chaos::ChaosPreset::quick(seeds::chaos())
     };
     chaos::render_des(&chaos::simulate(&preset))
+}
+
+/// The churn experiment (shape policy under kill/rejoin) on its quick
+/// preset — the whole experiment is DES replay, so no shrinking is
+/// needed beyond the preset itself.
+pub fn churn_small() -> String {
+    churn::run(&churn::ChurnPreset::quick()).render()
 }

@@ -70,6 +70,126 @@ impl Table {
     }
 }
 
+/// Escapes a string for inclusion in a JSON string literal (quotes,
+/// backslashes, control characters; non-ASCII passes through as
+/// UTF-8).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Table {
+    /// The table as a JSON object:
+    /// `{"title": ..., "headers": [...], "rows": [[...], ...]}`.
+    ///
+    /// Hand-rolled on purpose — the workspace carries no serialization
+    /// dependency, and the shape is trivial.
+    pub fn to_json(&self) -> String {
+        let arr = |cells: &[String]| -> String {
+            let quoted: Vec<String> = cells
+                .iter()
+                .map(|c| format!("\"{}\"", json_escape(c)))
+                .collect();
+            format!("[{}]", quoted.join(","))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| arr(r)).collect();
+        format!(
+            "{{\"title\":\"{}\",\"headers\":{},\"rows\":[{}]}}",
+            json_escape(&self.title),
+            arr(&self.headers),
+            rows.join(",")
+        )
+    }
+}
+
+/// Parses tables back out of [`Table::render`] output: the inverse the
+/// experiments binary's `--json` mode uses, so every experiment keeps
+/// a single (snapshot-tested) text renderer and JSON is derived, never
+/// hand-maintained per experiment.
+///
+/// Cells are recovered by splitting on runs of two or more spaces,
+/// which is sound because the renderer joins columns with at least two
+/// and cells never contain two adjacent spaces. Non-table text (e.g.
+/// DOT output) is ignored.
+pub fn parse_rendered(text: &str) -> Vec<Table> {
+    let split_cells = |line: &str| -> Vec<String> {
+        let mut cells = Vec::new();
+        let mut cur = String::new();
+        let mut spaces = 0usize;
+        for c in line.trim_end().chars() {
+            if c == ' ' {
+                spaces += 1;
+            } else {
+                if spaces >= 2 && !cur.is_empty() {
+                    cells.push(cur.trim().to_string());
+                    cur.clear();
+                } else if spaces > 0 {
+                    cur.push(' ');
+                }
+                spaces = 0;
+                cur.push(c);
+            }
+        }
+        if !cur.trim().is_empty() {
+            cells.push(cur.trim().to_string());
+        }
+        cells
+    };
+    let mut tables = Vec::new();
+    let mut lines = text.lines().peekable();
+    while let Some(line) = lines.next() {
+        let Some(title) = line
+            .strip_prefix("== ")
+            .and_then(|rest| rest.strip_suffix(" =="))
+        else {
+            continue;
+        };
+        let Some(header_line) = lines.next() else {
+            break;
+        };
+        let headers = split_cells(header_line);
+        if headers.is_empty() {
+            continue;
+        }
+        // The rule line separates headers from rows.
+        match lines.peek() {
+            Some(rule) if rule.chars().all(|c| c == '-') && !rule.is_empty() => {
+                lines.next();
+            }
+            _ => continue,
+        }
+        let mut t = Table {
+            title: title.to_string(),
+            headers,
+            rows: Vec::new(),
+        };
+        while let Some(row_line) = lines.peek() {
+            if row_line.trim().is_empty() || row_line.starts_with("== ") {
+                break;
+            }
+            let cells = split_cells(row_line);
+            if cells.len() != t.headers.len() {
+                break;
+            }
+            t.rows.push(cells);
+            lines.next();
+        }
+        tables.push(t);
+    }
+    tables
+}
+
 /// Formats a microsecond quantity compactly (µs below 1 ms, else ms).
 pub fn fmt_us(us: f64) -> String {
     if us.abs() >= 1000.0 {
@@ -114,5 +234,38 @@ mod tests {
         assert_eq!(fmt_us(120.0), "120.0µs");
         assert_eq!(fmt_us(2500.0), "2.50ms");
         assert_eq!(fmt_ratio(1.2345), "1.23");
+    }
+
+    #[test]
+    fn parse_inverts_render() {
+        let mut t = Table::new("demo table", &["name", "sync delay", "d"]);
+        t.row(vec!["central (k=1)".into(), "12.5µs".into(), "1".into()]);
+        t.row(vec!["tree".into(), "2.50ms".into(), "4".into()]);
+        let mut u = Table::new("second", &["a", "b"]);
+        u.row(vec!["x".into(), "1".into()]);
+        let text = format!("{}\n{}", t.render(), u.render());
+        let parsed = parse_rendered(&text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].title, "demo table");
+        assert_eq!(parsed[0].headers, t.headers);
+        assert_eq!(parsed[0].rows, t.rows);
+        assert_eq!(parsed[1].rows, u.rows);
+    }
+
+    #[test]
+    fn parse_skips_non_table_text() {
+        let text = "digraph {\n  a -> b\n}\nnot == a table ==\n";
+        assert!(parse_rendered(text).is_empty());
+    }
+
+    #[test]
+    fn json_emission_escapes_and_nests() {
+        let mut t = Table::new("q\"uote", &["σ/tc", "µs"]);
+        t.row(vec!["a\\b".into(), "1".into()]);
+        let j = t.to_json();
+        assert_eq!(
+            j,
+            "{\"title\":\"q\\\"uote\",\"headers\":[\"σ/tc\",\"µs\"],\"rows\":[[\"a\\\\b\",\"1\"]]}"
+        );
     }
 }

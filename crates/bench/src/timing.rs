@@ -160,12 +160,19 @@ impl SweepThroughput {
     }
 
     /// Renders the measurement as a small JSON document (the format
-    /// committed as `BENCH_sweep.json`).
+    /// committed as `BENCH_sweep.json`). The embedded note is the
+    /// provenance contract: the committed file records whatever host
+    /// last regenerated it, so `speedup < 1` with `host_cores: 1` is
+    /// expected, not a regression; the CI soak job re-records the file
+    /// on a multi-core runner and uploads it as an artifact.
     pub fn to_json(&self) -> String {
         format!(
             "{{\n  \"bench\": \"sweep_throughput\",\n  \"episodes_per_pass\": {},\n  \
              \"serial_episodes_per_sec\": {:.1},\n  \"pooled_episodes_per_sec\": {:.1},\n  \
-             \"threads\": {},\n  \"host_cores\": {},\n  \"speedup\": {:.2}\n}}\n",
+             \"threads\": {},\n  \"host_cores\": {},\n  \"speedup\": {:.2},\n  \
+             \"note\": \"recorded on the committing host; speedup < 1 is expected when \
+             host_cores is 1 — the CI soak job re-records this file on a multi-core runner \
+             as the BENCH_sweep artifact\"\n}}\n",
             self.episodes,
             self.serial_eps,
             self.pooled_eps,

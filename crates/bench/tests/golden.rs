@@ -60,6 +60,11 @@ fn chaos_des_table_is_stable() {
     );
 }
 
+#[test]
+fn churn_table_is_stable() {
+    check("churn_small.txt", &combar_bench::golden::churn_small());
+}
+
 /// The renderings really are deterministic: two in-process runs agree
 /// byte for byte (guards the snapshots themselves against flakiness).
 #[test]
@@ -75,5 +80,9 @@ fn renderings_are_deterministic() {
     assert_eq!(
         combar_bench::golden::chaos_des_small(),
         combar_bench::golden::chaos_des_small()
+    );
+    assert_eq!(
+        combar_bench::golden::churn_small(),
+        combar_bench::golden::churn_small()
     );
 }

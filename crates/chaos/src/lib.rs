@@ -15,9 +15,15 @@
 //!   under CPU oversubscription;
 //! * [`FaultKind::SpuriousWake`] — the waiter resumes without the
 //!   barrier having opened, exercising the timeout/retry path;
-//! * [`FaultKind::Die`] — the participant never arrives again, either by
+//! * [`FaultKind::Die`] — the participant stops arriving, either by
 //!   stalling forever ([`DeathMode::Stall`]) or by panicking mid-episode
 //!   ([`DeathMode::Panic`]).
+//!
+//! A death may optionally carry a *rejoin episode*: the participant is
+//! scripted to come back through the runtime's rejoin protocol once the
+//! surviving cohort has progressed that far. A plan holds up to
+//! [`MAX_DEATHS`] scripted deaths, so churn scenarios (kill `k` of `p`,
+//! let them rejoin) stay a single `Copy` value.
 //!
 //! The plan is *descriptive*: it never touches a barrier itself. The
 //! runtime harness (`combar-rt::harness`) interprets the plan on real
@@ -35,8 +41,11 @@
 //!     max_stall_us: 200,
 //!     ..ChaosConfig::default()
 //! })
-//! .with_death(1, 20, DeathMode::Stall);
+//! .with_death(1, 20, DeathMode::Stall)
+//! .with_churn(2, 8, DeathMode::Stall, 24);
 //! assert_eq!(plan.death_episode(1), Some(20));
+//! assert_eq!(plan.rejoin_episode(1), None); // dies for good
+//! assert_eq!(plan.rejoin_episode(2), Some(24)); // comes back
 //! // Same plan, same schedule — determinism is the whole point.
 //! assert_eq!(plan.schedule(4, 64), plan.schedule(4, 64));
 //! ```
@@ -71,7 +80,7 @@ pub enum FaultKind {
     Die(DeathMode),
 }
 
-/// A scripted participant death.
+/// A scripted participant death, optionally followed by a rejoin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Death {
     /// Thread that dies.
@@ -80,7 +89,18 @@ pub struct Death {
     pub episode: u32,
     /// How it dies.
     pub mode: DeathMode,
+    /// Episode (of the surviving cohort) at which the thread starts
+    /// rejoining, or `None` if it stays dead. Must exceed `episode`;
+    /// only meaningful for [`DeathMode::Stall`] — a panicking death
+    /// poisons the barrier and nothing rejoins a poisoned barrier.
+    pub rejoin: Option<u32>,
 }
+
+/// Maximum number of scripted deaths a single plan can carry.
+///
+/// A fixed-size slot array keeps [`ChaosConfig`] `Copy`, which the
+/// harness and the bench experiments rely on for cheap plan cloning.
+pub const MAX_DEATHS: usize = 8;
 
 /// Tunable fault probabilities and bounds for a [`FaultPlan`].
 ///
@@ -101,8 +121,9 @@ pub struct ChaosConfig {
     pub max_yields: u32,
     /// Probability of a spurious wakeup per (thread, episode).
     pub spurious_prob: f64,
-    /// Optional scripted participant death.
-    pub death: Option<Death>,
+    /// Scripted participant deaths, at most one per thread, packed into
+    /// the leading slots (`None` = free slot).
+    pub deaths: [Option<Death>; MAX_DEATHS],
 }
 
 impl Default for ChaosConfig {
@@ -114,7 +135,7 @@ impl Default for ChaosConfig {
             yield_prob: 0.0,
             max_yields: 8,
             spurious_prob: 0.0,
-            death: None,
+            deaths: [None; MAX_DEATHS],
         }
     }
 }
@@ -145,7 +166,24 @@ impl FaultPlan {
             cfg.stall_prob + cfg.yield_prob + cfg.spurious_prob <= 1.0,
             "total transient fault probability exceeds 1"
         );
-        Self { cfg }
+        let plan = Self { cfg };
+        let mut seen: Vec<u32> = Vec::new();
+        for d in plan.deaths() {
+            assert!(
+                !seen.contains(&d.tid),
+                "thread {} has more than one scripted death",
+                d.tid
+            );
+            seen.push(d.tid);
+            if let Some(r) = d.rejoin {
+                assert!(
+                    r > d.episode,
+                    "rejoin episode {r} must come after the death episode {}",
+                    d.episode
+                );
+            }
+        }
+        plan
     }
 
     /// A plan that injects nothing — useful as a neutral baseline.
@@ -156,9 +194,55 @@ impl FaultPlan {
         })
     }
 
-    /// Returns the plan with a scripted death added.
-    pub fn with_death(mut self, tid: u32, episode: u32, mode: DeathMode) -> Self {
-        self.cfg.death = Some(Death { tid, episode, mode });
+    /// Returns the plan with a permanent scripted death added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all [`MAX_DEATHS`] slots are taken or `tid` already
+    /// has a scripted death.
+    pub fn with_death(self, tid: u32, episode: u32, mode: DeathMode) -> Self {
+        self.push_death(Death {
+            tid,
+            episode,
+            mode,
+            rejoin: None,
+        })
+    }
+
+    /// Returns the plan with a scripted death *and* rejoin added: `tid`
+    /// dies at `episode` and starts rejoining once the surviving cohort
+    /// reaches episode `rejoin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rejoin <= episode`, all [`MAX_DEATHS`] slots are
+    /// taken, or `tid` already has a scripted death.
+    pub fn with_churn(self, tid: u32, episode: u32, mode: DeathMode, rejoin: u32) -> Self {
+        assert!(
+            rejoin > episode,
+            "rejoin episode {rejoin} must come after the death episode {episode}"
+        );
+        self.push_death(Death {
+            tid,
+            episode,
+            mode,
+            rejoin: Some(rejoin),
+        })
+    }
+
+    fn push_death(mut self, d: Death) -> Self {
+        assert!(
+            self.death_episode(d.tid).is_none(),
+            "thread {} already has a scripted death",
+            d.tid
+        );
+        let slot = self
+            .cfg
+            .deaths
+            .iter_mut()
+            .find(|s| s.is_none())
+            .unwrap_or_else(|| panic!("plan already holds {MAX_DEATHS} scripted deaths"));
+        *slot = Some(d);
         self
     }
 
@@ -167,12 +251,20 @@ impl FaultPlan {
         &self.cfg
     }
 
+    /// The scripted deaths, in insertion order.
+    pub fn deaths(&self) -> impl Iterator<Item = Death> + '_ {
+        self.cfg.deaths.iter().flatten().copied()
+    }
+
     /// The episode at which `tid` dies, if the plan kills it.
     pub fn death_episode(&self, tid: u32) -> Option<u32> {
-        match self.cfg.death {
-            Some(d) if d.tid == tid => Some(d.episode),
-            _ => None,
-        }
+        self.deaths().find(|d| d.tid == tid).map(|d| d.episode)
+    }
+
+    /// The episode at which `tid` starts rejoining, if the plan kills
+    /// it with a scheduled comeback.
+    pub fn rejoin_episode(&self, tid: u32) -> Option<u32> {
+        self.deaths().find(|d| d.tid == tid).and_then(|d| d.rejoin)
     }
 
     /// The fault injected at `(tid, episode)`, if any.
@@ -180,8 +272,8 @@ impl FaultPlan {
     /// Pure and deterministic: repeated calls with the same arguments on
     /// the same plan always agree, across threads and runs.
     pub fn fault(&self, tid: u32, episode: u32) -> Option<FaultKind> {
-        if let Some(d) = self.cfg.death {
-            if d.tid == tid && d.episode == episode {
+        if let Some(d) = self.deaths().find(|d| d.tid == tid) {
+            if d.episode == episode {
                 return Some(FaultKind::Die(d.mode));
             }
         }
@@ -278,6 +370,51 @@ mod tests {
         assert_eq!(plan.fault(2, 17), Some(FaultKind::Die(DeathMode::Panic)));
         assert_eq!(plan.fault(2, 16), None);
         assert_eq!(plan.fault(1, 17), None);
+    }
+
+    #[test]
+    fn churn_schedules_death_and_rejoin() {
+        let plan = FaultPlan::quiet(5)
+            .with_churn(1, 4, DeathMode::Stall, 12)
+            .with_death(3, 9, DeathMode::Stall);
+        assert_eq!(plan.death_episode(1), Some(4));
+        assert_eq!(plan.rejoin_episode(1), Some(12));
+        assert_eq!(plan.death_episode(3), Some(9));
+        assert_eq!(plan.rejoin_episode(3), None);
+        assert_eq!(plan.rejoin_episode(0), None);
+        assert_eq!(plan.fault(1, 4), Some(FaultKind::Die(DeathMode::Stall)));
+        // The rejoin episode itself is not a fault coordinate: the
+        // harness reads `rejoin_episode`, the schedule stays clean.
+        assert_eq!(plan.fault(1, 12), None);
+        assert_eq!(plan.deaths().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must come after the death episode")]
+    fn rejects_rejoin_before_death() {
+        let _ = FaultPlan::quiet(0).with_churn(0, 10, DeathMode::Stall, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a scripted death")]
+    fn rejects_double_death_per_thread() {
+        let _ = FaultPlan::quiet(0)
+            .with_death(2, 3, DeathMode::Stall)
+            .with_churn(2, 5, DeathMode::Stall, 9);
+    }
+
+    #[test]
+    fn death_slots_fill_and_overflow_panics() {
+        let mut plan = FaultPlan::quiet(0);
+        for tid in 0..MAX_DEATHS as u32 {
+            plan = plan.with_death(tid, tid + 1, DeathMode::Stall);
+        }
+        assert_eq!(plan.deaths().count(), MAX_DEATHS);
+        let full = plan;
+        let res = std::panic::catch_unwind(|| {
+            full.with_death(99, 1, DeathMode::Stall);
+        });
+        assert!(res.is_err(), "ninth death must be rejected");
     }
 
     #[test]

@@ -141,6 +141,11 @@ pub mod seeds {
     pub fn chaos() -> u64 {
         BASE
     }
+
+    /// Churn experiment cell killing (and rejoining) `k` participants.
+    pub fn churn(k: u32) -> u64 {
+        BASE ^ 0xc4a0 ^ ((k as u64) << 8)
+    }
 }
 
 use combar_exec::Sweep;

@@ -21,6 +21,10 @@ pub enum SimFault {
     Stall(Duration),
     /// The processor stops participating from this episode on.
     Death,
+    /// The processor resumes participating from this episode on; pairs
+    /// with an earlier [`SimFault::Death`] on the same processor to
+    /// model churn (dead only on `[death, rejoin)`).
+    Rejoin,
 }
 
 /// One fault on one processor's episode timeline.
@@ -75,9 +79,29 @@ impl FaultTimeline {
             .min()
     }
 
-    /// Whether `proc` still participates in `episode`.
+    /// The episode at which `proc` comes back after its death, if the
+    /// timeline kills it and schedules a rejoin. A rejoin spec at or
+    /// before the death episode is ignored — a processor cannot rejoin
+    /// before it died.
+    pub fn rejoin_episode(&self, proc: u32) -> Option<u32> {
+        let died = self.death_episode(proc)?;
+        self.specs
+            .iter()
+            .filter(|s| s.proc == proc && s.fault == SimFault::Rejoin && s.episode > died)
+            .map(|s| s.episode)
+            .min()
+    }
+
+    /// Whether `proc` still participates in `episode`: dead exactly on
+    /// `[death, rejoin)`, alive everywhere else.
     pub fn alive(&self, proc: u32, episode: u32) -> bool {
-        self.death_episode(proc).is_none_or(|k| episode < k)
+        let Some(died) = self.death_episode(proc) else {
+            return true;
+        };
+        if episode < died {
+            return true;
+        }
+        self.rejoin_episode(proc).is_some_and(|r| episode >= r)
     }
 
     /// Processors alive in `episode`, out of `p` total.
@@ -147,6 +171,55 @@ mod tests {
         assert!(!t.alive(2, 3));
         assert_eq!(t.survivors(4, 2), 4);
         assert_eq!(t.survivors(4, 3), 3);
+    }
+
+    #[test]
+    fn rejoin_closes_the_dead_window() {
+        let t = FaultTimeline::new(vec![
+            FaultSpec {
+                proc: 1,
+                episode: 2,
+                fault: SimFault::Death,
+            },
+            FaultSpec {
+                proc: 1,
+                episode: 6,
+                fault: SimFault::Rejoin,
+            },
+        ]);
+        assert_eq!(t.rejoin_episode(1), Some(6));
+        assert!(t.alive(1, 1));
+        assert!(!t.alive(1, 2));
+        assert!(!t.alive(1, 5));
+        assert!(t.alive(1, 6));
+        assert_eq!(t.survivors(3, 4), 2);
+        assert_eq!(t.survivors(3, 7), 3);
+    }
+
+    #[test]
+    fn rejoin_without_death_is_inert() {
+        let t = FaultTimeline::new(vec![FaultSpec {
+            proc: 0,
+            episode: 4,
+            fault: SimFault::Rejoin,
+        }]);
+        assert_eq!(t.rejoin_episode(0), None);
+        assert!(t.alive(0, 4));
+        // A rejoin at or before the death episode is equally inert.
+        let t = FaultTimeline::new(vec![
+            FaultSpec {
+                proc: 0,
+                episode: 4,
+                fault: SimFault::Death,
+            },
+            FaultSpec {
+                proc: 0,
+                episode: 4,
+                fault: SimFault::Rejoin,
+            },
+        ]);
+        assert_eq!(t.rejoin_episode(0), None);
+        assert!(!t.alive(0, 9));
     }
 
     #[test]

@@ -22,15 +22,21 @@
 //!
 //! # Fault model
 //!
-//! Bounded waits ([`AdaptiveWaiter::wait_timeout`]), poisoning, and
-//! eviction are supported; an eviction is applied to **every**
+//! Bounded waits ([`AdaptiveWaiter::wait_timeout`]), poisoning,
+//! eviction, and detach are supported; both are applied to **every**
 //! candidate tree, so proxies flow no matter which tree later windows
-//! select. Re-admission is *not* supported: a rejoiner would have to
-//! reconcile the pre-delivered proxy counts sitting in the inactive
-//! trees, which cannot be done race-free without a stop-the-world
-//! reconfiguration. Rebuild the barrier to re-admit a participant.
+//! select. Each tree folds a detach into its shape at its *own* next
+//! episode boundary — an idle candidate keeps the victim parked (and
+//! proxy-covered) until a later window selects it, at which point its
+//! first release applies the pending reconfiguration. Re-admission is
+//! *not* supported: a rejoiner would have to reconcile the
+//! pre-delivered proxy counts and per-tree shape epochs sitting in the
+//! inactive trees, which cannot be done race-free without a
+//! stop-the-world reconfiguration across all candidates. Rebuild the
+//! barrier to re-admit a participant.
 
 use crate::error::BarrierError;
+use crate::heal::SelfHealing;
 use crate::pad::CachePadded;
 use crate::tree::{TreeBarrier, TreeWaiter};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -182,6 +188,67 @@ impl AdaptiveBarrier {
             .collect()
     }
 
+    /// Declares `tid` dead in **every** candidate tree: evicts it and
+    /// schedules its removal from each tree's live shape at that tree's
+    /// own next episode boundary (idle candidates apply it when a later
+    /// window selects them; until then proxies keep covering the slot).
+    /// Refused when the thread has arrived for the in-flight episode of
+    /// the current tree, or when it is the last live participant.
+    /// Idempotent.
+    pub fn detach(&self, tid: u32) -> bool {
+        assert!(tid < self.p, "thread id out of range");
+        let cur = self.current.load(Ordering::Acquire);
+        if self.trees[cur].is_live(tid) && self.trees[cur].live_count() <= 1 {
+            return false;
+        }
+        if !self.trees[cur].detach(tid) {
+            return false;
+        }
+        for (i, t) in self.trees.iter().enumerate() {
+            if i != cur {
+                // Idle trees hold no in-flight arrival from `tid`, so
+                // these detaches cannot be refused.
+                t.detach(tid);
+            }
+        }
+        true
+    }
+
+    /// Number of participants the current tree's live shape counts.
+    /// (Idle candidates may lag until their next boundary.)
+    pub fn live_count(&self) -> u32 {
+        self.trees[self.current.load(Ordering::Acquire)].live_count()
+    }
+
+    /// Whether the current tree's live shape still counts `tid`.
+    pub fn is_live(&self, tid: u32) -> bool {
+        self.trees[self.current.load(Ordering::Acquire)].is_live(tid)
+    }
+
+    /// Shape reconfigurations applied by the current tree.
+    pub fn shape_epoch(&self) -> u32 {
+        self.trees[self.current.load(Ordering::Acquire)].shape_epoch()
+    }
+
+    /// The longest root path any live participant walks in the current
+    /// tree.
+    pub fn critical_depth(&self) -> u32 {
+        self.trees[self.current.load(Ordering::Acquire)].critical_depth()
+    }
+
+    /// Checks the current tree's live shape against a fresh prune of
+    /// its base topology; call only at a quiescent point. Only the
+    /// current tree is checked: an idle candidate with an evicted
+    /// participant legitimately holds that participant's in-flight
+    /// proxy arrival (a partial episode) until a later window selects
+    /// it, so it is not quiescent even when the barrier is.
+    pub fn validate_shape(&self) -> Result<(), String> {
+        let cur = self.current.load(Ordering::Acquire);
+        self.trees[cur]
+            .validate_shape()
+            .map_err(|e| format!("degree-{} tree: {e}", self.degrees[cur]))
+    }
+
     /// Deterministic decision from one window's frozen slots: compute
     /// σ̂ of the recorded arrival times and ask the policy.
     fn decide(&self, parity: usize) -> usize {
@@ -203,6 +270,21 @@ impl AdaptiveBarrier {
         };
         let wanted = (self.policy)(sigma_us, self.p);
         nearest_index(&self.degrees, wanted)
+    }
+}
+
+impl SelfHealing for AdaptiveBarrier {
+    fn threads(&self) -> u32 {
+        AdaptiveBarrier::threads(self)
+    }
+    fn stragglers(&self) -> Vec<u32> {
+        AdaptiveBarrier::stragglers(self)
+    }
+    fn fail(&self, tid: u32) -> bool {
+        self.detach(tid)
+    }
+    fn is_poisoned(&self) -> bool {
+        AdaptiveBarrier::is_poisoned(self)
     }
 }
 
@@ -417,6 +499,61 @@ mod tests {
         });
         assert!(b.is_evicted(dead));
         assert!(!b.is_poisoned());
+    }
+
+    /// A detach is forwarded to every candidate tree and each folds it
+    /// in at its own boundary, so survivors keep crossing — and the
+    /// shape actually shrinks — across a window switch.
+    #[test]
+    fn detach_applies_across_tree_switches() {
+        const P: u32 = 4;
+        // Starts on the degree-8 tree; the policy steers every later
+        // window to degree 2, so both trees must fold the detach in.
+        let policy: DegreePolicy = Box::new(|_, _| 2);
+        let b = AdaptiveBarrier::new(P, &[2, 8], 5, policy);
+        let dead = 3u32;
+        std::thread::scope(|s| {
+            for tid in 0..P {
+                let b = &b;
+                s.spawn(move || {
+                    let mut w = b.waiter(tid);
+                    if tid == dead {
+                        return; // never shows up
+                    }
+                    let mut declared = false;
+                    for _ in 0..40 {
+                        loop {
+                            match w.wait_timeout(Duration::from_millis(20)) {
+                                Ok(()) => break,
+                                Err(BarrierError::Timeout) => {
+                                    if !declared {
+                                        b.detach(dead);
+                                        declared = true;
+                                    }
+                                }
+                                Err(e) => panic!("unexpected: {e}"),
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert!(b.is_evicted(dead));
+        assert!(!b.is_live(dead));
+        assert_eq!(b.live_count(), P - 1);
+        assert!(!b.is_poisoned());
+        b.validate_shape().unwrap();
+    }
+
+    #[test]
+    fn detach_refuses_last_live_participant() {
+        let policy: DegreePolicy = Box::new(|_, _| 2);
+        let b = AdaptiveBarrier::new(2, &[2], 4, policy);
+        assert!(b.detach(1));
+        let mut w0 = b.waiter(0);
+        w0.wait_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(b.live_count(), 1);
+        assert!(!b.detach(0), "cannot detach the last live participant");
     }
 
     #[test]

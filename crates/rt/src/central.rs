@@ -16,8 +16,22 @@
 //! can be evicted ([`CentralBarrier::evict`]) so survivors keep
 //! crossing — its arrivals are thereafter delivered by proxy at each
 //! release, and it may later [`CentralWaiter::rejoin`].
+//!
+//! # Self-healing
+//!
+//! Eviction keeps the expected count: the dead thread's arrival is
+//! proxied every episode forever. A *detach* ([`CentralBarrier::detach`]
+//! or [`SelfHealing::fail`] from a supervisor) additionally shrinks the
+//! expected count at the next episode boundary — the releaser's
+//! quiescent window (after the counter resets, before the epoch bump)
+//! is the one instant no arrival is in flight, so the new expected
+//! count publishes atomically with the release. A detached thread
+//! rejoins through [`CentralWaiter::try_rejoin`] /
+//! [`CentralWaiter::rejoin_within`]; the grant lands at a boundary and
+//! restores the full count.
 
 use crate::error::BarrierError;
+use crate::heal::{self, Change, Membership, RejoinStatus, SelfHealing};
 use crate::pad::CachePadded;
 use crate::roster::{Arrival, Roster};
 use crate::spin::{wait_for_epoch_fallible, EpochWait};
@@ -28,9 +42,13 @@ use std::time::{Duration, Instant};
 #[derive(Debug)]
 pub struct CentralBarrier {
     count: CachePadded<AtomicU32>,
+    /// Arrivals that release an episode — the live count; rewritten
+    /// only inside a releaser's quiescent window.
+    expected: CachePadded<AtomicU32>,
     epoch: CachePadded<AtomicU32>,
     poison: CachePadded<AtomicU32>,
     roster: Roster,
+    membership: Membership,
     next_id: AtomicU32,
     p: u32,
 }
@@ -45,9 +63,11 @@ impl CentralBarrier {
         assert!(p > 0, "barrier needs at least one thread");
         Self {
             count: CachePadded::new(AtomicU32::new(0)),
+            expected: CachePadded::new(AtomicU32::new(p)),
             epoch: CachePadded::new(AtomicU32::new(0)),
             poison: CachePadded::new(AtomicU32::new(0)),
             roster: Roster::new(p),
+            membership: Membership::new(p),
             next_id: AtomicU32::new(0),
             p,
         }
@@ -82,6 +102,7 @@ impl CentralBarrier {
             tid,
             epoch: self.epoch.load(Ordering::Acquire),
             pending: false,
+            awaiting_attach: false,
         }
     }
 
@@ -123,20 +144,59 @@ impl CentralBarrier {
     /// and evicting a thread that later shows up is safe — it gets
     /// [`BarrierError::Evicted`] and may rejoin).
     pub fn evict_stragglers(&self) -> Vec<u32> {
-        self.roster
-            .stragglers(&self.epoch)
+        self.stragglers()
             .into_iter()
             .filter(|&t| self.evict(t))
             .collect()
     }
 
+    /// Participants that have not arrived for the in-flight episode.
+    pub fn stragglers(&self) -> Vec<u32> {
+        self.roster.stragglers(&self.epoch)
+    }
+
+    /// Number of participants the live shape currently counts.
+    pub fn live_count(&self) -> u32 {
+        self.membership.live_count()
+    }
+
+    /// Whether the live shape still counts `tid` (detaches flip this at
+    /// an episode boundary, not at declaration time).
+    pub fn is_live(&self, tid: u32) -> bool {
+        self.membership.is_live(tid)
+    }
+
+    /// Number of expected-count reconfigurations applied so far.
+    pub fn shape_epoch(&self) -> u32 {
+        self.membership.shape_epoch()
+    }
+
+    /// Declares `tid` dead: evicts it if needed (delivering the
+    /// in-flight proxy) and shrinks the expected count at the next
+    /// episode boundary. Fails (returning `false`) when the thread has
+    /// arrived for the in-flight episode — it is provably alive — or
+    /// when it is the last live participant (a barrier with nobody
+    /// left could never release again). Idempotent.
+    pub fn detach(&self, tid: u32) -> bool {
+        assert!(tid < self.p, "thread id out of range");
+        if self.membership.is_live(tid) && self.membership.live_count() <= 1 {
+            return false;
+        }
+        let _ = self.evict(tid);
+        self.membership.request_detach(&self.roster, tid)
+    }
+
     /// One arrival count; returns whether it released the episode.
     fn bump(&self) -> bool {
+        let expected = self.expected.load(Ordering::Acquire);
         let prev = self.count.fetch_add(1, Ordering::AcqRel);
-        debug_assert!(prev < self.p, "more threads than the barrier was built for");
-        if prev + 1 == self.p {
-            // Last arriver: reset for the next episode, then release.
+        debug_assert!(prev < expected, "more arrivals than the live count");
+        if prev + 1 == expected {
+            // Last arriver: reset for the next episode (the quiescent
+            // window — no arrival in flight), fold membership changes,
+            // then release.
             self.count.store(0, Ordering::Relaxed);
+            self.apply_pending();
             self.epoch.fetch_add(1, Ordering::Release);
             true
         } else {
@@ -144,9 +204,52 @@ impl CentralBarrier {
         }
     }
 
-    /// Post-release proxy sweep for evicted participants.
+    /// Folds queued membership changes into the expected count. Called
+    /// only from the releaser's quiescent window.
+    fn apply_pending(&self) {
+        if !self.membership.has_pending() {
+            return;
+        }
+        let changes = self.membership.collect(&self.roster);
+        if changes.is_empty() {
+            return;
+        }
+        self.expected
+            .store(self.membership.live_count(), Ordering::Relaxed);
+        // Grants last: the roster CAS publishes the store above to the
+        // polling rejoiner (survivors get it from the epoch bump).
+        for change in changes {
+            match change {
+                Change::Attach(tid) => self.membership.grant(&self.roster, tid),
+                Change::Detach(tid) => {
+                    debug_assert!(!self.membership.is_live(tid));
+                }
+            }
+        }
+    }
+
+    /// Post-release proxy sweep for evicted participants. Detached
+    /// slots are stamped but not counted — the expected count no longer
+    /// includes them.
     fn maintain(&self) {
-        self.roster.maintain(&self.epoch, |_| self.bump());
+        self.roster.maintain(&self.epoch, |tid| {
+            self.membership.is_live(tid) && self.bump()
+        });
+    }
+}
+
+impl SelfHealing for CentralBarrier {
+    fn threads(&self) -> u32 {
+        CentralBarrier::threads(self)
+    }
+    fn stragglers(&self) -> Vec<u32> {
+        CentralBarrier::stragglers(self)
+    }
+    fn fail(&self, tid: u32) -> bool {
+        self.detach(tid)
+    }
+    fn is_poisoned(&self) -> bool {
+        CentralBarrier::is_poisoned(self)
     }
 }
 
@@ -162,6 +265,8 @@ pub struct CentralWaiter<'a> {
     tid: u32,
     epoch: u32,
     pending: bool,
+    /// An attach request is outstanding; waiting for a releaser grant.
+    awaiting_attach: bool,
 }
 
 impl CentralWaiter<'_> {
@@ -280,23 +385,57 @@ impl CentralWaiter<'_> {
         self.depart_deadline(None)
     }
 
-    /// Re-admission after eviction. On success the waiter is mid-episode
-    /// (its latest arrival was delivered by proxy): complete it with a
-    /// wait call, which departs without re-arriving. Returns
-    /// `Ok(false)` if this participant was not evicted.
-    pub fn rejoin(&mut self) -> Result<bool, BarrierError> {
+    /// One non-blocking rejoin step. Reads no clock, so rejoin loops
+    /// stay deterministic under the `combar-check` model checker.
+    ///
+    /// * Merely evicted (count untouched) → re-admits immediately via
+    ///   the fast roster path, returns [`RejoinStatus::Rejoined`].
+    /// * Detached → files an attach request the next episode's releaser
+    ///   grants inside its quiescent window, then returns
+    ///   [`RejoinStatus::Pending`] until the grant lands.
+    ///
+    /// After `Rejoined` the waiter is mid-episode (its latest arrival
+    /// was delivered by proxy): complete it with a wait call, which
+    /// departs without re-arriving.
+    pub fn try_rejoin(&mut self) -> Result<RejoinStatus, BarrierError> {
         let b = self.barrier;
         if b.is_poisoned() {
             return Err(BarrierError::Poisoned);
         }
-        match b.roster.rejoin(self.tid) {
-            None => Ok(false),
-            Some(last) => {
-                self.epoch = last.wrapping_sub(1);
-                self.pending = true;
-                Ok(true)
-            }
-        }
+        Ok(heal::try_rejoin_step(
+            &b.roster,
+            &b.membership,
+            self.tid,
+            &mut self.awaiting_attach,
+            &mut self.epoch,
+            &mut self.pending,
+        ))
+    }
+
+    /// Re-admission after eviction: drives [`Self::try_rejoin`] until it
+    /// resolves, spin-then-yield between polls. On success the waiter is
+    /// mid-episode (its latest arrival was delivered by proxy): complete
+    /// it with a wait call, which departs without re-arriving. Returns
+    /// `Ok(false)` if this participant was not evicted.
+    ///
+    /// An attach can only be granted by an episode boundary, so for a
+    /// detached participant this blocks until the live participants
+    /// complete an episode; if they may be idle, prefer
+    /// [`Self::rejoin_within`].
+    pub fn rejoin(&mut self) -> Result<bool, BarrierError> {
+        let this = self;
+        heal::drive_rejoin(move || this.try_rejoin())
+    }
+
+    /// [`Self::rejoin`] bounded by `timeout`, polling with jittered
+    /// exponential backoff ([`crate::JitterBackoff`]) so simultaneous
+    /// rejoiners desynchronize. Returns [`BarrierError::Timeout`] if no
+    /// episode boundary granted the attach in time (the request stays
+    /// filed; a later call resumes waiting for it).
+    pub fn rejoin_within(&mut self, timeout: Duration) -> Result<bool, BarrierError> {
+        let tid = self.tid;
+        let this = self;
+        heal::drive_rejoin_within(tid, timeout, move || this.try_rejoin())
     }
 
     /// This thread's participant id.
@@ -416,6 +555,73 @@ mod tests {
                 }
             });
         });
+    }
+
+    #[test]
+    fn detach_shrinks_expected_count_and_rejoin_restores() {
+        let b = CentralBarrier::new(4);
+        let mut ws: Vec<_> = (0..4).map(|t| b.waiter_for(t)).collect();
+        let (w3, live) = ws.split_last_mut().unwrap();
+        // Episode 1: thread 3 stalls; declare it dead (eviction proxy
+        // releases the in-flight episode).
+        for w in live.iter_mut() {
+            w.try_arrive().unwrap();
+        }
+        assert!(b.detach(3));
+        for w in live.iter_mut() {
+            w.try_depart().unwrap();
+        }
+        assert_eq!(b.live_count(), 4, "detach applies only at a boundary");
+        // Episode 2 still runs under the old count (3 covered by
+        // proxy); its releaser folds the detach in.
+        for w in live.iter_mut() {
+            w.try_arrive().unwrap();
+        }
+        for w in live.iter_mut() {
+            w.try_depart().unwrap();
+        }
+        assert_eq!(b.live_count(), 3);
+        assert_eq!(b.shape_epoch(), 1);
+        // Episode 3 needs no proxy: the count no longer includes 3.
+        for w in live.iter_mut() {
+            w.try_arrive().unwrap();
+        }
+        for w in live.iter_mut() {
+            w.try_depart().unwrap();
+        }
+        // Rejoin parks until a boundary grants it.
+        assert_eq!(w3.try_rejoin().unwrap(), RejoinStatus::Pending);
+        for w in live.iter_mut() {
+            w.try_arrive().unwrap();
+        }
+        for w in live.iter_mut() {
+            w.try_depart().unwrap();
+        }
+        assert_eq!(w3.try_rejoin().unwrap(), RejoinStatus::Rejoined);
+        assert_eq!(b.live_count(), 4);
+        assert_eq!(b.shape_epoch(), 2);
+        w3.try_depart().unwrap(); // resumed mid-episode, departs at once
+        for w in ws.iter_mut() {
+            w.try_arrive().unwrap();
+        }
+        for w in ws.iter_mut() {
+            w.try_depart().unwrap();
+        }
+    }
+
+    #[test]
+    fn detach_refuses_last_live_participant() {
+        let b = CentralBarrier::new(2);
+        let mut w0 = b.waiter_for(0);
+        assert!(b.detach(1));
+        // The first boundary applies the detach; the second runs on
+        // the shrunk count alone.
+        w0.try_wait().unwrap();
+        w0.try_wait().unwrap();
+        assert_eq!(b.live_count(), 1);
+        assert!(!b.detach(0), "last live participant is not declarable");
+        assert!(!b.is_evicted(0));
+        w0.try_wait().unwrap();
     }
 
     #[test]

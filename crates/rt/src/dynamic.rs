@@ -41,8 +41,28 @@
 //! any displacement notice left for the thread, so the roster always
 //! signals the thread's live (possibly migrated) home counter, and a
 //! rejoining waiter resumes from that counter.
+//!
+//! # Self-healing
+//!
+//! A *detach* ([`DynamicBarrier::detach`] or [`SelfHealing::fail`])
+//! removes a declared-dead participant from the live shape at the next
+//! episode boundary: inside the releaser's quiescent window the tree is
+//! recomputed from the base topology restricted to live members
+//! (`Topology::prune_shape`), and **all placement state is reset to
+//! that pruned shape** — counter owners, swappability, and every live
+//! thread's home. Migrations learned before the fault are deliberately
+//! discarded (the victim/victor assignment may reference the dead
+//! thread's counters); the placement re-learns within a few episodes,
+//! which is the transient-throughput-for-permanent-correctness trade
+//! the paper's dynamic barrier needs under churn. Survivors learn their
+//! reset home through the ordinary displacement-notice slot, so the
+//! victim-side path in `try_arrive` needs no new code. A detached
+//! thread rejoins through [`DynamicWaiter::try_rejoin`] /
+//! [`DynamicWaiter::rejoin_within`] and is grafted back at (the pruned
+//! position of) its original leaf.
 
 use crate::error::BarrierError;
+use crate::heal::{self, Change, Membership, RejoinStatus, SelfHealing};
 use crate::pad::CachePadded;
 use crate::roster::{Arrival, Roster};
 use crate::spin::{wait_for_epoch_fallible, EpochWait};
@@ -91,17 +111,24 @@ pub struct DynamicBarrier {
     /// Per-thread displacement notice: the new home counter, or
     /// `INVALID`.
     new_home: Vec<CachePadded<AtomicU32>>,
-    fan_in: Vec<u32>,
-    parent: Vec<Option<CounterId>>,
-    path_len: Vec<u32>,
+    /// Live-shape arrays, indexed like the base topology; rewritten
+    /// only inside a releaser's quiescent window.
+    fan_in: Vec<CachePadded<AtomicU32>>,
+    parent: Vec<CachePadded<AtomicU32>>,
+    path_len: Vec<CachePadded<AtomicU32>>,
     /// Ring id per counter (`INVALID` for the merge root), used to keep
-    /// swaps within rings on KSR-style topologies.
+    /// swaps within rings on KSR-style topologies. A base property,
+    /// untouched by reconfiguration.
     ring: Vec<u32>,
-    /// Whether a counter may be a swap target (exactly one occupant).
-    swappable: Vec<bool>,
+    /// Whether a counter may be a swap target (exactly one live
+    /// occupant); 0/1, rewritten with the rest of the shape.
+    swappable: Vec<CachePadded<AtomicU32>>,
     epoch: CachePadded<AtomicU32>,
     poison: CachePadded<AtomicU32>,
     roster: Roster,
+    membership: Membership,
+    /// The immutable original topology every reconfiguration prunes.
+    base: Topology,
     swaps: AtomicU64,
     /// Current home of each thread, maintained at swap time so fresh
     /// waiters (created between phases) start from the live placement.
@@ -146,18 +173,35 @@ impl DynamicBarrier {
             new_home: (0..topo.num_procs())
                 .map(|_| CachePadded::new(AtomicU32::new(INVALID)))
                 .collect(),
-            fan_in: topo.nodes().iter().map(|n| n.fan_in()).collect(),
-            parent: topo.nodes().iter().map(|n| n.parent).collect(),
-            path_len: topo.nodes().iter().map(|n| n.path_len).collect(),
+            fan_in: topo
+                .nodes()
+                .iter()
+                .map(|n| CachePadded::new(AtomicU32::new(n.fan_in())))
+                .collect(),
+            parent: topo
+                .nodes()
+                .iter()
+                .map(|n| CachePadded::new(AtomicU32::new(n.parent.unwrap_or(INVALID))))
+                .collect(),
+            path_len: topo
+                .nodes()
+                .iter()
+                .map(|n| CachePadded::new(AtomicU32::new(n.path_len)))
+                .collect(),
             ring: topo
                 .nodes()
                 .iter()
                 .map(|n| n.ring.unwrap_or(INVALID))
                 .collect(),
-            swappable,
+            swappable: swappable
+                .iter()
+                .map(|&s| CachePadded::new(AtomicU32::new(s as u32)))
+                .collect(),
             epoch: CachePadded::new(AtomicU32::new(0)),
             poison: CachePadded::new(AtomicU32::new(0)),
             roster: Roster::new(topo.num_procs()),
+            membership: Membership::new(topo.num_procs()),
+            base: topo.clone(),
             swaps: AtomicU64::new(0),
             cur_home: topo
                 .homes()
@@ -209,6 +253,7 @@ impl DynamicBarrier {
             epoch: self.epoch.load(Ordering::Acquire),
             fc: self.cur_home[tid as usize].load(Ordering::Acquire),
             pending: false,
+            awaiting_attach: false,
         }
     }
 
@@ -258,22 +303,138 @@ impl DynamicBarrier {
             .collect()
     }
 
+    /// Number of participants the live shape currently counts.
+    pub fn live_count(&self) -> u32 {
+        self.membership.live_count()
+    }
+
+    /// Whether the live shape still counts `tid` (detaches flip this at
+    /// an episode boundary, not at declaration time).
+    pub fn is_live(&self, tid: u32) -> bool {
+        self.membership.is_live(tid)
+    }
+
+    /// Number of shape reconfigurations applied so far.
+    pub fn shape_epoch(&self) -> u32 {
+        self.membership.shape_epoch()
+    }
+
+    /// The longest root path any *live* participant currently walks.
+    pub fn critical_depth(&self) -> u32 {
+        (0..self.threads())
+            .filter(|&t| self.membership.is_live(t))
+            .map(|t| {
+                let home = self.cur_home[t as usize].load(Ordering::Acquire);
+                self.path_len[home as usize].load(Ordering::Acquire)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The fault-free depth of the base topology.
+    pub fn base_depth(&self) -> u32 {
+        self.base.depth()
+    }
+
+    /// Declares `tid` dead: evicts it if needed (delivering the
+    /// in-flight proxy) and schedules its removal from the live shape
+    /// for the next episode boundary, which also resets the learned
+    /// placement. Fails (returning `false`) when the thread has arrived
+    /// for the in-flight episode, or when it is the last live
+    /// participant. Idempotent.
+    pub fn detach(&self, tid: u32) -> bool {
+        assert!(
+            (tid as usize) < self.new_home.len(),
+            "thread id out of range"
+        );
+        if self.membership.is_live(tid) && self.membership.live_count() <= 1 {
+            return false;
+        }
+        let _ = self.evict(tid);
+        self.membership.request_detach(&self.roster, tid)
+    }
+
     /// The signalling walk without swaps: increment from `start`
     /// upward; returns whether this walk released the episode.
     fn signal_static(&self, start: CounterId) -> bool {
         let mut c = start as usize;
         loop {
+            let fan = self.fan_in[c].load(Ordering::Acquire);
             let prev = self.counts[c].fetch_add(1, Ordering::AcqRel);
-            debug_assert!(prev < self.fan_in[c], "counter over-updated");
-            if prev + 1 < self.fan_in[c] {
+            debug_assert!(prev < fan, "counter over-updated");
+            if prev + 1 < fan {
                 return false;
             }
             self.counts[c].store(0, Ordering::Relaxed);
-            match self.parent[c] {
-                Some(par) => c = par as usize,
-                None => {
-                    self.epoch.fetch_add(1, Ordering::Release);
-                    return true;
+            let par = self.parent[c].load(Ordering::Acquire);
+            if par == INVALID {
+                // Quiescent window: every counter reset, every surviving
+                // waiter spinning on the epoch. Membership changes and
+                // the placement reset they imply apply here.
+                self.apply_pending();
+                self.epoch.fetch_add(1, Ordering::Release);
+                return true;
+            }
+            c = par as usize;
+        }
+    }
+
+    /// Folds queued membership changes into the live shape, resetting
+    /// all placement state to the pruned base topology. Called only
+    /// from the releaser's quiescent window.
+    fn apply_pending(&self) {
+        if !self.membership.has_pending() {
+            return;
+        }
+        let changes = self.membership.collect(&self.roster);
+        if changes.is_empty() {
+            return;
+        }
+        let mask = self.membership.live_mask();
+        let shape = self.base.prune_shape(&mask);
+        for c in 0..self.base.num_counters() {
+            self.fan_in[c].store(shape.fan_in[c], Ordering::Relaxed);
+            self.parent[c].store(shape.parent[c].unwrap_or(INVALID), Ordering::Relaxed);
+            self.path_len[c].store(shape.path_len[c], Ordering::Relaxed);
+            // Recomputed below from the reset homes.
+            self.local[c].store(INVALID, Ordering::Relaxed);
+            self.swappable[c].store(0, Ordering::Relaxed);
+        }
+        // Single live occupant per counter ⇒ it owns the counter and
+        // the counter is a swap target again.
+        let mut occupants: Vec<u32> = vec![0; self.base.num_counters()];
+        for (t, live) in mask.iter().enumerate() {
+            if *live {
+                if let Some(h) = shape.home[t] {
+                    occupants[h as usize] += 1;
+                }
+            }
+        }
+        for (t, live) in mask.iter().enumerate() {
+            if !*live {
+                continue;
+            }
+            let h = shape.home[t].expect("live thread must be homed");
+            self.cur_home[t].store(h, Ordering::Relaxed);
+            // The reset home rides the ordinary displacement-notice
+            // slot, overwriting any stale pre-fault notice; survivors
+            // consume it (redundant or not) on their next arrival.
+            self.new_home[t].store(h, Ordering::Relaxed);
+            if occupants[h as usize] == 1 {
+                self.local[h as usize].store(t as u32, Ordering::Relaxed);
+                self.swappable[h as usize].store(1, Ordering::Relaxed);
+            }
+        }
+        // Grants last: the roster CAS publishes the stores above to the
+        // polling rejoiner (survivors get them from the epoch bump).
+        for change in changes {
+            match change {
+                Change::Attach(tid) => self.membership.grant(&self.roster, tid),
+                Change::Detach(tid) => {
+                    debug_assert!(!self.membership.is_live(tid));
+                    // Void any stale displacement notice so a later
+                    // attach starts from the recomputed home.
+                    self.new_home[tid as usize].store(INVALID, Ordering::Relaxed);
                 }
             }
         }
@@ -299,17 +460,20 @@ impl DynamicBarrier {
         self.signal_static(home)
     }
 
-    /// Post-release proxy sweep for evicted participants.
+    /// Post-release proxy sweep for evicted participants. Detached
+    /// slots are stamped but not walked — the live shape no longer
+    /// counts them.
     fn maintain(&self) {
-        self.roster
-            .maintain(&self.epoch, |tid| self.proxy_signal(tid));
+        self.roster.maintain(&self.epoch, |tid| {
+            self.membership.is_live(tid) && self.proxy_signal(tid)
+        });
     }
 
     /// Whether `target` is a legal swap destination for a thread homed
     /// at `from`.
     fn swap_ok(&self, from: CounterId, target: CounterId) -> bool {
         target != from
-            && self.swappable[target as usize]
+            && self.swappable[target as usize].load(Ordering::Acquire) != 0
             && self.ring[target as usize] == self.ring[from as usize]
     }
 
@@ -322,13 +486,28 @@ impl DynamicBarrier {
         let victim = self.local[target as usize].load(Ordering::Acquire);
         debug_assert_ne!(victim, INVALID, "swappable counters always have an owner");
         self.local[target as usize].store(tid, Ordering::Release);
-        if self.swappable[from as usize] {
+        if self.swappable[from as usize].load(Ordering::Acquire) != 0 {
             self.local[from as usize].store(victim, Ordering::Release);
         }
         self.new_home[victim as usize].store(from, Ordering::Release);
         self.cur_home[tid as usize].store(target, Ordering::Release);
         self.cur_home[victim as usize].store(from, Ordering::Release);
         self.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl SelfHealing for DynamicBarrier {
+    fn threads(&self) -> u32 {
+        DynamicBarrier::threads(self)
+    }
+    fn stragglers(&self) -> Vec<u32> {
+        DynamicBarrier::stragglers(self)
+    }
+    fn fail(&self, tid: u32) -> bool {
+        self.detach(tid)
+    }
+    fn is_poisoned(&self) -> bool {
+        DynamicBarrier::is_poisoned(self)
     }
 }
 
@@ -344,6 +523,8 @@ pub struct DynamicWaiter<'a> {
     epoch: u32,
     fc: CounterId,
     pending: bool,
+    /// An attach request is outstanding; waiting for a releaser grant.
+    awaiting_attach: bool,
 }
 
 impl DynamicWaiter<'_> {
@@ -387,9 +568,10 @@ impl DynamicWaiter<'_> {
 
         let mut c = self.fc as usize;
         loop {
+            let fan = b.fan_in[c].load(Ordering::Acquire);
             let prev = b.counts[c].fetch_add(1, Ordering::AcqRel);
-            debug_assert!(prev < b.fan_in[c], "counter over-updated");
-            if prev + 1 < b.fan_in[c] {
+            debug_assert!(prev < fan, "counter over-updated");
+            if prev + 1 < fan {
                 return Ok(()); // not last: propagation is someone else's job
             }
             // Last updater of c: reset, swap upward if this is a new
@@ -399,14 +581,14 @@ impl DynamicWaiter<'_> {
                 b.apply_swap(self.tid, self.fc, c as CounterId);
                 self.fc = c as CounterId;
             }
-            match b.parent[c] {
-                Some(par) => c = par as usize,
-                None => {
-                    b.epoch.fetch_add(1, Ordering::Release);
-                    b.maintain();
-                    return Ok(());
-                }
+            let par = b.parent[c].load(Ordering::Acquire);
+            if par == INVALID {
+                b.apply_pending();
+                b.epoch.fetch_add(1, Ordering::Release);
+                b.maintain();
+                return Ok(());
             }
+            c = par as usize;
         }
     }
 
@@ -479,34 +661,71 @@ impl DynamicWaiter<'_> {
         self.depart_deadline(None)
     }
 
-    /// Re-admission after eviction. On success the waiter is
-    /// mid-episode (its latest arrival was delivered by proxy from its
-    /// live home counter): complete it with a wait call, which departs
-    /// without re-arriving. Returns `Ok(false)` if this participant was
-    /// not evicted.
-    pub fn rejoin(&mut self) -> Result<bool, BarrierError> {
+    /// One non-blocking rejoin step. Reads no clock, so rejoin loops
+    /// stay deterministic under the `combar-check` model checker.
+    ///
+    /// * Merely evicted (shape untouched) → re-admits immediately via
+    ///   the fast roster path, returns [`RejoinStatus::Rejoined`].
+    /// * Detached → files an attach request the next episode's releaser
+    ///   grants inside its quiescent window (re-grafting this thread at
+    ///   the pruned position of its original leaf), then returns
+    ///   [`RejoinStatus::Pending`] until the grant lands.
+    ///
+    /// After `Rejoined` the waiter is mid-episode (its latest arrival
+    /// was delivered by proxy from its live home counter): complete it
+    /// with a wait call, which departs without re-arriving.
+    pub fn try_rejoin(&mut self) -> Result<RejoinStatus, BarrierError> {
         let b = self.barrier;
         if b.is_poisoned() {
             return Err(BarrierError::Poisoned);
         }
-        match b.roster.rejoin(self.tid) {
-            None => Ok(false),
-            Some(last) => {
-                self.epoch = last.wrapping_sub(1);
-                self.pending = true;
-                // Proxies kept cur_home live (consuming any displacement
-                // notice), so resume from there.
-                self.fc = b.cur_home[self.tid as usize].load(Ordering::Acquire);
-                Ok(true)
-            }
+        let status = heal::try_rejoin_step(
+            &b.roster,
+            &b.membership,
+            self.tid,
+            &mut self.awaiting_attach,
+            &mut self.epoch,
+            &mut self.pending,
+        );
+        if status == RejoinStatus::Rejoined {
+            // Proxies (fast path) or the boundary reconfiguration
+            // (attach path) kept cur_home live; resume from there.
+            self.fc = b.cur_home[self.tid as usize].load(Ordering::Acquire);
         }
+        Ok(status)
+    }
+
+    /// Re-admission after eviction: drives [`Self::try_rejoin`] until it
+    /// resolves, spin-then-yield between polls. On success the waiter is
+    /// mid-episode (its latest arrival was delivered by proxy): complete
+    /// it with a wait call, which departs without re-arriving. Returns
+    /// `Ok(false)` if this participant was not evicted.
+    ///
+    /// An attach can only be granted by an episode boundary, so for a
+    /// detached participant this blocks until the live participants
+    /// complete an episode; if they may be idle, prefer
+    /// [`Self::rejoin_within`].
+    pub fn rejoin(&mut self) -> Result<bool, BarrierError> {
+        let this = self;
+        heal::drive_rejoin(move || this.try_rejoin())
+    }
+
+    /// [`Self::rejoin`] bounded by `timeout`, polling with jittered
+    /// exponential backoff ([`crate::JitterBackoff`]) so simultaneous
+    /// rejoiners desynchronize. Returns [`BarrierError::Timeout`] if no
+    /// episode boundary granted the attach in time (the request stays
+    /// filed; a later call resumes waiting for it).
+    pub fn rejoin_within(&mut self, timeout: Duration) -> Result<bool, BarrierError> {
+        let tid = self.tid;
+        let this = self;
+        heal::drive_rejoin_within(tid, timeout, move || this.try_rejoin())
     }
 
     /// Path length from this thread's current home to the root — the
     /// paper's "tree depth seen" metric. Reflects relocations the
     /// thread has already noticed.
     pub fn depth(&self) -> u32 {
-        self.barrier.path_len[self.fc as usize]
+        self.barrier.path_len[self.fc as usize].load(Ordering::Acquire)
     }
 
     /// This thread's id.
@@ -727,5 +946,84 @@ mod tests {
     #[should_panic(expected = "owner counters")]
     fn combining_topology_rejected() {
         let _ = DynamicBarrier::from_topology(&Topology::combining(16, 4));
+    }
+
+    /// Detach reconfigures the shape (resetting learned placement) and
+    /// rejoin restores the full base depth.
+    #[test]
+    fn detach_resets_placement_and_rejoin_restores() {
+        let b = DynamicBarrier::mcs(8, 2);
+        let base_depth = b.base_depth();
+        let mut ws: Vec<_> = (0..8).map(|t| b.waiter(t)).collect();
+        let (w7, live) = ws.split_last_mut().unwrap();
+        // Episode 1: thread 7 stalls; declare it dead.
+        for w in live.iter_mut() {
+            w.try_arrive().unwrap();
+        }
+        assert!(b.detach(7));
+        for w in live.iter_mut() {
+            w.try_depart().unwrap();
+        }
+        // Episode 2's releaser folds the detach in (placement reset).
+        for w in live.iter_mut() {
+            w.try_arrive().unwrap();
+        }
+        for w in live.iter_mut() {
+            w.try_depart().unwrap();
+        }
+        assert_eq!(b.live_count(), 7);
+        assert_eq!(b.shape_epoch(), 1);
+        assert!(b.critical_depth() <= base_depth);
+        // Episode 3 runs without any proxy; survivors consume their
+        // placement-reset notices here.
+        for w in live.iter_mut() {
+            w.try_arrive().unwrap();
+        }
+        for w in live.iter_mut() {
+            w.try_depart().unwrap();
+        }
+        // Rejoin parks until a boundary grants it.
+        assert_eq!(w7.try_rejoin().unwrap(), RejoinStatus::Pending);
+        for w in live.iter_mut() {
+            w.try_arrive().unwrap();
+        }
+        for w in live.iter_mut() {
+            w.try_depart().unwrap();
+        }
+        assert_eq!(w7.try_rejoin().unwrap(), RejoinStatus::Rejoined);
+        assert_eq!(b.live_count(), 8);
+        assert_eq!(b.shape_epoch(), 2);
+        w7.try_depart().unwrap(); // resumed mid-episode, departs at once
+        assert_eq!(
+            b.critical_depth(),
+            base_depth,
+            "full rejoin restores the shape"
+        );
+        // A further all-hands episode crosses cleanly.
+        for w in ws.iter_mut() {
+            w.try_arrive().unwrap();
+        }
+        for w in ws.iter_mut() {
+            w.try_depart().unwrap();
+        }
+        // Dynamic behaviour survives the churn: a slow thread still
+        // migrates to the root afterwards.
+        std::thread::scope(|s| {
+            for tid in 0..8u32 {
+                let b = &b;
+                s.spawn(move || {
+                    let mut w = b.waiter(tid);
+                    for _ in 0..25 {
+                        if tid == 0 {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        w.wait();
+                    }
+                    if tid == 0 {
+                        assert_eq!(w.depth(), 1, "placement re-learns after churn");
+                    }
+                });
+            }
+        });
     }
 }

@@ -61,13 +61,26 @@
 //!   tree, dynamic, blocking, adaptive) support *eviction*: a
 //!   participant that stops arriving can be removed (`evict` /
 //!   `evict_stragglers`) and its arrivals are thereafter delivered by
-//!   proxy at each release, so survivors keep crossing; evicted
-//!   participants can later `rejoin` (except on the adaptive barrier).
-//!   The dissemination and tournament barriers cannot support eviction
-//!   — every thread is a structurally unique signaller there.
+//!   proxy at each release, so survivors keep crossing. The
+//!   [`TournamentBarrier`] supports eviction too, through *adoption*:
+//!   losers replay a dead winner's whole signalling track, so the
+//!   static pairwise schedule heals around the corpse. Only the
+//!   dissemination barrier cannot recover — every thread is a
+//!   structurally unique signaller in every round there;
+//! * **self-healing** — eviction is the entry point of a full
+//!   detect → reconfigure → rejoin loop ([`heal`]): a lease-based
+//!   [`Supervisor`] turns heartbeat silence into `fail(tid)` calls, the
+//!   next episode's releaser folds the membership change into the live
+//!   shape inside its quiescent window (re-parenting orphaned subtrees,
+//!   see `Topology::prune_shape`), and the corpse can later come back —
+//!   `try_rejoin` (clock-free) / `rejoin` / `rejoin_within` (jittered
+//!   exponential backoff, [`JitterBackoff`]) — restoring the fault-free
+//!   shape at an episode boundary.
 //!
 //! [`harness::chaos_torture`] soaks any barrier under a seeded
-//! `combar-chaos` fault plan, including participant deaths.
+//! `combar-chaos` fault plan, including participant deaths, and
+//! [`harness::churn_torture`] drives scripted death *and* comeback
+//! schedules through the whole self-healing loop.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -81,6 +94,7 @@ pub mod dynamic;
 pub mod error;
 pub mod fuzzy;
 pub mod harness;
+pub mod heal;
 pub mod pad;
 mod roster;
 pub mod spin;
@@ -99,7 +113,8 @@ pub use fuzzy::{fuzzy_episode, FuzzyTiming, FuzzyWaiter};
 pub use harness::{
     chaos_torture, lockstep_torture, time_episodes, ChaosReport, Stagger, TortureReport,
 };
+pub use heal::{JitterBackoff, RejoinStatus, SelfHealing, Supervisor, SupervisorConfig};
 pub use pad::CachePadded;
-pub use spin::EpochWait;
+pub use spin::{Deadline, EpochWait};
 pub use tournament::{TournamentBarrier, TournamentWaiter};
 pub use tree::{TreeBarrier, TreeWaiter};

@@ -2,8 +2,9 @@
 //! of the counter-tree barriers.
 //!
 //! Each participant owns one packed `AtomicU64` slot:
-//! `state << 32 | last`, where `state` is Active/Evicted and `last` is
-//! the epoch-tagged target of its most recent arrival (own or proxied).
+//! `state << 32 | last`, where `state` is Active/Evicted/Parked and
+//! `last` is the epoch-tagged target of its most recent arrival (own
+//! or proxied).
 //! Every transition — arrival, eviction, proxy delivery, re-admission —
 //! is a single CAS on that slot, which makes the races between a slow
 //! arriver and its evictor, between two evictors, and between a
@@ -17,6 +18,12 @@
 //! * **rejoin vs proxy**: the rejoiner CASes `(Evicted, last) →
 //!   (Active, last)` and resumes as "arrived for `last`, pending
 //!   depart", since `last` is exactly the episode its proxy covered.
+//! * **detach vs rejoin**: a detacher parks the slot
+//!   (`Evicted → Parked`) before scheduling the shape change; parking
+//!   and the fast rejoin CAS cannot both win, so a participant is
+//!   never simultaneously roster-active and shape-detached. A parked
+//!   participant re-enters only via the releaser's boundary
+//!   [`Roster::admit`].
 //!
 //! The invariant that makes stale maintainers harmless: episode `X`
 //! cannot release until every evicted slot carries `last ≥ X`, so a
@@ -34,6 +41,13 @@ use crate::sync::{AtomicU32, AtomicU64, Ordering};
 
 const ACTIVE: u32 = 0;
 const EVICTED: u32 = 1;
+/// Evicted *and* scheduled for (or already subject to) a membership
+/// detach: the fast `rejoin` path is closed, and re-admission happens
+/// only through the releaser's boundary reconfiguration
+/// ([`Roster::admit`]). Parking linearizes the detach-vs-rejoin race on
+/// the slot itself: a rejoiner's `Evicted → Active` CAS and a
+/// detacher's `Evicted → Parked` CAS cannot both succeed.
+const PARKED: u32 = 2;
 
 fn pack(state: u32, last: u32) -> u64 {
     ((state as u64) << 32) | last as u64
@@ -75,7 +89,62 @@ impl Roster {
     }
 
     pub(crate) fn is_evicted(&self, tid: u32) -> bool {
-        unpack(self.slots[tid as usize].load(Ordering::Acquire)).0 == EVICTED
+        unpack(self.slots[tid as usize].load(Ordering::Acquire)).0 != ACTIVE
+    }
+
+    pub(crate) fn is_parked(&self, tid: u32) -> bool {
+        unpack(self.slots[tid as usize].load(Ordering::Acquire)).0 == PARKED
+    }
+
+    /// The slot's epoch tag: the target of the participant's most
+    /// recent (own or proxied) arrival. A freshly admitted participant
+    /// reads this to resume as "arrived for `last`, pending depart".
+    pub(crate) fn last_of(&self, tid: u32) -> u32 {
+        unpack(self.slots[tid as usize].load(Ordering::Acquire)).1
+    }
+
+    /// Closes the fast rejoin path for an evicted participant, ahead of
+    /// a membership detach at the next episode boundary. Fails if the
+    /// participant is active (it came back) or already parked.
+    pub(crate) fn park(&self, tid: u32) -> bool {
+        let slot = &self.slots[tid as usize];
+        loop {
+            let s = slot.load(Ordering::Acquire);
+            let (state, last) = unpack(s);
+            if state != EVICTED {
+                return state == PARKED;
+            }
+            if slot
+                .compare_exchange(s, pack(PARKED, last), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    /// Re-admits a parked participant; the releaser-side half of the
+    /// attach protocol, called only inside the boundary reconfiguration
+    /// window. The slot's `last` tag is necessarily the episode being
+    /// released (maintenance stamps every non-active slot each release),
+    /// so the admitted participant resumes as "arrived, pending depart"
+    /// exactly like a fast-path rejoiner.
+    pub(crate) fn admit(&self, tid: u32) -> bool {
+        let slot = &self.slots[tid as usize];
+        loop {
+            let s = slot.load(Ordering::Acquire);
+            let (state, last) = unpack(s);
+            if state != PARKED {
+                return false;
+            }
+            if slot
+                .compare_exchange(s, pack(ACTIVE, last), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.evicted.fetch_sub(1, Ordering::AcqRel);
+                return true;
+            }
+        }
     }
 
     /// Claims this participant's arrival for `target`.
@@ -167,12 +236,17 @@ impl Roster {
     }
 
     /// Post-release maintenance: deliver proxy arrivals for every
-    /// evicted participant for the next episode, looping while those
-    /// proxies themselves complete episodes. Called by whoever bumps
-    /// the barrier's epoch, whenever `evicted_count() > 0`.
+    /// evicted (or parked) participant for the next episode, looping
+    /// while those proxies themselves complete episodes. Called by
+    /// whoever bumps the barrier's epoch, whenever
+    /// `evicted_count() > 0`.
     ///
     /// `signal(tid)` must perform the barrier's arrival walk for `tid`
-    /// and report whether it released the episode.
+    /// — or, for a participant whose detach has already taken effect
+    /// (the live shape no longer counts it), do nothing — and report
+    /// whether it released the episode. The stamp itself still happens
+    /// for detached slots: it keeps `last` equal to the in-flight
+    /// target, which the boundary [`Roster::admit`] relies on.
     pub(crate) fn maintain<F: FnMut(u32) -> bool>(&self, epoch: &AtomicU32, mut signal: F) {
         loop {
             if self.evicted.load(Ordering::Acquire) == 0 {
@@ -185,13 +259,13 @@ impl Roster {
                 loop {
                     let s = slot.load(Ordering::Acquire);
                     let (state, last) = unpack(s);
-                    if state != EVICTED || last == target {
+                    if state == ACTIVE || last == target {
                         break;
                     }
                     if slot
                         .compare_exchange(
                             s,
-                            pack(EVICTED, target),
+                            pack(state, target),
                             Ordering::AcqRel,
                             Ordering::Acquire,
                         )
@@ -271,6 +345,43 @@ mod tests {
             false
         });
         assert_eq!(calls, vec![1]);
+    }
+
+    #[test]
+    fn park_closes_fast_rejoin_and_admit_reopens() {
+        let r = Roster::new(2);
+        let epoch = AtomicU32::new(3);
+        assert!(!r.park(0), "active participant cannot be parked");
+        assert!(r.evict(0, &epoch));
+        assert!(r.park(0));
+        assert!(r.park(0), "parking is idempotent");
+        assert!(r.is_parked(0));
+        assert!(r.is_evicted(0), "parked counts as evicted");
+        assert_eq!(r.rejoin(0), None, "fast rejoin path is closed");
+        assert_eq!(r.evicted_count(), 1);
+        assert!(matches!(r.try_arrive(0, 4), Arrival::Evicted));
+        assert!(r.admit(0));
+        assert!(!r.admit(0), "double admit is a no-op");
+        assert!(!r.is_evicted(0));
+        assert_eq!(r.evicted_count(), 0);
+    }
+
+    #[test]
+    fn maintain_stamps_parked_slots() {
+        let r = Roster::new(1);
+        let epoch = AtomicU32::new(0);
+        assert!(r.evict(0, &epoch)); // tagged for target 1
+        assert!(r.park(0));
+        epoch.store(1, Ordering::Release);
+        let mut calls = Vec::new();
+        r.maintain(&epoch, |t| {
+            calls.push(t);
+            false
+        });
+        assert_eq!(calls, vec![0], "parked slot still stamped and offered");
+        // After admission the slot resumes as arrived-for-2.
+        assert!(r.admit(0));
+        assert!(matches!(r.try_arrive(0, 3), Arrival::Claimed));
     }
 
     #[test]

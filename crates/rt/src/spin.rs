@@ -7,14 +7,74 @@
 //! the standard adaptive strategy.
 
 use crate::sync::{AtomicU32, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// A point in time a wait must not outlive, or `None` for an unbounded
+/// wait.
+///
+/// Every timed loop in the runtime — the fallible epoch waits, the
+/// torture-harness watchdog, the supervisor's heartbeat grace windows,
+/// the rejoin backoff — previously hand-rolled the same
+/// `start = Instant::now()` arithmetic; this is the one shared form.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub fn never() -> Self {
+        Self { at: None }
+    }
+
+    /// A deadline at a fixed instant.
+    pub fn at(at: Instant) -> Self {
+        Self { at: Some(at) }
+    }
+
+    /// A deadline `timeout` from now.
+    pub fn after(timeout: Duration) -> Self {
+        Self {
+            at: Instant::now().checked_add(timeout),
+        }
+    }
+
+    /// Wraps an optional instant (the shape the `wait_*_deadline`
+    /// public APIs take).
+    pub fn from_instant(at: Option<Instant>) -> Self {
+        Self { at }
+    }
+
+    /// The underlying instant, if bounded.
+    pub fn instant(&self) -> Option<Instant> {
+        self.at
+    }
+
+    /// Whether the deadline has passed. A `never` deadline never
+    /// expires.
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Time left before expiry; `None` for an unbounded deadline,
+    /// `Some(ZERO)` once expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Restarts the window: `timeout` from now. Used by watchdog-style
+    /// loops that re-arm on progress.
+    pub fn rearm(&mut self, timeout: Duration) {
+        *self = Self::after(timeout);
+    }
+}
 
 /// Exponential spin-then-yield backoff, optionally bounded by a
 /// deadline.
 #[derive(Debug, Default)]
 pub struct Backoff {
     step: u32,
-    deadline: Option<Instant>,
+    deadline: Deadline,
 }
 
 impl Backoff {
@@ -22,7 +82,7 @@ impl Backoff {
     pub fn new() -> Self {
         Self {
             step: 0,
-            deadline: None,
+            deadline: Deadline::never(),
         }
     }
 
@@ -30,18 +90,18 @@ impl Backoff {
     pub fn with_deadline(deadline: Instant) -> Self {
         Self {
             step: 0,
-            deadline: Some(deadline),
+            deadline: Deadline::at(deadline),
         }
     }
 
     /// The deadline, if one was set.
     pub fn deadline(&self) -> Option<Instant> {
-        self.deadline
+        self.deadline.instant()
     }
 
     /// Whether the deadline (if any) has passed.
     pub fn expired(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.deadline.expired()
     }
 
     /// One wait quantum like [`Backoff::snooze`], then reports whether
@@ -203,6 +263,23 @@ mod tests {
         assert!(!b.snooze_expired());
         let mut b = Backoff::with_deadline(Instant::now());
         assert!(b.snooze_expired());
+    }
+
+    #[test]
+    fn deadline_expiry_and_rearm() {
+        use std::time::Duration;
+        let never = Deadline::never();
+        assert!(!never.expired());
+        assert_eq!(never.remaining(), None);
+        let past = Deadline::at(Instant::now());
+        assert!(past.expired());
+        assert_eq!(past.remaining(), Some(Duration::ZERO));
+        let mut d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining().unwrap() > Duration::from_secs(3000));
+        d.rearm(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(Deadline::from_instant(None), Deadline::never());
     }
 
     #[test]

@@ -20,14 +20,41 @@
 //! can be evicted ([`TreeBarrier::evict`]) — its home-counter walk is
 //! thereafter performed by proxy at each release — and later readmitted
 //! via [`TreeWaiter::rejoin`].
+//!
+//! # Self-healing
+//!
+//! Eviction keeps the tree's shape (and its depth cost): the dead
+//! thread's whole root path is still walked by proxy every episode. A
+//! *detach* ([`TreeBarrier::detach`], or [`SelfHealing::fail`] from a
+//! supervisor) additionally removes the participant from the live
+//! shape: the releaser of the next episode recomputes the tree from
+//! the base topology restricted to live members
+//! (`Topology::prune_shape` — orphaned children re-parent onto the
+//! grandparent, single-survivor chains splice out), inside its
+//! quiescent window. That window — after the root counter resets,
+//! before the epoch bump — is the one instant when no counter holds a
+//! partial episode and no waiter can arrive (all are spinning on the
+//! epoch), so shape stores need no further synchronization: the
+//! Release epoch bump publishes them to survivors, and the roster
+//! re-admission CAS publishes them to rejoiners. Reconfiguration
+//! therefore always takes effect at an episode boundary, never
+//! mid-episode. A detached thread rejoins through
+//! [`TreeWaiter::try_rejoin`] / [`TreeWaiter::rejoin_within`]: the
+//! request parks until a releaser grafts the thread back at (the
+//! pruned position of) its original leaf, so full membership restores
+//! the exact original shape.
 
 use crate::error::BarrierError;
+use crate::heal::{self, Change, Membership, RejoinStatus, SelfHealing};
 use crate::pad::CachePadded;
 use crate::roster::{Arrival, Roster};
 use crate::spin::{wait_for_epoch_fallible, EpochWait};
 use crate::sync::{AtomicU32, Ordering};
 use combar_topo::{CounterId, Topology};
 use std::time::{Duration, Instant};
+
+/// Sentinel for "no parent" in the atomic parent array.
+const NO_PARENT: u32 = u32::MAX;
 
 /// A static-placement tree barrier over an arbitrary topology.
 ///
@@ -52,13 +79,18 @@ use std::time::{Duration, Instant};
 #[derive(Debug)]
 pub struct TreeBarrier {
     counts: Vec<CachePadded<AtomicU32>>,
-    fan_in: Vec<u32>,
-    parent: Vec<Option<CounterId>>,
-    homes: Vec<CounterId>,
-    path_len: Vec<u32>,
+    /// Live-shape arrays, indexed like the base topology; rewritten
+    /// only inside a releaser's quiescent window.
+    fan_in: Vec<CachePadded<AtomicU32>>,
+    parent: Vec<CachePadded<AtomicU32>>,
+    homes: Vec<CachePadded<AtomicU32>>,
+    path_len: Vec<CachePadded<AtomicU32>>,
     epoch: CachePadded<AtomicU32>,
     poison: CachePadded<AtomicU32>,
     roster: Roster,
+    membership: Membership,
+    /// The immutable original topology every reconfiguration prunes.
+    base: Topology,
     degree: u32,
 }
 
@@ -70,13 +102,31 @@ impl TreeBarrier {
             .collect();
         Self {
             counts,
-            fan_in: topo.nodes().iter().map(|n| n.fan_in()).collect(),
-            parent: topo.nodes().iter().map(|n| n.parent).collect(),
-            homes: topo.homes().to_vec(),
-            path_len: topo.nodes().iter().map(|n| n.path_len).collect(),
+            fan_in: topo
+                .nodes()
+                .iter()
+                .map(|n| CachePadded::new(AtomicU32::new(n.fan_in())))
+                .collect(),
+            parent: topo
+                .nodes()
+                .iter()
+                .map(|n| CachePadded::new(AtomicU32::new(n.parent.unwrap_or(NO_PARENT))))
+                .collect(),
+            homes: topo
+                .homes()
+                .iter()
+                .map(|&h| CachePadded::new(AtomicU32::new(h)))
+                .collect(),
+            path_len: topo
+                .nodes()
+                .iter()
+                .map(|n| CachePadded::new(AtomicU32::new(n.path_len)))
+                .collect(),
             epoch: CachePadded::new(AtomicU32::new(0)),
             poison: CachePadded::new(AtomicU32::new(0)),
             roster: Roster::new(topo.num_procs()),
+            membership: Membership::new(topo.num_procs()),
+            base: topo.clone(),
             degree: topo.degree(),
         }
     }
@@ -106,9 +156,85 @@ impl TreeBarrier {
         self.degree
     }
 
-    /// Path length (counters to the root, inclusive) seen by `tid`.
+    /// Path length (counters to the root, inclusive) seen by `tid` in
+    /// the current live shape.
     pub fn depth_of(&self, tid: u32) -> u32 {
-        self.path_len[self.homes[tid as usize] as usize]
+        let home = self.homes[tid as usize].load(Ordering::Acquire);
+        self.path_len[home as usize].load(Ordering::Acquire)
+    }
+
+    /// The longest root path any *live* participant walks — the
+    /// barrier's current critical depth. Shrinks after detaches,
+    /// returns to the base depth after full rejoin.
+    pub fn critical_depth(&self) -> u32 {
+        (0..self.threads())
+            .filter(|&t| self.membership.is_live(t))
+            .map(|t| self.depth_of(t))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The fault-free depth of the base topology.
+    pub fn base_depth(&self) -> u32 {
+        self.base.depth()
+    }
+
+    /// Number of participants the live shape currently counts.
+    pub fn live_count(&self) -> u32 {
+        self.membership.live_count()
+    }
+
+    /// Whether the live shape still counts `tid` (detaches flip this at
+    /// an episode boundary, not at declaration time).
+    pub fn is_live(&self, tid: u32) -> bool {
+        self.membership.is_live(tid)
+    }
+
+    /// Number of shape reconfigurations applied so far.
+    pub fn shape_epoch(&self) -> u32 {
+        self.membership.shape_epoch()
+    }
+
+    /// Checks the live shape against a fresh prune of the base
+    /// topology; call only at a quiescent point (no episode in
+    /// flight). Used by property tests and the soak job.
+    pub fn validate_shape(&self) -> Result<(), String> {
+        let mask = self.membership.live_mask();
+        let shape = self.base.prune_shape(&mask);
+        shape.validate()?;
+        for c in 0..self.base.num_counters() {
+            let fan = self.fan_in[c].load(Ordering::Acquire);
+            if fan != shape.fan_in[c] {
+                return Err(format!("counter {c}: fan_in {fan} != {}", shape.fan_in[c]));
+            }
+            let par = self.parent[c].load(Ordering::Acquire);
+            let want = shape.parent[c].unwrap_or(NO_PARENT);
+            if shape.retained[c] && par != want {
+                return Err(format!("counter {c}: parent {par} != {want}"));
+            }
+            if shape.retained[c] {
+                let pl = self.path_len[c].load(Ordering::Acquire);
+                if pl != shape.path_len[c] {
+                    return Err(format!(
+                        "counter {c}: path_len {pl} != {}",
+                        shape.path_len[c]
+                    ));
+                }
+            }
+            let count = self.counts[c].load(Ordering::Acquire);
+            if count != 0 {
+                return Err(format!("counter {c}: count {count} != 0 at quiescence"));
+            }
+        }
+        for t in 0..self.threads() {
+            if let Some(want) = shape.home[t as usize] {
+                let home = self.homes[t as usize].load(Ordering::Acquire);
+                if home != want {
+                    return Err(format!("thread {t}: home {home} != {want}"));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Creates the per-thread handle for thread `tid`.
@@ -127,6 +253,7 @@ impl TreeBarrier {
             tid,
             epoch: self.epoch.load(Ordering::Acquire),
             pending: false,
+            awaiting_attach: false,
         }
     }
 
@@ -157,7 +284,7 @@ impl TreeBarrier {
     pub fn evict(&self, tid: u32) -> bool {
         assert!((tid as usize) < self.homes.len(), "thread id out of range");
         if self.roster.evict(tid, &self.epoch) {
-            if self.signal(self.homes[tid as usize]) {
+            if self.signal(self.homes[tid as usize].load(Ordering::Acquire)) {
                 self.maintain();
             }
             true
@@ -174,34 +301,112 @@ impl TreeBarrier {
             .collect()
     }
 
+    /// Declares `tid` dead: evicts it if needed (delivering the
+    /// in-flight proxy) and schedules its removal from the live shape
+    /// for the next episode boundary. Fails (returning `false`) when
+    /// the thread has arrived for the in-flight episode — i.e. it is
+    /// provably alive right now — or when it is the last live
+    /// participant (a barrier with nobody left could never release
+    /// again). Idempotent.
+    ///
+    /// Until the boundary, the proxy keeps covering the thread under
+    /// the old shape; afterwards the shape simply stops counting it
+    /// (the slot stays maintained so a later rejoin resumes cleanly).
+    pub fn detach(&self, tid: u32) -> bool {
+        assert!((tid as usize) < self.homes.len(), "thread id out of range");
+        if self.membership.is_live(tid) && self.membership.live_count() <= 1 {
+            return false;
+        }
+        let _ = self.evict(tid);
+        self.membership.request_detach(&self.roster, tid)
+    }
+
     /// The signalling walk: increment from `start` upward; returns
     /// whether this walk released the episode.
     fn signal(&self, start: CounterId) -> bool {
         let mut c = start as usize;
         loop {
+            let fan = self.fan_in[c].load(Ordering::Acquire);
             let prev = self.counts[c].fetch_add(1, Ordering::AcqRel);
-            debug_assert!(prev < self.fan_in[c], "counter over-updated");
-            if prev + 1 < self.fan_in[c] {
+            debug_assert!(prev < fan, "counter over-updated");
+            if prev + 1 < fan {
                 return false; // not last here: someone else will propagate
             }
             // Last updater: reset for the next episode (safe before the
             // release — nobody re-enters until after it), then continue
             // upward or release.
             self.counts[c].store(0, Ordering::Relaxed);
-            match self.parent[c] {
-                Some(par) => c = par as usize,
-                None => {
-                    self.epoch.fetch_add(1, Ordering::Release);
-                    return true;
+            let par = self.parent[c].load(Ordering::Acquire);
+            if par == NO_PARENT {
+                // Quiescent window: every counter is reset, every
+                // surviving waiter is spinning on the epoch, and no
+                // proxy can start (all non-active slots are stamped for
+                // the in-flight target). Membership changes apply here.
+                self.apply_pending();
+                self.epoch.fetch_add(1, Ordering::Release);
+                return true;
+            }
+            c = par as usize;
+        }
+    }
+
+    /// Folds queued membership changes into the live shape. Called only
+    /// from the releaser's quiescent window.
+    fn apply_pending(&self) {
+        if !self.membership.has_pending() {
+            return;
+        }
+        let changes = self.membership.collect(&self.roster);
+        if changes.is_empty() {
+            return;
+        }
+        let mask = self.membership.live_mask();
+        let shape = self.base.prune_shape(&mask);
+        for c in 0..self.base.num_counters() {
+            self.fan_in[c].store(shape.fan_in[c], Ordering::Relaxed);
+            self.parent[c].store(shape.parent[c].unwrap_or(NO_PARENT), Ordering::Relaxed);
+            self.path_len[c].store(shape.path_len[c], Ordering::Relaxed);
+        }
+        for (t, home) in shape.home.iter().enumerate() {
+            if let Some(h) = home {
+                self.homes[t].store(*h, Ordering::Relaxed);
+            }
+        }
+        // Grants last: the roster CAS publishes the stores above to the
+        // polling rejoiner (survivors get them from the epoch bump).
+        for change in changes {
+            match change {
+                Change::Attach(tid) => self.membership.grant(&self.roster, tid),
+                Change::Detach(tid) => {
+                    debug_assert!(!self.membership.is_live(tid));
                 }
             }
         }
     }
 
-    /// Post-release proxy sweep for evicted participants.
+    /// Post-release proxy sweep for evicted participants. Detached
+    /// slots are stamped but not walked — the live shape no longer
+    /// counts them.
     fn maintain(&self) {
-        self.roster
-            .maintain(&self.epoch, |tid| self.signal(self.homes[tid as usize]));
+        self.roster.maintain(&self.epoch, |tid| {
+            self.membership.is_live(tid)
+                && self.signal(self.homes[tid as usize].load(Ordering::Acquire))
+        });
+    }
+}
+
+impl SelfHealing for TreeBarrier {
+    fn threads(&self) -> u32 {
+        TreeBarrier::threads(self)
+    }
+    fn stragglers(&self) -> Vec<u32> {
+        TreeBarrier::stragglers(self)
+    }
+    fn fail(&self, tid: u32) -> bool {
+        self.detach(tid)
+    }
+    fn is_poisoned(&self) -> bool {
+        TreeBarrier::is_poisoned(self)
     }
 }
 
@@ -216,6 +421,8 @@ pub struct TreeWaiter<'a> {
     tid: u32,
     epoch: u32,
     pending: bool,
+    /// An attach request is outstanding; waiting for a releaser grant.
+    awaiting_attach: bool,
 }
 
 impl TreeWaiter<'_> {
@@ -247,7 +454,7 @@ impl TreeWaiter<'_> {
             Arrival::Evicted => Err(BarrierError::Evicted),
             Arrival::Claimed => {
                 self.pending = true;
-                if b.signal(b.homes[self.tid as usize]) {
+                if b.signal(b.homes[self.tid as usize].load(Ordering::Acquire)) {
                     b.maintain();
                 }
                 Ok(())
@@ -324,23 +531,56 @@ impl TreeWaiter<'_> {
         self.depart_deadline(None)
     }
 
-    /// Re-admission after eviction. On success the waiter is
-    /// mid-episode (its latest arrival was delivered by proxy):
-    /// complete it with a wait call, which departs without re-arriving.
-    /// Returns `Ok(false)` if this participant was not evicted.
-    pub fn rejoin(&mut self) -> Result<bool, BarrierError> {
+    /// One non-blocking rejoin step. Reads no clock, so rejoin loops
+    /// stay deterministic under the `combar-check` model checker.
+    ///
+    /// * Merely evicted (shape untouched) → re-admits immediately via
+    ///   the fast roster path, returns [`RejoinStatus::Rejoined`].
+    /// * Detached (or detach-parked) → files an attach request the next
+    ///   episode's releaser grants inside its quiescent window, then
+    ///   returns [`RejoinStatus::Pending`] until the grant lands.
+    ///
+    /// After `Rejoined` the waiter is mid-episode (its latest arrival
+    /// was delivered by proxy): complete it with a wait call, which
+    /// departs without re-arriving.
+    pub fn try_rejoin(&mut self) -> Result<RejoinStatus, BarrierError> {
         let b = self.barrier;
         if b.is_poisoned() {
             return Err(BarrierError::Poisoned);
         }
-        match b.roster.rejoin(self.tid) {
-            None => Ok(false),
-            Some(last) => {
-                self.epoch = last.wrapping_sub(1);
-                self.pending = true;
-                Ok(true)
-            }
-        }
+        Ok(heal::try_rejoin_step(
+            &b.roster,
+            &b.membership,
+            self.tid,
+            &mut self.awaiting_attach,
+            &mut self.epoch,
+            &mut self.pending,
+        ))
+    }
+
+    /// Re-admission after eviction: drives [`Self::try_rejoin`] until it
+    /// resolves, spin-then-yield between polls. On success the waiter is
+    /// mid-episode (its latest arrival was delivered by proxy): complete
+    /// it with a wait call, which departs without re-arriving. Returns
+    /// `Ok(false)` if this participant was not evicted.
+    ///
+    /// An attach can only be granted by an episode boundary, so this
+    /// blocks until the live participants complete an episode; if they
+    /// may be idle, prefer [`Self::rejoin_within`].
+    pub fn rejoin(&mut self) -> Result<bool, BarrierError> {
+        let this = self;
+        heal::drive_rejoin(move || this.try_rejoin())
+    }
+
+    /// [`Self::rejoin`] bounded by `timeout`, polling with jittered
+    /// exponential backoff ([`crate::JitterBackoff`]) so simultaneous
+    /// rejoiners desynchronize. Returns [`BarrierError::Timeout`] if no
+    /// episode boundary granted the attach in time (the request stays
+    /// filed; a later call resumes waiting for it).
+    pub fn rejoin_within(&mut self, timeout: Duration) -> Result<bool, BarrierError> {
+        let tid = self.tid;
+        let this = self;
+        heal::drive_rejoin_within(tid, timeout, move || this.try_rejoin())
     }
 
     /// This thread's id.
@@ -360,6 +600,7 @@ impl Drop for TreeWaiter<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spin::Deadline;
     use std::sync::atomic::{AtomicU32, Ordering};
 
     fn lockstep_check(barrier: &TreeBarrier, episodes: u32) {
@@ -493,5 +734,170 @@ mod tests {
     fn waiter_bounds_checked() {
         let b = TreeBarrier::combining(2, 2);
         let _ = b.waiter(2);
+    }
+
+    #[test]
+    fn detach_reconfigures_and_rejoin_restores() {
+        let b = TreeBarrier::combining(8, 2);
+        let base_depth = b.base_depth();
+        let mut ws: Vec<_> = (0..8).map(|t| b.waiter(t)).collect();
+        let (w7, live) = ws.split_last_mut().unwrap();
+        // Episode 1: thread 7 stalls; declare it dead (the eviction
+        // half delivers the in-flight proxy and releases).
+        for w in live.iter_mut() {
+            w.try_arrive().unwrap();
+        }
+        assert!(b.detach(7));
+        assert!(b.is_evicted(7));
+        for w in live.iter_mut() {
+            w.try_depart().unwrap();
+        }
+        assert_eq!(b.live_count(), 8, "detach applies only at a boundary");
+        // Episode 2 still runs under the old shape (7 covered by
+        // proxy); its releaser folds the detach into the live shape.
+        for w in live.iter_mut() {
+            w.try_arrive().unwrap();
+        }
+        for w in live.iter_mut() {
+            w.try_depart().unwrap();
+        }
+        assert_eq!(b.live_count(), 7);
+        assert_eq!(b.shape_epoch(), 1);
+        b.validate_shape().unwrap();
+        assert!(b.critical_depth() <= base_depth);
+        // Episode 3 needs no proxy at all: the shape no longer counts 7.
+        for w in live.iter_mut() {
+            w.try_arrive().unwrap();
+        }
+        for w in live.iter_mut() {
+            w.try_depart().unwrap();
+        }
+        // Rejoin: the request parks until a boundary grants it.
+        assert_eq!(w7.try_rejoin().unwrap(), RejoinStatus::Pending);
+        for w in live.iter_mut() {
+            w.try_arrive().unwrap();
+        }
+        for w in live.iter_mut() {
+            w.try_depart().unwrap();
+        }
+        assert_eq!(w7.try_rejoin().unwrap(), RejoinStatus::Rejoined);
+        assert_eq!(b.live_count(), 8);
+        assert_eq!(b.shape_epoch(), 2);
+        w7.try_depart().unwrap(); // resumed mid-episode, departs at once
+        b.validate_shape().unwrap();
+        assert_eq!(
+            b.critical_depth(),
+            base_depth,
+            "full rejoin restores the shape"
+        );
+        for w in ws.iter_mut() {
+            w.try_arrive().unwrap();
+        }
+        for w in ws.iter_mut() {
+            w.try_depart().unwrap();
+        }
+    }
+
+    #[test]
+    fn rejoin_before_boundary_cancels_detach() {
+        let b = TreeBarrier::combining(4, 2);
+        let mut ws: Vec<_> = (0..4).map(|t| b.waiter(t)).collect();
+        let (w3, live) = ws.split_last_mut().unwrap();
+        for w in live.iter_mut() {
+            w.try_arrive().unwrap();
+        }
+        assert!(b.detach(3));
+        for w in live.iter_mut() {
+            w.try_depart().unwrap();
+        }
+        // Attach filed before any boundary applied the detach: the
+        // releaser cancels it without ever recomputing the shape.
+        assert_eq!(w3.try_rejoin().unwrap(), RejoinStatus::Pending);
+        for w in live.iter_mut() {
+            w.try_arrive().unwrap();
+        }
+        for w in live.iter_mut() {
+            w.try_depart().unwrap();
+        }
+        assert_eq!(w3.try_rejoin().unwrap(), RejoinStatus::Rejoined);
+        assert_eq!(b.shape_epoch(), 0, "no shape change ever applied");
+        assert_eq!(b.live_count(), 4);
+        w3.try_depart().unwrap();
+        for w in ws.iter_mut() {
+            w.try_arrive().unwrap();
+        }
+        for w in ws.iter_mut() {
+            w.try_depart().unwrap();
+        }
+    }
+
+    #[test]
+    fn threaded_detach_then_rejoin_restores_lockstep() {
+        let b = TreeBarrier::combining(8, 2);
+        let silent_flag = AtomicU32::new(0);
+        // Phase A (threaded): thread 7 crosses 20 episodes then goes
+        // silent; a detacher thread declares it dead; survivors keep
+        // crossing through the reconfiguration.
+        std::thread::scope(|s| {
+            for tid in 0..7u32 {
+                let b = &b;
+                s.spawn(move || {
+                    let mut w = b.waiter(tid);
+                    for _ in 0..200 {
+                        loop {
+                            match w.wait_timeout(Duration::from_millis(200)) {
+                                Ok(()) => break,
+                                Err(BarrierError::Timeout) => continue,
+                                Err(e) => panic!("survivor hit {e}"),
+                            }
+                        }
+                    }
+                });
+            }
+            let silent = &silent_flag;
+            let b2 = &b;
+            s.spawn(move || {
+                let mut w = b2.waiter(7);
+                for _ in 0..20 {
+                    w.try_wait().unwrap();
+                }
+                // Dies silently; the waiter drop is clean (not pending).
+                silent.store(1, Ordering::Release);
+            });
+            let b3 = &b;
+            s.spawn(move || {
+                let deadline = Deadline::after(Duration::from_secs(20));
+                while silent.load(Ordering::Acquire) == 0 {
+                    assert!(!deadline.expired(), "victim never went silent");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                // Provably silent now: declare (retrying while its last
+                // arrival's episode is still in flight).
+                while !b3.detach(7) {
+                    assert!(!deadline.expired(), "never declared thread 7");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        });
+        assert!(!b.is_poisoned());
+        assert_eq!(b.live_count(), 7);
+        b.validate_shape().unwrap();
+        // Phase B (single-threaded): rejoin through the boundary grant.
+        let mut w7 = b.waiter(7);
+        assert_eq!(w7.try_rejoin().unwrap(), RejoinStatus::Pending);
+        let mut live: Vec<_> = (0..7).map(|t| b.waiter(t)).collect();
+        for w in &mut live {
+            w.try_arrive().unwrap();
+        }
+        for w in &mut live {
+            w.try_depart().unwrap();
+        }
+        assert_eq!(w7.try_rejoin().unwrap(), RejoinStatus::Rejoined);
+        w7.try_depart().unwrap();
+        drop(live);
+        drop(w7);
+        assert_eq!(b.live_count(), 8);
+        b.validate_shape().unwrap();
+        lockstep_check(&b, 50);
     }
 }

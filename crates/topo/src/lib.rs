@@ -45,6 +45,10 @@ pub enum TopologyKind {
     Mcs,
     /// Per-ring MCS subtrees merged by one extra root counter.
     RingMcs,
+    /// A live-membership restriction of another topology (see
+    /// [`Topology::prune`]); child counts may exceed the base degree
+    /// because orphaned children are re-parented onto grandparents.
+    Pruned,
 }
 
 /// One counter node in a barrier tree.
@@ -495,6 +499,289 @@ impl Topology {
         }
         Ok(())
     }
+
+    /// The live shape of this topology after removing dead processors,
+    /// with counter ids preserved.
+    ///
+    /// The pruning rule, used verbatim by the self-healing runtime
+    /// barriers when they reconfigure at an episode boundary:
+    ///
+    /// * a counter whose subtree holds no live processor is dropped;
+    /// * a counter whose *attached* processors all died (a dead MCS
+    ///   owner) is spliced out — its orphaned children re-parent onto
+    ///   the nearest retained ancestor (the grandparent, when that is
+    ///   retained);
+    /// * a counter left with a single live contributor (processors plus
+    ///   retained children) below a death is spliced out too, so chains
+    ///   created by deaths do not cost depth — but counters whose
+    ///   subtree saw **no** death keep their base shape exactly, which
+    ///   makes `prune_shape` of a fully live set the identity;
+    /// * the root is never spliced (the runtime's release point).
+    ///
+    /// Each processor's effective home is the nearest retained ancestor
+    /// of its base home, so a processor that rejoins after full
+    /// membership is restored grafts back at its original leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `live.len() != num_procs()`.
+    pub fn prune_shape(&self, live: &[bool]) -> PrunedShape {
+        assert_eq!(live.len(), self.num_procs as usize, "live mask length");
+        let n = self.nodes.len();
+        let mut retained = vec![false; n];
+        let mut has_live = vec![false; n];
+        let mut dead_below = vec![false; n];
+        // Children before parents: base path lengths strictly decrease
+        // toward the root, so descending path_len is a reverse
+        // topological order.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| self.nodes[b].path_len.cmp(&self.nodes[a].path_len));
+        for &c in &order {
+            let node = &self.nodes[c];
+            let live_here = node.procs.iter().filter(|&&p| live[p as usize]).count();
+            let mut hl = live_here > 0;
+            let mut db = node.procs.iter().any(|&p| !live[p as usize]);
+            let mut retained_children = 0u32;
+            for &ch in &node.children {
+                hl |= has_live[ch as usize];
+                db |= dead_below[ch as usize];
+                retained_children += u32::from(retained[ch as usize]);
+            }
+            has_live[c] = hl;
+            dead_below[c] = db;
+            let owner_dead = !node.procs.is_empty() && live_here == 0;
+            retained[c] = hl
+                && if c == self.root as usize {
+                    true
+                } else if owner_dead {
+                    false
+                } else {
+                    !db || live_here as u32 + retained_children >= 2
+                };
+        }
+        // Effective parent: nearest retained proper ancestor.
+        let mut parent = vec![None; n];
+        for c in 0..n {
+            if !retained[c] {
+                continue;
+            }
+            let mut up = self.nodes[c].parent;
+            while let Some(a) = up {
+                if retained[a as usize] {
+                    parent[c] = Some(a);
+                    break;
+                }
+                up = self.nodes[a as usize].parent;
+            }
+        }
+        // Effective home: nearest retained ancestor of the base home.
+        let mut home = vec![None; self.num_procs as usize];
+        let mut live_procs = 0u32;
+        for p in 0..self.num_procs as usize {
+            if !live[p] {
+                continue;
+            }
+            live_procs += 1;
+            let mut c = self.home[p];
+            loop {
+                if retained[c as usize] {
+                    home[p] = Some(c);
+                    break;
+                }
+                match self.nodes[c as usize].parent {
+                    Some(a) => c = a,
+                    None => break,
+                }
+            }
+            debug_assert!(home[p].is_some(), "live proc {p} lost its home");
+        }
+        let mut fan_in = vec![0u32; n];
+        for h in home.iter().flatten() {
+            fan_in[*h as usize] += 1;
+        }
+        for par in parent.iter().take(n).copied().flatten() {
+            fan_in[par as usize] += 1;
+        }
+        // Path lengths top-down over the effective edges (ascending
+        // base path_len visits effective parents first, since splicing
+        // only shortens paths).
+        let mut path_len = vec![0u32; n];
+        for &c in order.iter().rev() {
+            if !retained[c] {
+                continue;
+            }
+            path_len[c] = match parent[c] {
+                None => 1,
+                Some(par) => path_len[par as usize] + 1,
+            };
+        }
+        let depth = path_len.iter().copied().max().unwrap_or(0);
+        PrunedShape {
+            retained,
+            parent,
+            fan_in,
+            path_len,
+            home,
+            live_procs,
+            depth,
+        }
+    }
+
+    /// A compact [`Topology`] over only the live processors, for
+    /// simulator use: counters and processors are renumbered densely.
+    ///
+    /// Returns the pruned topology plus the original id of each
+    /// renumbered processor (`procs[new] == old`), or `None` when no
+    /// processor is live. The result has kind [`TopologyKind::Pruned`]
+    /// and validates structurally.
+    pub fn prune(&self, live: &[bool]) -> Option<(Topology, Vec<ProcId>)> {
+        let shape = self.prune_shape(live);
+        if shape.live_procs == 0 {
+            return None;
+        }
+        let mut new_id = vec![u32::MAX; self.nodes.len()];
+        // Renumber in ascending effective path_len so parents come
+        // first; ties broken by base id for determinism.
+        let mut kept: Vec<usize> = (0..self.nodes.len())
+            .filter(|&c| shape.retained[c])
+            .collect();
+        kept.sort_by_key(|&c| (shape.path_len[c], c));
+        for (i, &c) in kept.iter().enumerate() {
+            new_id[c] = i as u32;
+        }
+        let proc_map: Vec<ProcId> = (0..self.num_procs).filter(|&p| live[p as usize]).collect();
+        let mut home = vec![0u32; proc_map.len()];
+        let mut nodes: Vec<CounterNode> = kept
+            .iter()
+            .map(|&c| CounterNode {
+                id: new_id[c],
+                parent: shape.parent[c].map(|a| new_id[a as usize]),
+                children: Vec::new(),
+                procs: Vec::new(),
+                path_len: shape.path_len[c],
+                ring: self.nodes[c].ring,
+            })
+            .collect();
+        for (newp, &oldp) in proc_map.iter().enumerate() {
+            let h = new_id[shape.home[oldp as usize].expect("live proc home") as usize];
+            home[newp] = h;
+            nodes[h as usize].procs.push(newp as ProcId);
+        }
+        for &c in &kept {
+            if let Some(par) = shape.parent[c] {
+                let child = new_id[c];
+                nodes[new_id[par as usize] as usize].children.push(child);
+            }
+        }
+        let topo = Topology {
+            kind: TopologyKind::Pruned,
+            degree: self.degree,
+            num_procs: proc_map.len() as u32,
+            root: 0,
+            nodes,
+            home,
+        };
+        debug_assert_eq!(topo.nodes[0].parent, None);
+        Some((topo, proc_map))
+    }
+}
+
+/// The live shape computed by [`Topology::prune_shape`]: the base
+/// topology restricted to live processors, with counter ids preserved.
+///
+/// Vectors over counters are indexed by base [`CounterId`]; dropped
+/// counters carry `fan_in == 0`, `path_len == 0`, `parent == None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrunedShape {
+    /// Whether each base counter survives in the live shape.
+    pub retained: Vec<bool>,
+    /// Effective parent: the nearest retained proper ancestor.
+    pub parent: Vec<Option<CounterId>>,
+    /// Effective fan-in: live processors homed here plus retained
+    /// children re-parented here.
+    pub fan_in: Vec<u32>,
+    /// Counters on the path to the root, inclusive (root = 1).
+    pub path_len: Vec<u32>,
+    /// Effective home counter of each processor (`None` when dead).
+    pub home: Vec<Option<CounterId>>,
+    /// Number of live processors.
+    pub live_procs: u32,
+    /// Depth of the live shape (max effective path length).
+    pub depth: u32,
+}
+
+impl PrunedShape {
+    /// Checks the shape invariants the runtime relies on; returns a
+    /// description of the first violation.
+    ///
+    /// Verifies: every live processor has a retained home; fan-ins sum
+    /// to live processors plus retained non-root counters (each
+    /// retained non-root counter contributes exactly one propagation);
+    /// no retained counter has zero fan-in; exactly one root; path
+    /// lengths increase by one along effective edges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.live_procs == 0 {
+            if self.retained.iter().any(|&r| r) {
+                return Err("counters retained with no live procs".into());
+            }
+            return Ok(());
+        }
+        let mut roots = 0u32;
+        let mut edge_sum = 0u64;
+        for c in 0..self.retained.len() {
+            if !self.retained[c] {
+                if self.fan_in[c] != 0 || self.parent[c].is_some() {
+                    return Err(format!("dropped counter {c} still wired"));
+                }
+                continue;
+            }
+            if self.fan_in[c] == 0 {
+                return Err(format!("retained counter {c} has zero fan-in"));
+            }
+            match self.parent[c] {
+                None => {
+                    roots += 1;
+                    if self.path_len[c] != 1 {
+                        return Err(format!("root {c} path_len != 1"));
+                    }
+                }
+                Some(par) => {
+                    edge_sum += 1;
+                    if !self.retained[par as usize] {
+                        return Err(format!("counter {c} parents dropped counter {par}"));
+                    }
+                    if self.path_len[c] != self.path_len[par as usize] + 1 {
+                        return Err(format!("counter {c} path_len inconsistent"));
+                    }
+                }
+            }
+        }
+        if roots != 1 {
+            return Err(format!("expected 1 root, found {roots}"));
+        }
+        let mut home_sum = 0u64;
+        for (p, h) in self.home.iter().enumerate() {
+            if let Some(h) = h {
+                if !self.retained[*h as usize] {
+                    return Err(format!("proc {p} homed at dropped counter {h}"));
+                }
+                home_sum += 1;
+            }
+        }
+        if home_sum != self.live_procs as u64 {
+            return Err(format!(
+                "{home_sum} homed procs but {} live",
+                self.live_procs
+            ));
+        }
+        let fan_sum: u64 = self.fan_in.iter().map(|&f| f as u64).sum();
+        if fan_sum != home_sum + edge_sum {
+            return Err(format!(
+                "fan-in sum {fan_sum} != procs {home_sum} + edges {edge_sum}"
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Iterator from a counter to the root (see [`Topology::path_to_root`]).
@@ -744,5 +1031,155 @@ mod tests {
     #[should_panic(expected = "degree must be >= 2")]
     fn degree_one_combining_rejected() {
         let _ = Topology::combining(8, 1);
+    }
+
+    #[test]
+    fn prune_of_fully_live_set_is_identity() {
+        for t in [
+            Topology::flat(7),
+            Topology::combining(64, 4),
+            Topology::combining(5, 2),
+            Topology::mcs(10, 2),
+            Topology::mcs(100, 3),
+            Topology::ring_mcs(56, 4, 32),
+        ] {
+            let live = vec![true; t.num_procs() as usize];
+            let s = t.prune_shape(&live);
+            s.validate().unwrap();
+            assert!(s.retained.iter().all(|&r| r), "{:?}", t.kind());
+            for n in t.nodes() {
+                assert_eq!(s.parent[n.id as usize], n.parent);
+                assert_eq!(s.fan_in[n.id as usize], n.fan_in());
+                assert_eq!(s.path_len[n.id as usize], n.path_len);
+            }
+            for p in 0..t.num_procs() {
+                assert_eq!(s.home[p as usize], Some(t.home_of(p)));
+            }
+            assert_eq!(s.depth, t.depth());
+        }
+    }
+
+    #[test]
+    fn prune_splices_lone_survivor_up_to_grandparent() {
+        // combining(16, 4): four leaves of four procs under the root.
+        let t = Topology::combining(16, 4);
+        let mut live = vec![true; 16];
+        // Kill three of leaf 0's procs: the leaf keeps fan_in 1... no —
+        // a single live contributor below a death splices the leaf, so
+        // proc 3 re-homes at the root.
+        live[0] = false;
+        live[1] = false;
+        live[2] = false;
+        let s = t.prune_shape(&live);
+        s.validate().unwrap();
+        let leaf0 = t.home_of(0);
+        assert!(!s.retained[leaf0 as usize]);
+        assert_eq!(s.home[3], Some(t.root()));
+        assert_eq!(s.fan_in[t.root() as usize], 4); // 3 leaves + proc 3
+        assert_eq!(s.depth, 2);
+    }
+
+    #[test]
+    fn prune_partial_leaf_death_only_shrinks_fan_in() {
+        let t = Topology::combining(16, 4);
+        let mut live = vec![true; 16];
+        live[0] = false;
+        let s = t.prune_shape(&live);
+        s.validate().unwrap();
+        let leaf0 = t.home_of(0);
+        assert!(s.retained[leaf0 as usize]);
+        assert_eq!(s.fan_in[leaf0 as usize], 3);
+        assert_eq!(s.depth, t.depth());
+    }
+
+    #[test]
+    fn prune_reparents_orphans_of_dead_mcs_owner() {
+        // mcs(10, 2): root owns 0 with two internal children owning
+        // 1 and 6; killing owner 1 must re-parent its leaves onto the
+        // root (the grandparent).
+        let t = Topology::mcs(10, 2);
+        let c1 = t.home_of(1);
+        let kids = t.node(c1).children.clone();
+        assert!(!kids.is_empty());
+        let mut live = vec![true; 10];
+        live[1] = false;
+        let s = t.prune_shape(&live);
+        s.validate().unwrap();
+        assert!(!s.retained[c1 as usize]);
+        for k in kids {
+            assert_eq!(s.parent[k as usize], Some(t.root()));
+            assert_eq!(s.path_len[k as usize], 2);
+        }
+    }
+
+    #[test]
+    fn prune_dead_root_owner_keeps_root() {
+        let t = Topology::mcs(10, 2);
+        let mut live = vec![true; 10];
+        live[0] = false; // root owner
+        let s = t.prune_shape(&live);
+        s.validate().unwrap();
+        assert!(s.retained[t.root() as usize]);
+        assert_eq!(s.fan_in[t.root() as usize], 2);
+    }
+
+    #[test]
+    fn prune_single_survivor_collapses_to_root() {
+        let t = Topology::combining(64, 4);
+        let mut live = vec![false; 64];
+        live[17] = true;
+        let s = t.prune_shape(&live);
+        s.validate().unwrap();
+        assert_eq!(s.live_procs, 1);
+        assert_eq!(s.depth, 1);
+        assert_eq!(s.home[17], Some(t.root()));
+        assert_eq!(s.fan_in[t.root() as usize], 1);
+    }
+
+    #[test]
+    fn prune_all_dead_retains_nothing() {
+        let t = Topology::combining(8, 2);
+        let s = t.prune_shape(&[false; 8]);
+        s.validate().unwrap();
+        assert_eq!(s.live_procs, 0);
+        assert!(t.prune(&[false; 8]).is_none());
+    }
+
+    #[test]
+    fn prune_compact_topology_validates_and_maps_procs() {
+        let t = Topology::mcs(20, 3);
+        let mut live = vec![true; 20];
+        for dead in [0, 5, 6, 13] {
+            live[dead] = false;
+        }
+        let (pt, map) = t.prune(&live).unwrap();
+        pt.validate().unwrap();
+        assert_eq!(pt.kind(), TopologyKind::Pruned);
+        assert_eq!(pt.num_procs(), 16);
+        assert_eq!(map.len(), 16);
+        assert!(map.iter().all(|&p| live[p as usize]));
+        assert!(pt.depth() <= t.depth());
+        // Depth never grows under pruning, for any single death.
+        for dead in 0..20 {
+            let mut live = vec![true; 20];
+            live[dead] = false;
+            let (pt, _) = t.prune(&live).unwrap();
+            pt.validate().unwrap();
+            assert!(pt.depth() <= t.depth(), "death of {dead}");
+        }
+    }
+
+    #[test]
+    fn prune_shape_depth_monotone_under_cumulative_deaths() {
+        let t = Topology::combining(27, 3);
+        let mut live = vec![true; 27];
+        let mut last_depth = t.depth();
+        for dead in [1u32, 4, 9, 10, 11, 20, 26, 0, 2] {
+            live[dead as usize] = false;
+            let s = t.prune_shape(&live);
+            s.validate().unwrap();
+            assert!(s.depth <= last_depth, "depth grew at {dead}");
+            last_depth = s.depth;
+        }
     }
 }

@@ -3,7 +3,7 @@
 //! eviction, and deterministic chaos soaks driven by `combar-chaos`.
 
 use combar_chaos::{ChaosConfig, DeathMode, FaultPlan};
-use combar_rt::harness::{chaos_torture, lockstep_torture, Stagger};
+use combar_rt::harness::{chaos_torture, churn_torture, lockstep_torture, ChurnOp, Stagger};
 use combar_rt::{
     AdaptiveBarrier, BarrierError, BlockingBarrier, CentralBarrier, DisseminationBarrier,
     DynamicBarrier, TournamentBarrier, TreeBarrier,
@@ -332,6 +332,170 @@ fn chaos_soak_with_death_keeps_survivors_in_lockstep() {
     assert_eq!(report.survivors, P - 1);
     for tid in [0usize, 2, 3] {
         assert_eq!(report.completed[tid], EPISODES, "tid {tid}");
+    }
+}
+
+/// The acceptance scenario for the self-healing runtime: a churn plan
+/// kills k ∈ {1, 2, 4} of p = 16 threads mid-run, survivors detect and
+/// detach them, the corpses come back through the rejoin protocol, and
+/// the run completes with no poisoning. The probe samples
+/// `critical_depth()` at the instant membership is provably full
+/// again, so the healed shape is checked against the fault-free one.
+#[test]
+fn churn_kill_and_rejoin_restores_critical_depth() {
+    const P: u32 = 16;
+    const MIN_EPISODES: u32 = 30;
+
+    for k in [1u32, 2, 4] {
+        let mut plan = FaultPlan::quiet(0xC4A0 + u64::from(k));
+        for i in 0..k {
+            // odd tids die staggered around episode 8, all back by 24
+            plan = plan.with_churn(2 * i + 1, 8 + i, DeathMode::Stall, 20 + 2 * i);
+        }
+
+        let b = TreeBarrier::combining(P, 2);
+        let healthy_depth = b.critical_depth();
+        let report = churn_torture(
+            P,
+            MIN_EPISODES,
+            plan,
+            STEP,
+            || b.critical_depth(),
+            |tid| {
+                let b = &b;
+                let mut w = b.waiter(tid);
+                (
+                    move |op, d| match op {
+                        ChurnOp::Step => w.wait_timeout(d).map(|()| true),
+                        ChurnOp::Revive => w.rejoin_within(d),
+                    },
+                    move || b.evict_stragglers(),
+                )
+            },
+        );
+        assert!(!report.poisoned, "k={k}: barrier poisoned");
+        assert_eq!(report.gave_up, 0, "k={k}: a thread gave up");
+        assert_eq!(report.planned_rejoins, k, "k={k}");
+        assert!(
+            report.rejoins >= k,
+            "k={k}: only {} of {k} scheduled rejoins landed",
+            report.rejoins
+        );
+        let healed_depth = report
+            .probe_at_full
+            .unwrap_or_else(|| panic!("k={k}: membership never returned to full"));
+        assert!(
+            healed_depth.abs_diff(healthy_depth) <= 1,
+            "k={k}: healed critical depth {healed_depth} vs fault-free {healthy_depth}"
+        );
+    }
+}
+
+/// The same churn scenario on the dynamic (migrating-home) barrier:
+/// detect → detach → rejoin must hold while placement migrates.
+#[test]
+fn churn_kill_and_rejoin_heals_the_dynamic_barrier() {
+    const P: u32 = 16;
+    let plan = FaultPlan::quiet(0xC4A1)
+        .with_churn(3, 8, DeathMode::Stall, 20)
+        .with_churn(9, 10, DeathMode::Stall, 22);
+
+    let b = DynamicBarrier::mcs(P, 2);
+    let report = churn_torture(
+        P,
+        30,
+        plan,
+        STEP,
+        || b.live_count(),
+        |tid| {
+            let b = &b;
+            let mut w = b.waiter(tid);
+            (
+                move |op, d| match op {
+                    ChurnOp::Step => w.wait_timeout(d).map(|()| true),
+                    ChurnOp::Revive => w.rejoin_within(d),
+                },
+                move || b.evict_stragglers(),
+            )
+        },
+    );
+    assert!(!report.poisoned);
+    assert!(report.rejoins >= 2);
+    assert_eq!(report.probe_at_full, Some(P));
+}
+
+/// Bounded churn soak for CI (`COMBAR_SOAK=1`; skipped otherwise so
+/// the default test run stays fast). Repeated kill/rejoin rounds over
+/// the tree and dynamic barriers at two thread counts, failing on
+/// poisoning, give-ups, unhealed membership, or a healed critical
+/// depth off the fault-free one by more than a level. Each round is a
+/// full `churn_torture` run, so lockstep violations panic inside.
+#[test]
+fn churn_soak_bounded() {
+    if std::env::var_os("COMBAR_SOAK").is_none() {
+        eprintln!("skipping: set COMBAR_SOAK=1 to run the churn soak");
+        return;
+    }
+    const ROUNDS: u64 = 6;
+    for p in [8u32, 16] {
+        for round in 0..ROUNDS {
+            let k = 1 + (round % 3) as u32; // 1..=3 victims per round
+            let mut plan = FaultPlan::quiet(0x50AC_0000 + u64::from(p) * 100 + round);
+            for i in 0..k {
+                plan = plan.with_churn((2 * i + 1) % p, 6 + i, DeathMode::Stall, 16 + 2 * i);
+            }
+
+            let b = TreeBarrier::combining(p, 2);
+            let healthy = b.critical_depth();
+            let report = churn_torture(
+                p,
+                25,
+                plan,
+                STEP,
+                || b.critical_depth(),
+                |tid| {
+                    let b = &b;
+                    let mut w = b.waiter(tid);
+                    (
+                        move |op, d| match op {
+                            ChurnOp::Step => w.wait_timeout(d).map(|()| true),
+                            ChurnOp::Revive => w.rejoin_within(d),
+                        },
+                        move || b.evict_stragglers(),
+                    )
+                },
+            );
+            assert!(!report.poisoned, "p={p} round={round}: poisoned");
+            assert_eq!(report.gave_up, 0, "p={p} round={round}: give-up");
+            assert!(report.rejoins >= k, "p={p} round={round}: unhealed");
+            let healed = report.probe_at_full.expect("membership never refilled");
+            assert!(
+                healed.abs_diff(healthy) <= 1,
+                "p={p} round={round}: depth {healed} vs {healthy}"
+            );
+
+            let b = DynamicBarrier::mcs(p, 2);
+            let report = churn_torture(
+                p,
+                25,
+                plan,
+                STEP,
+                || b.live_count(),
+                |tid| {
+                    let b = &b;
+                    let mut w = b.waiter(tid);
+                    (
+                        move |op, d| match op {
+                            ChurnOp::Step => w.wait_timeout(d).map(|()| true),
+                            ChurnOp::Revive => w.rejoin_within(d),
+                        },
+                        move || b.evict_stragglers(),
+                    )
+                },
+            );
+            assert!(!report.poisoned, "dynamic p={p} round={round}: poisoned");
+            assert_eq!(report.probe_at_full, Some(p), "dynamic p={p} round={round}");
+        }
     }
 }
 

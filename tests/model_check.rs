@@ -27,8 +27,8 @@ use std::sync::Arc;
 use combar_check::shadow::{spin_hint, AtomicU32};
 use combar_check::{vthread, Checker, FailureKind, Outcome};
 use combar_rt::{
-    BarrierError, CentralBarrier, DisseminationBarrier, DynamicBarrier, TournamentBarrier,
-    TreeBarrier,
+    BarrierError, CentralBarrier, DisseminationBarrier, DynamicBarrier, RejoinStatus,
+    TournamentBarrier, TreeBarrier,
 };
 use std::sync::atomic::Ordering;
 
@@ -351,6 +351,119 @@ fn exhaustive_evict_rejoin_converges() {
         Outcome::Pass { complete, .. } => assert!(complete),
         Outcome::Fail(f) => panic!("evict/rejoin fixture failed: {f}"),
     }
+}
+
+/// Online tree reconfiguration under exhaustive exploration: two live
+/// threads cross while one of them detaches a third that never showed
+/// up. The detach's park/pending stores race the concurrent release —
+/// the reconfiguration may fold in at episode 1's boundary or episode
+/// 2's, and in every interleaving the survivors release both episodes
+/// and the final shape byte-matches a fresh prune of the base topology
+/// (`validate_shape`), with the orphaned subtree re-parented.
+#[test]
+fn exhaustive_tree_detach_reparents_with_zero_violations() {
+    let fx = || {
+        let b = Arc::new(TreeBarrier::combining(3, 2));
+        let base_depth = b.base_depth();
+        let t1 = {
+            let b = Arc::clone(&b);
+            vthread::spawn(move || {
+                let mut w1 = b.waiter(1);
+                w1.try_wait().unwrap();
+                w1.try_wait().unwrap();
+            })
+        };
+        let mut w0 = b.waiter(0);
+        // Episode 1: thread 2 never arrives; declaring it dead races
+        // thread 1's arrival and the release itself.
+        w0.try_arrive().unwrap();
+        assert!(b.detach(2));
+        w0.try_depart().unwrap();
+        // Episode 2 completes at (or after) the re-parented shape.
+        w0.try_wait().unwrap();
+        t1.join();
+        assert_eq!(b.live_count(), 2);
+        assert!(b.critical_depth() <= base_depth);
+        assert!(!b.is_poisoned());
+        b.validate_shape().unwrap();
+    };
+    match Checker::exhaustive(3).max_schedules(2_000_000).check(fx) {
+        Outcome::Pass { complete, .. } => assert!(complete),
+        Outcome::Fail(f) => panic!("detach/re-parent fixture failed: {f}"),
+    }
+}
+
+/// The rejoin race under PCT: a detached thread files its attach
+/// request, then its re-admission (the releaser's quiescent-window
+/// grant + roster admit CAS) races both survivors' signal walks,
+/// its own `try_rejoin` polling, and the first full-strength episode.
+/// Clock-free throughout (`try_rejoin`/`try_wait` only), so every
+/// schedule is deterministic. CI drives this at `COMBAR_CHECK_PCT=10000`.
+#[test]
+fn pct_tree_rejoin_race_with_survivor_episodes() {
+    let fx = || {
+        let b = Arc::new(TreeBarrier::combining(3, 2));
+        let filed = Arc::new(AtomicU32::new(0));
+        // Survivor 1: four episodes, holding episode 3 until the
+        // attach request is provably filed (so its boundary grants it).
+        let t1 = {
+            let b = Arc::clone(&b);
+            let filed = Arc::clone(&filed);
+            vthread::spawn(move || {
+                let mut w1 = b.waiter(1);
+                w1.try_wait().unwrap();
+                w1.try_wait().unwrap();
+                while filed.load(Ordering::SeqCst) == 0 {
+                    spin_hint();
+                }
+                w1.try_wait().unwrap();
+                w1.try_wait().unwrap();
+            })
+        };
+        // Survivor 0: episode 1 detaches the absent thread 2, then the
+        // same ladder as survivor 1.
+        let mut w0 = b.waiter(0);
+        w0.try_arrive().unwrap();
+        assert!(b.detach(2));
+        w0.try_depart().unwrap();
+        w0.try_wait().unwrap();
+        // The corpse revives: files the attach, then polls. Episode
+        // 3's releaser grants it, leaving the waiter mid-episode (its
+        // arrival delivered by proxy): the first wait departs at once,
+        // the second is a genuine full-strength crossing.
+        let t2 = {
+            let b = Arc::clone(&b);
+            let filed = Arc::clone(&filed);
+            vthread::spawn(move || {
+                let mut w2 = b.waiter(2);
+                assert_eq!(w2.try_rejoin().unwrap(), RejoinStatus::Pending);
+                filed.store(1, Ordering::SeqCst);
+                loop {
+                    match w2.try_rejoin().unwrap() {
+                        RejoinStatus::Rejoined => break,
+                        RejoinStatus::Pending => spin_hint(),
+                        RejoinStatus::NotEvicted => unreachable!("was detached"),
+                    }
+                }
+                w2.try_wait().unwrap();
+                w2.try_wait().unwrap();
+            })
+        };
+        while filed.load(Ordering::SeqCst) == 0 {
+            spin_hint();
+        }
+        w0.try_wait().unwrap();
+        w0.try_wait().unwrap();
+        t1.join();
+        t2.join();
+        assert_eq!(b.live_count(), 3);
+        assert_eq!(b.evicted_count(), 0);
+        assert!(!b.is_poisoned());
+        b.validate_shape().unwrap();
+    };
+    Checker::pct(0x5eed_0007, 3, pct_schedules())
+        .check(fx)
+        .expect_pass();
 }
 
 // ---------------------------------------------------------------------------

@@ -330,6 +330,100 @@ fn model_topo_generalizes_closed_form() {
     });
 }
 
+/// Random kill/rejoin schedules on the self-healing tree barrier.
+/// Each episode detaches a random subset of the live threads (always
+/// sparing at least one) and revives a random subset of the dead; the
+/// whole schedule is driven single-threaded through the clock-free
+/// `try_*` entry points, so failing cases replay from the seed. After
+/// every episode boundary — a quiescent point, and the moment a
+/// reconfiguration epoch publishes — the live shape must byte-match a
+/// fresh prune of the base topology (`validate_shape`), the critical
+/// depth must never exceed the fault-free depth, and the membership
+/// count must equal the schedule's bookkeeping. Once every corpse has
+/// rejoined, the barrier is back at full strength and base depth.
+#[test]
+fn random_churn_schedules_keep_the_tree_shape_valid() {
+    use combar_rt::{RejoinStatus, TreeBarrier};
+    randomized(48, 0xA11E, |g| {
+        let p = g.u32_in(2, 20);
+        let d = g.u32_in(2, 6);
+        let b = if g.flag() {
+            TreeBarrier::combining(p, d)
+        } else {
+            TreeBarrier::mcs(p, d)
+        };
+        let base_depth = b.base_depth();
+        let mut ws: Vec<_> = (0..p).map(|t| b.waiter(t)).collect();
+        let mut alive = vec![true; p as usize];
+        let mut killed_at = vec![0u32; p as usize];
+        let episodes = g.u32_in(6, 14);
+        for ep in 0..episodes + 1 {
+            let last_ep = ep == episodes;
+            // Revive first so the attach request is filed before this
+            // episode's releaser runs its quiescent window (the final
+            // episode revives everyone).
+            let revives: Vec<u32> = (0..p)
+                .filter(|&t| {
+                    !alive[t as usize]
+                        && killed_at[t as usize] < ep
+                        && (last_ep || g.u32_in(0, 2) == 0)
+                })
+                .collect();
+            for &t in &revives {
+                assert_eq!(
+                    ws[t as usize].try_rejoin().unwrap(),
+                    RejoinStatus::Pending,
+                    "detached thread {t} must wait for a boundary grant"
+                );
+            }
+            // Kill a subset of the live threads, sparing at least one;
+            // the detach proxies the victim's arrival immediately, so
+            // it must precede the survivors' arrivals to keep the
+            // release (and thus the reconfiguration) on the last
+            // survivor's signal.
+            let alive_ids: Vec<u32> = (0..p).filter(|&t| alive[t as usize]).collect();
+            let mut kills: Vec<u32> = Vec::new();
+            for &t in &alive_ids {
+                if !last_ep && alive_ids.len() - kills.len() > 1 && g.u32_in(0, 3) == 0 {
+                    kills.push(t);
+                }
+            }
+            for &t in &kills {
+                assert!(b.detach(t), "detach of idle live thread {t}");
+                alive[t as usize] = false;
+                killed_at[t as usize] = ep;
+            }
+            for &t in &alive_ids {
+                if !kills.contains(&t) {
+                    ws[t as usize].try_arrive().unwrap();
+                }
+            }
+            for &t in &alive_ids {
+                if !kills.contains(&t) {
+                    ws[t as usize].try_depart().unwrap();
+                }
+            }
+            // The boundary granted every filed attach: the rejoiner
+            // resumes mid-episode and departs at once.
+            for &t in &revives {
+                assert_eq!(ws[t as usize].try_rejoin().unwrap(), RejoinStatus::Rejoined);
+                ws[t as usize].try_depart().unwrap();
+                alive[t as usize] = true;
+            }
+            // Quiescent-point invariants after the reconfiguration.
+            assert!(!b.is_poisoned());
+            b.validate_shape()
+                .unwrap_or_else(|e| panic!("episode {ep}: {e}"));
+            assert!(b.critical_depth() <= base_depth);
+            let alive_now = alive.iter().filter(|&&a| a).count() as u32;
+            assert_eq!(b.live_count(), alive_now, "episode {ep}");
+        }
+        assert_eq!(b.live_count(), p, "every corpse rejoined");
+        assert_eq!(b.evicted_count(), 0);
+        assert_eq!(b.critical_depth(), base_depth);
+    });
+}
+
 /// Gamma sampling is always positive and its batch mean lands near αθ
 /// for arbitrary parameters (loose band: 200 samples).
 #[test]
