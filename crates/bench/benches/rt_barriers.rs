@@ -1,23 +1,21 @@
 //! In-tree bench for the threaded barrier runtime: episodes per
 //! second for each barrier kind at small thread counts (beyond-paper
-//! validation on the host machine).
+//! validation on the host machine). All kinds are built through
+//! [`BarrierBuilder`] and crossed through the `Waiter` trait object,
+//! so the numbers price the unified surface embedders actually use.
 
 use combar_bench::Bench;
-use combar_rt::{CentralBarrier, DisseminationBarrier, DynamicBarrier, TreeBarrier};
+use combar_rt::{Barrier, BarrierBuilder, BarrierKind};
 
 const EPISODES: u32 = 200;
 
-fn run_threads<F, G>(p: u32, make_waiter: F)
-where
-    F: Fn(u32) -> G + Sync,
-    G: FnMut() + Send,
-{
+fn run_threads(b: &dyn Barrier) {
     std::thread::scope(|s| {
-        for tid in 0..p {
-            let mut step = make_waiter(tid);
+        for tid in 0..b.threads() {
+            let mut w = b.waiter(tid);
             s.spawn(move || {
                 for _ in 0..EPISODES {
-                    step();
+                    w.wait();
                 }
             });
         }
@@ -26,35 +24,19 @@ where
 
 fn main() {
     let mut bench = Bench::new("rt_barriers");
+    let kinds = [
+        ("central", BarrierKind::Central),
+        ("tree_d2", BarrierKind::CombiningTree { degree: 2 }),
+        ("dissemination", BarrierKind::Dissemination),
+        ("dynamic_d2", BarrierKind::Dynamic { degree: 2 }),
+    ];
     for p in [2u32, 4] {
-        bench.bench(format!("central/p{p}"), || {
-            let barrier = CentralBarrier::new(p);
-            run_threads(p, |_| {
-                let mut w = barrier.waiter();
-                move || w.wait()
+        for (label, kind) in kinds {
+            bench.bench(format!("{label}/p{p}"), || {
+                let barrier = BarrierBuilder::new(kind, p).build();
+                run_threads(barrier.as_dyn());
             });
-        });
-        bench.bench(format!("tree_d2/p{p}"), || {
-            let barrier = TreeBarrier::combining(p, 2);
-            run_threads(p, |tid| {
-                let mut w = barrier.waiter(tid);
-                move || w.wait()
-            });
-        });
-        bench.bench(format!("dissemination/p{p}"), || {
-            let barrier = DisseminationBarrier::new(p);
-            run_threads(p, |tid| {
-                let mut w = barrier.waiter(tid);
-                move || w.wait()
-            });
-        });
-        bench.bench(format!("dynamic_d2/p{p}"), || {
-            let barrier = DynamicBarrier::mcs(p, 2);
-            run_threads(p, |tid| {
-                let mut w = barrier.waiter(tid);
-                move || w.wait()
-            });
-        });
+        }
     }
     bench.finish();
 }

@@ -8,22 +8,25 @@
 //! ```
 //!
 //! Available ids: fig2, fig3, fig4, fig5, sec4-mcs, fig8, fig9, fig10,
-//! fig11, fig12, fig13, ablate, adaptive, chaos, churn, fuzzy-idle,
-//! release, baselines, verify, all. A `--quick` flag shrinks
-//! replication counts for smoke runs; `--list` prints the available ids
-//! and exits; `--only a,b,c` selects a comma-separated subset. `verify`
-//! grades the reproduction against the paper's reference values and
-//! exits non-zero on failure. `--json` emits one JSON object per id
-//! (JSON Lines) instead of text tables — derived by parsing the
-//! rendered tables, so the text renderers (and their golden snapshots)
-//! stay the single source of truth. Parallelism is governed by
-//! `COMBAR_THREADS` (default: all cores) and never changes any output
-//! byte.
+//! fig11, fig12, fig13, ablate, adaptive, chaos, churn, trace,
+//! fuzzy-idle, release, baselines, verify, all. A `--quick` flag
+//! shrinks replication counts for smoke runs; `--list` prints the
+//! available ids and exits; `--only a,b,c` selects a comma-separated
+//! subset. `verify` grades the reproduction against the paper's
+//! reference values and exits non-zero on failure. `--json` emits one
+//! JSON object per id (JSON Lines) instead of text tables — derived by
+//! parsing the rendered tables, so the text renderers (and their
+//! golden snapshots) stay the single source of truth. The first JSON
+//! line is a header object naming the stream's schema version
+//! (`{"schema":"combar-experiments/1"}`); consumers should skip
+//! objects whose keys they do not recognize. Parallelism is governed
+//! by `COMBAR_THREADS` (default: all cores) and never changes any
+//! output byte.
 
 use combar::presets::{Fig12, Fig13, Fig2, Fig3Grid, Fig5, Fig8, ScalingSweep};
 use combar_bench::experiments::{
     ablate, adaptive, baselines, chaos, churn, fig2, fig34, fig5, fig8, fuzzy_idle, ksr, mcs,
-    release, scaling, seeds,
+    release, scaling, seeds, trace,
 };
 use combar_bench::table::{json_escape, parse_rendered};
 use std::time::Instant;
@@ -45,6 +48,7 @@ const ALL_IDS: &[&str] = &[
     "adaptive",
     "chaos",
     "churn",
+    "trace",
     "fuzzy-idle",
     "release",
     "baselines",
@@ -114,6 +118,12 @@ fn main() {
     } else {
         ids
     };
+
+    if json {
+        // Stream header: names the JSON-Lines schema so consumers can
+        // detect incompatible changes instead of misparsing them.
+        println!("{{\"schema\":\"combar-experiments/1\"}}");
+    }
 
     // Figures 3/4 share one grid computation.
     let mut grid_cache: Option<fig34::GridResult> = None;
@@ -284,6 +294,14 @@ fn main() {
                     churn::ChurnPreset::full()
                 };
                 format!("{}\n", churn::run(&preset).render())
+            }
+            "trace" => {
+                let preset = if quick {
+                    trace::TracePreset::quick()
+                } else {
+                    trace::TracePreset::full()
+                };
+                trace::run(&preset).render()
             }
             "dot" => {
                 // Figure 6's mechanism, rendered: a small owner tree

@@ -24,10 +24,8 @@ use combar_chaos::{DeathMode, FaultKind, FaultPlan};
 use combar_des::fault::{FaultSpec, FaultTimeline, SimFault};
 use combar_des::{Duration as SimDuration, Engine, FifoServer, SimTime};
 use combar_rng::{Distribution, Normal, SeedableRng, Xoshiro256pp};
-use combar_rt::{
-    chaos_torture, AdaptiveBarrier, BlockingBarrier, CentralBarrier, ChaosReport,
-    DisseminationBarrier, DynamicBarrier, TournamentBarrier, TreeBarrier,
-};
+use combar_rt::harness::chaos_torture_on;
+use combar_rt::{BarrierBuilder, BarrierKind, ChaosReport};
 use std::time::Duration;
 
 /// Shape of one chaos run: one scripted death, everything else quiet.
@@ -166,7 +164,28 @@ fn faulted_gave_up(rep: &ChaosReport, t: usize) -> bool {
     rep.gave_up > 0 && rep.completed[t] < rep.episodes
 }
 
+/// The survival matrix, in presentation order: label, kind, whether
+/// the kind supports eviction at all.
+const MATRIX: &[(&str, BarrierKind, bool)] = &[
+    ("central", BarrierKind::Central, true),
+    ("tree-d2", BarrierKind::CombiningTree { degree: 2 }, true),
+    ("tree-d4", BarrierKind::CombiningTree { degree: 4 }, true),
+    ("mcs-d2", BarrierKind::McsTree { degree: 2 }, true),
+    ("dynamic-d2", BarrierKind::Dynamic { degree: 2 }, true),
+    ("adaptive", BarrierKind::Adaptive, true),
+    ("blocking", BarrierKind::Blocking, true),
+    ("dissemination", BarrierKind::Dissemination, false),
+    ("tournament", BarrierKind::Tournament, true),
+];
+
 /// Runs the threaded survival matrix plus the DES companion.
+///
+/// Every kind is built through [`BarrierBuilder`] and soaked through
+/// the trait-object harness entry ([`chaos_torture_on`]) — the same
+/// unified surface downstream embedders get, so the matrix doubles as
+/// a conformance check on the trait path. A non-evictable kind
+/// (dissemination) simply returns no stragglers through the trait's
+/// default rescue surface.
 pub fn run(preset: &ChaosPreset) -> ChaosResult {
     let p = preset.p;
     let episodes = preset.episodes;
@@ -174,98 +193,21 @@ pub fn run(preset: &ChaosPreset) -> ChaosResult {
     let death = preset.death_plan();
     let mut rows = Vec::new();
 
-    {
+    for &(kind, bk, evictable) in MATRIX {
         let soak = |plan: FaultPlan| {
-            let b = CentralBarrier::new(p);
-            chaos_torture(p, episodes, plan, preset.step, |tid| {
-                let b = &b;
-                let mut w = b.waiter_for(tid);
-                (move |d| w.wait_timeout(d), move || b.evict_stragglers())
-            })
+            let builder = BarrierBuilder::new(bk, p);
+            let builder = if bk == BarrierKind::Adaptive {
+                builder
+                    .candidates(&[2, 4])
+                    .window(5)
+                    .policy(model_policy(20.0))
+            } else {
+                builder
+            };
+            let b = builder.build();
+            chaos_torture_on(b.as_dyn(), episodes, plan, preset.step)
         };
-        rows.push(row(preset, "central", true, soak(quiet), soak(death)));
-    }
-    for (kind, degree) in [("tree-d2", 2u32), ("tree-d4", 4)] {
-        let soak = |plan: FaultPlan| {
-            let b = TreeBarrier::combining(p, degree);
-            chaos_torture(p, episodes, plan, preset.step, |tid| {
-                let b = &b;
-                let mut w = b.waiter(tid);
-                (move |d| w.wait_timeout(d), move || b.evict_stragglers())
-            })
-        };
-        rows.push(row(preset, kind, true, soak(quiet), soak(death)));
-    }
-    {
-        let soak = |plan: FaultPlan| {
-            let b = TreeBarrier::mcs(p, 2);
-            chaos_torture(p, episodes, plan, preset.step, |tid| {
-                let b = &b;
-                let mut w = b.waiter(tid);
-                (move |d| w.wait_timeout(d), move || b.evict_stragglers())
-            })
-        };
-        rows.push(row(preset, "mcs-d2", true, soak(quiet), soak(death)));
-    }
-    {
-        let soak = |plan: FaultPlan| {
-            let b = DynamicBarrier::mcs(p, 2);
-            chaos_torture(p, episodes, plan, preset.step, |tid| {
-                let b = &b;
-                let mut w = b.waiter(tid);
-                (move |d| w.wait_timeout(d), move || b.evict_stragglers())
-            })
-        };
-        rows.push(row(preset, "dynamic-d2", true, soak(quiet), soak(death)));
-    }
-    {
-        let soak = |plan: FaultPlan| {
-            let b = AdaptiveBarrier::new(p, &[2, 4], 5, model_policy(20.0));
-            chaos_torture(p, episodes, plan, preset.step, |tid| {
-                let b = &b;
-                let mut w = b.waiter(tid);
-                (move |d| w.wait_timeout(d), move || b.evict_stragglers())
-            })
-        };
-        rows.push(row(preset, "adaptive", true, soak(quiet), soak(death)));
-    }
-    {
-        let soak = |plan: FaultPlan| {
-            let b = BlockingBarrier::new(p);
-            chaos_torture(p, episodes, plan, preset.step, |tid| {
-                let b = &b;
-                let mut w = b.waiter_for(tid);
-                (move |d| w.wait_timeout(d), move || b.evict_stragglers())
-            })
-        };
-        rows.push(row(preset, "blocking", true, soak(quiet), soak(death)));
-    }
-    {
-        let soak = |plan: FaultPlan| {
-            let b = DisseminationBarrier::new(p);
-            chaos_torture(p, episodes, plan, preset.step, |tid| {
-                let mut w = b.waiter(tid);
-                (move |d| w.wait_timeout(d), Vec::new)
-            })
-        };
-        rows.push(row(
-            preset,
-            "dissemination",
-            false,
-            soak(quiet),
-            soak(death),
-        ));
-    }
-    {
-        let soak = |plan: FaultPlan| {
-            let b = TournamentBarrier::new(p);
-            chaos_torture(p, episodes, plan, preset.step, |tid| {
-                let b = &b;
-                let mut w = b.waiter(tid);
-                (move |d| w.wait_timeout(d), move || b.evict_stragglers())
-            })
-        };
-        rows.push(row(preset, "tournament", true, soak(quiet), soak(death)));
+        rows.push(row(preset, kind, evictable, soak(quiet), soak(death)));
     }
 
     let sim = simulate(preset);

@@ -1,0 +1,374 @@
+//! Measured critical paths from structured barrier traces.
+//!
+//! Every experiment so far reports *times*; this one reports the
+//! *mechanism*. A single driver thread crosses two real runtime
+//! barriers — the static MCS tree and the paper's dynamic-placement
+//! tree — through the fuzzy `arrive`/`depart` split, with one thread
+//! persistently arriving last. The `combar-trace` sinks wired through
+//! the runtime record who won which counter, and
+//! [`combar_trace::critical_paths`] folds the merged timeline into the
+//! **measured critical depth** per episode: the number of counters the
+//! releasing thread climbed.
+//!
+//! The table is the paper's Figure 8 claim made structural instead of
+//! temporal: under persistent imbalance the static tree's releaser
+//! climbs the full leaf→root path every episode (`O(log p)` combines
+//! on the critical path), while dynamic placement migrates the slow
+//! thread's home toward the root until the measured depth is 1 — the
+//! slow arriver performs a single increment and releases.
+//!
+//! A DES mirror re-runs the same shape and imbalance through the
+//! simulator's episode model and converts its trace with
+//! [`combar_des::Trace::to_unified`], so the simulated and measured
+//! timelines flow through the *same* critical-path extraction and are
+//! directly diffable.
+//!
+//! Determinism: the driver is one OS thread per sweep cell, arrival
+//! order is a fixed permutation, and trace positions are logical
+//! ticks — no wall clock is read anywhere, so the rendering is
+//! byte-identical across runs and `COMBAR_THREADS` settings and is
+//! golden-snapshotted.
+
+use crate::experiments::seeds;
+use crate::table::Table;
+use combar::presets::TC_US;
+use combar_des::Duration as SimDuration;
+use combar_exec::Sweep;
+use combar_rt::{BarrierBuilder, BarrierKind};
+use combar_sim::run_episode_traced;
+use combar_topo::Topology;
+use combar_trace::{critical_paths, render, Counters, EpisodePath, Event, TraceBook};
+
+/// Shape of one trace run.
+#[derive(Debug, Clone)]
+pub struct TracePreset {
+    /// Participating threads.
+    pub p: u32,
+    /// Tree degree (fan-in bound) for both barrier kinds.
+    pub degree: u32,
+    /// Episodes driven per mode.
+    pub episodes: u32,
+}
+
+impl TracePreset {
+    /// Full-size run: p = 16, degree 2, 12 episodes — enough for the
+    /// dynamic placement to converge with room to spare.
+    pub fn full() -> Self {
+        Self {
+            p: 16,
+            degree: 2,
+            episodes: 12,
+        }
+    }
+
+    /// Shrunk run for smoke passes and the golden snapshot.
+    pub fn quick() -> Self {
+        Self {
+            episodes: 8,
+            ..Self::full()
+        }
+    }
+
+    /// The persistently slow thread: a deepest-leaf dweller of the MCS
+    /// shape, so the static critical path is the full tree depth.
+    pub fn slow_tid(&self) -> u32 {
+        let topo = Topology::mcs(self.p, self.degree);
+        (0..self.p)
+            .max_by_key(|&t| topo.path_len(topo.home_of(t)))
+            .expect("p > 0")
+    }
+
+    /// Arrival order of one episode: everyone else in tid order, the
+    /// slow thread last.
+    fn order(&self) -> Vec<u32> {
+        let slow = self.slow_tid();
+        (0..self.p)
+            .filter(|&t| t != slow)
+            .chain(std::iter::once(slow))
+            .collect()
+    }
+}
+
+/// One barrier mode's recorded run.
+#[derive(Debug, Clone)]
+pub struct ModeTrace {
+    /// Mode label (`static` / `dynamic`).
+    pub mode: &'static str,
+    /// Per-episode measured critical paths, in episode order.
+    pub paths: Vec<EpisodePath>,
+    /// The merged timeline the paths were extracted from.
+    pub events: Vec<Event>,
+    /// Occurrence counters drained with the timeline.
+    pub counters: Counters,
+}
+
+impl ModeTrace {
+    /// The final episode's measured critical depth.
+    pub fn final_depth(&self) -> u32 {
+        self.paths.last().map_or(0, |p| p.depth())
+    }
+
+    /// Total placement swaps across the run.
+    pub fn total_swaps(&self) -> u32 {
+        self.paths.iter().map(|p| p.swaps).sum()
+    }
+
+    /// The releasing thread's events in the final episode — the
+    /// measured critical path, verbatim.
+    pub fn final_chain_timeline(&self) -> String {
+        let Some(path) = self.paths.last() else {
+            return String::new();
+        };
+        let picked: Vec<Event> = self
+            .events
+            .iter()
+            .filter(|e| e.episode == path.episode && e.tid == path.releaser)
+            .cloned()
+            .collect();
+        render(&picked)
+    }
+}
+
+/// Everything the trace experiment produces.
+#[derive(Debug, Clone)]
+pub struct TraceResult {
+    /// The run shape.
+    pub preset: TracePreset,
+    /// Static then dynamic mode traces.
+    pub modes: Vec<ModeTrace>,
+    /// The DES mirror's critical path (one simulated episode of the
+    /// same shape and imbalance, through the unified schema).
+    pub des_path: EpisodePath,
+    /// The DES mirror's unified timeline.
+    pub des_events: Vec<Event>,
+}
+
+/// Drives `episodes` crossings of one barrier mode on the calling
+/// thread and extracts the measured critical paths.
+fn drive(preset: &TracePreset, mode: &'static str) -> ModeTrace {
+    let kind = match mode {
+        "static" => BarrierKind::McsTree {
+            degree: preset.degree,
+        },
+        _ => BarrierKind::Dynamic {
+            degree: preset.degree,
+        },
+    };
+    let book = TraceBook::new();
+    let barrier = BarrierBuilder::new(kind, preset.p)
+        .trace(book.clone())
+        .build();
+    let order = preset.order();
+    {
+        let guard = barrier.attach(0).expect("builder carries the book");
+        let mut waiters: Vec<_> = (0..preset.p).map(|t| barrier.waiter(t)).collect();
+        for _ in 0..preset.episodes {
+            for &t in &order {
+                waiters[t as usize]
+                    .as_fuzzy()
+                    .expect("tree waiters are fuzzy")
+                    .arrive();
+            }
+            for w in waiters.iter_mut() {
+                w.as_fuzzy().expect("tree waiters are fuzzy").depart();
+            }
+        }
+        drop(waiters);
+        drop(guard);
+    }
+    let events = book.drain();
+    let counters = book.counters();
+    ModeTrace {
+        mode,
+        paths: critical_paths(&events),
+        events,
+        counters,
+    }
+}
+
+/// One simulated episode of the same shape and imbalance, through the
+/// unified schema.
+fn des_mirror(preset: &TracePreset) -> (EpisodePath, Vec<Event>) {
+    let topo = Topology::mcs(preset.p, preset.degree);
+    let slow = preset.slow_tid();
+    // Fast arrivals staggered in tid order, the slow thread far last —
+    // the DES analogue of the driver's fixed permutation.
+    let arrivals: Vec<f64> = (0..preset.p)
+        .map(|t| if t == slow { 500.0 } else { t as f64 })
+        .collect();
+    let (_, trace) = run_episode_traced(
+        &topo,
+        topo.homes(),
+        &arrivals,
+        SimDuration::from_us(TC_US),
+        4096,
+    );
+    let events = trace.to_unified();
+    let path = critical_paths(&events)
+        .into_iter()
+        .next()
+        .expect("the episode releases");
+    (path, events)
+}
+
+/// Runs both barrier modes (one parallel [`Sweep`] cell each) and the
+/// DES mirror.
+pub fn run(preset: &TracePreset) -> TraceResult {
+    let modes =
+        Sweep::new(seeds::BASE, vec!["static", "dynamic"]).run(|cell| drive(preset, cell.param));
+    let (des_path, des_events) = des_mirror(preset);
+    TraceResult {
+        preset: preset.clone(),
+        modes,
+        des_path,
+        des_events,
+    }
+}
+
+impl TraceResult {
+    /// The static-mode trace.
+    pub fn static_mode(&self) -> &ModeTrace {
+        &self.modes[0]
+    }
+
+    /// The dynamic-mode trace.
+    pub fn dynamic_mode(&self) -> &ModeTrace {
+        &self.modes[1]
+    }
+
+    /// Renders the per-episode depth table, the counters, the final
+    /// critical chains, and the DES mirror.
+    pub fn render(&self) -> String {
+        let p = &self.preset;
+        let slow = p.slow_tid();
+        let st = self.static_mode();
+        let dy = self.dynamic_mode();
+        let mut t = Table::new(
+            format!(
+                "trace: measured critical path per episode (p={}, degree {}, slow tid {})",
+                p.p, p.degree, slow
+            ),
+            &[
+                "episode",
+                "static depth",
+                "static releaser",
+                "static span",
+                "dyn depth",
+                "dyn releaser",
+                "dyn swaps",
+                "dyn span",
+            ],
+        );
+        for (i, (s, d)) in st.paths.iter().zip(&dy.paths).enumerate() {
+            t.row(vec![
+                (i + 1).to_string(),
+                s.depth().to_string(),
+                format!("t{}", s.releaser),
+                s.span.to_string(),
+                d.depth().to_string(),
+                format!("t{}", d.releaser),
+                d.swaps.to_string(),
+                d.span.to_string(),
+            ]);
+        }
+        let mut summary = Table::new(
+            "trace: run summary (events are logical ticks; no wall clock)".to_string(),
+            &[
+                "mode",
+                "events",
+                "episodes",
+                "final depth",
+                "swaps",
+                "spins",
+                "yields",
+                "cas",
+            ],
+        );
+        for m in &self.modes {
+            summary.row(vec![
+                m.mode.to_string(),
+                m.events.len().to_string(),
+                m.paths.len().to_string(),
+                m.final_depth().to_string(),
+                m.total_swaps().to_string(),
+                m.counters.spins.to_string(),
+                m.counters.yields.to_string(),
+                m.counters.cas_failures.to_string(),
+            ]);
+        }
+        let mut des = Table::new(
+            format!(
+                "trace: DES mirror, one simulated episode (tc={}µs, unified schema)",
+                TC_US
+            ),
+            &["releaser", "depth", "chain", "arrivals", "span ns"],
+        );
+        des.row(vec![
+            format!("t{}", self.des_path.releaser),
+            self.des_path.depth().to_string(),
+            format!("{:?}", self.des_path.chain),
+            self.des_path.arrivals.to_string(),
+            self.des_path.span.to_string(),
+        ]);
+        format!(
+            "{}\n{}\n{}\nfinal critical chain, static releaser:\n{}\
+             final critical chain, dynamic releaser:\n{}",
+            t.render(),
+            summary.render(),
+            des.render(),
+            st.final_chain_timeline(),
+            dy.final_chain_timeline(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> TraceResult {
+        run(&TracePreset::quick())
+    }
+
+    /// Figure 8, made structural: under persistent imbalance the
+    /// measured dynamic critical depth converges below the static
+    /// tree's, which never moves.
+    #[test]
+    fn dynamic_placement_shrinks_the_measured_critical_path() {
+        let r = result();
+        let st = r.static_mode();
+        let dy = r.dynamic_mode();
+        assert_eq!(st.paths.len(), r.preset.episodes as usize);
+        assert_eq!(dy.paths.len(), r.preset.episodes as usize);
+        let static_depth = st.final_depth();
+        assert!(
+            st.paths.iter().all(|p| p.depth() == static_depth),
+            "the static shape never changes"
+        );
+        assert!(static_depth > 1, "a deepest leaf climbs more than one");
+        assert!(dy.total_swaps() > 0, "persistent imbalance forces swaps");
+        assert_eq!(
+            dy.final_depth(),
+            1,
+            "the slow thread converges onto the root"
+        );
+        assert!(dy.final_depth() < static_depth);
+    }
+
+    /// The DES mirror measures the same static climb as the runtime
+    /// trace: same shape, same imbalance, same extraction.
+    #[test]
+    fn des_mirror_agrees_with_the_measured_static_depth() {
+        let r = result();
+        assert_eq!(r.des_path.releaser, r.preset.slow_tid());
+        assert_eq!(r.des_path.depth(), r.static_mode().final_depth());
+        assert_eq!(r.des_path.arrivals, r.preset.p);
+    }
+
+    /// Two in-process runs agree byte for byte — the logical-tick
+    /// timeline reads no clock.
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(result().render(), result().render());
+    }
+}

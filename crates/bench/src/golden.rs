@@ -21,7 +21,7 @@
 //! and is excluded; its DES companion (the replayed fault timeline) is
 //! deterministic and snapshotted via [`chaos_des_small`].
 
-use crate::experiments::{chaos, churn, fig2, fig8, seeds};
+use crate::experiments::{chaos, churn, fig2, fig8, seeds, trace};
 use combar::presets::{Fig2, Fig8};
 use std::time::Duration;
 
@@ -64,4 +64,13 @@ pub fn chaos_des_small() -> String {
 /// needed beyond the preset itself.
 pub fn churn_small() -> String {
     churn::run(&churn::ChurnPreset::quick()).render()
+}
+
+/// The trace experiment (measured critical paths from structured
+/// barrier traces) on its quick preset. Unusually for this file, the
+/// snapshot covers *real runtime barriers*: the driver is one OS
+/// thread per mode and every trace position is a logical tick, so the
+/// timeline is byte-stable anyway.
+pub fn trace_small() -> String {
+    trace::run(&trace::TracePreset::quick()).render()
 }

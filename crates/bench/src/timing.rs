@@ -172,7 +172,9 @@ impl SweepThroughput {
              \"threads\": {},\n  \"host_cores\": {},\n  \"speedup\": {:.2},\n  \
              \"note\": \"recorded on the committing host; speedup < 1 is expected when \
              host_cores is 1 — the CI soak job re-records this file on a multi-core runner \
-             as the BENCH_sweep artifact\"\n}}\n",
+             as the BENCH_sweep artifact. Recorded with combar-trace instrumentation \
+             compiled in and no sink attached (every event site is one relaxed flag test); \
+             throughput is within run-to-run noise of the pre-instrumentation baseline\"\n}}\n",
             self.episodes,
             self.serial_eps,
             self.pooled_eps,

@@ -65,6 +65,11 @@ fn churn_table_is_stable() {
     check("churn_small.txt", &combar_bench::golden::churn_small());
 }
 
+#[test]
+fn trace_tables_are_stable() {
+    check("trace_small.txt", &combar_bench::golden::trace_small());
+}
+
 /// The renderings really are deterministic: two in-process runs agree
 /// byte for byte (guards the snapshots themselves against flakiness).
 #[test]
@@ -84,5 +89,9 @@ fn renderings_are_deterministic() {
     assert_eq!(
         combar_bench::golden::churn_small(),
         combar_bench::golden::churn_small()
+    );
+    assert_eq!(
+        combar_bench::golden::trace_small(),
+        combar_bench::golden::trace_small()
     );
 }

@@ -90,6 +90,38 @@ impl Trace {
         self.dropped
     }
 
+    /// Converts the simulated trace into the unified `combar-trace`
+    /// event schema, so simulated and measured (runtime) timelines are
+    /// directly diffable and feed the same critical-path extraction.
+    ///
+    /// Mapping: `UpdateStart`/`UpdateEnd` become
+    /// `CombineStart`/`CombineEnd`; `at` is virtual time in integer
+    /// nanoseconds; episodes are numbered from 1 by counting `Release`
+    /// records (a release closes its own episode).
+    pub fn to_unified(&self) -> Vec<combar_trace::Event> {
+        let mut episode = 1u32;
+        let mut out = Vec::with_capacity(self.events.len());
+        for ev in &self.events {
+            let kind = match ev.kind {
+                TraceKind::Arrive => combar_trace::Kind::Arrive,
+                TraceKind::UpdateStart(c) => combar_trace::Kind::CombineStart(c),
+                TraceKind::UpdateEnd(c) => combar_trace::Kind::CombineEnd(c),
+                TraceKind::Release => combar_trace::Kind::Release,
+                TraceKind::Swap(c) => combar_trace::Kind::Swap(c),
+            };
+            out.push(combar_trace::Event {
+                episode,
+                tid: ev.subject,
+                at: (ev.time.as_us() * 1e3) as u64,
+                kind,
+            });
+            if ev.kind == TraceKind::Release {
+                episode += 1;
+            }
+        }
+        out
+    }
+
     /// Renders the trace, one event per line.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -106,6 +138,26 @@ impl Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn to_unified_maps_schema_and_numbers_episodes() {
+        let mut t = Trace::new(16);
+        t.record(SimTime::from_us(1.0), 0, TraceKind::Arrive);
+        t.record(SimTime::from_us(2.0), 0, TraceKind::UpdateStart(3));
+        t.record(SimTime::from_us(22.0), 0, TraceKind::UpdateEnd(3));
+        t.record(SimTime::from_us(22.0), 0, TraceKind::Release);
+        t.record(SimTime::from_us(30.0), 1, TraceKind::Swap(7));
+        let u = t.to_unified();
+        assert_eq!(u.len(), 5);
+        assert_eq!(u[0].kind, combar_trace::Kind::Arrive);
+        assert_eq!(u[1].kind, combar_trace::Kind::CombineStart(3));
+        assert_eq!(u[2].kind, combar_trace::Kind::CombineEnd(3));
+        assert_eq!(u[2].at, 22_000);
+        assert_eq!(u[3].kind, combar_trace::Kind::Release);
+        assert_eq!(u[3].episode, 1, "the release closes its own episode");
+        assert_eq!(u[4].kind, combar_trace::Kind::Swap(7));
+        assert_eq!(u[4].episode, 2, "post-release events start the next");
+    }
 
     #[test]
     fn records_until_capacity_then_counts_drops() {

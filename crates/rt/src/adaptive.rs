@@ -79,6 +79,11 @@ impl AdaptiveBarrier {
     /// Creates an adaptive barrier for `p` threads over the given
     /// candidate degrees, re-deciding every `window` episodes.
     ///
+    /// Prefer building through [`crate::BarrierBuilder`] when a
+    /// trait-object ([`crate::Barrier`]) surface, supervision, or a
+    /// trace sink is wanted; the direct constructor stays for
+    /// statically-typed embedding.
+    ///
     /// # Panics
     ///
     /// Panics if `p == 0`, `degrees` is empty, or `window == 0`.
@@ -361,6 +366,18 @@ impl AdaptiveWaiter<'_> {
             self.preamble();
         }
         self.waiters[self.idx].wait_timeout(timeout)?;
+        self.mid = false;
+        self.episode += 1;
+        Ok(())
+    }
+
+    /// Unbounded fallible full barrier: like [`Self::wait`] but
+    /// returning poisoning/eviction as an error instead of panicking.
+    pub fn try_wait(&mut self) -> Result<(), BarrierError> {
+        if !self.mid {
+            self.preamble();
+        }
+        self.waiters[self.idx].try_wait()?;
         self.mid = false;
         self.episode += 1;
         Ok(())

@@ -1,0 +1,837 @@
+//! The unified barrier API: the [`Barrier`]/[`Waiter`] trait pair and
+//! [`BarrierBuilder`].
+//!
+//! Historically every barrier family in this crate exposed its own
+//! inherent surface and its own `::new` signature, and anything generic
+//! over "a barrier" (the conformance matrix, the torture harnesses, the
+//! bench experiments) dispatched through a hand-written enum. This
+//! module names the common contract once:
+//!
+//! * [`Waiter`] — the per-thread handle: `wait` / `try_wait` /
+//!   `wait_timeout`, the fuzzy arrive–depart split where the kind
+//!   supports it ([`Waiter::as_fuzzy`]), and the rejoin surface for
+//!   kinds with graceful degradation.
+//! * [`Barrier`] — the shared object: `waiter` hands out boxed trait
+//!   objects, and the fault-management capabilities (`stragglers`,
+//!   `evict`, `detach`, …) default to no-ops so kinds without them
+//!   (dissemination has no eviction story at all) implement only what
+//!   they mean.
+//! * [`BarrierBuilder`] — one construction path over all nine kinds,
+//!   replacing the scattered `CentralBarrier::new` /
+//!   `TreeBarrier::combining` / `AdaptiveBarrier::new(p, degrees,
+//!   window, policy)` signatures, with optional supervisor
+//!   configuration and a `combar-trace` sink.
+//!
+//! The conformance matrix's [`AnyBarrier`]/[`AnyWaiter`] are thin
+//! newtypes over `Box<dyn Barrier>` / `Box<dyn Waiter>`, so the full
+//! contract suite runs through the trait-object path — any drift
+//! between a kind's inherent API and its trait impl breaks the matrix.
+//!
+//! Direct constructors remain available for tests that poke
+//! kind-specific behaviour, but new generic code should take
+//! `&dyn Barrier` (or `impl Barrier`) and build through the builder.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use combar_trace as trace;
+
+use crate::adaptive::{AdaptiveBarrier, AdaptiveWaiter, DegreePolicy};
+use crate::blocking::{BlockingBarrier, BlockingWaiter};
+use crate::central::{CentralBarrier, CentralWaiter};
+use crate::conformance::BarrierKind;
+use crate::dissemination::{DisseminationBarrier, DisseminationWaiter};
+use crate::dynamic::{DynamicBarrier, DynamicWaiter};
+use crate::error::BarrierError;
+use crate::fuzzy::FuzzyWaiter;
+use crate::heal::{SelfHealing, Supervisor, SupervisorConfig};
+use crate::tournament::{TournamentBarrier, TournamentWaiter};
+use crate::tree::{TreeBarrier, TreeWaiter};
+
+/// The per-thread handle contract every barrier kind implements.
+///
+/// A waiter is single-owner mutable state bound to one participant id;
+/// it may be created on any thread but must then be used from one
+/// thread at a time (it is `Send`, not `Sync`).
+pub trait Waiter: fmt::Debug + Send {
+    /// This participant's id.
+    fn tid(&self) -> u32;
+
+    /// Unbounded fallible full barrier: returns poisoning/eviction as
+    /// an error instead of panicking. Reads no clock, so schedules stay
+    /// deterministic under the `combar-check` model checker.
+    fn try_wait(&mut self) -> Result<(), BarrierError>;
+
+    /// One full barrier episode bounded by `timeout`. On
+    /// [`BarrierError::Timeout`] the episode stays in flight: call a
+    /// wait method again to resume it rather than re-arrive.
+    fn wait_timeout(&mut self, timeout: Duration) -> Result<(), BarrierError>;
+
+    /// One full barrier episode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier is poisoned or this participant evicted.
+    fn wait(&mut self) {
+        if let Err(e) = self.try_wait() {
+            panic!("barrier wait failed: {e}");
+        }
+    }
+
+    /// The fuzzy arrive/depart view, for kinds with a separable
+    /// signal/enforce split. `None` (the default) for kinds without
+    /// one (dissemination and tournament interleave both phases;
+    /// adaptive must run its measurement preamble inside `wait`).
+    fn as_fuzzy(&mut self) -> Option<&mut dyn FuzzyWaiter> {
+        None
+    }
+
+    /// Re-admission after eviction: blocks until resolved. `Ok(false)`
+    /// if this participant was never evicted — also the default for
+    /// kinds without a rejoin protocol.
+    fn rejoin(&mut self) -> Result<bool, BarrierError> {
+        Ok(false)
+    }
+
+    /// Bounded [`Self::rejoin`]. The default ignores the bound and
+    /// delegates, which is correct for kinds whose rejoin cannot block
+    /// (or is unsupported).
+    fn rejoin_within(&mut self, timeout: Duration) -> Result<bool, BarrierError> {
+        let _ = timeout;
+        self.rejoin()
+    }
+}
+
+/// The shared-object contract every barrier kind implements.
+///
+/// Capability methods default to "not supported" no-ops so generic
+/// callers can drive the full fault-management protocol against any
+/// kind and simply observe `false`/empty where a kind has no such
+/// protocol.
+pub trait Barrier: fmt::Debug + Send + Sync {
+    /// Number of participating threads the barrier was built for.
+    fn threads(&self) -> u32;
+
+    /// Creates the per-thread handle for participant `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    fn waiter<'a>(&'a self, tid: u32) -> Box<dyn Waiter + 'a>;
+
+    /// Whether a participant died mid-episode, wedging the barrier.
+    fn is_poisoned(&self) -> bool;
+
+    /// Participants that have not arrived for the in-flight episode.
+    /// Empty for kinds without arrival tracking.
+    fn stragglers(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
+    /// Evicts participant `tid` if it has not arrived for the episode
+    /// in flight. `false` (refused) by default.
+    fn evict(&self, tid: u32) -> bool {
+        let _ = tid;
+        false
+    }
+
+    /// Evicts every current straggler; returns the evicted ids.
+    fn evict_stragglers(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
+    /// Declares `tid` dead and schedules its removal from the live
+    /// shape at the next episode boundary. `false` (refused) by
+    /// default.
+    fn detach(&self, tid: u32) -> bool {
+        let _ = tid;
+        false
+    }
+
+    /// Number of participants the live shape currently counts.
+    fn live_count(&self) -> u32 {
+        self.threads()
+    }
+
+    /// The *structural* critical depth: the longest chain of
+    /// synchronization operations any participant executes per episode
+    /// under the current shape. `None` when the kind has no meaningful
+    /// static estimate. (The measured counterpart comes from
+    /// `combar-trace` critical-path extraction.)
+    fn critical_depth(&self) -> Option<u32> {
+        None
+    }
+}
+
+macro_rules! forward_wait {
+    () => {
+        fn tid(&self) -> u32 {
+            Self::tid(self)
+        }
+        fn try_wait(&mut self) -> Result<(), BarrierError> {
+            Self::try_wait(self)
+        }
+        fn wait_timeout(&mut self, timeout: Duration) -> Result<(), BarrierError> {
+            Self::wait_timeout(self, timeout)
+        }
+        fn wait(&mut self) {
+            Self::wait(self)
+        }
+    };
+}
+
+impl Waiter for CentralWaiter<'_> {
+    forward_wait!();
+    fn as_fuzzy(&mut self) -> Option<&mut dyn FuzzyWaiter> {
+        Some(self)
+    }
+    fn rejoin(&mut self) -> Result<bool, BarrierError> {
+        Self::rejoin(self)
+    }
+    fn rejoin_within(&mut self, timeout: Duration) -> Result<bool, BarrierError> {
+        Self::rejoin_within(self, timeout)
+    }
+}
+
+impl Waiter for BlockingWaiter<'_> {
+    forward_wait!();
+    fn as_fuzzy(&mut self) -> Option<&mut dyn FuzzyWaiter> {
+        Some(self)
+    }
+    fn rejoin(&mut self) -> Result<bool, BarrierError> {
+        Self::rejoin(self)
+    }
+}
+
+impl Waiter for TreeWaiter<'_> {
+    forward_wait!();
+    fn as_fuzzy(&mut self) -> Option<&mut dyn FuzzyWaiter> {
+        Some(self)
+    }
+    fn rejoin(&mut self) -> Result<bool, BarrierError> {
+        Self::rejoin(self)
+    }
+    fn rejoin_within(&mut self, timeout: Duration) -> Result<bool, BarrierError> {
+        Self::rejoin_within(self, timeout)
+    }
+}
+
+impl Waiter for DisseminationWaiter<'_> {
+    forward_wait!();
+}
+
+impl Waiter for TournamentWaiter<'_> {
+    forward_wait!();
+    fn rejoin(&mut self) -> Result<bool, BarrierError> {
+        Self::rejoin(self)
+    }
+    fn rejoin_within(&mut self, timeout: Duration) -> Result<bool, BarrierError> {
+        Self::rejoin_within(self, timeout)
+    }
+}
+
+impl Waiter for DynamicWaiter<'_> {
+    forward_wait!();
+    fn as_fuzzy(&mut self) -> Option<&mut dyn FuzzyWaiter> {
+        Some(self)
+    }
+    fn rejoin(&mut self) -> Result<bool, BarrierError> {
+        Self::rejoin(self)
+    }
+    fn rejoin_within(&mut self, timeout: Duration) -> Result<bool, BarrierError> {
+        Self::rejoin_within(self, timeout)
+    }
+}
+
+impl Waiter for AdaptiveWaiter<'_> {
+    fn tid(&self) -> u32 {
+        Self::tid(self)
+    }
+    fn try_wait(&mut self) -> Result<(), BarrierError> {
+        Self::try_wait(self)
+    }
+    fn wait_timeout(&mut self, timeout: Duration) -> Result<(), BarrierError> {
+        Self::wait_timeout(self, timeout)
+    }
+    fn wait(&mut self) {
+        Self::wait(self)
+    }
+}
+
+impl Barrier for CentralBarrier {
+    fn threads(&self) -> u32 {
+        Self::threads(self)
+    }
+    fn waiter<'a>(&'a self, tid: u32) -> Box<dyn Waiter + 'a> {
+        Box::new(self.waiter_for(tid))
+    }
+    fn is_poisoned(&self) -> bool {
+        Self::is_poisoned(self)
+    }
+    fn stragglers(&self) -> Vec<u32> {
+        Self::stragglers(self)
+    }
+    fn evict(&self, tid: u32) -> bool {
+        Self::evict(self, tid)
+    }
+    fn evict_stragglers(&self) -> Vec<u32> {
+        Self::evict_stragglers(self)
+    }
+    fn detach(&self, tid: u32) -> bool {
+        Self::detach(self, tid)
+    }
+    fn live_count(&self) -> u32 {
+        Self::live_count(self)
+    }
+    fn critical_depth(&self) -> Option<u32> {
+        Some(1) // one shared counter, regardless of p
+    }
+}
+
+impl Barrier for BlockingBarrier {
+    fn threads(&self) -> u32 {
+        Self::threads(self)
+    }
+    fn waiter<'a>(&'a self, tid: u32) -> Box<dyn Waiter + 'a> {
+        Box::new(self.waiter_for(tid))
+    }
+    fn is_poisoned(&self) -> bool {
+        Self::is_poisoned(self)
+    }
+    fn stragglers(&self) -> Vec<u32> {
+        Self::stragglers(self)
+    }
+    fn evict(&self, tid: u32) -> bool {
+        Self::evict(self, tid)
+    }
+    fn evict_stragglers(&self) -> Vec<u32> {
+        Self::evict_stragglers(self)
+    }
+    fn critical_depth(&self) -> Option<u32> {
+        Some(1) // one mutex-protected count
+    }
+}
+
+impl Barrier for TreeBarrier {
+    fn threads(&self) -> u32 {
+        Self::threads(self)
+    }
+    fn waiter<'a>(&'a self, tid: u32) -> Box<dyn Waiter + 'a> {
+        Box::new(self.waiter(tid))
+    }
+    fn is_poisoned(&self) -> bool {
+        Self::is_poisoned(self)
+    }
+    fn stragglers(&self) -> Vec<u32> {
+        Self::stragglers(self)
+    }
+    fn evict(&self, tid: u32) -> bool {
+        Self::evict(self, tid)
+    }
+    fn evict_stragglers(&self) -> Vec<u32> {
+        Self::evict_stragglers(self)
+    }
+    fn detach(&self, tid: u32) -> bool {
+        Self::detach(self, tid)
+    }
+    fn live_count(&self) -> u32 {
+        Self::live_count(self)
+    }
+    fn critical_depth(&self) -> Option<u32> {
+        Some(Self::critical_depth(self))
+    }
+}
+
+impl Barrier for DisseminationBarrier {
+    fn threads(&self) -> u32 {
+        Self::threads(self)
+    }
+    fn waiter<'a>(&'a self, tid: u32) -> Box<dyn Waiter + 'a> {
+        Box::new(self.waiter(tid))
+    }
+    fn is_poisoned(&self) -> bool {
+        Self::is_poisoned(self)
+    }
+    fn critical_depth(&self) -> Option<u32> {
+        Some(self.rounds()) // ⌈log₂ p⌉ rounds, arrival-order-blind
+    }
+}
+
+impl Barrier for TournamentBarrier {
+    fn threads(&self) -> u32 {
+        Self::threads(self)
+    }
+    fn waiter<'a>(&'a self, tid: u32) -> Box<dyn Waiter + 'a> {
+        Box::new(self.waiter(tid))
+    }
+    fn is_poisoned(&self) -> bool {
+        Self::is_poisoned(self)
+    }
+    fn stragglers(&self) -> Vec<u32> {
+        Self::stragglers(self)
+    }
+    fn evict(&self, tid: u32) -> bool {
+        Self::evict(self, tid)
+    }
+    fn evict_stragglers(&self) -> Vec<u32> {
+        Self::evict_stragglers(self)
+    }
+    fn detach(&self, tid: u32) -> bool {
+        Self::detach(self, tid)
+    }
+    fn live_count(&self) -> u32 {
+        Self::live_count(self)
+    }
+    fn critical_depth(&self) -> Option<u32> {
+        Some(self.rounds())
+    }
+}
+
+impl Barrier for DynamicBarrier {
+    fn threads(&self) -> u32 {
+        Self::threads(self)
+    }
+    fn waiter<'a>(&'a self, tid: u32) -> Box<dyn Waiter + 'a> {
+        Box::new(self.waiter(tid))
+    }
+    fn is_poisoned(&self) -> bool {
+        Self::is_poisoned(self)
+    }
+    fn stragglers(&self) -> Vec<u32> {
+        Self::stragglers(self)
+    }
+    fn evict(&self, tid: u32) -> bool {
+        Self::evict(self, tid)
+    }
+    fn evict_stragglers(&self) -> Vec<u32> {
+        Self::evict_stragglers(self)
+    }
+    fn detach(&self, tid: u32) -> bool {
+        Self::detach(self, tid)
+    }
+    fn live_count(&self) -> u32 {
+        Self::live_count(self)
+    }
+    fn critical_depth(&self) -> Option<u32> {
+        Some(Self::critical_depth(self))
+    }
+}
+
+impl Barrier for AdaptiveBarrier {
+    fn threads(&self) -> u32 {
+        Self::threads(self)
+    }
+    fn waiter<'a>(&'a self, tid: u32) -> Box<dyn Waiter + 'a> {
+        Box::new(self.waiter(tid))
+    }
+    fn is_poisoned(&self) -> bool {
+        Self::is_poisoned(self)
+    }
+    fn stragglers(&self) -> Vec<u32> {
+        Self::stragglers(self)
+    }
+    fn evict(&self, tid: u32) -> bool {
+        Self::evict(self, tid)
+    }
+    fn evict_stragglers(&self) -> Vec<u32> {
+        Self::evict_stragglers(self)
+    }
+    fn detach(&self, tid: u32) -> bool {
+        Self::detach(self, tid)
+    }
+    fn live_count(&self) -> u32 {
+        Self::live_count(self)
+    }
+    fn critical_depth(&self) -> Option<u32> {
+        Some(Self::critical_depth(self))
+    }
+}
+
+/// One construction path over all nine barrier kinds.
+///
+/// The kind (with its shape parameters) picks the family; the optional
+/// knobs configure the pieces that used to require calling each
+/// family's own constructor:
+///
+/// ```
+/// use combar_rt::barrier::BarrierBuilder;
+/// use combar_rt::conformance::BarrierKind;
+///
+/// let b = BarrierBuilder::new(BarrierKind::Dynamic { degree: 2 }, 8).build();
+/// let mut w = b.waiter(0);
+/// # drop(w);
+/// ```
+///
+/// For [`BarrierKind::Adaptive`], `candidates`, `window`, and `policy`
+/// feed `AdaptiveBarrier::new`; the defaults match the conformance
+/// matrix's spread-threshold stand-in. A supervisor config and a trace
+/// sink can be attached for any kind.
+pub struct BarrierBuilder {
+    kind: BarrierKind,
+    participants: u32,
+    candidates: Vec<u32>,
+    window: u32,
+    policy: Option<DegreePolicy>,
+    supervisor: Option<SupervisorConfig>,
+    book: Option<Arc<trace::TraceBook>>,
+}
+
+impl fmt::Debug for BarrierBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BarrierBuilder")
+            .field("kind", &self.kind)
+            .field("participants", &self.participants)
+            .field("candidates", &self.candidates)
+            .field("window", &self.window)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BarrierBuilder {
+    /// Starts a builder for `participants` threads of the given kind.
+    pub fn new(kind: BarrierKind, participants: u32) -> Self {
+        Self {
+            kind,
+            participants,
+            candidates: vec![2, 4],
+            window: 5,
+            policy: None,
+            supervisor: None,
+            book: None,
+        }
+    }
+
+    /// Candidate degrees for [`BarrierKind::Adaptive`] (ignored by the
+    /// other kinds).
+    pub fn candidates(mut self, degrees: &[u32]) -> Self {
+        self.candidates = degrees.to_vec();
+        self
+    }
+
+    /// Re-decision window (episodes) for [`BarrierKind::Adaptive`].
+    pub fn window(mut self, episodes: u32) -> Self {
+        self.window = episodes;
+        self
+    }
+
+    /// Degree policy for [`BarrierKind::Adaptive`]. Defaults to the
+    /// spread-threshold stand-in used by the conformance matrix.
+    pub fn policy(mut self, policy: DegreePolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Attaches a failure-detection supervisor with this configuration;
+    /// [`AnyBarrier::supervisor`] exposes it after `build`.
+    pub fn supervise(mut self, cfg: SupervisorConfig) -> Self {
+        self.supervisor = Some(cfg);
+        self
+    }
+
+    /// Attaches a `combar-trace` sink. The builder does not install
+    /// thread-local writers (attachment is inherently per-thread);
+    /// participants call [`AnyBarrier::attach`] on their own thread,
+    /// and the harness entry points do so automatically.
+    pub fn trace(mut self, book: Arc<trace::TraceBook>) -> Self {
+        self.book = Some(book);
+        self
+    }
+
+    /// Builds the barrier behind the unified [`Barrier`] trait.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants == 0` (or the kind's own shape
+    /// constraints are violated, e.g. empty adaptive candidates).
+    pub fn build(self) -> AnyBarrier {
+        let p = self.participants;
+        let inner: Box<dyn Barrier> = match self.kind {
+            BarrierKind::Central => Box::new(CentralBarrier::new(p)),
+            BarrierKind::Blocking => Box::new(BlockingBarrier::new(p)),
+            BarrierKind::CombiningTree { degree } => Box::new(TreeBarrier::combining(p, degree)),
+            BarrierKind::McsTree { degree } => Box::new(TreeBarrier::mcs(p, degree)),
+            BarrierKind::Dissemination => Box::new(DisseminationBarrier::new(p)),
+            BarrierKind::Tournament => Box::new(TournamentBarrier::new(p)),
+            BarrierKind::Dynamic { degree } => Box::new(DynamicBarrier::mcs(p, degree)),
+            BarrierKind::Adaptive => {
+                let policy = self.policy.unwrap_or_else(|| {
+                    // Spread-threshold stand-in: prefer shallow trees
+                    // while arrivals are tight, deep ones once they
+                    // spread out.
+                    Box::new(|sigma_us, _p| if sigma_us > 25.0 { 2 } else { 4 })
+                });
+                Box::new(AdaptiveBarrier::new(
+                    p,
+                    &self.candidates,
+                    self.window,
+                    policy,
+                ))
+            }
+        };
+        let supervisor = self.supervisor.map(|cfg| Supervisor::with_config(p, cfg));
+        AnyBarrier {
+            inner,
+            book: self.book,
+            supervisor,
+        }
+    }
+}
+
+/// A barrier of any [`BarrierKind`]: a thin newtype over
+/// `Box<dyn Barrier>`, optionally carrying the trace sink and
+/// supervisor it was built with.
+pub struct AnyBarrier {
+    inner: Box<dyn Barrier>,
+    book: Option<Arc<trace::TraceBook>>,
+    supervisor: Option<Supervisor>,
+}
+
+impl fmt::Debug for AnyBarrier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnyBarrier")
+            .field("inner", &self.inner)
+            .field("traced", &self.book.is_some())
+            .field("supervised", &self.supervisor.is_some())
+            .finish()
+    }
+}
+
+impl AnyBarrier {
+    /// Creates the per-thread handle for participant `tid`.
+    pub fn waiter(&self, tid: u32) -> AnyWaiter<'_> {
+        AnyWaiter(self.inner.waiter(tid))
+    }
+
+    /// The trait object itself, for callers generic over
+    /// `&dyn Barrier`.
+    pub fn as_dyn(&self) -> &dyn Barrier {
+        &*self.inner
+    }
+
+    /// The trace sink the builder attached, if any.
+    pub fn trace_book(&self) -> Option<&Arc<trace::TraceBook>> {
+        self.book.as_ref()
+    }
+
+    /// Attaches the builder's trace sink to the *calling* thread,
+    /// tagging its events with writer id `writer` (conventionally the
+    /// tid). `None` when the barrier was built without a sink. Events
+    /// flush when the returned guard drops — on this same thread.
+    pub fn attach(&self, writer: u32) -> Option<trace::SinkGuard> {
+        self.book.as_ref().map(|b| b.attach(writer))
+    }
+
+    /// The failure-detection supervisor the builder configured, if any.
+    /// Drive it with [`Supervisor::beat`] from participants and
+    /// [`Supervisor::poll`] (over `self`, which implements
+    /// [`SelfHealing`]) from a monitor thread.
+    pub fn supervisor(&self) -> Option<&Supervisor> {
+        self.supervisor.as_ref()
+    }
+}
+
+impl std::ops::Deref for AnyBarrier {
+    type Target = dyn Barrier;
+    fn deref(&self) -> &Self::Target {
+        &*self.inner
+    }
+}
+
+impl SelfHealing for AnyBarrier {
+    fn threads(&self) -> u32 {
+        self.inner.threads()
+    }
+    fn stragglers(&self) -> Vec<u32> {
+        self.inner.stragglers()
+    }
+    fn fail(&self, tid: u32) -> bool {
+        // Prefer the boundary-applied removal; fall back to plain
+        // eviction for kinds that only degrade (no reconfiguration).
+        self.inner.detach(tid) || self.inner.evict(tid)
+    }
+    fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+}
+
+/// A waiter of any kind: a thin newtype over `Box<dyn Waiter>`.
+#[derive(Debug)]
+pub struct AnyWaiter<'b>(Box<dyn Waiter + 'b>);
+
+impl<'b> AnyWaiter<'b> {
+    /// Wraps an already-boxed trait-object waiter.
+    pub fn from_boxed(inner: Box<dyn Waiter + 'b>) -> Self {
+        AnyWaiter(inner)
+    }
+
+    /// This participant's id.
+    pub fn tid(&self) -> u32 {
+        self.0.tid()
+    }
+
+    /// One full barrier episode (panicking variant).
+    pub fn wait(&mut self) {
+        self.0.wait()
+    }
+
+    /// Unbounded fallible full barrier.
+    pub fn try_wait(&mut self) -> Result<(), BarrierError> {
+        self.0.try_wait()
+    }
+
+    /// One bounded barrier crossing.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Result<(), BarrierError> {
+        self.0.wait_timeout(timeout)
+    }
+
+    /// The fuzzy arrive/depart view, where the kind supports it.
+    pub fn as_fuzzy(&mut self) -> Option<&mut dyn FuzzyWaiter> {
+        self.0.as_fuzzy()
+    }
+
+    /// Re-admission after eviction; `Ok(false)` if never evicted (or
+    /// the kind has no rejoin protocol).
+    pub fn rejoin(&mut self) -> Result<bool, BarrierError> {
+        self.0.rejoin()
+    }
+
+    /// Bounded [`Self::rejoin`].
+    pub fn rejoin_within(&mut self, timeout: Duration) -> Result<bool, BarrierError> {
+        self.0.rejoin_within(timeout)
+    }
+}
+
+impl Waiter for AnyWaiter<'_> {
+    fn tid(&self) -> u32 {
+        self.0.tid()
+    }
+    fn try_wait(&mut self) -> Result<(), BarrierError> {
+        self.0.try_wait()
+    }
+    fn wait_timeout(&mut self, timeout: Duration) -> Result<(), BarrierError> {
+        self.0.wait_timeout(timeout)
+    }
+    fn wait(&mut self) {
+        self.0.wait()
+    }
+    fn as_fuzzy(&mut self) -> Option<&mut dyn FuzzyWaiter> {
+        self.0.as_fuzzy()
+    }
+    fn rejoin(&mut self) -> Result<bool, BarrierError> {
+        self.0.rejoin()
+    }
+    fn rejoin_within(&mut self, timeout: Duration) -> Result<bool, BarrierError> {
+        self.0.rejoin_within(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every kind builds through the builder, steps through the trait
+    /// object, and advertises capabilities consistently.
+    #[test]
+    fn builder_covers_every_kind() {
+        for kind in BarrierKind::all() {
+            let b = BarrierBuilder::new(kind, 2).build();
+            assert_eq!(b.threads(), 2, "{}", kind.label());
+            assert!(!b.is_poisoned(), "{}", kind.label());
+            assert!(b.critical_depth().is_some(), "{}", kind.label());
+            std::thread::scope(|s| {
+                for tid in 0..2 {
+                    let b = &b;
+                    s.spawn(move || {
+                        let mut w = b.waiter(tid);
+                        assert_eq!(w.tid(), tid);
+                        for _ in 0..10 {
+                            w.try_wait().unwrap();
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    /// The fuzzy capability surfaces identically through the trait and
+    /// the kind's own advertisement.
+    #[test]
+    fn fuzzy_capability_matches_kind() {
+        for kind in BarrierKind::all() {
+            let b = BarrierBuilder::new(kind, 1).build();
+            let mut w = b.waiter(0);
+            assert_eq!(
+                w.as_fuzzy().is_some(),
+                kind.supports_fuzzy(),
+                "{}",
+                kind.label()
+            );
+        }
+    }
+
+    /// A builder-attached trace sink records events for any kind.
+    #[test]
+    fn trace_sink_records_through_builder() {
+        let book = trace::TraceBook::new();
+        let b = BarrierBuilder::new(BarrierKind::Central, 1)
+            .trace(Arc::clone(&book))
+            .build();
+        {
+            let _g = b.attach(0).expect("sink was attached");
+            let mut w = b.waiter(0);
+            for _ in 0..3 {
+                w.try_wait().unwrap();
+            }
+        }
+        let events = book.drain();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.kind == trace::Kind::Release)
+                .count(),
+            3
+        );
+    }
+
+    /// The supervisor configured at build time declares a straggler
+    /// through the `SelfHealing` impl on `AnyBarrier`.
+    #[test]
+    fn supervisor_heals_through_the_trait_object() {
+        let cfg = SupervisorConfig {
+            min_grace: Duration::from_millis(2),
+            ..SupervisorConfig::default()
+        };
+        let b = BarrierBuilder::new(BarrierKind::CombiningTree { degree: 2 }, 2)
+            .supervise(cfg)
+            .build();
+        let sup = b.supervisor().expect("configured");
+        let mut w0 = b.waiter(0);
+        assert_eq!(
+            w0.wait_timeout(Duration::from_millis(5)),
+            Err(BarrierError::Timeout)
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let declared = sup.poll(&b);
+            if declared == vec![1] {
+                break;
+            }
+            assert!(declared.is_empty(), "unexpected declarations: {declared:?}");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "straggler never declared"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The declared detach folds into the live shape at an episode
+        // boundary; cross until the shape reflects it.
+        loop {
+            w0.wait_timeout(Duration::from_secs(5)).unwrap();
+            if b.live_count() == 1 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "detach never applied");
+        }
+    }
+}

@@ -23,6 +23,7 @@
 
 use crate::error::BarrierError;
 use crate::fuzzy::FuzzyWaiter;
+use combar_trace as trace;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -65,6 +66,11 @@ pub struct BlockingBarrier {
 
 impl BlockingBarrier {
     /// Creates a barrier for `p` threads.
+    ///
+    /// Prefer building through [`crate::BarrierBuilder`] when a
+    /// trait-object ([`crate::Barrier`]) surface, supervision, or a
+    /// trace sink is wanted; the direct constructor stays for
+    /// statically-typed embedding.
     ///
     /// # Panics
     ///
@@ -162,6 +168,9 @@ impl BlockingBarrier {
             return false;
         }
         st.evicted[t] = true;
+        if trace::enabled() {
+            trace::emit(st.generation as u32, tid, trace::Kind::Evict(tid));
+        }
         if st.release_if_complete() {
             self.cond.notify_all();
         }
@@ -234,8 +243,14 @@ impl BlockingWaiter<'_> {
         );
         st.arrived[t] = true;
         self.pending = true;
+        let episode = self.generation as u32;
+        trace::emit(episode, self.tid, trace::Kind::Arrive);
         if st.release_if_complete() {
+            trace::emit(episode, self.tid, trace::Kind::Win(0));
+            trace::emit(episode, self.tid, trace::Kind::Release);
             b.cond.notify_all();
+        } else {
+            trace::emit(episode, self.tid, trace::Kind::Lose(0));
         }
         Ok(())
     }
@@ -310,6 +325,19 @@ impl BlockingWaiter<'_> {
         self.wait_deadline(Some(Instant::now() + timeout))
     }
 
+    /// Unbounded fallible full barrier: like [`Self::wait`] but
+    /// returning poisoning/eviction as an error instead of panicking.
+    /// Reads no clock.
+    pub fn try_wait(&mut self) -> Result<(), BarrierError> {
+        self.wait_deadline(None)
+    }
+
+    /// Unbounded fallible depart: like [`Self::depart`] but returning
+    /// poisoning as an error instead of panicking. Reads no clock.
+    pub fn try_depart(&mut self) -> Result<(), BarrierError> {
+        self.depart_deadline(None)
+    }
+
     /// Re-admission after eviction: this participant counts again from
     /// the *next* episode (the lock serialises everything, so no
     /// mid-episode proxy state needs recovering). Returns `Ok(false)`
@@ -327,6 +355,7 @@ impl BlockingWaiter<'_> {
         st.evicted[t] = false;
         self.generation = st.generation;
         self.pending = false;
+        trace::emit(self.generation as u32, self.tid, trace::Kind::Rejoin);
         Ok(true)
     }
 

@@ -36,6 +36,7 @@ use crate::pad::CachePadded;
 use crate::roster::{Arrival, Roster};
 use crate::spin::{wait_for_epoch_fallible, EpochWait};
 use crate::sync::{AtomicU32, Ordering};
+use combar_trace as trace;
 use std::time::{Duration, Instant};
 
 /// A sense-reversing central counter barrier for `p` threads.
@@ -55,6 +56,11 @@ pub struct CentralBarrier {
 
 impl CentralBarrier {
     /// Creates a barrier for `p` threads.
+    ///
+    /// Prefer building through [`crate::BarrierBuilder`] when a
+    /// trait-object ([`crate::Barrier`]) surface, supervision, or a
+    /// trace sink is wanted; the direct constructor stays for
+    /// statically-typed embedding.
     ///
     /// # Panics
     ///
@@ -129,6 +135,13 @@ impl CentralBarrier {
     pub fn evict(&self, tid: u32) -> bool {
         assert!(tid < self.p, "thread id out of range");
         if self.roster.evict(tid, &self.epoch) {
+            if trace::enabled() {
+                trace::emit(
+                    self.epoch.load(Ordering::Relaxed),
+                    tid,
+                    trace::Kind::Evict(tid),
+                );
+            }
             if self.bump() {
                 self.maintain();
             }
@@ -233,7 +246,17 @@ impl CentralBarrier {
     /// includes them.
     fn maintain(&self) {
         self.roster.maintain(&self.epoch, |tid| {
-            self.membership.is_live(tid) && self.bump()
+            if !self.membership.is_live(tid) {
+                return false;
+            }
+            if trace::enabled() {
+                trace::emit(
+                    self.epoch.load(Ordering::Relaxed),
+                    tid,
+                    trace::Kind::ProxyArrival(0),
+                );
+            }
+            self.bump()
         });
     }
 }
@@ -298,8 +321,13 @@ impl CentralWaiter<'_> {
             Arrival::Evicted => Err(BarrierError::Evicted),
             Arrival::Claimed => {
                 self.pending = true;
+                trace::emit(self.epoch, self.tid, trace::Kind::Arrive);
                 if b.bump() {
+                    trace::emit(self.epoch, self.tid, trace::Kind::Win(0));
+                    trace::emit(self.epoch, self.tid, trace::Kind::Release);
                     b.maintain();
+                } else {
+                    trace::emit(self.epoch, self.tid, trace::Kind::Lose(0));
                 }
                 Ok(())
             }
@@ -402,14 +430,18 @@ impl CentralWaiter<'_> {
         if b.is_poisoned() {
             return Err(BarrierError::Poisoned);
         }
-        Ok(heal::try_rejoin_step(
+        let status = heal::try_rejoin_step(
             &b.roster,
             &b.membership,
             self.tid,
             &mut self.awaiting_attach,
             &mut self.epoch,
             &mut self.pending,
-        ))
+        );
+        if matches!(status, RejoinStatus::Rejoined) {
+            trace::emit(self.epoch, self.tid, trace::Kind::Rejoin);
+        }
+        Ok(status)
     }
 
     /// Re-admission after eviction: drives [`Self::try_rejoin`] until it

@@ -4,11 +4,14 @@
 //! phasing, unbounded reuse through sense/epoch reversal, release only
 //! after all arrivals, survival of waiter churn — but historically each
 //! integration test restated those assertions by hand per kind. This
-//! module names the kinds ([`BarrierKind`]), erases their waiter types
-//! ([`AnyBarrier`], [`AnyWaiter`]), and packages the contracts as
-//! reusable check functions so the full matrix (kind × contract ×
+//! module names the kinds ([`BarrierKind`]) and packages the contracts
+//! as reusable check functions so the full matrix (kind × contract ×
 //! thread count) is written once and every new barrier joins it by
-//! adding one enum variant.
+//! adding one enum variant. Type erasure comes from the unified
+//! [`crate::barrier::Barrier`] trait: [`AnyBarrier`]/[`AnyWaiter`] are
+//! thin newtypes over boxed trait objects (re-exported here from
+//! [`crate::barrier`]), so the whole matrix doubles as a conformance
+//! check on every kind's trait impl.
 //!
 //! The contracts:
 //!
@@ -30,18 +33,12 @@
 //! interleaving coverage lives in `tests/model_check.rs` on top of
 //! `combar-check`.
 
-use crate::adaptive::{AdaptiveBarrier, AdaptiveWaiter};
-use crate::blocking::{BlockingBarrier, BlockingWaiter};
-use crate::central::{CentralBarrier, CentralWaiter};
-use crate::dissemination::{DisseminationBarrier, DisseminationWaiter};
-use crate::dynamic::{DynamicBarrier, DynamicWaiter};
-use crate::error::BarrierError;
-use crate::fuzzy::FuzzyWaiter;
+use crate::barrier::BarrierBuilder;
 use crate::harness::{lockstep_torture, Stagger, TortureReport};
-use crate::tournament::{TournamentBarrier, TournamentWaiter};
-use crate::tree::{TreeBarrier, TreeWaiter};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
+
+pub use crate::barrier::{AnyBarrier, AnyWaiter};
 
 /// Episodes each conformance contract drives (the contract demands at
 /// least 100 reuses of the same barrier object).
@@ -128,106 +125,10 @@ impl BarrierKind {
         )
     }
 
-    /// Constructs a barrier of this kind for `p` threads.
+    /// Constructs a barrier of this kind for `p` threads, through the
+    /// unified [`BarrierBuilder`] path.
     pub fn build(&self, p: u32) -> AnyBarrier {
-        match *self {
-            BarrierKind::Central => AnyBarrier::Central(CentralBarrier::new(p)),
-            BarrierKind::Blocking => AnyBarrier::Blocking(BlockingBarrier::new(p)),
-            BarrierKind::CombiningTree { degree } => {
-                AnyBarrier::Tree(TreeBarrier::combining(p, degree))
-            }
-            BarrierKind::McsTree { degree } => AnyBarrier::Tree(TreeBarrier::mcs(p, degree)),
-            BarrierKind::Dissemination => AnyBarrier::Dissemination(DisseminationBarrier::new(p)),
-            BarrierKind::Tournament => AnyBarrier::Tournament(TournamentBarrier::new(p)),
-            BarrierKind::Dynamic { degree } => AnyBarrier::Dynamic(DynamicBarrier::mcs(p, degree)),
-            BarrierKind::Adaptive => AnyBarrier::Adaptive(AdaptiveBarrier::new(
-                p,
-                &[2, 4],
-                5,
-                // Spread-threshold stand-in: prefer shallow trees while
-                // arrivals are tight, deep ones once they spread out.
-                Box::new(|sigma_us, _p| if sigma_us > 25.0 { 2 } else { 4 }),
-            )),
-        }
-    }
-}
-
-/// A barrier of any [`BarrierKind`], type-erased for matrix tests.
-#[derive(Debug)]
-pub enum AnyBarrier {
-    /// See [`BarrierKind::Central`].
-    Central(CentralBarrier),
-    /// See [`BarrierKind::Blocking`].
-    Blocking(BlockingBarrier),
-    /// See [`BarrierKind::CombiningTree`] / [`BarrierKind::McsTree`].
-    Tree(TreeBarrier),
-    /// See [`BarrierKind::Dissemination`].
-    Dissemination(DisseminationBarrier),
-    /// See [`BarrierKind::Tournament`].
-    Tournament(TournamentBarrier),
-    /// See [`BarrierKind::Dynamic`].
-    Dynamic(DynamicBarrier),
-    /// See [`BarrierKind::Adaptive`].
-    Adaptive(AdaptiveBarrier),
-}
-
-impl AnyBarrier {
-    /// Creates the per-thread handle for participant `tid`.
-    pub fn waiter(&self, tid: u32) -> AnyWaiter<'_> {
-        match self {
-            AnyBarrier::Central(b) => AnyWaiter::Central(b.waiter_for(tid)),
-            AnyBarrier::Blocking(b) => AnyWaiter::Blocking(b.waiter_for(tid)),
-            AnyBarrier::Tree(b) => AnyWaiter::Tree(b.waiter(tid)),
-            AnyBarrier::Dissemination(b) => AnyWaiter::Dissemination(b.waiter(tid)),
-            AnyBarrier::Tournament(b) => AnyWaiter::Tournament(b.waiter(tid)),
-            AnyBarrier::Dynamic(b) => AnyWaiter::Dynamic(b.waiter(tid)),
-            AnyBarrier::Adaptive(b) => AnyWaiter::Adaptive(b.waiter(tid)),
-        }
-    }
-}
-
-/// A waiter of any kind, dispatching the shared step interface.
-#[derive(Debug)]
-pub enum AnyWaiter<'b> {
-    /// Handle to a central barrier.
-    Central(CentralWaiter<'b>),
-    /// Handle to a blocking barrier.
-    Blocking(BlockingWaiter<'b>),
-    /// Handle to a static tree barrier.
-    Tree(TreeWaiter<'b>),
-    /// Handle to a dissemination barrier.
-    Dissemination(DisseminationWaiter<'b>),
-    /// Handle to a tournament barrier.
-    Tournament(TournamentWaiter<'b>),
-    /// Handle to a dynamic-placement barrier.
-    Dynamic(DynamicWaiter<'b>),
-    /// Handle to an adaptive-degree barrier.
-    Adaptive(AdaptiveWaiter<'b>),
-}
-
-impl AnyWaiter<'_> {
-    /// One bounded barrier crossing.
-    pub fn wait_timeout(&mut self, timeout: Duration) -> Result<(), BarrierError> {
-        match self {
-            AnyWaiter::Central(w) => w.wait_timeout(timeout),
-            AnyWaiter::Blocking(w) => w.wait_timeout(timeout),
-            AnyWaiter::Tree(w) => w.wait_timeout(timeout),
-            AnyWaiter::Dissemination(w) => w.wait_timeout(timeout),
-            AnyWaiter::Tournament(w) => w.wait_timeout(timeout),
-            AnyWaiter::Dynamic(w) => w.wait_timeout(timeout),
-            AnyWaiter::Adaptive(w) => w.wait_timeout(timeout),
-        }
-    }
-
-    /// The fuzzy arrive/depart view, where the kind supports it.
-    pub fn as_fuzzy(&mut self) -> Option<&mut dyn FuzzyWaiter> {
-        match self {
-            AnyWaiter::Central(w) => Some(w),
-            AnyWaiter::Blocking(w) => Some(w),
-            AnyWaiter::Tree(w) => Some(w),
-            AnyWaiter::Dynamic(w) => Some(w),
-            AnyWaiter::Dissemination(_) | AnyWaiter::Tournament(_) | AnyWaiter::Adaptive(_) => None,
-        }
+        BarrierBuilder::new(*self, p).build()
     }
 }
 

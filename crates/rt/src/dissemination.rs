@@ -29,6 +29,7 @@ use crate::error::BarrierError;
 use crate::pad::CachePadded;
 use crate::spin::{wait_for_epoch_fallible, EpochWait};
 use crate::sync::{AtomicU32, Ordering};
+use combar_trace as trace;
 use std::time::{Duration, Instant};
 
 /// A dissemination barrier for `p` threads.
@@ -47,6 +48,11 @@ pub struct DisseminationBarrier {
 
 impl DisseminationBarrier {
     /// Creates a barrier for `p` threads.
+    ///
+    /// Prefer building through [`crate::BarrierBuilder`] when a
+    /// trait-object ([`crate::Barrier`]) surface, supervision, or a
+    /// trace sink is wanted; the direct constructor stays for
+    /// statically-typed embedding.
     ///
     /// # Panics
     ///
@@ -164,10 +170,16 @@ impl DisseminationWaiter<'_> {
             self.episode = self.episode.wrapping_add(1);
             self.round = 0;
             self.mid = true;
+            trace::emit(self.episode, self.tid, trace::Kind::Arrive);
         }
         while self.round < b.rounds {
             let r = self.round as usize;
             let partner = (self.tid + (1 << self.round)) % b.p;
+            trace::emit(
+                self.episode,
+                self.tid,
+                trace::Kind::CombineStart(self.round),
+            );
             // Idempotent on resume: re-storing the same episode is fine.
             b.flags[r][partner as usize].store(self.episode, Ordering::Release);
             match wait_for_epoch_fallible(
@@ -176,7 +188,10 @@ impl DisseminationWaiter<'_> {
                 &b.poison,
                 deadline,
             ) {
-                EpochWait::Released => self.round += 1,
+                EpochWait::Released => {
+                    trace::emit(self.episode, self.tid, trace::Kind::CombineEnd(self.round));
+                    self.round += 1;
+                }
                 EpochWait::TimedOut => return Err(BarrierError::Timeout),
                 EpochWait::Poisoned => return Err(BarrierError::Poisoned),
             }
@@ -184,6 +199,7 @@ impl DisseminationWaiter<'_> {
         // Benign race: every thread stores the same value.
         b.episode_hint.store(self.episode, Ordering::Release);
         self.mid = false;
+        trace::emit(self.episode, self.tid, trace::Kind::Release);
         Ok(())
     }
 

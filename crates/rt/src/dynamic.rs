@@ -68,6 +68,7 @@ use crate::roster::{Arrival, Roster};
 use crate::spin::{wait_for_epoch_fallible, EpochWait};
 use crate::sync::{AtomicU32, AtomicU64, Ordering};
 use combar_topo::{CounterId, Topology};
+use combar_trace as trace;
 use std::time::{Duration, Instant};
 
 const INVALID: u32 = u32::MAX;
@@ -213,6 +214,11 @@ impl DynamicBarrier {
     }
 
     /// An MCS owner tree of the given degree over `p` threads.
+    ///
+    /// Prefer building through [`crate::BarrierBuilder`] when a
+    /// trait-object ([`crate::Barrier`]) surface, supervision, or a
+    /// trace sink is wanted; the direct constructor stays for
+    /// statically-typed embedding.
     pub fn mcs(p: u32, degree: u32) -> Self {
         Self::from_topology(&Topology::mcs(p, degree))
     }
@@ -286,6 +292,9 @@ impl DynamicBarrier {
             "thread id out of range"
         );
         if self.roster.evict(tid, &self.epoch) {
+            if trace::enabled() {
+                trace::emit(self.trace_epoch(), tid, trace::Kind::Evict(tid));
+            }
             if self.proxy_signal(tid) {
                 self.maintain();
             }
@@ -356,15 +365,18 @@ impl DynamicBarrier {
 
     /// The signalling walk without swaps: increment from `start`
     /// upward; returns whether this walk released the episode.
-    fn signal_static(&self, start: CounterId) -> bool {
+    /// `subject`/`episode` tag the emitted trace events.
+    fn signal_static(&self, start: CounterId, subject: u32, episode: u32) -> bool {
         let mut c = start as usize;
         loop {
             let fan = self.fan_in[c].load(Ordering::Acquire);
             let prev = self.counts[c].fetch_add(1, Ordering::AcqRel);
             debug_assert!(prev < fan, "counter over-updated");
             if prev + 1 < fan {
+                trace::emit(episode, subject, trace::Kind::Lose(c as u32));
                 return false;
             }
+            trace::emit(episode, subject, trace::Kind::Win(c as u32));
             self.counts[c].store(0, Ordering::Relaxed);
             let par = self.parent[c].load(Ordering::Acquire);
             if par == INVALID {
@@ -372,10 +384,21 @@ impl DynamicBarrier {
                 // waiter spinning on the epoch. Membership changes and
                 // the placement reset they imply apply here.
                 self.apply_pending();
+                trace::emit(episode, subject, trace::Kind::Release);
                 self.epoch.fetch_add(1, Ordering::Release);
                 return true;
             }
             c = par as usize;
+        }
+    }
+
+    /// Episode tag for barrier-side (proxy) emission: the in-flight
+    /// epoch, read only while a trace sink is attached.
+    fn trace_epoch(&self) -> u32 {
+        if trace::enabled() {
+            self.epoch.load(Ordering::Relaxed)
+        } else {
+            0
         }
     }
 
@@ -457,7 +480,11 @@ impl DynamicBarrier {
             self.cur_home[t].store(moved, Ordering::Release);
         }
         let home = self.cur_home[t].load(Ordering::Acquire);
-        self.signal_static(home)
+        let ep = self.trace_epoch();
+        if trace::enabled() {
+            trace::emit(ep, tid, trace::Kind::ProxyArrival(home));
+        }
+        self.signal_static(home, tid, ep)
     }
 
     /// Post-release proxy sweep for evicted participants. Detached
@@ -557,6 +584,7 @@ impl DynamicWaiter<'_> {
         }
         self.pending = true;
         let tid = self.tid as usize;
+        trace::emit(self.epoch, self.tid, trace::Kind::Arrive);
 
         // Victim side (paper Figure 6d): notice a displacement before
         // touching any counter. One extra communication.
@@ -572,18 +600,22 @@ impl DynamicWaiter<'_> {
             let prev = b.counts[c].fetch_add(1, Ordering::AcqRel);
             debug_assert!(prev < fan, "counter over-updated");
             if prev + 1 < fan {
+                trace::emit(self.epoch, self.tid, trace::Kind::Lose(c as u32));
                 return Ok(()); // not last: propagation is someone else's job
             }
+            trace::emit(self.epoch, self.tid, trace::Kind::Win(c as u32));
             // Last updater of c: reset, swap upward if this is a new
             // highest win, then continue.
             b.counts[c].store(0, Ordering::Relaxed);
             if b.swap_ok(self.fc, c as CounterId) {
                 b.apply_swap(self.tid, self.fc, c as CounterId);
                 self.fc = c as CounterId;
+                trace::emit(self.epoch, self.tid, trace::Kind::Swap(c as u32));
             }
             let par = b.parent[c].load(Ordering::Acquire);
             if par == INVALID {
                 b.apply_pending();
+                trace::emit(self.epoch, self.tid, trace::Kind::Release);
                 b.epoch.fetch_add(1, Ordering::Release);
                 b.maintain();
                 return Ok(());
@@ -691,6 +723,7 @@ impl DynamicWaiter<'_> {
             // Proxies (fast path) or the boundary reconfiguration
             // (attach path) kept cur_home live; resume from there.
             self.fc = b.cur_home[self.tid as usize].load(Ordering::Acquire);
+            trace::emit(self.epoch, self.tid, trace::Kind::Rejoin);
         }
         Ok(status)
     }

@@ -26,6 +26,7 @@
 //! use [`chaos_torture`]: it drives eviction through a per-barrier
 //! rescue closure and reports per-thread survival.
 
+use crate::barrier::Barrier;
 use crate::error::BarrierError;
 use combar_chaos::{apply_transient, DeathMode, FaultKind, FaultPlan};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -850,6 +851,68 @@ where
     });
     assert_eq!(counter.load(Ordering::Relaxed), threads as u64);
     start.elapsed() / episodes.max(1)
+}
+
+/// [`lockstep_torture`] over the unified [`Barrier`] trait: builds one
+/// waiter per thread through the trait object and steps each with
+/// `wait_timeout(step)`. If the barrier carries a trace sink
+/// ([`crate::barrier::AnyBarrier::attach`] works too, but this path is
+/// for plain trait objects), attach writers before calling.
+pub fn lockstep_torture_on<B: Barrier + ?Sized>(
+    barrier: &B,
+    episodes: u32,
+    stagger: Stagger,
+    step: Duration,
+) -> TortureReport {
+    lockstep_torture(barrier.threads(), episodes, stagger, |tid| {
+        let mut w = barrier.waiter(tid);
+        move || w.wait_timeout(step)
+    })
+}
+
+/// [`chaos_torture`] over the unified [`Barrier`] trait: steps are
+/// bounded waits, rescues are `evict_stragglers` through the trait.
+pub fn chaos_torture_on<B: Barrier + ?Sized>(
+    barrier: &B,
+    episodes: u32,
+    plan: FaultPlan,
+    step_timeout: Duration,
+) -> ChaosReport {
+    chaos_torture(barrier.threads(), episodes, plan, step_timeout, |tid| {
+        let mut w = barrier.waiter(tid);
+        (
+            move |d: Duration| w.wait_timeout(d),
+            move || barrier.evict_stragglers(),
+        )
+    })
+}
+
+/// [`churn_torture`] over the unified [`Barrier`] trait: crossings are
+/// bounded waits, revivals are `rejoin_within`, rescues and the
+/// full-membership probe go through the trait's capability methods.
+pub fn churn_torture_on<B: Barrier + ?Sized>(
+    barrier: &B,
+    min_episodes: u32,
+    plan: FaultPlan,
+    step_timeout: Duration,
+) -> ChurnReport {
+    churn_torture(
+        barrier.threads(),
+        min_episodes,
+        plan,
+        step_timeout,
+        || barrier.live_count(),
+        |tid| {
+            let mut w = barrier.waiter(tid);
+            (
+                move |op, d| match op {
+                    ChurnOp::Step => w.wait_timeout(d).map(|()| true),
+                    ChurnOp::Revive => w.rejoin_within(d),
+                },
+                move || barrier.evict_stragglers(),
+            )
+        },
+    )
 }
 
 #[cfg(test)]

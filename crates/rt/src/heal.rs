@@ -194,6 +194,9 @@ impl Supervisor {
             }
             if misses >= self.cfg.max_misses {
                 if barrier.fail(tid) {
+                    // Episode 0: the supervisor runs outside any episode;
+                    // heal events are correlated by subject, not episode.
+                    combar_trace::emit(0, tid, combar_trace::Kind::Heal(tid));
                     declared.push(tid);
                 }
             } else {

@@ -25,6 +25,29 @@
 //!   conclusion), with the degree policy injected (the `combar` core
 //!   crate supplies the analytic model as that policy).
 //!
+//! # Unified API
+//!
+//! All nine kinds implement the [`Barrier`]/[`Waiter`] trait pair and
+//! are constructed through [`BarrierBuilder`], which folds the
+//! per-kind constructor signatures, the self-healing supervisor, and
+//! the trace sink into one surface; [`conformance::AnyBarrier`] is the
+//! owning `Box<dyn Barrier>` newtype the conformance matrix and the
+//! chaos experiments run through. The direct constructors remain for
+//! statically-typed embedding.
+//!
+//! # Observability
+//!
+//! Every barrier emits structured `combar-trace` events (arrivals,
+//! per-counter win/lose, combines, releases, proxy arrivals, swaps,
+//! evictions, heals, rejoins) through per-thread lock-free sinks, and
+//! the spin/yield/CAS hot spots feed cheap occurrence counters. With
+//! no sink attached every site costs one relaxed flag test, and no
+//! emission site adds a schedule point under the model checker, so
+//! traced and checked runs see the same protocol. `combar-trace`'s
+//! `critical_paths` folds a drained timeline into the measured
+//! critical depth per episode — the observable the paper's static
+//! `O(log p)` vs dynamic `O(1)` placement claim is about.
+//!
 //! [`harness`] packages the lockstep soak test used throughout the
 //! repository, so downstream barrier implementations can be tortured
 //! identically, and [`conformance`] turns the shared barrier contract
@@ -86,6 +109,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod barrier;
 pub mod blocking;
 pub mod central;
 pub mod conformance;
@@ -103,6 +127,7 @@ pub mod tournament;
 pub mod tree;
 
 pub use adaptive::{AdaptiveBarrier, AdaptiveWaiter, DegreePolicy};
+pub use barrier::{Barrier, BarrierBuilder, Waiter};
 pub use blocking::{BlockingBarrier, BlockingWaiter};
 pub use central::{CentralBarrier, CentralWaiter};
 pub use conformance::{AnyBarrier, AnyWaiter, BarrierKind};

@@ -122,9 +122,11 @@ impl Backoff {
             for _ in 0..(1u32 << self.step) {
                 crate::sync::spin_hint();
             }
+            combar_trace::count_spins(1u64 << self.step);
             self.step += 1;
         } else {
             crate::sync::yield_now();
+            combar_trace::count_yield();
         }
     }
 

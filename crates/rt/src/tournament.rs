@@ -58,6 +58,7 @@ use crate::pad::CachePadded;
 use crate::roster::{Arrival, Roster};
 use crate::spin::{Backoff, Deadline};
 use crate::sync::{AtomicU32, Ordering};
+use combar_trace as trace;
 use std::time::{Duration, Instant};
 
 /// Sentinel rank/tid for "not in the live bracket".
@@ -105,6 +106,11 @@ pub struct TournamentBarrier {
 
 impl TournamentBarrier {
     /// Creates a barrier for `p` threads.
+    ///
+    /// Prefer building through [`crate::BarrierBuilder`] when a
+    /// trait-object ([`crate::Barrier`]) surface, supervision, or a
+    /// trace sink is wanted; the direct constructor stays for
+    /// statically-typed embedding.
     ///
     /// # Panics
     ///
@@ -199,7 +205,15 @@ impl TournamentBarrier {
     /// the eviction happened.
     pub fn evict(&self, tid: u32) -> bool {
         assert!(tid < self.p, "thread id out of range");
-        self.roster.evict(tid, &self.epoch)
+        let ok = self.roster.evict(tid, &self.epoch);
+        if ok && trace::enabled() {
+            trace::emit(
+                self.epoch.load(Ordering::Relaxed),
+                tid,
+                trace::Kind::Evict(tid),
+            );
+        }
+        ok
     }
 
     /// Evicts every current straggler; returns the evicted ids.
@@ -302,7 +316,10 @@ impl TournamentBarrier {
         while !reached(cur, ep) {
             match slot.compare_exchange(cur, ep, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return,
-                Err(c) => cur = c,
+                Err(c) => {
+                    trace::count_cas_failure();
+                    cur = c;
+                }
             }
         }
     }
@@ -329,7 +346,7 @@ impl TournamentBarrier {
     /// epoch or the roster — then publishes the epoch and restamps
     /// evicted slots for the next episode (no proxy walk: the stamp
     /// only keeps roster `last` tags current for rejoin).
-    fn try_release(&self, ep: u32) -> bool {
+    fn try_release(&self, ep: u32, subject: u32) -> bool {
         if self
             .applied
             .compare_exchange(ep.wrapping_sub(1), ep, Ordering::AcqRel, Ordering::Acquire)
@@ -338,6 +355,7 @@ impl TournamentBarrier {
             return false;
         }
         self.apply_pending();
+        trace::emit(ep, subject, trace::Kind::Release);
         self.epoch.store(ep, Ordering::Release);
         self.roster.maintain(&self.epoch, |_| false);
         true
@@ -382,7 +400,13 @@ impl TournamentBarrier {
     /// statelessly and idempotently, chasing the chain of further dead
     /// winners it signals. Returns once the track is delivered (or the
     /// episode released under us).
-    fn play_adopted(&self, start: u32, ep: u32, deadline: Deadline) -> Result<(), BarrierError> {
+    fn play_adopted(
+        &self,
+        start: u32,
+        ep: u32,
+        subject: u32,
+        deadline: Deadline,
+    ) -> Result<(), BarrierError> {
         let mut z = start;
         let mut r = 0u32;
         loop {
@@ -391,7 +415,7 @@ impl TournamentBarrier {
             }
             if r >= self.rounds_cur.load(Ordering::Acquire) {
                 // The adopted track reached the champion slot.
-                self.try_release(ep);
+                self.try_release(ep, subject);
                 return Ok(());
             }
             let stride = 1u32 << r;
@@ -409,6 +433,7 @@ impl TournamentBarrier {
                 // `z` loses round `r`: deliver its signal, then chase
                 // the chain if that winner is dead too.
                 let w = z - stride;
+                trace::emit(ep, subject, trace::Kind::ProxyArrival(r));
                 self.store_flag(r, w, ep);
                 if self.rank_dead(w) {
                     z = w;
@@ -567,6 +592,7 @@ impl TournamentWaiter<'_> {
             self.lost = false;
             self.watch = INVALID;
             self.mid = true;
+            trace::emit(self.epoch, self.tid, trace::Kind::Arrive);
         }
         let rounds = b.rounds_cur.load(Ordering::Acquire);
         let n = b.live_n.load(Ordering::Acquire);
@@ -580,11 +606,13 @@ impl TournamentWaiter<'_> {
                 if loser < n {
                     self.wait_flag(r, loser, stride, deadline)?;
                 }
+                trace::emit(self.epoch, self.tid, trace::Kind::Win(r));
                 self.round += 1;
             } else {
                 // Loser: signal the winner, remember whom to adopt if
                 // it dies, and stop playing.
                 let w = self.rank - stride;
+                trace::emit(self.epoch, self.tid, trace::Kind::Lose(r));
                 b.store_flag(r, w, self.epoch);
                 self.watch = w;
                 self.lost = true;
@@ -595,7 +623,7 @@ impl TournamentWaiter<'_> {
             // bracket, where rounds == 0). The ticket decides whether
             // this thread or a co-playing adopter does the release;
             // either way the epoch wait below falls through.
-            b.try_release(self.epoch);
+            b.try_release(self.epoch, self.tid);
         }
         let mut backoff = Backoff::new();
         loop {
@@ -610,7 +638,7 @@ impl TournamentWaiter<'_> {
                 // Replay the dead winner's bracket; the next pass of
                 // this loop observes the epoch if the replay (or a
                 // co-playing adopter) released it.
-                b.play_adopted(self.watch, self.epoch, deadline)?;
+                b.play_adopted(self.watch, self.epoch, self.tid, deadline)?;
             }
             if deadline.expired() {
                 return Err(BarrierError::Timeout);
@@ -644,6 +672,7 @@ impl TournamentWaiter<'_> {
                 return Err(BarrierError::Evicted);
             }
             if b.span_dead(loser, span) {
+                trace::emit(self.epoch, self.tid, trace::Kind::ProxyArrival(r));
                 b.store_flag(r, self.rank, self.epoch);
                 continue;
             }
@@ -689,6 +718,7 @@ impl TournamentWaiter<'_> {
                 self.mid = false;
                 self.preclaimed = true;
             }
+            trace::emit(self.epoch, self.tid, trace::Kind::Rejoin);
         }
         Ok(status)
     }

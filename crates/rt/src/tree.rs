@@ -51,6 +51,7 @@ use crate::roster::{Arrival, Roster};
 use crate::spin::{wait_for_epoch_fallible, EpochWait};
 use crate::sync::{AtomicU32, Ordering};
 use combar_topo::{CounterId, Topology};
+use combar_trace as trace;
 use std::time::{Duration, Instant};
 
 /// Sentinel for "no parent" in the atomic parent array.
@@ -133,6 +134,11 @@ impl TreeBarrier {
 
     /// A classic combining tree of the given degree over `p` threads
     /// (degree `>= p` builds the flat counter).
+    ///
+    /// Prefer building through [`crate::BarrierBuilder`] when a
+    /// trait-object ([`crate::Barrier`]) surface, supervision, or a
+    /// trace sink is wanted; the direct constructor stays for
+    /// statically-typed embedding.
     pub fn combining(p: u32, degree: u32) -> Self {
         if degree >= p {
             Self::from_topology(&Topology::flat(p))
@@ -142,6 +148,11 @@ impl TreeBarrier {
     }
 
     /// An MCS-style owner tree of the given degree over `p` threads.
+    ///
+    /// Prefer building through [`crate::BarrierBuilder`] when a
+    /// trait-object ([`crate::Barrier`]) surface, supervision, or a
+    /// trace sink is wanted; the direct constructor stays for
+    /// statically-typed embedding.
     pub fn mcs(p: u32, degree: u32) -> Self {
         Self::from_topology(&Topology::mcs(p, degree))
     }
@@ -284,12 +295,26 @@ impl TreeBarrier {
     pub fn evict(&self, tid: u32) -> bool {
         assert!((tid as usize) < self.homes.len(), "thread id out of range");
         if self.roster.evict(tid, &self.epoch) {
-            if self.signal(self.homes[tid as usize].load(Ordering::Acquire)) {
+            let ep = self.trace_epoch();
+            if trace::enabled() {
+                trace::emit(ep, tid, trace::Kind::Evict(tid));
+            }
+            if self.signal(self.homes[tid as usize].load(Ordering::Acquire), tid, ep) {
                 self.maintain();
             }
             true
         } else {
             false
+        }
+    }
+
+    /// Episode tag for barrier-side (proxy) emission: the in-flight
+    /// epoch, read only while a trace sink is attached.
+    fn trace_epoch(&self) -> u32 {
+        if trace::enabled() {
+            self.epoch.load(Ordering::Relaxed)
+        } else {
+            0
         }
     }
 
@@ -322,16 +347,20 @@ impl TreeBarrier {
     }
 
     /// The signalling walk: increment from `start` upward; returns
-    /// whether this walk released the episode.
-    fn signal(&self, start: CounterId) -> bool {
+    /// whether this walk released the episode. `subject`/`episode` tag
+    /// the emitted trace events (the walking thread, or the proxied
+    /// thread on eviction sweeps).
+    fn signal(&self, start: CounterId, subject: u32, episode: u32) -> bool {
         let mut c = start as usize;
         loop {
             let fan = self.fan_in[c].load(Ordering::Acquire);
             let prev = self.counts[c].fetch_add(1, Ordering::AcqRel);
             debug_assert!(prev < fan, "counter over-updated");
             if prev + 1 < fan {
+                trace::emit(episode, subject, trace::Kind::Lose(c as u32));
                 return false; // not last here: someone else will propagate
             }
+            trace::emit(episode, subject, trace::Kind::Win(c as u32));
             // Last updater: reset for the next episode (safe before the
             // release — nobody re-enters until after it), then continue
             // upward or release.
@@ -343,6 +372,7 @@ impl TreeBarrier {
                 // proxy can start (all non-active slots are stamped for
                 // the in-flight target). Membership changes apply here.
                 self.apply_pending();
+                trace::emit(episode, subject, trace::Kind::Release);
                 self.epoch.fetch_add(1, Ordering::Release);
                 return true;
             }
@@ -389,8 +419,15 @@ impl TreeBarrier {
     /// counts them.
     fn maintain(&self) {
         self.roster.maintain(&self.epoch, |tid| {
-            self.membership.is_live(tid)
-                && self.signal(self.homes[tid as usize].load(Ordering::Acquire))
+            if !self.membership.is_live(tid) {
+                return false;
+            }
+            let home = self.homes[tid as usize].load(Ordering::Acquire);
+            let ep = self.trace_epoch();
+            if trace::enabled() {
+                trace::emit(ep, tid, trace::Kind::ProxyArrival(home));
+            }
+            self.signal(home, tid, ep)
         });
     }
 }
@@ -454,7 +491,12 @@ impl TreeWaiter<'_> {
             Arrival::Evicted => Err(BarrierError::Evicted),
             Arrival::Claimed => {
                 self.pending = true;
-                if b.signal(b.homes[self.tid as usize].load(Ordering::Acquire)) {
+                trace::emit(self.epoch, self.tid, trace::Kind::Arrive);
+                if b.signal(
+                    b.homes[self.tid as usize].load(Ordering::Acquire),
+                    self.tid,
+                    self.epoch,
+                ) {
                     b.maintain();
                 }
                 Ok(())
@@ -548,14 +590,18 @@ impl TreeWaiter<'_> {
         if b.is_poisoned() {
             return Err(BarrierError::Poisoned);
         }
-        Ok(heal::try_rejoin_step(
+        let status = heal::try_rejoin_step(
             &b.roster,
             &b.membership,
             self.tid,
             &mut self.awaiting_attach,
             &mut self.epoch,
             &mut self.pending,
-        ))
+        );
+        if matches!(status, RejoinStatus::Rejoined) {
+            trace::emit(self.epoch, self.tid, trace::Kind::Rejoin);
+        }
+        Ok(status)
     }
 
     /// Re-admission after eviction: drives [`Self::try_rejoin`] until it

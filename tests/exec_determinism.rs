@@ -29,6 +29,18 @@ fn fig8_render_is_thread_count_invariant() {
     assert_eq!(serial, pooled);
 }
 
+/// The trace experiment drives *real runtime barriers* inside its
+/// sweep cells; because each cell attaches its own `combar-trace` sink
+/// on its own driver thread and trace positions are logical ticks, the
+/// whole rendering — merged timelines included — is byte-identical at
+/// 1 vs 4 workers.
+#[test]
+fn trace_render_is_thread_count_invariant() {
+    let serial = with_thread_count(1, golden::trace_small);
+    let pooled = with_thread_count(4, golden::trace_small);
+    assert_eq!(serial, pooled);
+}
+
 /// The optimal-degree search — `sweep_degrees` parallelizes over
 /// replications and folds serially — lands on the same degree and the
 /// same delay statistics bit-for-bit at any thread count.

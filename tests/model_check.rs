@@ -531,6 +531,56 @@ fn broken_release_flag_caught_and_token_replays() {
     assert_eq!(replayed.kind, FailureKind::Deadlock);
 }
 
+// ---------------------------------------------------------------------------
+// Trace determinism under the checker.
+// ---------------------------------------------------------------------------
+
+/// Structured tracing is deterministic under schedule exploration: two
+/// identical-seed PCT runs over a traced MCS-tree fixture produce
+/// byte-identical merged event streams across every explored schedule.
+/// Trace positions are per-writer logical ticks and every emission
+/// site either reads no shadowed atomic or guards the read behind
+/// `combar_trace::enabled()`, so the recorded timeline is a pure
+/// function of the schedule.
+#[test]
+fn traced_schedules_produce_identical_event_streams() {
+    use combar_trace::TraceBook;
+
+    fn traced_run(seed: u64) -> String {
+        let log = Arc::new(std::sync::Mutex::new(String::new()));
+        let sink = Arc::clone(&log);
+        let fx = move || {
+            let book = TraceBook::new();
+            let b = Arc::new(TreeBarrier::mcs(3, 2));
+            let handles: Vec<_> = (0..3)
+                .map(|tid| {
+                    let b = Arc::clone(&b);
+                    let book = Arc::clone(&book);
+                    vthread::spawn(move || {
+                        let _g = book.attach(tid);
+                        let mut w = b.waiter(tid);
+                        for _ in 0..2 {
+                            w.try_wait().unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            sink.lock()
+                .unwrap()
+                .push_str(&combar_trace::render(&book.drain()));
+        };
+        Checker::pct(seed, 3, 40).check(fx).expect_pass();
+        let s = log.lock().unwrap().clone();
+        assert!(s.contains("release"), "traced schedules must release");
+        s
+    }
+
+    assert_eq!(traced_run(0x5eed_0011), traced_run(0x5eed_0011));
+}
+
 /// Debug helper: replay a failing token and dump the recorded trace.
 /// Run manually: `cargo test --test model_check -- --ignored debug_replay --nocapture`
 #[test]
