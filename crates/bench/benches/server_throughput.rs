@@ -1,0 +1,121 @@
+//! In-tree bench for the networked epoch server: wall-clock
+//! episodes/sec and arrive→release latency percentiles of the *real*
+//! `combar-net` loopback server under the acceptance scenarios —
+//! clean wire, 5% drop + duplicate, and lossy plus k = 4 of 64
+//! sessions crash-killed mid-run.
+//!
+//! ```text
+//! cargo bench -p combar-bench --bench server_throughput > BENCH_server.json
+//! ```
+//!
+//! Prints the committed JSON to stdout and a human summary to stderr.
+//! The deterministic virtual-time companion is the `server`
+//! experiment (`experiments -- server`), which golden-snapshots the
+//! same scenario grid without wall clocks.
+
+use std::time::Duration;
+
+use combar::presets::seeds;
+use combar_chaos::NetChaosConfig;
+use combar_net::{drive, EpochServer, ServerConfig, TrafficConfig};
+
+const SESSIONS: u64 = 64;
+const SHARDS: usize = 4;
+const EPISODES: u64 = 100;
+const KILL: [u64; 4] = [9, 21, 33, 45];
+const KILL_AFTER: u64 = 20;
+const LOSS: f64 = 0.05;
+
+struct ScenarioResult {
+    name: &'static str,
+    eps_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    retries: u64,
+    evictions: u64,
+    rejoins: u64,
+}
+
+fn run(name: &'static str, chaos: Option<NetChaosConfig>, kill: Vec<u64>) -> ScenarioResult {
+    let server = EpochServer::start(ServerConfig {
+        shards: SHARDS,
+        tick: Duration::from_micros(200),
+        ..ServerConfig::default()
+    });
+    let mut cfg = TrafficConfig {
+        sessions: SESSIONS,
+        drivers: 8,
+        episodes: EPISODES,
+        chaos,
+        kill,
+        kill_after: KILL_AFTER,
+        ..TrafficConfig::default()
+    };
+    cfg.client.request_timeout = Duration::from_millis(10);
+    let report = drive(&server, &cfg);
+    assert!(report.survivors_done(&cfg), "bench run wedged");
+    // Server-side eviction count: crashed sessions never *observe*
+    // their eviction, so the client-side counter would read 0 in the
+    // churn scenario.
+    let evictions = server.session_stats().values().map(|s| s.evictions).sum();
+    server.shutdown();
+    ScenarioResult {
+        name,
+        eps_per_sec: report.total_episodes() as f64 / report.elapsed.as_secs_f64(),
+        p50_us: report.percentile_us(50.0),
+        p99_us: report.percentile_us(99.0),
+        retries: report.retries,
+        evictions,
+        rejoins: report.rejoins,
+    }
+}
+
+fn main() {
+    let kill_count = KILL.len() as u32;
+    let scenarios = [
+        run("clean", None, Vec::new()),
+        run(
+            "lossy",
+            Some(NetChaosConfig::lossy(seeds::server(LOSS, 0), LOSS)),
+            Vec::new(),
+        ),
+        run(
+            "churn",
+            Some(NetChaosConfig::lossy(seeds::server(LOSS, kill_count), LOSS)),
+            KILL.to_vec(),
+        ),
+    ];
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for s in &scenarios {
+        eprintln!(
+            "server_throughput[{}]: {:.0} episodes/s, p50 {}µs, p99 {}µs, \
+             {} retries, {} evictions, {} rejoins",
+            s.name, s.eps_per_sec, s.p50_us, s.p99_us, s.retries, s.evictions, s.rejoins
+        );
+    }
+    println!("{{");
+    println!("  \"bench\": \"server_throughput\",");
+    println!("  \"sessions\": {SESSIONS},");
+    println!("  \"shards\": {SHARDS},");
+    println!("  \"episodes_per_session\": {EPISODES},");
+    println!("  \"loss\": {LOSS},");
+    println!("  \"killed_sessions\": {},", KILL.len());
+    println!("  \"host_cores\": {cores},");
+    println!("  \"scenarios\": [");
+    for (i, s) in scenarios.iter().enumerate() {
+        let sep = if i + 1 < scenarios.len() { "," } else { "" };
+        println!(
+            "    {{\"name\": \"{}\", \"episodes_per_sec\": {:.1}, \"p50_us\": {}, \
+             \"p99_us\": {}, \"retries\": {}, \"evictions\": {}, \"rejoins\": {}}}{sep}",
+            s.name, s.eps_per_sec, s.p50_us, s.p99_us, s.retries, s.evictions, s.rejoins
+        );
+    }
+    println!("  ],");
+    println!(
+        "  \"note\": \"recorded on the committing host over the in-process loopback transport; \
+         wall-clock numbers scale with host_cores and scheduler noise — the CI soak job \
+         re-records this file on a runner as the BENCH_server artifact. The deterministic \
+         virtual-time grid for the same scenarios is the server experiment's golden snapshot.\""
+    );
+    println!("}}");
+}

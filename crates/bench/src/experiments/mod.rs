@@ -16,6 +16,7 @@ pub mod ksr;
 pub mod mcs;
 pub mod release;
 pub mod scaling;
+pub mod server;
 pub mod trace;
 
 /// Common RNG seed for every experiment (results are fully

@@ -21,8 +21,8 @@
 //! and is excluded; its DES companion (the replayed fault timeline) is
 //! deterministic and snapshotted via [`chaos_des_small`].
 
-use crate::experiments::{chaos, churn, fig2, fig8, seeds, trace};
-use combar::presets::{Fig2, Fig8};
+use crate::experiments::{chaos, churn, fig2, fig8, seeds, server, trace};
+use combar::presets::{Fig2, Fig8, ServerSim};
 use std::time::Duration;
 
 /// Figure 2 (sync delay vs degree) at 256 processors, 4 replications.
@@ -64,6 +64,14 @@ pub fn chaos_des_small() -> String {
 /// needed beyond the preset itself.
 pub fn churn_small() -> String {
     churn::run(&churn::ChurnPreset::quick()).render()
+}
+
+/// The networked epoch-server experiment (clean / lossy / churn
+/// scenarios in virtual time) on its quick preset — the wire faults
+/// come from a seeded [`combar_chaos::NetFaultPlan`] replay, so the
+/// table is byte-stable like the rest of this file.
+pub fn server_small() -> String {
+    server::run(&ServerSim::quick()).render()
 }
 
 /// The trace experiment (measured critical paths from structured

@@ -1,0 +1,90 @@
+//! End-to-end coverage of the `experiments` binary's CLI surface:
+//! `--list`, `--only` (both spellings), the `--json` stream (schema
+//! header first), and `COMBAR_THREADS` invariance — run against the
+//! cheap fully deterministic ids so the whole file stays a smoke test.
+
+use std::process::{Command, Output};
+
+fn experiments(args: &[&str], threads: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_experiments"));
+    cmd.args(args);
+    if let Some(t) = threads {
+        cmd.env("COMBAR_THREADS", t);
+    }
+    cmd.output().expect("spawn experiments binary")
+}
+
+fn stdout_of(args: &[&str], threads: Option<&str>) -> String {
+    let out = experiments(args, threads);
+    assert!(
+        out.status.success(),
+        "experiments {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+#[test]
+fn list_names_every_id_including_server() {
+    let listed: Vec<String> = stdout_of(&["--list"], None)
+        .lines()
+        .map(String::from)
+        .collect();
+    for id in ["fig2", "chaos", "churn", "server", "verify"] {
+        assert!(listed.iter().any(|l| l == id), "--list is missing {id}");
+    }
+    // --list ids are unique (a duplicate would run an id twice under
+    // `all`).
+    let mut dedup = listed.clone();
+    dedup.sort();
+    dedup.dedup();
+    assert_eq!(dedup.len(), listed.len(), "duplicate id in --list");
+}
+
+#[test]
+fn only_server_renders_all_three_scenarios() {
+    let out = stdout_of(&["--quick", "--only", "server"], None);
+    assert!(out.contains("networked epoch barrier"), "{out}");
+    for scenario in ["clean", "lossy", "churn"] {
+        assert!(out.contains(scenario), "missing scenario row {scenario}");
+    }
+    // `--only=` spelling selects the same experiment.
+    let eq = stdout_of(&["--quick", "--only=server"], None);
+    assert_eq!(out, eq);
+}
+
+#[test]
+fn json_stream_leads_with_schema_header() {
+    let out = stdout_of(&["--quick", "--json", "--only", "server"], None);
+    let mut lines = out.lines();
+    assert_eq!(
+        lines.next(),
+        Some(r#"{"schema":"combar-experiments/1"}"#),
+        "first JSON line must be the schema header"
+    );
+    let body = lines.next().expect("one object per id");
+    assert!(body.starts_with(r#"{"id":"server""#), "{body}");
+    assert!(body.contains(r#""tables":["#), "{body}");
+    assert!(body.contains("eps/sec"), "{body}");
+    assert_eq!(lines.next(), None, "exactly one object for one id");
+}
+
+#[test]
+fn unknown_id_fails_with_usage() {
+    let out = experiments(&["no-such-experiment"], None);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown experiment id"), "{err}");
+}
+
+/// `COMBAR_THREADS` must never change an output byte: the simulated
+/// server experiment (and the churn one it is modelled on) are
+/// replayed per-cell from the frozen seed table, so 1 worker and 2
+/// workers render identical tables.
+#[test]
+fn thread_count_never_changes_output_bytes() {
+    let args = ["--quick", "--json", "--only", "server,churn"];
+    let one = stdout_of(&args, Some("1"));
+    let two = stdout_of(&args, Some("2"));
+    assert_eq!(one, two, "COMBAR_THREADS leaked into rendered output");
+}

@@ -66,6 +66,11 @@ fn churn_table_is_stable() {
 }
 
 #[test]
+fn server_table_is_stable() {
+    check("server_small.txt", &combar_bench::golden::server_small());
+}
+
+#[test]
 fn trace_tables_are_stable() {
     check("trace_small.txt", &combar_bench::golden::trace_small());
 }
@@ -89,6 +94,10 @@ fn renderings_are_deterministic() {
     assert_eq!(
         combar_bench::golden::churn_small(),
         combar_bench::golden::churn_small()
+    );
+    assert_eq!(
+        combar_bench::golden::server_small(),
+        combar_bench::golden::server_small()
     );
     assert_eq!(
         combar_bench::golden::trace_small(),

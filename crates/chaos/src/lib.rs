@@ -53,6 +53,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod net;
+
+pub use net::{NetChaosConfig, NetFault, NetFaultPlan};
+
 use combar_rng::{Rng, SeedableRng, Xoshiro256pp};
 
 /// How a participant dies.

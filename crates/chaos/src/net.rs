@@ -1,0 +1,321 @@
+//! Deterministic network fault plans for lossy-transport testing.
+//!
+//! The thread-level [`FaultPlan`](crate::FaultPlan) injects scheduling
+//! adversity; this module injects *wire* adversity for the networked
+//! epoch server (`combar-net`). A [`NetFaultPlan`] is a pure function
+//! from a `(stream, message index)` coordinate to an optional
+//! [`NetFault`], seeded by `combar-rng` stream splitting exactly like
+//! the thread plan — replaying the same plan yields a bit-identical
+//! fault schedule, so lossy-wire soaks and the `server` experiment are
+//! reproducible.
+//!
+//! Streams let one plan drive many independent endpoints: a client
+//! conventionally uses `2·session` for its send direction and
+//! `2·session + 1` for its receive direction, so each direction of each
+//! session sees an independent (but reproducible) fault sequence.
+//!
+//! Fault kinds model what a lossy datagram transport does to traffic:
+//!
+//! * [`NetFault::Drop`] — the message disappears;
+//! * [`NetFault::Duplicate`] — the message is delivered twice
+//!   (retransmission racing the original);
+//! * [`NetFault::Delay`] — the message is held back a bounded number
+//!   of messages before delivery;
+//! * [`NetFault::Reorder`] — the message swaps places with its
+//!   successor;
+//! * disconnect windows — a contiguous run of messages all dropped, as
+//!   when a link flaps; modeled inside the plan so `fault` stays pure
+//!   per index (a window opened at index `s` covers `[s, s + len)`).
+//!
+//! The plan is descriptive and never touches a socket itself; the
+//! `FaultyConn` decorator in `combar-net` interprets it.
+
+use combar_rng::{Rng, SeedableRng, Xoshiro256pp};
+
+/// A single injected wire fault at one `(stream, message)` coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// The message is silently discarded.
+    Drop,
+    /// The message is delivered twice.
+    Duplicate,
+    /// The message is held back for the given number of later messages
+    /// (at least 1) before delivery.
+    Delay(u32),
+    /// The message swaps delivery order with the next message on the
+    /// stream (equivalent to `Delay(1)`, kept distinct so schedules
+    /// report intent).
+    Reorder,
+}
+
+/// Tunable probabilities and bounds for a [`NetFaultPlan`].
+///
+/// Probabilities are evaluated per `(stream, message)` on a single
+/// uniform roll, so their sum must not exceed 1. A disconnect roll
+/// opens a window of [`NetChaosConfig::disconnect_len`] consecutive
+/// drops on that stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetChaosConfig {
+    /// Seed for the plan's deterministic random stream.
+    pub seed: u64,
+    /// Probability a message is dropped.
+    pub drop_prob: f64,
+    /// Probability a message is duplicated.
+    pub dup_prob: f64,
+    /// Probability a message is delayed.
+    pub delay_prob: f64,
+    /// Upper bound (inclusive) on a delay, in messages.
+    pub max_delay_msgs: u32,
+    /// Probability a message is reordered with its successor.
+    pub reorder_prob: f64,
+    /// Probability a message *opens a disconnect window* (it and the
+    /// following `disconnect_len - 1` messages are dropped).
+    pub disconnect_prob: f64,
+    /// Length of a disconnect window, in messages (≥ 1).
+    pub disconnect_len: u32,
+}
+
+impl Default for NetChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay_msgs: 4,
+            reorder_prob: 0.0,
+            disconnect_prob: 0.0,
+            disconnect_len: 8,
+        }
+    }
+}
+
+impl NetChaosConfig {
+    /// The acceptance scenario: `loss` drop probability plus the same
+    /// duplication probability, nothing else.
+    pub fn lossy(seed: u64, loss: f64) -> Self {
+        Self {
+            seed,
+            drop_prob: loss,
+            dup_prob: loss,
+            ..Self::default()
+        }
+    }
+}
+
+/// A deterministic wire-fault schedule: a pure function from
+/// `(stream, message index)` to an optional [`NetFault`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetFaultPlan {
+    cfg: NetChaosConfig,
+}
+
+impl NetFaultPlan {
+    /// Creates a plan from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`, the total
+    /// probability mass exceeds 1, or `disconnect_len == 0`.
+    pub fn new(cfg: NetChaosConfig) -> Self {
+        for (name, p) in [
+            ("drop_prob", cfg.drop_prob),
+            ("dup_prob", cfg.dup_prob),
+            ("delay_prob", cfg.delay_prob),
+            ("reorder_prob", cfg.reorder_prob),
+            ("disconnect_prob", cfg.disconnect_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1]");
+        }
+        assert!(
+            cfg.drop_prob + cfg.dup_prob + cfg.delay_prob + cfg.reorder_prob + cfg.disconnect_prob
+                <= 1.0,
+            "total wire fault probability exceeds 1"
+        );
+        assert!(cfg.disconnect_len >= 1, "disconnect_len must be at least 1");
+        Self { cfg }
+    }
+
+    /// A plan that injects nothing — the clean-wire baseline.
+    pub fn quiet(seed: u64) -> Self {
+        Self::new(NetChaosConfig {
+            seed,
+            ..NetChaosConfig::default()
+        })
+    }
+
+    /// The configuration this plan was built from.
+    pub fn config(&self) -> &NetChaosConfig {
+        &self.cfg
+    }
+
+    /// The raw per-index roll, before disconnect windows are widened.
+    fn roll(&self, stream: u64, idx: u64) -> Option<NetFault> {
+        let mut rng = Xoshiro256pp::split(self.cfg.seed ^ 0x6e65_7421, (stream << 24) ^ idx);
+        let roll = rng.next_f64();
+        let c = &self.cfg;
+        let mut acc = c.drop_prob;
+        if roll < acc {
+            return Some(NetFault::Drop);
+        }
+        acc += c.dup_prob;
+        if roll < acc {
+            return Some(NetFault::Duplicate);
+        }
+        acc += c.delay_prob;
+        if roll < acc {
+            let d = 1 + rng.next_below(c.max_delay_msgs.max(1) as u64) as u32;
+            return Some(NetFault::Delay(d));
+        }
+        acc += c.reorder_prob;
+        if roll < acc {
+            return Some(NetFault::Reorder);
+        }
+        acc += c.disconnect_prob;
+        if roll < acc {
+            // The window opener itself is dropped; `fault` widens the
+            // window over the following indices.
+            return Some(NetFault::Drop);
+        }
+        None
+    }
+
+    /// Whether `idx` opens a disconnect window on `stream`.
+    fn opens_disconnect(&self, stream: u64, idx: u64) -> bool {
+        if self.cfg.disconnect_prob == 0.0 {
+            return false;
+        }
+        let mut rng = Xoshiro256pp::split(self.cfg.seed ^ 0x6e65_7421, (stream << 24) ^ idx);
+        let roll = rng.next_f64();
+        let below =
+            self.cfg.drop_prob + self.cfg.dup_prob + self.cfg.delay_prob + self.cfg.reorder_prob;
+        (below..below + self.cfg.disconnect_prob).contains(&roll)
+    }
+
+    /// The fault injected at message `idx` of `stream`, if any.
+    ///
+    /// Pure and deterministic: repeated calls with the same arguments
+    /// on the same plan always agree, across threads and runs. A
+    /// message inside an open disconnect window is dropped regardless
+    /// of its own roll.
+    pub fn fault(&self, stream: u64, idx: u64) -> Option<NetFault> {
+        // Disconnect windows opened by any of the previous
+        // `disconnect_len - 1` messages still cover this one.
+        if self.cfg.disconnect_prob > 0.0 {
+            let lookback = (self.cfg.disconnect_len as u64 - 1).min(idx);
+            for back in 1..=lookback {
+                if self.opens_disconnect(stream, idx - back) {
+                    return Some(NetFault::Drop);
+                }
+            }
+        }
+        self.roll(stream, idx)
+    }
+
+    /// Enumerates the schedule for the first `msgs` messages of
+    /// `stream`. Two calls on equal plans return identical vectors.
+    pub fn schedule(&self, stream: u64, msgs: u64) -> Vec<(u64, NetFault)> {
+        (0..msgs)
+            .filter_map(|i| self.fault(stream, i).map(|f| (i, f)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy(seed: u64) -> NetChaosConfig {
+        NetChaosConfig {
+            seed,
+            drop_prob: 0.1,
+            dup_prob: 0.1,
+            delay_prob: 0.1,
+            max_delay_msgs: 3,
+            reorder_prob: 0.05,
+            disconnect_prob: 0.01,
+            disconnect_len: 4,
+        }
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        let a = NetFaultPlan::new(busy(0xFEED));
+        let b = NetFaultPlan::new(busy(0xFEED));
+        assert_eq!(a.schedule(3, 4096), b.schedule(3, 4096));
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let p = NetFaultPlan::new(busy(7));
+        assert_ne!(p.schedule(0, 2048), p.schedule(1, 2048));
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        assert!(NetFaultPlan::quiet(9).schedule(0, 4096).is_empty());
+    }
+
+    #[test]
+    fn rates_track_probabilities() {
+        let p = NetFaultPlan::new(NetChaosConfig::lossy(42, 0.05));
+        let n = 40_000u64;
+        let sched = p.schedule(0, n);
+        let drops = sched
+            .iter()
+            .filter(|(_, f)| matches!(f, NetFault::Drop))
+            .count() as f64;
+        let dups = sched
+            .iter()
+            .filter(|(_, f)| matches!(f, NetFault::Duplicate))
+            .count() as f64;
+        assert!((drops / n as f64 - 0.05).abs() < 0.01, "drop rate off");
+        assert!((dups / n as f64 - 0.05).abs() < 0.01, "dup rate off");
+    }
+
+    #[test]
+    fn disconnect_windows_are_contiguous_drops() {
+        let p = NetFaultPlan::new(NetChaosConfig {
+            seed: 11,
+            disconnect_prob: 0.02,
+            disconnect_len: 5,
+            ..NetChaosConfig::default()
+        });
+        // Find a window opener and check the whole window drops.
+        let mut found = false;
+        for idx in 0..20_000u64 {
+            if p.opens_disconnect(0, idx) {
+                for k in 0..5 {
+                    assert_eq!(
+                        p.fault(0, idx + k),
+                        Some(NetFault::Drop),
+                        "message {k} of the window at {idx} not dropped"
+                    );
+                }
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no disconnect window in 20k messages at p=0.02");
+    }
+
+    #[test]
+    fn delay_bounds_respected() {
+        let p = NetFaultPlan::new(busy(3));
+        for (_, f) in p.schedule(0, 8192) {
+            if let NetFault::Delay(d) = f {
+                assert!((1..=3).contains(&d), "delay {d} out of bounds");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "total wire fault probability")]
+    fn rejects_excess_probability_mass() {
+        NetFaultPlan::new(NetChaosConfig {
+            drop_prob: 0.6,
+            dup_prob: 0.6,
+            ..NetChaosConfig::default()
+        });
+    }
+}

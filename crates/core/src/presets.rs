@@ -146,6 +146,13 @@ pub mod seeds {
     pub fn churn(k: u32) -> u64 {
         BASE ^ 0xc4a0 ^ ((k as u64) << 8)
     }
+
+    /// Networked epoch-server scenario at wire-fault probability `loss`
+    /// with `k` sessions killed mid-run (the same seed drives the
+    /// scenario's `NetFaultPlan` and its arrival stream).
+    pub fn server(loss: f64, k: u32) -> u64 {
+        BASE ^ 0x5e41e4 ^ ((k as u64) << 8) ^ loss.to_bits()
+    }
 }
 
 use combar_exec::Sweep;
@@ -367,6 +374,92 @@ impl Fig13 {
     }
 }
 
+/// Beyond-paper: the networked epoch server (`combar-net`) replayed in
+/// virtual time — barrier-as-a-service under wire loss and session
+/// churn.
+///
+/// The simulated mode exists so the `server` experiment row is
+/// byte-deterministic (golden-snapshotable, thread-count invariant);
+/// the wall-clock companion lives in `crates/bench/benches/
+/// server_throughput.rs` against the real [`combar-net`] server.
+#[derive(Debug, Clone)]
+pub struct ServerSim {
+    /// Client sessions crossing the barrier together.
+    pub sessions: u32,
+    /// Server shards (leaf aggregation points; sessions hash across
+    /// them by `sid % shards`).
+    pub shards: u32,
+    /// Episodes every scenario completes.
+    pub episodes: u32,
+    /// Mean inter-episode work per session, µs.
+    pub work_mean_us: f64,
+    /// Arrival spread (σ of the work), µs.
+    pub sigma_us: f64,
+    /// One aggregation/broadcast hop (session→shard, shard→root,
+    /// root→session), µs.
+    pub hop_us: f64,
+    /// Client retransmission timeout after a lost frame, µs.
+    pub rto_us: f64,
+    /// Lease grace the server pays before evicting a silent session,
+    /// µs.
+    pub detect_us: f64,
+    /// Wire-fault probability of the lossy scenarios (drop and
+    /// duplicate each at this rate, the acceptance mix).
+    pub loss: f64,
+    /// Sessions killed in the churn scenario.
+    pub kill: u32,
+    /// Episode at which the victims go silent.
+    pub kill_episode: u32,
+    /// Episode at which the victims rejoin.
+    pub rejoin_episode: u32,
+}
+
+impl ServerSim {
+    /// Full-size run: 64 sessions on 4 shards, 200 episodes, 5% loss,
+    /// k = 4 killed — the acceptance scenario of the networked server.
+    pub fn full() -> Self {
+        Self {
+            sessions: 64,
+            shards: 4,
+            episodes: 200,
+            work_mean_us: 1_000.0,
+            sigma_us: 250.0,
+            hop_us: TC_US,
+            rto_us: 2_000.0,
+            detect_us: 5_000.0,
+            loss: 0.05,
+            kill: 4,
+            kill_episode: 40,
+            rejoin_episode: 120,
+        }
+    }
+
+    /// Shrunk run for smoke passes and the golden snapshot.
+    pub fn quick() -> Self {
+        Self {
+            sessions: 16,
+            episodes: 60,
+            kill_episode: 10,
+            rejoin_episode: 30,
+            ..Self::full()
+        }
+    }
+
+    /// The killed sessions for the churn scenario: odd ids, so the
+    /// victims spread across shards instead of clustering on one.
+    pub fn victims(&self) -> Vec<u32> {
+        (0..self.kill)
+            .map(|i| (2 * i + 1) % self.sessions)
+            .collect()
+    }
+}
+
+impl Default for ServerSim {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
 /// Figure 5 (reconstructed from the Section 5 text): persistence of
 /// arrival order under slack.
 #[derive(Debug, Clone)]
@@ -493,6 +586,10 @@ mod tests {
             seeds::fig13(2, 500.0),
             seeds::BASE ^ 0x13 ^ (2u64 << 32) ^ 500.0f64.to_bits()
         );
+        assert_eq!(
+            seeds::server(0.05, 4),
+            seeds::BASE ^ 0x5e41e4 ^ (4u64 << 8) ^ 0.05f64.to_bits()
+        );
         // distinct experiments never collide on the same parameters
         let all = [
             seeds::fig2(),
@@ -500,6 +597,7 @@ mod tests {
             seeds::model_error(),
             seeds::partial(),
             seeds::adaptive(),
+            seeds::server(0.0, 0),
         ];
         let mut dedup = all.to_vec();
         dedup.sort_unstable();

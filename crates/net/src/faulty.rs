@@ -1,0 +1,280 @@
+//! [`FaultyTransport`]: a decorator that subjects any [`Transport`] to
+//! a deterministic [`NetFaultPlan`] — drops, duplicates, bounded
+//! delays, reorders, and disconnect windows.
+//!
+//! The decorator interprets two independent plan streams, one per
+//! direction (`send_stream` for outbound frames, `recv_stream` for
+//! inbound), indexed by a per-direction message counter. Given the same
+//! plan and the same traffic, the injected fault *schedule* is
+//! bit-identical across runs; what stays nondeterministic is only the
+//! wall-clock interleaving of the underlying wire, which the protocol
+//! tolerates by construction.
+//!
+//! Faults are applied on the decorated side:
+//!
+//! * `Drop` — the frame is discarded (outbound: never sent; inbound:
+//!   received and thrown away).
+//! * `Duplicate` — the frame goes through twice.
+//! * `Delay(d)` — the frame is held back until `d` later frames have
+//!   passed in the same direction (or, inbound, until the wire goes
+//!   quiet — a late datagram still arrives eventually).
+//! * `Reorder` — the frame swaps places with its successor
+//!   (held back exactly one frame).
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use combar_chaos::{NetFault, NetFaultPlan};
+
+use crate::transport::{NetError, Transport};
+
+/// A [`Transport`] wrapper that injects wire faults from a
+/// deterministic plan. See the module docs for semantics.
+#[derive(Debug)]
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    plan: NetFaultPlan,
+    send_stream: u64,
+    recv_stream: u64,
+    send_idx: u64,
+    recv_idx: u64,
+    /// Outbound frames held by `Delay`/`Reorder`: `(release_at, frame)`
+    /// released once `send_idx` reaches `release_at`.
+    send_held: Vec<(u64, Vec<u8>)>,
+    /// Inbound frames held by `Delay`/`Reorder`.
+    recv_held: Vec<(u64, Vec<u8>)>,
+    /// Inbound frames ready to deliver (duplicates, released holds).
+    recv_ready: VecDeque<Vec<u8>>,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner`, driving faults from `plan` streams
+    /// `send_stream` (outbound) and `recv_stream` (inbound).
+    ///
+    /// The convention used by the client library is
+    /// `send_stream = 2·session`, `recv_stream = 2·session + 1`, so one
+    /// plan gives every session's every direction an independent,
+    /// reproducible schedule.
+    pub fn new(inner: T, plan: NetFaultPlan, send_stream: u64, recv_stream: u64) -> Self {
+        Self {
+            inner,
+            plan,
+            send_stream,
+            recv_stream,
+            send_idx: 0,
+            recv_idx: 0,
+            send_held: Vec::new(),
+            recv_held: Vec::new(),
+            recv_ready: VecDeque::new(),
+        }
+    }
+
+    /// Consumes the decorator, returning the underlying transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    fn flush_due_sends(&mut self) -> Result<(), NetError> {
+        let idx = self.send_idx;
+        let mut due: Vec<Vec<u8>> = Vec::new();
+        self.send_held.retain_mut(|(at, f)| {
+            if *at <= idx {
+                due.push(std::mem::take(f));
+                false
+            } else {
+                true
+            }
+        });
+        for f in due {
+            self.inner.send(&f)?;
+        }
+        Ok(())
+    }
+
+    fn release_due_recvs(&mut self) {
+        let idx = self.recv_idx;
+        let ready = &mut self.recv_ready;
+        self.recv_held.retain_mut(|(at, f)| {
+            if *at <= idx {
+                ready.push_back(std::mem::take(f));
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        let idx = self.send_idx;
+        self.send_idx += 1;
+        match self.plan.fault(self.send_stream, idx) {
+            None => self.inner.send(frame)?,
+            Some(NetFault::Drop) => {}
+            Some(NetFault::Duplicate) => {
+                self.inner.send(frame)?;
+                self.inner.send(frame)?;
+            }
+            Some(NetFault::Delay(d)) => {
+                self.send_held.push((idx + u64::from(d), frame.to_vec()));
+            }
+            Some(NetFault::Reorder) => {
+                self.send_held.push((idx + 1, frame.to_vec()));
+            }
+        }
+        self.flush_due_sends()
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(f) = self.recv_ready.pop_front() {
+                return Ok(f);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                // The wire went quiet: a "delayed" datagram still
+                // arrives eventually, so surface the oldest held frame
+                // rather than wedging behind traffic that never comes.
+                if let Some((_, f)) = self.recv_held.pop() {
+                    return Ok(f);
+                }
+                return Err(NetError::Timeout);
+            }
+            match self.inner.recv_timeout(remaining) {
+                Ok(frame) => {
+                    let idx = self.recv_idx;
+                    self.recv_idx += 1;
+                    match self.plan.fault(self.recv_stream, idx) {
+                        None => self.recv_ready.push_back(frame),
+                        Some(NetFault::Drop) => {}
+                        Some(NetFault::Duplicate) => {
+                            self.recv_ready.push_back(frame.clone());
+                            self.recv_ready.push_back(frame);
+                        }
+                        Some(NetFault::Delay(d)) => {
+                            self.recv_held.push((idx + u64::from(d), frame));
+                        }
+                        Some(NetFault::Reorder) => {
+                            self.recv_held.push((idx + 1, frame));
+                        }
+                    }
+                    self.release_due_recvs();
+                }
+                Err(NetError::Timeout) => continue, // re-check deadline
+                Err(NetError::Closed) => {
+                    // Drain anything still held before reporting EOF.
+                    if let Some((_, f)) = self.recv_held.pop() {
+                        return Ok(f);
+                    }
+                    return Err(NetError::Closed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::loopback_pair;
+    use combar_chaos::NetChaosConfig;
+
+    const T: Duration = Duration::from_millis(50);
+
+    #[test]
+    fn quiet_plan_passes_traffic_through() {
+        let (a, mut b) = loopback_pair();
+        let mut f = FaultyTransport::new(a, NetFaultPlan::quiet(1), 0, 1);
+        for i in 0..10u8 {
+            f.send(&[i]).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(b.recv_timeout(T).unwrap(), vec![i]);
+        }
+    }
+
+    #[test]
+    fn full_drop_plan_sends_nothing() {
+        let (a, mut b) = loopback_pair();
+        let plan = NetFaultPlan::new(NetChaosConfig {
+            seed: 2,
+            drop_prob: 1.0,
+            ..NetChaosConfig::default()
+        });
+        let mut f = FaultyTransport::new(a, plan, 0, 1);
+        for i in 0..8u8 {
+            f.send(&[i]).unwrap();
+        }
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(10)),
+            Err(NetError::Timeout)
+        );
+    }
+
+    #[test]
+    fn full_duplicate_plan_doubles_every_frame() {
+        let (a, mut b) = loopback_pair();
+        let plan = NetFaultPlan::new(NetChaosConfig {
+            seed: 3,
+            dup_prob: 1.0,
+            ..NetChaosConfig::default()
+        });
+        let mut f = FaultyTransport::new(a, plan, 0, 1);
+        f.send(&[7]).unwrap();
+        assert_eq!(b.recv_timeout(T).unwrap(), vec![7]);
+        assert_eq!(b.recv_timeout(T).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn inbound_faults_apply_on_receive_side() {
+        let (mut a, b) = loopback_pair();
+        let plan = NetFaultPlan::new(NetChaosConfig {
+            seed: 4,
+            drop_prob: 1.0,
+            ..NetChaosConfig::default()
+        });
+        // recv_stream = 9 is the all-drop stream here.
+        let mut f = FaultyTransport::new(b, NetFaultPlan::quiet(0), 8, 9);
+        f.plan = plan;
+        a.send(&[1]).unwrap();
+        assert_eq!(
+            f.recv_timeout(Duration::from_millis(10)),
+            Err(NetError::Timeout)
+        );
+    }
+
+    #[test]
+    fn delayed_frames_are_released_by_later_traffic() {
+        let (a, mut b) = loopback_pair();
+        // Delay every frame by exactly 1 → consecutive pairs swap.
+        let plan = NetFaultPlan::new(NetChaosConfig {
+            seed: 5,
+            reorder_prob: 1.0,
+            ..NetChaosConfig::default()
+        });
+        let mut f = FaultyTransport::new(a, plan, 0, 1);
+        f.send(&[1]).unwrap(); // held
+        f.send(&[2]).unwrap(); // held; frame 1 released
+        f.send(&[3]).unwrap(); // held; frame 2 released
+        assert_eq!(b.recv_timeout(T).unwrap(), vec![1]);
+        assert_eq!(b.recv_timeout(T).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn held_inbound_frame_surfaces_on_quiet_wire() {
+        let (mut a, b) = loopback_pair();
+        let plan = NetFaultPlan::new(NetChaosConfig {
+            seed: 6,
+            delay_prob: 1.0,
+            max_delay_msgs: 8,
+            ..NetChaosConfig::default()
+        });
+        let mut f = FaultyTransport::new(b, plan, 0, 1);
+        a.send(&[9]).unwrap();
+        // The only frame is held; once the wire goes quiet the decorator
+        // must surface it instead of timing out forever.
+        assert_eq!(f.recv_timeout(Duration::from_millis(20)).unwrap(), vec![9]);
+    }
+}

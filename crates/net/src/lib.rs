@@ -1,0 +1,54 @@
+//! Barrier-as-a-service: a fault-tolerant networked epoch server.
+//!
+//! Everything before this crate synchronized threads that share an
+//! address space; this crate lifts the same episode/epoch protocol onto
+//! a message wire so *sessions* — clients behind an unreliable
+//! transport — can cross barriers together. The design is the paper's
+//! barrier anatomy restated as a service:
+//!
+//! * **Arrival aggregation up a tree** — sessions batch into shards
+//!   (one owning thread each), shards batch into one root counter; the
+//!   shard whose completeness report fills the root performs the
+//!   release and the broadcast fans back down
+//!   ([`server::EpochServer`]).
+//! * **Load imbalance becomes failure tolerance** — the same lease
+//!   supervisor that evicted straggling *threads* (PR 4) now evicts
+//!   silent *sessions* and dead *shards*; membership folds at quiescent
+//!   points so an epoch can never wedge on a crashed participant, and
+//!   evicted clients rejoin at an episode boundary.
+//! * **The wire is hostile** — every request is idempotent
+//!   ([`proto`]), the client retries with jittered exponential backoff
+//!   ([`client::BarrierClient`]), and [`FaultyTransport`] replays
+//!   deterministic drop/duplicate/delay/reorder/disconnect schedules
+//!   from `combar-chaos` so the hostility is reproducible in tests.
+//!
+//! Layering (zero dependencies outside the workspace):
+//!
+//! ```text
+//!   traffic   — multiplexed load generator, latency percentiles
+//!   client    — BarrierClient: join/arrive/heartbeat/leave/rejoin
+//!   faulty    — FaultyTransport: NetFaultPlan interpreter
+//!   transport — Transport trait; loopback + Unix-datagram endpoints
+//!   proto     — request/response frames, total binary codec
+//!   server    — sharded EpochServer, session & shard leases
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod faulty;
+pub mod proto;
+pub mod server;
+pub mod traffic;
+pub mod transport;
+
+pub use client::{BarrierClient, ClientConfig, ClientStats};
+pub use faulty::FaultyTransport;
+pub use proto::{Request, Response, SessionId};
+pub use server::{EpochServer, ServerConfig, SessionStats};
+pub use traffic::{drive, TrafficConfig, TrafficReport};
+pub use transport::{loopback_pair, LoopbackTransport, NetError, Transport};
+
+#[cfg(unix)]
+pub use transport::UdsTransport;

@@ -1,0 +1,285 @@
+//! The wire protocol: message shapes and a zero-dependency binary
+//! codec.
+//!
+//! Every message is one datagram-sized frame: a one-byte tag followed
+//! by fixed-width little-endian `u64` fields. The protocol is designed
+//! so *every client request is idempotent*:
+//!
+//! * [`Request::Arrive`] names its `(session, episode)` coordinate, so
+//!   a retransmission of an arrival the server already counted is a
+//!   no-op, and an arrival for an episode that already released is
+//!   answered with the (re-sent) [`Response::Release`] rather than
+//!   being counted again. Episode counters therefore advance exactly
+//!   once per session per episode no matter how lossy the wire is.
+//! * [`Request::Hello`] carries the session id chosen by the client;
+//!   re-sending it re-delivers the same [`Response::Welcome`] with the
+//!   session's *current* join epoch.
+//! * `seq` is a per-session monotone request counter used only for
+//!   diagnostics/traces — dedup falls out of the episode state, not
+//!   the sequence number, so a reordered retry can never corrupt
+//!   state.
+//!
+//! Decoding is total: a malformed frame decodes to `None` and the
+//! receiver drops it, which is exactly what a lossy transport already
+//! forces it to tolerate.
+
+/// A client session identifier (chosen by the client at `Hello`).
+pub type SessionId = u64;
+
+/// Client → server messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Join (or rejoin, after eviction) the barrier service.
+    Hello {
+        /// The session joining.
+        session: SessionId,
+        /// Request counter (diagnostics only).
+        seq: u64,
+    },
+    /// Idempotent arrival of `session` at `episode`.
+    Arrive {
+        /// The arriving session.
+        session: SessionId,
+        /// The episode the client believes is current for it.
+        episode: u64,
+        /// Request counter (diagnostics only).
+        seq: u64,
+    },
+    /// Lease renewal without an arrival (a slow client keeping its
+    /// membership alive mid-computation).
+    Heartbeat {
+        /// The session renewing its lease.
+        session: SessionId,
+        /// Request counter (diagnostics only).
+        seq: u64,
+    },
+    /// Orderly departure: the session leaves the membership at the
+    /// next episode boundary without being treated as a failure.
+    Leave {
+        /// The departing session.
+        session: SessionId,
+        /// Request counter (diagnostics only).
+        seq: u64,
+    },
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Response {
+    /// Admission (or re-admission): the session participates starting
+    /// at `episode`.
+    Welcome {
+        /// The admitted session.
+        session: SessionId,
+        /// First episode the session is expected to arrive for.
+        episode: u64,
+    },
+    /// The named episode completed; every participant may proceed.
+    Release {
+        /// The completed episode.
+        episode: u64,
+    },
+    /// The session's lease expired (or its shard died) and the
+    /// membership was folded without it. The client surfaces
+    /// `BarrierError::Evicted` and may `rejoin` via a fresh `Hello`.
+    Evicted {
+        /// The evicted session.
+        session: SessionId,
+        /// The episode during which the eviction happened.
+        episode: u64,
+    },
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_ARRIVE: u8 = 2;
+const TAG_HEARTBEAT: u8 = 3;
+const TAG_LEAVE: u8 = 4;
+const TAG_WELCOME: u8 = 65;
+const TAG_RELEASE: u8 = 66;
+const TAG_EVICTED: u8 = 67;
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(buf: &[u8], at: usize) -> Option<u64> {
+    let bytes: [u8; 8] = buf.get(at..at + 8)?.try_into().ok()?;
+    Some(u64::from_le_bytes(bytes))
+}
+
+impl Request {
+    /// The session this request belongs to.
+    pub fn session(&self) -> SessionId {
+        match *self {
+            Request::Hello { session, .. }
+            | Request::Arrive { session, .. }
+            | Request::Heartbeat { session, .. }
+            | Request::Leave { session, .. } => session,
+        }
+    }
+
+    /// Encodes the request as one frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(25);
+        match *self {
+            Request::Hello { session, seq } => {
+                buf.push(TAG_HELLO);
+                put_u64(&mut buf, session);
+                put_u64(&mut buf, seq);
+            }
+            Request::Arrive {
+                session,
+                episode,
+                seq,
+            } => {
+                buf.push(TAG_ARRIVE);
+                put_u64(&mut buf, session);
+                put_u64(&mut buf, episode);
+                put_u64(&mut buf, seq);
+            }
+            Request::Heartbeat { session, seq } => {
+                buf.push(TAG_HEARTBEAT);
+                put_u64(&mut buf, session);
+                put_u64(&mut buf, seq);
+            }
+            Request::Leave { session, seq } => {
+                buf.push(TAG_LEAVE);
+                put_u64(&mut buf, session);
+                put_u64(&mut buf, seq);
+            }
+        }
+        buf
+    }
+
+    /// Decodes one frame; `None` if malformed (the frame is dropped,
+    /// as on a lossy wire).
+    pub fn decode(frame: &[u8]) -> Option<Request> {
+        let tag = *frame.first()?;
+        match tag {
+            TAG_HELLO => Some(Request::Hello {
+                session: get_u64(frame, 1)?,
+                seq: get_u64(frame, 9)?,
+            }),
+            TAG_ARRIVE => Some(Request::Arrive {
+                session: get_u64(frame, 1)?,
+                episode: get_u64(frame, 9)?,
+                seq: get_u64(frame, 17)?,
+            }),
+            TAG_HEARTBEAT => Some(Request::Heartbeat {
+                session: get_u64(frame, 1)?,
+                seq: get_u64(frame, 9)?,
+            }),
+            TAG_LEAVE => Some(Request::Leave {
+                session: get_u64(frame, 1)?,
+                seq: get_u64(frame, 9)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl Response {
+    /// Encodes the response as one frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(17);
+        match *self {
+            Response::Welcome { session, episode } => {
+                buf.push(TAG_WELCOME);
+                put_u64(&mut buf, session);
+                put_u64(&mut buf, episode);
+            }
+            Response::Release { episode } => {
+                buf.push(TAG_RELEASE);
+                put_u64(&mut buf, episode);
+            }
+            Response::Evicted { session, episode } => {
+                buf.push(TAG_EVICTED);
+                put_u64(&mut buf, session);
+                put_u64(&mut buf, episode);
+            }
+        }
+        buf
+    }
+
+    /// Decodes one frame; `None` if malformed.
+    pub fn decode(frame: &[u8]) -> Option<Response> {
+        let tag = *frame.first()?;
+        match tag {
+            TAG_WELCOME => Some(Response::Welcome {
+                session: get_u64(frame, 1)?,
+                episode: get_u64(frame, 9)?,
+            }),
+            TAG_RELEASE => Some(Response::Release {
+                episode: get_u64(frame, 1)?,
+            }),
+            TAG_EVICTED => Some(Response::Evicted {
+                session: get_u64(frame, 1)?,
+                episode: get_u64(frame, 9)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let cases = [
+            Request::Hello { session: 7, seq: 1 },
+            Request::Arrive {
+                session: u64::MAX,
+                episode: 200,
+                seq: 3,
+            },
+            Request::Heartbeat {
+                session: 0,
+                seq: u64::MAX,
+            },
+            Request::Leave { session: 9, seq: 4 },
+        ];
+        for r in cases {
+            assert_eq!(Request::decode(&r.encode()), Some(r));
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let cases = [
+            Response::Welcome {
+                session: 3,
+                episode: 12,
+            },
+            Response::Release { episode: 0 },
+            Response::Evicted {
+                session: 5,
+                episode: 77,
+            },
+        ];
+        for r in cases {
+            assert_eq!(Response::decode(&r.encode()), Some(r));
+        }
+    }
+
+    #[test]
+    fn malformed_frames_decode_to_none() {
+        assert_eq!(Request::decode(&[]), None);
+        assert_eq!(Request::decode(&[99, 0, 0]), None);
+        assert_eq!(Request::decode(&[TAG_ARRIVE, 1, 2]), None); // truncated
+        assert_eq!(Response::decode(&[TAG_RELEASE]), None);
+        assert_eq!(Response::decode(&[0]), None);
+    }
+
+    #[test]
+    fn request_and_response_tags_are_disjoint() {
+        // A response frame must never decode as a request (and vice
+        // versa): a faulty transport that cross-delivers frames gets a
+        // clean drop, not a misparse.
+        let resp = Response::Release { episode: 4 }.encode();
+        assert_eq!(Request::decode(&resp), None);
+        let req = Request::Hello { session: 1, seq: 0 }.encode();
+        assert_eq!(Response::decode(&req), None);
+    }
+}

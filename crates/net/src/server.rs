@@ -1,0 +1,1146 @@
+//! The sharded epoch server: barrier-as-a-service.
+//!
+//! # Topology
+//!
+//! The server is a two-level combining tree in service clothing.
+//! Sessions are partitioned across *shards* (leaf counters); each shard
+//! is one thread that owns its sessions' membership and arrival state
+//! outright, so every per-session transition happens at a quiescent
+//! point by construction — the shard's message loop serializes arrivals,
+//! evictions, and rejoins the same way PR 4's releaser window serializes
+//! shape changes. A shard that observes all of its live sessions arrived
+//! reports *one* batched completeness bit to the root (an atomic
+//! `shards_done` counter); the shard whose report completes the root
+//! count performs the release — bump the global episode, reset the root
+//! counter, broadcast a `Release` control message — and every shard
+//! fans the release out to its own clients. Arrival traffic therefore
+//! aggregates up the tree (sessions → shard → root) and the release
+//! broadcasts back down, exactly the paper's arrival/release split.
+//!
+//! # Liveness and degradation
+//!
+//! Two lease layers, both PR 4's [`Supervisor`]:
+//!
+//! * **Session leases** — each shard supervises its sessions; every
+//!   request beats the session's slot. A live session that neither
+//!   arrives nor heartbeats past its (exponentially widened) lease is
+//!   evicted: its in-flight arrival is delivered by proxy and the
+//!   membership folds without it, so an episode can never wedge on a
+//!   dead client. The client observes [`Response::Evicted`] and may
+//!   rejoin with a fresh `Hello`.
+//! * **Shard leases** — every shard beats a root supervisor each loop
+//!   tick; the lowest-indexed live shard polls it. A shard declared
+//!   dead is folded out of the root count (episodes complete without
+//!   it), its sessions are notified `Evicted` best-effort, and their
+//!   routing assignments are cleared so rejoins land on surviving
+//!   shards — graceful shard degradation rather than a wedged epoch.
+//!
+//! # Idempotency
+//!
+//! All request handling is coordinate-based (see `proto`): an `Arrive`
+//! for the shard's current frame counts at most once; one for an
+//! already-released frame is answered by re-sending `Release`; a
+//! duplicate `Hello` re-sends `Welcome`. Retries are therefore always
+//! safe, and per-session episode counters advance exactly once per
+//! episode no matter what the wire does.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use combar_rt::{SelfHealing, Supervisor, SupervisorConfig};
+use combar_trace::Kind;
+
+use crate::proto::{Request, Response, SessionId};
+use crate::transport::LoopbackTransport;
+
+/// Tuning for [`EpochServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of shards (leaf aggregation points). Sessions hash across
+    /// them; each shard is one thread.
+    pub shards: usize,
+    /// Shard loop tick: the bound on how long a shard sleeps between
+    /// lease polls when no traffic arrives.
+    pub tick: Duration,
+    /// Per-shard session slot capacity (supervisor size). A `Hello`
+    /// beyond capacity is dropped.
+    pub session_capacity: u32,
+    /// Session-lease failure detector tuning.
+    pub lease: SupervisorConfig,
+    /// Shard-lease failure detector tuning (root supervisor).
+    pub shard_lease: SupervisorConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            tick: Duration::from_millis(1),
+            session_capacity: 4096,
+            // Wider than the runtime default: a spuriously evicted
+            // session costs a rejoin plus an episode of churn, while a
+            // genuinely dead one merely takes a few extra milliseconds
+            // to fold out. Clients renew the lease with every
+            // (idempotent) arrive re-send, so only true silence expires.
+            lease: SupervisorConfig {
+                min_grace: Duration::from_millis(25),
+                sigma_mult: 4.0,
+                max_misses: 3,
+            },
+            shard_lease: SupervisorConfig {
+                min_grace: Duration::from_millis(10),
+                sigma_mult: 4.0,
+                max_misses: 3,
+            },
+        }
+    }
+}
+
+/// Per-session service counters, exposed via
+/// [`EpochServer::session_stats`]. `completed` advances exactly once
+/// per episode the session participated in — the idempotency oracle
+/// the acceptance test asserts against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Episodes this session completed (released while arrived).
+    pub completed: u64,
+    /// Times the session was evicted (lease expiry or shard death).
+    pub evictions: u64,
+    /// Times the session rejoined after an eviction.
+    pub rejoins: u64,
+}
+
+type ConnId = u64;
+
+/// Diagnostic logging to stderr, enabled by setting `COMBAR_NET_DEBUG`:
+/// evictions, frames stalled > 250 ms (with the sessions the shard is
+/// waiting on), and protocol-impossible ahead-of-frame arrivals.
+fn net_debug() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("COMBAR_NET_DEBUG").is_some())
+}
+
+enum OutSink {
+    Chan(mpsc::Sender<Vec<u8>>),
+    #[cfg(unix)]
+    Uds(std::os::unix::net::UnixDatagram),
+}
+
+impl OutSink {
+    fn send(&self, frame: &[u8]) {
+        match self {
+            OutSink::Chan(tx) => {
+                let _ = tx.send(frame.to_vec());
+            }
+            #[cfg(unix)]
+            OutSink::Uds(sock) => {
+                let _ = sock.send(frame);
+            }
+        }
+    }
+}
+
+enum ShardMsg {
+    /// A decoded client request, tagged with its connection.
+    Net(ConnId, Request),
+    /// The named episode completed; fan the release out and open the
+    /// next frame.
+    Release(u64),
+    /// Test/chaos hook: the shard thread exits immediately without
+    /// cleanup, simulating a crash. The shard lease detects it.
+    Stall,
+    /// Orderly shutdown.
+    Shutdown,
+}
+
+#[derive(Clone, Copy)]
+struct Assignment {
+    shard: usize,
+    conn: ConnId,
+}
+
+/// Shared coordination state: the root of the aggregation tree.
+struct Shared {
+    /// The global current episode. Bumped (CAS) by the releasing shard.
+    episode: AtomicU64,
+    /// Shards that reported their sessions complete for the current
+    /// episode — the root counter of the combining tree.
+    shards_done: AtomicU64,
+    /// Live (not declared dead) shard count.
+    live_shards: AtomicU64,
+    shard_alive: Vec<AtomicBool>,
+    /// Live session count per shard (owner-written, root-read).
+    live_sessions: Vec<AtomicU64>,
+    /// Root failure detector over shard heartbeats.
+    shard_super: Supervisor,
+    /// Total episodes released since start.
+    released: AtomicU64,
+    stats: Mutex<HashMap<SessionId, SessionStats>>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn total_sessions(&self) -> u64 {
+        self.shard_alive
+            .iter()
+            .zip(&self.live_sessions)
+            .filter(|(alive, _)| alive.load(Ordering::Acquire))
+            .map(|(_, n)| n.load(Ordering::Acquire))
+            .sum()
+    }
+}
+
+/// Routes decoded requests to shard inboxes and responses back to
+/// connections. Shared by every connection and shard.
+struct Router {
+    shard_tx: Vec<mpsc::Sender<ShardMsg>>,
+    assign: Mutex<HashMap<SessionId, Assignment>>,
+    outbox: Mutex<HashMap<ConnId, OutSink>>,
+    next_conn: AtomicU64,
+    shared: Arc<Shared>,
+}
+
+impl Router {
+    /// First live shard at or after the session's home slot, probing
+    /// forward so a dead home shard degrades to a neighbor.
+    fn pick_shard(&self, session: SessionId) -> Option<usize> {
+        let n = self.shard_tx.len();
+        let home = (session % n as u64) as usize;
+        (0..n)
+            .map(|k| (home + k) % n)
+            .find(|&s| self.shared.shard_alive[s].load(Ordering::Acquire))
+    }
+
+    /// Ingress: decode, resolve the session's shard (reassigning away
+    /// from dead shards), enqueue. Malformed frames and frames for a
+    /// fully-degraded server are dropped — the wire already taught
+    /// clients to retry.
+    fn route(&self, conn: ConnId, frame: &[u8]) {
+        let Some(req) = Request::decode(frame) else {
+            return;
+        };
+        let session = req.session();
+        let shard = {
+            let mut assign = self.assign.lock().unwrap_or_else(|e| e.into_inner());
+            match assign.get_mut(&session) {
+                Some(a) => {
+                    a.conn = conn;
+                    if !self.shared.shard_alive[a.shard].load(Ordering::Acquire) {
+                        match self.pick_shard(session) {
+                            Some(s) => a.shard = s,
+                            None => return,
+                        }
+                    }
+                    a.shard
+                }
+                None => {
+                    let Some(s) = self.pick_shard(session) else {
+                        return;
+                    };
+                    assign.insert(session, Assignment { shard: s, conn });
+                    s
+                }
+            }
+        };
+        // A send failure means the shard thread is gone but not yet
+        // declared dead: the frame is dropped, like traffic to a dead
+        // host. The shard lease converts this to eviction + rerouting.
+        let _ = self.shard_tx[shard].send(ShardMsg::Net(conn, req));
+    }
+
+    fn respond(&self, conn: ConnId, resp: Response) {
+        let outbox = self.outbox.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(sink) = outbox.get(&conn) {
+            sink.send(&resp.encode());
+        }
+    }
+}
+
+/// Adapter exposing a shard's lease view to [`Supervisor::poll`]:
+/// stragglers are the live, not-yet-arrived session slots, and `fail`
+/// collects declarations for the shard thread to apply (the supervisor
+/// API is `&self`, the shard state is `&mut`).
+struct LeaseView {
+    capacity: u32,
+    stragglers: Vec<u32>,
+    declared: RefCell<Vec<u32>>,
+}
+
+impl SelfHealing for LeaseView {
+    fn threads(&self) -> u32 {
+        self.capacity
+    }
+    fn stragglers(&self) -> Vec<u32> {
+        self.stragglers.clone()
+    }
+    fn fail(&self, tid: u32) -> bool {
+        self.declared.borrow_mut().push(tid);
+        true
+    }
+    fn is_poisoned(&self) -> bool {
+        false
+    }
+}
+
+struct Sess {
+    conn: ConnId,
+    slot: u32,
+    /// Counted in the shard's live membership. A tombstone
+    /// (`live == false`) answers late requests with `Evicted`.
+    live: bool,
+    /// The last frame this session arrived for (possibly by proxy).
+    arrived_for: Option<u64>,
+    /// Whether `arrived_for` was a real `Arrive` (true) or a join-side
+    /// proxy (false). Only explicit arrivals tick `completed`, so the
+    /// counter is an exactly-once oracle for retried arrivals.
+    explicit: bool,
+}
+
+struct ShardState {
+    idx: usize,
+    shared: Arc<Shared>,
+    router: Arc<Router>,
+    cfg: ServerConfig,
+    sessions: HashMap<SessionId, Sess>,
+    slot_owner: HashMap<u32, SessionId>,
+    free_slots: Vec<u32>,
+    next_slot: u32,
+    /// The episode this shard's bookkeeping is for. Trails the global
+    /// episode until the `Release` control message is processed, so all
+    /// local accounting stays frame-consistent.
+    frame: u64,
+    live: u64,
+    arrived: u64,
+    reported: bool,
+    sup: Supervisor,
+    last_lease_poll: Instant,
+    frame_since: Instant,
+    stall_logged: bool,
+}
+
+impl ShardState {
+    fn new(idx: usize, shared: Arc<Shared>, router: Arc<Router>, cfg: ServerConfig) -> Self {
+        let sup = Supervisor::with_config(cfg.session_capacity, cfg.lease);
+        Self {
+            idx,
+            shared,
+            router,
+            cfg,
+            sessions: HashMap::new(),
+            slot_owner: HashMap::new(),
+            free_slots: Vec::new(),
+            next_slot: 0,
+            frame: 0,
+            live: 0,
+            arrived: 0,
+            reported: false,
+            sup,
+            last_lease_poll: Instant::now(),
+            frame_since: Instant::now(),
+            stall_logged: false,
+        }
+    }
+
+    fn publish_live(&self) {
+        self.shared.live_sessions[self.idx].store(self.live, Ordering::Release);
+    }
+
+    fn alloc_slot(&mut self) -> Option<u32> {
+        if let Some(s) = self.free_slots.pop() {
+            return Some(s);
+        }
+        if self.next_slot < self.cfg.session_capacity {
+            let s = self.next_slot;
+            self.next_slot += 1;
+            return Some(s);
+        }
+        None
+    }
+
+    fn handle(&mut self, conn: ConnId, req: Request) {
+        match req {
+            Request::Hello { session, .. } => self.on_hello(session, conn),
+            Request::Arrive {
+                session, episode, ..
+            } => self.on_arrive(session, conn, episode),
+            Request::Heartbeat { session, .. } => {
+                if let Some(s) = self.sessions.get_mut(&session) {
+                    if s.live {
+                        s.conn = conn;
+                        self.sup.beat(s.slot);
+                    }
+                }
+            }
+            Request::Leave { session, .. } => self.on_leave(session),
+        }
+    }
+
+    /// Admission, re-admission after eviction, and `Hello`-retry re-ack
+    /// all land here. A *new* session joins *arrived* for the in-flight
+    /// frame (the join-side proxy arrival), so admission can never
+    /// wedge the episode it lands in; its first real `Arrive` for this
+    /// frame deduplicates. A `Hello` for an already-live session (a
+    /// retry whose first copy landed, or a wire duplicate delivered
+    /// frames later) only re-routes and re-acks: registering a proxy
+    /// arrival here would let a stray duplicate complete an episode on
+    /// the session's behalf and silently skip its `completed` tick.
+    fn on_hello(&mut self, session: SessionId, conn: ConnId) {
+        let frame = self.frame;
+        match self.sessions.get_mut(&session) {
+            Some(s) if s.live => {
+                s.conn = conn;
+                self.sup.beat(s.slot);
+            }
+            other => {
+                let rejoining = other.is_some();
+                let Some(slot) = self.alloc_slot() else {
+                    return; // at capacity: drop, client retries elsewhere
+                };
+                self.sessions.insert(
+                    session,
+                    Sess {
+                        conn,
+                        slot,
+                        live: true,
+                        arrived_for: Some(frame),
+                        explicit: false,
+                    },
+                );
+                self.slot_owner.insert(slot, session);
+                self.sup.beat(slot);
+                self.live += 1;
+                self.arrived += 1;
+                self.publish_live();
+                // A local tombstone proves a rejoin; a session unknown
+                // here may still be rejoining cross-shard (its home
+                // shard died and routing moved it) — the global stats
+                // ledger records the eviction either way.
+                let mut stats = self.shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                let entry = stats.entry(session).or_default();
+                if rejoining || entry.evictions > entry.rejoins {
+                    entry.rejoins += 1;
+                    combar_trace::emit(frame as u32, session as u32, Kind::Rejoin);
+                }
+            }
+        }
+        self.router.respond(
+            conn,
+            Response::Welcome {
+                session,
+                episode: frame,
+            },
+        );
+        self.check_complete();
+    }
+
+    fn on_arrive(&mut self, session: SessionId, conn: ConnId, episode: u64) {
+        let frame = self.frame;
+        let Some(s) = self.sessions.get_mut(&session) else {
+            self.router.respond(
+                conn,
+                Response::Evicted {
+                    session,
+                    episode: frame,
+                },
+            );
+            return;
+        };
+        if !s.live {
+            self.router.respond(
+                conn,
+                Response::Evicted {
+                    session,
+                    episode: frame,
+                },
+            );
+            return;
+        }
+        s.conn = conn;
+        self.sup.beat(s.slot);
+        if episode < frame {
+            // The episode already released; the first ack was lost.
+            // Re-acking is the idempotent half of retry safety.
+            self.router.respond(conn, Response::Release { episode });
+            return;
+        }
+        if episode > frame {
+            if net_debug() {
+                eprintln!(
+                    "[ahead] shard {} session {session} e {episode} frame {frame}",
+                    self.idx
+                );
+            }
+            return; // can't happen with honest clients; drop defensively
+        }
+        if s.arrived_for != Some(frame) {
+            s.arrived_for = Some(frame);
+            s.explicit = true;
+            self.arrived += 1;
+            combar_trace::emit(frame as u32, session as u32, Kind::Arrive);
+            self.check_complete();
+        } else if !s.explicit {
+            // The real arrival caught up with its join-side proxy:
+            // upgrade so this episode counts.
+            s.explicit = true;
+            combar_trace::emit(frame as u32, session as u32, Kind::Arrive);
+        }
+        // else: duplicate arrival — counted exactly once, nothing to do.
+    }
+
+    /// Orderly departure folds immediately: the shard thread *is* the
+    /// quiescent window (no arrival can interleave), so removing the
+    /// session now is indistinguishable from a boundary fold.
+    fn on_leave(&mut self, session: SessionId) {
+        let frame = self.frame;
+        if let Some(s) = self.sessions.remove(&session) {
+            if s.live {
+                self.live -= 1;
+                if s.arrived_for == Some(frame) {
+                    self.arrived -= 1;
+                }
+                self.slot_owner.remove(&s.slot);
+                self.free_slots.push(s.slot);
+                self.publish_live();
+                self.check_complete();
+            }
+        }
+    }
+
+    /// Declares a session dead: proxy its in-flight arrival (so the
+    /// frame completes), fold it out of the live membership, and tell
+    /// the client. Mirrors PR 4's evict-then-detach, collapsed into one
+    /// step because the shard thread serializes both halves.
+    fn evict(&mut self, session: SessionId) {
+        let frame = self.frame;
+        let Some(s) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        if !s.live {
+            return;
+        }
+        if s.arrived_for == Some(frame) {
+            self.arrived -= 1;
+        } else {
+            combar_trace::emit(
+                frame as u32,
+                session as u32,
+                Kind::ProxyArrival(self.idx as u32),
+            );
+        }
+        s.live = false;
+        s.arrived_for = None;
+        self.live -= 1;
+        let slot = s.slot;
+        let conn = s.conn;
+        self.slot_owner.remove(&slot);
+        self.free_slots.push(slot);
+        self.publish_live();
+        {
+            let mut stats = self.shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+            stats.entry(session).or_default().evictions += 1;
+        }
+        if net_debug() {
+            eprintln!("[evict] shard {} session {session} frame {frame}", self.idx);
+        }
+        combar_trace::emit(frame as u32, session as u32, Kind::Evict(session as u32));
+        self.router.respond(
+            conn,
+            Response::Evicted {
+                session,
+                episode: frame,
+            },
+        );
+        self.check_complete();
+    }
+
+    /// Fan a completed episode out to this shard's arrived sessions and
+    /// open the next frame.
+    fn on_release(&mut self, ep: u64) {
+        let mut stats = Vec::new();
+        for (&session, s) in &self.sessions {
+            if s.live && s.arrived_for == Some(ep) {
+                self.router
+                    .respond(s.conn, Response::Release { episode: ep });
+                combar_trace::emit(ep as u32, session as u32, Kind::Release);
+                if s.explicit {
+                    stats.push(session);
+                }
+            }
+        }
+        if !stats.is_empty() {
+            let mut map = self.shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+            for session in stats {
+                map.entry(session).or_default().completed += 1;
+            }
+        }
+        self.frame = ep + 1;
+        self.reported = false;
+        self.frame_since = Instant::now();
+        self.stall_logged = false;
+        // Admissions processed after the global bump but before this
+        // control message may already sit in the new frame; recount
+        // rather than zero.
+        self.arrived = self
+            .sessions
+            .values()
+            .filter(|s| s.live && s.arrived_for == Some(self.frame))
+            .count() as u64;
+        self.check_complete();
+    }
+
+    /// The upward half of the aggregation tree: report this shard
+    /// complete (at most once per frame), then try to release globally.
+    fn check_complete(&mut self) {
+        if !self.reported && (self.live == 0 || self.arrived >= self.live) {
+            self.reported = true;
+            self.shared.shards_done.fetch_add(1, Ordering::AcqRel);
+        }
+        try_release(&self.shared, &self.router);
+    }
+
+    /// Session-lease pass, at most once per tick.
+    fn poll_leases(&mut self) {
+        if self.last_lease_poll.elapsed() < self.cfg.tick {
+            return;
+        }
+        self.last_lease_poll = Instant::now();
+        let frame = self.frame;
+        if !self.stall_logged
+            && self.frame_since.elapsed() > Duration::from_millis(250)
+            && net_debug()
+        {
+            self.stall_logged = true;
+            let waiting: Vec<SessionId> = self
+                .sessions
+                .iter()
+                .filter(|(_, s)| s.live && s.arrived_for != Some(frame))
+                .map(|(&sid, _)| sid)
+                .collect();
+            eprintln!(
+                "[stall] shard {} frame {frame} live {} arrived {} reported {} waiting_on {waiting:?}",
+                self.idx, self.live, self.arrived, self.reported
+            );
+        }
+        let stragglers: Vec<u32> = self
+            .sessions
+            .values()
+            .filter(|s| s.live && s.arrived_for != Some(frame))
+            .map(|s| s.slot)
+            .collect();
+        if stragglers.is_empty() {
+            return;
+        }
+        let view = LeaseView {
+            capacity: self.cfg.session_capacity,
+            stragglers,
+            declared: RefCell::new(Vec::new()),
+        };
+        self.sup.poll(&view);
+        let declared = view.declared.into_inner();
+        for slot in declared {
+            if let Some(&session) = self.slot_owner.get(&slot) {
+                self.evict(session);
+            }
+        }
+    }
+
+    /// Root-lease pass: the lowest-indexed live shard checks its peers.
+    fn poll_shards(&mut self) {
+        let alive: Vec<usize> = (0..self.shared.shard_alive.len())
+            .filter(|&s| self.shared.shard_alive[s].load(Ordering::Acquire))
+            .collect();
+        if alive.first() != Some(&self.idx) {
+            return;
+        }
+        let stragglers: Vec<u32> = alive
+            .iter()
+            .filter(|&&s| s != self.idx)
+            .map(|&s| s as u32)
+            .collect();
+        if stragglers.is_empty() {
+            return;
+        }
+        let view = LeaseView {
+            capacity: self.shared.shard_alive.len() as u32,
+            stragglers,
+            declared: RefCell::new(Vec::new()),
+        };
+        self.shared.shard_super.poll(&view);
+        for shard in view.declared.into_inner() {
+            declare_shard_dead(&self.shared, &self.router, shard as usize);
+        }
+    }
+}
+
+/// The downward half of the root: if every live shard has reported and
+/// any session exists, the winning CAS bumps the episode, resets the
+/// root counter, and broadcasts the release. Any shard (or the shard
+/// poller, after folding a dead shard out) may perform it; the CAS
+/// guarantees exactly one winner per episode.
+fn try_release(shared: &Shared, router: &Router) {
+    let ep = shared.episode.load(Ordering::Acquire);
+    let done = shared.shards_done.load(Ordering::Acquire);
+    let live = shared.live_shards.load(Ordering::Acquire);
+    if done < live || shared.total_sessions() == 0 {
+        return;
+    }
+    if shared
+        .episode
+        .compare_exchange(ep, ep + 1, Ordering::AcqRel, Ordering::Acquire)
+        .is_err()
+    {
+        return; // another shard released this episode
+    }
+    // Between the CAS and this reset no shard can report for the new
+    // episode: reports only follow the Release control message below.
+    shared.shards_done.store(0, Ordering::Release);
+    shared.released.fetch_add(1, Ordering::Release);
+    for (s, tx) in router.shard_tx.iter().enumerate() {
+        if shared.shard_alive[s].load(Ordering::Acquire) {
+            let _ = tx.send(ShardMsg::Release(ep));
+        }
+    }
+}
+
+/// Folds a dead shard out of the root: episodes complete without it,
+/// its sessions are told `Evicted` best-effort, and their assignments
+/// clear so rejoins land on live shards.
+fn declare_shard_dead(shared: &Shared, router: &Router, shard: usize) {
+    if !shared.shard_alive[shard].swap(false, Ordering::AcqRel) {
+        return; // already declared
+    }
+    shared.live_shards.fetch_sub(1, Ordering::AcqRel);
+    shared.live_sessions[shard].store(0, Ordering::Release);
+    let episode = shared.episode.load(Ordering::Acquire);
+    let orphans: Vec<(SessionId, ConnId)> = {
+        let mut assign = router.assign.lock().unwrap_or_else(|e| e.into_inner());
+        let victims: Vec<SessionId> = assign
+            .iter()
+            .filter(|(_, a)| a.shard == shard)
+            .map(|(&s, _)| s)
+            .collect();
+        victims
+            .into_iter()
+            .map(|s| {
+                let a = assign.remove(&s).expect("victim present");
+                (s, a.conn)
+            })
+            .collect()
+    };
+    {
+        let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+        for &(session, _) in &orphans {
+            stats.entry(session).or_default().evictions += 1;
+        }
+    }
+    for (session, conn) in orphans {
+        combar_trace::emit(episode as u32, session as u32, Kind::Evict(session as u32));
+        router.respond(conn, Response::Evicted { session, episode });
+    }
+    // The dead shard may have been the missing report.
+    try_release(shared, router);
+}
+
+fn run_shard(
+    idx: usize,
+    inbox: mpsc::Receiver<ShardMsg>,
+    shared: Arc<Shared>,
+    router: Arc<Router>,
+    cfg: ServerConfig,
+) {
+    let tick = cfg.tick;
+    let mut st = ShardState::new(idx, shared.clone(), router, cfg);
+    loop {
+        shared.shard_super.beat(idx as u32);
+        match inbox.recv_timeout(tick) {
+            Ok(ShardMsg::Net(conn, req)) => st.handle(conn, req),
+            Ok(ShardMsg::Release(ep)) => st.on_release(ep),
+            Ok(ShardMsg::Stall) => return, // simulated crash: no cleanup
+            Ok(ShardMsg::Shutdown) | Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+        }
+        st.poll_leases();
+        st.poll_shards();
+        // Membership may have changed without traffic (evictions).
+        st.check_complete();
+    }
+}
+
+/// A running barrier-as-a-service instance. See the module docs.
+pub struct EpochServer {
+    router: Arc<Router>,
+    shared: Arc<Shared>,
+    shard_handles: Vec<JoinHandle<()>>,
+    pump_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl EpochServer {
+    /// Starts the shard threads and returns a handle for connecting
+    /// clients and inspecting service state.
+    pub fn start(cfg: ServerConfig) -> Self {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        let shards = cfg.shards;
+        let shared = Arc::new(Shared {
+            episode: AtomicU64::new(0),
+            shards_done: AtomicU64::new(0),
+            live_shards: AtomicU64::new(shards as u64),
+            shard_alive: (0..shards).map(|_| AtomicBool::new(true)).collect(),
+            live_sessions: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            shard_super: Supervisor::with_config(shards as u32, cfg.shard_lease),
+            released: AtomicU64::new(0),
+            stats: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut txs = Vec::with_capacity(shards);
+        let mut rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::channel();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let router = Arc::new(Router {
+            shard_tx: txs,
+            assign: Mutex::new(HashMap::new()),
+            outbox: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            shared: shared.clone(),
+        });
+        let shard_handles = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(idx, rx)| {
+                let shared = shared.clone();
+                let router = router.clone();
+                let cfg = cfg.clone();
+                std::thread::Builder::new()
+                    .name(format!("combar-net-shard-{idx}"))
+                    .spawn(move || run_shard(idx, rx, shared, router, cfg))
+                    .expect("spawn shard thread")
+            })
+            .collect();
+        Self {
+            router,
+            shared,
+            shard_handles,
+            pump_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Opens an in-process loopback connection. Cheap: two `mpsc`
+    /// channels and a map entry, so thousands of sessions fit in one
+    /// process.
+    pub fn connect(&self) -> LoopbackTransport {
+        let conn = self.router.next_conn.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel::<Vec<u8>>();
+        self.router
+            .outbox
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(conn, OutSink::Chan(tx));
+        let router = self.router.clone();
+        LoopbackTransport {
+            tx: Box::new(move |frame: &[u8]| {
+                router.route(conn, frame);
+                Ok(())
+            }),
+            rx,
+        }
+    }
+
+    /// Opens a Unix-domain datagram connection (a real socketpair with
+    /// a per-connection server-side pump thread).
+    #[cfg(unix)]
+    pub fn connect_uds(&self) -> std::io::Result<crate::transport::UdsTransport> {
+        use std::os::unix::net::UnixDatagram;
+        let (server_side, client_side) = UnixDatagram::pair()?;
+        server_side.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let send_half = server_side.try_clone()?;
+        let conn = self.router.next_conn.fetch_add(1, Ordering::Relaxed);
+        self.router
+            .outbox
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(conn, OutSink::Uds(send_half));
+        let router = self.router.clone();
+        let shared = self.shared.clone();
+        let pump = std::thread::Builder::new()
+            .name(format!("combar-net-pump-{conn}"))
+            .spawn(move || {
+                let mut buf = [0u8; 256];
+                loop {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    match server_side.recv(&mut buf) {
+                        Ok(n) => router.route(conn, &buf[..n]),
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            continue
+                        }
+                        Err(_) => return,
+                    }
+                }
+            })?;
+        self.pump_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(pump);
+        Ok(crate::transport::UdsTransport { sock: client_side })
+    }
+
+    /// The current global episode number.
+    pub fn episode(&self) -> u64 {
+        self.shared.episode.load(Ordering::Acquire)
+    }
+
+    /// Episodes released since start.
+    pub fn episodes_released(&self) -> u64 {
+        self.shared.released.load(Ordering::Acquire)
+    }
+
+    /// Shards not declared dead.
+    pub fn live_shards(&self) -> u64 {
+        self.shared.live_shards.load(Ordering::Acquire)
+    }
+
+    /// Live sessions across live shards.
+    pub fn live_sessions(&self) -> u64 {
+        self.shared.total_sessions()
+    }
+
+    /// A snapshot of per-session service counters.
+    pub fn session_stats(&self) -> HashMap<SessionId, SessionStats> {
+        self.shared
+            .stats
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Chaos hook: makes shard `idx` exit its loop without cleanup,
+    /// simulating a crashed shard. The shard lease declares it dead and
+    /// the service degrades onto the survivors.
+    pub fn stall_shard(&self, idx: usize) {
+        let _ = self.router.shard_tx[idx].send(ShardMsg::Stall);
+    }
+
+    /// Stops every shard (and UDS pump) thread and waits for them.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for tx in &self.router.shard_tx {
+            let _ = tx.send(ShardMsg::Shutdown);
+        }
+        for h in self.shard_handles.drain(..) {
+            let _ = h.join();
+        }
+        let pumps =
+            std::mem::take(&mut *self.pump_handles.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in pumps {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for EpochServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{BarrierClient, ClientConfig};
+
+    /// Fast ticks with a generous session lease: these tests exercise
+    /// the protocol, not eviction, and must not lose a session to a
+    /// scheduler stall on an oversubscribed CI host. Eviction tests
+    /// configure their own short leases explicitly.
+    fn quick_cfg(shards: usize) -> ServerConfig {
+        ServerConfig {
+            shards,
+            tick: Duration::from_micros(200),
+            lease: SupervisorConfig {
+                min_grace: Duration::from_secs(1),
+                sigma_mult: 4.0,
+                max_misses: 3,
+            },
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_client_advances_episodes() {
+        let server = EpochServer::start(quick_cfg(2));
+        let mut c = BarrierClient::new(server.connect(), 1, ClientConfig::default());
+        c.join().unwrap();
+        for i in 0..5 {
+            let ep = c.arrive().unwrap();
+            assert!(ep >= i, "episode {ep} below round {i}");
+        }
+        // Exactly-once bound: the join-frame proxy may race the first
+        // real arrival, costing at most one count.
+        let st = server.session_stats()[&1];
+        assert!((4..=5).contains(&st.completed), "completed {st:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn two_clients_rendezvous() {
+        let server = EpochServer::start(quick_cfg(2));
+        let t1 = server.connect();
+        let t2 = server.connect();
+        std::thread::scope(|s| {
+            for (sid, t) in [(10u64, t1), (11u64, t2)] {
+                s.spawn(move || {
+                    let mut c = BarrierClient::new(t, sid, ClientConfig::default());
+                    c.join().unwrap();
+                    for _ in 0..20 {
+                        c.arrive().unwrap();
+                    }
+                });
+            }
+        });
+        let stats = server.session_stats();
+        assert!((19..=20).contains(&stats[&10].completed), "{stats:?}");
+        assert!((19..=20).contains(&stats[&11].completed), "{stats:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn silent_session_is_evicted_and_survivors_proceed() {
+        let server = EpochServer::start(ServerConfig {
+            shards: 2,
+            tick: Duration::from_micros(200),
+            lease: SupervisorConfig {
+                min_grace: Duration::from_millis(2),
+                sigma_mult: 4.0,
+                max_misses: 2,
+            },
+            ..ServerConfig::default()
+        });
+        // Session 2 joins and goes silent; session 1 must keep
+        // completing episodes once the lease folds session 2 out.
+        let mut dead = BarrierClient::new(server.connect(), 2, ClientConfig::default());
+        dead.join().unwrap();
+        let mut live = BarrierClient::new(server.connect(), 1, ClientConfig::default());
+        live.join().unwrap();
+        for _ in 0..10 {
+            live.arrive().unwrap();
+        }
+        let stats = server.session_stats();
+        assert!((9..=10).contains(&stats[&1].completed), "{stats:?}");
+        assert_eq!(stats[&2].evictions, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn evicted_session_rejoins() {
+        let server = EpochServer::start(ServerConfig {
+            shards: 2,
+            tick: Duration::from_micros(200),
+            lease: SupervisorConfig {
+                min_grace: Duration::from_millis(2),
+                sigma_mult: 4.0,
+                max_misses: 2,
+            },
+            ..ServerConfig::default()
+        });
+        let mut a = BarrierClient::new(server.connect(), 1, ClientConfig::default());
+        let mut b = BarrierClient::new(server.connect(), 2, ClientConfig::default());
+        a.join().unwrap();
+        b.join().unwrap();
+        for _ in 0..3 {
+            // b sleeps through its lease while a drives episodes.
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    for _ in 0..8 {
+                        a.arrive().unwrap();
+                    }
+                });
+                s.spawn(|| std::thread::sleep(Duration::from_millis(40)));
+            });
+            // Err means the lease fired; Ok means it raced in b's
+            // favor this round.
+            if let Err(e) = b.arrive() {
+                assert_eq!(e, combar_rt::BarrierError::Evicted);
+                b.rejoin().unwrap();
+            }
+        }
+        let stats = server.session_stats();
+        assert!(stats[&2].rejoins >= 1, "b never rejoined: {stats:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn dead_shard_degrades_gracefully() {
+        let server = EpochServer::start(ServerConfig {
+            shards: 4,
+            tick: Duration::from_micros(200),
+            shard_lease: SupervisorConfig {
+                min_grace: Duration::from_millis(2),
+                sigma_mult: 4.0,
+                max_misses: 2,
+            },
+            ..ServerConfig::default()
+        });
+        // Sessions 0..8 spread over 4 shards; shard 2 dies.
+        let mut transports: Vec<_> = (0..8u64).map(|_| Some(server.connect())).collect();
+        std::thread::scope(|s| {
+            for sid in 0..8u64 {
+                let t = transports[sid as usize].take().unwrap();
+                let server = &server;
+                s.spawn(move || {
+                    let mut c = BarrierClient::new(t, sid, ClientConfig::default());
+                    c.join().unwrap();
+                    let mut done = 0u32;
+                    while done < 30 {
+                        if sid == 0 && done == 5 {
+                            server.stall_shard(2);
+                        }
+                        match c.arrive() {
+                            Ok(_) => done += 1,
+                            Err(combar_rt::BarrierError::Evicted) => {
+                                c.rejoin().unwrap();
+                            }
+                            Err(e) => panic!("session {sid}: {e:?}"),
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(server.live_shards(), 3, "shard 2 not declared dead");
+        for (sid, st) in server.session_stats() {
+            assert!(
+                st.completed + 1 + st.evictions + st.rejoins >= 30,
+                "session {sid} stalled: {st:?}"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_transport_reaches_the_server() {
+        let server = EpochServer::start(quick_cfg(2));
+        let t = server.connect_uds().unwrap();
+        let mut c = BarrierClient::new(t, 77, ClientConfig::default());
+        c.join().unwrap();
+        for _ in 0..5 {
+            c.arrive().unwrap();
+        }
+        let st = server.session_stats()[&77];
+        assert!((4..=5).contains(&st.completed), "{st:?}");
+        server.shutdown();
+    }
+}

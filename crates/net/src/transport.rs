@@ -1,0 +1,199 @@
+//! The zero-dependency [`Transport`] trait and its two concrete
+//! endpoints: an in-process loopback channel and a Unix-domain
+//! datagram socket.
+//!
+//! A transport is the *client side* of one connection: datagram
+//! semantics (whole frames, no partial reads), bounded blocking
+//! receive, and no delivery guarantees beyond best effort — the
+//! protocol layer (`proto`) is built to tolerate loss, duplication,
+//! and reordering, and the [`FaultyTransport`](crate::FaultyTransport)
+//! decorator injects exactly those faults for testing.
+//!
+//! * [`LoopbackTransport`] — an `mpsc` pair routed straight into the
+//!   server's shard inboxes. Cheap enough to open thousands of
+//!   connections inside one process; this is what the traffic
+//!   generator and the benches use.
+//! * [`UdsTransport`] — a `UnixDatagram` socketpair (Unix only),
+//!   pumping received frames through a per-connection reader thread on
+//!   the server side. Real file descriptors, real copies, real
+//!   syscalls — the "crossed a process boundary"-shaped configuration.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Why a transport operation did not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// No frame arrived within the timeout.
+    Timeout,
+    /// The peer endpoint is gone; no further traffic is possible.
+    Closed,
+}
+
+impl core::fmt::Display for NetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NetError::Timeout => write!(f, "transport receive timed out"),
+            NetError::Closed => write!(f, "transport closed by peer"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// One client-side connection endpoint with datagram semantics.
+///
+/// Implementations are message-oriented: `send` transmits one whole
+/// frame (best effort — a lossy decorator may drop it) and
+/// `recv_timeout` delivers one whole frame or times out. The protocol
+/// above never assumes delivery, ordering, or uniqueness.
+pub trait Transport: Send {
+    /// Sends one frame, best effort. `Err(Closed)` once the peer is
+    /// gone for good.
+    fn send(&mut self, frame: &[u8]) -> Result<(), NetError>;
+
+    /// Receives one frame, waiting at most `timeout`.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, NetError>;
+}
+
+impl<T: Transport + ?Sized> Transport for Box<T> {
+    fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        (**self).send(frame)
+    }
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, NetError> {
+        (**self).recv_timeout(timeout)
+    }
+}
+
+/// The sending half of a loopback endpoint: a closure into the
+/// server's router.
+pub(crate) type LoopbackTx = Box<dyn FnMut(&[u8]) -> Result<(), NetError> + Send>;
+
+/// The in-process loopback endpoint: frames go out through a closure
+/// into the server's router and come back over an `mpsc` channel.
+pub struct LoopbackTransport {
+    pub(crate) tx: LoopbackTx,
+    pub(crate) rx: mpsc::Receiver<Vec<u8>>,
+}
+
+impl std::fmt::Debug for LoopbackTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopbackTransport").finish_non_exhaustive()
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        (self.tx)(frame)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, NetError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(f) => Ok(f),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(NetError::Timeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+}
+
+/// A symmetric in-process pair, for tests that need a raw wire without
+/// a server behind it.
+pub fn loopback_pair() -> (LoopbackTransport, LoopbackTransport) {
+    let (atx, arx) = mpsc::channel::<Vec<u8>>();
+    let (btx, brx) = mpsc::channel::<Vec<u8>>();
+    let a = LoopbackTransport {
+        tx: Box::new(move |f: &[u8]| atx.send(f.to_vec()).map_err(|_| NetError::Closed)),
+        rx: brx,
+    };
+    let b = LoopbackTransport {
+        tx: Box::new(move |f: &[u8]| btx.send(f.to_vec()).map_err(|_| NetError::Closed)),
+        rx: arx,
+    };
+    (a, b)
+}
+
+/// A Unix-domain datagram endpoint (client side of a socketpair).
+#[cfg(unix)]
+#[derive(Debug)]
+pub struct UdsTransport {
+    pub(crate) sock: std::os::unix::net::UnixDatagram,
+}
+
+#[cfg(unix)]
+impl Transport for UdsTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        match self.sock.send(frame) {
+            Ok(_) => Ok(()),
+            // A full socket buffer is wire loss, not a dead peer.
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(()),
+            Err(_) => Err(NetError::Closed),
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, NetError> {
+        // A zero timeout means "do not block", which `set_read_timeout`
+        // rejects; clamp to the shortest representable wait.
+        let t = timeout.max(Duration::from_micros(1));
+        if self.sock.set_read_timeout(Some(t)).is_err() {
+            return Err(NetError::Closed);
+        }
+        let mut buf = [0u8; 256];
+        match self.sock.recv(&mut buf) {
+            Ok(n) => Ok(buf[..n].to_vec()),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Err(NetError::Timeout)
+            }
+            Err(_) => Err(NetError::Closed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_roundtrips_frames() {
+        let (mut a, mut b) = loopback_pair();
+        a.send(b"hello").unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), b"hello");
+        b.send(b"world").unwrap();
+        assert_eq!(a.recv_timeout(Duration::from_secs(1)).unwrap(), b"world");
+    }
+
+    #[test]
+    fn loopback_times_out_when_idle() {
+        let (mut a, _b) = loopback_pair();
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(5)),
+            Err(NetError::Timeout)
+        );
+    }
+
+    #[test]
+    fn loopback_reports_closed_peer() {
+        let (mut a, b) = loopback_pair();
+        drop(b);
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(5)),
+            Err(NetError::Closed)
+        );
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_roundtrips_frames() {
+        let (s1, s2) = std::os::unix::net::UnixDatagram::pair().unwrap();
+        let mut a = UdsTransport { sock: s1 };
+        let mut b = UdsTransport { sock: s2 };
+        a.send(b"ping").unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), b"ping");
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(5)),
+            Err(NetError::Timeout)
+        );
+    }
+}

@@ -35,6 +35,7 @@
 
 use crate::barrier::BarrierBuilder;
 use crate::harness::{lockstep_torture, Stagger, TortureReport};
+use crate::BarrierError;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
 
@@ -270,12 +271,72 @@ pub fn check_fuzzy_slack(kind: BarrierKind, p: u32) -> bool {
     true
 }
 
+/// Contract 5 — bounded waiting through the erased path: a waiter whose
+/// peers have not arrived observes [`BarrierError::Timeout`] *through
+/// the `AnyWaiter` trait object*, the episode stays in flight (a
+/// further wait resumes it rather than re-arriving), and the barrier
+/// serves later episodes untouched. This is the contract the networked
+/// epoch server's clients lean on: giving up on a bounded wait must
+/// never corrupt the crossing.
+///
+/// # Panics
+///
+/// Panics if the lone waiter does not time out, or any subsequent
+/// crossing fails.
+pub fn check_wait_timeout(kind: BarrierKind, p: u32) {
+    let b = kind.build(p);
+    if p < 2 {
+        // No peer to be late; the erased call must still complete.
+        b.waiter(0).wait_timeout(STEP).unwrap();
+        return;
+    }
+    let timed_out = AtomicU32::new(0);
+    std::thread::scope(|s| {
+        for tid in 0..p {
+            let b = &b;
+            let timed_out = &timed_out;
+            s.spawn(move || {
+                let mut w = b.waiter(tid);
+                if tid == 0 {
+                    // Alone at the barrier: the bounded wait gives up...
+                    let r = w.wait_timeout(Duration::from_millis(10));
+                    assert_eq!(
+                        r,
+                        Err(BarrierError::Timeout),
+                        "{}: lone waiter must time out",
+                        kind.label()
+                    );
+                    timed_out.store(1, Ordering::Release);
+                    // ...and a later wait resumes the same episode.
+                    w.wait_timeout(STEP)
+                        .unwrap_or_else(|e| panic!("{}: resume: {e}", kind.label()));
+                } else {
+                    // Hold back until the timeout has provably fired.
+                    while timed_out.load(Ordering::Acquire) == 0 {
+                        std::hint::spin_loop();
+                    }
+                    w.wait_timeout(STEP)
+                        .unwrap_or_else(|e| panic!("{}: late peer: {e}", kind.label()));
+                }
+                // The timeout must not have wounded the episode
+                // machinery: further crossings stay clean.
+                for e in 0..3 {
+                    w.wait_timeout(STEP).unwrap_or_else(|err| {
+                        panic!("{}: post-timeout episode {e}: {err}", kind.label())
+                    });
+                }
+            });
+        }
+    });
+}
+
 /// Runs the full contract suite for one (kind, thread count) cell.
 pub fn check_full_contract(kind: BarrierKind, p: u32) {
     check_lockstep(kind, p, CONFORMANCE_EPISODES);
     check_reuse_and_churn(kind, p);
     check_arrival_release_ordering(kind, p);
     check_fuzzy_slack(kind, p);
+    check_wait_timeout(kind, p);
 }
 
 #[cfg(test)]

@@ -225,10 +225,16 @@ pub struct JitterBackoff {
 impl JitterBackoff {
     /// Backoff starting at `base`, capped at `max`, jittered from
     /// `seed` (use the thread id).
+    ///
+    /// Both durations are floored at 1 µs — a zero `base` (or cap)
+    /// still makes forward progress instead of degenerating into a
+    /// zero-sleep busy loop — and `base` is clamped to the cap, so the
+    /// first delay already respects `max`.
     pub fn new(seed: u64, base: Duration, max: Duration) -> Self {
+        let max = max.max(Duration::from_micros(1));
         Self {
             state: seed ^ 0x9e37_79b9_7f4a_7c15,
-            delay: base.max(Duration::from_micros(1)),
+            delay: base.max(Duration::from_micros(1)).min(max),
             max,
         }
     }
@@ -241,8 +247,10 @@ impl JitterBackoff {
         self.state ^= self.state << 17;
         let out = self.state.wrapping_mul(0x2545_f491_4f6c_dd1d);
         let frac = 0.5 + (out >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
-        let jittered = self.delay.mul_f64(frac);
-        self.delay = (self.delay * 2).min(self.max);
+        let jittered = self.delay.mul_f64(frac).min(self.max);
+        // Saturate rather than overflow: with a cap near `Duration::MAX`
+        // the un-saturated doubling would panic after ~64 steps.
+        self.delay = self.delay.saturating_mul(2).min(self.max);
         jittered
     }
 
@@ -531,6 +539,52 @@ mod tests {
         let mut b1 = JitterBackoff::new(1, Duration::from_millis(4), Duration::from_secs(1));
         let mut b2 = JitterBackoff::new(2, Duration::from_millis(4), Duration::from_secs(1));
         assert_ne!(b1.next_delay(), b2.next_delay());
+    }
+
+    #[test]
+    fn jitter_backoff_zero_base_still_progresses() {
+        let mut b = JitterBackoff::new(7, Duration::ZERO, Duration::from_millis(10));
+        for _ in 0..8 {
+            let d = b.next_delay();
+            assert!(d > Duration::ZERO, "zero-duration delay busy-loops");
+            assert!(d <= Duration::from_millis(10));
+        }
+        // Degenerate cap too: still nonzero, still bounded.
+        let mut z = JitterBackoff::new(7, Duration::ZERO, Duration::ZERO);
+        let d = z.next_delay();
+        assert!(d > Duration::ZERO && d <= Duration::from_micros(1));
+    }
+
+    #[test]
+    fn jitter_backoff_saturates_instead_of_overflowing() {
+        // An effectively unbounded cap: repeated doubling must saturate,
+        // not overflow-panic, and stay within the cap.
+        let mut b = JitterBackoff::new(3, Duration::from_secs(u64::MAX / 4), Duration::MAX);
+        for _ in 0..80 {
+            assert!(b.next_delay() <= Duration::MAX);
+        }
+    }
+
+    #[test]
+    fn jitter_backoff_clamps_base_above_cap() {
+        let cap = Duration::from_millis(2);
+        let mut b = JitterBackoff::new(5, Duration::from_secs(10), cap);
+        for _ in 0..8 {
+            assert!(b.next_delay() <= cap, "delay escaped the cap");
+        }
+    }
+
+    #[test]
+    fn jitter_backoff_is_deterministic_per_seed() {
+        let (base, max) = (Duration::from_millis(1), Duration::from_millis(16));
+        let mut a = JitterBackoff::new(42, base, max);
+        let mut b = JitterBackoff::new(42, base, max);
+        let sa: Vec<_> = (0..12).map(|_| a.next_delay()).collect();
+        let sb: Vec<_> = (0..12).map(|_| b.next_delay()).collect();
+        assert_eq!(sa, sb, "same seed must replay the same sequence");
+        let mut c = JitterBackoff::new(43, base, max);
+        let sc: Vec<_> = (0..12).map(|_| c.next_delay()).collect();
+        assert_ne!(sa, sc, "different seeds must diverge");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use combar_rt::conformance::{
     check_arrival_release_ordering, check_fuzzy_slack, check_lockstep, check_reuse_and_churn,
-    BarrierKind, CONFORMANCE_EPISODES,
+    check_wait_timeout, BarrierKind, CONFORMANCE_EPISODES,
 };
 
 /// Thread counts each cell runs at: the degenerate pair, an odd count
@@ -48,6 +48,13 @@ macro_rules! conformance_matrix {
                 let kind: BarrierKind = $kind;
                 for p in P_AXIS {
                     assert_eq!(check_fuzzy_slack(kind, p), kind.supports_fuzzy());
+                }
+            }
+
+            #[test]
+            fn wait_timeout() {
+                for p in P_AXIS {
+                    check_wait_timeout($kind, p);
                 }
             }
         }
