@@ -16,8 +16,10 @@
 //!   received and thrown away).
 //! * `Duplicate` — the frame goes through twice.
 //! * `Delay(d)` — the frame is held back until `d` later frames have
-//!   passed in the same direction (or, inbound, until the wire goes
-//!   quiet — a late datagram still arrives eventually).
+//!   passed in the same direction (or, inbound, until the wire has
+//!   stayed quiet for a full grace period — a late datagram still
+//!   arrives eventually, but a caller polling in short slices must not
+//!   shake one loose per poll).
 //! * `Reorder` — the frame swaps places with its successor
 //!   (held back exactly one frame).
 
@@ -27,6 +29,15 @@ use std::time::{Duration, Instant};
 use combar_chaos::{NetFault, NetFaultPlan};
 
 use crate::transport::{NetError, Transport};
+
+/// How long the inbound wire must stay continuously silent before a
+/// held (delayed) frame is surfaced out of schedule. Tracked *across*
+/// `recv_timeout` calls: a driver polling in 1 ms slices accumulates
+/// toward one grace period instead of shaking a held frame loose per
+/// poll (which would quietly neutralize `Delay` semantics), while a
+/// genuinely quiet wire — no later traffic will ever advance the
+/// release index — still delivers every held datagram eventually.
+const QUIET_WIRE_GRACE: Duration = Duration::from_millis(10);
 
 /// A [`Transport`] wrapper that injects wire faults from a
 /// deterministic plan. See the module docs for semantics.
@@ -41,10 +52,13 @@ pub struct FaultyTransport<T: Transport> {
     /// Outbound frames held by `Delay`/`Reorder`: `(release_at, frame)`
     /// released once `send_idx` reaches `release_at`.
     send_held: Vec<(u64, Vec<u8>)>,
-    /// Inbound frames held by `Delay`/`Reorder`.
+    /// Inbound frames held by `Delay`/`Reorder`, in arrival order.
     recv_held: Vec<(u64, Vec<u8>)>,
     /// Inbound frames ready to deliver (duplicates, released holds).
     recv_ready: VecDeque<Vec<u8>>,
+    /// Since when the inbound wire has been silent (`None` right after
+    /// a frame is surfaced; re-armed on the next receive attempt).
+    recv_quiet_since: Option<Instant>,
 }
 
 impl<T: Transport> FaultyTransport<T> {
@@ -66,6 +80,7 @@ impl<T: Transport> FaultyTransport<T> {
             send_held: Vec::new(),
             recv_held: Vec::new(),
             recv_ready: VecDeque::new(),
+            recv_quiet_since: None,
         }
     }
 
@@ -128,22 +143,33 @@ impl<T: Transport> Transport for FaultyTransport<T> {
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, NetError> {
         let deadline = Instant::now() + timeout;
+        // Arm the silence clock if it isn't running: quiet time
+        // accumulates across calls so short polls sum toward the grace.
+        self.recv_quiet_since.get_or_insert_with(Instant::now);
         loop {
             if let Some(f) = self.recv_ready.pop_front() {
                 return Ok(f);
             }
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
-                // The wire went quiet: a "delayed" datagram still
-                // arrives eventually, so surface the oldest held frame
-                // rather than wedging behind traffic that never comes.
-                if let Some((_, f)) = self.recv_held.pop() {
-                    return Ok(f);
+                // Only after a full quiet-wire grace — not on every
+                // caller-timeout expiry — does a held frame surface out
+                // of schedule: a "delayed" datagram still arrives
+                // eventually rather than wedging behind traffic that
+                // never comes, oldest first (FIFO, like the wire).
+                if !self.recv_held.is_empty()
+                    && self
+                        .recv_quiet_since
+                        .is_some_and(|q| q.elapsed() >= QUIET_WIRE_GRACE)
+                {
+                    self.recv_quiet_since = None;
+                    return Ok(self.recv_held.remove(0).1);
                 }
                 return Err(NetError::Timeout);
             }
             match self.inner.recv_timeout(remaining) {
                 Ok(frame) => {
+                    self.recv_quiet_since = Some(Instant::now());
                     let idx = self.recv_idx;
                     self.recv_idx += 1;
                     match self.plan.fault(self.recv_stream, idx) {
@@ -164,9 +190,10 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                 }
                 Err(NetError::Timeout) => continue, // re-check deadline
                 Err(NetError::Closed) => {
-                    // Drain anything still held before reporting EOF.
-                    if let Some((_, f)) = self.recv_held.pop() {
-                        return Ok(f);
+                    // Drain anything still held, oldest first, before
+                    // reporting EOF.
+                    if !self.recv_held.is_empty() {
+                        return Ok(self.recv_held.remove(0).1);
                     }
                     return Err(NetError::Closed);
                 }
@@ -260,6 +287,54 @@ mod tests {
         f.send(&[3]).unwrap(); // held; frame 2 released
         assert_eq!(b.recv_timeout(T).unwrap(), vec![1]);
         assert_eq!(b.recv_timeout(T).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn quiet_wire_releases_held_frames_oldest_first() {
+        let (mut a, b) = loopback_pair();
+        let plan = NetFaultPlan::new(NetChaosConfig {
+            seed: 11,
+            delay_prob: 1.0,
+            max_delay_msgs: 8,
+            ..NetChaosConfig::default()
+        });
+        let mut f = FaultyTransport::new(b, plan, 0, 1);
+        a.send(&[1]).unwrap();
+        a.send(&[2]).unwrap();
+        // Both inbound frames are delayed; on a quiet wire they must
+        // surface in arrival order (FIFO, like a real late datagram),
+        // not newest-first.
+        assert_eq!(f.recv_timeout(Duration::from_millis(20)).unwrap(), vec![1]);
+        assert_eq!(f.recv_timeout(Duration::from_millis(20)).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn short_polls_do_not_shake_held_frames_loose() {
+        let (mut a, b) = loopback_pair();
+        let plan = NetFaultPlan::new(NetChaosConfig {
+            seed: 12,
+            delay_prob: 1.0,
+            max_delay_msgs: 8,
+            ..NetChaosConfig::default()
+        });
+        let mut f = FaultyTransport::new(b, plan, 0, 1);
+        a.send(&[9]).unwrap();
+        // A driver-style 1 ms poll cadence: the first expiry (and every
+        // one inside the quiet-wire grace) must report Timeout rather
+        // than leaking the held frame immediately, or Delay degenerates
+        // to a single poll's worth of latency.
+        let t0 = Instant::now();
+        let mut timeouts = 0u32;
+        let frame = loop {
+            match f.recv_timeout(Duration::from_millis(1)) {
+                Ok(frame) => break frame,
+                Err(NetError::Timeout) => timeouts += 1,
+                Err(e) => panic!("unexpected error: {e:?}"),
+            }
+            assert!(t0.elapsed() < Duration::from_secs(2), "never surfaced");
+        };
+        assert_eq!(frame, vec![9]);
+        assert!(timeouts >= 1, "held frame leaked on the first short poll");
     }
 
     #[test]

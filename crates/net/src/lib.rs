@@ -51,4 +51,4 @@ pub use traffic::{drive, TrafficConfig, TrafficReport};
 pub use transport::{loopback_pair, LoopbackTransport, NetError, Transport};
 
 #[cfg(unix)]
-pub use transport::UdsTransport;
+pub use transport::{uds_pair, UdsTransport};

@@ -9,10 +9,12 @@
 //! point by construction — the shard's message loop serializes arrivals,
 //! evictions, and rejoins the same way PR 4's releaser window serializes
 //! shape changes. A shard that observes all of its live sessions arrived
-//! reports *one* batched completeness bit to the root (an atomic
-//! `shards_done` counter); the shard whose report completes the root
-//! count performs the release — bump the global episode, reset the root
-//! counter, broadcast a `Release` control message — and every shard
+//! reports *one* batched completeness bit to the root (its
+//! `shard_reported` flag — per-shard, so a report keeps its identity
+//! and a dead shard's stale report is simply ignored); the shard whose
+//! report completes the root view performs the release — bump the
+//! global episode, clear the reported flags, broadcast a `Release`
+//! control message — and every shard
 //! fans the release out to its own clients. Arrival traffic therefore
 //! aggregates up the tree (sessions → shard → root) and the release
 //! broadcasts back down, exactly the paper's arrival/release split.
@@ -29,10 +31,14 @@
 //!   dead client. The client observes [`Response::Evicted`] and may
 //!   rejoin with a fresh `Hello`.
 //! * **Shard leases** — every shard beats a root supervisor each loop
-//!   tick; the lowest-indexed live shard polls it. A shard declared
-//!   dead is folded out of the root count (episodes complete without
-//!   it), its sessions are notified `Evicted` best-effort, and their
-//!   routing assignments are cleared so rejoins land on surviving
+//!   tick; each shard is polled by exactly one peer (the lowest-indexed
+//!   live shard polls everyone else, the second-lowest polls the
+//!   lowest, so even the poller's own death is detected). A shard
+//!   declared dead is folded out of the root view (episodes complete
+//!   without it — its reported flag stops counting, never the other
+//!   way), it observes the declaration and exits rather than serving on
+//!   as a zombie, its sessions are notified `Evicted` best-effort, and
+//!   their routing assignments are cleared so rejoins land on surviving
 //!   shards — graceful shard degradation rather than a wedged epoch.
 //!
 //! # Idempotency
@@ -138,6 +144,9 @@ impl OutSink {
             }
             #[cfg(unix)]
             OutSink::Uds(sock) => {
+                // The socket is nonblocking: a client that stopped
+                // draining its buffer gets wire loss (WouldBlock,
+                // swallowed here), never a blocked shard thread.
                 let _ = sock.send(frame);
             }
         }
@@ -167,9 +176,16 @@ struct Assignment {
 struct Shared {
     /// The global current episode. Bumped (CAS) by the releasing shard.
     episode: AtomicU64,
-    /// Shards that reported their sessions complete for the current
-    /// episode — the root counter of the combining tree.
-    shards_done: AtomicU64,
+    /// Per-shard "all my live sessions arrived for the current episode"
+    /// flags — the root state of the combining tree, cleared by the
+    /// release winner. Keyed by shard (not a bare counter) so a report
+    /// keeps its identity: `try_release` only counts a flag paired with
+    /// a *live* shard, which retracts a dead shard's stale report
+    /// implicitly. A counter could not do that — a shard that reported
+    /// and then died would keep satisfying `done >= live` against the
+    /// post-death live count while a surviving shard still owed its own
+    /// report, releasing the episode early.
+    shard_reported: Vec<AtomicBool>,
     /// Live (not declared dead) shard count.
     live_shards: AtomicU64,
     shard_alive: Vec<AtomicBool>,
@@ -201,18 +217,29 @@ struct Router {
     assign: Mutex<HashMap<SessionId, Assignment>>,
     outbox: Mutex<HashMap<ConnId, OutSink>>,
     next_conn: AtomicU64,
+    /// Per-shard session slot capacity, mirrored from `ServerConfig` so
+    /// `pick_shard` can steer admissions toward headroom.
+    session_capacity: u64,
     shared: Arc<Shared>,
 }
 
 impl Router {
-    /// First live shard at or after the session's home slot, probing
-    /// forward so a dead home shard degrades to a neighbor.
+    /// First live shard *with admission headroom* at or after the
+    /// session's home slot, probing forward so a dead or full home
+    /// shard degrades to a neighbor. Fullness matters because
+    /// assignments are sticky while the shard lives: a `Hello` routed
+    /// to a shard with no free slot would otherwise pin every retry to
+    /// that same shard until the client's attempts burn out. The
+    /// published live-session counts are a racy approximation of slot
+    /// occupancy; a losing race just drops the `Hello` at the shard
+    /// (which clears the assignment) and the retry probes again.
     fn pick_shard(&self, session: SessionId) -> Option<usize> {
         let n = self.shard_tx.len();
         let home = (session % n as u64) as usize;
-        (0..n)
-            .map(|k| (home + k) % n)
-            .find(|&s| self.shared.shard_alive[s].load(Ordering::Acquire))
+        (0..n).map(|k| (home + k) % n).find(|&s| {
+            self.shared.shard_alive[s].load(Ordering::Acquire)
+                && self.shared.live_sessions[s].load(Ordering::Acquire) < self.session_capacity
+        })
     }
 
     /// Ingress: decode, resolve the session's shard (reassigning away
@@ -398,7 +425,18 @@ impl ShardState {
             other => {
                 let rejoining = other.is_some();
                 let Some(slot) = self.alloc_slot() else {
-                    return; // at capacity: drop, client retries elsewhere
+                    // At capacity. Assignments are sticky while a shard
+                    // lives, so leaving one pointing here would pin
+                    // every retry to this full shard until join()
+                    // burned its attempts; clear it so the retry's
+                    // route() re-probes and lands on a shard with
+                    // headroom (pick_shard skips full shards via the
+                    // published live-session counts).
+                    let mut assign = self.router.assign.lock().unwrap_or_else(|e| e.into_inner());
+                    if assign.get(&session).is_some_and(|a| a.shard == self.idx) {
+                        assign.remove(&session);
+                    }
+                    return;
                 };
                 self.sessions.insert(
                     session,
@@ -597,7 +635,7 @@ impl ShardState {
     fn check_complete(&mut self) {
         if !self.reported && (self.live == 0 || self.arrived >= self.live) {
             self.reported = true;
-            self.shared.shards_done.fetch_add(1, Ordering::AcqRel);
+            self.shared.shard_reported[self.idx].store(true, Ordering::Release);
         }
         try_release(&self.shared, &self.router);
     }
@@ -648,17 +686,23 @@ impl ShardState {
         }
     }
 
-    /// Root-lease pass: the lowest-indexed live shard checks its peers.
+    /// Root-lease pass. Each target is polled by exactly one shard —
+    /// the lowest-indexed live shard *other than the target* (the
+    /// supervisor's miss counters escalate one miss per poll, so
+    /// concurrent pollers of the same target would fast-track a
+    /// declaration). In practice: the lowest live shard polls every
+    /// peer, and the second-lowest polls the lowest — so the poller's
+    /// own death is detected too, instead of silently ending all
+    /// detection.
     fn poll_shards(&mut self) {
         let alive: Vec<usize> = (0..self.shared.shard_alive.len())
             .filter(|&s| self.shared.shard_alive[s].load(Ordering::Acquire))
             .collect();
-        if alive.first() != Some(&self.idx) {
-            return;
-        }
         let stragglers: Vec<u32> = alive
             .iter()
-            .filter(|&&s| s != self.idx)
+            .filter(|&&target| {
+                target != self.idx && alive.iter().find(|&&s| s != target) == Some(&self.idx)
+            })
             .map(|&s| s as u32)
             .collect();
         if stragglers.is_empty() {
@@ -677,15 +721,23 @@ impl ShardState {
 }
 
 /// The downward half of the root: if every live shard has reported and
-/// any session exists, the winning CAS bumps the episode, resets the
-/// root counter, and broadcasts the release. Any shard (or the shard
+/// any session exists, the winning CAS bumps the episode, clears the
+/// reported flags, and broadcasts the release. Any shard (or the shard
 /// poller, after folding a dead shard out) may perform it; the CAS
-/// guarantees exactly one winner per episode.
+/// guarantees exactly one winner per episode. Reports are read *paired
+/// with liveness* — a dead shard's stale flag never counts — so a
+/// shard death can only delay a release, never complete one early.
 fn try_release(shared: &Shared, router: &Router) {
     let ep = shared.episode.load(Ordering::Acquire);
-    let done = shared.shards_done.load(Ordering::Acquire);
-    let live = shared.live_shards.load(Ordering::Acquire);
-    if done < live || shared.total_sessions() == 0 {
+    let all_reported =
+        shared
+            .shard_alive
+            .iter()
+            .zip(&shared.shard_reported)
+            .all(|(alive, reported)| {
+                !alive.load(Ordering::Acquire) || reported.load(Ordering::Acquire)
+            });
+    if !all_reported || shared.total_sessions() == 0 {
         return;
     }
     if shared
@@ -695,9 +747,11 @@ fn try_release(shared: &Shared, router: &Router) {
     {
         return; // another shard released this episode
     }
-    // Between the CAS and this reset no shard can report for the new
+    // Between the CAS and these resets no shard can report for the new
     // episode: reports only follow the Release control message below.
-    shared.shards_done.store(0, Ordering::Release);
+    for reported in &shared.shard_reported {
+        reported.store(false, Ordering::Release);
+    }
     shared.released.fetch_add(1, Ordering::Release);
     for (s, tx) in router.shard_tx.iter().enumerate() {
         if shared.shard_alive[s].load(Ordering::Acquire) {
@@ -741,7 +795,10 @@ fn declare_shard_dead(shared: &Shared, router: &Router, shard: usize) {
         combar_trace::emit(episode as u32, session as u32, Kind::Evict(session as u32));
         router.respond(conn, Response::Evicted { session, episode });
     }
-    // The dead shard may have been the missing report.
+    // The dead shard may have been the missing report — and if it had
+    // instead *already* reported, try_release now disregards that stale
+    // flag (reports only count paired with a live shard), so a survivor
+    // that still owes its own report keeps the episode open.
     try_release(shared, router);
 }
 
@@ -755,8 +812,22 @@ fn run_shard(
     let tick = cfg.tick;
     let mut st = ShardState::new(idx, shared.clone(), router, cfg);
     loop {
+        // A shard the root lease declared dead must stop serving even
+        // when the declaration was a false positive (a stalled-but-
+        // alive thread): its sessions were evicted and rerouted the
+        // moment it was declared, so anything it did from here —
+        // reporting its stale frame complete, answering sessions that
+        // rejoined elsewhere — would be a zombie copy of state that now
+        // lives on the surviving shards.
+        if !shared.shard_alive[idx].load(Ordering::Acquire) {
+            return;
+        }
         shared.shard_super.beat(idx as u32);
-        match inbox.recv_timeout(tick) {
+        let msg = inbox.recv_timeout(tick);
+        if !shared.shard_alive[idx].load(Ordering::Acquire) {
+            return; // declared dead while parked in recv
+        }
+        match msg {
             Ok(ShardMsg::Net(conn, req)) => st.handle(conn, req),
             Ok(ShardMsg::Release(ep)) => st.on_release(ep),
             Ok(ShardMsg::Stall) => return, // simulated crash: no cleanup
@@ -786,7 +857,7 @@ impl EpochServer {
         let shards = cfg.shards;
         let shared = Arc::new(Shared {
             episode: AtomicU64::new(0),
-            shards_done: AtomicU64::new(0),
+            shard_reported: (0..shards).map(|_| AtomicBool::new(false)).collect(),
             live_shards: AtomicU64::new(shards as u64),
             shard_alive: (0..shards).map(|_| AtomicBool::new(true)).collect(),
             live_sessions: (0..shards).map(|_| AtomicU64::new(0)).collect(),
@@ -807,6 +878,7 @@ impl EpochServer {
             assign: Mutex::new(HashMap::new()),
             outbox: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
+            session_capacity: u64::from(cfg.session_capacity),
             shared: shared.clone(),
         });
         let shard_handles = rxs
@@ -851,20 +923,30 @@ impl EpochServer {
         }
     }
 
-    /// Opens a Unix-domain datagram connection (a real socketpair with
+    /// Opens a Unix-domain datagram connection (real socketpairs with
     /// a per-connection server-side pump thread).
+    ///
+    /// Two pairs, one per direction, so each side's *send* socket can
+    /// be nonblocking — a full buffer is wire loss, and a client that
+    /// stops reading must never block a shard thread mid-broadcast —
+    /// while each side's *recv* socket keeps its blocking read timeout.
+    /// (One shared socketpair cannot do this: `O_NONBLOCK` lives on the
+    /// open file description, so flipping it for sends would also make
+    /// the receive path spin.)
     #[cfg(unix)]
     pub fn connect_uds(&self) -> std::io::Result<crate::transport::UdsTransport> {
         use std::os::unix::net::UnixDatagram;
-        let (server_side, client_side) = UnixDatagram::pair()?;
-        server_side.set_read_timeout(Some(Duration::from_millis(20)))?;
-        let send_half = server_side.try_clone()?;
+        let (c2s_client, c2s_server) = UnixDatagram::pair()?;
+        let (s2c_server, s2c_client) = UnixDatagram::pair()?;
+        c2s_server.set_read_timeout(Some(Duration::from_millis(20)))?;
+        c2s_client.set_nonblocking(true)?;
+        s2c_server.set_nonblocking(true)?;
         let conn = self.router.next_conn.fetch_add(1, Ordering::Relaxed);
         self.router
             .outbox
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .insert(conn, OutSink::Uds(send_half));
+            .insert(conn, OutSink::Uds(s2c_server));
         let router = self.router.clone();
         let shared = self.shared.clone();
         let pump = std::thread::Builder::new()
@@ -875,7 +957,7 @@ impl EpochServer {
                     if shared.shutdown.load(Ordering::Acquire) {
                         return;
                     }
-                    match server_side.recv(&mut buf) {
+                    match c2s_server.recv(&mut buf) {
                         Ok(n) => router.route(conn, &buf[..n]),
                         Err(e)
                             if e.kind() == std::io::ErrorKind::WouldBlock
@@ -891,7 +973,10 @@ impl EpochServer {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .push(pump);
-        Ok(crate::transport::UdsTransport { sock: client_side })
+        Ok(crate::transport::UdsTransport {
+            send_sock: c2s_client,
+            recv_sock: s2c_client,
+        })
     }
 
     /// The current global episode number.
@@ -1126,6 +1211,97 @@ mod tests {
                 "session {sid} stalled: {st:?}"
             );
         }
+        server.shutdown();
+    }
+
+    /// The root must pair completeness reports with shard liveness: a
+    /// shard that reported complete and then died must not leave a
+    /// stale report that — against the post-death live count —
+    /// releases the episode while a surviving shard's session still
+    /// owes its arrival. (A bare `shards_done` counter had exactly
+    /// this hazard: the count kept the dead shard's report while
+    /// `live` lost the shard, so `done >= live` came true one genuine
+    /// arrival short.)
+    #[test]
+    fn dead_shards_stale_report_cannot_release_early() {
+        let server = EpochServer::start(ServerConfig {
+            shards: 2,
+            tick: Duration::from_micros(200),
+            // Sessions effectively never lease out; only the shard dies.
+            lease: SupervisorConfig {
+                min_grace: Duration::from_secs(30),
+                sigma_mult: 4.0,
+                max_misses: 30,
+            },
+            shard_lease: SupervisorConfig {
+                min_grace: Duration::from_millis(2),
+                sigma_mult: 4.0,
+                max_misses: 2,
+            },
+            ..ServerConfig::default()
+        });
+        // Session 0 homes on shard 0, session 1 on shard 1.
+        let mut c0 = BarrierClient::new(server.connect(), 0, ClientConfig::default());
+        let mut c1 = BarrierClient::new(server.connect(), 1, ClientConfig::default());
+        c0.join().unwrap();
+        c1.join().unwrap();
+        // Let the join-side proxy arrivals settle: shard 1's membership
+        // (only session 1, proxy-arrived) is complete, so its reported
+        // flag is up, while shard 0 waits on session 0's real arrival.
+        std::thread::sleep(Duration::from_millis(10));
+        let ep = server.episode();
+        // The reported shard dies. (Shard 0 is a root poller, so its
+        // peer's death is detected.)
+        server.stall_shard(1);
+        let t = Instant::now();
+        while server.live_shards() != 1 {
+            assert!(
+                t.elapsed() < Duration::from_secs(5),
+                "shard death undetected"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Session 0 still owes its arrival, so the in-flight episode
+        // must stay open — the dead shard's report must not combine
+        // with the shrunken live count into an early release.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(
+            server.episode(),
+            ep,
+            "released on a dead shard's stale report"
+        );
+        // Session 0's real arrival (after draining any stale releases
+        // of already-completed episodes) is what releases the episode.
+        let t = Instant::now();
+        while server.episode() == ep {
+            c0.arrive().unwrap();
+            assert!(
+                t.elapsed() < Duration::from_secs(5),
+                "no release after arrival"
+            );
+        }
+        server.shutdown();
+    }
+
+    /// Router assignments are sticky, so a shard with no free session
+    /// slot must shed the assignment when it drops a `Hello` — and the
+    /// router must probe past full shards — or every retry lands on
+    /// the same full shard until join() exhausts its attempts.
+    #[test]
+    fn full_shard_redirects_new_sessions_to_headroom() {
+        let server = EpochServer::start(ServerConfig {
+            shards: 2,
+            session_capacity: 2,
+            ..quick_cfg(2)
+        });
+        // Sessions 0, 2, 4 all home on shard 0 (session % 2); capacity
+        // seats two, so the third must be admitted by shard 1.
+        for sid in [0u64, 2, 4] {
+            let mut c = BarrierClient::new(server.connect(), sid, ClientConfig::default());
+            c.join()
+                .unwrap_or_else(|e| panic!("session {sid} failed to join: {e:?}"));
+        }
+        assert_eq!(server.live_sessions(), 3);
         server.shutdown();
     }
 

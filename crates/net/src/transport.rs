@@ -13,10 +13,13 @@
 //!   server's shard inboxes. Cheap enough to open thousands of
 //!   connections inside one process; this is what the traffic
 //!   generator and the benches use.
-//! * [`UdsTransport`] — a `UnixDatagram` socketpair (Unix only),
-//!   pumping received frames through a per-connection reader thread on
-//!   the server side. Real file descriptors, real copies, real
-//!   syscalls — the "crossed a process boundary"-shaped configuration.
+//! * [`UdsTransport`] — `UnixDatagram` socketpairs (Unix only), one
+//!   per direction so the send half can be nonblocking (a full kernel
+//!   buffer is wire loss, never a blocked sender) while the recv half
+//!   keeps a blocking read timeout; received frames are pumped through
+//!   a per-connection reader thread on the server side. Real file
+//!   descriptors, real copies, real syscalls — the "crossed a process
+//!   boundary"-shaped configuration.
 
 use std::sync::mpsc;
 use std::time::Duration;
@@ -112,17 +115,24 @@ pub fn loopback_pair() -> (LoopbackTransport, LoopbackTransport) {
     (a, b)
 }
 
-/// A Unix-domain datagram endpoint (client side of a socketpair).
+/// A Unix-domain datagram endpoint: one connected socket per
+/// direction. The send socket is nonblocking — a full kernel buffer is
+/// wire loss, never a blocked caller — and the recv socket blocks
+/// under a read timeout. The split is forced by the kernel:
+/// `O_NONBLOCK` is a property of the open file description, so one
+/// dual-use socket cannot be nonblocking for sends yet blocking (with
+/// `SO_RCVTIMEO`) for receives.
 #[cfg(unix)]
 #[derive(Debug)]
 pub struct UdsTransport {
-    pub(crate) sock: std::os::unix::net::UnixDatagram,
+    pub(crate) send_sock: std::os::unix::net::UnixDatagram,
+    pub(crate) recv_sock: std::os::unix::net::UnixDatagram,
 }
 
 #[cfg(unix)]
 impl Transport for UdsTransport {
     fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
-        match self.sock.send(frame) {
+        match self.send_sock.send(frame) {
             Ok(_) => Ok(()),
             // A full socket buffer is wire loss, not a dead peer.
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(()),
@@ -134,11 +144,11 @@ impl Transport for UdsTransport {
         // A zero timeout means "do not block", which `set_read_timeout`
         // rejects; clamp to the shortest representable wait.
         let t = timeout.max(Duration::from_micros(1));
-        if self.sock.set_read_timeout(Some(t)).is_err() {
+        if self.recv_sock.set_read_timeout(Some(t)).is_err() {
             return Err(NetError::Closed);
         }
         let mut buf = [0u8; 256];
-        match self.sock.recv(&mut buf) {
+        match self.recv_sock.recv(&mut buf) {
             Ok(n) => Ok(buf[..n].to_vec()),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
@@ -149,6 +159,28 @@ impl Transport for UdsTransport {
             Err(_) => Err(NetError::Closed),
         }
     }
+}
+
+/// A symmetric Unix-datagram pair (two socketpairs, one per
+/// direction), for tests that need a real-socket wire without a server
+/// behind it.
+#[cfg(unix)]
+pub fn uds_pair() -> std::io::Result<(UdsTransport, UdsTransport)> {
+    use std::os::unix::net::UnixDatagram;
+    let (a2b_send, a2b_recv) = UnixDatagram::pair()?;
+    let (b2a_send, b2a_recv) = UnixDatagram::pair()?;
+    a2b_send.set_nonblocking(true)?;
+    b2a_send.set_nonblocking(true)?;
+    Ok((
+        UdsTransport {
+            send_sock: a2b_send,
+            recv_sock: b2a_recv,
+        },
+        UdsTransport {
+            send_sock: b2a_send,
+            recv_sock: a2b_recv,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -186,14 +218,28 @@ mod tests {
     #[cfg(unix)]
     #[test]
     fn uds_roundtrips_frames() {
-        let (s1, s2) = std::os::unix::net::UnixDatagram::pair().unwrap();
-        let mut a = UdsTransport { sock: s1 };
-        let mut b = UdsTransport { sock: s2 };
+        let (mut a, mut b) = uds_pair().unwrap();
         a.send(b"ping").unwrap();
         assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), b"ping");
+        b.send(b"pong").unwrap();
+        assert_eq!(a.recv_timeout(Duration::from_secs(1)).unwrap(), b"pong");
         assert_eq!(
             a.recv_timeout(Duration::from_millis(5)),
             Err(NetError::Timeout)
         );
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_send_never_blocks_on_a_full_buffer() {
+        let (mut a, _b) = uds_pair().unwrap();
+        // Nobody reads: the kernel buffer fills and further sends must
+        // degrade to wire loss (Ok) instead of parking the caller —
+        // the hang this guards against would block a shard thread for
+        // as long as a client neglects its socket.
+        let frame = [0u8; 200];
+        for _ in 0..10_000 {
+            a.send(&frame).unwrap();
+        }
     }
 }
