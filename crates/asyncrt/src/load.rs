@@ -1,0 +1,219 @@
+//! Deterministic load harness: many logical participants, few drivers,
+//! σ-imbalanced per-epoch work.
+//!
+//! The paper's subject is what load imbalance does to a barrier; this
+//! harness is that experiment restated for the async runtime. Every
+//! participant does a deterministic, seeded amount of busy work before
+//! each arrival — per-(participant, epoch) draws from an approximate
+//! normal with relative spread [`LoadConfig::sigma`] — then crosses the
+//! shared [`AsyncBarrier`]. With `p` in the hundreds of thousands and
+//! a single-digit driver count, the run exercises exactly the regime
+//! the runtime exists for: arrival combining through shards, one root
+//! decision per epoch, and batched wakeup fan-out, all while the OS
+//! sees only [`LoadConfig::drivers`] runnable threads.
+//!
+//! Everything is seeded and hash-derived (no RNG state shared between
+//! participants), so a run is reproducible bit-for-bit across driver
+//! counts — the determinism CI diffs with `COMBAR_THREADS=1` vs `2`
+//! relies on the *work schedule* being a pure function of
+//! `(seed, tid, epoch)`.
+
+use std::time::{Duration, Instant};
+
+use combar_rt::{AsyncBarrier, Deadline, Executor};
+
+/// Shape of one load run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Logical participants (each one spawned task + one barrier seat).
+    pub participants: u32,
+    /// Arrival shards in the barrier's combining layer.
+    pub shards: u32,
+    /// Driver OS threads multiplexing the participants.
+    pub drivers: usize,
+    /// Epochs every participant crosses.
+    pub episodes: u32,
+    /// Mean busy-work iterations per participant per epoch.
+    pub work_mean: u32,
+    /// Relative imbalance: the per-(participant, epoch) work draw has
+    /// standard deviation `sigma · work_mean` (clamped at zero).
+    pub sigma: f64,
+    /// Seed for the deterministic work schedule.
+    pub seed: u64,
+    /// Record wakeup-batch latency (one clock pair per release batch).
+    pub record_latency: bool,
+    /// How long the executor may take to drain after the last spawn.
+    pub idle_budget: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            participants: 1024,
+            shards: 8,
+            drivers: 4,
+            episodes: 20,
+            work_mean: 32,
+            sigma: 0.5,
+            seed: 0xa57c_10ad,
+            record_latency: false,
+            idle_budget: Duration::from_secs(240),
+        }
+    }
+}
+
+/// Outcome of one load run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadReport {
+    /// The configuration driven.
+    pub cfg: LoadConfig,
+    /// Wall-clock time from first spawn to executor drain.
+    pub elapsed: Duration,
+    /// Barrier epochs completed per second.
+    pub epochs_per_sec: f64,
+    /// Individual crossings (participants × episodes) per second.
+    pub crossings_per_sec: f64,
+    /// `(p50, p95, p99)` wakeup-batch latency in nanoseconds, when
+    /// recording was enabled.
+    pub wake_latency_ns: Option<(u64, u64, u64)>,
+    /// The barrier's final epoch (equals `episodes` on a clean run).
+    pub final_epoch: u32,
+}
+
+/// `splitmix64`-style finalizer: the hash behind the work schedule.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The deterministic per-(participant, epoch) work draw: approximately
+/// normal via an Irwin–Hall sum of four uniforms (mean 2, variance ⅓,
+/// so `z = (s − 2)·√3`), scaled to `mean · (1 + sigma · z)` and clamped
+/// at zero. Pure in `(seed, tid, epoch)` — the determinism diff depends
+/// on that.
+pub fn work_iters(seed: u64, tid: u32, epoch: u32, mean: u32, sigma: f64) -> u32 {
+    if mean == 0 {
+        return 0;
+    }
+    let mut h = mix(seed ^ (u64::from(tid) << 32) ^ u64::from(epoch));
+    let mut s = 0.0_f64;
+    for _ in 0..4 {
+        h = mix(h);
+        // 53 high bits → U(0, 1).
+        s += (h >> 11) as f64 / (1u64 << 53) as f64;
+    }
+    let z = (s - 2.0) * 1.732_050_807_568_877_2; // √3
+    (f64::from(mean) * (1.0 + sigma * z)).max(0.0) as u32
+}
+
+/// Burns `iters` iterations of un-optimizable integer work.
+#[inline]
+pub fn busy_work(iters: u32) {
+    let mut acc = 0u64;
+    for i in 0..u64::from(iters) {
+        acc = acc.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i);
+        std::hint::black_box(acc);
+    }
+}
+
+/// Runs the configured load to completion and reports.
+///
+/// # Panics
+///
+/// Panics when the run is not clean: a participant task panicked, the
+/// barrier poisoned, the executor failed to drain within
+/// [`LoadConfig::idle_budget`], or the final epoch is not exactly
+/// [`LoadConfig::episodes`] (every epoch released exactly once).
+pub fn run_load(cfg: &LoadConfig) -> LoadReport {
+    let b = AsyncBarrier::new(cfg.participants, cfg.shards);
+    if cfg.record_latency {
+        b.record_wake_latency();
+    }
+    let exec = Executor::new(cfg.drivers);
+    let started = Instant::now();
+    for tid in 0..cfg.participants {
+        let b = b.clone();
+        let cfg = *cfg;
+        exec.spawn(async move {
+            let mut w = b.waiter_for(tid);
+            for e in 0..cfg.episodes {
+                busy_work(work_iters(cfg.seed, tid, e, cfg.work_mean, cfg.sigma));
+                w.wait_async().await.unwrap();
+            }
+        });
+    }
+    assert!(
+        exec.wait_idle(Deadline::after(cfg.idle_budget)),
+        "load run failed to drain within {:?} (epoch {} of {}, {} tasks live)",
+        cfg.idle_budget,
+        b.epoch(),
+        cfg.episodes,
+        exec.active(),
+    );
+    let elapsed = started.elapsed();
+    assert_eq!(exec.panics(), 0, "participant task panicked");
+    assert!(!b.is_poisoned(), "load run poisoned the barrier");
+    assert_eq!(
+        b.epoch(),
+        cfg.episodes,
+        "exactly one release per episode expected"
+    );
+    let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    LoadReport {
+        cfg: *cfg,
+        elapsed,
+        epochs_per_sec: f64::from(cfg.episodes) / secs,
+        crossings_per_sec: f64::from(cfg.episodes) * f64::from(cfg.participants) / secs,
+        wake_latency_ns: b.wake_latency_percentiles(),
+        final_epoch: b.epoch(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_schedule_is_deterministic_and_imbalanced() {
+        let a = work_iters(7, 3, 5, 1000, 0.5);
+        let b = work_iters(7, 3, 5, 1000, 0.5);
+        assert_eq!(a, b, "pure in (seed, tid, epoch)");
+        assert_ne!(
+            work_iters(7, 3, 5, 1000, 0.5),
+            work_iters(8, 3, 5, 1000, 0.5),
+            "seed changes the draw"
+        );
+        assert_eq!(work_iters(7, 3, 5, 0, 0.5), 0, "zero mean is zero work");
+        // σ = 0 collapses to the mean; σ > 0 actually spreads.
+        let flat: Vec<u32> = (0..64).map(|t| work_iters(7, t, 0, 1000, 0.0)).collect();
+        assert!(flat.iter().all(|&w| w == 1000));
+        let spread: Vec<u32> = (0..64).map(|t| work_iters(7, t, 0, 1000, 0.5)).collect();
+        let lo = *spread.iter().min().unwrap();
+        let hi = *spread.iter().max().unwrap();
+        assert!(lo < 1000 && hi > 1000, "spread [{lo}, {hi}] straddles mean");
+        let mean = spread.iter().map(|&w| u64::from(w)).sum::<u64>() / 64;
+        assert!((700..=1300).contains(&mean), "mean {mean} near nominal");
+    }
+
+    #[test]
+    fn small_load_run_reports_cleanly() {
+        let cfg = LoadConfig {
+            participants: 256,
+            shards: 4,
+            drivers: 2,
+            episodes: 10,
+            work_mean: 16,
+            sigma: 1.0,
+            record_latency: true,
+            ..LoadConfig::default()
+        };
+        let r = run_load(&cfg);
+        assert_eq!(r.final_epoch, 10);
+        assert!(r.epochs_per_sec > 0.0);
+        assert!(r.crossings_per_sec >= r.epochs_per_sec);
+        let (p50, p95, p99) = r.wake_latency_ns.expect("latency recorded");
+        assert!(p50 <= p95 && p95 <= p99);
+    }
+}

@@ -8,7 +8,8 @@
 //! ```
 //!
 //! Available ids: fig2, fig3, fig4, fig5, sec4-mcs, fig8, fig9, fig10,
-//! fig11, fig12, fig13, ablate, adaptive, chaos, churn, server, trace,
+//! fig11, fig12, fig13, ablate, adaptive, chaos, churn, server, async,
+//! trace,
 //! fuzzy-idle, release, baselines, verify, all. A `--quick` flag
 //! shrinks replication counts for smoke runs; `--list` prints the
 //! available ids and exits; `--only a,b,c` selects a comma-separated
@@ -23,10 +24,12 @@
 //! by `COMBAR_THREADS` (default: all cores) and never changes any
 //! output byte.
 
-use combar::presets::{Fig12, Fig13, Fig2, Fig3Grid, Fig5, Fig8, ScalingSweep, ServerSim};
+use combar::presets::{
+    AsyncLoad, Fig12, Fig13, Fig2, Fig3Grid, Fig5, Fig8, ScalingSweep, ServerSim,
+};
 use combar_bench::experiments::{
-    ablate, adaptive, baselines, chaos, churn, fig2, fig34, fig5, fig8, fuzzy_idle, ksr, mcs,
-    release, scaling, seeds, server, trace,
+    ablate, adaptive, asyncrt, baselines, chaos, churn, fig2, fig34, fig5, fig8, fuzzy_idle, ksr,
+    mcs, release, scaling, seeds, server, trace,
 };
 use combar_bench::table::{json_escape, parse_rendered};
 use std::time::Instant;
@@ -49,6 +52,7 @@ const ALL_IDS: &[&str] = &[
     "chaos",
     "churn",
     "server",
+    "async",
     "trace",
     "fuzzy-idle",
     "release",
@@ -303,6 +307,14 @@ fn main() {
                     ServerSim::full()
                 };
                 format!("{}\n", server::run(&preset).render())
+            }
+            "async" => {
+                let preset = if quick {
+                    AsyncLoad::quick()
+                } else {
+                    AsyncLoad::full()
+                };
+                format!("{}\n", asyncrt::run(&preset).render())
             }
             "trace" => {
                 let preset = if quick {

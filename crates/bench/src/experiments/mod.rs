@@ -4,6 +4,7 @@
 
 pub mod ablate;
 pub mod adaptive;
+pub mod asyncrt;
 pub mod baselines;
 pub mod chaos;
 pub mod churn;

@@ -21,8 +21,8 @@
 //! and is excluded; its DES companion (the replayed fault timeline) is
 //! deterministic and snapshotted via [`chaos_des_small`].
 
-use crate::experiments::{chaos, churn, fig2, fig8, seeds, server, trace};
-use combar::presets::{Fig2, Fig8, ServerSim};
+use crate::experiments::{asyncrt, chaos, churn, fig2, fig8, seeds, server, trace};
+use combar::presets::{AsyncLoad, Fig2, Fig8, ServerSim};
 use std::time::Duration;
 
 /// Figure 2 (sync delay vs degree) at 256 processors, 4 replications.
@@ -72,6 +72,15 @@ pub fn churn_small() -> String {
 /// table is byte-stable like the rest of this file.
 pub fn server_small() -> String {
     server::run(&ServerSim::quick()).render()
+}
+
+/// The async epoch-runtime experiment on its quick preset. Like
+/// [`trace_small`], the snapshot runs the *real runtime* — logical
+/// participants parked on the in-tree executor — and stays byte-stable
+/// because every column is a protocol invariant or a pure function of
+/// the seeded work schedule, never a wall clock.
+pub fn async_small() -> String {
+    asyncrt::run(&AsyncLoad::quick()).render()
 }
 
 /// The trace experiment (measured critical paths from structured

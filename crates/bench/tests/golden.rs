@@ -71,6 +71,11 @@ fn server_table_is_stable() {
 }
 
 #[test]
+fn async_table_is_stable() {
+    check("async_small.txt", &combar_bench::golden::async_small());
+}
+
+#[test]
 fn trace_tables_are_stable() {
     check("trace_small.txt", &combar_bench::golden::trace_small());
 }
@@ -98,6 +103,10 @@ fn renderings_are_deterministic() {
     assert_eq!(
         combar_bench::golden::server_small(),
         combar_bench::golden::server_small()
+    );
+    assert_eq!(
+        combar_bench::golden::async_small(),
+        combar_bench::golden::async_small()
     );
     assert_eq!(
         combar_bench::golden::trace_small(),

@@ -54,8 +54,10 @@
 #![warn(missing_docs)]
 
 pub mod net;
+pub mod wake;
 
 pub use net::{NetChaosConfig, NetFault, NetFaultPlan};
+pub use wake::{WakeChaosConfig, WakeFaultPlan};
 
 use combar_rng::{Rng, SeedableRng, Xoshiro256pp};
 

@@ -1,0 +1,193 @@
+//! Fault plans for *parked wakers*: the async epoch runtime's failure
+//! modes.
+//!
+//! When a logical participant is a parked [`std::task::Waker`] rather
+//! than an OS thread, the interesting faults are no longer stalls and
+//! yield storms but the handoff between the releasing arrival and the
+//! wait list:
+//!
+//! * **lost wakeups** — the releaser's batched fan-out drops a waker on
+//!   the floor (models a task woken into a dead queue, a waker whose
+//!   task was migrated mid-wake, or an executor bug); the parked
+//!   participant must recover through its own per-logical deadline, not
+//!   hang;
+//! * **cancelled futures** — a wait future is dropped between arrival
+//!   and wakeup (timeout combinator fired, client went away); the
+//!   arrival must stand and the epoch must neither wedge nor release
+//!   twice;
+//! * **driver death** — one of the handful of OS threads driving
+//!   millions of parked participants dies; the surviving drivers must
+//!   drain its queue.
+//!
+//! Like [`crate::FaultPlan`] and [`crate::NetFaultPlan`], a
+//! [`WakeFaultPlan`] is a *pure function* from a coordinate —
+//! `(epoch, wake slot)` for lost wakeups, `(participant, epoch)` for
+//! cancellations — to a fault decision, derived by hashing the
+//! coordinate into the plan's seed ([`combar_rng::split_seed`]). The
+//! plan holds no mutable state, so concurrent release sweeps and
+//! million-entry fan-outs consult it without synchronization and every
+//! replay sees the bit-identical schedule.
+
+use combar_rng::split_seed;
+
+/// Tuning for a [`WakeFaultPlan`].
+#[derive(Debug, Clone, Copy)]
+pub struct WakeChaosConfig {
+    /// Seed for the whole plan.
+    pub seed: u64,
+    /// Probability that one wakeup in a release batch is dropped.
+    pub lost_wake_prob: f64,
+    /// Probability that a participant cancels (drops) its parked wait
+    /// future at a given epoch.
+    pub cancel_prob: f64,
+    /// Driver threads the plan may kill (index < `kill_drivers` are
+    /// eligible; 0 disables driver death).
+    pub kill_drivers: u32,
+    /// Epoch after which an eligible driver dies.
+    pub kill_after_epoch: u32,
+}
+
+impl Default for WakeChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            lost_wake_prob: 0.0,
+            cancel_prob: 0.0,
+            kill_drivers: 0,
+            kill_after_epoch: 0,
+        }
+    }
+}
+
+impl WakeChaosConfig {
+    /// A plan that only loses wakeups, at the given probability.
+    pub fn lossy(seed: u64, lost_wake_prob: f64) -> Self {
+        Self {
+            seed,
+            lost_wake_prob,
+            ..Self::default()
+        }
+    }
+}
+
+/// Deterministic, stateless fault plan for the async wake handoff.
+#[derive(Debug, Clone, Copy)]
+pub struct WakeFaultPlan {
+    cfg: WakeChaosConfig,
+}
+
+/// Maps a coordinate hash to a uniform fraction in `[0, 1)`.
+#[inline]
+fn frac(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl WakeFaultPlan {
+    /// Builds the plan. Probabilities are clamped to `[0, 1]`.
+    pub fn new(mut cfg: WakeChaosConfig) -> Self {
+        cfg.lost_wake_prob = cfg.lost_wake_prob.clamp(0.0, 1.0);
+        cfg.cancel_prob = cfg.cancel_prob.clamp(0.0, 1.0);
+        Self { cfg }
+    }
+
+    /// The configuration the plan was built from.
+    pub fn config(&self) -> &WakeChaosConfig {
+        &self.cfg
+    }
+
+    /// Whether the `slot`-th wakeup of `epoch`'s release fan-out is
+    /// dropped. Slots number wakers across the whole epoch, in fan-out
+    /// order, so the decision is independent of sharding.
+    pub fn drops_wake(&self, epoch: u32, slot: u64) -> bool {
+        if self.cfg.lost_wake_prob <= 0.0 {
+            return false;
+        }
+        let h = split_seed(split_seed(self.cfg.seed, 0x11 ^ u64::from(epoch)), slot);
+        frac(h) < self.cfg.lost_wake_prob
+    }
+
+    /// Whether logical participant `tid` cancels (drops) its parked
+    /// wait future at `epoch`.
+    pub fn cancels(&self, tid: u32, epoch: u32) -> bool {
+        if self.cfg.cancel_prob <= 0.0 {
+            return false;
+        }
+        let h = split_seed(
+            split_seed(self.cfg.seed, 0x22 ^ u64::from(tid)),
+            u64::from(epoch),
+        );
+        frac(h) < self.cfg.cancel_prob
+    }
+
+    /// The epoch after which driver `driver` dies, if scripted.
+    pub fn kills_driver(&self, driver: u32) -> Option<u32> {
+        (driver < self.cfg.kill_drivers).then_some(self.cfg.kill_after_epoch)
+    }
+
+    /// The lost-wake schedule for one epoch's fan-out of `wakes`
+    /// wakeups — the dropped slots, for tests that want the exact
+    /// replayable schedule.
+    pub fn lost_schedule(&self, epoch: u32, wakes: u64) -> Vec<u64> {
+        (0..wakes).filter(|&s| self.drops_wake(epoch, s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic_and_seed_sensitive() {
+        let a = WakeFaultPlan::new(WakeChaosConfig::lossy(7, 0.1));
+        let b = WakeFaultPlan::new(WakeChaosConfig::lossy(7, 0.1));
+        let c = WakeFaultPlan::new(WakeChaosConfig::lossy(8, 0.1));
+        assert_eq!(a.lost_schedule(3, 4096), b.lost_schedule(3, 4096));
+        assert_ne!(a.lost_schedule(3, 4096), c.lost_schedule(3, 4096));
+    }
+
+    #[test]
+    fn rates_are_respected_roughly() {
+        let p = WakeFaultPlan::new(WakeChaosConfig::lossy(42, 0.05));
+        let dropped = p.lost_schedule(0, 100_000).len() as f64 / 100_000.0;
+        assert!((dropped - 0.05).abs() < 0.01, "observed rate {dropped}");
+        // Independent epochs draw independent schedules.
+        assert_ne!(p.lost_schedule(0, 1000), p.lost_schedule(1, 1000));
+    }
+
+    #[test]
+    fn zero_probability_is_silent_and_cancel_is_per_tid() {
+        let quiet = WakeFaultPlan::new(WakeChaosConfig::default());
+        assert!(quiet.lost_schedule(9, 10_000).is_empty());
+        assert!(!quiet.cancels(1, 1));
+        assert_eq!(quiet.kills_driver(0), None);
+
+        let p = WakeFaultPlan::new(WakeFaultConfigHelper::cancels(5, 0.5));
+        let hits: Vec<bool> = (0..64).map(|t| p.cancels(t, 2)).collect();
+        assert!(hits.iter().any(|&x| x) && hits.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn driver_kill_schedule() {
+        let p = WakeFaultPlan::new(WakeChaosConfig {
+            seed: 1,
+            kill_drivers: 2,
+            kill_after_epoch: 10,
+            ..WakeChaosConfig::default()
+        });
+        assert_eq!(p.kills_driver(0), Some(10));
+        assert_eq!(p.kills_driver(1), Some(10));
+        assert_eq!(p.kills_driver(2), None);
+    }
+
+    /// Test-local helper: a config with only cancellations.
+    struct WakeFaultConfigHelper;
+    impl WakeFaultConfigHelper {
+        fn cancels(seed: u64, prob: f64) -> WakeChaosConfig {
+            WakeChaosConfig {
+                seed,
+                cancel_prob: prob,
+                ..WakeChaosConfig::default()
+            }
+        }
+    }
+}

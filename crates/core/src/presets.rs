@@ -153,6 +153,13 @@ pub mod seeds {
     pub fn server(loss: f64, k: u32) -> u64 {
         BASE ^ 0x5e41e4 ^ ((k as u64) << 8) ^ loss.to_bits()
     }
+
+    /// Async logical-scale load cell for `p` participants at relative
+    /// imbalance `sigma` (drives the deterministic per-(participant,
+    /// epoch) work schedule).
+    pub fn async_load(p: u32, sigma: f64) -> u64 {
+        BASE ^ 0xa5c ^ (u64::from(p) << 16) ^ sigma.to_bits()
+    }
 }
 
 use combar_exec::Sweep;
@@ -455,6 +462,59 @@ impl ServerSim {
 }
 
 impl Default for ServerSim {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// Beyond-paper preset: the async epoch runtime's logical-scale grid
+/// (`experiments -- async`). Participants are parked wakers multiplexed
+/// by a few driver threads, so the participant axis reaches scales no
+/// thread-per-participant experiment can; the σ axis is the paper's
+/// load-imbalance knob applied per (participant, epoch). The rendered
+/// columns are schedule *invariants* (arrival totals, final epoch,
+/// deterministic work-schedule statistics), so the table is
+/// byte-identical under any `COMBAR_THREADS`. The wall-clock companion
+/// is `benches/async_throughput.rs` → `BENCH_async.json`.
+#[derive(Debug, Clone)]
+pub struct AsyncLoad {
+    /// Logical participant counts, one table row each per σ.
+    pub participants: Vec<u32>,
+    /// Arrival shards in the barrier's combining layer.
+    pub shards: u32,
+    /// Epochs every participant crosses.
+    pub episodes: u32,
+    /// Mean busy-work iterations per participant per epoch.
+    pub work_mean: u32,
+    /// Relative imbalance values (σ / mean of the work draw).
+    pub sigmas: Vec<f64>,
+}
+
+impl AsyncLoad {
+    /// Full grid: up to 16k logical participants on the release
+    /// experiment runner.
+    pub fn full() -> Self {
+        Self {
+            participants: vec![1_024, 4_096, 16_384],
+            shards: 16,
+            episodes: 20,
+            work_mean: 64,
+            sigmas: vec![0.0, 0.5, 1.0],
+        }
+    }
+
+    /// Shrunk grid for smoke passes and the golden snapshot.
+    pub fn quick() -> Self {
+        Self {
+            participants: vec![256, 1_024],
+            episodes: 10,
+            sigmas: vec![0.0, 1.0],
+            ..Self::full()
+        }
+    }
+}
+
+impl Default for AsyncLoad {
     fn default() -> Self {
         Self::full()
     }

@@ -26,6 +26,7 @@
 //!
 //! ```text
 //!   traffic   — multiplexed load generator, latency percentiles
+//!   mux       — the same multiplexer as an async task (combar-rt)
 //!   client    — BarrierClient: join/arrive/heartbeat/leave/rejoin
 //!   faulty    — FaultyTransport: NetFaultPlan interpreter
 //!   transport — Transport trait; loopback + Unix-datagram endpoints
@@ -38,6 +39,7 @@
 
 pub mod client;
 pub mod faulty;
+pub mod mux;
 pub mod proto;
 pub mod server;
 pub mod traffic;
@@ -45,6 +47,7 @@ pub mod transport;
 
 pub use client::{BarrierClient, ClientConfig, ClientStats};
 pub use faulty::FaultyTransport;
+pub use mux::{MuxConfig, MuxReport, SessionMux};
 pub use proto::{Request, Response, SessionId};
 pub use server::{EpochServer, ServerConfig, SessionStats};
 pub use traffic::{drive, TrafficConfig, TrafficReport};

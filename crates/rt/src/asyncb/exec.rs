@@ -1,0 +1,672 @@
+//! The minimal in-tree executor, timer, and `block_on` bridge for the
+//! async epoch runtime.
+//!
+//! The design constraint is the ISSUE's: ≥ 1M logical participants
+//! over ≤ 8 *driver* OS threads, with zero dependencies. That rules
+//! out anything clever — this is the textbook shared-injector
+//! executor:
+//!
+//! * a [`Task`] is `Arc<{Mutex<Option<BoxFuture>>, queued flag}>`; its
+//!   [`std::task::Wake`] impl re-enqueues it on the shared run queue
+//!   (the `queued` flag dedupes concurrent wakes, so a batch release
+//!   waking the same task through several stale wakers costs one
+//!   requeue);
+//! * driver threads pop and poll; a panicking task is counted and
+//!   dropped, never unwound into the driver loop;
+//! * [`Executor::kill_driver`] makes one driver exit cooperatively —
+//!   the chaos hook for "driver-thread death"; queued tasks survive in
+//!   the injector and drain on the remaining drivers;
+//! * [`Timer`] is one binary heap + one thread delivering deadline
+//!   wakes — the recovery path that turns a *lost* wakeup into a
+//!   bounded retry instead of a hang, and the pacing primitive the
+//!   session multiplexer sleeps on;
+//! * [`block_on`] adapts any future to the synchronous
+//!   [`crate::barrier::Waiter`] contract with a Mutex+Condvar parker,
+//!   re-polling at the deadline so a bounded wait observes
+//!   [`crate::BarrierError::Timeout`] even if no wake ever arrives.
+//!
+//! Everything here uses plain `std` primitives, *not* the
+//! [`crate::sync`] facade: the executor is scheduling machinery, not
+//! barrier protocol state, and model-checked fixtures drive
+//! [`super::AsyncWaiter::poll_wait`] manually on virtual threads
+//! instead of through an executor.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::{Duration, Instant};
+
+use crate::spin::Deadline;
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// One spawned logical participant: the future plus its requeue state.
+struct Task {
+    fut: Mutex<Option<BoxFuture>>,
+    queued: AtomicBool,
+    exec: Weak<Shared>,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        // Dedupe: only the first wake between polls enqueues. The
+        // driver clears the flag *before* polling, so a wake landing
+        // mid-poll re-enqueues and the task is polled again — the
+        // standard no-lost-wakeup handshake.
+        if self.queued.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if let Some(exec) = self.exec.upgrade() {
+            exec.push(self);
+        }
+    }
+}
+
+/// State shared by the drivers and the [`Executor`] handle.
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+    /// Per-driver cooperative kill flags (chaos: driver death).
+    kills: Mutex<Vec<bool>>,
+    /// Spawned minus completed tasks.
+    active: AtomicU64,
+    /// Tasks that completed by panicking (counted, not propagated).
+    panics: AtomicU64,
+    idle: Condvar,
+    idle_lock: Mutex<()>,
+}
+
+impl Shared {
+    fn push(&self, task: Arc<Task>) {
+        self.queue.lock().unwrap().push_back(task);
+        self.ready.notify_one();
+    }
+}
+
+/// A fixed pool of driver threads multiplexing parked logical
+/// participants. Dropping the executor shuts the drivers down; any
+/// still-pending tasks are dropped with it.
+pub struct Executor {
+    shared: Arc<Shared>,
+    drivers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("drivers", &self.drivers.len())
+            .field("active", &self.active())
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Starts `drivers` driver threads (at least one).
+    pub fn new(drivers: usize) -> Self {
+        let drivers = drivers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            kills: Mutex::new(vec![false; drivers]),
+            active: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            idle: Condvar::new(),
+            idle_lock: Mutex::new(()),
+        });
+        let handles = (0..drivers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("combar-driver-{i}"))
+                    .spawn(move || drive(&shared, i))
+                    .expect("spawn driver thread")
+            })
+            .collect();
+        Self {
+            shared,
+            drivers: handles,
+        }
+    }
+
+    /// Spawns a logical participant.
+    pub fn spawn<F>(&self, fut: F)
+    where
+        F: Future<Output = ()> + Send + 'static,
+    {
+        self.shared.active.fetch_add(1, Ordering::AcqRel);
+        let task = Arc::new(Task {
+            fut: Mutex::new(Some(Box::pin(fut))),
+            // Born queued: the initial push must not race a wake.
+            queued: AtomicBool::new(true),
+            exec: Arc::downgrade(&self.shared),
+        });
+        self.shared.push(task);
+    }
+
+    /// Tasks spawned and not yet completed.
+    pub fn active(&self) -> u64 {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// Tasks that completed by panicking.
+    pub fn panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::Acquire)
+    }
+
+    /// Number of driver threads still running (not killed).
+    pub fn live_drivers(&self) -> usize {
+        self.shared
+            .kills
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|k| !**k)
+            .count()
+    }
+
+    /// Cooperatively kills driver `i`: it exits after its current poll.
+    /// Tasks it would have run drain on the surviving drivers. Returns
+    /// `false` for an unknown or already-killed driver, or when it is
+    /// the last driver alive (killing every driver would silently
+    /// strand the task set).
+    pub fn kill_driver(&self, i: usize) -> bool {
+        let mut kills = self.shared.kills.lock().unwrap();
+        if i >= kills.len() || kills[i] || kills.iter().filter(|k| !**k).count() <= 1 {
+            return false;
+        }
+        kills[i] = true;
+        drop(kills);
+        self.shared.ready.notify_all();
+        true
+    }
+
+    /// Blocks until every spawned task has completed, or the deadline
+    /// passes. Returns whether the executor drained.
+    pub fn wait_idle(&self, deadline: Deadline) -> bool {
+        let mut guard = self.shared.idle_lock.lock().unwrap();
+        loop {
+            if self.shared.active.load(Ordering::Acquire) == 0 {
+                return true;
+            }
+            let wait = match deadline.remaining() {
+                Some(rem) if rem.is_zero() => return false,
+                Some(rem) => rem.min(Duration::from_millis(50)),
+                None => Duration::from_millis(50),
+            };
+            let (g, _timed_out) = self.shared.idle.wait_timeout(guard, wait).unwrap();
+            guard = g;
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.ready.notify_all();
+        for h in self.drivers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One driver thread's loop.
+fn drive(shared: &Shared, me: usize) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) || shared.kills.lock().unwrap()[me] {
+            return;
+        }
+        let task = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                // Re-check the kill flag while parked so a killed idle
+                // driver exits promptly.
+                drop(q);
+                if shared.kills.lock().unwrap()[me] {
+                    return;
+                }
+                q = shared.queue.lock().unwrap();
+                let (guard, _t) = shared
+                    .ready
+                    .wait_timeout(q, Duration::from_millis(20))
+                    .unwrap();
+                q = guard;
+            }
+        };
+        poll_task(shared, &task);
+    }
+}
+
+fn poll_task(shared: &Shared, task: &Arc<Task>) {
+    // Clear before polling: a wake arriving mid-poll re-enqueues.
+    task.queued.store(false, Ordering::Release);
+    let waker = Waker::from(Arc::clone(task));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut_slot = task.fut.lock().unwrap();
+    let Some(fut) = fut_slot.as_mut() else {
+        return; // stale requeue of a completed task
+    };
+    let done = match catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx))) {
+        Ok(Poll::Ready(())) => true,
+        Ok(Poll::Pending) => false,
+        Err(_) => {
+            shared.panics.fetch_add(1, Ordering::AcqRel);
+            true
+        }
+    };
+    if done {
+        *fut_slot = None;
+        drop(fut_slot);
+        if shared.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = shared.idle_lock.lock().unwrap();
+            shared.idle.notify_all();
+        }
+    }
+}
+
+/// A timer entry: fire `waker` at `at`. The sequence number breaks ties
+/// so the heap never compares wakers.
+struct Entry {
+    at: Instant,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest due.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct TimerShared {
+    heap: Mutex<BinaryHeap<Entry>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    seq: AtomicU64,
+}
+
+/// A deadline service: one thread, one heap, many thousands of
+/// *per-logical-participant* deadlines.
+///
+/// This is the structural fix the ISSUE's timing audit demands: a
+/// bounded wait used to mean "this OS thread sleeps until the
+/// deadline" ([`crate::spin::Deadline`] driven by the waiting thread's
+/// own clock polling), which cannot work when thousands of logical
+/// waiters share one driver thread. Here every parked waiter registers
+/// `(deadline, waker)` and the timer wakes it for a re-poll; the
+/// deadline belongs to the logical participant, never to whichever
+/// driver happens to poll it.
+///
+/// Cloning shares the underlying service. The thread stops when the
+/// last clone drops.
+#[derive(Clone)]
+pub struct Timer {
+    shared: Arc<TimerShared>,
+    _thread: Arc<TimerThread>,
+}
+
+struct TimerThread {
+    shared: Arc<TimerShared>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Drop for TimerThread {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+        if let Some(h) = self.handle.lock().unwrap().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Timer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Timer")
+            .field("pending", &self.shared.heap.lock().unwrap().len())
+            .finish()
+    }
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Timer {
+    /// Starts the timer thread.
+    pub fn new() -> Self {
+        let shared = Arc::new(TimerShared {
+            heap: Mutex::new(BinaryHeap::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+        });
+        let s2 = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("combar-timer".into())
+            .spawn(move || timer_loop(&s2))
+            .expect("spawn timer thread");
+        Self {
+            _thread: Arc::new(TimerThread {
+                shared: Arc::clone(&shared),
+                handle: Mutex::new(Some(handle)),
+            }),
+            shared,
+        }
+    }
+
+    /// Registers `waker` to be woken at (or shortly after) `at`.
+    /// Registering the same waker repeatedly is fine — spurious wakes
+    /// are part of the polling contract.
+    pub fn register(&self, at: Instant, waker: Waker) {
+        let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .heap
+            .lock()
+            .unwrap()
+            .push(Entry { at, seq, waker });
+        self.shared.cv.notify_one();
+    }
+
+    /// A future that resolves at `at`.
+    pub fn sleep_until(&self, at: Instant) -> Sleep {
+        Sleep {
+            timer: self.clone(),
+            at,
+        }
+    }
+
+    /// A future that resolves after `dur`.
+    pub fn sleep(&self, dur: Duration) -> Sleep {
+        self.sleep_until(Instant::now() + dur)
+    }
+}
+
+fn timer_loop(shared: &TimerShared) {
+    let mut due: Vec<Waker> = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let wait = {
+            let mut heap = shared.heap.lock().unwrap();
+            let now = Instant::now();
+            while heap.peek().is_some_and(|e| e.at <= now) {
+                due.push(heap.pop().unwrap().waker);
+            }
+            match heap.peek() {
+                Some(e) => e.at.saturating_duration_since(now),
+                None => Duration::from_millis(50),
+            }
+        };
+        // Wake outside the heap lock: a wake may synchronously
+        // re-register.
+        for w in due.drain(..) {
+            w.wake();
+        }
+        if wait > Duration::ZERO {
+            let guard = shared.heap.lock().unwrap();
+            let _ = shared.cv.wait_timeout(guard, wait).unwrap();
+        }
+    }
+}
+
+/// Future returned by [`Timer::sleep_until`].
+#[derive(Debug)]
+pub struct Sleep {
+    timer: Timer,
+    at: Instant,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.at {
+            return Poll::Ready(());
+        }
+        self.timer.register(self.at, cx.waker().clone());
+        // Re-check: the deadline may have passed between the test and
+        // the registration racing the timer thread's sweep.
+        if Instant::now() >= self.at {
+            return Poll::Ready(());
+        }
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`yield_now`]: pending exactly once.
+#[derive(Debug, Default)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            return Poll::Ready(());
+        }
+        self.yielded = true;
+        // Wake-before-pending: the task goes straight back on the run
+        // queue, behind everything already queued.
+        cx.waker().wake_by_ref();
+        Poll::Pending
+    }
+}
+
+/// Cooperatively yields the current task back to its driver.
+///
+/// The executor is cooperative: a task that loops without awaiting
+/// starves every other task on its driver. Long-running multiplexer
+/// loops (one task driving many sessions) await this between rounds so
+/// peers interleave even on a single driver.
+pub fn yield_now() -> YieldNow {
+    YieldNow::default()
+}
+
+/// The `block_on` parker: one Mutex+Condvar token per blocking call.
+struct Parker {
+    lock: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Wake for Parker {
+    fn wake(self: Arc<Self>) {
+        *self.lock.lock().unwrap() = true;
+        self.cv.notify_one();
+    }
+}
+
+/// Runs a future to completion on the calling OS thread.
+///
+/// This is the bridge that lets [`super::AsyncWaiter`] satisfy the
+/// synchronous [`crate::barrier::Waiter`] contract: `wait_timeout`
+/// builds a deadline-carrying wait future and blocks on it here. The
+/// parker re-polls when woken *and* at `deadline`, so a future whose
+/// wakeup was lost (or that needs to report [`super::AsyncWaiter`]'s
+/// timeout) is guaranteed a poll at the deadline without any timer
+/// thread involved.
+pub fn block_on<F: Future>(fut: F, deadline: Deadline) -> F::Output {
+    let parker = Arc::new(Parker {
+        lock: Mutex::new(false),
+        cv: Condvar::new(),
+    });
+    let waker = Waker::from(Arc::clone(&parker));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        if let Poll::Ready(v) = fut.as_mut().poll(&mut cx) {
+            return v;
+        }
+        let mut notified = parker.lock.lock().unwrap();
+        while !*notified {
+            match deadline.remaining() {
+                Some(rem) if rem.is_zero() => break, // deadline poll
+                Some(rem) => {
+                    let (g, _t) = parker.cv.wait_timeout(notified, rem).unwrap();
+                    notified = g;
+                    if deadline.expired() {
+                        break;
+                    }
+                }
+                None => {
+                    notified = parker.cv.wait(notified).unwrap();
+                }
+            }
+        }
+        *notified = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn block_on_ready_future() {
+        assert_eq!(block_on(async { 42 }, Deadline::never()), 42);
+    }
+
+    #[test]
+    fn executor_runs_tasks_to_completion() {
+        let exec = Executor::new(2);
+        let hits = Arc::new(AtomicU32::new(0));
+        for _ in 0..64 {
+            let hits = Arc::clone(&hits);
+            exec.spawn(async move {
+                hits.fetch_add(1, Ordering::AcqRel);
+            });
+        }
+        assert!(exec.wait_idle(Deadline::after(Duration::from_secs(10))));
+        assert_eq!(hits.load(Ordering::Acquire), 64);
+        assert_eq!(exec.panics(), 0);
+    }
+
+    #[test]
+    fn panicking_task_is_counted_not_propagated() {
+        let exec = Executor::new(1);
+        exec.spawn(async { panic!("task panic") });
+        exec.spawn(async {});
+        assert!(exec.wait_idle(Deadline::after(Duration::from_secs(10))));
+        assert_eq!(exec.panics(), 1);
+    }
+
+    #[test]
+    fn killed_driver_leaves_tasks_to_survivors() {
+        let exec = Executor::new(2);
+        assert!(exec.kill_driver(0));
+        assert!(!exec.kill_driver(0), "double kill refused");
+        assert!(!exec.kill_driver(1), "last driver must survive");
+        assert_eq!(exec.live_drivers(), 1);
+        let hits = Arc::new(AtomicU32::new(0));
+        for _ in 0..32 {
+            let hits = Arc::clone(&hits);
+            exec.spawn(async move {
+                hits.fetch_add(1, Ordering::AcqRel);
+            });
+        }
+        assert!(exec.wait_idle(Deadline::after(Duration::from_secs(10))));
+        assert_eq!(hits.load(Ordering::Acquire), 32);
+    }
+
+    #[test]
+    fn timer_fires_registered_wakers_and_sleep_completes() {
+        let timer = Timer::new();
+        let t0 = Instant::now();
+        block_on(
+            timer.sleep(Duration::from_millis(5)),
+            Deadline::after(Duration::from_secs(10)),
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        // An already-due sleep resolves immediately.
+        block_on(timer.sleep_until(Instant::now()), Deadline::never());
+    }
+
+    #[test]
+    fn yield_now_suspends_exactly_once_and_interleaves() {
+        let polls = Arc::new(AtomicU32::new(0));
+        let p = Arc::clone(&polls);
+        block_on(
+            async move {
+                p.fetch_add(1, Ordering::AcqRel);
+                yield_now().await;
+                p.fetch_add(1, Ordering::AcqRel);
+            },
+            Deadline::after(Duration::from_secs(10)),
+        );
+        assert_eq!(polls.load(Ordering::Acquire), 2);
+        // On a single driver, two yielding loops interleave instead of
+        // one starving the other.
+        let exec = Executor::new(1);
+        let turns = Arc::new(AtomicU32::new(0));
+        for _ in 0..2 {
+            let turns = Arc::clone(&turns);
+            exec.spawn(async move {
+                for _ in 0..100 {
+                    turns.fetch_add(1, Ordering::AcqRel);
+                    yield_now().await;
+                }
+            });
+        }
+        assert!(exec.wait_idle(Deadline::after(Duration::from_secs(10))));
+        assert_eq!(turns.load(Ordering::Acquire), 200);
+        assert_eq!(exec.panics(), 0);
+    }
+
+    #[test]
+    fn block_on_deadline_forces_a_poll() {
+        // A future that never wakes itself: only the deadline re-poll
+        // can observe the flag.
+        struct Flagged(Arc<AtomicU32>);
+        impl Future for Flagged {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+                if self.0.load(Ordering::Acquire) >= 2 {
+                    Poll::Ready(())
+                } else {
+                    self.0.fetch_add(1, Ordering::AcqRel);
+                    Poll::Pending
+                }
+            }
+        }
+        let polls = Arc::new(AtomicU32::new(0));
+        let t0 = Instant::now();
+        block_on(
+            Flagged(Arc::clone(&polls)),
+            Deadline::after(Duration::from_millis(5)),
+        );
+        // First poll, deadline re-poll(s): at least two, and it did
+        // not return before the deadline passed.
+        assert!(polls.load(Ordering::Acquire) >= 2);
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+}

@@ -16,7 +16,7 @@
 //!   `evict`, `detach`, …) default to no-ops so kinds without them
 //!   (dissemination has no eviction story at all) implement only what
 //!   they mean.
-//! * [`BarrierBuilder`] — one construction path over all nine kinds,
+//! * [`BarrierBuilder`] — one construction path over all ten kinds,
 //!   replacing the scattered `CentralBarrier::new` /
 //!   `TreeBarrier::combining` / `AdaptiveBarrier::new(p, degrees,
 //!   window, policy)` signatures, with optional supervisor
@@ -38,6 +38,7 @@ use std::time::Duration;
 use combar_trace as trace;
 
 use crate::adaptive::{AdaptiveBarrier, AdaptiveWaiter, DegreePolicy};
+use crate::asyncb::{AsyncBarrier, AsyncWaiter};
 use crate::blocking::{BlockingBarrier, BlockingWaiter};
 use crate::central::{CentralBarrier, CentralWaiter};
 use crate::conformance::BarrierKind;
@@ -160,6 +161,16 @@ pub trait Barrier: fmt::Debug + Send + Sync {
     /// static estimate. (The measured counterpart comes from
     /// `combar-trace` critical-path extraction.)
     fn critical_depth(&self) -> Option<u32> {
+        None
+    }
+
+    /// The async capability: `Some` when this barrier's participants
+    /// can be *logical* (parked wakers driven by an executor) rather
+    /// than OS threads. Callers that hold one use
+    /// [`AsyncBarrier::waiter_for`] / [`crate::asyncb::AsyncWaiter::poll_wait`]
+    /// to multiplex many participants per thread; everyone else gets
+    /// `None` and stays on the blocking surface.
+    fn as_async(&self) -> Option<&AsyncBarrier> {
         None
     }
 }
@@ -418,6 +429,37 @@ impl Barrier for DynamicBarrier {
     }
 }
 
+impl Waiter for AsyncWaiter {
+    forward_wait!();
+    fn as_fuzzy(&mut self) -> Option<&mut dyn FuzzyWaiter> {
+        Some(self)
+    }
+    fn rejoin(&mut self) -> Result<bool, BarrierError> {
+        Self::rejoin(self)
+    }
+}
+
+impl Barrier for AsyncBarrier {
+    fn threads(&self) -> u32 {
+        Self::threads(self)
+    }
+    fn waiter<'a>(&'a self, tid: u32) -> Box<dyn Waiter + 'a> {
+        Box::new(self.waiter_for(tid))
+    }
+    fn is_poisoned(&self) -> bool {
+        Self::is_poisoned(self)
+    }
+    fn live_count(&self) -> u32 {
+        Self::live_count(self)
+    }
+    fn critical_depth(&self) -> Option<u32> {
+        Some(2) // shard combine + root combine, regardless of p
+    }
+    fn as_async(&self) -> Option<&AsyncBarrier> {
+        Some(self)
+    }
+}
+
 impl Barrier for AdaptiveBarrier {
     fn threads(&self) -> u32 {
         Self::threads(self)
@@ -448,7 +490,7 @@ impl Barrier for AdaptiveBarrier {
     }
 }
 
-/// One construction path over all nine barrier kinds.
+/// One construction path over all ten barrier kinds.
 ///
 /// The kind (with its shape parameters) picks the family; the optional
 /// knobs configure the pieces that used to require calling each
@@ -568,6 +610,7 @@ impl BarrierBuilder {
                     policy,
                 ))
             }
+            BarrierKind::Async { shards } => Box::new(AsyncBarrier::new(p, shards)),
         };
         let supervisor = self.supervisor.map(|cfg| Supervisor::with_config(p, cfg));
         AnyBarrier {
@@ -628,6 +671,13 @@ impl AnyBarrier {
     /// [`SelfHealing`]) from a monitor thread.
     pub fn supervisor(&self) -> Option<&Supervisor> {
         self.supervisor.as_ref()
+    }
+
+    /// The async capability of the underlying kind: `Some` for
+    /// [`BarrierKind::Async`], where participants can be parked wakers
+    /// multiplexed by an executor instead of OS threads.
+    pub fn as_async(&self) -> Option<&AsyncBarrier> {
+        self.inner.as_async()
     }
 }
 

@@ -79,6 +79,14 @@ pub enum BarrierKind {
     /// policy; the analytic-model policy lives in the `combar` core
     /// crate and is exercised by its own test).
     Adaptive,
+    /// Async epoch runtime: participants are parked wakers on sharded
+    /// wait lists; release fans out as batched wakeups. The threaded
+    /// matrix drives it through the blocking bridge; logical-scale
+    /// coverage lives in [`crate::asyncb::conformance`].
+    Async {
+        /// Number of arrival shards.
+        shards: u32,
+    },
 }
 
 impl BarrierKind {
@@ -96,6 +104,7 @@ impl BarrierKind {
             BarrierKind::Tournament,
             BarrierKind::Dynamic { degree: 2 },
             BarrierKind::Adaptive,
+            BarrierKind::Async { shards: 4 },
         ]
     }
 
@@ -110,6 +119,7 @@ impl BarrierKind {
             BarrierKind::Tournament => "tournament".into(),
             BarrierKind::Dynamic { degree } => format!("dynamic(d={degree})"),
             BarrierKind::Adaptive => "adaptive".into(),
+            BarrierKind::Async { shards } => format!("async(s={shards})"),
         }
     }
 
@@ -123,6 +133,7 @@ impl BarrierKind {
                 | BarrierKind::CombiningTree { .. }
                 | BarrierKind::McsTree { .. }
                 | BarrierKind::Dynamic { .. }
+                | BarrierKind::Async { .. }
         )
     }
 

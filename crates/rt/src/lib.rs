@@ -23,11 +23,17 @@
 //! * [`AdaptiveBarrier`] — reconfigures its degree at run time from the
 //!   measured arrival spread (the feasibility claim of the paper's
 //!   conclusion), with the degree policy injected (the `combar` core
-//!   crate supplies the analytic model as that policy).
+//!   crate supplies the analytic model as that policy);
+//! * [`AsyncBarrier`] ([`asyncb`]) — the async epoch runtime: a
+//!   participant is a parked waker on a sharded wait list, not an OS
+//!   thread, so a handful of driver threads ([`asyncb::Executor`])
+//!   multiplex millions of logical participants; arrivals combine
+//!   through cache-padded shards into one root per epoch and release
+//!   fans out as batched wakeups per shard.
 //!
 //! # Unified API
 //!
-//! All nine kinds implement the [`Barrier`]/[`Waiter`] trait pair and
+//! All ten kinds implement the [`Barrier`]/[`Waiter`] trait pair and
 //! are constructed through [`BarrierBuilder`], which folds the
 //! per-kind constructor signatures, the self-healing supervisor, and
 //! the trace sink into one surface; [`conformance::AnyBarrier`] is the
@@ -109,6 +115,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod asyncb;
 pub mod barrier;
 pub mod blocking;
 pub mod central;
@@ -127,6 +134,7 @@ pub mod tournament;
 pub mod tree;
 
 pub use adaptive::{AdaptiveBarrier, AdaptiveWaiter, DegreePolicy};
+pub use asyncb::{yield_now, AsyncBarrier, AsyncWaiter, Executor, Timer, WaitFuture};
 pub use barrier::{Barrier, BarrierBuilder, Waiter};
 pub use blocking::{BlockingBarrier, BlockingWaiter};
 pub use central::{CentralBarrier, CentralWaiter};

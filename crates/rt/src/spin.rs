@@ -52,14 +52,36 @@ impl Deadline {
 
     /// Whether the deadline has passed. A `never` deadline never
     /// expires.
+    ///
+    /// Reads the OS clock (only when bounded); where many logical
+    /// participants share one driver thread, prefer
+    /// [`Deadline::expired_at`] with a single `Instant::now()` sampled
+    /// per poll batch.
     pub fn expired(&self) -> bool {
         self.at.is_some_and(|d| Instant::now() >= d)
     }
 
+    /// [`Deadline::expired`] against a caller-supplied `now` — the
+    /// clock-injected form. A deadline is a per-wait value, not a
+    /// per-OS-thread one: an async driver polling thousands of parked
+    /// waits samples the clock once and checks each wait's own deadline
+    /// against it.
+    pub fn expired_at(&self, now: Instant) -> bool {
+        self.at.is_some_and(|d| now >= d)
+    }
+
     /// Time left before expiry; `None` for an unbounded deadline,
     /// `Some(ZERO)` once expired.
+    ///
+    /// Reads the OS clock (only when bounded); see
+    /// [`Deadline::remaining_at`] for the clock-injected form.
     pub fn remaining(&self) -> Option<Duration> {
         self.at.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// [`Deadline::remaining`] against a caller-supplied `now`.
+    pub fn remaining_at(&self, now: Instant) -> Option<Duration> {
+        self.at.map(|d| d.saturating_duration_since(now))
     }
 
     /// Restarts the window: `timeout` from now. Used by watchdog-style
@@ -282,6 +304,24 @@ mod tests {
         d.rearm(Duration::ZERO);
         assert!(d.expired());
         assert_eq!(Deadline::from_instant(None), Deadline::never());
+    }
+
+    #[test]
+    fn deadline_clock_injection_matches_sampled_now() {
+        use std::time::Duration;
+        let now = Instant::now();
+        let d = Deadline::at(now + Duration::from_secs(5));
+        assert!(!d.expired_at(now));
+        assert!(d.expired_at(now + Duration::from_secs(5)));
+        assert!(d.expired_at(now + Duration::from_secs(6)));
+        assert_eq!(d.remaining_at(now), Some(Duration::from_secs(5)));
+        assert_eq!(
+            d.remaining_at(now + Duration::from_secs(7)),
+            Some(Duration::ZERO)
+        );
+        let never = Deadline::never();
+        assert!(!never.expired_at(now + Duration::from_secs(3600)));
+        assert_eq!(never.remaining_at(now), None);
     }
 
     #[test]

@@ -75,6 +75,13 @@ pub enum Kind {
     Rejoin,
     /// Dynamic placement moved the subject to the named counter.
     Swap(u32),
+    /// The subject parked as a logical waiter (async runtime): its
+    /// waker joined the named shard's wait list instead of a thread
+    /// spinning.
+    Park(u32),
+    /// The subject released a batch of parked wakers from the named
+    /// shard's wait list (async runtime fan-out).
+    Wake(u32),
 }
 
 impl fmt::Display for Kind {
@@ -91,6 +98,8 @@ impl fmt::Display for Kind {
             Kind::Heal(t) => write!(f, "heal t{t}"),
             Kind::Rejoin => write!(f, "rejoin"),
             Kind::Swap(c) => write!(f, "swap->c{c}"),
+            Kind::Park(s) => write!(f, "park s{s}"),
+            Kind::Wake(s) => write!(f, "wake s{s}"),
         }
     }
 }

@@ -71,6 +71,7 @@ conformance_matrix! {
     tournament => BarrierKind::Tournament,
     dynamic_d2 => BarrierKind::Dynamic { degree: 2 },
     adaptive => BarrierKind::Adaptive,
+    async_s4 => BarrierKind::Async { shards: 4 },
 }
 
 /// `BarrierKind::all` is the same axis this file spells out — guards
@@ -79,7 +80,64 @@ conformance_matrix! {
 fn axis_is_exhaustive() {
     assert_eq!(
         BarrierKind::all().len(),
-        9,
+        10,
         "new kind? add it to the matrix above"
     );
+}
+
+/// The async kind's second axis: *logical* participants multiplexed
+/// over a fixed handful of driver threads. The threaded matrix above
+/// caps honest p at 8; these cells run the same contracts
+/// (release-after-all-arrivals, churn, the timeout/resume contract)
+/// at p = 2, 64, and 4096 on 4 drivers — the scale the threaded
+/// harness cannot reach.
+mod async_logical {
+    use combar_rt::asyncb::conformance::{
+        check_logical_churn, check_logical_contract, check_logical_timeout, LogicalConfig,
+    };
+
+    #[test]
+    fn contract_p2() {
+        check_logical_contract(LogicalConfig::logical(2, 120));
+    }
+
+    #[test]
+    fn contract_p64() {
+        check_logical_contract(LogicalConfig::logical(64, 120));
+    }
+
+    #[test]
+    fn contract_p4096() {
+        check_logical_contract(LogicalConfig::logical(4096, 12));
+    }
+
+    #[test]
+    fn churn_p2() {
+        check_logical_churn(LogicalConfig::logical(2, 40));
+    }
+
+    #[test]
+    fn churn_p64() {
+        check_logical_churn(LogicalConfig::logical(64, 40));
+    }
+
+    #[test]
+    fn churn_p4096() {
+        check_logical_churn(LogicalConfig::logical(4096, 8));
+    }
+
+    #[test]
+    fn wait_timeout_p2() {
+        check_logical_timeout(LogicalConfig::logical(2, 5));
+    }
+
+    #[test]
+    fn wait_timeout_p64() {
+        check_logical_timeout(LogicalConfig::logical(64, 5));
+    }
+
+    #[test]
+    fn wait_timeout_p4096() {
+        check_logical_timeout(LogicalConfig::logical(4096, 5));
+    }
 }
