@@ -80,43 +80,12 @@ pub struct LoadReport {
     pub final_epoch: u32,
 }
 
-/// `splitmix64`-style finalizer: the hash behind the work schedule.
-fn mix(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
-
-/// The deterministic per-(participant, epoch) work draw: approximately
-/// normal via an Irwin–Hall sum of four uniforms (mean 2, variance ⅓,
-/// so `z = (s − 2)·√3`), scaled to `mean · (1 + sigma · z)` and clamped
-/// at zero. Pure in `(seed, tid, epoch)` — the determinism diff depends
-/// on that.
-pub fn work_iters(seed: u64, tid: u32, epoch: u32, mean: u32, sigma: f64) -> u32 {
-    if mean == 0 {
-        return 0;
-    }
-    let mut h = mix(seed ^ (u64::from(tid) << 32) ^ u64::from(epoch));
-    let mut s = 0.0_f64;
-    for _ in 0..4 {
-        h = mix(h);
-        // 53 high bits → U(0, 1).
-        s += (h >> 11) as f64 / (1u64 << 53) as f64;
-    }
-    let z = (s - 2.0) * 1.732_050_807_568_877_2; // √3
-    (f64::from(mean) * (1.0 + sigma * z)).max(0.0) as u32
-}
-
-/// Burns `iters` iterations of un-optimizable integer work.
-#[inline]
-pub fn busy_work(iters: u32) {
-    let mut acc = 0u64;
-    for i in 0..u64::from(iters) {
-        acc = acc.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i);
-        std::hint::black_box(acc);
-    }
-}
+// The splitmix Irwin–Hall schedule now lives in `combar-work` — the
+// repository-wide work seam — with the exact same math; the re-export
+// keeps `combar_async::{work_iters, busy_work}` paths working and a
+// frozen-seed test below pins the numbers so BENCH_async.json stays
+// reproducible across the move.
+pub use combar_work::{busy_work, work_iters};
 
 /// Runs the configured load to completion and reports.
 ///
@@ -195,6 +164,32 @@ mod tests {
         assert!(lo < 1000 && hi > 1000, "spread [{lo}, {hi}] straddles mean");
         let mean = spread.iter().map(|&w| u64::from(w)).sum::<u64>() / 64;
         assert!((700..=1300).contains(&mean), "mean {mean} near nominal");
+    }
+
+    /// Frozen-seed equivalence across the `combar-work` fold: these
+    /// values were produced by the pre-refactor in-crate `work_iters`
+    /// (splitmix Irwin–Hall) and must never change — BENCH_async.json
+    /// and the `COMBAR_THREADS` determinism diffs both assume the work
+    /// schedule is stable across refactors.
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn work_schedule_matches_pre_refactor_frozen_values() {
+        let cases: [((u64, u32, u32, u32, f64), u32); 7] = [
+            ((0xa57c_10ad, 0, 0, 32, 0.5), 24),
+            ((0xa57c_10ad, 1, 0, 32, 0.5), 41),
+            ((0xa57c_10ad, 999_999, 99, 32, 0.5), 62),
+            ((0xa57c_10ad, 12345, 7, 1000, 1.0), 883),
+            ((0x1995_1ccc, 0, 0, 64, 0.25), 70),
+            ((0x1995_1ccc, 65535, 5, 64, 0.25), 71),
+            ((7, 3, 5, 1000, 0.5), 1976),
+        ];
+        for ((seed, tid, epoch, mean, sigma), want) in cases {
+            assert_eq!(
+                work_iters(seed, tid, epoch, mean, sigma),
+                want,
+                "work_iters({seed:#x}, {tid}, {epoch}, {mean}, {sigma})"
+            );
+        }
     }
 
     #[test]

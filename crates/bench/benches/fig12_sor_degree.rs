@@ -6,7 +6,7 @@ use combar_bench::Bench;
 use combar_des::Duration;
 use combar_machine::{ring_topology, KsrParams, SorWork};
 use combar_rng::{SeedableRng, Xoshiro256pp};
-use combar_sim::{run_iterations, IterateConfig, PlacementMode};
+use combar_sim::{run_iterations, IterateConfig, PlacementMode, Seeded};
 
 fn main() {
     let mut bench = Bench::new("fig12_sor_degree");
@@ -23,9 +23,11 @@ fn main() {
             release_model: combar_sim::ReleaseModel::CentralFlag,
         };
         bench.bench(format!("degree{degree}"), || {
-            let mut work = SorWork::paper_config(210);
-            let mut rng = Xoshiro256pp::seed_from_u64(SEED);
-            let rep = run_iterations(&topo, &cfg, &mut work, &mut rng);
+            let mut work = Seeded::new(
+                SorWork::paper_config(210),
+                Xoshiro256pp::seed_from_u64(SEED),
+            );
+            let rep = run_iterations(&topo, &cfg, &mut work);
             rep.sync_delay.mean()
         });
     }

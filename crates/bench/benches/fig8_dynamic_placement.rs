@@ -6,7 +6,7 @@ use combar_bench::experiments::SEED;
 use combar_bench::Bench;
 use combar_des::Duration;
 use combar_rng::{SeedableRng, Xoshiro256pp};
-use combar_sim::{run_iterations, IterateConfig, PlacementMode, Topology, Workload};
+use combar_sim::{run_iterations, IterateConfig, PlacementMode, Seeded, Topology, Workload};
 
 fn main() {
     let mut bench = Bench::new("fig8_dynamic_placement");
@@ -26,9 +26,11 @@ fn main() {
                 release_model: combar_sim::ReleaseModel::CentralFlag,
             };
             bench.bench(format!("{name}_d{degree}"), || {
-                let mut w = Workload::iid_normal(9_500.0, 250.0);
-                let mut rng = Xoshiro256pp::seed_from_u64(SEED);
-                let rep = run_iterations(&topo, &cfg, &mut w, &mut rng);
+                let mut w = Seeded::new(
+                    Workload::iid_normal(9_500.0, 250.0),
+                    Xoshiro256pp::seed_from_u64(SEED),
+                );
+                let rep = run_iterations(&topo, &cfg, &mut w);
                 rep.sync_delay.mean()
             });
         }

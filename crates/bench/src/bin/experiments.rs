@@ -9,7 +9,7 @@
 //!
 //! Available ids: fig2, fig3, fig4, fig5, sec4-mcs, fig8, fig9, fig10,
 //! fig11, fig12, fig13, ablate, adaptive, chaos, churn, server, async,
-//! trace,
+//! trace, balance,
 //! fuzzy-idle, release, baselines, verify, all. A `--quick` flag
 //! shrinks replication counts for smoke runs; `--list` prints the
 //! available ids and exits; `--only a,b,c` selects a comma-separated
@@ -25,11 +25,11 @@
 //! output byte.
 
 use combar::presets::{
-    AsyncLoad, Fig12, Fig13, Fig2, Fig3Grid, Fig5, Fig8, ScalingSweep, ServerSim,
+    AsyncLoad, Balance, Fig12, Fig13, Fig2, Fig3Grid, Fig5, Fig8, ScalingSweep, ServerSim,
 };
 use combar_bench::experiments::{
-    ablate, adaptive, asyncrt, baselines, chaos, churn, fig2, fig34, fig5, fig8, fuzzy_idle, ksr,
-    mcs, release, scaling, seeds, server, trace,
+    ablate, adaptive, asyncrt, balance, baselines, chaos, churn, fig2, fig34, fig5, fig8,
+    fuzzy_idle, ksr, mcs, release, scaling, seeds, server, trace,
 };
 use combar_bench::table::{json_escape, parse_rendered};
 use std::time::Instant;
@@ -54,6 +54,7 @@ const ALL_IDS: &[&str] = &[
     "server",
     "async",
     "trace",
+    "balance",
     "fuzzy-idle",
     "release",
     "baselines",
@@ -324,14 +325,22 @@ fn main() {
                 };
                 trace::run(&preset).render()
             }
+            "balance" => {
+                let preset = if quick {
+                    Balance::quick()
+                } else {
+                    Balance::full()
+                };
+                format!("{}\n", balance::run(&preset).render())
+            }
             "dot" => {
                 // Figure 6's mechanism, rendered: a small owner tree
                 // before and after a slow processor migrates.
                 use combar::combar_des::Duration;
                 use combar::combar_rng::{SeedableRng, Xoshiro256pp};
                 use combar_sim::{
-                    run_iterations, IterateConfig, Placement, PlacementMode, Topology, WorkSource,
-                    Workload,
+                    apply_dynamic_swaps, run_iterations, IterateConfig, Placement, PlacementMode,
+                    Seeded, Topology, WorkSource, Workload,
                 };
                 let topo = Topology::mcs(16, 2);
                 let before = format!("// initial placement\n{}", topo.to_dot(None));
@@ -345,41 +354,27 @@ fn main() {
                     record_arrivals: false,
                     release_model: combar_sim::ReleaseModel::CentralFlag,
                 };
-                let mut rng = Xoshiro256pp::seed_from_u64(1);
-                let mut seed_rng = Xoshiro256pp::seed_from_u64(2);
-                let mut w = Workload::systemic(16, 9_500.0, 300.0, 20.0, &mut seed_rng);
-                let _ = run_iterations(&topo, &cfg, &mut w, &mut rng);
+                let make = || {
+                    let mut seed_rng = Xoshiro256pp::seed_from_u64(2);
+                    Seeded::new(
+                        Workload::systemic(16, 9_500.0, 300.0, 20.0, &mut seed_rng),
+                        Xoshiro256pp::seed_from_u64(1),
+                    )
+                };
+                let _ = run_iterations(&topo, &cfg, &mut make());
                 // reconstruct the converged placement by replaying the
                 // same run through a placement we keep
                 let mut placement = Placement::initial(&topo);
-                let mut rng = Xoshiro256pp::seed_from_u64(1);
-                let mut seed_rng = Xoshiro256pp::seed_from_u64(2);
-                let mut w = Workload::systemic(16, 9_500.0, 300.0, 20.0, &mut seed_rng);
+                let mut w = make();
                 let mut begin = [0.0f64; 16];
                 let mut works = vec![0.0f64; 16];
-                for _ in 0..30 {
+                for e in 0..30 {
                     use combar_sim::run_episode;
-                    w.sample_into(&mut rng, &mut works);
+                    w.sample_episode(e, &mut works);
                     let arrivals: Vec<f64> = begin.iter().zip(&works).map(|(b, w)| b + w).collect();
                     let homes = placement.homes().to_vec();
                     let r = run_episode(&topo, &homes, &arrivals, Duration::from_us(20.0));
-                    let mut wins: Vec<Vec<u32>> = vec![Vec::new(); 16];
-                    for (c, win) in r.winners.iter().enumerate() {
-                        if let Some(pr) = *win {
-                            wins[pr as usize].push(c as u32);
-                        }
-                    }
-                    for (proc, wl) in wins.iter_mut().enumerate() {
-                        wl.sort_by_key(|&c| topo.path_len(c));
-                        for &c in wl.iter() {
-                            if c == placement.home(proc as u32) {
-                                break;
-                            }
-                            if placement.try_swap(&topo, proc as u32, c).is_some() {
-                                break;
-                            }
-                        }
-                    }
+                    apply_dynamic_swaps(&topo, &mut placement, &r.winners);
                     for (b, done) in begin.iter_mut().zip(&r.signal_done_us) {
                         *b = (done + 4_000.0).max(r.release_us);
                     }

@@ -18,8 +18,8 @@ use combar_des::Duration;
 use combar_exec::Sweep;
 use combar_rng::{SeedableRng, Xoshiro256pp};
 use combar_sim::{
-    default_degree_sweep, optimal_degree, run_episode, sweep_degrees, SweepConfig, Topology,
-    TreeStyle, WorkSource, Workload,
+    default_degree_sweep, optimal_degree, run_episode, sweep_degrees, Sampler, SweepConfig,
+    Topology, TreeStyle, Workload,
 };
 
 /// Optimal degree under each arrival-time distribution shape.

@@ -60,9 +60,11 @@ pub fn run(preset: &Fig5) -> Fig5Result {
             record_arrivals: true,
             release_model: combar_sim::ReleaseModel::CentralFlag,
         };
-        let mut workload = Workload::iid_normal(preset.work_mean_us, preset.sigma_us);
-        let mut rng = Xoshiro256pp::seed_from_u64(seeds::fig5(slack));
-        let rep = run_iterations(&topo, &cfg, &mut workload, &mut rng);
+        let mut workload = combar_sim::Seeded::new(
+            Workload::iid_normal(preset.work_mean_us, preset.sigma_us),
+            Xoshiro256pp::seed_from_u64(seeds::fig5(slack)),
+        );
+        let rep = run_iterations(&topo, &cfg, &mut workload);
 
         preset
             .lags

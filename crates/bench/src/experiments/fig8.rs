@@ -58,7 +58,7 @@ pub fn run(preset: &Fig8) -> Fig8Result {
         };
         let seed = seeds::fig8(degree, slack);
         let (stat, dynamic) = run_modes(&topo, &cfg, || {
-            (
+            combar_sim::Seeded::new(
                 Workload::iid_normal(preset.work_mean_us, preset.sigma_us),
                 Xoshiro256pp::seed_from_u64(seed),
             )

@@ -69,9 +69,11 @@ pub fn run(p: u32, sigma_us: f64, slacks_us: &[f64], iterations: usize) -> Fuzzy
                 record_arrivals: true,
                 release_model: combar_sim::ReleaseModel::CentralFlag,
             };
-            let mut w = Workload::iid_normal(10.0 * sigma_us + 1_000.0, sigma_us);
-            let mut rng = Xoshiro256pp::seed_from_u64(seeds::fuzzy_idle(slack));
-            let rep = run_iterations(&topo, &cfg, &mut w, &mut rng);
+            let mut w = combar_sim::Seeded::new(
+                Workload::iid_normal(10.0 * sigma_us + 1_000.0, sigma_us),
+                Xoshiro256pp::seed_from_u64(seeds::fuzzy_idle(slack)),
+            );
+            let rep = run_iterations(&topo, &cfg, &mut w);
             let mut spread = OnlineStats::new();
             for a in &rep.arrivals {
                 spread.push(std_dev(a));

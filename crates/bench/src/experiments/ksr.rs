@@ -50,13 +50,14 @@ struct SorRun {
 
 fn run_sor(params: &KsrParams, run: SorRun) -> IterateReport {
     let topo = ring_topology(params, run.degree);
-    let mut work = SorWork::new(params.clone(), 60, run.dy);
-    let mut rng = Xoshiro256pp::seed_from_u64(run.seed);
+    let mut work = combar_sim::Seeded::new(
+        SorWork::new(params.clone(), 60, run.dy),
+        Xoshiro256pp::seed_from_u64(run.seed),
+    );
     run_iterations(
         &topo,
         &iterate_cfg(params, run.slack_us, run.iterations, run.warmup, run.mode),
         &mut work,
-        &mut rng,
     )
 }
 
@@ -274,13 +275,14 @@ pub fn run_fig13_correlation(
         let &rho = cell.param;
         let run_mode = |mode| {
             let topo = ring_topology(&params, 2);
-            let mut work = SorWork::new(params.clone(), 60, 210).with_ring_correlation(rho);
-            let mut rng = Xoshiro256pp::seed_from_u64(seeds::fig13_correlation(rho));
+            let mut work = combar_sim::Seeded::new(
+                SorWork::new(params.clone(), 60, 210).with_ring_correlation(rho),
+                Xoshiro256pp::seed_from_u64(seeds::fig13_correlation(rho)),
+            );
             run_iterations(
                 &topo,
                 &iterate_cfg(&params, slack_us, iterations, 10, mode),
                 &mut work,
-                &mut rng,
             )
         };
         let stat = run_mode(PlacementMode::Static);

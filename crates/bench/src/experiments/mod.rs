@@ -5,6 +5,7 @@
 pub mod ablate;
 pub mod adaptive;
 pub mod asyncrt;
+pub mod balance;
 pub mod baselines;
 pub mod chaos;
 pub mod churn;

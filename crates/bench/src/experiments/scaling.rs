@@ -114,7 +114,7 @@ pub fn run_placement(preset: &ScalingSweep, degree: u32) -> Vec<PlacementPoint> 
         // work mean ≫ σ so the fuzzy chaining stays realistic
         let mean = 3.0 * preset.small_sigma_us + 10_000.0;
         let (stat, dynamic) = run_modes(&topo, &cfg, || {
-            (
+            combar_sim::Seeded::new(
                 Workload::iid_normal(mean, preset.small_sigma_us),
                 Xoshiro256pp::seed_from_u64(seed),
             )

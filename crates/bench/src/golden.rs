@@ -21,8 +21,8 @@
 //! and is excluded; its DES companion (the replayed fault timeline) is
 //! deterministic and snapshotted via [`chaos_des_small`].
 
-use crate::experiments::{asyncrt, chaos, churn, fig2, fig8, seeds, server, trace};
-use combar::presets::{AsyncLoad, Fig2, Fig8, ServerSim};
+use crate::experiments::{asyncrt, balance, chaos, churn, fig2, fig8, seeds, server, trace};
+use combar::presets::{AsyncLoad, Balance, Fig2, Fig8, ServerSim};
 use std::time::Duration;
 
 /// Figure 2 (sync delay vs degree) at 256 processors, 4 replications.
@@ -90,4 +90,12 @@ pub fn async_small() -> String {
 /// timeline is byte-stable anyway.
 pub fn trace_small() -> String {
     trace::run(&trace::TracePreset::quick()).render()
+}
+
+/// The balance experiment (placement vs placement + work diffusion) on
+/// its quick preset — every cell is a pure function of the seed table,
+/// so the regime table and the DES-mirror table are byte-stable at any
+/// `COMBAR_THREADS`.
+pub fn balance_small() -> String {
+    balance::run(&Balance::quick()).render()
 }

@@ -30,7 +30,7 @@ fn list_names_every_id_including_server() {
         .lines()
         .map(String::from)
         .collect();
-    for id in ["fig2", "chaos", "churn", "server", "verify"] {
+    for id in ["fig2", "chaos", "churn", "server", "balance", "verify"] {
         assert!(listed.iter().any(|l| l == id), "--list is missing {id}");
     }
     // --list ids are unique (a duplicate would run an id twice under
@@ -70,6 +70,20 @@ fn json_stream_leads_with_schema_header() {
 }
 
 #[test]
+fn only_balance_renders_regimes_and_mirror() {
+    let out = stdout_of(&["--quick", "--only", "balance"], None);
+    assert!(out.contains("placement vs placement+diffusion"), "{out}");
+    for regime in ["static", "dynamic", "dyn+diff"] {
+        assert!(out.contains(regime), "missing regime row {regime}");
+    }
+    assert!(out.contains("DES mirror"), "{out}");
+    let json = stdout_of(&["--quick", "--json", "--only", "balance"], None);
+    let body = json.lines().nth(1).expect("one object per id");
+    assert!(body.starts_with(r#"{"id":"balance""#), "{body}");
+    assert!(body.contains("units moved"), "{body}");
+}
+
+#[test]
 fn unknown_id_fails_with_usage() {
     let out = experiments(&["no-such-experiment"], None);
     assert_eq!(out.status.code(), Some(2));
@@ -83,7 +97,7 @@ fn unknown_id_fails_with_usage() {
 /// workers render identical tables.
 #[test]
 fn thread_count_never_changes_output_bytes() {
-    let args = ["--quick", "--json", "--only", "server,churn"];
+    let args = ["--quick", "--json", "--only", "server,churn,balance"];
     let one = stdout_of(&args, Some("1"));
     let two = stdout_of(&args, Some("2"));
     assert_eq!(one, two, "COMBAR_THREADS leaked into rendered output");

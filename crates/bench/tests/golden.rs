@@ -80,6 +80,11 @@ fn trace_tables_are_stable() {
     check("trace_small.txt", &combar_bench::golden::trace_small());
 }
 
+#[test]
+fn balance_tables_are_stable() {
+    check("balance_small.txt", &combar_bench::golden::balance_small());
+}
+
 /// The renderings really are deterministic: two in-process runs agree
 /// byte for byte (guards the snapshots themselves against flakiness).
 #[test]
@@ -111,5 +116,9 @@ fn renderings_are_deterministic() {
     assert_eq!(
         combar_bench::golden::trace_small(),
         combar_bench::golden::trace_small()
+    );
+    assert_eq!(
+        combar_bench::golden::balance_small(),
+        combar_bench::golden::balance_small()
     );
 }

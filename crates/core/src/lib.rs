@@ -72,13 +72,13 @@ pub mod prelude {
     pub use combar_machine::{ring_topology, Grid, KsrParams, SorWork};
     pub use combar_rng::{Distribution, Normal, Rng, SeedableRng, Xoshiro256pp};
     pub use combar_rt::{
-        AdaptiveBarrier, CentralBarrier, DisseminationBarrier, DynamicBarrier, FuzzyWaiter,
-        TreeBarrier,
+        AdaptiveBarrier, AnyBarrier, AnyWaiter, BarrierBuilder, BarrierKind, CentralBarrier,
+        DisseminationBarrier, DynamicBarrier, FuzzyWaiter, TreeBarrier,
     };
     pub use combar_sim::{
-        full_tree_degrees, optimal_degree, run_episode, run_iterations, sweep_degrees,
-        IterateConfig, Placement, PlacementMode, SweepConfig, Topology, TreeStyle, WorkSource,
-        Workload,
+        full_tree_degrees, optimal_degree, run_balance, run_episode, run_iterations, sweep_degrees,
+        BalanceConfig, BalanceRegime, Diffuser, IterateConfig, Placement, PlacementMode, Sampler,
+        Seeded, SweepConfig, Topology, TreeStyle, WorkModel, WorkSource, Workload,
     };
 }
 

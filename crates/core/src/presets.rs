@@ -160,6 +160,17 @@ pub mod seeds {
     pub fn async_load(p: u32, sigma: f64) -> u64 {
         BASE ^ 0xa5c ^ (u64::from(p) << 16) ^ sigma.to_bits()
     }
+
+    /// Balance experiment cell: one seed per imbalance shape, shared by
+    /// all three regimes of that shape so they face identical work
+    /// streams (the `combar_work::WorkModel` is a pure function of this
+    /// seed, so the cell is thread-count invariant by construction).
+    pub fn balance(shape: &str) -> u64 {
+        let tag = shape
+            .bytes()
+            .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+        BASE ^ 0xba1a ^ tag
+    }
 }
 
 use combar_exec::Sweep;
@@ -515,6 +526,66 @@ impl AsyncLoad {
 }
 
 impl Default for AsyncLoad {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// The `balance` experiment: static placement vs the paper's dynamic
+/// placement vs placement + trace-fed work diffusion, under systemic
+/// and evolving imbalance.
+#[derive(Debug, Clone)]
+pub struct Balance {
+    /// Processor count.
+    pub p: u32,
+    /// MCS owner-tree degree.
+    pub degree: u32,
+    /// Measured episodes per cell.
+    pub episodes: usize,
+    /// Warm-up episodes excluded from statistics.
+    pub warmup: usize,
+    /// Mean per-episode work (µs).
+    pub mean_us: f64,
+    /// Per-processor fixed bias σ for the systemic shape (µs).
+    pub bias_sigma_us: f64,
+    /// Per-episode random-walk σ for the evolving shape (µs).
+    pub walk_sigma_us: f64,
+    /// Episode-to-episode noise σ on top of either bias (µs).
+    pub noise_sigma_us: f64,
+    /// Diffusion damping α ∈ (0, 1].
+    pub alpha: f64,
+    /// Fuzzy-barrier slack between signal and enforce (µs).
+    pub slack_us: f64,
+}
+
+impl Balance {
+    /// Full grid: 256 processors, 200 measured episodes per cell.
+    pub fn full() -> Self {
+        Self {
+            p: 256,
+            degree: 4,
+            episodes: 200,
+            warmup: 20,
+            mean_us: 1_000.0,
+            bias_sigma_us: 200.0,
+            walk_sigma_us: 30.0,
+            noise_sigma_us: 20.0,
+            alpha: 0.5,
+            slack_us: 2_000.0,
+        }
+    }
+
+    /// Shrunk grid for smoke passes and the golden snapshot.
+    pub fn quick() -> Self {
+        Self {
+            p: 64,
+            episodes: 80,
+            ..Self::full()
+        }
+    }
+}
+
+impl Default for Balance {
     fn default() -> Self {
         Self::full()
     }

@@ -108,6 +108,38 @@ impl FaultTimeline {
     pub fn survivors(&self, p: u32, episode: u32) -> u32 {
         (0..p).filter(|&q| self.alive(q, episode)).count() as u32
     }
+
+    /// Derives a stall timeline from a shared-seam work source: for
+    /// each of the first `episodes` episodes, every processor whose
+    /// sampled work exceeds the source's nominal mean gets a
+    /// [`SimFault::Stall`] of the excess. This is the DES-side port of
+    /// the repository-wide `combar_work::WorkSource` refactor — the
+    /// same seeded model that drives the simulator's episode loop and
+    /// the runtime torture harness expresses itself here as
+    /// deterministic fault injection, so engine-driven timelines and
+    /// episode-driven runs see one consistent notion of "who is slow".
+    pub fn from_work_model(
+        source: &mut dyn combar_work::WorkSource,
+        p: u32,
+        episodes: u32,
+    ) -> Self {
+        let mean = source.mean_us();
+        let mut works = vec![0.0f64; p as usize];
+        let mut specs = Vec::new();
+        for e in 0..episodes {
+            source.sample_episode(e, &mut works);
+            for (proc, &w) in works.iter().enumerate() {
+                if w > mean {
+                    specs.push(FaultSpec {
+                        proc: proc as u32,
+                        episode: e,
+                        fault: SimFault::Stall(Duration::from_us(w - mean)),
+                    });
+                }
+            }
+        }
+        Self::new(specs)
+    }
 }
 
 /// Schedules every fault of a wall-clock-mapped timeline as an engine
@@ -220,6 +252,35 @@ mod tests {
         ]);
         assert_eq!(t.rejoin_episode(0), None);
         assert!(!t.alive(0, 9));
+    }
+
+    /// The bridge from the shared work seam: systemic slow processors
+    /// become recurring stalls, and the stall magnitudes are exactly
+    /// the work excess over the mean.
+    #[test]
+    fn from_work_model_stalls_the_slow_processors() {
+        use combar_work::WorkSource as _;
+        let p = 16u32;
+        let mut model = combar_work::WorkModel::systemic(p, 0xde5f, 1000.0, 200.0, 0.0);
+        let t = FaultTimeline::from_work_model(&mut model, p, 4);
+        assert!(!t.specs().is_empty());
+        assert!(t
+            .specs()
+            .iter()
+            .all(|s| matches!(s.fault, SimFault::Stall(_))));
+        // With zero noise the systemic bias is constant: a processor
+        // stalled in episode 0 is stalled in every episode, by the
+        // same amount.
+        let mut works = vec![0.0f64; p as usize];
+        model.sample_episode(0, &mut works);
+        for (proc, &w) in works.iter().enumerate() {
+            let expect = Duration::from_us((w - 1000.0).max(0.0));
+            for e in 0..4 {
+                assert_eq!(t.stall(proc as u32, e), expect, "proc {proc} ep {e}");
+            }
+        }
+        // Everyone stays alive: this bridge only slows, never kills.
+        assert_eq!(t.survivors(p, 3), p);
     }
 
     #[test]

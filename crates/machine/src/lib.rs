@@ -11,7 +11,7 @@
 //!   communication events with exponential contention jitter),
 //!   calibrated to the paper's measured point (d_y = 210 → 9.5 ms
 //!   iterations, σ ≈ 110 µs), pluggable into `combar-sim`'s iteration
-//!   runner as a [`combar_sim::WorkSource`];
+//!   runner as a [`combar_sim::Sampler`] (via [`combar_sim::Seeded`]);
 //! * [`sor`] — the actual numeric relaxation kernel (double-buffered
 //!   four-neighbour averaging), used by the threaded example and tested
 //!   against harmonic-function fixed points;
@@ -57,19 +57,18 @@ mod tests {
     #[test]
     fn sor_work_drives_barrier_iterations() {
         use combar_rng::{SeedableRng, Xoshiro256pp};
-        use combar_sim::{run_iterations, IterateConfig, PlacementMode};
+        use combar_sim::{run_iterations, IterateConfig, PlacementMode, Seeded};
 
         let k = KsrParams::default();
         let topo = ring_topology(&k, 4);
-        let mut work = SorWork::paper_config(210);
-        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let mut work = Seeded::new(SorWork::paper_config(210), Xoshiro256pp::seed_from_u64(1));
         let cfg = IterateConfig {
             iterations: 50,
             warmup: 5,
             mode: PlacementMode::Static,
             ..IterateConfig::default()
         };
-        let rep = run_iterations(&topo, &cfg, &mut work, &mut rng);
+        let rep = run_iterations(&topo, &cfg, &mut work);
         // Sync delay is at least depth·t_c and well below one iteration.
         assert!(rep.sync_delay.mean() >= topo.depth() as f64 * 20.0 - 1e-9);
         assert!(rep.sync_delay.mean() < 9500.0);

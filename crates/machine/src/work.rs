@@ -1,5 +1,7 @@
 //! SOR iteration-time model: turning the machine parameters into a
-//! [`WorkSource`] for the barrier simulator.
+//! [`Sampler`] for the barrier simulator (wrap it in
+//! [`combar_sim::Seeded`] to cross the shared
+//! `combar_work::WorkSource` seam).
 //!
 //! Per the authors' companion study (their reference \[13\]), the
 //! variance of a processor's iteration time on the KSR1 comes from
@@ -17,7 +19,7 @@
 
 use crate::params::KsrParams;
 use combar_rng::{Distribution, Exponential, Normal, Rng};
-use combar_sim::WorkSource;
+use combar_sim::Sampler;
 
 /// Per-processor SOR iteration-time generator on the modelled KSR1.
 #[derive(Debug, Clone)]
@@ -109,7 +111,7 @@ impl SorWork {
     }
 }
 
-impl WorkSource for SorWork {
+impl Sampler for SorWork {
     fn mean_us(&self) -> f64 {
         self.analytic_mean_us()
     }

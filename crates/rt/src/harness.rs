@@ -870,6 +870,49 @@ pub fn lockstep_torture_on<B: Barrier + ?Sized>(
     })
 }
 
+/// [`lockstep_torture`] driven by a shared-seam work model instead of
+/// an ad-hoc [`Stagger`]: before each crossing, thread `tid` burns
+/// `model.work_iters(episode, tid, iters_per_us)` of real CPU work.
+///
+/// Because [`combar_work::WorkModel`] is a pure function of
+/// `(seed, tid, episode)`, this reproduces *exactly* the imbalance
+/// shape (systemic, evolving, heavy-tailed…) that the simulator and
+/// the DES fault timelines study — the same seed stresses the same
+/// "slow" threads here, on real barriers, that
+/// `FaultTimeline::from_work_model` stalls in virtual time.
+///
+/// # Panics
+///
+/// Panics if `model.participants()` disagrees with the barrier's
+/// thread count, or on any lockstep violation (as
+/// [`lockstep_torture`]).
+pub fn work_torture_on<B: Barrier + ?Sized>(
+    barrier: &B,
+    episodes: u32,
+    model: &combar_work::WorkModel,
+    iters_per_us: f64,
+    step: Duration,
+) -> TortureReport {
+    assert_eq!(
+        model.participants(),
+        barrier.threads(),
+        "work model sized for a different participant count"
+    );
+    lockstep_torture(barrier.threads(), episodes, Stagger::None, |tid| {
+        let mut w = barrier.waiter(tid);
+        let model = model.clone();
+        let mut e = 0u32;
+        move || {
+            combar_work::busy_work(model.work_iters(e, tid, iters_per_us));
+            let r = w.wait_timeout(step);
+            if r.is_ok() {
+                e += 1;
+            }
+            r
+        }
+    })
+}
+
 /// [`chaos_torture`] over the unified [`Barrier`] trait: steps are
 /// bounded waits, rescues are `evict_stragglers` through the trait.
 pub fn chaos_torture_on<B: Barrier + ?Sized>(
@@ -945,6 +988,33 @@ mod tests {
             move || w.wait_timeout(STEP)
         });
         assert!(b.swap_count() > 0);
+    }
+
+    /// The shared-seam work model drives real threads: a systemic
+    /// model keeps the same threads slow every episode, which dynamic
+    /// placement detects and converts into swaps — the runtime-side
+    /// mirror of the simulator's balance study.
+    #[test]
+    fn work_torture_exercises_systemic_imbalance_on_real_barriers() {
+        use crate::barrier::Barrier;
+        let p = 6u32;
+        let model = combar_work::WorkModel::systemic(p, 0x10ad_ba1a, 300.0, 150.0, 10.0);
+        let b = DynamicBarrier::mcs(p, 2);
+        let rep = work_torture_on(&b as &dyn Barrier, 40, &model, 1.0, STEP);
+        assert_eq!(rep.episodes, 40);
+        assert!(rep.max_skew <= 1);
+        assert!(
+            b.swap_count() > 0,
+            "persistent model-driven imbalance should trigger swaps"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different participant count")]
+    fn work_torture_rejects_mismatched_model() {
+        let model = combar_work::WorkModel::uniform(4, 1, 100.0);
+        let b = CentralBarrier::new(3);
+        let _ = work_torture_on(&b as &dyn crate::barrier::Barrier, 1, &model, 1.0, STEP);
     }
 
     /// A deliberately broken "barrier" (does nothing) must be caught.

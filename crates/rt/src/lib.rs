@@ -144,7 +144,8 @@ pub use dynamic::{DynamicBarrier, DynamicWaiter};
 pub use error::BarrierError;
 pub use fuzzy::{fuzzy_episode, FuzzyTiming, FuzzyWaiter};
 pub use harness::{
-    chaos_torture, lockstep_torture, time_episodes, ChaosReport, Stagger, TortureReport,
+    chaos_torture, lockstep_torture, time_episodes, work_torture_on, ChaosReport, Stagger,
+    TortureReport,
 };
 pub use heal::{JitterBackoff, RejoinStatus, SelfHealing, Supervisor, SupervisorConfig};
 pub use pad::CachePadded;

@@ -16,12 +16,14 @@
 //! exploits.
 
 use crate::episode::{run_episode_with, ReleaseModel};
-use crate::workload::WorkSource;
+use crate::source::Seeded;
+use crate::workload::Sampler;
 use combar_des::Duration;
 use combar_exec::{par_map, par_map_indexed};
 use combar_rng::stats::OnlineStats;
-use combar_rng::{Rng, SeedableRng, Xoshiro256pp};
-use combar_topo::{Placement, Topology};
+use combar_rng::{SeedableRng, Xoshiro256pp};
+use combar_topo::{Placement, ProcId, Topology};
+use combar_work::WorkSource;
 
 /// Whether processors stay at their construction-time counters or
 /// migrate via the victor/victim swap protocol.
@@ -100,13 +102,55 @@ impl IterateReport {
     }
 }
 
+/// Applies the paper's victor/victim swap protocol after one episode:
+/// each processor that won anywhere positions itself at the *highest
+/// swappable* counter where it arrived last. The KSR merge root owns no
+/// processor and ring boundaries are never crossed, so such a winner
+/// falls back to its ring's subtree root (paper Section 7, footnote 5).
+///
+/// `winners[c]` is the processor whose update completed counter `c`
+/// (an [`crate::EpisodeResult::winners`] vector). Returns the number of
+/// swaps applied. Shared by [`run_iterations`] and the balance runner
+/// in [`crate::balance`].
+pub fn apply_dynamic_swaps(
+    topo: &Topology,
+    placement: &mut Placement,
+    winners: &[Option<ProcId>],
+) -> u64 {
+    let p = topo.num_procs() as usize;
+    let mut swaps = 0u64;
+    let mut wins: Vec<Vec<u32>> = vec![Vec::new(); p];
+    for (c, w) in winners.iter().enumerate() {
+        if let Some(pr) = *w {
+            wins[pr as usize].push(c as u32);
+        }
+    }
+    for (proc, wl) in wins.iter_mut().enumerate() {
+        let proc = proc as u32;
+        wl.sort_by_key(|&c| topo.path_len(c)); // highest first
+        for &c in wl.iter() {
+            if c == placement.home(proc) {
+                break; // reached its own counter: nothing to gain
+            }
+            if placement.try_swap(topo, proc, c).is_some() {
+                swaps += 1;
+                break;
+            }
+        }
+    }
+    swaps
+}
+
 /// Runs `warmup + iterations` barrier episodes chained by fuzzy-barrier
 /// timing.
-pub fn run_iterations<W: WorkSource, R: Rng>(
+///
+/// `source` answers the per-episode work question through the shared
+/// [`WorkSource`] seam: wrap a classic [`Sampler`] + RNG pair in a
+/// [`Seeded`], or pass a pure [`combar_work::WorkModel`] directly.
+pub fn run_iterations<S: WorkSource + ?Sized>(
     topo: &Topology,
     cfg: &IterateConfig,
-    workload: &mut W,
-    rng: &mut R,
+    source: &mut S,
 ) -> IterateReport {
     let p = topo.num_procs() as usize;
     let mut placement = Placement::initial(topo);
@@ -124,7 +168,7 @@ pub fn run_iterations<W: WorkSource, R: Rng>(
 
     let total_iters = cfg.warmup + cfg.iterations;
     for iter in 0..total_iters {
-        workload.sample_into(rng, &mut works);
+        source.sample_episode(iter as u32, &mut works);
         for i in 0..p {
             arrivals[i] = begin[i] + works[i];
         }
@@ -147,30 +191,7 @@ pub fn run_iterations<W: WorkSource, R: Rng>(
 
         let mut swaps_this_iter = 0u64;
         if cfg.mode == PlacementMode::Dynamic {
-            // Each processor that won anywhere positions itself at the
-            // *highest swappable* counter where it arrived last: the
-            // KSR merge root owns no processor and ring boundaries are
-            // never crossed, so such a winner falls back to its ring's
-            // subtree root (paper Section 7, footnote 5).
-            let mut wins: Vec<Vec<u32>> = vec![Vec::new(); p];
-            for (c, w) in r.winners.iter().enumerate() {
-                if let Some(pr) = *w {
-                    wins[pr as usize].push(c as u32);
-                }
-            }
-            for (proc, wl) in wins.iter_mut().enumerate() {
-                let proc = proc as u32;
-                wl.sort_by_key(|&c| topo.path_len(c)); // highest first
-                for &c in wl.iter() {
-                    if c == placement.home(proc) {
-                        break; // reached its own counter: nothing to gain
-                    }
-                    if placement.try_swap(topo, proc, c).is_some() {
-                        swaps_this_iter += 1;
-                        break;
-                    }
-                }
-            }
+            swaps_this_iter = apply_dynamic_swaps(topo, &mut placement, &r.winners);
         }
         if measured {
             total_swaps_measured += swaps_this_iter;
@@ -209,27 +230,27 @@ pub fn run_iterations<W: WorkSource, R: Rng>(
 /// Runs the static and dynamic placements of the same configuration as
 /// a pair, in parallel on the `combar-exec` pool.
 ///
-/// `make` constructs a fresh `(workload, rng)` per mode, so both runs
-/// see identical random inputs — the paired comparison the paper's
-/// Figure 8 speedup columns are built on. Returns `(static, dynamic)`.
-pub fn run_modes<W, R, F>(
+/// `make` constructs a fresh [`WorkSource`] per mode (typically a
+/// [`Seeded`] sampler + RNG pair, so both runs see identical random
+/// inputs) — the paired comparison the paper's Figure 8 speedup columns
+/// are built on. Returns `(static, dynamic)`.
+pub fn run_modes<S, F>(
     topo: &Topology,
     cfg: &IterateConfig,
     make: F,
 ) -> (IterateReport, IterateReport)
 where
-    W: WorkSource,
-    R: Rng,
-    F: Fn() -> (W, R) + Sync,
+    S: WorkSource,
+    F: Fn() -> S + Sync,
 {
     let modes = [PlacementMode::Static, PlacementMode::Dynamic];
     let mut reports = par_map(&modes, |&mode| {
-        let (mut workload, mut rng) = make();
+        let mut source = make();
         let cfg = IterateConfig {
             mode,
             ..cfg.clone()
         };
-        run_iterations(topo, &cfg, &mut workload, &mut rng)
+        run_iterations(topo, &cfg, &mut source)
     });
     let dynamic = reports.pop().expect("two modes");
     let static_ = reports.pop().expect("two modes");
@@ -249,13 +270,12 @@ pub fn run_replicas<W, F>(
     make_workload: F,
 ) -> Vec<IterateReport>
 where
-    W: WorkSource,
+    W: Sampler + Send,
     F: Fn() -> W + Sync,
 {
     par_map_indexed(replicas, |r| {
-        let mut workload = make_workload();
-        let mut rng = Xoshiro256pp::split(seed, r as u64);
-        run_iterations(topo, cfg, &mut workload, &mut rng)
+        let mut source = Seeded::new(make_workload(), Xoshiro256pp::split(seed, r as u64));
+        run_iterations(topo, cfg, &mut source)
     })
 }
 
@@ -280,9 +300,11 @@ mod tests {
     #[test]
     fn static_run_reports_consistent_counts() {
         let topo = Topology::mcs(64, 4);
-        let mut rng = Xoshiro256pp::seed_from_u64(1);
-        let mut w = Workload::iid_normal(1000.0, 100.0);
-        let rep = run_iterations(&topo, &cfg(0.0, PlacementMode::Static), &mut w, &mut rng);
+        let mut w = Seeded::new(
+            Workload::iid_normal(1000.0, 100.0),
+            Xoshiro256pp::seed_from_u64(1),
+        );
+        let rep = run_iterations(&topo, &cfg(0.0, PlacementMode::Static), &mut w);
         assert_eq!(rep.sync_delay.count(), 60);
         assert_eq!(rep.idle.count(), 60 * 64);
         assert_eq!(rep.swaps, 0);
@@ -302,9 +324,11 @@ mod tests {
         let sigma = 100.0;
         let mut idles = Vec::new();
         for slack in [0.0, 200.0, 400.0, 1600.0] {
-            let mut w = Workload::iid_normal(10_000.0, sigma);
-            let mut rng = Xoshiro256pp::seed_from_u64(31);
-            let rep = run_iterations(&topo, &cfg(slack, PlacementMode::Static), &mut w, &mut rng);
+            let mut w = Seeded::new(
+                Workload::iid_normal(10_000.0, sigma),
+                Xoshiro256pp::seed_from_u64(31),
+            );
+            let rep = run_iterations(&topo, &cfg(slack, PlacementMode::Static), &mut w);
             if let Some(&prev) = idles.last() {
                 assert!(
                     rep.idle.mean() <= prev + 1.0,
@@ -327,13 +351,15 @@ mod tests {
     #[test]
     fn dynamic_placement_cuts_releasing_depth_with_slack() {
         let topo = Topology::mcs(256, 4);
-        let mut w1 = Workload::iid_normal(10_000.0, 100.0);
-        let mut w2 = Workload::iid_normal(10_000.0, 100.0);
-        let mut r1 = Xoshiro256pp::seed_from_u64(7);
-        let mut r2 = Xoshiro256pp::seed_from_u64(7);
+        let make = || {
+            Seeded::new(
+                Workload::iid_normal(10_000.0, 100.0),
+                Xoshiro256pp::seed_from_u64(7),
+            )
+        };
         let slack = 4000.0; // ≫ arrival spread
-        let stat = run_iterations(&topo, &cfg(slack, PlacementMode::Static), &mut w1, &mut r1);
-        let dyn_ = run_iterations(&topo, &cfg(slack, PlacementMode::Dynamic), &mut w2, &mut r2);
+        let stat = run_iterations(&topo, &cfg(slack, PlacementMode::Static), &mut make());
+        let dyn_ = run_iterations(&topo, &cfg(slack, PlacementMode::Dynamic), &mut make());
         assert!(
             dyn_.releasing_depth.mean() < stat.releasing_depth.mean() - 0.5,
             "dynamic {} vs static {}",
@@ -354,12 +380,14 @@ mod tests {
     #[test]
     fn dynamic_placement_useless_without_slack() {
         let topo = Topology::mcs(256, 4);
-        let mut w1 = Workload::iid_normal(10_000.0, 100.0);
-        let mut w2 = Workload::iid_normal(10_000.0, 100.0);
-        let mut r1 = Xoshiro256pp::seed_from_u64(9);
-        let mut r2 = Xoshiro256pp::seed_from_u64(9);
-        let stat = run_iterations(&topo, &cfg(0.0, PlacementMode::Static), &mut w1, &mut r1);
-        let dyn_ = run_iterations(&topo, &cfg(0.0, PlacementMode::Dynamic), &mut w2, &mut r2);
+        let make = || {
+            Seeded::new(
+                Workload::iid_normal(10_000.0, 100.0),
+                Xoshiro256pp::seed_from_u64(9),
+            )
+        };
+        let stat = run_iterations(&topo, &cfg(0.0, PlacementMode::Static), &mut make());
+        let dyn_ = run_iterations(&topo, &cfg(0.0, PlacementMode::Dynamic), &mut make());
         let ratio = stat.sync_delay.mean() / dyn_.sync_delay.mean();
         assert!(
             (0.8..1.25).contains(&ratio),
@@ -372,9 +400,11 @@ mod tests {
     #[test]
     fn comm_overhead_is_bounded() {
         let topo = Topology::mcs(256, 4);
-        let mut w = Workload::iid_normal(10_000.0, 100.0);
-        let mut rng = Xoshiro256pp::seed_from_u64(11);
-        let rep = run_iterations(&topo, &cfg(0.0, PlacementMode::Dynamic), &mut w, &mut rng);
+        let mut w = Seeded::new(
+            Workload::iid_normal(10_000.0, 100.0),
+            Xoshiro256pp::seed_from_u64(11),
+        );
+        let rep = run_iterations(&topo, &cfg(0.0, PlacementMode::Dynamic), &mut w);
         let bound = 1.0 + 1.0 / (4.0 + 1.0);
         assert!(
             rep.comm_overhead() <= bound + 1e-9,
@@ -395,9 +425,11 @@ mod tests {
         let corr_at = |slack_us: f64, seed: u64| -> f64 {
             let mut c = base_cfg.clone();
             c.slack = Duration::from_us(slack_us);
-            let mut w = Workload::iid_normal(10_000.0, 100.0);
-            let mut rng = Xoshiro256pp::seed_from_u64(seed);
-            let rep = run_iterations(&topo, &c, &mut w, &mut rng);
+            let mut w = Seeded::new(
+                Workload::iid_normal(10_000.0, 100.0),
+                Xoshiro256pp::seed_from_u64(seed),
+            );
+            let rep = run_iterations(&topo, &c, &mut w);
             let mut corr = OnlineStats::new();
             for k in 0..rep.arrivals.len() - 1 {
                 corr.push(stats::spearman(&rep.arrivals[k], &rep.arrivals[k + 1]));
@@ -417,17 +449,15 @@ mod tests {
         let topo = Topology::mcs(64, 4);
         let c = cfg(2000.0, PlacementMode::Static);
         let make = || {
-            (
+            Seeded::new(
                 Workload::iid_normal(10_000.0, 100.0),
                 Xoshiro256pp::seed_from_u64(17),
             )
         };
         let (stat, dyn_) = combar_exec::with_thread_count(4, || run_modes(&topo, &c, make));
-        let (mut w1, mut r1) = make();
-        let by_hand_stat = run_iterations(&topo, &c, &mut w1, &mut r1);
-        let (mut w2, mut r2) = make();
+        let by_hand_stat = run_iterations(&topo, &c, &mut make());
         let dyn_cfg = cfg(2000.0, PlacementMode::Dynamic);
-        let by_hand_dyn = run_iterations(&topo, &dyn_cfg, &mut w2, &mut r2);
+        let by_hand_dyn = run_iterations(&topo, &dyn_cfg, &mut make());
         assert_eq!(stat.sync_delay.mean(), by_hand_stat.sync_delay.mean());
         assert_eq!(dyn_.sync_delay.mean(), by_hand_dyn.sync_delay.mean());
         assert_eq!(dyn_.swaps, by_hand_dyn.swaps);
@@ -454,14 +484,11 @@ mod tests {
     #[test]
     fn ring_topology_runs_dynamic_without_crossing_rings() {
         let topo = Topology::ring_mcs(56, 4, 32);
-        let mut w = Workload::iid_normal(9500.0, 110.0);
-        let mut rng = Xoshiro256pp::seed_from_u64(13);
-        let rep = run_iterations(
-            &topo,
-            &cfg(2000.0, PlacementMode::Dynamic),
-            &mut w,
-            &mut rng,
+        let mut w = Seeded::new(
+            Workload::iid_normal(9500.0, 110.0),
+            Xoshiro256pp::seed_from_u64(13),
         );
+        let rep = run_iterations(&topo, &cfg(2000.0, PlacementMode::Dynamic), &mut w);
         assert!(rep.sync_delay.mean() > 0.0);
         // with 56 procs and slack the releasing depth should shrink
         // below the static tree depth of 4 (degree-4 over 32 + merge)

@@ -28,22 +28,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod balance;
 pub mod dissemination;
 pub mod episode;
 pub mod iterate;
 pub mod optimal;
+pub mod source;
 pub mod workload;
 
+pub use balance::{run_balance, BalanceConfig, BalanceRegime, BalanceReport};
 pub use combar_topo::{
     default_degree_sweep, full_tree_degrees, CounterId, Placement, ProcId, Topology, TopologyKind,
 };
+pub use combar_work::{Diffuser, WorkModel, WorkSource, UNIT_SCALE};
 pub use dissemination::{mean_dissemination_delay, run_dissemination, DisseminationResult};
 pub use episode::{run_episode, run_episode_traced, run_episode_with, EpisodeResult, ReleaseModel};
 pub use iterate::{
-    run_iterations, run_modes, run_replicas, IterateConfig, IterateReport, PlacementMode,
+    apply_dynamic_swaps, run_iterations, run_modes, run_replicas, IterateConfig, IterateReport,
+    PlacementMode,
 };
 pub use optimal::{
     build_tree, optimal_degree, speedup_vs_degree4, sweep_degrees, DegreeResult, SweepConfig,
     TreeStyle,
 };
-pub use workload::{normal_arrivals, WorkSource, Workload};
+pub use source::Seeded;
+pub use workload::{normal_arrivals, Sampler, Workload};

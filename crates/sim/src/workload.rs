@@ -10,9 +10,14 @@
 use combar_rng::{Distribution, Exponential, Normal, Pareto, Rng};
 
 /// Anything that can generate one iteration's work times for all
-/// processors. Implemented by [`Workload`] here and by the KSR1 SOR
-/// model in `combar-machine`.
-pub trait WorkSource {
+/// processors by drawing from a caller-supplied RNG. Implemented by
+/// [`Workload`] here and by the KSR1 SOR model in `combar-machine`.
+///
+/// This is the *stateful-RNG* half of the work layer; the episode
+/// loops themselves consume the dyn-compatible
+/// [`combar_work::WorkSource`] seam. Pair a `Sampler` with an RNG via
+/// [`crate::Seeded`] to cross the boundary.
+pub trait Sampler {
     /// Draws one iteration's per-processor work times (µs) into `out`.
     fn sample_into<R: Rng>(&mut self, rng: &mut R, out: &mut [f64]);
 
@@ -120,7 +125,7 @@ impl Workload {
     }
 }
 
-impl WorkSource for Workload {
+impl Sampler for Workload {
     fn mean_us(&self) -> f64 {
         self.mean_us
     }

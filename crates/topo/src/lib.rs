@@ -438,6 +438,50 @@ impl Topology {
         }
     }
 
+    /// The *processor* neighbour graph induced by the counter tree,
+    /// as an undirected edge list: processors attached to the same
+    /// counter are chained in attachment order, and each counter's
+    /// representative processor (its first attached processor, or its
+    /// first descendant's for processor-less merge roots) connects to
+    /// its parent counter's representative. The result is connected,
+    /// has `O(p)` edges, mirrors the tree's communication locality —
+    /// exactly the graph a diffusion load balancer should move work
+    /// along — and is a pure function of the topology, so it is
+    /// identical at any thread count.
+    pub fn proc_edges(&self) -> Vec<(ProcId, ProcId)> {
+        // Representative processor per counter, resolving
+        // processor-less counters through their first child (post-order
+        // over path_len guarantees children resolve first).
+        let mut rep: Vec<Option<ProcId>> = vec![None; self.nodes.len()];
+        let mut order: Vec<CounterId> = (0..self.nodes.len() as u32).collect();
+        order.sort_by_key(|&c| std::cmp::Reverse(self.path_len(c)));
+        for c in order {
+            let n = &self.nodes[c as usize];
+            rep[c as usize] = n
+                .procs
+                .first()
+                .copied()
+                .or_else(|| n.children.iter().find_map(|&ch| rep[ch as usize]));
+        }
+        let mut edges = Vec::with_capacity(self.num_procs as usize);
+        for n in &self.nodes {
+            for w in n.procs.windows(2) {
+                edges.push((w[0], w[1]));
+            }
+            let Some(mine) = rep[n.id as usize] else {
+                continue;
+            };
+            for &ch in &n.children {
+                if let Some(theirs) = rep[ch as usize] {
+                    if theirs != mine {
+                        edges.push((theirs, mine));
+                    }
+                }
+            }
+        }
+        edges
+    }
+
     /// Checks structural invariants; used by tests and property tests.
     ///
     /// Verifies: parent/child symmetry, a single root, every processor
@@ -1166,6 +1210,45 @@ mod tests {
             let (pt, _) = t.prune(&live).unwrap();
             pt.validate().unwrap();
             assert!(pt.depth() <= t.depth(), "death of {dead}");
+        }
+    }
+
+    /// `proc_edges` is connected, self-loop-free, and in range for
+    /// every construction family — including the merge root of a ring
+    /// topology, which owns no processor.
+    #[test]
+    fn proc_edges_connect_every_processor() {
+        for topo in [
+            Topology::flat(9),
+            Topology::combining(64, 4),
+            Topology::combining(37, 3),
+            Topology::mcs(56, 4),
+            Topology::ring_mcs(56, 4, 32),
+        ] {
+            let p = topo.num_procs() as usize;
+            let edges = topo.proc_edges();
+            // union-find over the edges
+            let mut parent: Vec<usize> = (0..p).collect();
+            fn find(parent: &mut [usize], mut x: usize) -> usize {
+                while parent[x] != x {
+                    parent[x] = parent[parent[x]];
+                    x = parent[x];
+                }
+                x
+            }
+            for &(a, b) in &edges {
+                assert!(a != b, "self loop {a}");
+                assert!((a as usize) < p && (b as usize) < p);
+                let (ra, rb) = (find(&mut parent, a as usize), find(&mut parent, b as usize));
+                parent[ra] = rb;
+            }
+            let root = find(&mut parent, 0);
+            for q in 1..p {
+                assert_eq!(find(&mut parent, q), root, "proc {q} disconnected");
+            }
+            assert!(edges.len() < 2 * p, "edge count stays O(p)");
+            // pure function of the topology
+            assert_eq!(edges, topo.proc_edges());
         }
     }
 

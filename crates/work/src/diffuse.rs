@@ -1,0 +1,214 @@
+//! Diffusion load balancing over a neighbour graph, in integer work
+//! units.
+//!
+//! The paper's dynamic placement moves *slow processors* toward the
+//! barrier root; the diffusion literature (Cybenko; Eijkhout's
+//! load-balancing chapter — SNIPPETS.md snippets 2–3) moves *work*
+//! between graph neighbours instead: each balancing step transfers
+//! load along an edge in proportion to the load difference across it,
+//! and repeated steps converge to the average without any global
+//! coordination.
+//!
+//! [`Diffuser`] implements that step over **integer work units** so
+//! conservation is exact, not approximate: a transfer subtracts `n`
+//! units from the donor and adds the same `n` to the receiver, which
+//! makes "the total never changes" a provable invariant (see the
+//! repository-wide proptest) rather than a floating-point hope. The
+//! measured per-episode loads that drive the step come from
+//! `combar-trace` critical paths in the balance experiment; any `f64`
+//! load vector works.
+
+/// Work units each participant starts with: one `UNIT_SCALE` of units
+/// corresponds to the participant's nominal (unit-factor-1.0) work.
+pub const UNIT_SCALE: u64 = 1024;
+
+/// Integer-unit diffusion balancer over a fixed undirected edge list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diffuser {
+    units: Vec<u64>,
+    edges: Vec<(u32, u32)>,
+    /// Damping: the fraction of a pairwise load difference moved per
+    /// step, scaled down further by node degree to keep simultaneous
+    /// multi-edge transfers stable (Cybenko's `1/(deg+1)` condition).
+    alpha: f64,
+    degree: Vec<u32>,
+    moved: u64,
+}
+
+impl Diffuser {
+    /// A balancer for `p` participants connected by `edges`, each
+    /// starting with [`UNIT_SCALE`] units. `alpha ∈ (0, 1]` is the
+    /// un-normalized per-edge transfer fraction; the effective edge
+    /// coefficient is `alpha / (max(deg_i, deg_j) + 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`, `alpha` is out of `(0, 1]`, or an edge
+    /// endpoint is out of range / a self-loop.
+    pub fn new(p: usize, edges: Vec<(u32, u32)>, alpha: f64) -> Self {
+        assert!(p > 0, "need at least one participant");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        let mut degree = vec![0u32; p];
+        for &(a, b) in &edges {
+            assert!(
+                (a as usize) < p && (b as usize) < p && a != b,
+                "edge ({a}, {b}) invalid for p = {p}"
+            );
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        Self {
+            units: vec![UNIT_SCALE; p],
+            edges,
+            alpha,
+            degree,
+            moved: 0,
+        }
+    }
+
+    /// Current work units per participant.
+    pub fn units(&self) -> &[u64] {
+        &self.units
+    }
+
+    /// Total units across all participants — invariant under
+    /// [`Diffuser::step`].
+    pub fn total(&self) -> u64 {
+        self.units.iter().sum()
+    }
+
+    /// Cumulative units transferred across all steps so far.
+    pub fn moved(&self) -> u64 {
+        self.moved
+    }
+
+    /// Participant `tid`'s current work multiplier
+    /// (`units / UNIT_SCALE`; 1.0 until a step moves something).
+    pub fn factor(&self, tid: u32) -> f64 {
+        self.units[tid as usize] as f64 / UNIT_SCALE as f64
+    }
+
+    /// Ratio of the largest to the smallest per-participant unit count
+    /// (∞ if someone was drained to zero) — a convergence indicator.
+    pub fn unit_spread(&self) -> f64 {
+        let max = *self.units.iter().max().expect("p > 0") as f64;
+        let min = *self.units.iter().min().expect("p > 0") as f64;
+        max / min
+    }
+
+    /// One diffusion step driven by measured per-participant loads
+    /// (µs). For each edge `(i, j)`, in the fixed construction order,
+    /// moves `⌊alpha_ij · (load_i − load_j) / unit_cost_us⌋` units
+    /// from the loaded side to the unloaded side, where `unit_cost_us`
+    /// converts microseconds of measured imbalance into units (the
+    /// caller's nominal per-unit work time, typically
+    /// `mean_us / UNIT_SCALE`). Transfers clamp at the donor's
+    /// balance, so units never go negative and the total is conserved
+    /// exactly. Returns the units moved this step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load.len()` mismatches the participant count or
+    /// `unit_cost_us` is not positive.
+    pub fn step(&mut self, load: &[f64], unit_cost_us: f64) -> u64 {
+        assert_eq!(load.len(), self.units.len(), "load vector length");
+        assert!(unit_cost_us > 0.0, "unit cost must be positive");
+        let mut step_moved = 0u64;
+        for &(a, b) in &self.edges {
+            let (ai, bi) = (a as usize, b as usize);
+            let coeff = self.alpha / (self.degree[ai].max(self.degree[bi]) as f64 + 1.0);
+            let want = coeff * (load[ai] - load[bi]) / unit_cost_us;
+            let (donor, receiver) = if want >= 0.0 { (ai, bi) } else { (bi, ai) };
+            let n = (want.abs().floor() as u64).min(self.units[donor]);
+            if n == 0 {
+                continue;
+            }
+            self.units[donor] -= n;
+            self.units[receiver] += n;
+            step_moved += n;
+        }
+        self.moved += step_moved;
+        step_moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_edges(p: u32) -> Vec<(u32, u32)> {
+        (0..p - 1).map(|i| (i, i + 1)).collect()
+    }
+
+    #[test]
+    fn step_conserves_total_units_exactly() {
+        let p = 16;
+        let mut d = Diffuser::new(p, path_edges(p as u32), 0.5);
+        let total = d.total();
+        let load: Vec<f64> = (0..p).map(|i| 100.0 * i as f64).collect();
+        for _ in 0..50 {
+            d.step(&load, 1.0);
+            assert_eq!(d.total(), total);
+        }
+    }
+
+    #[test]
+    fn units_flow_from_loaded_to_unloaded_neighbours() {
+        let mut d = Diffuser::new(2, vec![(0, 1)], 0.5);
+        let moved = d.step(&[1000.0, 0.0], 1.0);
+        assert!(moved > 0);
+        assert!(d.units()[0] < UNIT_SCALE && d.units()[1] > UNIT_SCALE);
+        assert_eq!(d.moved(), moved);
+        assert!(d.unit_spread() > 1.0);
+    }
+
+    /// Repeated steps under a persistent imbalance converge: the
+    /// loaded participant keeps shedding units until the *effective*
+    /// loads (bias × factor) equalize.
+    #[test]
+    fn persistent_imbalance_converges_toward_equal_effective_load() {
+        let p = 8u32;
+        let mut d = Diffuser::new(p as usize, path_edges(p), 0.5);
+        // participant 0 is 2× slower per unit
+        let cost: Vec<f64> = (0..p).map(|i| if i == 0 { 2.0 } else { 1.0 }).collect();
+        for _ in 0..400 {
+            let load: Vec<f64> = (0..p as usize)
+                .map(|i| cost[i] * d.units()[i] as f64)
+                .collect();
+            d.step(&load, 1.0);
+        }
+        let loads: Vec<f64> = (0..p as usize)
+            .map(|i| cost[i] * d.units()[i] as f64)
+            .collect();
+        let max = loads.iter().cloned().fold(f64::MIN, f64::max);
+        let min = loads.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max / min < 1.25,
+            "effective loads should equalize: {loads:?}"
+        );
+        assert!(d.units()[0] < UNIT_SCALE, "the slow participant sheds work");
+    }
+
+    #[test]
+    fn zero_load_difference_moves_nothing() {
+        let mut d = Diffuser::new(4, path_edges(4), 1.0);
+        assert_eq!(d.step(&[5.0; 4], 1.0), 0);
+        assert!(d.units().iter().all(|&u| u == UNIT_SCALE));
+    }
+
+    #[test]
+    fn donor_clamps_at_zero_units() {
+        let mut d = Diffuser::new(2, vec![(0, 1)], 1.0);
+        for _ in 0..100 {
+            d.step(&[1e12, 0.0], 1.0);
+        }
+        assert_eq!(d.total(), 2 * UNIT_SCALE);
+        assert_eq!(d.units()[0], 0, "drained, never negative");
+    }
+
+    #[test]
+    #[should_panic(expected = "edge (0, 2) invalid")]
+    fn out_of_range_edge_rejected() {
+        let _ = Diffuser::new(2, vec![(0, 2)], 0.5);
+    }
+}

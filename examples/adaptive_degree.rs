@@ -28,16 +28,26 @@ fn threaded_demo() {
     const NOISY: u32 = 16;
 
     println!("adaptive barrier, {THREADS} threads, window {WINDOW} episodes");
-    let barrier = AdaptiveBarrier::new(THREADS, &[2, 4, THREADS], WINDOW, model_policy(20.0));
-    let quiet_degree = AtomicU32::new(0);
-    let noisy_degree = AtomicU32::new(0);
+    let barrier = BarrierBuilder::new(BarrierKind::Adaptive, THREADS)
+        .candidates(&[2, 4, THREADS])
+        .window(WINDOW)
+        .policy(model_policy(20.0))
+        .build();
+    let quiet_depth = AtomicU32::new(0);
+    let noisy_depth = AtomicU32::new(0);
     std::thread::scope(|s| {
         for tid in 0..THREADS {
             let barrier = &barrier;
-            let quiet_degree = &quiet_degree;
-            let noisy_degree = &noisy_degree;
+            let quiet_depth = &quiet_depth;
+            let noisy_depth = &noisy_depth;
             s.spawn(move || {
                 let mut w = barrier.waiter(tid);
+                let depth = || {
+                    barrier
+                        .as_dyn()
+                        .critical_depth()
+                        .expect("adaptive barriers report their tree depth")
+                };
                 for e in 0..QUIET + NOISY {
                     if e >= QUIET && tid == 0 {
                         // phase 2: thread 0 becomes systematically slow
@@ -45,23 +55,23 @@ fn threaded_demo() {
                     }
                     w.wait();
                     if tid == 0 && e + 1 == QUIET {
-                        quiet_degree.store(w.current_degree(), Ordering::Relaxed);
+                        quiet_depth.store(depth(), Ordering::Relaxed);
                     }
                 }
                 if tid == 0 {
-                    noisy_degree.store(w.current_degree(), Ordering::Relaxed);
+                    noisy_depth.store(depth(), Ordering::Relaxed);
                 }
             });
         }
     });
     println!(
-        "  degree after quiet phase: {}, after imbalanced phase: {}",
-        quiet_degree.load(Ordering::Relaxed),
-        noisy_degree.load(Ordering::Relaxed)
+        "  tree depth after quiet phase: {}, after imbalanced phase: {}",
+        quiet_depth.load(Ordering::Relaxed),
+        noisy_depth.load(Ordering::Relaxed)
     );
     assert!(
-        noisy_degree.load(Ordering::Relaxed) >= quiet_degree.load(Ordering::Relaxed),
-        "imbalance must not narrow the tree"
+        noisy_depth.load(Ordering::Relaxed) <= quiet_depth.load(Ordering::Relaxed),
+        "imbalance must not narrow (deepen) the tree"
     );
 }
 

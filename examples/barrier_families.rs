@@ -13,7 +13,6 @@
 
 use combar::prelude::*;
 use combar_rt::harness::time_episodes;
-use combar_rt::{BlockingBarrier, TournamentBarrier};
 use std::time::Duration as StdDuration;
 
 /// Sleep injected into thread 0 per episode during the slow phase.
@@ -36,68 +35,9 @@ fn main() {
         "barrier", "quiet µs/ep", "slow-thread µs/ep"
     );
 
-    let central = |slow: bool| {
-        let b = CentralBarrier::new(threads);
-        time_episodes(threads, episodes, |tid| {
-            let mut w = b.waiter();
-            move || {
-                pause(slow, tid);
-                w.wait()
-            }
-        })
-    };
-    let blocking = |slow: bool| {
-        let b = BlockingBarrier::new(threads);
-        time_episodes(threads, episodes, |tid| {
-            let mut w = b.waiter();
-            move || {
-                pause(slow, tid);
-                w.wait()
-            }
-        })
-    };
-    let tree = |slow: bool| {
-        let b = TreeBarrier::combining(threads, 2);
-        time_episodes(threads, episodes, |tid| {
-            let mut w = b.waiter(tid);
-            move || {
-                pause(slow, tid);
-                w.wait()
-            }
-        })
-    };
-    let mcs = |slow: bool| {
-        let b = TreeBarrier::mcs(threads, 2);
-        time_episodes(threads, episodes, |tid| {
-            let mut w = b.waiter(tid);
-            move || {
-                pause(slow, tid);
-                w.wait()
-            }
-        })
-    };
-    let dynamic = |slow: bool| {
-        let b = DynamicBarrier::mcs(threads, 2);
-        time_episodes(threads, episodes, |tid| {
-            let mut w = b.waiter(tid);
-            move || {
-                pause(slow, tid);
-                w.wait()
-            }
-        })
-    };
-    let dissemination = |slow: bool| {
-        let b = DisseminationBarrier::new(threads);
-        time_episodes(threads, episodes, |tid| {
-            let mut w = b.waiter(tid);
-            move || {
-                pause(slow, tid);
-                w.wait()
-            }
-        })
-    };
-    let tournament = |slow: bool| {
-        let b = TournamentBarrier::new(threads);
+    // every family goes through the one unified construction path
+    let time = |kind: BarrierKind, slow: bool| {
+        let b = BarrierBuilder::new(kind, threads).build();
         time_episodes(threads, episodes, |tid| {
             let mut w = b.waiter(tid);
             move || {
@@ -107,18 +47,18 @@ fn main() {
         })
     };
 
-    let rows: Vec<(&str, &dyn Fn(bool) -> StdDuration)> = vec![
-        ("central (spin)", &central),
-        ("blocking (condvar)", &blocking),
-        ("tree degree 2", &tree),
-        ("MCS tree degree 2", &mcs),
-        ("dynamic placement", &dynamic),
-        ("dissemination", &dissemination),
-        ("tournament", &tournament),
+    let rows: Vec<(&str, BarrierKind)> = vec![
+        ("central (spin)", BarrierKind::Central),
+        ("blocking (condvar)", BarrierKind::Blocking),
+        ("tree degree 2", BarrierKind::CombiningTree { degree: 2 }),
+        ("MCS tree degree 2", BarrierKind::McsTree { degree: 2 }),
+        ("dynamic placement", BarrierKind::Dynamic { degree: 2 }),
+        ("dissemination", BarrierKind::Dissemination),
+        ("tournament", BarrierKind::Tournament),
     ];
-    for (name, f) in rows {
-        let quiet = f(false);
-        let slow = f(true);
+    for (name, kind) in rows {
+        let quiet = time(kind, false);
+        let slow = time(kind, true);
         println!(
             "{:<22} {:>14.1} {:>18.1}",
             name,

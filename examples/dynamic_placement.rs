@@ -13,7 +13,7 @@
 //! the faster threads.
 
 use combar::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
+use combar_trace::{critical_paths, Kind, TraceBook};
 use std::time::{Duration as StdDuration, Instant};
 
 const THREADS: u32 = 8;
@@ -21,29 +21,33 @@ const SLOW: u32 = 7;
 const EPISODES: u32 = 40;
 
 fn run_static() -> f64 {
-    let barrier = TreeBarrier::mcs(THREADS, 2);
+    let barrier = BarrierBuilder::new(BarrierKind::McsTree { degree: 2 }, THREADS).build();
     let elapsed = time_barrier(|tid| {
         let mut w = barrier.waiter(tid);
         move || w.wait()
     });
     println!(
-        "static MCS tree   : slow thread depth stays {} (tree depth {})",
-        barrier.depth_of(SLOW),
+        "static MCS tree   : critical depth stays {} (tree depth {})",
+        barrier
+            .as_dyn()
+            .critical_depth()
+            .expect("trees report their depth"),
         Topology::mcs(THREADS, 2).depth()
     );
     elapsed
 }
 
 fn run_dynamic() -> f64 {
-    let barrier = DynamicBarrier::mcs(THREADS, 2);
-    let depths: Vec<AtomicU32> = (0..THREADS).map(|_| AtomicU32::new(0)).collect();
+    let barrier = BarrierBuilder::new(BarrierKind::Dynamic { degree: 2 }, THREADS)
+        .trace(TraceBook::with_capacity(1 << 14))
+        .build();
     let elapsed = {
         let barrier = &barrier;
-        let depths = &depths;
         let t0 = Instant::now();
         std::thread::scope(|s| {
             for tid in 0..THREADS {
                 s.spawn(move || {
+                    let _trace = barrier.attach(tid);
                     let mut w = barrier.waiter(tid);
                     for _ in 0..EPISODES {
                         if tid == SLOW {
@@ -51,21 +55,34 @@ fn run_dynamic() -> f64 {
                         }
                         w.wait();
                     }
-                    depths[tid as usize].store(w.depth(), Ordering::Relaxed);
                 });
             }
         });
         t0.elapsed().as_secs_f64()
     };
-    let slow_depth = depths[SLOW as usize].load(Ordering::Relaxed);
+    // the migration story is all in the trace: Swap events record each
+    // upward move, and the final episode's critical path shows the slow
+    // thread releasing from the root.
+    let events = barrier.trace_book().expect("built with a sink").drain();
+    let swaps = events
+        .iter()
+        .filter(|e| matches!(e.kind, Kind::Swap(_)))
+        .count();
+    let paths = critical_paths(&events);
+    let last = paths.last().expect("traced episodes");
     println!(
-        "dynamic placement : slow thread migrated to depth {slow_depth} after {} swaps",
-        barrier.swap_count()
+        "dynamic placement : slow thread migrated in {swaps} swaps; last episode released \
+         by t{} at depth {}",
+        last.releaser,
+        last.depth()
     );
-    let all: Vec<u32> = depths.iter().map(|d| d.load(Ordering::Relaxed)).collect();
-    println!("                    final depths per thread: {all:?}");
     assert_eq!(
-        slow_depth, 1,
+        last.releaser, SLOW,
+        "the systematically slow thread should release the final episode"
+    );
+    assert_eq!(
+        last.depth(),
+        1,
         "the systematically slow thread should own the root"
     );
     elapsed

@@ -32,7 +32,7 @@ fn spin_us(n: u64) -> u64 {
 
 /// Runs the pipeline; `fuzzy = true` signals between the stages.
 fn run(fuzzy: bool) -> (f64, f64) {
-    let barrier = CentralBarrier::new(THREADS);
+    let barrier = BarrierBuilder::new(BarrierKind::Central, THREADS).build();
     let idle = Mutex::new(OnlineStats::new());
     let total = Mutex::new(OnlineStats::new());
     std::thread::scope(|s| {
@@ -41,17 +41,18 @@ fn run(fuzzy: bool) -> (f64, f64) {
             let idle = &idle;
             let total = &total;
             s.spawn(move || {
-                let mut w = barrier.waiter();
+                let mut w = barrier.waiter(tid);
                 let mut my_idle = OnlineStats::new();
                 let t0 = std::time::Instant::now();
                 for e in 0..EPISODES {
                     // dependent stage: uneven across threads & episodes
                     spin_us(50 + ((tid as u64 * 31 + e as u64 * 17) % 200));
                     if fuzzy {
-                        w.arrive();
+                        let f = w.as_fuzzy().expect("central barriers support fuzzy phases");
+                        f.arrive();
                         spin_us(300); // independent slack, overlaps the wait
                         let t = std::time::Instant::now();
-                        w.depart();
+                        f.depart();
                         my_idle.push(t.elapsed().as_secs_f64() * 1e6);
                     } else {
                         spin_us(300); // same work, but before signalling
@@ -97,9 +98,11 @@ fn main() {
             record_arrivals: true,
             ..IterateConfig::default()
         };
-        let mut w = Workload::iid_normal(9_500.0, 250.0);
-        let mut rng = Xoshiro256pp::seed_from_u64(7);
-        let rep = combar_sim::run_iterations(&topo, &cfg, &mut w, &mut rng);
+        let mut w = Seeded::new(
+            Workload::iid_normal(9_500.0, 250.0),
+            Xoshiro256pp::seed_from_u64(7),
+        );
+        let rep = combar_sim::run_iterations(&topo, &cfg, &mut w);
         let mut rho = OnlineStats::new();
         for k in 0..rep.arrivals.len() - 1 {
             rho.push(combar_rng::stats::spearman(

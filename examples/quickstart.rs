@@ -58,7 +58,7 @@ fn main() {
     let threads = 4u32;
     let advisor = DegreeAdvisor::new(threads, tc_us);
     let degree = advisor.recommend_for_sigma(sigma_us);
-    let barrier = TreeBarrier::combining(threads, degree);
+    let barrier = BarrierBuilder::new(BarrierKind::CombiningTree { degree }, threads).build();
     let episodes = 1000u32;
     let t0 = std::time::Instant::now();
     std::thread::scope(|s| {

@@ -47,7 +47,8 @@ fn main() {
     };
 
     // Parallel run.
-    let barrier = TreeBarrier::combining(threads as u32, 4);
+    let barrier =
+        BarrierBuilder::new(BarrierKind::CombiningTree { degree: 4 }, threads as u32).build();
     let bands = partition_rows(n - 2, threads);
     let snapshot = RwLock::new(initial.clone());
     let band_out: Vec<Mutex<Vec<f64>>> = bands

@@ -4,7 +4,7 @@
 use combar_des::Duration;
 use combar_machine::{ring_topology, Grid, KsrParams, SorWork};
 use combar_rng::{stats, SeedableRng, Xoshiro256pp};
-use combar_sim::{run_iterations, IterateConfig, PlacementMode, WorkSource};
+use combar_sim::{run_iterations, IterateConfig, PlacementMode, Sampler, Seeded};
 
 /// The calibration anchors from the paper's Section 7: d_y = 210 gives
 /// ~9.5 ms iterations with σ ≈ 110 µs, and the communication count is
@@ -15,7 +15,7 @@ fn paper_calibration_anchors() {
     assert_eq!(w.comm_events(), 56);
     assert!((w.analytic_mean_us() / 1000.0 - 9.5).abs() < 0.2);
     assert!((w.analytic_sigma_us() - 110.0).abs() < 5.0);
-    // empirical check through the WorkSource interface
+    // empirical check through the Sampler interface
     let mut rng = Xoshiro256pp::seed_from_u64(3);
     let mut buf = vec![0.0; 5000];
     let mut w = w;
@@ -30,8 +30,7 @@ fn larger_dy_flips_the_degree_comparison() {
     let params = KsrParams::default();
     let delay = |degree: u32, dy: u32| {
         let topo = ring_topology(&params, degree);
-        let mut work = SorWork::paper_config(dy);
-        let mut rng = Xoshiro256pp::seed_from_u64(17);
+        let mut work = Seeded::new(SorWork::paper_config(dy), Xoshiro256pp::seed_from_u64(17));
         let cfg = IterateConfig {
             tc: Duration::from_us(params.tc_us),
             iterations: 120,
@@ -39,9 +38,7 @@ fn larger_dy_flips_the_degree_comparison() {
             mode: PlacementMode::Static,
             ..IterateConfig::default()
         };
-        run_iterations(&topo, &cfg, &mut work, &mut rng)
-            .sync_delay
-            .mean()
+        run_iterations(&topo, &cfg, &mut work).sync_delay.mean()
     };
     // tiny variance: degree 4 should beat a flat-ish degree-32 tree
     assert!(
@@ -63,8 +60,7 @@ fn zero_slack_dynamic_placement_does_not_pay() {
     let params = KsrParams::default();
     let run = |mode| {
         let topo = ring_topology(&params, 2);
-        let mut work = SorWork::paper_config(210);
-        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let mut work = Seeded::new(SorWork::paper_config(210), Xoshiro256pp::seed_from_u64(5));
         let cfg = IterateConfig {
             tc: Duration::from_us(params.tc_us),
             iterations: 120,
@@ -72,7 +68,7 @@ fn zero_slack_dynamic_placement_does_not_pay() {
             mode,
             ..IterateConfig::default()
         };
-        run_iterations(&topo, &cfg, &mut work, &mut rng)
+        run_iterations(&topo, &cfg, &mut work)
     };
     let stat = run(PlacementMode::Static);
     let dynamic = run(PlacementMode::Dynamic);
@@ -121,8 +117,7 @@ fn ring_depth_bounds_hold_through_iterations() {
     let params = KsrParams::default();
     let topo = ring_topology(&params, 16);
     assert_eq!(topo.depth(), 3);
-    let mut work = SorWork::paper_config(210);
-    let mut rng = Xoshiro256pp::seed_from_u64(23);
+    let mut work = Seeded::new(SorWork::paper_config(210), Xoshiro256pp::seed_from_u64(23));
     let cfg = IterateConfig {
         tc: Duration::from_us(params.tc_us),
         slack: Duration::from_us(4_000.0),
@@ -132,7 +127,7 @@ fn ring_depth_bounds_hold_through_iterations() {
         record_arrivals: false,
         release_model: combar_sim::ReleaseModel::CentralFlag,
     };
-    let rep = run_iterations(&topo, &cfg, &mut work, &mut rng);
+    let rep = run_iterations(&topo, &cfg, &mut work);
     assert!(rep.releasing_depth.mean() >= 2.0 - 1e-9);
     assert!(rep.releasing_depth.mean() <= 3.0 + 1e-9);
 }

@@ -3,7 +3,9 @@
 
 use combar_des::Duration;
 use combar_rng::{SeedableRng, Xoshiro256pp};
-use combar_sim::{run_iterations, IterateConfig, IterateReport, PlacementMode, Topology, Workload};
+use combar_sim::{
+    run_iterations, IterateConfig, IterateReport, PlacementMode, Seeded, Topology, Workload,
+};
 
 fn run(
     topo: &Topology,
@@ -22,9 +24,11 @@ fn run(
         record_arrivals: false,
         release_model: combar_sim::ReleaseModel::CentralFlag,
     };
-    let mut w = Workload::iid_normal(9_500.0, sigma_us);
-    let mut rng = Xoshiro256pp::seed_from_u64(seed);
-    run_iterations(topo, &cfg, &mut w, &mut rng)
+    let mut w = Seeded::new(
+        Workload::iid_normal(9_500.0, sigma_us),
+        Xoshiro256pp::seed_from_u64(seed),
+    );
+    run_iterations(topo, &cfg, &mut w)
 }
 
 /// Figure 8's three rows, in miniature at 512 processors: the
@@ -78,12 +82,10 @@ fn systemic_imbalance_is_the_easy_case() {
         let mut seed_rng = Xoshiro256pp::seed_from_u64(7);
         Workload::systemic(256, 9_500.0, 300.0, 30.0, &mut seed_rng)
     };
-    let mut w1 = mk();
-    let mut r1 = Xoshiro256pp::seed_from_u64(100);
-    let stat = run_iterations(&topo, &cfg(PlacementMode::Static), &mut w1, &mut r1);
-    let mut w2 = mk();
-    let mut r2 = Xoshiro256pp::seed_from_u64(100);
-    let dynamic = run_iterations(&topo, &cfg(PlacementMode::Dynamic), &mut w2, &mut r2);
+    let mut w1 = Seeded::new(mk(), Xoshiro256pp::seed_from_u64(100));
+    let stat = run_iterations(&topo, &cfg(PlacementMode::Static), &mut w1);
+    let mut w2 = Seeded::new(mk(), Xoshiro256pp::seed_from_u64(100));
+    let dynamic = run_iterations(&topo, &cfg(PlacementMode::Dynamic), &mut w2);
     assert!(
         dynamic.sync_delay.mean() < stat.sync_delay.mean() * 0.75,
         "dynamic {} vs static {}",
@@ -107,12 +109,16 @@ fn evolving_imbalance_still_benefits() {
         record_arrivals: false,
         release_model: combar_sim::ReleaseModel::CentralFlag,
     };
-    let mut w1 = Workload::evolving(256, 9_500.0, 40.0, 30.0);
-    let mut r1 = Xoshiro256pp::seed_from_u64(5);
-    let stat = run_iterations(&topo, &cfg(PlacementMode::Static), &mut w1, &mut r1);
-    let mut w2 = Workload::evolving(256, 9_500.0, 40.0, 30.0);
-    let mut r2 = Xoshiro256pp::seed_from_u64(5);
-    let dynamic = run_iterations(&topo, &cfg(PlacementMode::Dynamic), &mut w2, &mut r2);
+    let mut w1 = Seeded::new(
+        Workload::evolving(256, 9_500.0, 40.0, 30.0),
+        Xoshiro256pp::seed_from_u64(5),
+    );
+    let stat = run_iterations(&topo, &cfg(PlacementMode::Static), &mut w1);
+    let mut w2 = Seeded::new(
+        Workload::evolving(256, 9_500.0, 40.0, 30.0),
+        Xoshiro256pp::seed_from_u64(5),
+    );
+    let dynamic = run_iterations(&topo, &cfg(PlacementMode::Dynamic), &mut w2);
     assert!(
         dynamic.sync_delay.mean() < stat.sync_delay.mean(),
         "dynamic {} vs static {}",

@@ -424,6 +424,47 @@ fn random_churn_schedules_keep_the_tree_shape_valid() {
     });
 }
 
+/// Work diffusion conserves total work units *exactly* for arbitrary
+/// topologies, damping factors, and load vectors: every transfer is an
+/// integer debit matched by an equal credit (a donor may legitimately
+/// drain to zero — transfers clamp there, never below), and units only
+/// move along real neighbour edges (an edgeless processor set never
+/// moves anything).
+#[test]
+fn diffusion_conserves_total_work_units() {
+    use combar_sim::{Diffuser, UNIT_SCALE};
+    randomized(128, 0xA11F, |g| {
+        let p = g.u32_in(2, 200);
+        let d = g.u32_in(2, 8);
+        let topo = if g.flag() {
+            Topology::mcs(p, d)
+        } else {
+            Topology::combining(p, d)
+        };
+        let alpha = g.f64_in(0.05, 1.0);
+        let mut diff = Diffuser::new(p as usize, topo.proc_edges(), alpha);
+        let total = diff.total();
+        assert_eq!(total, p as u64 * UNIT_SCALE);
+        let unit_cost = g.f64_in(0.05, 50.0);
+        for _ in 0..g.usize_in(1, 12) {
+            let load = g.vec_f64(0.0, 5000.0, p as usize, p as usize + 1);
+            diff.step(&load, unit_cost);
+            assert_eq!(
+                diff.units().iter().sum::<u64>(),
+                total,
+                "a diffusion step created or destroyed work"
+            );
+        }
+        // no edges → nowhere to move work, however lopsided the load
+        let mut isolated = Diffuser::new(p as usize, Vec::new(), alpha);
+        let mut lopsided = vec![0.0; p as usize];
+        lopsided[0] = 1e6;
+        isolated.step(&lopsided, unit_cost);
+        assert_eq!(isolated.moved(), 0);
+        assert!(isolated.units().iter().all(|&u| u == UNIT_SCALE));
+    });
+}
+
 /// Gamma sampling is always positive and its batch mean lands near αθ
 /// for arbitrary parameters (loose band: 200 samples).
 #[test]
