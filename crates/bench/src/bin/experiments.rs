@@ -25,11 +25,12 @@
 //! output byte.
 
 use combar::presets::{
-    AsyncLoad, Balance, Fig12, Fig13, Fig2, Fig3Grid, Fig5, Fig8, ScalingSweep, ServerSim,
+    AsyncLoad, Balance, Fig12, Fig13, Fig2, Fig3Grid, Fig5, Fig8, RestartSim, ScalingSweep,
+    ServerSim,
 };
 use combar_bench::experiments::{
     ablate, adaptive, asyncrt, balance, baselines, chaos, churn, fig2, fig34, fig5, fig8,
-    fuzzy_idle, ksr, mcs, release, scaling, seeds, server, trace,
+    fuzzy_idle, ksr, mcs, release, restart, scaling, seeds, server, trace,
 };
 use combar_bench::table::{json_escape, parse_rendered};
 use std::time::Instant;
@@ -52,6 +53,7 @@ const ALL_IDS: &[&str] = &[
     "chaos",
     "churn",
     "server",
+    "restart",
     "async",
     "trace",
     "balance",
@@ -308,6 +310,14 @@ fn main() {
                     ServerSim::full()
                 };
                 format!("{}\n", server::run(&preset).render())
+            }
+            "restart" => {
+                let preset = if quick {
+                    RestartSim::quick()
+                } else {
+                    RestartSim::full()
+                };
+                format!("{}\n", restart::run(&preset).render())
             }
             "async" => {
                 let preset = if quick {

@@ -17,6 +17,7 @@ pub mod fuzzy_idle;
 pub mod ksr;
 pub mod mcs;
 pub mod release;
+pub mod restart;
 pub mod scaling;
 pub mod server;
 pub mod trace;

@@ -21,8 +21,10 @@
 //! and is excluded; its DES companion (the replayed fault timeline) is
 //! deterministic and snapshotted via [`chaos_des_small`].
 
-use crate::experiments::{asyncrt, balance, chaos, churn, fig2, fig8, seeds, server, trace};
-use combar::presets::{AsyncLoad, Balance, Fig2, Fig8, ServerSim};
+use crate::experiments::{
+    asyncrt, balance, chaos, churn, fig2, fig8, restart, seeds, server, trace,
+};
+use combar::presets::{AsyncLoad, Balance, Fig2, Fig8, RestartSim, ServerSim};
 use std::time::Duration;
 
 /// Figure 2 (sync delay vs degree) at 256 processors, 4 replications.
@@ -72,6 +74,14 @@ pub fn churn_small() -> String {
 /// table is byte-stable like the rest of this file.
 pub fn server_small() -> String {
     server::run(&ServerSim::quick()).render()
+}
+
+/// The crash-recovery experiment (clean / cold / snapshot / failover
+/// recovery designs in virtual time) on its quick preset — crashes,
+/// replay costs, and wire faults are all pure functions of the preset
+/// and seed, so the table is byte-stable like the rest of this file.
+pub fn restart_small() -> String {
+    restart::run(&RestartSim::quick()).render()
 }
 
 /// The async epoch-runtime experiment on its quick preset. Like

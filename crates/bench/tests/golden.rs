@@ -71,6 +71,11 @@ fn server_table_is_stable() {
 }
 
 #[test]
+fn restart_table_is_stable() {
+    check("restart_small.txt", &combar_bench::golden::restart_small());
+}
+
+#[test]
 fn async_table_is_stable() {
     check("async_small.txt", &combar_bench::golden::async_small());
 }
@@ -108,6 +113,10 @@ fn renderings_are_deterministic() {
     assert_eq!(
         combar_bench::golden::server_small(),
         combar_bench::golden::server_small()
+    );
+    assert_eq!(
+        combar_bench::golden::restart_small(),
+        combar_bench::golden::restart_small()
     );
     assert_eq!(
         combar_bench::golden::async_small(),

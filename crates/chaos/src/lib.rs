@@ -54,9 +54,11 @@
 #![warn(missing_docs)]
 
 pub mod net;
+pub mod server;
 pub mod wake;
 
 pub use net::{NetChaosConfig, NetFault, NetFaultPlan};
+pub use server::{ServerFault, ServerFaultEvent, ServerFaultPlan, MAX_SERVER_FAULTS};
 pub use wake::{WakeChaosConfig, WakeFaultPlan};
 
 use combar_rng::{Rng, SeedableRng, Xoshiro256pp};

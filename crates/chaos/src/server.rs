@@ -1,0 +1,273 @@
+//! Deterministic *server-process* fault plans for crash-recovery
+//! testing.
+//!
+//! The thread plan ([`FaultPlan`](crate::FaultPlan)) injects scheduling
+//! adversity, the net plan ([`NetFaultPlan`](crate::NetFaultPlan))
+//! injects wire adversity; this module scripts the faults that kill the
+//! *authority itself*: whole-process crashes of the epoch server,
+//! journal corruption, and split-brain windows where a deposed primary
+//! keeps running. A [`ServerFaultPlan`] is a pure, `Copy` schedule keyed
+//! by the global epoch counter — replaying the same plan yields the same
+//! crash script, so restart soaks are as reproducible as the lossy-wire
+//! soaks they compose with.
+//!
+//! Fault kinds model how a real deployment loses its coordinator:
+//!
+//! * [`ServerFault::Kill`] — the primary process dies after the
+//!   journal append for the named epoch. `mid_broadcast` additionally
+//!   scripts the nastiest window: some shards fanned the release out,
+//!   some did not, so recovery must heal the partially-acked epoch
+//!   purely from the journal.
+//! * [`ServerFault::Truncate`] — the primary dies *and* the journal
+//!   loses a suffix (torn final write, disk rollback). Clients that
+//!   already observed the lost epochs must be told `Diverged`, never
+//!   silently rewound.
+//! * [`ServerFault::SplitBrain`] — the primary is deposed without
+//!   being stopped (network partition from its own lease): a standby is
+//!   promoted while the zombie keeps serving. Fencing must guarantee
+//!   the zombie can never release another epoch.
+//!
+//! Like every plan in this crate, the schedule is *descriptive*: it
+//! never touches a server. The restart harness in `combar-net`'s
+//! acceptance soak interprets it against a `FailoverCluster`, pairing
+//! each scripted kill with a recovery (restart or standby promotion).
+//!
+//! # Example
+//!
+//! ```
+//! use combar_chaos::{ServerFault, ServerFaultPlan};
+//!
+//! let plan = ServerFaultPlan::restart_soak(0xC0FFEE, 200, 3);
+//! assert_eq!(plan.len(), 3);
+//! // Exactly one scripted kill is mid-broadcast.
+//! assert_eq!(
+//!     plan.iter()
+//!         .filter(|e| matches!(e.fault, ServerFault::Kill { mid_broadcast: true }))
+//!         .count(),
+//!     1
+//! );
+//! // Same seed, same script — determinism is the whole point.
+//! assert_eq!(plan, ServerFaultPlan::restart_soak(0xC0FFEE, 200, 3));
+//! ```
+
+use combar_rng::{Rng, SeedableRng, Xoshiro256pp};
+
+/// Maximum scripted server faults a plan can carry (kept small so the
+/// plan stays a `Copy` value, mirroring `MAX_DEATHS` for participant
+/// deaths).
+pub const MAX_SERVER_FAULTS: usize = 8;
+
+/// One kind of authority-level fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerFault {
+    /// The primary process halts after journaling the scripted epoch.
+    Kill {
+        /// Crash *between* journal append and full release fan-out:
+        /// at most one shard's sessions see the release, everyone
+        /// else must recover it from the journal via `Resume`.
+        mid_broadcast: bool,
+    },
+    /// The primary halts and the journal additionally loses its last
+    /// `tail_bytes` bytes before recovery runs (torn write / disk
+    /// rollback). Recovery must stop cleanly at the damage and answer
+    /// ahead-of-journal clients with `Diverged`.
+    Truncate {
+        /// Bytes chopped off the journal tail before recovery.
+        tail_bytes: u64,
+    },
+    /// The primary is deposed but *not* stopped: a standby is promoted
+    /// (bumping the journal incarnation) while the old primary keeps
+    /// running as a zombie. The fence must hold — the zombie's next
+    /// release attempt is rejected by the journal and the zombie locks
+    /// itself out.
+    SplitBrain,
+}
+
+/// A scripted fault pinned to the epoch that triggers it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerFaultEvent {
+    /// Global epoch whose release trips the fault: the harness fires
+    /// the fault once `episodes_released` reaches `epoch + 1`.
+    pub epoch: u64,
+    /// What happens to the server.
+    pub fault: ServerFault,
+}
+
+/// A deterministic schedule of server-process faults, sorted by epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerFaultPlan {
+    events: [Option<ServerFaultEvent>; MAX_SERVER_FAULTS],
+    len: usize,
+}
+
+impl Default for ServerFaultPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerFaultPlan {
+    /// An empty plan: the server lives forever.
+    pub fn new() -> Self {
+        Self {
+            events: [None; MAX_SERVER_FAULTS],
+            len: 0,
+        }
+    }
+
+    /// Adds a scripted fault at `epoch`, keeping the plan sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan already holds [`MAX_SERVER_FAULTS`] events or
+    /// an event is already scripted at `epoch` (two faults cannot trip
+    /// on the same release).
+    pub fn with_fault(mut self, epoch: u64, fault: ServerFault) -> Self {
+        assert!(
+            self.len < MAX_SERVER_FAULTS,
+            "server fault plan holds at most {MAX_SERVER_FAULTS} events"
+        );
+        assert!(
+            self.iter().all(|e| e.epoch != epoch),
+            "duplicate server fault at epoch {epoch}"
+        );
+        self.events[self.len] = Some(ServerFaultEvent { epoch, fault });
+        self.len += 1;
+        self.events[..self.len].sort_unstable_by_key(|e| e.map(|e| e.epoch));
+        self
+    }
+
+    /// Adds a whole-process kill at `epoch`.
+    pub fn with_kill(self, epoch: u64, mid_broadcast: bool) -> Self {
+        self.with_fault(epoch, ServerFault::Kill { mid_broadcast })
+    }
+
+    /// Adds a kill-plus-journal-truncation at `epoch`.
+    pub fn with_truncate(self, epoch: u64, tail_bytes: u64) -> Self {
+        self.with_fault(epoch, ServerFault::Truncate { tail_bytes })
+    }
+
+    /// Adds a split-brain window (zombie primary + promoted standby)
+    /// at `epoch`.
+    pub fn with_split_brain(self, epoch: u64) -> Self {
+        self.with_fault(epoch, ServerFault::SplitBrain)
+    }
+
+    /// The acceptance scenario: `kills` whole-process crashes spread
+    /// deterministically (but not evenly — the seed jitters them)
+    /// across an `episodes`-long soak, with the middle kill scripted
+    /// mid-broadcast. Kill epochs avoid the first and last tenth of
+    /// the run so every crash lands while traffic is in full flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kills == 0`, `kills > MAX_SERVER_FAULTS`, or the run
+    /// is too short to separate the kills (`episodes < 10 * kills`).
+    pub fn restart_soak(seed: u64, episodes: u64, kills: usize) -> Self {
+        assert!(kills > 0, "a restart soak needs at least one kill");
+        assert!(kills <= MAX_SERVER_FAULTS);
+        assert!(
+            episodes >= 10 * kills as u64,
+            "need at least 10 episodes per kill to keep crashes apart"
+        );
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x5e57_a127);
+        let lo = episodes / 10;
+        let span = episodes - 2 * lo;
+        let stride = span / kills as u64;
+        let mut plan = Self::new();
+        for k in 0..kills {
+            // Jitter within the middle half of each stride so kills
+            // never collide and never touch the warmup/drain tenths.
+            let base = lo + k as u64 * stride + stride / 4;
+            let jitter = rng.next_u64() % (stride / 2).max(1);
+            plan = plan.with_kill(base + jitter, k == kills / 2);
+        }
+        plan
+    }
+
+    /// Number of scripted faults.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the plan scripts no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the scripted faults in epoch order.
+    pub fn iter(&self) -> impl Iterator<Item = &ServerFaultEvent> {
+        self.events[..self.len].iter().filter_map(|e| e.as_ref())
+    }
+
+    /// The first scripted fault strictly after `epoch`, if any — the
+    /// harness's "what do I arm next" query.
+    pub fn next_after(&self, epoch: u64) -> Option<ServerFaultEvent> {
+        self.iter().find(|e| e.epoch > epoch).copied()
+    }
+
+    /// The fault scripted exactly at `epoch`, if any.
+    pub fn fault_at(&self, epoch: u64) -> Option<ServerFault> {
+        self.iter().find(|e| e.epoch == epoch).map(|e| e.fault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_stay_sorted_and_queryable() {
+        let plan = ServerFaultPlan::new()
+            .with_kill(40, false)
+            .with_split_brain(10)
+            .with_truncate(25, 64);
+        let epochs: Vec<u64> = plan.iter().map(|e| e.epoch).collect();
+        assert_eq!(epochs, vec![10, 25, 40]);
+        assert_eq!(
+            plan.fault_at(25),
+            Some(ServerFault::Truncate { tail_bytes: 64 })
+        );
+        assert_eq!(plan.fault_at(26), None);
+        assert_eq!(
+            plan.next_after(10).map(|e| e.epoch),
+            Some(25),
+            "next_after is strict"
+        );
+        assert_eq!(plan.next_after(40), None);
+    }
+
+    #[test]
+    fn restart_soak_is_deterministic_and_well_spaced() {
+        let a = ServerFaultPlan::restart_soak(7, 200, 3);
+        let b = ServerFaultPlan::restart_soak(7, 200, 3);
+        assert_eq!(a, b);
+        assert_ne!(a, ServerFaultPlan::restart_soak(8, 200, 3));
+        let epochs: Vec<u64> = a.iter().map(|e| e.epoch).collect();
+        assert_eq!(epochs.len(), 3);
+        for w in epochs.windows(2) {
+            assert!(w[0] < w[1], "kills are strictly ordered: {epochs:?}");
+        }
+        for &e in &epochs {
+            assert!((20..180).contains(&e), "kill avoids warmup/drain: {e}");
+        }
+        assert_eq!(
+            a.iter()
+                .filter(|e| e.fault
+                    == ServerFault::Kill {
+                        mid_broadcast: true
+                    })
+                .count(),
+            1,
+            "exactly the middle kill is mid-broadcast"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate server fault")]
+    fn duplicate_epochs_are_rejected() {
+        let _ = ServerFaultPlan::new()
+            .with_kill(5, false)
+            .with_split_brain(5);
+    }
+}

@@ -154,6 +154,14 @@ pub mod seeds {
         BASE ^ 0x5e41e4 ^ ((k as u64) << 8) ^ loss.to_bits()
     }
 
+    /// Crash-recovery scenario: epoch server journaling under wire
+    /// loss `loss` with `k` whole-server crashes mid-soak (the same
+    /// seed drives the `ServerFaultPlan` crash script, the wire
+    /// `NetFaultPlan`, and the virtual-time replay's arrival stream).
+    pub fn restart(loss: f64, k: u32) -> u64 {
+        BASE ^ 0x5e57a1 ^ ((k as u64) << 8) ^ loss.to_bits()
+    }
+
     /// Async logical-scale load cell for `p` participants at relative
     /// imbalance `sigma` (drives the deterministic per-(participant,
     /// epoch) work schedule).
@@ -473,6 +481,96 @@ impl ServerSim {
 }
 
 impl Default for ServerSim {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// Beyond-paper preset: crash recovery of the journaled epoch server
+/// (`experiments -- restart`). The wire/latency model is [`ServerSim`]'s;
+/// this preset adds the authority-failure axis — whole-server crashes
+/// whose cost is failure *detection* plus journal *replay* (bounded by
+/// the snapshot cadence) plus the per-session resume handshake. The
+/// wall-clock companion against the real journaled server is
+/// `benches/restart_recovery.rs` → `BENCH_restart.json`.
+#[derive(Debug, Clone)]
+pub struct RestartSim {
+    /// Client sessions crossing the barrier together.
+    pub sessions: u32,
+    /// Server shards.
+    pub shards: u32,
+    /// Episodes every scenario completes.
+    pub episodes: u32,
+    /// Mean inter-episode work per session, µs.
+    pub work_mean_us: f64,
+    /// Arrival spread (σ of the work), µs.
+    pub sigma_us: f64,
+    /// One aggregation/broadcast hop, µs.
+    pub hop_us: f64,
+    /// Client retransmission timeout, µs.
+    pub rto_us: f64,
+    /// Failure-detection grace (lease lapse for a cold restart, standby
+    /// liveness grace for a promotion), µs.
+    pub detect_us: f64,
+    /// Journal replay cost per record, µs (dominates cold recovery of
+    /// a long-lived server without snapshots).
+    pub replay_us_per_record: f64,
+    /// Per-session resume-handshake cost paid after every recovery, µs.
+    pub resume_us: f64,
+    /// Wire-fault probability of the lossy scenarios.
+    pub loss: f64,
+    /// Whole-server crashes per crashy scenario.
+    pub kills: u32,
+    /// Snapshot cadence in episodes (bounds the replay tail for the
+    /// snapshotting scenarios).
+    pub snapshot_every: u32,
+}
+
+impl RestartSim {
+    /// Full-size run: the net acceptance scale (64 sessions, 4 shards,
+    /// 200 episodes, 5% loss) with 3 whole-server crashes.
+    pub fn full() -> Self {
+        Self {
+            sessions: 64,
+            shards: 4,
+            episodes: 200,
+            work_mean_us: 1_000.0,
+            sigma_us: 250.0,
+            hop_us: TC_US,
+            rto_us: 2_000.0,
+            detect_us: 5_000.0,
+            replay_us_per_record: 2.0,
+            resume_us: 50.0,
+            loss: 0.05,
+            kills: 3,
+            snapshot_every: 50,
+        }
+    }
+
+    /// Shrunk run for smoke passes and the golden snapshot.
+    pub fn quick() -> Self {
+        Self {
+            sessions: 16,
+            episodes: 60,
+            kills: 2,
+            snapshot_every: 20,
+            ..Self::full()
+        }
+    }
+
+    /// The crash epochs: `kills` crashes spread evenly across the run
+    /// (at `episodes·(i+1)/(kills+1)`), so no crash lands in the warmup
+    /// or drain edge. Pure arithmetic — the threaded soak uses the
+    /// seeded `ServerFaultPlan` script instead; this grid is for the
+    /// virtual-time replay, where even spacing keeps the table legible.
+    pub fn crash_epochs(&self) -> Vec<u32> {
+        (1..=self.kills)
+            .map(|i| self.episodes * i / (self.kills + 1))
+            .collect()
+    }
+}
+
+impl Default for RestartSim {
     fn default() -> Self {
         Self::full()
     }

@@ -25,6 +25,16 @@
 //! [`BarrierError::Evicted`] when the server folded the session out
 //! (call [`BarrierClient::rejoin`]), and [`BarrierError::Poisoned`]
 //! when the transport is closed for good.
+//!
+//! A *restarted* server (recovered from its write-ahead journal)
+//! challenges journaled-live sessions with `ResumeRequired`; the client
+//! answers `Resume{next_episode}` proving its position, and either
+//! continues seamlessly (`Resumed`), catches up from an idempotent
+//! `Release` re-ack, or learns the recovered authority lost a journal
+//! suffix it already observed — [`BarrierError::Diverged`], the one
+//! error that means the epoch stream itself broke. Every response frame
+//! carries the server's incarnation; frames from superseded
+//! incarnations (a fenced zombie primary) are silently dropped.
 
 use std::time::{Duration, Instant};
 
@@ -69,6 +79,9 @@ pub struct ClientStats {
     pub evictions: u64,
     /// Successful rejoins after eviction.
     pub rejoins: u64,
+    /// Successful `Resume` handshakes after a server restart proved the
+    /// session's epoch position to the new incarnation.
+    pub resumes: u64,
 }
 
 /// One client session of the epoch server. See the module docs.
@@ -85,6 +98,11 @@ pub struct BarrierClient<T: Transport> {
     /// An `Arrive` for the current episode is in flight (sent but not
     /// yet released) — `await_release` re-sends it on retry.
     arrive_pending: bool,
+    /// Highest server incarnation observed. Frames stamped with a lower
+    /// incarnation come from a fenced zombie (a dead server's delayed
+    /// or split-brain traffic) and are dropped unconditionally — the
+    /// client-side half of the fencing invariant.
+    max_inc: u64,
     stats: ClientStats,
 }
 
@@ -100,6 +118,7 @@ impl<T: Transport> BarrierClient<T> {
             seq: 0,
             joined: false,
             arrive_pending: false,
+            max_inc: 0,
             stats: ClientStats::default(),
         }
     }
@@ -143,6 +162,19 @@ impl<T: Transport> BarrierClient<T> {
         }
     }
 
+    /// Decodes a frame and applies the fencing filter: malformed frames
+    /// and frames from superseded incarnations are dropped (returning
+    /// `None`), exactly as if the wire had lost them.
+    fn accept(&mut self, frame: &[u8]) -> Option<Response> {
+        let resp = Response::decode(frame).ok()?;
+        let inc = resp.incarnation();
+        if inc < self.max_inc {
+            return None; // a fenced zombie's frame
+        }
+        self.max_inc = inc;
+        Some(resp)
+    }
+
     /// Joins (Hello → Welcome), retrying with backoff. On success the
     /// client is positioned at the server's current episode — the join
     /// lands as a proxy arrival there, so joining can never wedge an
@@ -165,11 +197,16 @@ impl<T: Transport> BarrierClient<T> {
                     break;
                 }
                 match self.transport.recv_timeout(remaining) {
-                    Ok(frame) => match Response::decode(&frame) {
-                        Some(Response::Welcome { session, episode }) if session == self.session => {
+                    Ok(frame) => match self.accept(&frame) {
+                        Some(Response::Welcome {
+                            session, episode, ..
+                        }) if session == self.session => {
                             self.episode = episode;
                             self.joined = true;
                             self.arrive_pending = false;
+                            // A fresh membership: anything the wire
+                            // still holds for the old one is stale.
+                            self.transport.flush_stale();
                             return Ok(episode);
                         }
                         // Stale releases/evictions from a previous
@@ -241,8 +278,8 @@ impl<T: Transport> BarrierClient<T> {
                 return Err(BarrierError::Timeout);
             }
             match self.transport.recv_timeout(remaining) {
-                Ok(frame) => match Response::decode(&frame) {
-                    Some(Response::Release { episode }) if episode >= self.episode => {
+                Ok(frame) => match self.accept(&frame) {
+                    Some(Response::Release { episode, .. }) if episode >= self.episode => {
                         // episode > self.episode means the server
                         // provably released ours too (episodes are
                         // sequential); catch up either way.
@@ -264,9 +301,9 @@ impl<T: Transport> BarrierClient<T> {
                         );
                         return Err(BarrierError::Evicted);
                     }
-                    Some(Response::Welcome { session, episode })
-                        if session == self.session && episode > self.episode =>
-                    {
+                    Some(Response::Welcome {
+                        session, episode, ..
+                    }) if session == self.session && episode > self.episode => {
                         // A duplicate Hello was re-processed at a
                         // later frame: the server re-admitted us
                         // there; move up and re-arrive.
@@ -276,6 +313,40 @@ impl<T: Transport> BarrierClient<T> {
                             episode,
                             seq: self.seq,
                         })?;
+                    }
+                    Some(Response::ResumeRequired { session, .. }) if session == self.session => {
+                        // A restarted server recovered us from its
+                        // journal and challenges us to prove our epoch
+                        // position before it counts anything.
+                        self.send(Request::Resume {
+                            session,
+                            next_episode: self.episode,
+                            seq: self.seq,
+                        })?;
+                    }
+                    Some(Response::Resumed {
+                        session, episode, ..
+                    }) if session == self.session && episode == self.episode => {
+                        // Position proven: membership restored at the
+                        // same epoch. Drop anything the wire still
+                        // holds from the dead incarnation, then
+                        // re-arrive under the new one.
+                        self.stats.resumes += 1;
+                        self.transport.flush_stale();
+                        self.send(Request::Arrive {
+                            session,
+                            episode: self.episode,
+                            seq: self.seq,
+                        })?;
+                    }
+                    Some(Response::Diverged { session, .. }) if session == self.session => {
+                        // The recovered authority is *behind* us: it
+                        // lost a journal suffix we observed. Surfacing
+                        // is the only honest move — silently rewinding
+                        // would double-count episodes.
+                        self.joined = false;
+                        self.arrive_pending = false;
+                        return Err(BarrierError::Diverged);
                     }
                     // Stale releases for earlier episodes,
                     // duplicate welcomes, cross-session noise:
@@ -376,6 +447,7 @@ mod tests {
                     &Response::Welcome {
                         session: 9,
                         episode: 3,
+                        inc: 0,
                     }
                     .encode(),
                 )
@@ -412,7 +484,7 @@ mod tests {
             let a2 = expect_req(&mut server_side);
             assert_eq!(a1.session(), a2.session());
             server_side
-                .send(&Response::Release { episode: 0 }.encode())
+                .send(&Response::Release { episode: 0, inc: 0 }.encode())
                 .unwrap();
         });
         let mut c = BarrierClient::new(
@@ -440,6 +512,7 @@ mod tests {
                     &Response::Evicted {
                         session: 5,
                         episode: 0,
+                        inc: 0,
                     }
                     .encode(),
                 )
@@ -459,6 +532,156 @@ mod tests {
     }
 
     #[test]
+    fn resume_challenge_restores_membership_at_the_same_epoch() {
+        let (client_side, mut server_side) = loopback_pair();
+        let h = std::thread::spawn(move || {
+            // The "restarted server": challenge the first Arrive,
+            // expect a Resume proving episode 5, admit, then release.
+            let a = expect_req(&mut server_side);
+            assert!(matches!(a, Request::Arrive { episode: 5, .. }));
+            server_side
+                .send(
+                    &Response::ResumeRequired {
+                        session: 8,
+                        episode: 5,
+                        inc: 2,
+                    }
+                    .encode(),
+                )
+                .unwrap();
+            let r = expect_req(&mut server_side);
+            assert!(
+                matches!(
+                    r,
+                    Request::Resume {
+                        session: 8,
+                        next_episode: 5,
+                        ..
+                    }
+                ),
+                "{r:?}"
+            );
+            server_side
+                .send(
+                    &Response::Resumed {
+                        session: 8,
+                        episode: 5,
+                        inc: 2,
+                    }
+                    .encode(),
+                )
+                .unwrap();
+            // The client re-arrives under the new incarnation.
+            let a2 = expect_req(&mut server_side);
+            assert!(matches!(a2, Request::Arrive { episode: 5, .. }));
+            server_side
+                .send(&Response::Release { episode: 5, inc: 2 }.encode())
+                .unwrap();
+        });
+        let mut c = BarrierClient::new(client_side, 8, ClientConfig::default());
+        c.joined = true;
+        c.episode = 5;
+        assert_eq!(c.arrive().unwrap(), 5);
+        assert_eq!(c.stats().resumes, 1);
+        assert_eq!(c.stats().evictions, 0, "a resume is not an eviction");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn zombie_incarnation_frames_are_dropped() {
+        let (client_side, mut server_side) = loopback_pair();
+        let h = std::thread::spawn(move || {
+            let _a = expect_req(&mut server_side);
+            // New incarnation speaks first, then a fenced zombie's
+            // stale frames arrive: an eviction and a bogus release,
+            // both stamped with the dead incarnation. Neither may act.
+            server_side
+                .send(
+                    &Response::ResumeRequired {
+                        session: 3,
+                        episode: 7,
+                        inc: 4,
+                    }
+                    .encode(),
+                )
+                .unwrap();
+            server_side
+                .send(
+                    &Response::Evicted {
+                        session: 3,
+                        episode: 7,
+                        inc: 2,
+                    }
+                    .encode(),
+                )
+                .unwrap();
+            server_side
+                .send(&Response::Release { episode: 9, inc: 2 }.encode())
+                .unwrap();
+            let r = expect_req(&mut server_side);
+            assert!(matches!(r, Request::Resume { .. }));
+            server_side
+                .send(
+                    &Response::Resumed {
+                        session: 3,
+                        episode: 7,
+                        inc: 4,
+                    }
+                    .encode(),
+                )
+                .unwrap();
+            let _a2 = expect_req(&mut server_side);
+            server_side
+                .send(&Response::Release { episode: 7, inc: 4 }.encode())
+                .unwrap();
+        });
+        let mut c = BarrierClient::new(client_side, 3, ClientConfig::default());
+        c.joined = true;
+        c.episode = 7;
+        assert_eq!(c.arrive().unwrap(), 7);
+        assert_eq!(c.stats().evictions, 0, "zombie eviction must not land");
+        assert_eq!(c.episode(), 8, "zombie Release{{9}} must not skip epochs");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn divergence_surfaces_as_its_own_error() {
+        let (client_side, mut server_side) = loopback_pair();
+        let h = std::thread::spawn(move || {
+            let _a = expect_req(&mut server_side);
+            server_side
+                .send(
+                    &Response::ResumeRequired {
+                        session: 6,
+                        episode: 2,
+                        inc: 3,
+                    }
+                    .encode(),
+                )
+                .unwrap();
+            let _r = expect_req(&mut server_side);
+            // The recovered journal only reaches epoch 2; the client
+            // claims 4 — a lost suffix.
+            server_side
+                .send(
+                    &Response::Diverged {
+                        session: 6,
+                        expected: 2,
+                        inc: 3,
+                    }
+                    .encode(),
+                )
+                .unwrap();
+        });
+        let mut c = BarrierClient::new(client_side, 6, ClientConfig::default());
+        c.joined = true;
+        c.episode = 4;
+        assert_eq!(c.arrive(), Err(BarrierError::Diverged));
+        assert!(!c.is_joined());
+        h.join().unwrap();
+    }
+
+    #[test]
     fn closed_transport_is_poisoned() {
         let (client_side, server_side) = loopback_pair();
         drop(server_side);
@@ -474,7 +697,13 @@ mod tests {
             // Duplicate + stale releases around the real one.
             for ep in [0u64, 0, 0] {
                 server_side
-                    .send(&Response::Release { episode: ep }.encode())
+                    .send(
+                        &Response::Release {
+                            episode: ep,
+                            inc: 0,
+                        }
+                        .encode(),
+                    )
                     .unwrap();
             }
             // Skip any Arrive{0} retries that raced the releases.
@@ -485,7 +714,7 @@ mod tests {
                 }
             }
             server_side
-                .send(&Response::Release { episode: 1 }.encode())
+                .send(&Response::Release { episode: 1, inc: 0 }.encode())
                 .unwrap();
         });
         let mut c = BarrierClient::new(client_side, 7, ClientConfig::default());

@@ -200,6 +200,20 @@ impl<T: Transport> Transport for FaultyTransport<T> {
             }
         }
     }
+
+    /// Identity boundary: a held or ready inbound frame was addressed
+    /// to the *previous* incarnation of this endpoint (an evicted
+    /// session whose id a rejoin just reused, or a pre-restart server
+    /// talking to a resumed client). Replaying it into the new identity
+    /// is a latent exactly-once violation — e.g. a stale `Release` for
+    /// an epoch the reincarnated session never arrived for — so the
+    /// boundary discards the backlog instead of delivering it.
+    fn flush_stale(&mut self) {
+        self.recv_held.clear();
+        self.recv_ready.clear();
+        self.recv_quiet_since = None;
+        self.inner.flush_stale();
+    }
 }
 
 #[cfg(test)]
@@ -335,6 +349,48 @@ mod tests {
         };
         assert_eq!(frame, vec![9]);
         assert!(timeouts >= 1, "held frame leaked on the first short poll");
+    }
+
+    #[test]
+    fn flush_stale_drops_held_frames_across_an_identity_boundary() {
+        let (mut a, b) = loopback_pair();
+        let plan = NetFaultPlan::new(NetChaosConfig {
+            seed: 13,
+            delay_prob: 1.0,
+            max_delay_msgs: 8,
+            ..NetChaosConfig::default()
+        });
+        let mut f = FaultyTransport::new(b, plan, 0, 1);
+        // A frame destined for the session's *first* incarnation gets
+        // held by the delay fault...
+        a.send(&[42]).unwrap();
+        assert_eq!(
+            f.recv_timeout(Duration::from_millis(1)),
+            Err(NetError::Timeout),
+            "frame should be held, not delivered"
+        );
+        // ...then the session is evicted and its id reused by a rejoin:
+        // the boundary flushes the backlog. Without the flush, the held
+        // frame would surface on the quiet wire below and be delivered
+        // to the reincarnated session — the regression this test pins.
+        f.flush_stale();
+        assert_eq!(
+            f.recv_timeout(QUIET_WIRE_GRACE + Duration::from_millis(20)),
+            Err(NetError::Timeout),
+            "stale pre-eviction frame was replayed to the reused session id"
+        );
+        // The new incarnation's own traffic still flows (the next frame
+        // is fault-index 1, which this seed leaves clean — and even if
+        // delayed it must eventually surface).
+        a.send(&[7]).unwrap();
+        let got = loop {
+            match f.recv_timeout(Duration::from_millis(20)) {
+                Ok(frame) => break frame,
+                Err(NetError::Timeout) => continue,
+                Err(e) => panic!("unexpected error: {e:?}"),
+            }
+        };
+        assert_eq!(got, vec![7]);
     }
 
     #[test]

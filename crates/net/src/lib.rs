@@ -22,6 +22,13 @@
 //!   deterministic drop/duplicate/delay/reorder/disconnect schedules
 //!   from `combar-chaos` so the hostility is reproducible in tests.
 //!
+//! * **The server itself can die** — every completed episode is
+//!   write-ahead journaled ([`journal`]) *before* its release is
+//!   broadcast, so a restarted (or warm-standby) server replays the
+//!   journal ([`recover`]), re-derives the roster, and answers in-flight
+//!   arrivals idempotently; a monotonic incarnation number in every
+//!   frame fences out zombie predecessors.
+//!
 //! Layering (zero dependencies outside the workspace):
 //!
 //! ```text
@@ -29,6 +36,8 @@
 //!   mux       — the same multiplexer as an async task (combar-rt)
 //!   client    — BarrierClient: join/arrive/heartbeat/leave/rejoin
 //!   faulty    — FaultyTransport: NetFaultPlan interpreter
+//!   recover   — journal replay, warm standby, failover cluster
+//!   journal   — write-ahead epoch journal (length-delimited, fenced)
 //!   transport — Transport trait; loopback + Unix-datagram endpoints
 //!   proto     — request/response frames, total binary codec
 //!   server    — sharded EpochServer, session & shard leases
@@ -39,19 +48,23 @@
 
 pub mod client;
 pub mod faulty;
+pub mod journal;
 pub mod mux;
 pub mod proto;
+pub mod recover;
 pub mod server;
 pub mod traffic;
 pub mod transport;
 
 pub use client::{BarrierClient, ClientConfig, ClientStats};
 pub use faulty::FaultyTransport;
+pub use journal::{Journal, JournalError, JournalRecord};
 pub use mux::{MuxConfig, MuxReport, SessionMux};
-pub use proto::{Request, Response, SessionId};
-pub use server::{EpochServer, ServerConfig, SessionStats};
-pub use traffic::{drive, TrafficConfig, TrafficReport};
-pub use transport::{loopback_pair, LoopbackTransport, NetError, Transport};
+pub use proto::{FrameError, Request, Response, SessionId};
+pub use recover::{recover, FailoverCluster, RecoveredState, Standby};
+pub use server::{EpochServer, ServerConfig, ServerCrash, SessionStats};
+pub use traffic::{drive, drive_with, TrafficConfig, TrafficReport};
+pub use transport::{loopback_pair, LoopbackTransport, NetError, ReconnectTransport, Transport};
 
 #[cfg(unix)]
 pub use transport::{uds_pair, UdsTransport};

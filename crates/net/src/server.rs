@@ -49,9 +49,32 @@
 //! duplicate `Hello` re-sends `Welcome`. Retries are therefore always
 //! safe, and per-session episode counters advance exactly once per
 //! episode no matter what the wire does.
+//!
+//! # Crash recovery
+//!
+//! A server started with [`EpochServer::start_journaled`] write-ahead
+//! journals every completed episode **before** broadcasting its
+//! release (group commit: one append per epoch carries the episode
+//! record plus every membership delta since the last one). The
+//! invariant that buys everything else: *any epoch a client could have
+//! observed is journaled.* After a crash, [`EpochServer::resume`]
+//! replays the journal ([`crate::recover`]), seeds epoch / roster /
+//! counters from it, claims a fresh **incarnation** (stamped on every
+//! response frame and every append — the fencing token; the journal
+//! rejects appends from superseded incarnations, and clients drop
+//! frames from them), and *challenges* journaled-live sessions: their
+//! next request is answered `ResumeRequired`, they prove their position
+//! with `Resume{next_episode}`, and depending on how their epoch
+//! compares to the recovered one they continue seamlessly (`Resumed`),
+//! catch up from an idempotent `Release` re-ack, or — if they are
+//! *ahead*, meaning the journal lost a durable suffix — get `Diverged`
+//! rather than a silent epoch rewind. Until every recovered session
+//! resumes (or `recovery_grace` lapses and the laggards are purged as
+//! evicted) releases are paused, so the first resumer cannot race the
+//! epoch forward alone.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -60,8 +83,10 @@ use std::time::{Duration, Instant};
 use combar_rt::{SelfHealing, Supervisor, SupervisorConfig};
 use combar_trace::Kind;
 
+use crate::journal::{frame_entry, roster_hash, Journal, JournalRecord};
 use crate::proto::{Request, Response, SessionId};
-use crate::transport::LoopbackTransport;
+use crate::recover::RecoveredState;
+use crate::transport::{LoopbackTransport, Transport};
 
 /// Tuning for [`EpochServer`].
 #[derive(Debug, Clone)]
@@ -79,6 +104,36 @@ pub struct ServerConfig {
     pub lease: SupervisorConfig,
     /// Shard-lease failure detector tuning (root supervisor).
     pub shard_lease: SupervisorConfig,
+    /// How long a *recovered* server waits for journaled-live sessions
+    /// to prove themselves with `Resume` before purging the laggards as
+    /// evicted. While any recovered session is still outstanding (and
+    /// the grace has not lapsed) releases are paused — the recovered
+    /// roster *is* the membership, and a barrier must not cross without
+    /// its members.
+    pub recovery_grace: Duration,
+    /// If set, the release winner compacts the journal to
+    /// `[Incarnation, Snapshot]` every N released epochs, bounding
+    /// replay time on the next restart.
+    pub snapshot_every: Option<u64>,
+    /// Chaos hook: self-inflicted crash at a scripted epoch (see
+    /// [`ServerCrash`]). `None` in production configurations.
+    pub crash: Option<ServerCrash>,
+}
+
+/// A scripted whole-server crash, driven by the release winner: the
+/// journal append for `at_epoch` completes (the WAL is honest — a
+/// crash can lose *unjournaled* state only), then the process "dies"
+/// mid-release. With `mid_broadcast` the `Release` fan-out reaches
+/// exactly one shard first, modelling a crash halfway through the
+/// broadcast loop — the nastiest spot, because some clients observe
+/// the epoch and some do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerCrash {
+    /// The epoch whose release triggers the crash.
+    pub at_epoch: u64,
+    /// Crash after delivering the release to only the first live shard
+    /// (true) or after the full broadcast (false).
+    pub mid_broadcast: bool,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +157,9 @@ impl Default for ServerConfig {
                 sigma_mult: 4.0,
                 max_misses: 3,
             },
+            recovery_grace: Duration::from_millis(100),
+            snapshot_every: None,
+            crash: None,
         }
     }
 }
@@ -172,6 +230,20 @@ struct Assignment {
     conn: ConnId,
 }
 
+/// The journal-facing half of the ledger, mutated under one lock so
+/// the release winner's drain sees an atomic snapshot: the pending
+/// membership deltas *and* the roster they produced. The roster here —
+/// not any per-shard view — is what the winner hashes into the episode
+/// record, so recovery's delta-reconstructed roster matches it exactly
+/// by construction.
+#[derive(Default)]
+struct LedgerBuf {
+    /// Membership deltas since the last episode append, in event order.
+    pending: Vec<JournalRecord>,
+    /// The authoritative live roster.
+    roster: BTreeSet<SessionId>,
+}
+
 /// Shared coordination state: the root of the aggregation tree.
 struct Shared {
     /// The global current episode. Bumped (CAS) by the releasing shard.
@@ -197,6 +269,44 @@ struct Shared {
     released: AtomicU64,
     stats: Mutex<HashMap<SessionId, SessionStats>>,
     shutdown: AtomicBool,
+    /// This server's incarnation: 0 for an unjournaled server, else
+    /// claimed from the journal at start. Stamped on every response
+    /// frame and every episode append — the fencing token.
+    incarnation: u64,
+    /// The write-ahead epoch journal, if crash recovery is enabled.
+    journal: Option<Arc<Journal>>,
+    /// Pending journal deltas + authoritative roster (see [`LedgerBuf`]).
+    ledger: Mutex<LedgerBuf>,
+    /// Per-shard completer slots: `(session, cumulative completed)` for
+    /// the sessions a shard reported explicitly arrived, drained by the
+    /// release winner into the episode record.
+    slots: Vec<Mutex<Vec<(SessionId, u64)>>>,
+    /// Sessions the journal says were live but that have not yet proven
+    /// themselves to this incarnation with `Resume` (or a fresh
+    /// `Hello`). While non-empty (inside the recovery grace) releases
+    /// are paused.
+    recovered: Mutex<BTreeSet<SessionId>>,
+    /// When the recovery grace lapses and outstanding recovered
+    /// sessions are purged as evicted.
+    recovery_deadline: Option<Instant>,
+    /// Replication stream to a warm standby: the winner tees every
+    /// journaled batch here, best effort, and the lowest live shard
+    /// beacons heartbeats so the standby can tell idle from dead.
+    repl: Mutex<Option<Box<dyn Transport>>>,
+    /// Compact the journal to a snapshot every this many released
+    /// episodes (mirrored from [`ServerConfig::snapshot_every`]).
+    snapshot_every: Option<u64>,
+    /// Set when a journal append came back [`JournalError::Fenced`]:
+    /// this server is a zombie — a newer incarnation owns the ledger —
+    /// and must never release again.
+    fenced: AtomicBool,
+    /// Set by [`EpochServer::halt`] (and the scripted [`ServerCrash`]):
+    /// the process is "dead". Ingress is dropped, shard loops exit,
+    /// and — deliberately — client outboxes are *not* torn down, so a
+    /// halted server looks like unbroken silence (timeouts), exactly
+    /// like a crashed host, never like an orderly close.
+    halted: AtomicBool,
+    crash: Option<ServerCrash>,
 }
 
 impl Shared {
@@ -207,6 +317,60 @@ impl Shared {
             .filter(|(alive, _)| alive.load(Ordering::Acquire))
             .map(|(_, n)| n.load(Ordering::Acquire))
             .sum()
+    }
+
+    /// Records a session joining the roster. The delta is emitted only
+    /// when the roster actually changes, which makes the call idempotent
+    /// and silently correct for resumed sessions (already in the
+    /// journaled roster).
+    fn ledger_join(&self, session: SessionId, epoch: u64, rejoin: bool) {
+        if self.journal.is_none() {
+            return;
+        }
+        let mut lb = self.ledger.lock().unwrap_or_else(|e| e.into_inner());
+        if lb.roster.insert(session) {
+            lb.pending.push(JournalRecord::Join {
+                session,
+                epoch,
+                rejoin,
+            });
+        }
+    }
+
+    /// Records a session leaving the roster (eviction or orderly
+    /// leave). Emits only on an actual roster change.
+    fn ledger_remove(&self, session: SessionId, epoch: u64, orderly: bool) {
+        if self.journal.is_none() {
+            return;
+        }
+        let mut lb = self.ledger.lock().unwrap_or_else(|e| e.into_inner());
+        if lb.roster.remove(&session) {
+            lb.pending.push(if orderly {
+                JournalRecord::Leave { session, epoch }
+            } else {
+                JournalRecord::Evict { session, epoch }
+            });
+        }
+    }
+
+    /// Whether a recovered-but-unresumed session set is still pausing
+    /// releases (inside the recovery grace).
+    fn recovery_pending(&self) -> bool {
+        match self.recovery_deadline {
+            None => false,
+            Some(deadline) => {
+                if self
+                    .recovered
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .is_empty()
+                {
+                    false
+                } else {
+                    Instant::now() < deadline
+                }
+            }
+        }
     }
 }
 
@@ -247,7 +411,12 @@ impl Router {
     /// fully-degraded server are dropped — the wire already taught
     /// clients to retry.
     fn route(&self, conn: ConnId, frame: &[u8]) {
-        let Some(req) = Request::decode(frame) else {
+        // A halted (crashed) server is a dead host: traffic to it
+        // disappears without acknowledgement or error.
+        if self.shared.halted.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(req) = Request::decode(frame) else {
             return;
         };
         let session = req.session();
@@ -347,11 +516,17 @@ struct ShardState {
     last_lease_poll: Instant,
     frame_since: Instant,
     stall_logged: bool,
+    /// Last standby-heartbeat send (lowest live shard only).
+    last_repl_beat: Instant,
 }
 
 impl ShardState {
     fn new(idx: usize, shared: Arc<Shared>, router: Arc<Router>, cfg: ServerConfig) -> Self {
         let sup = Supervisor::with_config(cfg.session_capacity, cfg.lease);
+        // A resumed server starts past epoch 0: every shard's frame
+        // must open at the recovered global episode, or resuming
+        // clients would look "ahead" of the shard and be told Diverged.
+        let frame = shared.episode.load(Ordering::Acquire);
         Self {
             idx,
             shared,
@@ -361,7 +536,7 @@ impl ShardState {
             slot_owner: HashMap::new(),
             free_slots: Vec::new(),
             next_slot: 0,
-            frame: 0,
+            frame,
             live: 0,
             arrived: 0,
             reported: false,
@@ -369,6 +544,7 @@ impl ShardState {
             last_lease_poll: Instant::now(),
             frame_since: Instant::now(),
             stall_logged: false,
+            last_repl_beat: Instant::now(),
         }
     }
 
@@ -388,21 +564,53 @@ impl ShardState {
         None
     }
 
+    /// Answers an unknown-session request: a journaled session the
+    /// recovery replay knows about must prove its coordinate with
+    /// `Resume` before anything else is honoured; everyone else gets
+    /// the usual `Evicted` (rejoin via `Hello`).
+    fn challenge_unknown(&self, session: SessionId, conn: ConnId) {
+        let frame = self.frame;
+        let awaiting_resume = self
+            .shared
+            .recovered
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains(&session);
+        let resp = if awaiting_resume {
+            Response::ResumeRequired {
+                session,
+                episode: frame,
+                inc: self.shared.incarnation,
+            }
+        } else {
+            Response::Evicted {
+                session,
+                episode: frame,
+                inc: self.shared.incarnation,
+            }
+        };
+        self.router.respond(conn, resp);
+    }
+
     fn handle(&mut self, conn: ConnId, req: Request) {
         match req {
             Request::Hello { session, .. } => self.on_hello(session, conn),
             Request::Arrive {
                 session, episode, ..
             } => self.on_arrive(session, conn, episode),
-            Request::Heartbeat { session, .. } => {
-                if let Some(s) = self.sessions.get_mut(&session) {
-                    if s.live {
-                        s.conn = conn;
-                        self.sup.beat(s.slot);
-                    }
+            Request::Heartbeat { session, .. } => match self.sessions.get_mut(&session) {
+                Some(s) if s.live => {
+                    s.conn = conn;
+                    self.sup.beat(s.slot);
                 }
-            }
+                _ => self.challenge_unknown(session, conn),
+            },
             Request::Leave { session, .. } => self.on_leave(session),
+            Request::Resume {
+                session,
+                next_episode,
+                ..
+            } => self.on_resume(session, conn, next_episode),
         }
     }
 
@@ -453,16 +661,30 @@ impl ShardState {
                 self.live += 1;
                 self.arrived += 1;
                 self.publish_live();
+                // A recovered session greeting us with a fresh `Hello`
+                // (rather than `Resume`) chose the rejoin path; either
+                // way it has now proven itself to this incarnation.
+                self.shared
+                    .recovered
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&session);
                 // A local tombstone proves a rejoin; a session unknown
                 // here may still be rejoining cross-shard (its home
                 // shard died and routing moved it) — the global stats
                 // ledger records the eviction either way.
-                let mut stats = self.shared.stats.lock().unwrap_or_else(|e| e.into_inner());
-                let entry = stats.entry(session).or_default();
-                if rejoining || entry.evictions > entry.rejoins {
-                    entry.rejoins += 1;
-                    combar_trace::emit(frame as u32, session as u32, Kind::Rejoin);
-                }
+                let counted_rejoin = {
+                    let mut stats = self.shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                    let entry = stats.entry(session).or_default();
+                    if rejoining || entry.evictions > entry.rejoins {
+                        entry.rejoins += 1;
+                        combar_trace::emit(frame as u32, session as u32, Kind::Rejoin);
+                        true
+                    } else {
+                        false
+                    }
+                };
+                self.shared.ledger_join(session, frame, counted_rejoin);
             }
         }
         self.router.respond(
@@ -470,6 +692,7 @@ impl ShardState {
             Response::Welcome {
                 session,
                 episode: frame,
+                inc: self.shared.incarnation,
             },
         );
         self.check_complete();
@@ -478,13 +701,7 @@ impl ShardState {
     fn on_arrive(&mut self, session: SessionId, conn: ConnId, episode: u64) {
         let frame = self.frame;
         let Some(s) = self.sessions.get_mut(&session) else {
-            self.router.respond(
-                conn,
-                Response::Evicted {
-                    session,
-                    episode: frame,
-                },
-            );
+            self.challenge_unknown(session, conn);
             return;
         };
         if !s.live {
@@ -493,6 +710,7 @@ impl ShardState {
                 Response::Evicted {
                     session,
                     episode: frame,
+                    inc: self.shared.incarnation,
                 },
             );
             return;
@@ -502,7 +720,13 @@ impl ShardState {
         if episode < frame {
             // The episode already released; the first ack was lost.
             // Re-acking is the idempotent half of retry safety.
-            self.router.respond(conn, Response::Release { episode });
+            self.router.respond(
+                conn,
+                Response::Release {
+                    episode,
+                    inc: self.shared.incarnation,
+                },
+            );
             return;
         }
         if episode > frame {
@@ -525,6 +749,21 @@ impl ShardState {
             // upgrade so this episode counts.
             s.explicit = true;
             combar_trace::emit(frame as u32, session as u32, Kind::Arrive);
+            if self.reported && self.shared.journal.is_some() {
+                // The shard already filed its completer slot for this
+                // frame; file the late upgrade too so the journal's
+                // episode record credits it. (If the winner has drained
+                // the slot already, the entry rides to the next epoch's
+                // record — cumulative counters make that merge safe.)
+                let done = {
+                    let stats = self.shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                    stats.get(&session).map_or(0, |e| e.completed) + 1
+                };
+                self.shared.slots[self.idx]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push((session, done));
+            }
         }
         // else: duplicate arrival — counted exactly once, nothing to do.
     }
@@ -543,9 +782,123 @@ impl ShardState {
                 self.slot_owner.remove(&s.slot);
                 self.free_slots.push(s.slot);
                 self.publish_live();
+                self.shared.ledger_remove(session, frame, true);
                 self.check_complete();
             }
         }
+    }
+
+    /// The recovery handshake. A session the journal replay vouches for
+    /// proves its next-expected episode:
+    ///
+    /// * `next == frame` — exact match: re-admit at the in-flight
+    ///   frame, un-arrived (its real `Arrive` follows), and ack
+    ///   `Resumed`. No `Join` delta — the session never left the
+    ///   journaled roster.
+    /// * `next < frame` — the client missed releases (e.g. an epoch
+    ///   journaled but never broadcast): re-ack `Release{next}` so it
+    ///   catches up, and keep the challenge open for its next request.
+    /// * `next > frame` — the client has observed epochs the journal
+    ///   does not record: a journal suffix was lost. Explicit
+    ///   `Diverged`, never silent epoch skew.
+    fn on_resume(&mut self, session: SessionId, conn: ConnId, next: u64) {
+        let frame = self.frame;
+        let inc = self.shared.incarnation;
+        if let Some(s) = self.sessions.get_mut(&session) {
+            if s.live {
+                // Duplicate Resume (the first ack was lost): re-ack.
+                s.conn = conn;
+                self.sup.beat(s.slot);
+                let resp = if next < frame {
+                    Response::Release { episode: next, inc }
+                } else {
+                    Response::Resumed {
+                        session,
+                        episode: frame,
+                        inc,
+                    }
+                };
+                self.router.respond(conn, resp);
+                return;
+            }
+        }
+        let awaiting = self
+            .shared
+            .recovered
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains(&session);
+        if !awaiting {
+            // Nothing vouches for this session here; the rejoin path
+            // (fresh `Hello`) is the only way in.
+            self.router.respond(
+                conn,
+                Response::Evicted {
+                    session,
+                    episode: frame,
+                    inc,
+                },
+            );
+            return;
+        }
+        if next > frame {
+            self.router.respond(
+                conn,
+                Response::Diverged {
+                    session,
+                    expected: frame,
+                    inc,
+                },
+            );
+            return;
+        }
+        if next < frame {
+            self.router
+                .respond(conn, Response::Release { episode: next, inc });
+            return;
+        }
+        // Exact coordinate: re-admit. Mirrors the `on_hello` admission
+        // except the session joins *un-arrived* (no proxy credit: its
+        // real `Arrive` for this frame is en route) and no rejoin is
+        // counted — the session never failed, the server did.
+        let Some(slot) = self.alloc_slot() else {
+            let mut assign = self.router.assign.lock().unwrap_or_else(|e| e.into_inner());
+            if assign.get(&session).is_some_and(|a| a.shard == self.idx) {
+                assign.remove(&session);
+            }
+            return;
+        };
+        self.sessions.insert(
+            session,
+            Sess {
+                conn,
+                slot,
+                live: true,
+                arrived_for: None,
+                explicit: false,
+            },
+        );
+        self.slot_owner.insert(slot, session);
+        self.sup.beat(slot);
+        self.live += 1;
+        self.publish_live();
+        self.shared
+            .recovered
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&session);
+        // ledger_join is a roster no-op here (still journaled live) but
+        // covers the corner where the session was purged a beat ago.
+        self.shared.ledger_join(session, frame, false);
+        self.router.respond(
+            conn,
+            Response::Resumed {
+                session,
+                episode: frame,
+                inc,
+            },
+        );
+        self.check_complete();
     }
 
     /// Declares a session dead: proxy its in-flight arrival (so the
@@ -585,11 +938,13 @@ impl ShardState {
             eprintln!("[evict] shard {} session {session} frame {frame}", self.idx);
         }
         combar_trace::emit(frame as u32, session as u32, Kind::Evict(session as u32));
+        self.shared.ledger_remove(session, frame, false);
         self.router.respond(
             conn,
             Response::Evicted {
                 session,
                 episode: frame,
+                inc: self.shared.incarnation,
             },
         );
         self.check_complete();
@@ -601,8 +956,13 @@ impl ShardState {
         let mut stats = Vec::new();
         for (&session, s) in &self.sessions {
             if s.live && s.arrived_for == Some(ep) {
-                self.router
-                    .respond(s.conn, Response::Release { episode: ep });
+                self.router.respond(
+                    s.conn,
+                    Response::Release {
+                        episode: ep,
+                        inc: self.shared.incarnation,
+                    },
+                );
                 combar_trace::emit(ep as u32, session as u32, Kind::Release);
                 if s.explicit {
                     stats.push(session);
@@ -632,12 +992,93 @@ impl ShardState {
 
     /// The upward half of the aggregation tree: report this shard
     /// complete (at most once per frame), then try to release globally.
+    /// When journaling, the report also files the shard's completer
+    /// slot — who explicitly arrived, with their cumulative counters —
+    /// for the winner to drain into the episode record.
     fn check_complete(&mut self) {
-        if !self.reported && (self.live == 0 || self.arrived >= self.live) {
+        // An empty shard reports immediately so it never blocks a
+        // release — EXCEPT while recovered sessions are still resuming:
+        // any of them may resume *into this shard*, and an early
+        // `live == 0` flip would stand as a stale report after they do,
+        // releasing the post-recovery epoch before they ever arrive.
+        let empty_ok = self.live == 0
+            && (self.shared.journal.is_none()
+                || self
+                    .shared
+                    .recovered
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .is_empty());
+        if !self.reported && (empty_ok || (self.live > 0 && self.arrived >= self.live)) {
             self.reported = true;
+            if self.shared.journal.is_some() {
+                let completers: Vec<(SessionId, u64)> = {
+                    let stats = self.shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                    self.sessions
+                        .iter()
+                        .filter(|(_, s)| s.live && s.arrived_for == Some(self.frame) && s.explicit)
+                        .map(|(&sid, _)| (sid, stats.get(&sid).map_or(0, |e| e.completed) + 1))
+                        .collect()
+                };
+                if !completers.is_empty() {
+                    self.shared.slots[self.idx]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .extend(completers);
+                }
+            }
             self.shared.shard_reported[self.idx].store(true, Ordering::Release);
         }
         try_release(&self.shared, &self.router);
+    }
+
+    /// Recovery/replication housekeeping, run by the lowest live shard
+    /// each tick: beacon a heartbeat to any attached standby (so it can
+    /// tell an idle primary from a dead one), and — once the recovery
+    /// grace lapses — purge journaled sessions that never resumed,
+    /// folding them out as evicted so the paused releases can flow.
+    fn recovery_duty(&mut self) {
+        if self.shared.journal.is_none() {
+            return;
+        }
+        let lowest = (0..self.shared.shard_alive.len())
+            .find(|&s| self.shared.shard_alive[s].load(Ordering::Acquire));
+        if lowest != Some(self.idx) {
+            return;
+        }
+        if self.last_repl_beat.elapsed() >= self.cfg.tick {
+            self.last_repl_beat = Instant::now();
+            let mut repl = self.shared.repl.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(t) = repl.as_mut() {
+                let _ = t.send(&frame_entry(&JournalRecord::Heartbeat {
+                    inc: self.shared.incarnation,
+                }));
+            }
+        }
+        if let Some(deadline) = self.shared.recovery_deadline {
+            if Instant::now() >= deadline {
+                let stragglers: Vec<SessionId> = {
+                    let mut rec = self
+                        .shared
+                        .recovered
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner());
+                    std::mem::take(&mut *rec).into_iter().collect()
+                };
+                if !stragglers.is_empty() {
+                    let epoch = self.shared.episode.load(Ordering::Acquire);
+                    let mut stats = self.shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                    for &sid in &stragglers {
+                        stats.entry(sid).or_default().evictions += 1;
+                    }
+                    drop(stats);
+                    for sid in stragglers {
+                        self.shared.ledger_remove(sid, epoch, false);
+                    }
+                    self.check_complete();
+                }
+            }
+        }
     }
 
     /// Session-lease pass, at most once per tick.
@@ -728,6 +1169,19 @@ impl ShardState {
 /// with liveness* — a dead shard's stale flag never counts — so a
 /// shard death can only delay a release, never complete one early.
 fn try_release(shared: &Shared, router: &Router) {
+    // A halted server is dead and a fenced one is a zombie: neither may
+    // ever release (the fence guard also stops a zombie from burning
+    // phantom CAS bumps after its first rejected append).
+    if shared.halted.load(Ordering::Acquire) || shared.fenced.load(Ordering::Acquire) {
+        return;
+    }
+    // A recovered server holds releases until every journaled-live
+    // session has resumed (or the grace purges it): the recovered
+    // roster *is* the membership, and crossing without it would let the
+    // first resumer race ahead alone.
+    if shared.recovery_pending() {
+        return;
+    }
     let ep = shared.episode.load(Ordering::Acquire);
     let all_reported =
         shared
@@ -747,17 +1201,143 @@ fn try_release(shared: &Shared, router: &Router) {
     {
         return; // another shard released this episode
     }
-    // Between the CAS and these resets no shard can report for the new
-    // episode: reports only follow the Release control message below.
+    // Clear the reports *immediately* after winning: they are this
+    // episode's, and leaving them set while the journal append below
+    // runs would let a concurrent caller (the shard poller ticks into
+    // here at any moment) read them as the *next* episode's, win the
+    // bumped CAS, and run a second release in parallel — draining the
+    // completer slots out from under us and appending episodes out of
+    // order, which recovery would then skip as stale. No shard can
+    // re-report until it processes the Release broadcast at the bottom,
+    // so clearing here closes the window without losing a report.
     for reported in &shared.shard_reported {
         reported.store(false, Ordering::Release);
     }
+    // ── Write-ahead: journal the episode before any client can hear of
+    // it. Group commit: the batch is every membership delta since the
+    // last release plus one episode record — one append per epoch, not
+    // per arrival.
+    if let Some(journal) = &shared.journal {
+        let (mut batch, hash) = {
+            let mut lb = shared.ledger.lock().unwrap_or_else(|e| e.into_inner());
+            // Drain + hash under one lock: the hash covers exactly the
+            // roster the drained deltas produce, so recovery's replayed
+            // roster matches by construction.
+            let batch = std::mem::take(&mut lb.pending);
+            (batch, roster_hash(lb.roster.iter().copied()))
+        };
+        let mut completers: BTreeMap<SessionId, u64> = BTreeMap::new();
+        for (s, slot) in shared.slots.iter().enumerate() {
+            if shared.shard_alive[s].load(Ordering::Acquire) {
+                let drained = std::mem::take(&mut *slot.lock().unwrap_or_else(|e| e.into_inner()));
+                for (sid, done) in drained {
+                    // Cumulative counters: a stale entry (a late
+                    // proxy→explicit upgrade that missed last epoch's
+                    // drain) merges away under max.
+                    let e = completers.entry(sid).or_insert(done);
+                    *e = (*e).max(done);
+                }
+            }
+        }
+        batch.push(JournalRecord::Episode {
+            epoch: ep,
+            inc: shared.incarnation,
+            roster_hash: hash,
+            completers: completers.into_iter().collect(),
+        });
+        match journal.append_batch(shared.incarnation, &batch) {
+            Err(_) => {
+                // Fenced (or the backing store died): this server may
+                // not extend the ledger. Freeze — no flag clears, no
+                // released bump, above all no broadcast. Clients stop
+                // hearing from us and fail over to the incarnation that
+                // fenced us out.
+                shared.fenced.store(true, Ordering::Release);
+                return;
+            }
+            Ok(()) => {
+                // Tee the batch to a warm standby, best effort — the
+                // journal is the durable copy; this just keeps the
+                // standby's lag near zero.
+                let mut repl = shared.repl.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(t) = repl.as_mut() {
+                    let mut bytes = Vec::new();
+                    for rec in &batch {
+                        bytes.extend_from_slice(&frame_entry(rec));
+                    }
+                    let _ = t.send(&bytes);
+                }
+                drop(repl);
+                if let Some(every) = shared.snapshot_every {
+                    let done = shared.released.load(Ordering::Acquire) + 1;
+                    if every > 0 && done % every == 0 {
+                        compact_journal(shared, journal, ep, &batch);
+                    }
+                }
+            }
+        }
+    }
     shared.released.fetch_add(1, Ordering::Release);
+    // ── Scripted crash window: the journal append above is durable,
+    // the broadcast below is what dies — wholly (kill-at-epoch) or
+    // halfway (kill-mid-broadcast: exactly one shard hears).
+    if let Some(crash) = shared.crash {
+        if ep == crash.at_epoch {
+            if crash.mid_broadcast {
+                if let Some(s) = (0..shared.shard_alive.len())
+                    .find(|&s| shared.shard_alive[s].load(Ordering::Acquire))
+                {
+                    let _ = router.shard_tx[s].send(ShardMsg::Release(ep));
+                }
+                // Give the lucky shard a beat to fan out to *its*
+                // clients before the lights go off, so some clients
+                // observe the epoch and some never do.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            shared.halted.store(true, Ordering::Release);
+            return;
+        }
+    }
     for (s, tx) in router.shard_tx.iter().enumerate() {
         if shared.shard_alive[s].load(Ordering::Acquire) {
             let _ = tx.send(ShardMsg::Release(ep));
         }
     }
+}
+
+/// Compacts the journal to `[Incarnation, Snapshot]`. The snapshot
+/// folds the just-appended episode's completers into the stats map
+/// (their `completed` ticks land in the shards only after the
+/// broadcast, which has not happened yet) so replay-from-snapshot and
+/// replay-from-history agree exactly.
+fn compact_journal(shared: &Shared, journal: &Journal, ep: u64, batch: &[JournalRecord]) {
+    let mut sessions: BTreeMap<SessionId, (bool, SessionStats)> = {
+        let stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let roster = &shared
+            .ledger
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .roster;
+        stats
+            .iter()
+            .map(|(&sid, &st)| (sid, (roster.contains(&sid), st)))
+            .collect()
+    };
+    for rec in batch {
+        if let JournalRecord::Episode { completers, .. } = rec {
+            for &(sid, done) in completers {
+                let entry = sessions
+                    .entry(sid)
+                    .or_insert((true, SessionStats::default()));
+                entry.1.completed = entry.1.completed.max(done);
+            }
+        }
+    }
+    let snap = crate::journal::snapshot_record(ep + 1, shared.incarnation, &sessions);
+    // A fence race here (a takeover between our append and this
+    // compact) simply leaves the journal uncompacted; the new
+    // incarnation owns compaction from now on.
+    let _ = journal.compact(shared.incarnation, &snap);
 }
 
 /// Folds a dead shard out of the root: episodes complete without it,
@@ -792,8 +1372,16 @@ fn declare_shard_dead(shared: &Shared, router: &Router, shard: usize) {
         }
     }
     for (session, conn) in orphans {
+        shared.ledger_remove(session, episode, false);
         combar_trace::emit(episode as u32, session as u32, Kind::Evict(session as u32));
-        router.respond(conn, Response::Evicted { session, episode });
+        router.respond(
+            conn,
+            Response::Evicted {
+                session,
+                episode,
+                inc: shared.incarnation,
+            },
+        );
     }
     // The dead shard may have been the missing report — and if it had
     // instead *already* reported, try_release now disregards that stale
@@ -819,13 +1407,15 @@ fn run_shard(
         // reporting its stale frame complete, answering sessions that
         // rejoined elsewhere — would be a zombie copy of state that now
         // lives on the surviving shards.
-        if !shared.shard_alive[idx].load(Ordering::Acquire) {
+        if !shared.shard_alive[idx].load(Ordering::Acquire) || shared.halted.load(Ordering::Acquire)
+        {
             return;
         }
         shared.shard_super.beat(idx as u32);
         let msg = inbox.recv_timeout(tick);
-        if !shared.shard_alive[idx].load(Ordering::Acquire) {
-            return; // declared dead while parked in recv
+        if !shared.shard_alive[idx].load(Ordering::Acquire) || shared.halted.load(Ordering::Acquire)
+        {
+            return; // declared dead (or the whole host "crashed") in recv
         }
         match msg {
             Ok(ShardMsg::Net(conn, req)) => st.handle(conn, req),
@@ -836,6 +1426,7 @@ fn run_shard(
         }
         st.poll_leases();
         st.poll_shards();
+        st.recovery_duty();
         // Membership may have changed without traffic (evictions).
         st.check_complete();
     }
@@ -851,20 +1442,81 @@ pub struct EpochServer {
 
 impl EpochServer {
     /// Starts the shard threads and returns a handle for connecting
-    /// clients and inspecting service state.
+    /// clients and inspecting service state. No journal: the server is
+    /// fast but mortal — a crash loses everything.
     pub fn start(cfg: ServerConfig) -> Self {
+        Self::start_inner(cfg, None, None)
+    }
+
+    /// Starts a server that write-ahead-journals every completed
+    /// episode (and membership delta) to `journal` before broadcasting
+    /// its release. Claims a fresh incarnation, fencing out any older
+    /// server still holding the journal.
+    pub fn start_journaled(cfg: ServerConfig, journal: Arc<Journal>) -> Self {
+        Self::start_inner(cfg, Some(journal), None)
+    }
+
+    /// Restarts a crashed server from its recovered journal state: the
+    /// epoch counter resumes where the journal left off, journaled-live
+    /// sessions are expected back via `Resume` (releases pause for
+    /// `cfg.recovery_grace` until they all return or are purged), and a
+    /// fresh incarnation fences out the dead predecessor.
+    pub fn resume(cfg: ServerConfig, journal: Arc<Journal>, state: RecoveredState) -> Self {
+        Self::start_inner(cfg, Some(journal), Some(state))
+    }
+
+    fn start_inner(
+        cfg: ServerConfig,
+        journal: Option<Arc<Journal>>,
+        state: Option<RecoveredState>,
+    ) -> Self {
         assert!(cfg.shards >= 1, "need at least one shard");
         let shards = cfg.shards;
+        let incarnation = match &journal {
+            Some(j) => j
+                .bump_incarnation()
+                .expect("claim incarnation on a journal nobody else holds yet"),
+            None => 0,
+        };
+        let epoch0 = state.as_ref().map_or(0, |s| s.epoch);
+        let mut stats0 = HashMap::new();
+        let mut ledger0 = LedgerBuf::default();
+        let mut recovered0 = BTreeSet::new();
+        if let Some(state) = &state {
+            for (&sid, sess) in &state.sessions {
+                stats0.insert(sid, sess.stats);
+                if sess.live {
+                    ledger0.roster.insert(sid);
+                    recovered0.insert(sid);
+                }
+            }
+        }
+        let recovery_deadline = if recovered0.is_empty() {
+            None
+        } else {
+            Some(Instant::now() + cfg.recovery_grace)
+        };
         let shared = Arc::new(Shared {
-            episode: AtomicU64::new(0),
+            episode: AtomicU64::new(epoch0),
             shard_reported: (0..shards).map(|_| AtomicBool::new(false)).collect(),
             live_shards: AtomicU64::new(shards as u64),
             shard_alive: (0..shards).map(|_| AtomicBool::new(true)).collect(),
             live_sessions: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             shard_super: Supervisor::with_config(shards as u32, cfg.shard_lease),
-            released: AtomicU64::new(0),
-            stats: Mutex::new(HashMap::new()),
+            released: AtomicU64::new(epoch0),
+            stats: Mutex::new(stats0),
             shutdown: AtomicBool::new(false),
+            incarnation,
+            journal,
+            ledger: Mutex::new(ledger0),
+            slots: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            recovered: Mutex::new(recovered0),
+            recovery_deadline,
+            repl: Mutex::new(None),
+            snapshot_every: cfg.snapshot_every,
+            fenced: AtomicBool::new(false),
+            halted: AtomicBool::new(false),
+            crash: cfg.crash,
         });
         let mut txs = Vec::with_capacity(shards);
         let mut rxs = Vec::with_capacity(shards);
@@ -954,7 +1606,9 @@ impl EpochServer {
             .spawn(move || {
                 let mut buf = [0u8; 256];
                 loop {
-                    if shared.shutdown.load(Ordering::Acquire) {
+                    if shared.shutdown.load(Ordering::Acquire)
+                        || shared.halted.load(Ordering::Acquire)
+                    {
                         return;
                     }
                     match c2s_server.recv(&mut buf) {
@@ -1013,6 +1667,47 @@ impl EpochServer {
     /// the service degrades onto the survivors.
     pub fn stall_shard(&self, idx: usize) {
         let _ = self.router.shard_tx[idx].send(ShardMsg::Stall);
+    }
+
+    /// Chaos hook: "kills" the whole server process. Ingress is dropped
+    /// on the floor, every shard loop exits at its next tick, and —
+    /// unlike [`shutdown`](Self::shutdown) — client connections are
+    /// *not* closed: to a client the host simply went silent, exactly
+    /// like a kernel panic. The journal (if any) keeps whatever was
+    /// durably appended; nothing in flight survives.
+    pub fn halt(&self) {
+        self.shared.halted.store(true, Ordering::Release);
+        for tx in &self.router.shard_tx {
+            // Nudge parked shards so they notice the halt now rather
+            // than at the next tick timeout.
+            let _ = tx.send(ShardMsg::Shutdown);
+        }
+    }
+
+    /// Whether this server has been fenced out by a newer incarnation
+    /// (a journal append was rejected). A fenced server never releases.
+    pub fn fenced(&self) -> bool {
+        self.shared.fenced.load(Ordering::Acquire)
+    }
+
+    /// Whether [`halt`](Self::halt) (or a scripted [`ServerCrash`]) has
+    /// "killed" this server.
+    pub fn halted(&self) -> bool {
+        self.shared.halted.load(Ordering::Acquire)
+    }
+
+    /// This server's fencing token: 0 when unjournaled, else the
+    /// incarnation claimed from the journal at start.
+    pub fn incarnation(&self) -> u64 {
+        self.shared.incarnation
+    }
+
+    /// Attaches a warm-standby replication stream: every journaled
+    /// batch is teed over `transport` (best effort) and the lowest live
+    /// shard beacons heartbeats so the standby can tell an idle primary
+    /// from a dead one.
+    pub fn attach_replica(&self, transport: Box<dyn Transport>) {
+        *self.shared.repl.lock().unwrap_or_else(|e| e.into_inner()) = Some(transport);
     }
 
     /// Stops every shard (and UDS pump) thread and waits for them.

@@ -83,6 +83,8 @@ pub struct TrafficReport {
     pub evictions: u64,
     /// Total successful rejoins.
     pub rejoins: u64,
+    /// Total successful `Resume` handshakes (server-restart ride-throughs).
+    pub resumes: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
 }
@@ -112,8 +114,8 @@ impl TrafficReport {
 }
 
 /// One driver thread's raw outcome: per-session completion counts,
-/// latencies (µs), then retry / eviction / rejoin totals.
-type DriverOutcome = (Vec<(SessionId, u64)>, Vec<u64>, u64, u64, u64);
+/// latencies (µs), then retry / eviction / rejoin / resume totals.
+type DriverOutcome = (Vec<(SessionId, u64)>, Vec<u64>, u64, u64, u64, u64);
 
 struct DrivenSession {
     client: BarrierClient<Box<dyn Transport>>,
@@ -133,13 +135,26 @@ struct DrivenSession {
 /// attempt budget — a wedged epoch shows up as a test failure, not a
 /// hang.
 pub fn drive(server: &EpochServer, cfg: &TrafficConfig) -> TrafficReport {
+    drive_with(|_| Box::new(server.connect()), cfg)
+}
+
+/// [`drive`] generalized over how sessions reach the server: `connect`
+/// mints a base transport per session — a plain loopback, a
+/// [`ReconnectTransport`](crate::ReconnectTransport) into a failover
+/// cluster, anything. Wire chaos from [`TrafficConfig::chaos`] is
+/// layered on top of whatever `connect` returns.
+pub fn drive_with(
+    connect: impl Fn(SessionId) -> Box<dyn Transport> + Sync,
+    cfg: &TrafficConfig,
+) -> TrafficReport {
     assert!(cfg.drivers >= 1 && cfg.sessions >= 1);
     let started = Instant::now();
+    let connect = &connect;
     let results: Vec<DriverOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.drivers)
             .map(|d| {
                 let cfg = cfg.clone();
-                scope.spawn(move || drive_one(server, &cfg, d))
+                scope.spawn(move || drive_one(connect, &cfg, d))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -150,25 +165,31 @@ pub fn drive(server: &EpochServer, cfg: &TrafficConfig) -> TrafficReport {
         retries: 0,
         evictions: 0,
         rejoins: 0,
+        resumes: 0,
         elapsed: started.elapsed(),
     };
-    for (completed, lats, retries, evictions, rejoins) in results {
+    for (completed, lats, retries, evictions, rejoins, resumes) in results {
         report.completed.extend(completed);
         report.latencies_us.extend(lats);
         report.retries += retries;
         report.evictions += evictions;
         report.rejoins += rejoins;
+        report.resumes += resumes;
     }
     report.latencies_us.sort_unstable();
     report
 }
 
-fn drive_one(server: &EpochServer, cfg: &TrafficConfig, driver: usize) -> DriverOutcome {
+fn drive_one(
+    connect: &(impl Fn(SessionId) -> Box<dyn Transport> + Sync),
+    cfg: &TrafficConfig,
+    driver: usize,
+) -> DriverOutcome {
     // Connect this driver's slice of sessions.
     let mut sessions: Vec<DrivenSession> = (cfg.first_session..cfg.first_session + cfg.sessions)
         .filter(|sid| (sid - cfg.first_session) as usize % cfg.drivers == driver)
         .map(|sid| {
-            let base = server.connect();
+            let base = connect(sid);
             let transport: Box<dyn Transport> = match &cfg.chaos {
                 Some(chaos) => Box::new(FaultyTransport::new(
                     base,
@@ -263,15 +284,16 @@ fn drive_one(server: &EpochServer, cfg: &TrafficConfig, driver: usize) -> Driver
         }
     }
     let mut completed = Vec::new();
-    let (mut retries, mut evictions, mut rejoins) = (0, 0, 0);
+    let (mut retries, mut evictions, mut rejoins, mut resumes) = (0, 0, 0, 0);
     for s in &sessions {
         completed.push((s.client.session(), s.done));
         let st = s.client.stats();
         retries += st.retries;
         evictions += st.evictions;
         rejoins += st.rejoins;
+        resumes += st.resumes;
     }
-    (completed, latencies, retries, evictions, rejoins)
+    (completed, latencies, retries, evictions, rejoins, resumes)
 }
 
 #[cfg(test)]

@@ -57,6 +57,16 @@ pub trait Transport: Send {
 
     /// Receives one frame, waiting at most `timeout`.
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, NetError>;
+
+    /// Discards any frames the transport is still holding for delivery
+    /// (in-flight, delayed, or duplicated by a fault decorator).
+    ///
+    /// Called at identity boundaries — a session re-admitted under a
+    /// reused id, a client resuming on a restarted server — where a
+    /// stale held frame addressed to the *previous* incarnation of the
+    /// endpoint must not be replayed into the new one. Plain transports
+    /// hold nothing, so the default is a no-op.
+    fn flush_stale(&mut self) {}
 }
 
 impl<T: Transport + ?Sized> Transport for Box<T> {
@@ -65,6 +75,9 @@ impl<T: Transport + ?Sized> Transport for Box<T> {
     }
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, NetError> {
         (**self).recv_timeout(timeout)
+    }
+    fn flush_stale(&mut self) {
+        (**self).flush_stale()
     }
 }
 
@@ -183,6 +196,108 @@ pub fn uds_pair() -> std::io::Result<(UdsTransport, UdsTransport)> {
     ))
 }
 
+/// The dialing half of a [`ReconnectTransport`]: returns a fresh
+/// connection to the *current* authority plus the generation it
+/// belongs to, or `None` while no authority is serving (an outage).
+pub type DialFn = Box<dyn FnMut() -> Option<(Box<dyn Transport>, u64)> + Send>;
+
+/// A self-healing client endpoint: wraps a dialing closure and redials
+/// whenever the shared generation counter moves past the generation of
+/// its current connection (a server restart or standby takeover), or
+/// whenever the connection reports `Closed`.
+///
+/// During an outage — the dial returns `None` — the transport behaves
+/// like a dead-but-reachable wire: sends succeed (and vanish, which is
+/// indistinguishable from loss), receives time out. That is exactly
+/// the failure shape the retrying [`BarrierClient`](crate::BarrierClient)
+/// already rides through, so a whole-server restart needs no new client
+/// machinery below the protocol layer.
+pub struct ReconnectTransport {
+    dial: DialFn,
+    generation: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    conn: Option<(Box<dyn Transport>, u64)>,
+}
+
+impl std::fmt::Debug for ReconnectTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReconnectTransport")
+            .field("connected", &self.conn.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ReconnectTransport {
+    /// Wraps `dial` with generation-tracked redialing. `generation` is
+    /// shared with whoever installs new authorities (the failover
+    /// cluster bumps it on every kill/restart/promotion).
+    pub fn new(
+        generation: std::sync::Arc<std::sync::atomic::AtomicU64>,
+        dial: DialFn,
+    ) -> ReconnectTransport {
+        ReconnectTransport {
+            dial,
+            generation,
+            conn: None,
+        }
+    }
+
+    fn ensure(&mut self) {
+        let current = self.generation.load(std::sync::atomic::Ordering::Acquire);
+        if let Some((_, gen)) = &self.conn {
+            if *gen == current {
+                return;
+            }
+            self.conn = None;
+        }
+        self.conn = (self.dial)();
+    }
+}
+
+impl Transport for ReconnectTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        self.ensure();
+        match &mut self.conn {
+            // Outage: the frame vanishes, as on a lossy wire.
+            None => Ok(()),
+            Some((t, _)) => match t.send(frame) {
+                Ok(()) => Ok(()),
+                // A closed peer mid-outage is also just loss; drop the
+                // connection so the next call redials.
+                Err(_) => {
+                    self.conn = None;
+                    Ok(())
+                }
+            },
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, NetError> {
+        self.ensure();
+        match &mut self.conn {
+            None => {
+                // Dead host: burn (a slice of) the timeout so callers
+                // in a retry loop do not spin, then report silence.
+                std::thread::sleep(timeout.min(Duration::from_millis(2)));
+                Err(NetError::Timeout)
+            }
+            Some((t, _)) => match t.recv_timeout(timeout) {
+                Ok(f) => Ok(f),
+                Err(NetError::Timeout) => Err(NetError::Timeout),
+                Err(NetError::Closed) => {
+                    self.conn = None;
+                    Err(NetError::Timeout)
+                }
+            },
+        }
+    }
+
+    fn flush_stale(&mut self) {
+        if let Some((t, _)) = &mut self.conn {
+            t.flush_stale();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +340,61 @@ mod tests {
         assert_eq!(a.recv_timeout(Duration::from_secs(1)).unwrap(), b"pong");
         assert_eq!(
             a.recv_timeout(Duration::from_millis(5)),
+            Err(NetError::Timeout)
+        );
+    }
+
+    #[test]
+    fn reconnect_redials_on_generation_bump_and_blackholes_outages() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::{Arc, Mutex};
+
+        let generation = Arc::new(AtomicU64::new(1));
+        // The "cluster": a slot holding the server half of the current
+        // wire, replaced on failover.
+        let slot: Arc<Mutex<Option<LoopbackTransport>>> = Arc::new(Mutex::new(None));
+        let dial_slot = Arc::clone(&slot);
+        let dial_gen = Arc::clone(&generation);
+        let mut rt = ReconnectTransport::new(
+            Arc::clone(&generation),
+            Box::new(move || {
+                let gen = dial_gen.load(Ordering::Acquire);
+                let (client, server) = loopback_pair();
+                *dial_slot.lock().unwrap() = Some(server);
+                Some((Box::new(client) as Box<dyn Transport>, gen))
+            }),
+        );
+
+        // Generation 1: frames flow to the first server half.
+        rt.send(b"one").unwrap();
+        let mut srv1 = slot.lock().unwrap().take().unwrap();
+        assert_eq!(srv1.recv_timeout(Duration::from_secs(1)).unwrap(), b"one");
+
+        // Failover: bump the generation; the next send must redial and
+        // land on the *new* server half, not the old one.
+        generation.fetch_add(1, Ordering::Release);
+        rt.send(b"two").unwrap();
+        let mut srv2 = slot.lock().unwrap().take().unwrap();
+        assert_eq!(srv2.recv_timeout(Duration::from_secs(1)).unwrap(), b"two");
+        assert_eq!(
+            srv1.recv_timeout(Duration::from_millis(5)),
+            Err(NetError::Closed),
+            "old wire is dead after redial"
+        );
+    }
+
+    #[test]
+    fn reconnect_outage_looks_like_a_lossy_wire() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+
+        let generation = Arc::new(AtomicU64::new(1));
+        let mut rt = ReconnectTransport::new(generation, Box::new(|| None));
+        // No authority: sends succeed (and vanish), receives time out —
+        // never `Closed`, which would surface as a poisoned barrier.
+        rt.send(b"into the void").unwrap();
+        assert_eq!(
+            rt.recv_timeout(Duration::from_millis(5)),
             Err(NetError::Timeout)
         );
     }

@@ -16,6 +16,12 @@ pub enum BarrierError {
     /// proxy arrivals; the evicted thread may call `rejoin` to be
     /// re-admitted.
     Evicted,
+    /// The participant's view of the epoch stream has diverged from
+    /// the authority's — a recovered epoch server lost a journal
+    /// suffix the client already observed. The session cannot be
+    /// resumed safely; continuing would silently double-release or
+    /// skip epochs, so the client surfaces the divergence instead.
+    Diverged,
 }
 
 impl core::fmt::Display for BarrierError {
@@ -24,6 +30,10 @@ impl core::fmt::Display for BarrierError {
             Self::Timeout => write!(f, "barrier wait timed out"),
             Self::Poisoned => write!(f, "barrier poisoned by a participant dying mid-episode"),
             Self::Evicted => write!(f, "participant was evicted from the barrier"),
+            Self::Diverged => write!(
+                f,
+                "epoch stream diverged from the recovered authority (lost journal suffix)"
+            ),
         }
     }
 }
@@ -39,5 +49,6 @@ mod tests {
         assert!(BarrierError::Timeout.to_string().contains("timed out"));
         assert!(BarrierError::Poisoned.to_string().contains("poisoned"));
         assert!(BarrierError::Evicted.to_string().contains("evicted"));
+        assert!(BarrierError::Diverged.to_string().contains("diverged"));
     }
 }

@@ -372,7 +372,7 @@ where
                                 Err(BarrierError::Timeout) => {
                                     timeouts.fetch_add(1, Ordering::Relaxed);
                                 }
-                                Err(BarrierError::Poisoned) => {
+                                Err(BarrierError::Poisoned | BarrierError::Diverged) => {
                                     poisoned.store(true, Ordering::Release);
                                     excluded[tid as usize].store(true, Ordering::Release);
                                     break 'episodes;
@@ -416,7 +416,7 @@ where
                                         break 'episodes;
                                     }
                                 }
-                                Err(BarrierError::Poisoned) => {
+                                Err(BarrierError::Poisoned | BarrierError::Diverged) => {
                                     poisoned.store(true, Ordering::Release);
                                     excluded[tid as usize].store(true, Ordering::Release);
                                     break 'episodes;
@@ -632,7 +632,7 @@ where
                             Err(BarrierError::Timeout) => {
                                 timeouts.fetch_add(1, Ordering::Relaxed);
                             }
-                            Err(BarrierError::Poisoned) => {
+                            Err(BarrierError::Poisoned | BarrierError::Diverged) => {
                                 poisoned.store(true, Ordering::Release);
                                 return Err(());
                             }
@@ -723,7 +723,7 @@ where
                                     break 'run;
                                 }
                             }
-                            Err(BarrierError::Poisoned) => {
+                            Err(BarrierError::Poisoned | BarrierError::Diverged) => {
                                 poisoned.store(true, Ordering::Release);
                                 excluded[tid as usize].store(true, Ordering::Release);
                                 break 'run;
