@@ -9,7 +9,7 @@
 //!
 //! Available ids: fig2, fig3, fig4, fig5, sec4-mcs, fig8, fig9, fig10,
 //! fig11, fig12, fig13, ablate, adaptive, chaos, churn, server, async,
-//! trace, balance,
+//! trace, balance, scale,
 //! fuzzy-idle, release, baselines, verify, all. A `--quick` flag
 //! shrinks replication counts for smoke runs; `--list` prints the
 //! available ids and exits; `--only a,b,c` selects a comma-separated
@@ -25,12 +25,12 @@
 //! output byte.
 
 use combar::presets::{
-    AsyncLoad, Balance, Fig12, Fig13, Fig2, Fig3Grid, Fig5, Fig8, RestartSim, ScalingSweep,
+    AsyncLoad, Balance, Fig12, Fig13, Fig2, Fig3Grid, Fig5, Fig8, RestartSim, Scale, ScalingSweep,
     ServerSim,
 };
 use combar_bench::experiments::{
     ablate, adaptive, asyncrt, balance, baselines, chaos, churn, fig2, fig34, fig5, fig8,
-    fuzzy_idle, ksr, mcs, release, restart, scaling, seeds, server, trace,
+    fuzzy_idle, ksr, mcs, release, restart, scale, scaling, seeds, server, trace,
 };
 use combar_bench::table::{json_escape, parse_rendered};
 use std::time::Instant;
@@ -57,6 +57,7 @@ const ALL_IDS: &[&str] = &[
     "async",
     "trace",
     "balance",
+    "scale",
     "fuzzy-idle",
     "release",
     "baselines",
@@ -342,6 +343,10 @@ fn main() {
                     Balance::full()
                 };
                 format!("{}\n", balance::run(&preset).render())
+            }
+            "scale" => {
+                let preset = if quick { Scale::quick() } else { Scale::full() };
+                format!("{}\n", scale::run(&preset).render())
             }
             "dot" => {
                 // Figure 6's mechanism, rendered: a small owner tree

@@ -18,6 +18,7 @@ pub mod ksr;
 pub mod mcs;
 pub mod release;
 pub mod restart;
+pub mod scale;
 pub mod scaling;
 pub mod server;
 pub mod trace;

@@ -22,9 +22,9 @@
 //! deterministic and snapshotted via [`chaos_des_small`].
 
 use crate::experiments::{
-    asyncrt, balance, chaos, churn, fig2, fig8, restart, seeds, server, trace,
+    asyncrt, balance, chaos, churn, fig2, fig8, restart, scale, seeds, server, trace,
 };
-use combar::presets::{AsyncLoad, Balance, Fig2, Fig8, RestartSim, ServerSim};
+use combar::presets::{AsyncLoad, Balance, Fig2, Fig8, RestartSim, Scale, ServerSim};
 use std::time::Duration;
 
 /// Figure 2 (sync delay vs degree) at 256 processors, 4 replications.
@@ -108,4 +108,13 @@ pub fn trace_small() -> String {
 /// `COMBAR_THREADS`.
 pub fn balance_small() -> String {
     balance::run(&Balance::quick()).render()
+}
+
+/// The scale experiment (timing-wheel DES at large `p`: optimal degree
+/// and dynamic placement under k-redundant Pareto stragglers) on its
+/// quick preset — episodes run on the wheel-backed engine, every cell
+/// is a pure function of the seed table, and the sweep is
+/// byte-identical at any `COMBAR_THREADS`.
+pub fn scale_small() -> String {
+    scale::run(&Scale::quick()).render()
 }

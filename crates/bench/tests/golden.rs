@@ -90,6 +90,11 @@ fn balance_tables_are_stable() {
     check("balance_small.txt", &combar_bench::golden::balance_small());
 }
 
+#[test]
+fn scale_tables_are_stable() {
+    check("scale_small.txt", &combar_bench::golden::scale_small());
+}
+
 /// The renderings really are deterministic: two in-process runs agree
 /// byte for byte (guards the snapshots themselves against flakiness).
 #[test]
@@ -129,5 +134,9 @@ fn renderings_are_deterministic() {
     assert_eq!(
         combar_bench::golden::balance_small(),
         combar_bench::golden::balance_small()
+    );
+    assert_eq!(
+        combar_bench::golden::scale_small(),
+        combar_bench::golden::scale_small()
     );
 }

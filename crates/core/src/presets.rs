@@ -179,6 +179,16 @@ pub mod seeds {
             .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
         BASE ^ 0xba1a ^ tag
     }
+
+    /// Scale experiment cell at `(p, k)`: `p` processors under
+    /// redundancy degree `k`. The seed drives the cell's redundant
+    /// Pareto work draws (replica `r` of the `Redundant` source
+    /// XOR-splits off it) and is shared by every degree column and
+    /// both placement regimes of the cell, so comparisons are paired
+    /// on identical straggler streams.
+    pub fn scale(p: u32, k: u32) -> u64 {
+        BASE ^ 0x5ca1e ^ ((k as u64) << 32) ^ p as u64
+    }
 }
 
 use combar_exec::Sweep;
@@ -689,6 +699,80 @@ impl Default for Balance {
     }
 }
 
+/// The `scale` experiment: optimal degree and dynamic placement at
+/// p ∈ {2¹⁴ … 2²⁰} under heavy-tailed (Pareto) stragglers with
+/// first-completion redundancy k ∈ {1, 2, 3} — ROADMAP item 3, run on
+/// the timing-wheel engine.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Processor counts (powers of two up to 2²⁰).
+    pub procs: Vec<u32>,
+    /// Redundancy degrees k (1 = no replication).
+    pub redundancy: Vec<u32>,
+    /// Candidate tree degrees for the optimal-degree sweep.
+    pub degrees: Vec<u32>,
+    /// Replications per (p, k, degree) cell.
+    pub reps: usize,
+    /// Nominal mean work per copy (µs).
+    pub mean_us: f64,
+    /// Pareto scale parameter (µs) — the distribution's left edge.
+    pub pareto_scale_us: f64,
+    /// Pareto tail index α (< 2 ⇒ infinite variance: real stragglers).
+    pub pareto_shape: f64,
+    /// Episodes of the dynamic-placement loop per (p, k) cell.
+    pub placement_episodes: usize,
+    /// Leading placement episodes excluded from statistics.
+    pub warmup: usize,
+    /// σ of the fixed per-processor bias in the placement loop's
+    /// systemic regime (µs) — the persistent lateness dynamic
+    /// placement exploits.
+    pub bias_sigma_us: f64,
+    /// σ of the per-episode normal noise in the placement loop (µs).
+    pub noise_sigma_us: f64,
+    /// Fuzzy-barrier slack between signal and enforce (µs).
+    pub slack_us: f64,
+    /// Timing-wheel tick size for the episode engines (µs).
+    pub wheel_resolution_us: f64,
+}
+
+impl Scale {
+    /// Full grid: up to 2²⁰ processors, k ∈ {1, 2, 3}.
+    pub fn full() -> Self {
+        Self {
+            procs: vec![1 << 14, 1 << 16, 1 << 18, 1 << 20],
+            redundancy: vec![1, 2, 3],
+            degrees: vec![4, 16, 64, 256],
+            reps: 2,
+            mean_us: 10_000.0,
+            pareto_scale_us: 500.0,
+            pareto_shape: 1.6,
+            placement_episodes: 6,
+            warmup: 2,
+            bias_sigma_us: 1_000.0,
+            noise_sigma_us: 250.0,
+            slack_us: 2_000.0,
+            wheel_resolution_us: 1.0,
+        }
+    }
+
+    /// Shrunk grid for smoke passes and the golden snapshot.
+    pub fn quick() -> Self {
+        Self {
+            procs: vec![1 << 10, 1 << 12],
+            redundancy: vec![1, 2],
+            placement_episodes: 4,
+            warmup: 1,
+            ..Self::full()
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
 /// Figure 5 (reconstructed from the Section 5 text): persistence of
 /// arrival order under slack.
 #[derive(Debug, Clone)]
@@ -818,6 +902,10 @@ mod tests {
         assert_eq!(
             seeds::server(0.05, 4),
             seeds::BASE ^ 0x5e41e4 ^ (4u64 << 8) ^ 0.05f64.to_bits()
+        );
+        assert_eq!(
+            seeds::scale(1 << 20, 2),
+            seeds::BASE ^ 0x5ca1e ^ (2u64 << 32) ^ (1u64 << 20)
         );
         // distinct experiments never collide on the same parameters
         let all = [

@@ -11,57 +11,99 @@
 //! Rust shape for sequential DES (no processes/coroutines needed for the
 //! barrier models in this workspace, which are naturally event-oriented:
 //! *processor requests counter*, *counter update completes*).
+//!
+//! The pending-event set itself sits behind the [`EventQueue`] trait:
+//! [`Engine::new`] keeps the original binary heap, while
+//! [`EngineConfig`] selects the hierarchical timing wheel for
+//! million-participant episodes — same `(time, seq)` total order,
+//! different constant factors.
 
+pub use crate::queue::Cancellation;
+use crate::queue::{Event, EventQueue, HeapQueue, Ledger, WheelQueue};
 use crate::time::{Duration, SimTime};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::cell::Cell;
+use std::rc::Rc;
 
 /// Type-erased event action.
-type Action<S> = Box<dyn FnOnce(&mut Engine<S>)>;
+pub type Action<S> = Box<dyn FnOnce(&mut Engine<S>)>;
 
-/// Token disarming a cancellable or periodic event (see
-/// [`Engine::schedule_cancellable`]). Cloneable; any clone cancels all.
-#[derive(Debug, Clone, Default)]
-pub struct Cancellation {
-    cancelled: std::rc::Rc<std::cell::Cell<bool>>,
+/// Which pending-event structure an [`EngineConfig`] builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Binary heap: O(log n), zero setup, the [`Engine::new`] default.
+    Heap,
+    /// Hierarchical timing wheel: O(1) near-horizon scheduling, built
+    /// for p ≥ 2¹⁴ episodes.
+    Wheel,
 }
 
-impl Cancellation {
-    fn new() -> Self {
-        Self::default()
-    }
+/// Builder for an [`Engine`] with an explicit queue choice and
+/// capacity hints.
+///
+/// ```
+/// use combar_des::{EngineConfig, QueueKind, SimTime};
+///
+/// let mut eng = EngineConfig::new()
+///     .queue(QueueKind::Wheel)
+///     .events_hint(1 << 20)
+///     .build(0u64);
+/// eng.schedule_at(SimTime::from_us(1.0), |e| e.state += 1);
+/// eng.run();
+/// assert_eq!(eng.state, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    queue: QueueKind,
+    wheel_resolution_us: f64,
+    events_hint: usize,
+}
 
-    /// Disarms the associated event(s).
-    pub fn cancel(&self) {
-        self.cancelled.set(true);
-    }
-
-    /// Whether the event has been disarmed.
-    pub fn is_cancelled(&self) -> bool {
-        self.cancelled.get()
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
-struct Scheduled<S> {
-    time: SimTime,
-    seq: u64,
-    action: Action<S>,
-}
+impl EngineConfig {
+    /// The default configuration: heap queue, 1 µs wheel resolution
+    /// (if later switched), no capacity hint.
+    pub fn new() -> Self {
+        Self {
+            queue: QueueKind::Heap,
+            wheel_resolution_us: WheelQueue::<()>::DEFAULT_RESOLUTION_US,
+            events_hint: 0,
+        }
+    }
 
-impl<S> PartialEq for Scheduled<S> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+    /// Selects the pending-event structure.
+    pub fn queue(mut self, kind: QueueKind) -> Self {
+        self.queue = kind;
+        self
     }
-}
-impl<S> Eq for Scheduled<S> {}
-impl<S> PartialOrd for Scheduled<S> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+    /// Tick size for [`QueueKind::Wheel`], in microseconds (events in
+    /// one tick still fire in exact `(time, seq)` order).
+    pub fn wheel_resolution_us(mut self, us: f64) -> Self {
+        self.wheel_resolution_us = us;
+        self
     }
-}
-impl<S> Ord for Scheduled<S> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+
+    /// Expected pending-event count, used to pre-size the structure.
+    pub fn events_hint(mut self, events: usize) -> Self {
+        self.events_hint = events;
+        self
+    }
+
+    /// Builds an engine at time zero over `state`.
+    pub fn build<S: 'static>(&self, state: S) -> Engine<S> {
+        match self.queue {
+            QueueKind::Heap => {
+                Engine::with_queue(state, HeapQueue::with_capacity(self.events_hint))
+            }
+            QueueKind::Wheel => {
+                Engine::with_queue(state, WheelQueue::with_resolution(self.wheel_resolution_us))
+            }
+        }
     }
 }
 
@@ -69,19 +111,38 @@ impl<S> Ord for Scheduled<S> {
 pub struct Engine<S> {
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Reverse<Scheduled<S>>>,
+    queue: Box<dyn EventQueue<Action<S>>>,
+    /// Count of queued-but-cancelled events still physically present;
+    /// shared with every [`Cancellation`] this engine hands out.
+    ledger: Ledger,
     events_executed: u64,
     /// The user state, freely accessible to event handlers.
     pub state: S,
 }
 
 impl<S> Engine<S> {
-    /// Creates an engine at time zero with the given state.
-    pub fn new(state: S) -> Self {
+    /// Creates an engine at time zero with the given state, using the
+    /// default binary-heap queue.
+    pub fn new(state: S) -> Self
+    where
+        S: 'static,
+    {
+        Self::with_queue(state, HeapQueue::new())
+    }
+
+    /// Creates an engine at time zero over a caller-supplied
+    /// pending-event structure (see [`EventQueue`] for the ordering
+    /// contract an implementation must honor).
+    pub fn with_queue<Q>(state: S, queue: Q) -> Self
+    where
+        S: 'static,
+        Q: EventQueue<Action<S>> + 'static,
+    {
         Self {
             now: SimTime::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            queue: Box::new(queue),
+            ledger: Rc::new(Cell::new(0)),
             events_executed: 0,
             state,
         }
@@ -98,9 +159,33 @@ impl<S> Engine<S> {
         self.events_executed
     }
 
-    /// Number of events still pending.
+    /// Number of **live** events still pending. Cancelled events leave
+    /// this count the moment their token fires, even while their
+    /// tombstones await physical reclamation in the queue.
     pub fn events_pending(&self) -> usize {
-        self.heap.len()
+        self.queue.len() - self.ledger.get() as usize
+    }
+
+    /// Enqueues a prepared event, assigning its sequence number and
+    /// opportunistically compacting when tombstones dominate.
+    fn schedule_event(&mut self, at: SimTime, ev: Event<Action<S>>) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now = {}, at = {}",
+            self.now,
+            at
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.schedule(at, seq, ev);
+        // Compact once tombstones are both numerous and the majority:
+        // keeps memory O(live) under 100k-cancellation churn without
+        // ever paying O(n) on a mostly-live queue.
+        let dead = self.ledger.get() as usize;
+        if dead >= 64 && dead * 2 >= self.queue.len() {
+            self.queue.compact();
+            debug_assert_eq!(self.ledger.get(), 0, "compact reaps every tombstone");
+        }
     }
 
     /// Schedules `action` at absolute time `at`.
@@ -112,19 +197,7 @@ impl<S> Engine<S> {
     where
         F: FnOnce(&mut Engine<S>) + 'static,
     {
-        assert!(
-            at >= self.now,
-            "cannot schedule into the past: now = {}, at = {}",
-            self.now,
-            at
-        );
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(Scheduled {
-            time: at,
-            seq,
-            action: Box::new(action),
-        }));
+        self.schedule_event(at, Event::new(Box::new(action)));
     }
 
     /// Schedules `action` after a delay from the current time.
@@ -136,8 +209,10 @@ impl<S> Engine<S> {
     }
 
     /// Schedules a cancellable event; the returned [`Cancellation`]
-    /// token suppresses the action if triggered before the event fires
-    /// (the event still occupies its queue slot but becomes a no-op).
+    /// token suppresses the action if triggered before the event fires.
+    /// The cancelled event immediately leaves [`Engine::events_pending`]
+    /// and its queue slot is lazily reclaimed (eagerly if tombstones
+    /// pile up).
     ///
     /// Typical use: timeouts that are usually disarmed — e.g. a watchdog
     /// on barrier completion in soak tests.
@@ -145,13 +220,19 @@ impl<S> Engine<S> {
     where
         F: FnOnce(&mut Engine<S>) + 'static,
     {
-        let token = Cancellation::new();
+        let token = Cancellation::with_ledger(self.ledger.clone());
         let guard = token.clone();
-        self.schedule_at(at, move |eng| {
-            if !guard.is_cancelled() {
-                action(eng);
-            }
-        });
+        // The queue already skips tombstones; the guard is defense in
+        // depth for queues that might not.
+        let ev = Event::cancellable(
+            Box::new(move |eng: &mut Engine<S>| {
+                if !guard.is_cancelled() {
+                    action(eng);
+                }
+            }) as Action<S>,
+            &token,
+        );
+        self.schedule_event(at, ev);
         token
     }
 
@@ -176,7 +257,7 @@ impl<S> Engine<S> {
             period.as_us() > 0.0,
             "periodic events need a positive period"
         );
-        let token = Cancellation::new();
+        let token = Cancellation::with_ledger(self.ledger.clone());
         let guard = token.clone();
         fn tick<S, F: FnMut(&mut Engine<S>) + 'static>(
             eng: &mut Engine<S>,
@@ -191,30 +272,43 @@ impl<S> Engine<S> {
             action(eng);
             let next_remaining = remaining - 1;
             if next_remaining > 0 && !guard.is_cancelled() {
-                eng.schedule_in(period, move |e| {
-                    tick(e, action, guard, period, next_remaining)
-                });
+                let at = eng.now + period;
+                let token = guard.clone();
+                let ev = Event::cancellable(
+                    Box::new(move |e: &mut Engine<S>| {
+                        tick(e, action, guard, period, next_remaining)
+                    }) as Action<S>,
+                    &token,
+                );
+                eng.schedule_event(at, ev);
             }
         }
-        self.schedule_at(first, move |e| tick(e, action, guard, period, max_firings));
+        let ev = Event::cancellable(
+            Box::new(move |e: &mut Engine<S>| tick(e, action, guard, period, max_firings))
+                as Action<S>,
+            &token,
+        );
+        self.schedule_event(first, ev);
         token
     }
 
-    /// Time of the next pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(s)| s.time)
+    /// Time of the next live pending event, if any. Takes `&mut self`
+    /// because answering may reap cancelled events off the queue's
+    /// front.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.queue.next_time()
     }
 
     /// Executes the single next event. Returns `false` when the pending
     /// set is empty.
     pub fn step(&mut self) -> bool {
-        match self.heap.pop() {
+        match self.queue.pop_next() {
             None => false,
-            Some(Reverse(ev)) => {
-                debug_assert!(ev.time >= self.now);
-                self.now = ev.time;
+            Some((time, _seq, action)) => {
+                debug_assert!(time >= self.now);
+                self.now = time;
                 self.events_executed += 1;
-                (ev.action)(self);
+                action(self);
                 true
             }
         }
@@ -249,56 +343,72 @@ impl<S> Engine<S> {
 mod tests {
     use super::*;
 
+    /// Every engine test runs against both queue implementations —
+    /// the `(time, seq)` contract must make them indistinguishable.
+    fn engines<S: Clone + 'static>(state: S) -> Vec<(&'static str, Engine<S>)> {
+        vec![
+            ("heap", Engine::new(state.clone())),
+            (
+                "wheel",
+                EngineConfig::new().queue(QueueKind::Wheel).build(state),
+            ),
+        ]
+    }
+
     #[test]
     fn events_fire_in_time_order() {
-        let mut eng = Engine::new(Vec::<u32>::new());
-        eng.schedule_at(SimTime::from_us(3.0), |e| e.state.push(3));
-        eng.schedule_at(SimTime::from_us(1.0), |e| e.state.push(1));
-        eng.schedule_at(SimTime::from_us(2.0), |e| e.state.push(2));
-        eng.run();
-        assert_eq!(eng.state, vec![1, 2, 3]);
-        assert_eq!(eng.events_executed(), 3);
+        for (name, mut eng) in engines(Vec::<u32>::new()) {
+            eng.schedule_at(SimTime::from_us(3.0), |e| e.state.push(3));
+            eng.schedule_at(SimTime::from_us(1.0), |e| e.state.push(1));
+            eng.schedule_at(SimTime::from_us(2.0), |e| e.state.push(2));
+            eng.run();
+            assert_eq!(eng.state, vec![1, 2, 3], "{name}");
+            assert_eq!(eng.events_executed(), 3, "{name}");
+        }
     }
 
     #[test]
     fn simultaneous_events_fire_in_scheduling_order() {
-        let mut eng = Engine::new(Vec::<u32>::new());
-        for i in 0..10 {
-            eng.schedule_at(SimTime::from_us(5.0), move |e| e.state.push(i));
+        for (name, mut eng) in engines(Vec::<u32>::new()) {
+            for i in 0..10 {
+                eng.schedule_at(SimTime::from_us(5.0), move |e| e.state.push(i));
+            }
+            eng.run();
+            assert_eq!(eng.state, (0..10).collect::<Vec<_>>(), "{name}");
         }
-        eng.run();
-        assert_eq!(eng.state, (0..10).collect::<Vec<_>>());
     }
 
     #[test]
     fn handlers_can_schedule_more_events() {
-        let mut eng = Engine::new(0u32);
-        fn tick(e: &mut Engine<u32>) {
-            e.state += 1;
-            if e.state < 5 {
-                e.schedule_in(Duration::from_us(1.0), tick);
+        for (name, mut eng) in engines(0u32) {
+            fn tick(e: &mut Engine<u32>) {
+                e.state += 1;
+                if e.state < 5 {
+                    e.schedule_in(Duration::from_us(1.0), tick);
+                }
             }
+            eng.schedule_at(SimTime::ZERO, tick);
+            let end = eng.run();
+            assert_eq!(eng.state, 5, "{name}");
+            assert_eq!(end.as_us(), 4.0, "{name}");
         }
-        eng.schedule_at(SimTime::ZERO, tick);
-        let end = eng.run();
-        assert_eq!(eng.state, 5);
-        assert_eq!(end.as_us(), 4.0);
     }
 
     #[test]
     fn run_until_stops_at_horizon_inclusive() {
-        let mut eng = Engine::new(Vec::<f64>::new());
-        for i in 1..=10 {
-            eng.schedule_at(SimTime::from_us(i as f64), move |e| {
-                let t = e.now().as_us();
-                e.state.push(t);
-            });
+        for (name, mut eng) in engines(Vec::<f64>::new()) {
+            for i in 1..=10 {
+                eng.schedule_at(SimTime::from_us(i as f64), move |e| {
+                    let t = e.now().as_us();
+                    e.state.push(t);
+                });
+            }
+            eng.run_until(SimTime::from_us(5.0));
+            assert_eq!(eng.state, vec![1.0, 2.0, 3.0, 4.0, 5.0], "{name}");
+            assert_eq!(eng.events_pending(), 5, "{name}");
+            eng.run();
+            assert_eq!(eng.state.len(), 10, "{name}");
         }
-        eng.run_until(SimTime::from_us(5.0));
-        assert_eq!(eng.state, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
-        assert_eq!(eng.events_pending(), 5);
-        eng.run();
-        assert_eq!(eng.state.len(), 10);
     }
 
     #[test]
@@ -313,19 +423,20 @@ mod tests {
 
     #[test]
     fn clock_is_monotone_across_run() {
-        let mut eng = Engine::new((SimTime::ZERO, true));
-        for i in (0..100).rev() {
-            eng.schedule_at(SimTime::from_us(i as f64 * 0.5), |e| {
-                let now = e.now();
-                let (last, ok) = &mut e.state;
-                if now < *last {
-                    *ok = false;
-                }
-                *last = now;
-            });
+        for (name, mut eng) in engines((SimTime::ZERO, true)) {
+            for i in (0..100).rev() {
+                eng.schedule_at(SimTime::from_us(i as f64 * 0.5), |e| {
+                    let now = e.now();
+                    let (last, ok) = &mut e.state;
+                    if now < *last {
+                        *ok = false;
+                    }
+                    *last = now;
+                });
+            }
+            eng.run();
+            assert!(eng.state.1, "{name}: clock went backwards");
         }
-        eng.run();
-        assert!(eng.state.1, "clock went backwards");
     }
 
     #[test]
@@ -338,61 +449,66 @@ mod tests {
 
     #[test]
     fn empty_engine_runs_to_zero() {
-        let mut eng = Engine::new(());
-        assert_eq!(eng.run(), SimTime::ZERO);
-        assert!(!eng.step());
-        assert_eq!(eng.peek_time(), None);
+        for (name, mut eng) in engines(()) {
+            assert_eq!(eng.run(), SimTime::ZERO, "{name}");
+            assert!(!eng.step(), "{name}");
+            assert_eq!(eng.peek_time(), None, "{name}");
+        }
     }
 
     #[test]
     fn cancelled_events_do_not_fire() {
-        let mut eng = Engine::new(0u32);
-        let keep = eng.schedule_cancellable(SimTime::from_us(1.0), |e| e.state += 1);
-        let kill = eng.schedule_cancellable(SimTime::from_us(2.0), |e| e.state += 10);
-        kill.cancel();
-        assert!(kill.is_cancelled());
-        assert!(!keep.is_cancelled());
-        eng.run();
-        assert_eq!(eng.state, 1);
+        for (name, mut eng) in engines(0u32) {
+            let keep = eng.schedule_cancellable(SimTime::from_us(1.0), |e| e.state += 1);
+            let kill = eng.schedule_cancellable(SimTime::from_us(2.0), |e| e.state += 10);
+            kill.cancel();
+            assert!(kill.is_cancelled(), "{name}");
+            assert!(!keep.is_cancelled(), "{name}");
+            eng.run();
+            assert_eq!(eng.state, 1, "{name}");
+        }
     }
 
     #[test]
     fn cancellation_mid_run_works() {
         // the first event cancels the second
-        let mut eng = Engine::new((0u32, None::<Cancellation>));
-        let token = eng.schedule_cancellable(SimTime::from_us(5.0), |e| e.state.0 += 100);
-        eng.state.1 = Some(token);
-        eng.schedule_at(SimTime::from_us(1.0), |e| {
-            e.state.1.take().expect("token stored").cancel();
-        });
-        eng.run();
-        assert_eq!(eng.state.0, 0);
+        for (name, mut eng) in engines((0u32, None::<Cancellation>)) {
+            let token = eng.schedule_cancellable(SimTime::from_us(5.0), |e| e.state.0 += 100);
+            eng.state.1 = Some(token);
+            eng.schedule_at(SimTime::from_us(1.0), |e| {
+                e.state.1.take().expect("token stored").cancel();
+            });
+            eng.run();
+            assert_eq!(eng.state.0, 0, "{name}");
+        }
     }
 
     #[test]
     fn periodic_events_fire_until_cancelled() {
-        let mut eng = Engine::new((0u32, None::<Cancellation>));
-        let token =
-            eng.schedule_periodic(SimTime::from_us(10.0), Duration::from_us(5.0), 1000, |e| {
-                e.state.0 += 1
+        for (name, mut eng) in engines((0u32, None::<Cancellation>)) {
+            let token =
+                eng.schedule_periodic(SimTime::from_us(10.0), Duration::from_us(5.0), 1000, |e| {
+                    e.state.0 += 1
+                });
+            eng.state.1 = Some(token);
+            // cancel after the event at t = 30 has fired (events at 10, 15,
+            // 20, 25, 30 → 5 firings)
+            eng.schedule_at(SimTime::from_us(31.0), |e| {
+                e.state.1.take().expect("token stored").cancel();
             });
-        eng.state.1 = Some(token);
-        // cancel after the event at t = 30 has fired (events at 10, 15,
-        // 20, 25, 30 → 5 firings)
-        eng.schedule_at(SimTime::from_us(31.0), |e| {
-            e.state.1.take().expect("token stored").cancel();
-        });
-        eng.run();
-        assert_eq!(eng.state.0, 5);
+            eng.run();
+            assert_eq!(eng.state.0, 5, "{name}");
+        }
     }
 
     #[test]
     fn periodic_events_respect_max_firings() {
-        let mut eng = Engine::new(0u32);
-        let _token =
-            eng.schedule_periodic(SimTime::ZERO, Duration::from_us(1.0), 3, |e| e.state += 1);
-        eng.run();
-        assert_eq!(eng.state, 3);
+        for (name, mut eng) in engines(0u32) {
+            let _token =
+                eng.schedule_periodic(SimTime::ZERO, Duration::from_us(1.0), 3, |e| e.state += 1);
+            eng.run();
+            assert_eq!(eng.state, 3, "{name}");
+        }
     }
 
     #[test]
@@ -400,5 +516,93 @@ mod tests {
     fn zero_period_rejected() {
         let mut eng = Engine::new(());
         let _ = eng.schedule_periodic(SimTime::ZERO, Duration::ZERO, 10, |_| {});
+    }
+
+    #[test]
+    fn cancelled_events_leave_the_pending_count_immediately() {
+        for (name, mut eng) in engines(()) {
+            let mut tokens = Vec::new();
+            for i in 0..100 {
+                tokens.push(eng.schedule_cancellable(SimTime::from_us(1.0 + i as f64), |_| {}));
+            }
+            eng.schedule_at(SimTime::from_us(500.0), |_| {});
+            assert_eq!(eng.events_pending(), 101, "{name}");
+            for t in &tokens {
+                t.cancel();
+            }
+            // Pending reflects the cancellations before any reaping.
+            assert_eq!(eng.events_pending(), 1, "{name}");
+            eng.run();
+            assert_eq!(eng.events_executed(), 1, "{name}: only the live event ran");
+            assert_eq!(eng.events_pending(), 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn cancellation_churn_keeps_memory_bounded() {
+        // The regression test from the lazy-cancel accounting fix:
+        // schedule/cancel 100k periodic events; neither queue may
+        // accumulate tombstones (compaction triggers on majority-dead)
+        // nor miscount events_pending.
+        for (name, mut eng) in engines(()) {
+            for i in 0..100_000u64 {
+                let t = eng.schedule_periodic(
+                    SimTime::from_us(1e6 + i as f64),
+                    Duration::from_us(5.0),
+                    10,
+                    |_| {},
+                );
+                t.cancel();
+                // Physical size stays O(live): tombstones never
+                // exceed the compaction threshold by more than one
+                // scheduling step.
+                assert!(
+                    eng.queue.len() <= 130,
+                    "{name}: {} tombstones accumulated at i = {i}",
+                    eng.queue.len()
+                );
+            }
+            assert_eq!(eng.events_pending(), 0, "{name}");
+            eng.run();
+            assert_eq!(eng.events_executed(), 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn wheel_engine_matches_heap_engine_event_for_event() {
+        // A miniature end-to-end differential: a self-rescheduling
+        // cascade with cancellations must produce identical histories.
+        fn drive(mut eng: Engine<Vec<(u64, f64)>>) -> (Vec<(u64, f64)>, u64) {
+            for i in 0..50u64 {
+                let at = SimTime::from_us((i * 7 % 13) as f64 + 0.1 * i as f64);
+                eng.schedule_at(at, move |e| {
+                    let now = e.now();
+                    e.state.push((i, now.as_us()));
+                    if i % 3 == 0 {
+                        e.schedule_in(Duration::from_us(2.5), move |e2| {
+                            let n2 = e2.now().as_us();
+                            e2.state.push((1000 + i, n2));
+                        });
+                    }
+                });
+                if i % 5 == 0 {
+                    let tok = eng.schedule_cancellable(at + Duration::from_us(1.0), move |e| {
+                        e.state.push((2000 + i, e.now().as_us()));
+                    });
+                    if i % 10 == 0 {
+                        tok.cancel();
+                    }
+                }
+            }
+            eng.run();
+            (eng.state.clone(), eng.events_executed())
+        }
+        let heap = drive(Engine::new(Vec::new()));
+        let wheel = drive(
+            EngineConfig::new()
+                .queue(QueueKind::Wheel)
+                .build(Vec::new()),
+        );
+        assert_eq!(heap, wheel);
     }
 }

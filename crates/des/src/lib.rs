@@ -8,7 +8,10 @@
 //! * [`SimTime`] / [`Duration`] — totally ordered `f64` microseconds
 //!   (the study's natural unit; `t_c = 20 µs` on the KSR1);
 //! * [`Engine`] — a deterministic pending-event set with
-//!   `(time, sequence)` ordering and closure handlers over user state;
+//!   `(time, sequence)` ordering and closure handlers over user state,
+//!   behind the [`EventQueue`] seam: the default [`HeapQueue`] or the
+//!   hierarchical timing-wheel [`WheelQueue`] for p ≥ 2¹⁴ episodes
+//!   (pick with [`EngineConfig`]);
 //! * [`FifoServer`] — the contention model for a lock-protected counter
 //!   (serve one update of `t_c` at a time, FIFO), generalized to
 //!   capacity `c` by [`Resource`];
@@ -39,17 +42,21 @@
 
 pub mod engine;
 pub mod fault;
+pub mod queue;
 pub mod resource;
 pub mod server;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
-pub use engine::{Cancellation, Engine};
+pub use engine::{Cancellation, Engine, EngineConfig, QueueKind};
 pub use fault::{FaultSpec, FaultTimeline, SimFault};
+pub use queue::{Event, EventQueue, HeapQueue, WheelQueue};
 pub use resource::Resource;
 pub use server::{FifoServer, Service};
 pub use time::{Duration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceKind};
+pub use wheel::TickWheel;
 
 #[cfg(test)]
 mod integration {

@@ -19,6 +19,11 @@ impl SimTime {
     /// Time zero.
     pub const ZERO: SimTime = SimTime(0.0);
 
+    /// The "never" sentinel: later than every finite time. Event
+    /// queues accept it (the wheel routes it to its overflow tier),
+    /// so a never-firing watchdog is an ordinary scheduled event.
+    pub const NEVER: SimTime = SimTime(f64::INFINITY);
+
     /// Creates a time point from microseconds.
     ///
     /// # Panics
@@ -236,6 +241,8 @@ mod tests {
         assert_eq!(a.max(b), b);
         assert_eq!(a.min(b), a);
         assert!(SimTime::from_us(f64::INFINITY) > b);
+        assert!(SimTime::NEVER > b);
+        assert_eq!(SimTime::NEVER.max(b), SimTime::NEVER);
     }
 
     #[test]

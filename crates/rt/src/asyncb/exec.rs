@@ -16,10 +16,12 @@
 //! * [`Executor::kill_driver`] makes one driver exit cooperatively —
 //!   the chaos hook for "driver-thread death"; queued tasks survive in
 //!   the injector and drain on the remaining drivers;
-//! * [`Timer`] is one binary heap + one thread delivering deadline
-//!   wakes — the recovery path that turns a *lost* wakeup into a
-//!   bounded retry instead of a hang, and the pacing primitive the
-//!   session multiplexer sleeps on;
+//! * [`Timer`] is one hierarchical timing wheel
+//!   ([`combar_des::TickWheel`], ~1 ms ticks) + one thread delivering
+//!   deadline wakes — the recovery path that turns a *lost* wakeup
+//!   into a bounded retry instead of a hang, and the pacing primitive
+//!   the session multiplexer sleeps on; insertion is O(1) where the
+//!   old binary heap paid O(log n) per deadline at 10⁶ sleepers;
 //! * [`block_on`] adapts any future to the synchronous
 //!   [`crate::barrier::Waiter`] contract with a Mutex+Condvar parker,
 //!   re-polling at the deadline so a bounded wait observes
@@ -31,7 +33,7 @@
 //! [`super::AsyncWaiter::poll_wait`] manually on virtual threads
 //! instead of through an executor.
 
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::future::Future;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::pin::Pin;
@@ -275,44 +277,103 @@ fn poll_task(shared: &Shared, task: &Arc<Task>) {
     }
 }
 
-/// A timer entry: fire `waker` at `at`. The sequence number breaks ties
-/// so the heap never compares wakers.
-struct Entry {
-    at: Instant,
-    seq: u64,
-    waker: Waker,
+/// Timer-wheel tick size: 2²⁰ ns ≈ 1.05 ms. Deadline wakes are
+/// re-poll *hints* (the sleeping future re-checks its own clock), so
+/// millisecond bucketing costs nothing semantically while making
+/// registration O(1) instead of the heap's O(log n).
+const TICK_SHIFT: u32 = 20;
+
+/// The deadline store behind the timer lock: a hierarchical timing
+/// wheel of coarse future deadlines plus an `imminent` side list with
+/// precise `Instant`s.
+///
+/// Invariant: the wheel only holds entries whose tick is strictly
+/// beyond its current tick *at insertion time*; anything at or before
+/// current lands in `imminent`. The wheel's current tick only ever
+/// advances to the earliest occupied bucket, so a late registration
+/// can never be delayed by an earlier advance — it just rides the
+/// side list, whose minimum bounds the next sleep exactly.
+struct TimerWheel {
+    base: Instant,
+    wheel: combar_des::TickWheel<(Instant, Waker)>,
+    imminent: Vec<(Instant, Waker)>,
+    scratch: Vec<(Instant, Waker)>,
 }
 
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl TimerWheel {
+    fn new() -> Self {
+        Self {
+            base: Instant::now(),
+            wheel: combar_des::TickWheel::new(),
+            imminent: Vec::new(),
+            scratch: Vec::new(),
+        }
     }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        (at.saturating_duration_since(self.base).as_nanos() >> TICK_SHIFT) as u64
     }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest due.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+
+    fn pending(&self) -> usize {
+        self.wheel.len() + self.imminent.len()
+    }
+
+    fn insert(&mut self, at: Instant, waker: Waker) {
+        let tick = self.tick_of(at);
+        if tick <= self.wheel.current_tick() {
+            self.imminent.push((at, waker));
+        } else {
+            self.wheel.insert(tick, (at, waker));
+        }
+    }
+
+    /// Moves every waker due by `now` into `due` and returns the
+    /// earliest pending deadline (a bucket's start is a lower bound
+    /// for its entries, so sleeping until it never oversleeps).
+    fn collect_due(&mut self, now: Instant, due: &mut Vec<Waker>) -> Option<Instant> {
+        let mut i = 0;
+        while i < self.imminent.len() {
+            if self.imminent[i].0 <= now {
+                due.push(self.imminent.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        let now_tick = self.tick_of(now);
+        let mut keep = |_: &(Instant, Waker)| true;
+        while let Some(tick) = self.wheel.next_event_tick(&mut keep) {
+            if tick > now_tick {
+                break;
+            }
+            self.wheel.drain_next(&mut keep, &mut self.scratch);
+            for (at, waker) in self.scratch.drain(..) {
+                if at <= now {
+                    due.push(waker);
+                } else {
+                    self.imminent.push((at, waker));
+                }
+            }
+        }
+        let soon = self.imminent.iter().map(|&(at, _)| at).min();
+        let wheel_next = self
+            .wheel
+            .next_event_tick(&mut keep)
+            .map(|tick| self.base + Duration::from_nanos(tick.saturating_mul(1 << TICK_SHIFT)));
+        match (soon, wheel_next) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 }
 
 struct TimerShared {
-    heap: Mutex<BinaryHeap<Entry>>,
+    wheel: Mutex<TimerWheel>,
     cv: Condvar,
     shutdown: AtomicBool,
-    seq: AtomicU64,
 }
 
-/// A deadline service: one thread, one heap, many thousands of
-/// *per-logical-participant* deadlines.
+/// A deadline service: one thread, one timing wheel, many thousands
+/// of *per-logical-participant* deadlines.
 ///
 /// This is the structural fix the ISSUE's timing audit demands: a
 /// bounded wait used to mean "this OS thread sleeps until the
@@ -349,7 +410,7 @@ impl Drop for TimerThread {
 impl std::fmt::Debug for Timer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Timer")
-            .field("pending", &self.shared.heap.lock().unwrap().len())
+            .field("pending", &self.shared.wheel.lock().unwrap().pending())
             .finish()
     }
 }
@@ -364,10 +425,9 @@ impl Timer {
     /// Starts the timer thread.
     pub fn new() -> Self {
         let shared = Arc::new(TimerShared {
-            heap: Mutex::new(BinaryHeap::new()),
+            wheel: Mutex::new(TimerWheel::new()),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            seq: AtomicU64::new(0),
         });
         let s2 = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -387,12 +447,7 @@ impl Timer {
     /// Registering the same waker repeatedly is fine — spurious wakes
     /// are part of the polling contract.
     pub fn register(&self, at: Instant, waker: Waker) {
-        let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
-        self.shared
-            .heap
-            .lock()
-            .unwrap()
-            .push(Entry { at, seq, waker });
+        self.shared.wheel.lock().unwrap().insert(at, waker);
         self.shared.cv.notify_one();
     }
 
@@ -417,23 +472,20 @@ fn timer_loop(shared: &TimerShared) {
             return;
         }
         let wait = {
-            let mut heap = shared.heap.lock().unwrap();
+            let mut wheel = shared.wheel.lock().unwrap();
             let now = Instant::now();
-            while heap.peek().is_some_and(|e| e.at <= now) {
-                due.push(heap.pop().unwrap().waker);
-            }
-            match heap.peek() {
-                Some(e) => e.at.saturating_duration_since(now),
+            match wheel.collect_due(now, &mut due) {
+                Some(at) => at.saturating_duration_since(now),
                 None => Duration::from_millis(50),
             }
         };
-        // Wake outside the heap lock: a wake may synchronously
+        // Wake outside the wheel lock: a wake may synchronously
         // re-register.
         for w in due.drain(..) {
             w.wake();
         }
         if wait > Duration::ZERO {
-            let guard = shared.heap.lock().unwrap();
+            let guard = shared.wheel.lock().unwrap();
             let _ = shared.cv.wait_timeout(guard, wait).unwrap();
         }
     }

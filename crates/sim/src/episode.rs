@@ -12,7 +12,7 @@
 //! decomposed into *update delay* (tree depth × `t_c` along the
 //! releasing chain) and *contention delay* (everything else).
 
-use combar_des::{Duration, Engine, FifoServer, SimTime, Trace, TraceKind};
+use combar_des::{Duration, Engine, EngineConfig, FifoServer, SimTime, Trace, TraceKind};
 use combar_topo::{CounterId, ProcId, Topology};
 
 /// How the barrier release reaches the waiting processors.
@@ -224,6 +224,31 @@ pub fn run_episode_with(
     run_episode_inner(topo, homes, arrivals_us, tc, release_model, None).0
 }
 
+/// [`run_episode`] with an explicit [`EngineConfig`] — the entry point
+/// for large-`p` episodes, where
+/// `EngineConfig::new().queue(QueueKind::Wheel)` swaps the engine's
+/// binary heap for the hierarchical timing wheel. The result is
+/// bit-identical to [`run_episode`] (the `(time, seq)` ordering
+/// contract); only the wall-clock cost changes.
+pub fn run_episode_cfg(
+    topo: &Topology,
+    homes: &[CounterId],
+    arrivals_us: &[f64],
+    tc: Duration,
+    cfg: &EngineConfig,
+) -> EpisodeResult {
+    run_episode_inner_cfg(
+        topo,
+        homes,
+        arrivals_us,
+        tc,
+        ReleaseModel::CentralFlag,
+        None,
+        cfg,
+    )
+    .0
+}
+
 fn run_episode_inner(
     topo: &Topology,
     homes: &[CounterId],
@@ -231,6 +256,26 @@ fn run_episode_inner(
     tc: Duration,
     release_model: ReleaseModel,
     trace: Option<Trace>,
+) -> (EpisodeResult, Option<Trace>) {
+    run_episode_inner_cfg(
+        topo,
+        homes,
+        arrivals_us,
+        tc,
+        release_model,
+        trace,
+        &EngineConfig::new(),
+    )
+}
+
+fn run_episode_inner_cfg(
+    topo: &Topology,
+    homes: &[CounterId],
+    arrivals_us: &[f64],
+    tc: Duration,
+    release_model: ReleaseModel,
+    trace: Option<Trace>,
+    cfg: &EngineConfig,
 ) -> (EpisodeResult, Option<Trace>) {
     let p = topo.num_procs() as usize;
     assert_eq!(homes.len(), p, "homes length mismatch");
@@ -247,7 +292,10 @@ fn run_episode_inner(
         })
         .collect();
 
-    let mut eng = Engine::new(EpisodeState {
+    // Pre-size for the known event shape: p arrivals plus one
+    // propagation per internal counter, minus reuse.
+    let cfg = cfg.clone().events_hint(p + topo.num_counters());
+    let mut eng = cfg.build(EpisodeState {
         counters,
         winners: vec![None; topo.num_counters()],
         signal_done: vec![0.0; p],

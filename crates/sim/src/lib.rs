@@ -40,9 +40,11 @@ pub use balance::{run_balance, BalanceConfig, BalanceRegime, BalanceReport};
 pub use combar_topo::{
     default_degree_sweep, full_tree_degrees, CounterId, Placement, ProcId, Topology, TopologyKind,
 };
-pub use combar_work::{Diffuser, WorkModel, WorkSource, UNIT_SCALE};
+pub use combar_work::{Diffuser, Redundant, WorkModel, WorkSource, UNIT_SCALE};
 pub use dissemination::{mean_dissemination_delay, run_dissemination, DisseminationResult};
-pub use episode::{run_episode, run_episode_traced, run_episode_with, EpisodeResult, ReleaseModel};
+pub use episode::{
+    run_episode, run_episode_cfg, run_episode_traced, run_episode_with, EpisodeResult, ReleaseModel,
+};
 pub use iterate::{
     apply_dynamic_swaps, run_iterations, run_modes, run_replicas, IterateConfig, IterateReport,
     PlacementMode,

@@ -33,9 +33,11 @@
 
 pub mod diffuse;
 pub mod model;
+pub mod redundant;
 
 pub use diffuse::{Diffuser, UNIT_SCALE};
 pub use model::{busy_work, mix, work_iters, WorkModel};
+pub use redundant::Redundant;
 
 /// One work-assignment stream: per-episode work times for a fixed set
 /// of participants.

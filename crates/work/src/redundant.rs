@@ -1,0 +1,150 @@
+//! Redundant-job straggler mitigation as a [`WorkSource`] combinator.
+//!
+//! Walker & Fidler's barrier-mode queueing analysis (arXiv 2512.14445)
+//! studies fork-join systems where each task is launched as `k`
+//! redundant copies and the barrier proceeds on the **first**
+//! completion — replication trades compute for a lighter straggler
+//! tail, because a participant's effective work time becomes the
+//! minimum over `k` independent draws. Under heavy-tailed work
+//! (Pareto stragglers), even `k = 2` collapses the tail that drives
+//! barrier synchronization delay at large `p`.
+//!
+//! [`Redundant`] implements exactly that transform over any inner
+//! [`WorkSource`]: it holds `k` independently seeded replicas of the
+//! work distribution and reports the elementwise minimum of their
+//! per-episode draws. Because each replica is itself a pure seeded
+//! source, the composite stays byte-identical at any thread count —
+//! the property every `combar-exec` sweep relies on.
+
+use crate::WorkSource;
+
+/// First-completion-wins replication over `k` inner work sources.
+///
+/// `out[tid] = min(replica_0[tid], …, replica_{k-1}[tid])` for each
+/// episode. The replicas must be *independently seeded* instances of
+/// the same distribution for the Walker/Fidler semantics; the
+/// constructor takes them fully built so callers control the seed
+/// split (e.g. `WorkModel::iid_pareto(p, seed ^ r, …)` for replica
+/// `r`).
+pub struct Redundant<S> {
+    replicas: Vec<S>,
+    scratch: Vec<f64>,
+}
+
+impl<S: WorkSource> Redundant<S> {
+    /// Wraps `replicas` (one per redundant copy; `k = replicas.len()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    pub fn new(replicas: Vec<S>) -> Self {
+        assert!(!replicas.is_empty(), "redundancy needs at least one copy");
+        Self {
+            replicas,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The replication degree `k`.
+    pub fn k(&self) -> usize {
+        self.replicas.len()
+    }
+}
+
+impl<S: WorkSource> WorkSource for Redundant<S> {
+    /// The nominal mean of **one** copy (the provisioned work per
+    /// replica); the realized mean after the min-transform is lower —
+    /// that gap is the resource price of replication.
+    fn mean_us(&self) -> f64 {
+        self.replicas[0].mean_us()
+    }
+
+    fn sample_episode(&mut self, episode: u32, out: &mut [f64]) {
+        let (first, rest) = self.replicas.split_first_mut().expect("non-empty");
+        first.sample_episode(episode, out);
+        self.scratch.resize(out.len(), 0.0);
+        for replica in rest {
+            replica.sample_episode(episode, &mut self.scratch);
+            for (o, &s) in out.iter_mut().zip(self.scratch.iter()) {
+                if s < *o {
+                    *o = s;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkModel;
+
+    fn pareto(seed: u64, p: u32) -> WorkModel {
+        WorkModel::iid_pareto(p, seed, 10_000.0, 500.0, 1.6)
+    }
+
+    fn draws(src: &mut impl WorkSource, p: usize, episode: u32) -> Vec<f64> {
+        let mut out = vec![0.0; p];
+        src.sample_episode(episode, &mut out);
+        out
+    }
+
+    #[test]
+    fn k_equals_one_is_the_identity() {
+        let p = 64;
+        let mut plain = pareto(7, p);
+        let mut red = Redundant::new(vec![pareto(7, p)]);
+        assert_eq!(red.k(), 1);
+        for ep in 0..5 {
+            assert_eq!(
+                draws(&mut plain, p as usize, ep),
+                draws(&mut red, p as usize, ep)
+            );
+        }
+    }
+
+    #[test]
+    fn min_never_exceeds_any_replica() {
+        let p = 128u32;
+        let mut red = Redundant::new((0..3).map(|r| pareto(11 ^ r, p)).collect());
+        let got = draws(&mut red, p as usize, 3);
+        for r in 0..3u64 {
+            let solo = draws(&mut pareto(11 ^ r, p), p as usize, 3);
+            for (tid, (&g, &s)) in got.iter().zip(solo.iter()).enumerate() {
+                assert!(g <= s, "tid {tid}: min {g} > replica {r} draw {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn realized_mean_decreases_with_k() {
+        let p = 512u32;
+        let mean_of = |k: u64| {
+            let mut red = Redundant::new((0..k).map(|r| pareto(23 ^ r, p)).collect());
+            let mut acc = 0.0;
+            for ep in 0..8 {
+                acc += draws(&mut red, p as usize, ep).iter().sum::<f64>();
+            }
+            acc / (8.0 * p as f64)
+        };
+        let (m1, m2, m3) = (mean_of(1), mean_of(2), mean_of(3));
+        assert!(m2 < m1, "k=2 mean {m2} not below k=1 mean {m1}");
+        assert!(m3 < m2, "k=3 mean {m3} not below k=2 mean {m2}");
+    }
+
+    #[test]
+    fn draws_are_deterministic() {
+        let p = 64u32;
+        let build = || Redundant::new((0..2).map(|r| pareto(42 ^ r, p)).collect());
+        assert_eq!(
+            draws(&mut build(), p as usize, 9),
+            draws(&mut build(), p as usize, 9)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one copy")]
+    fn empty_replica_set_rejected() {
+        let _ = Redundant::<WorkModel>::new(Vec::new());
+    }
+}

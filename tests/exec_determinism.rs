@@ -41,6 +41,19 @@ fn trace_render_is_thread_count_invariant() {
     assert_eq!(serial, pooled);
 }
 
+/// The scale experiment parallelizes its (p, k) grid over a `Sweep`
+/// with every episode on the timing-wheel engine; its rendering —
+/// degree tables, placement loop, and heap-vs-wheel mirror — is
+/// byte-identical at 1 vs 2 vs 4 workers.
+#[test]
+fn scale_render_is_thread_count_invariant() {
+    let serial = with_thread_count(1, golden::scale_small);
+    let two = with_thread_count(2, golden::scale_small);
+    let pooled = with_thread_count(4, golden::scale_small);
+    assert_eq!(serial, two);
+    assert_eq!(serial, pooled);
+}
+
 /// The optimal-degree search — `sweep_degrees` parallelizes over
 /// replications and folds serially — lands on the same degree and the
 /// same delay statistics bit-for-bit at any thread count.
